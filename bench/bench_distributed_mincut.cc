@@ -1,0 +1,208 @@
+// Experiment DIST — the motivating application (Section 1): distributed
+// min-cut from per-server sketches.
+//
+// Paper claim: each server ships a constant-accuracy for-all sketch plus a
+// (1±ε) for-each sketch; the coordinator enumerates all O(1)-approximate
+// min cuts from the former and re-evaluates them with the latter, giving
+// communication linear in 1/ε for the accuracy-critical part — and
+// Theorems 1.1/1.2 say this recipe is near-optimal.
+//
+// Workloads are high-multiplicity multigraphs (the regime where sampling
+// genuinely compresses: per-server edge strengths must exceed the sampling
+// rates) with a planted bridge cut, so candidate enumeration has a clean
+// target.
+//
+// Tables produced:
+//   A: accuracy and communication vs ε (for-each bits grow ~1/ε; the
+//      constant-accuracy for-all bits do not grow as ε shrinks).
+//   B: accuracy and communication vs number of servers.
+//   C: sketch protocol vs naive ship-all-edges as density grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "distributed/distributed_mincut.h"
+#include "mincut/cut_counting.h"
+#include "graph/generators.h"
+#include "mincut/stoer_wagner.h"
+#include "table.h"
+#include "util/stats.h"
+
+namespace dcs {
+
+using bench::E;
+using bench::F;
+using bench::I;
+using bench::PrintBanner;
+using bench::PrintRow;
+using bench::PrintRule;
+
+// Two well-connected blocks (unions of `block_degree` random matchings on
+// `block_size` vertices each) joined by `bridges` unit edges: global min
+// cut = bridges, and it is the unique O(1)-approximate minimum cut.
+UndirectedGraph PlantedBridgeMultigraph(int block_size, int block_degree,
+                                        int bridges, Rng& rng) {
+  UndirectedGraph graph(2 * block_size);
+  for (int block = 0; block < 2; ++block) {
+    const UndirectedGraph part =
+        UnionOfRandomMatchings(block_size, block_degree, rng);
+    for (const Edge& e : part.edges()) {
+      graph.AddEdge(e.src + block * block_size, e.dst + block * block_size,
+                    1.0);
+    }
+  }
+  for (int b = 0; b < bridges; ++b) {
+    graph.AddEdge(b, block_size + b, 1.0);
+  }
+  return graph;
+}
+
+void TableA() {
+  PrintBanner("DIST/A",
+              "Accuracy & communication vs eps (planted bridge cut 8, "
+              "n=96, 4 servers)");
+  Rng gen_rng(1);
+  const UndirectedGraph g = PlantedBridgeMultigraph(48, 192, 8, gen_rng);
+  const double exact = StoerWagnerMinCut(g).value;
+  PrintRow({"eps", "estimate", "exact", "rel err", "foreach bits",
+            "forall bits"});
+  PrintRule(6);
+  std::vector<double> inv_eps, fe_bits;
+  for (double eps : {0.4, 0.25, 0.15, 0.1}) {
+    Rng rng(static_cast<uint64_t>(eps * 1000));
+    DistributedMinCutOptions options;
+    options.epsilon = eps;
+    options.median_boost = 5;
+    const DistributedMinCutPipeline pipeline(PartitionEdges(g, 4, rng),
+                                             options, rng);
+    const auto result = pipeline.Run(rng);
+    inv_eps.push_back(1 / eps);
+    fe_bits.push_back(static_cast<double>(result.foreach_bits));
+    PrintRow({F(eps, 2), F(result.estimate, 2), F(exact, 2),
+              F(std::abs(result.estimate - exact) / exact, 3),
+              I(result.foreach_bits), I(result.forall_bits)});
+  }
+  const LineFit fit = FitLogLog(inv_eps, fe_bits);
+  std::printf(
+      "for-each bits vs 1/eps: fitted exponent %.2f (paper: 1.0 up to the\n"
+      " strength-spectrum log factors inside Õ; the for-all bits stay flat\n"
+      " because their accuracy is a constant independent of eps)\n",
+      fit.slope);
+}
+
+void TableB() {
+  PrintBanner("DIST/B",
+              "Accuracy & communication vs number of servers (same planted "
+              "instance, eps=0.2)");
+  Rng gen_rng(2);
+  const UndirectedGraph g = PlantedBridgeMultigraph(48, 192, 8, gen_rng);
+  const double exact = StoerWagnerMinCut(g).value;
+  PrintRow({"servers", "estimate", "exact", "total bits", "naive bits"});
+  PrintRule(5);
+  for (int servers : {2, 4, 8}) {
+    Rng rng(static_cast<uint64_t>(servers));
+    DistributedMinCutOptions options;
+    options.epsilon = 0.2;
+    options.median_boost = 5;
+    const DistributedMinCutPipeline pipeline(
+        PartitionEdges(g, servers, rng), options, rng);
+    const auto result = pipeline.Run(rng);
+    PrintRow({I(servers), F(result.estimate, 1), F(exact, 1),
+              I(result.total_bits()), I(pipeline.NaiveShipAllBits())});
+  }
+  std::printf("(accuracy is server-count independent because cut values add\n"
+              " across edge-disjoint servers; total bits grow with the\n"
+              " number of uploads)\n");
+}
+
+void TableC() {
+  PrintBanner("DIST/C",
+              "Sketch protocol vs naive ship-all as density grows "
+              "(n=96, eps=0.25, 4 servers)");
+  PrintRow({"degree", "m", "sketch bits", "naive bits", "savings x",
+            "rel err"});
+  PrintRule(6);
+  for (int degree : {512, 1024, 2048}) {
+    Rng gen_rng(static_cast<uint64_t>(degree));
+    const UndirectedGraph g = PlantedBridgeMultigraph(48, degree, 12,
+                                                      gen_rng);
+    const double exact = StoerWagnerMinCut(g).value;
+    Rng rng(static_cast<uint64_t>(degree) + 7);
+    DistributedMinCutOptions options;
+    options.epsilon = 0.25;
+    options.median_boost = 3;
+    const DistributedMinCutPipeline pipeline(PartitionEdges(g, 4, rng),
+                                             options, rng);
+    const auto result = pipeline.Run(rng);
+    PrintRow({I(degree), I(g.num_edges()), I(result.total_bits()),
+              I(pipeline.NaiveShipAllBits()),
+              F(static_cast<double>(pipeline.NaiveShipAllBits()) /
+                    static_cast<double>(result.total_bits()),
+                2),
+              F(std::abs(result.estimate - exact) / exact, 3)});
+  }
+  std::printf("(the savings factor grows with multiplicity: sketch sizes\n"
+              " depend on n and eps, not on m)\n");
+}
+
+void TableD() {
+  PrintBanner("DIST/D",
+              "Karger's cut-counting theorem and enumeration coverage "
+              "(why scoring every candidate is affordable)");
+  PrintRow({"graph", "n", "#cuts<=1.5min", "n^3 bound", "coverage"});
+  PrintRule(5);
+  struct Workload {
+    const char* name;
+    UndirectedGraph graph;
+  };
+  Rng gen_rng(1);
+  std::vector<Workload> workloads;
+  workloads.push_back({"cycle C_12", CycleGraph(12, 1.0)});
+  workloads.push_back({"dumbbell", DumbbellGraph(7, 2)});
+  workloads.push_back(
+      {"G(14, .3)", RandomUndirectedGraph(14, 0.3, 1.0, 1.0, true, gen_rng)});
+  for (const Workload& workload : workloads) {
+    const CutCountResult truth =
+        CountNearMinimumCutsExhaustive(workload.graph, 1.5);
+    Rng rng(7);
+    const double coverage =
+        KargerEnumerationCoverage(workload.graph, 1.5, rng, 60);
+    PrintRow({workload.name, I(workload.graph.num_vertices()),
+              I(truth.cuts_within_alpha), F(truth.karger_bound, 0),
+              F(coverage, 3)});
+  }
+  std::printf(
+      "(Karger: at most n^{2a} cuts within a of the minimum — few "
+      "enough\n for the coordinator to re-score every one with a for-each "
+      "sketch;\n randomized enumeration finds essentially all of them)\n");
+}
+
+void BM_DistributedPipeline(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  Rng gen_rng(9);
+  const UndirectedGraph g = PlantedBridgeMultigraph(32, degree, 6, gen_rng);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    DistributedMinCutOptions options;
+    options.epsilon = 0.3;
+    DistributedMinCutPipeline pipeline(PartitionEdges(g, 4, rng), options,
+                                       rng);
+    benchmark::DoNotOptimize(pipeline.Run(rng));
+  }
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_DistributedPipeline)->Arg(64)->Arg(256);
+
+}  // namespace dcs
+
+int main(int argc, char** argv) {
+  dcs::TableA();
+  dcs::TableB();
+  dcs::TableC();
+  dcs::TableD();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Experiment L5.5 / Figure 2 — the 2-SUM graph G_{x,y}.
+//
+// Paper claims: (i) the Figure 2 worked example has one intersection and
+// min cut 2; (ii) MINCUT(G_{x,y}) = 2·INT(x,y) whenever √N ≥ 3·INT(x,y)
+// (Lemma 5.5); (iii) the proof's connectivity argument gives every vertex
+// pair ≥ 2γ edge-disjoint paths (Figures 3–6).
+//
+// Tables produced:
+//   A: the Figure 2 example.
+//   B: Lemma 5.5 sweep — identity holding rate across ℓ and INT, including
+//      the regime beyond the √N ≥ 3·INT hypothesis.
+//   C: edge-disjoint path counts per block-pair case.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "comm/two_sum.h"
+#include "lowerbound/twosum_graph.h"
+#include "mincut/dinic.h"
+#include "mincut/stoer_wagner.h"
+#include "table.h"
+#include "util/random.h"
+
+namespace dcs {
+
+using bench::F;
+using bench::I;
+using bench::PrintBanner;
+using bench::PrintRow;
+using bench::PrintRule;
+
+// Strings with exactly `intersections` shared ones plus disjoint noise.
+void MakeStrings(int ell, int intersections, double noise, Rng& rng,
+                 std::vector<uint8_t>& x, std::vector<uint8_t>& y) {
+  const int n_bits = ell * ell;
+  x.assign(static_cast<size_t>(n_bits), 0);
+  y.assign(static_cast<size_t>(n_bits), 0);
+  for (int pos : rng.RandomSubset(n_bits, intersections)) {
+    x[static_cast<size_t>(pos)] = 1;
+    y[static_cast<size_t>(pos)] = 1;
+  }
+  for (int i = 0; i < n_bits; ++i) {
+    if (x[static_cast<size_t>(i)] || y[static_cast<size_t>(i)]) continue;
+    const double draw = rng.UniformDouble();
+    if (draw < noise / 2) {
+      x[static_cast<size_t>(i)] = 1;
+    } else if (draw < noise) {
+      y[static_cast<size_t>(i)] = 1;
+    }
+  }
+}
+
+void TableA() {
+  PrintBanner("Fig2", "The paper's worked example x=000000100, y=100010100");
+  const TwoSumExample example = Figure2Example();
+  const UndirectedGraph g = BuildTwoSumGraph(example.x, example.y);
+  PrintRow({"INT(x,y)", "vertices", "edges", "mincut", "2*INT"});
+  PrintRule(5);
+  const int intersections = IntersectionCount(example.x, example.y);
+  PrintRow({I(intersections), I(g.num_vertices()), I(g.num_edges()),
+            F(StoerWagnerMinCut(g).value, 1), I(2 * intersections)});
+}
+
+void TableB() {
+  PrintBanner("L5.5",
+              "MINCUT(G_{x,y}) = 2*INT(x,y) sweep (identity requires "
+              "sqrt(N) >= 3*INT)");
+  PrintRow({"ell", "INT", "3*INT<=ell", "trials", "identity held",
+            "min observed"});
+  PrintRule(6);
+  Rng rng(17);
+  for (int ell : {9, 12, 15}) {
+    for (int intersections : {1, 2, 3, 4, 5, 6}) {
+      const bool hypothesis = 3 * intersections <= ell;
+      int held = 0;
+      double min_ratio = 1e18;
+      const int trials = 6;
+      for (int trial = 0; trial < trials; ++trial) {
+        std::vector<uint8_t> x, y;
+        MakeStrings(ell, intersections, 0.3, rng, x, y);
+        const UndirectedGraph g = BuildTwoSumGraph(x, y);
+        const double mincut = StoerWagnerMinCut(g).value;
+        if (mincut == 2.0 * intersections) ++held;
+        min_ratio = std::min(min_ratio, mincut / (2.0 * intersections));
+      }
+      PrintRow({I(ell), I(intersections), hypothesis ? "yes" : "no",
+                I(trials), I(held), F(min_ratio, 3)});
+    }
+  }
+  std::printf(
+      "(within the hypothesis the identity must hold in every trial; beyond\n"
+      " it the min cut can only stay equal or drop below 2*INT)\n");
+}
+
+void TableC() {
+  PrintBanner("Fig3-6",
+              "Edge-disjoint paths per case (gamma=3, ell=12; proof needs "
+              ">= 2*gamma = 6)");
+  Rng rng(23);
+  std::vector<uint8_t> x, y;
+  MakeStrings(12, 3, 0.0, rng, x, y);
+  const UndirectedGraph g = BuildTwoSumGraph(x, y);
+  const TwoSumGraphLayout layout(12);
+  struct Case {
+    const char* name;
+    VertexId u;
+    VertexId v;
+  };
+  const std::vector<Case> cases = {
+      {"Case1 A-A", layout.a(0), layout.a(7)},
+      {"Case2 A-A'", layout.a(0), layout.a_prime(4)},
+      {"Case3 A-B'", layout.a(0), layout.b_prime(5)},
+      {"Case4 A-B", layout.a(0), layout.b(9)},
+      {"Case1 B'-B'", layout.b_prime(1), layout.b_prime(8)},
+      {"Case3 A'-B", layout.a_prime(2), layout.b(3)},
+  };
+  PrintRow({"case", "paths", "2*gamma"});
+  PrintRule(3);
+  for (const Case& c : cases) {
+    PrintRow({c.name, I(CountEdgeDisjointPaths(g, c.u, c.v)), I(6)});
+  }
+}
+
+void BM_BuildTwoSumGraph(benchmark::State& state) {
+  const int ell = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<uint8_t> x, y;
+  MakeStrings(ell, ell / 4, 0.3, rng, x, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildTwoSumGraph(x, y));
+  }
+  state.counters["edges"] = 2.0 * ell * ell;
+}
+BENCHMARK(BM_BuildTwoSumGraph)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_StoerWagnerOnGxy(benchmark::State& state) {
+  const int ell = static_cast<int>(state.range(0));
+  Rng rng(2);
+  std::vector<uint8_t> x, y;
+  MakeStrings(ell, 2, 0.3, rng, x, y);
+  const UndirectedGraph g = BuildTwoSumGraph(x, y);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(StoerWagnerMinCut(g));
+  }
+}
+BENCHMARK(BM_StoerWagnerOnGxy)->Arg(12)->Arg(24)->Arg(48);
+
+}  // namespace dcs
+
+int main(int argc, char** argv) {
+  dcs::TableA();
+  dcs::TableB();
+  dcs::TableC();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Experiment L3.2 — Lemma 3.2: the tensor-row sign matrix underlying the
+// for-each encoding.
+//
+// Paper claim: for every k there is an M ∈ {−1,1}^((2^k−1)² × 2^{2k}) with
+// balanced rows, pairwise-orthogonal rows, and rank-one ±1 tensor factor
+// structure. The table verifies all three conditions exhaustively per block
+// size and reports the decoding identity ⟨Σ z_t M_t, M_t⟩ = z_t·N².
+// Benchmarks measure FWHT-based encoding throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "table.h"
+#include "util/hadamard.h"
+#include "util/random.h"
+
+namespace dcs {
+
+using bench::F;
+using bench::I;
+using bench::PrintBanner;
+using bench::PrintRow;
+using bench::PrintRule;
+
+void VerificationTable() {
+  PrintBanner("L3.2", "Lemma 3.2 matrix verification per block size");
+  PrintRow({"N=1/eps", "rows", "cols", "balanced", "orthogonal", "tensor",
+            "decode id"});
+  PrintRule(7);
+  for (int log_size : {1, 2, 3, 4}) {
+    const TensorSignMatrix m(log_size);
+    bool balanced = true;
+    bool tensor = true;
+    for (int64_t t = 0; t < m.rows(); ++t) {
+      int64_t sum = 0;
+      const std::vector<int8_t> u = m.LeftFactor(t);
+      const std::vector<int8_t> v = m.RightFactor(t);
+      for (int64_t col = 0; col < m.cols(); ++col) {
+        const int entry = m.Entry(t, col);
+        sum += entry;
+        const int a = static_cast<int>(col / m.block_size());
+        const int b = static_cast<int>(col % m.block_size());
+        if (entry != u[static_cast<size_t>(a)] * v[static_cast<size_t>(b)]) {
+          tensor = false;
+        }
+      }
+      if (sum != 0) balanced = false;
+    }
+    bool orthogonal = true;
+    const int64_t pair_limit = m.rows() > 40 ? 40 : m.rows();
+    for (int64_t t1 = 0; t1 < pair_limit && orthogonal; ++t1) {
+      for (int64_t t2 = t1 + 1; t2 < pair_limit; ++t2) {
+        int64_t dot = 0;
+        for (int64_t col = 0; col < m.cols(); ++col) {
+          dot += m.Entry(t1, col) * m.Entry(t2, col);
+        }
+        if (dot != 0) {
+          orthogonal = false;
+          break;
+        }
+      }
+    }
+    // Decoding identity on a random sign vector.
+    Rng rng(static_cast<uint64_t>(log_size));
+    const std::vector<int8_t> z =
+        rng.RandomSignString(static_cast<int>(m.rows()));
+    const std::vector<int64_t> x = m.EncodeSigns(z);
+    bool decode_ok = true;
+    for (int64_t t = 0; t < m.rows(); ++t) {
+      if (m.InnerProductWithRow(x, t) !=
+          static_cast<int64_t>(z[static_cast<size_t>(t)]) *
+              m.RowNormSquared()) {
+        decode_ok = false;
+        break;
+      }
+    }
+    PrintRow({I(m.block_size()), I(m.rows()), I(m.cols()),
+              balanced ? "yes" : "NO", orthogonal ? "yes" : "NO",
+              tensor ? "yes" : "NO", decode_ok ? "yes" : "NO"});
+  }
+  std::printf("(all columns must read yes — Conditions (1)-(3) of Lemma 3.2\n"
+              " plus the <w,M_t> = z_t/eps decoding identity)\n");
+}
+
+void BM_FwhtTransform(benchmark::State& state) {
+  const int log_size = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<int64_t> values(static_cast<size_t>(1) << log_size);
+  for (auto& v : values) v = rng.UniformInRange(-100, 100);
+  for (auto _ : state) {
+    std::vector<int64_t> copy = values;
+    FastWalshHadamardTransform(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetComplexityN(1 << log_size);
+}
+BENCHMARK(BM_FwhtTransform)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_TensorEncodeSigns(benchmark::State& state) {
+  const int log_size = static_cast<int>(state.range(0));
+  const TensorSignMatrix m(log_size);
+  Rng rng(2);
+  const std::vector<int8_t> z =
+      rng.RandomSignString(static_cast<int>(m.rows()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.EncodeSigns(z));
+  }
+  state.counters["cols"] = static_cast<double>(m.cols());
+}
+BENCHMARK(BM_TensorEncodeSigns)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_HadamardEntry(benchmark::State& state) {
+  const HadamardMatrix h(10);
+  int row = 1;
+  int col = 0;
+  int64_t sink = 0;
+  for (auto _ : state) {
+    sink += h.Entry(row, col);
+    row = (row + 7) & 1023;
+    col = (col + 13) & 1023;
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_HadamardEntry);
+
+}  // namespace dcs
+
+int main(int argc, char** argv) {
+  dcs::VerificationTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Experiment T5.7 — Theorem 5.7 (the modified BGMP21 upper bound).
+//
+// Paper claim: running the guess-halving search at constant accuracy β₀ and
+// only the final VERIFY-GUESS at ε improves the query complexity from
+// Õ(m/(ε⁴k))-grade behavior to Õ(m/(ε²k)), matching the Theorem 1.3 lower
+// bound. The unsaturated sampling regime needs ε²k ≫ log n, so the
+// workloads are high-multiplicity regular multigraphs (n = 64, k up to
+// 16384 parallel-edge degree).
+//
+// Tables produced:
+//   A: queries vs ε — original (ε-accurate search) vs modified (β₀ search);
+//      the original saturates at Θ(m) (its 1/ε⁴ final call) while the
+//      modified tracks m/(ε²k).
+//   B: queries vs k at fixed ε for the modified algorithm — the 1/k law.
+//   C: estimate accuracy of both variants (both must be (1±ε)).
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "localquery/mincut_estimator.h"
+#include "mincut/stoer_wagner.h"
+#include "table.h"
+#include "util/stats.h"
+
+namespace dcs {
+
+using bench::E;
+using bench::F;
+using bench::I;
+using bench::PrintBanner;
+using bench::PrintRow;
+using bench::PrintRule;
+
+struct RunStats {
+  double queries = 0;
+  double estimate = 0;
+};
+
+RunStats MeasureMode(const UndirectedGraph& g, double epsilon,
+                     SearchMode mode, int reps, uint64_t seed) {
+  RunStats stats;
+  for (int rep = 0; rep < reps; ++rep) {
+    Rng rng(seed + static_cast<uint64_t>(rep));
+    const LocalQueryMinCutResult result =
+        EstimateMinCutLocalQueries(g, epsilon, mode, rng);
+    stats.queries += static_cast<double>(result.counts.total()) / reps;
+    stats.estimate += result.estimate / reps;
+  }
+  return stats;
+}
+
+void TableA() {
+  PrintBanner("T5.7/A",
+              "Queries vs eps: original (eps-search) vs modified "
+              "(beta0-search), n=64, k=16384");
+  Rng gen_rng(1);
+  const UndirectedGraph g = UnionOfRandomMatchings(64, 16384, gen_rng);
+  const double m = static_cast<double>(g.num_edges());
+  const double k = 16384;
+  PrintRow({"eps", "q(original)", "q(modified)", "orig/mod",
+            "m/(e^2 k)", "cap 2m"});
+  PrintRule(6);
+  std::vector<double> inv_eps, modified_queries;
+  for (double epsilon : {0.5, 0.35, 0.25, 0.18}) {
+    const RunStats original =
+        MeasureMode(g, epsilon, SearchMode::kOriginalEpsilonSearch, 2,
+                    static_cast<uint64_t>(epsilon * 1000));
+    const RunStats modified =
+        MeasureMode(g, epsilon, SearchMode::kModifiedConstantSearch, 2,
+                    static_cast<uint64_t>(epsilon * 2000));
+    inv_eps.push_back(1 / epsilon);
+    modified_queries.push_back(modified.queries);
+    PrintRow({F(epsilon, 2), F(original.queries, 0), F(modified.queries, 0),
+              F(original.queries / modified.queries, 2),
+              F(m / (epsilon * epsilon * k), 0), F(2 * m, 0)});
+  }
+  const LineFit fit = FitLogLog(inv_eps, modified_queries);
+  std::printf(
+      "modified: log-log slope of queries vs 1/eps = %.2f (paper: 2.0);\n"
+      "original: saturates at the Theta(m) cap (its 1/eps^4 final call),\n"
+      "so the orig/mod ratio grows as eps shrinks.\n",
+      fit.slope);
+}
+
+void TableB() {
+  PrintBanner("T5.7/B",
+              "Modified algorithm: queries vs k (n=64, eps=0.35)");
+  PrintRow({"k", "m", "queries", "m/(e^2 k)", "queries/envelope"});
+  PrintRule(5);
+  std::vector<double> ks, qs;
+  for (int k : {2048, 4096, 8192, 16384}) {
+    Rng gen_rng(static_cast<uint64_t>(k));
+    const UndirectedGraph g = UnionOfRandomMatchings(64, k, gen_rng);
+    const double m = static_cast<double>(g.num_edges());
+    const RunStats stats = MeasureMode(
+        g, 0.35, SearchMode::kModifiedConstantSearch, 2, 300 + k);
+    const double envelope = m / (0.35 * 0.35 * k);
+    ks.push_back(k);
+    qs.push_back(stats.queries);
+    PrintRow({I(k), F(m, 0), F(stats.queries, 0), F(envelope, 0),
+              F(stats.queries / envelope, 2)});
+  }
+  std::printf(
+      "(m = n*k/2 grows with k, so the envelope m/(eps^2 k) is constant in\n"
+      " k; measured queries flatten to a polylog multiple of it once the\n"
+      " sampling desaturates)\n");
+  (void)ks;
+  (void)qs;
+}
+
+void TableC() {
+  PrintBanner("T5.7/C", "Estimate accuracy of both variants");
+  Rng gen_rng(7);
+  const UndirectedGraph g = UnionOfRandomMatchings(64, 4096, gen_rng);
+  const double exact = StoerWagnerMinCut(g).value;
+  PrintRow({"eps", "mode", "estimate", "exact k", "rel err"});
+  PrintRule(5);
+  for (double epsilon : {0.35, 0.2}) {
+    for (SearchMode mode : {SearchMode::kOriginalEpsilonSearch,
+                            SearchMode::kModifiedConstantSearch}) {
+      const RunStats stats = MeasureMode(
+          g, epsilon, mode, 3, static_cast<uint64_t>(epsilon * 4000));
+      PrintRow({F(epsilon, 2),
+                mode == SearchMode::kOriginalEpsilonSearch ? "original"
+                                                           : "modified",
+                F(stats.estimate, 1), F(exact, 1),
+                F(std::abs(stats.estimate - exact) / exact, 3)});
+    }
+  }
+  std::printf("(both variants must be (1 +/- eps)-accurate; the modified\n"
+              " one just gets there with fewer queries)\n");
+}
+
+void BM_VerifyGuessDrivenEstimate(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  Rng gen_rng(9);
+  const UndirectedGraph g = UnionOfRandomMatchings(64, k, gen_rng);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(EstimateMinCutLocalQueries(
+        g, 0.35, SearchMode::kModifiedConstantSearch, rng));
+  }
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_VerifyGuessDrivenEstimate)->Arg(1024)->Arg(4096);
+
+}  // namespace dcs
+
+int main(int argc, char** argv) {
+  dcs::TableA();
+  dcs::TableB();
+  dcs::TableC();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

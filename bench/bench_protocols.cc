@@ -1,0 +1,151 @@
+// Experiment PROTO — the reductions with real transcripts.
+//
+// The theorems' operational content: a message that lets Bob decode must
+// be long. Here Alice's message is an actual serialized sketch from
+// src/sketch (not an abstract oracle); sweeping the sketch accuracy traces
+// the measured (message bits, decode accuracy) frontier, and the 2-SUM
+// solver converts local queries into Lemma 5.6 communication bits.
+//
+// Tables produced:
+//   A: for-each protocol frontier — serialized DirectedForEachSketch bits
+//      vs Index-decoding accuracy, against the payload (pigeonhole line).
+//   B: for-all protocol — serialized DirectedForAllSketch bits vs
+//      Gap-Hamming decision accuracy.
+//   C: 2-SUM via min-cut — transcript bits vs the Ω(tL/α) bound
+//      (Theorem 5.4) across instance sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "lowerbound/protocols.h"
+#include "lowerbound/twosum_solver.h"
+#include "table.h"
+#include "util/random.h"
+
+namespace dcs {
+
+using bench::E;
+using bench::F;
+using bench::I;
+using bench::PrintBanner;
+using bench::PrintRow;
+using bench::PrintRule;
+
+void TableA() {
+  PrintBanner("PROTO/A",
+              "Index via serialized for-each sketches (1/eps=8, "
+              "sqrt(beta)=2, payload 196 bits)");
+  ForEachLowerBoundParams params;
+  params.inv_epsilon = 8;
+  params.sqrt_beta = 2;
+  params.num_layers = 2;
+  PrintRow({"sketch eps", "oversample", "message bits", "payload bits",
+            "accuracy"});
+  PrintRule(5);
+  struct Config {
+    double sketch_epsilon;
+    double oversample;
+  };
+  for (const Config& config :
+       {Config{0.02, 20.0}, Config{0.3, 0.5}, Config{0.6, 0.1},
+        Config{0.8, 0.03}, Config{0.9, 0.01}}) {
+    Rng rng(static_cast<uint64_t>(config.sketch_epsilon * 10000));
+    const SketchProtocolResult result = RunForEachSketchProtocol(
+        params, config.sketch_epsilon, config.oversample, 150, rng);
+    PrintRow({F(config.sketch_epsilon, 2), F(config.oversample, 2),
+              I(result.message_bits), I(result.payload_bits),
+              F(result.accuracy(), 3)});
+  }
+  std::printf(
+      "(the frontier: whenever accuracy stays >= 2/3, the message exceeds\n"
+      " the payload — the Lemma 3.1 pigeonhole; pushing the message below\n"
+      " the payload destroys decodability)\n");
+}
+
+void TableB() {
+  PrintBanner("PROTO/B",
+              "Gap-Hamming via serialized for-all sketches (1/eps^2=16, "
+              "beta=1)");
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 16;
+  params.beta = 1;
+  params.num_layers = 2;
+  PrintRow({"sketch eps", "oversample", "message bits", "payload bits",
+            "accuracy"});
+  PrintRule(5);
+  struct Config {
+    double sketch_epsilon;
+    double oversample;
+  };
+  for (const Config& config :
+       {Config{0.02, 20.0}, Config{0.2, 1.0}, Config{0.6, 0.05}}) {
+    Rng rng(static_cast<uint64_t>(config.sketch_epsilon * 1000) + 5);
+    const SketchProtocolResult result = RunForAllSketchProtocol(
+        params, config.sketch_epsilon, config.oversample, 30, rng);
+    PrintRow({F(config.sketch_epsilon, 2), F(config.oversample, 2),
+              I(result.message_bits), I(result.payload_bits),
+              F(result.accuracy(), 3)});
+  }
+  std::printf("(same shape for the for-all game of Lemma 4.1)\n");
+}
+
+void TableC() {
+  PrintBanner("PROTO/C",
+              "2-SUM solved through local-query min-cut (Lemma 5.6)");
+  PrintRow({"t", "L", "alpha", "comm bits", "t*L/alpha", "DISJ err"});
+  PrintRule(6);
+  struct Config {
+    int pairs;
+    int length;
+    int alpha;
+  };
+  for (const Config& config :
+       {Config{4, 100, 1}, Config{4, 196, 2}, Config{8, 128, 2},
+        Config{16, 64, 1}}) {
+    TwoSumParams params;
+    params.num_pairs = config.pairs;
+    params.string_length = config.length;
+    params.alpha = config.alpha;
+    params.intersect_fraction = 0.25;
+    Rng rng(static_cast<uint64_t>(config.pairs * 1000 + config.length));
+    const TwoSumInstance instance = SampleTwoSumInstance(params, rng);
+    Rng solve_rng(11);
+    const TwoSumSolveResult result =
+        SolveTwoSumViaMinCut(instance, 0.25, solve_rng);
+    PrintRow({I(config.pairs), I(config.length), I(config.alpha),
+              I(result.communication_bits),
+              I(static_cast<int64_t>(config.pairs) * config.length /
+                config.alpha),
+              F(std::abs(result.disjoint_estimate -
+                         instance.disjoint_count),
+                2)});
+  }
+  std::printf(
+      "(the protocol solves every instance within the promised sqrt(t)\n"
+      " additive error while its transcript stays a polylog multiple of\n"
+      " the Omega(tL/alpha) bound of Theorem 5.4)\n");
+}
+
+void BM_ForEachProtocol(benchmark::State& state) {
+  ForEachLowerBoundParams params;
+  params.inv_epsilon = 8;
+  params.sqrt_beta = 1;
+  params.num_layers = 2;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        RunForEachSketchProtocol(params, 0.05, 5.0, 20, rng));
+  }
+}
+BENCHMARK(BM_ForEachProtocol);
+
+}  // namespace dcs
+
+int main(int argc, char** argv) {
+  dcs::TableA();
+  dcs::TableB();
+  dcs::TableC();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,229 @@
+// Experiment UB-gap — the tightness tables of Section 1.1.
+//
+// Paper claims (upper bounds from [IT18, CCPS21], lower bounds Theorems
+// 1.1/1.2): for β-balanced n-node graphs,
+//     for-each:  Θ̃(n·√β/ε)   bits
+//     for-all:   Θ̃(n·β/ε²)   bits
+// This bench measures the serialized size of this library's sketch
+// implementations against those formulas, and against the bit content of
+// the matching lower-bound constructions. The library's simpler
+// symmetrize-and-difference sketches pay a documented extra factor over
+// the optimal constructions (see DESIGN.md); the gap column makes that
+// visible instead of hiding it.
+//
+// Tables produced:
+//   A: directed sketch sizes across (n, β, ε) with formula ratios.
+//   B: sampled edges vs the 1/ε (for-each) and 1/ε² (for-all) rate
+//      formulas on a uniform-strength multigraph.
+//   C: lower-bound encodable bits vs upper-bound sketch size on the *same*
+//      construction graphs (the sandwich LB <= info <= UB).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "lowerbound/foreach_encoding.h"
+#include "mincut/nagamochi_ibaraki.h"
+#include "sketch/directed_sketches.h"
+#include "sketch/exact_sketch.h"
+#include "sketch/serialization.h"
+#include "table.h"
+#include "util/stats.h"
+
+namespace dcs {
+
+using bench::E;
+using bench::F;
+using bench::I;
+using bench::PrintBanner;
+using bench::PrintRow;
+using bench::PrintRule;
+
+void TableA() {
+  PrintBanner("UB/A", "Directed sketch sizes (bits) vs the paper's formulas");
+  PrintRow({"n", "beta", "eps", "foreach", "forall", "dirsampler", "exact",
+            "fe/(n sqB/e)", "fa/(n b/e^2)"},
+           12);
+  PrintRule(9, 12);
+  for (int n : {64, 128}) {
+    for (double beta : {1.0, 4.0}) {
+      for (double eps : {0.3, 0.15}) {
+        Rng gen_rng(static_cast<uint64_t>(n * beta * 100 * eps));
+        const DirectedGraph g =
+            RandomBalancedDigraph(n, 0.5, beta, gen_rng);
+        Rng r1(1), r2(2), r3(3);
+        const DirectedForEachSketch fe(g, eps, beta, r1);
+        const DirectedForAllSketch fa(g, eps, beta, r2);
+        const DirectedImportanceSamplerSketch ds(g, eps, beta, r3);
+        const ExactDirectedSketch ex{DirectedGraph(g)};
+        const double fe_formula = n * std::sqrt(beta) / eps;
+        const double fa_formula = n * beta / (eps * eps);
+        PrintRow({I(n), F(beta, 0), F(eps, 2), I(fe.SizeInBits()),
+                  I(fa.SizeInBits()), I(ds.SizeInBits()), I(ex.SizeInBits()),
+                  F(fe.SizeInBits() / fe_formula, 1),
+                  F(fa.SizeInBits() / fa_formula, 1)},
+                 12);
+      }
+    }
+  }
+  std::printf(
+      "(ratios fold in the bits-per-edge constant and the documented\n"
+      " extra sqrt(beta)/beta factor of the simple symmetrize+difference\n"
+      " construction; they must stay bounded as n grows)\n");
+}
+
+void TableB() {
+  // Strength-stratified sampling has inherent log(strength-range)
+  // corrections — exactly the factors the paper's Õ(·) hides — so raw
+  // fitted exponents sit below the ideal 1 and 2 at feasible sizes. The
+  // sharp check is therefore measured sample size vs the rate formula
+  // E[kept] = Σ_e min(1, f·w_e/λ_e) with f_foreach = c/ε ~ 1/ε and
+  // f_forall = c·ln(n)/ε² ~ 1/ε², on a 2048-regular bidirected multigraph
+  // (n = 512, beta = 1).
+  PrintBanner("UB/B",
+              "Sampled edges vs the 1/eps (foreach) and 1/eps^2 (forall) "
+              "rate formulas, n=512");
+  Rng gen_rng(5);
+  const DirectedGraph g = BidirectedMatchingUnion(512, 2048, gen_rng);
+  const UndirectedGraph symmetric = g.Symmetrized();
+  const std::vector<double> strengths =
+      NagamochiIbarakiStrengths(symmetric);
+  auto predicted_kept = [&](double factor) {
+    double total = 0;
+    for (size_t i = 0; i < symmetric.edges().size(); ++i) {
+      total += std::min(1.0, factor * symmetric.edges()[i].weight /
+                                 strengths[i]);
+    }
+    return total;
+  };
+  PrintRow({"eps", "fe kept", "fe predicted", "fa kept", "fa predicted"});
+  PrintRule(5);
+  const double log_n = std::log(512.0);
+  for (double eps : {0.5, 0.4, 0.3, 0.24}) {
+    Rng r1(10), r2(11);
+    const DirectedForEachSketch fe(g, eps, 1.0, r1);
+    const DirectedForAllSketch fa(g, eps, 1.0, r2);
+    // beta = 1 → symmetrization epsilon equals eps for both sketches.
+    const double fe_factor = 2.0 / eps;
+    const double fa_factor = 2.0 * log_n / (eps * eps);
+    PrintRow({F(eps, 2), I(fe.symmetric_sketch().sample().num_edges()),
+              F(predicted_kept(fe_factor), 0),
+              I(fa.symmetric_sparsifier().sparsifier().num_edges()),
+              F(predicted_kept(fa_factor), 0)});
+  }
+  std::printf(
+      "(measured kept-edge counts match the rate formulas, i.e. the\n"
+      " samplers realize exactly the Õ(n/eps) and Õ(n/eps^2) rates whose\n"
+      " optimality Theorems 1.1/1.2 establish; raw log-log exponents are\n"
+      " depressed by the harmonic strength-spectrum factor that the\n"
+      " paper's Õ(·) absorbs)\n");
+}
+
+void TableC() {
+  PrintBanner("UB/C",
+              "Sandwich on the Section 3 construction graphs: LB bits <= "
+              "exact sketch bits");
+  PrintRow({"1/eps", "sqrt(beta)", "n", "LB bits", "exact bits",
+            "exact/LB"});
+  PrintRule(6);
+  for (int inv_eps : {8, 16}) {
+    for (int sqrt_beta : {1, 2}) {
+      ForEachLowerBoundParams params;
+      params.inv_epsilon = inv_eps;
+      params.sqrt_beta = sqrt_beta;
+      params.num_layers = 2;
+      Rng rng(static_cast<uint64_t>(inv_eps * 10 + sqrt_beta));
+      const std::vector<int8_t> s =
+          rng.RandomSignString(static_cast<int>(params.total_bits()));
+      const auto encoding = ForEachEncoder(params).Encode(s);
+      const ExactDirectedSketch exact{DirectedGraph(encoding.graph)};
+      PrintRow({I(inv_eps), I(sqrt_beta), I(params.num_vertices()),
+                I(params.total_bits()), I(exact.SizeInBits()),
+                F(static_cast<double>(exact.SizeInBits()) /
+                      static_cast<double>(params.total_bits()),
+                  1)});
+    }
+  }
+  std::printf(
+      "(any sketch that answers the decoder's queries on these graphs must\n"
+      " store at least the LB bits column — the pigeonhole behind Thm 1.1)\n");
+}
+
+void TableD() {
+  // The last parameter axis: beta at fixed (n, eps). The paper's optimal
+  // constructions scale as sqrt(beta) (for-each) and beta (for-all); the
+  // library's symmetrize+difference route pays beta and beta^2 via
+  // eps_u = 2*eps/(1+beta) — the documented substitution, measured here
+  // instead of hidden.
+  PrintBanner("UB/D",
+              "Size scaling in beta at n=256, eps=0.35 (paper-optimal "
+              "exponents: 0.5 foreach / 1.0 forall)");
+  PrintRow({"beta", "fe kept", "fa kept", "fe bits", "fa bits"});
+  PrintRule(5);
+  std::vector<double> betas, fe_sizes, fa_sizes;
+  for (double beta : {1.0, 2.0, 4.0, 8.0}) {
+    Rng gen_rng(static_cast<uint64_t>(beta * 10));
+    const DirectedGraph g =
+        BidirectedMatchingUnion(256, 1024, gen_rng, beta);
+    Rng r1(20), r2(21);
+    const DirectedForEachSketch fe(g, 0.35, beta, r1);
+    const DirectedForAllSketch fa(g, 0.35, beta, r2);
+    betas.push_back(beta);
+    fe_sizes.push_back(
+        static_cast<double>(fe.symmetric_sketch().sample().num_edges()));
+    fa_sizes.push_back(static_cast<double>(
+        fa.symmetric_sparsifier().sparsifier().num_edges()));
+    PrintRow({F(beta, 0),
+              I(fe.symmetric_sketch().sample().num_edges()),
+              I(fa.symmetric_sparsifier().sparsifier().num_edges()),
+              I(fe.SizeInBits()), I(fa.SizeInBits())});
+  }
+  const LineFit fe_fit = FitLogLog(betas, fe_sizes);
+  const LineFit fa_fit = FitLogLog(betas, fa_sizes);
+  std::printf(
+      "fitted beta exponents: foreach %.2f, forall %.2f\n"
+      "(the symmetrize+difference route's raw rate grows like beta — worse\n"
+      " than the paper's optimal sqrt(beta) — but min(1, rate)-clamping\n"
+      " against the strength spectrum compresses the measured exponent,\n"
+      " and the for-all curve flattens entirely once sampling saturates\n"
+      " at keep-all; see DESIGN.md substitutions)\n",
+      fe_fit.slope, fa_fit.slope);
+}
+
+void BM_BuildDirectedForEach(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng gen_rng(1);
+  const DirectedGraph g = RandomBalancedDigraph(n, 0.4, 4.0, gen_rng);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(DirectedForEachSketch(g, 0.2, 4.0, rng));
+  }
+}
+BENCHMARK(BM_BuildDirectedForEach)->Arg(64)->Arg(128);
+
+void BM_BuildDirectedForAll(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng gen_rng(2);
+  const DirectedGraph g = RandomBalancedDigraph(n, 0.4, 4.0, gen_rng);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(DirectedForAllSketch(g, 0.2, 4.0, rng));
+  }
+}
+BENCHMARK(BM_BuildDirectedForAll)->Arg(64)->Arg(128);
+
+}  // namespace dcs
+
+int main(int argc, char** argv) {
+  dcs::TableA();
+  dcs::TableB();
+  dcs::TableC();
+  dcs::TableD();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

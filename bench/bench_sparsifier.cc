@@ -1,0 +1,273 @@
+// Experiment SPARS — substrate validation: Benczúr–Karger for-all
+// sparsifiers ([BK96], the upper bound Theorem 1.2 is tight against in the
+// undirected case) and the simple for-each sampler.
+//
+// Tables produced:
+//   A: sparsifier edge counts vs the n·ln(n)/ε² law and worst cut error
+//      over sampled cuts.
+//   B: for-each sampler size (∝ n/ε) and per-cut error distribution.
+//   C: ablation — strength-based importance sampling vs uniform sampling
+//      at matched expected size (uniform destroys small cuts).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "mincut/nagamochi_ibaraki.h"
+#include "mincut/stoer_wagner.h"
+#include "sketch/sampled_sketches.h"
+#include "spectral/laplacian.h"
+#include "table.h"
+#include "util/stats.h"
+
+namespace dcs {
+
+using bench::E;
+using bench::F;
+using bench::I;
+using bench::PrintBanner;
+using bench::PrintRow;
+using bench::PrintRule;
+
+// Worst relative error over singleton cuts plus `samples` random cuts.
+double WorstSampledCutError(const UndirectedGraph& g,
+                            const UndirectedCutSketch& sketch, int samples,
+                            Rng& rng) {
+  const int n = g.num_vertices();
+  if (n <= 0) return 0;
+  double worst = 0;
+  auto probe = [&](const VertexSet& side) {
+    const double exact = g.CutWeight(side);
+    if (exact <= 0) return;
+    worst = std::max(worst,
+                     std::abs(sketch.EstimateCut(side) - exact) / exact);
+  };
+  for (int v = 0; v < n; ++v) probe(MakeVertexSet(n, {v}));
+  VertexSet side(static_cast<size_t>(n));
+  for (int s = 0; s < samples; ++s) {
+    for (auto& b : side) b = static_cast<uint8_t>(rng.Next() & 1);
+    if (IsProperCutSide(side)) probe(side);
+  }
+  return worst;
+}
+
+void TableA() {
+  PrintBanner("SPARS/A",
+              "Benczur-Karger sparsifier: edges vs n*ln(n)/eps^2, worst cut "
+              "error");
+  PrintRow({"n", "eps", "m", "kept", "n ln n/e^2", "kept/formula",
+            "worst err", "err/eps"});
+  PrintRule(8);
+  for (int n : {64, 128, 256}) {
+    for (double eps : {0.4, 0.2}) {
+      const UndirectedGraph g = CompleteGraph(n, 1.0);
+      Rng rng(static_cast<uint64_t>(n * 100 + eps * 10));
+      const BenczurKargerSparsifier sketch(g, eps, rng);
+      Rng cut_rng(7);
+      const double err = WorstSampledCutError(g, sketch, 300, cut_rng);
+      const double formula = n * std::log(n) / (eps * eps);
+      PrintRow({I(n), F(eps, 2), I(g.num_edges()),
+                I(sketch.sparsifier().num_edges()), F(formula, 0),
+                F(sketch.sparsifier().num_edges() / formula, 2), F(err, 3),
+                F(err / eps, 2)});
+    }
+  }
+  std::printf(
+      "(paper/BK96: O(n log n/eps^2) edges with all cuts within (1+/-eps);\n"
+      " kept/formula bounded, err/eps bounded by a small constant)\n");
+}
+
+void TableB() {
+  PrintBanner("SPARS/B", "For-each sampler: size ~ n/eps, per-cut error");
+  PrintRow({"n", "eps", "kept", "c*n/eps", "mean err", "p95 err"});
+  PrintRule(6);
+  for (int n : {96, 192}) {
+    for (double eps : {0.4, 0.2, 0.1}) {
+      const UndirectedGraph g = CompleteGraph(n, 1.0);
+      const VertexSet side = MakeVertexSet(n, {0, 3, 5, 7, 11, 13});
+      const double exact = g.CutWeight(side);
+      std::vector<double> errors;
+      int64_t kept = 0;
+      const int builds = 25;
+      for (int b = 0; b < builds; ++b) {
+        Rng rng(static_cast<uint64_t>(n + b * 1000 + eps * 10));
+        const ForEachCutSketch sketch(g, eps, rng);
+        kept += sketch.sample().num_edges() / builds;
+        errors.push_back(std::abs(sketch.EstimateCut(side) - exact) / exact);
+      }
+      PrintRow({I(n), F(eps, 2), I(kept), F(2.0 * n / eps, 0),
+                F(Mean(errors), 3), F(Percentile(errors, 95), 3)});
+    }
+  }
+  std::printf(
+      "(the simple sampler's per-cut error scales like sqrt(eps) at size\n"
+      " n/eps — the documented gap to [ACK+16]'s optimal eps at the same\n"
+      " size; see DESIGN.md substitutions)\n");
+}
+
+void TableC() {
+  PrintBanner("SPARS/C",
+              "Ablation: strength-based vs uniform sampling at matched size "
+              "(dumbbell, min cut 3)");
+  const UndirectedGraph g = DumbbellGraph(48, 3);
+  const double exact_mincut = StoerWagnerMinCut(g).value;
+  PrintRow({"sampler", "kept", "mincut est", "exact", "bridge preserved"});
+  PrintRule(5);
+  // Strength-based: bridges have strength ~1 → always kept.
+  Rng rng1(1);
+  const UndirectedGraph strength_sample =
+      ImportanceSampleByStrength(g, 6.0, rng1);
+  const double strength_mincut = StoerWagnerMinCut(strength_sample).value;
+  // Uniform: same expected edge count, probability m_kept/m for every edge.
+  const double target_p =
+      static_cast<double>(strength_sample.num_edges()) /
+      static_cast<double>(g.num_edges());
+  Rng rng2(2);
+  UndirectedGraph uniform_sample(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    if (rng2.Bernoulli(target_p)) {
+      uniform_sample.AddEdge(e.src, e.dst, e.weight / target_p);
+    }
+  }
+  const double uniform_mincut = StoerWagnerMinCut(uniform_sample).value;
+  PrintRow({"strength", I(strength_sample.num_edges()),
+            F(strength_mincut, 2), F(exact_mincut, 2),
+            strength_mincut > 0 ? "yes" : "NO"});
+  PrintRow({"uniform", I(uniform_sample.num_edges()), F(uniform_mincut, 2),
+            F(exact_mincut, 2), uniform_mincut > 0 ? "yes" : "NO"});
+  std::printf(
+      "(uniform sampling at the same budget misses or distorts the 3-edge\n"
+      " bridge cut; strength-based sampling keeps weak edges surely)\n");
+}
+
+void TableD() {
+  PrintBanner("SPARS/D",
+              "Estimator ablation: crossing-edge vs degree-complement "
+              "for-each sketches");
+  // Same budget, two cuts of equal value 8: one around a dense block
+  // (large internal weight) and one around a sparse tail (none).
+  const int n = 24;
+  UndirectedGraph g(n);
+  for (int u = 0; u < 16; ++u) {
+    for (int v = u + 1; v < 16; ++v) g.AddEdge(u, v, 1.0);
+  }
+  for (int v = 16; v < n; ++v) g.AddEdge(0, v, 1.0);
+  VertexSet dense_side(static_cast<size_t>(n), 0);
+  for (int v = 0; v < 16; ++v) dense_side[static_cast<size_t>(v)] = 1;
+  const VertexSet sparse_side = ComplementSet(dense_side);
+  PrintRow({"estimator", "cut", "mean |err|", "p95 |err|"});
+  PrintRule(4);
+  for (const bool use_degree : {false, true}) {
+    for (const bool dense : {true, false}) {
+      const VertexSet& side = dense ? dense_side : sparse_side;
+      std::vector<double> errors;
+      for (uint64_t seed = 0; seed < 60; ++seed) {
+        Rng rng(seed + 500);
+        double estimate;
+        if (use_degree) {
+          const DegreeComplementSketch sketch(g, 0.4, rng);
+          estimate = sketch.EstimateCut(side);
+        } else {
+          const ForEachCutSketch sketch(g, 0.4, rng);
+          estimate = sketch.EstimateCut(side);
+        }
+        errors.push_back(std::abs(estimate - 8.0));
+      }
+      PrintRow({use_degree ? "degree-complement" : "crossing-edge",
+                dense ? "dense side" : "sparse side", F(Mean(errors), 3),
+                F(Percentile(errors, 95), 3)});
+    }
+  }
+  std::printf(
+      "(the degree-complement identity cut(S) = deg(S) - 2*w(S,S) is "
+      "exact\n when S has no internal weight but noisy around dense "
+      "blocks; the\n crossing-edge estimator's error tracks the cut value "
+      "instead)\n");
+}
+
+void TableE() {
+  PrintBanner("SPARS/E",
+              "Sampler ablation: NI-strength vs effective-resistance "
+              "(Spielman-Srivastava) rates");
+  PrintRow({"graph", "sampler", "kept", "worst err (sampled cuts)"});
+  PrintRule(4);
+  struct Workload {
+    const char* name;
+    UndirectedGraph graph;
+  };
+  Rng gen_rng(1);
+  std::vector<Workload> workloads;
+  workloads.push_back({"K_80", CompleteGraph(80, 1.0)});
+  workloads.push_back({"dumbbell", DumbbellGraph(40, 2)});
+  for (auto& workload : workloads) {
+    // Matched expected sizes: tune the resistance rate first, then feed the
+    // strength sampler the factor giving a similar count.
+    Rng r1(11);
+    const UndirectedGraph spectral =
+        SpectralSparsify(workload.graph, 0.5, r1, 0.5);
+    Rng r2(12);
+    const UndirectedGraph strength = ImportanceSampleByStrength(
+        workload.graph,
+        0.5 * std::log(static_cast<double>(workload.graph.num_vertices())) /
+            0.25,
+        r2);
+    for (const auto& [name, sample] :
+         {std::pair<const char*, const UndirectedGraph*>{"resistance",
+                                                         &spectral},
+          {"strength", &strength}}) {
+      double worst = 0;
+      Rng cut_rng(13);
+      for (int trial = 0; trial < 200; ++trial) {
+        VertexSet side(
+            static_cast<size_t>(workload.graph.num_vertices()));
+        for (auto& b : side) b = static_cast<uint8_t>(cut_rng.Next() & 1);
+        if (!IsProperCutSide(side)) continue;
+        const double exact = workload.graph.CutWeight(side);
+        if (exact <= 0) continue;
+        worst = std::max(
+            worst, std::abs(sample->CutWeight(side) - exact) / exact);
+      }
+      PrintRow({workload.name, name, I(sample->num_edges()), F(worst, 3)});
+    }
+  }
+  std::printf(
+      "(both importance measures preserve cuts at comparable budgets;\n"
+      " resistances additionally certify spectral closeness [SS11] at the\n"
+      " cost of a Laplacian solve instead of forest peeling)\n");
+}
+
+void BM_NagamochiIbarakiStrengths(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const UndirectedGraph g = CompleteGraph(n, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NagamochiIbarakiStrengths(g));
+  }
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_NagamochiIbarakiStrengths)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_BuildBkSparsifier(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const UndirectedGraph g = CompleteGraph(n, 1.0);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(BenczurKargerSparsifier(g, 0.3, rng));
+  }
+}
+BENCHMARK(BM_BuildBkSparsifier)->Arg(64)->Arg(128);
+
+}  // namespace dcs
+
+int main(int argc, char** argv) {
+  dcs::TableA();
+  dcs::TableB();
+  dcs::TableC();
+  dcs::TableD();
+  dcs::TableE();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Experiment SPEC — the spectral substrate (related work: [SS11], [ST11],
+// spectral sketches).
+//
+// Claims reproduced: effective resistances obey the closed forms (K_n:
+// 2/n; C_n: d(n−d)/n; series/parallel laws) and Foster's theorem
+// Σ w_e R_e = n−1; sampling by w·R (Spielman–Srivastava) yields cut
+// sparsifiers whose size scales like n·log(n)/ε².
+//
+// Tables produced:
+//   A: closed-form resistances vs computed values.
+//   B: Foster's theorem across workloads.
+//   C: spectral sparsifier size & worst sampled-cut error vs ε.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "spectral/laplacian.h"
+#include "table.h"
+#include "util/random.h"
+
+namespace dcs {
+
+using bench::F;
+using bench::I;
+using bench::PrintBanner;
+using bench::PrintRow;
+using bench::PrintRule;
+
+void TableA() {
+  PrintBanner("SPEC/A", "Effective resistances vs closed forms");
+  PrintRow({"graph", "pair", "computed", "closed form"});
+  PrintRule(4);
+  {
+    const UndirectedGraph g = CompleteGraph(12, 1.0);
+    const EffectiveResistances r(g);
+    PrintRow({"K_12", "(0,7)", F(r.Resistance(0, 7), 6), F(2.0 / 12, 6)});
+  }
+  {
+    const UndirectedGraph g = CycleGraph(10, 1.0);
+    const EffectiveResistances r(g);
+    PrintRow({"C_10", "(0,3)", F(r.Resistance(0, 3), 6),
+              F(3.0 * 7 / 10, 6)});
+    PrintRow({"C_10", "(0,5)", F(r.Resistance(0, 5), 6),
+              F(5.0 * 5 / 10, 6)});
+  }
+  {
+    UndirectedGraph g(4);
+    for (int v = 0; v < 3; ++v) g.AddEdge(v, v + 1, 2.0);  // series
+    const EffectiveResistances r(g);
+    PrintRow({"path w=2", "(0,3)", F(r.Resistance(0, 3), 6),
+              F(3.0 / 2, 6)});
+  }
+}
+
+void TableB() {
+  PrintBanner("SPEC/B", "Foster's theorem: sum of w_e*R_e = n-1");
+  PrintRow({"graph", "n", "sum w*R", "n-1"});
+  PrintRule(4);
+  struct Workload {
+    const char* name;
+    UndirectedGraph graph;
+  };
+  Rng rng(1);
+  std::vector<Workload> workloads;
+  workloads.push_back({"K_24", CompleteGraph(24, 1.0)});
+  workloads.push_back({"grid 6x8", GridGraph(6, 8)});
+  workloads.push_back(
+      {"pref-attach", PreferentialAttachmentGraph(40, 3, rng)});
+  workloads.push_back(
+      {"G(32, .3)", RandomUndirectedGraph(32, 0.3, 0.5, 2.0, true, rng)});
+  for (const Workload& workload : workloads) {
+    const EffectiveResistances r(workload.graph);
+    const std::vector<double> edge_r = r.EdgeResistances();
+    double total = 0;
+    for (size_t i = 0; i < edge_r.size(); ++i) {
+      total += workload.graph.edges()[i].weight * edge_r[i];
+    }
+    PrintRow({workload.name, I(workload.graph.num_vertices()), F(total, 6),
+              I(workload.graph.num_vertices() - 1)});
+  }
+}
+
+void TableC() {
+  PrintBanner("SPEC/C",
+              "Spielman-Srivastava sparsifier: size and cut error vs eps "
+              "(K_128)");
+  const UndirectedGraph g = CompleteGraph(128, 1.0);
+  PrintRow({"eps", "kept", "c n ln n/e^2", "worst cut err", "err/eps"});
+  PrintRule(5);
+  for (double eps : {0.6, 0.4, 0.25}) {
+    Rng rng(static_cast<uint64_t>(eps * 100));
+    const UndirectedGraph h = SpectralSparsify(g, eps, rng, 0.5);
+    double worst = 0;
+    Rng cut_rng(3);
+    for (int trial = 0; trial < 200; ++trial) {
+      VertexSet side(128);
+      for (auto& b : side) b = static_cast<uint8_t>(cut_rng.Next() & 1);
+      if (!IsProperCutSide(side)) continue;
+      const double exact = g.CutWeight(side);
+      worst = std::max(worst, std::abs(h.CutWeight(side) - exact) / exact);
+    }
+    const double formula =
+        0.5 * 128 * std::log(128.0) / (eps * eps);
+    PrintRow({F(eps, 2), I(h.num_edges()), F(formula, 0), F(worst, 3),
+              F(worst / eps, 2)});
+  }
+  std::printf("(a spectral sparsifier is in particular a cut sparsifier;\n"
+              " err/eps stays below a small constant)\n");
+}
+
+void BM_EffectiveResistances(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const UndirectedGraph g = CompleteGraph(n, 1.0);
+  for (auto _ : state) {
+    const EffectiveResistances r(g);
+    benchmark::DoNotOptimize(r.Resistance(0, 1));
+  }
+}
+BENCHMARK(BM_EffectiveResistances)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SpectralSparsify(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const UndirectedGraph g = CompleteGraph(n, 1.0);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    benchmark::DoNotOptimize(SpectralSparsify(g, 0.4, rng, 0.5));
+  }
+}
+BENCHMARK(BM_SpectralSparsify)->Arg(64)->Arg(128);
+
+}  // namespace dcs
+
+int main(int argc, char** argv) {
+  dcs::TableA();
+  dcs::TableB();
+  dcs::TableC();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Scenario: a graph's edges live on several servers (say, per-datacenter
+// traffic logs), and a coordinator wants the global minimum cut without
+// shipping all edges. Each server uploads a constant-accuracy for-all
+// sparsifier plus an accurate for-each sketch; the coordinator enumerates
+// candidate cuts from the former and scores them with the latter — the
+// exact pipeline that motivates the paper's lower bounds.
+//
+//   $ ./build/examples/distributed_mincut
+
+#include <cstdio>
+
+#include "distributed/distributed_mincut.h"
+#include "graph/generators.h"
+#include "mincut/stoer_wagner.h"
+#include "util/random.h"
+
+int main() {
+  // Two dense communities joined by 5 cross links: min cut = 5.
+  const dcs::UndirectedGraph graph = dcs::DumbbellGraph(60, 5);
+  const dcs::GlobalMinCut truth = dcs::StoerWagnerMinCut(graph);
+  std::printf("hidden graph: n=%d, m=%lld, true min cut %.1f\n",
+              graph.num_vertices(),
+              static_cast<long long>(graph.num_edges()), truth.value);
+
+  dcs::Rng rng(2024);
+  const int num_servers = 6;
+  dcs::DistributedMinCutOptions options;
+  options.epsilon = 0.1;         // target accuracy of the final answer
+  options.coarse_epsilon = 0.2;  // accuracy of the candidate-finding pass
+  const std::vector<dcs::UndirectedGraph> servers =
+      dcs::PartitionEdges(graph, num_servers, rng);
+  std::printf("edges partitioned across %d servers (%lld..%lld each)\n",
+              num_servers,
+              static_cast<long long>(servers.front().num_edges()),
+              static_cast<long long>(servers.back().num_edges()));
+
+  const dcs::DistributedMinCutPipeline pipeline(servers, options, rng);
+  const auto result = pipeline.Run(rng);
+
+  std::printf("\ncoordinator result:\n");
+  std::printf("  candidates scored : %d\n", result.candidates_considered);
+  std::printf("  estimated min cut : %.2f (true %.1f)\n", result.estimate,
+              truth.value);
+  std::printf("  cut side size     : %d of %d vertices\n",
+              dcs::SetSize(result.best_side), graph.num_vertices());
+  std::printf("\ncommunication:\n");
+  std::printf("  for-all sketches  : %lld bits\n",
+              static_cast<long long>(result.forall_bits));
+  std::printf("  for-each sketches : %lld bits\n",
+              static_cast<long long>(result.foreach_bits));
+  std::printf("  naive (ship all)  : %lld bits\n",
+              static_cast<long long>(pipeline.NaiveShipAllBits()));
+  std::printf(
+      "\n(the for-each pass is what makes the accuracy cheap: its size\n"
+      " grows like 1/epsilon instead of the 1/epsilon^2 a for-all sketch\n"
+      " would need — and Theorem 1.1 proves that is the best possible)\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Scenario: the graph is hidden behind a degree/neighbor/adjacency oracle
+// (think: a huge social graph you can only probe through an API), and you
+// want a (1±ε) estimate of its global min cut while paying per query.
+// Runs the VERIFY-GUESS estimator in both variants — the original [BGMP21]
+// search and the paper's Theorem 5.7 modification — and compares query
+// bills, including on the paper's own hard instances G_{x,y}.
+//
+//   $ ./build/examples/local_query_demo
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "localquery/mincut_estimator.h"
+#include "lowerbound/twosum_graph.h"
+#include "mincut/stoer_wagner.h"
+#include "util/random.h"
+
+namespace {
+
+void Report(const char* name, const dcs::UndirectedGraph& graph,
+            double epsilon, uint64_t seed) {
+  const double exact = dcs::StoerWagnerMinCut(graph).value;
+  std::printf("\n%s (n=%d, m=%lld, true min cut %.0f, eps=%.2f)\n", name,
+              graph.num_vertices(),
+              static_cast<long long>(graph.num_edges()), exact, epsilon);
+  for (const auto mode : {dcs::SearchMode::kOriginalEpsilonSearch,
+                          dcs::SearchMode::kModifiedConstantSearch}) {
+    dcs::Rng rng(seed);
+    const dcs::LocalQueryMinCutResult result =
+        dcs::EstimateMinCutLocalQueries(graph, epsilon, mode, rng);
+    std::printf(
+        "  %-22s estimate %8.1f | queries: %7lld deg, %8lld nbr, "
+        "%4lld adj | comm %lld bits\n",
+        mode == dcs::SearchMode::kOriginalEpsilonSearch
+            ? "original (eps search)"
+            : "modified (Thm 5.7)",
+        result.estimate, static_cast<long long>(result.counts.degree),
+        static_cast<long long>(result.counts.neighbor),
+        static_cast<long long>(result.counts.adjacency),
+        static_cast<long long>(result.communication_bits));
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A planted-cut instance: two communities with 8 cross edges.
+  Report("dumbbell", dcs::DumbbellGraph(24, 8), 0.25, 11);
+
+  // A high-multiplicity regular multigraph — the regime where the modified
+  // search's 1/eps^2 beats the original's 1/eps^4.
+  dcs::Rng gen_rng(1);
+  Report("4096-regular multigraph",
+         dcs::UnionOfRandomMatchings(64, 4096, gen_rng), 0.3, 13);
+
+  // The paper's lower-bound instance G_{x,y} with min cut 2*INT = 6.
+  std::vector<uint8_t> x(40 * 40, 0), y(40 * 40, 0);
+  dcs::Rng pos_rng(2);
+  for (int pos : pos_rng.RandomSubset(1600, 3)) {
+    x[static_cast<size_t>(pos)] = 1;
+    y[static_cast<size_t>(pos)] = 1;
+  }
+  Report("G_{x,y} hard instance", dcs::BuildTwoSumGraph(x, y), 0.25, 17);
+
+  std::printf(
+      "\n(Theorem 1.3: any algorithm needs Omega(min{m, m/(eps^2 k)})\n"
+      " queries on graphs like the last one; the modified estimator gets\n"
+      " within polylog factors of that)\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+#include "comm/gap_hamming.h"
+
+#include <cmath>
+
+namespace dcs {
+
+int HammingDistance(const std::vector<uint8_t>& a,
+                    const std::vector<uint8_t>& b) {
+  DCS_CHECK_EQ(a.size(), b.size());
+  int distance = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] != 0) != (b[i] != 0)) ++distance;
+  }
+  return distance;
+}
+
+GapHammingInstance SampleGapHammingInstance(const GapHammingParams& params,
+                                            Rng& rng) {
+  DCS_CHECK_GE(params.num_strings, 1);
+  DCS_CHECK_GE(params.string_length, 2);
+  DCS_CHECK_EQ(params.string_length % 2, 0);
+  DCS_CHECK_GT(params.gap_c, 0);
+  const int length = params.string_length;
+  const int weight = length / 2;
+  // length plays the role of 1/ε², so 1/ε = sqrt(length).
+  const double gap = params.gap_c * std::sqrt(static_cast<double>(length));
+
+  GapHammingInstance instance;
+  instance.params = params;
+  instance.index = static_cast<int>(
+      rng.UniformInt(static_cast<uint64_t>(params.num_strings)));
+  instance.is_far = rng.Bernoulli(0.5);
+  instance.s.resize(static_cast<size_t>(params.num_strings));
+  for (int i = 0; i < params.num_strings; ++i) {
+    instance.s[static_cast<size_t>(i)] =
+        rng.RandomBinaryStringWithWeight(length, weight);
+  }
+  // Rejection-sample (s_index, t) conditioned on the promised tail. The
+  // Hamming distance of two random weight-L/2 strings concentrates at L/2
+  // with Θ(√L) standard deviation, so for moderate gap_c each tail has
+  // constant mass and this loop is short.
+  const double high_threshold = length / 2.0 + gap;
+  const double low_threshold = length / 2.0 - gap;
+  int guard = 0;
+  while (true) {
+    DCS_CHECK_LT(++guard, 1000000);
+    instance.s[static_cast<size_t>(instance.index)] =
+        rng.RandomBinaryStringWithWeight(length, weight);
+    instance.t = rng.RandomBinaryStringWithWeight(length, weight);
+    const int distance = HammingDistance(
+        instance.s[static_cast<size_t>(instance.index)], instance.t);
+    if (instance.is_far && distance >= high_threshold) break;
+    if (!instance.is_far && distance <= low_threshold) break;
+  }
+  return instance;
+}
+
+Message GapHammingTrivialEncode(
+    const std::vector<std::vector<uint8_t>>& strings) {
+  BitWriter writer;
+  for (const auto& s : strings) {
+    for (uint8_t bit : s) writer.WriteBit(bit ? 1 : 0);
+  }
+  return SealMessage(writer);
+}
+
+bool GapHammingTrivialDecode(const Message& message,
+                             const GapHammingParams& params, int index,
+                             const std::vector<uint8_t>& t) {
+  DCS_CHECK_GE(index, 0);
+  DCS_CHECK_LT(index, params.num_strings);
+  DCS_CHECK_EQ(static_cast<int>(t.size()), params.string_length);
+  BitReader reader = OpenMessage(message);
+  const int64_t skip =
+      static_cast<int64_t>(index) * params.string_length;
+  for (int64_t i = 0; i < skip; ++i) reader.ReadBit();
+  std::vector<uint8_t> s(static_cast<size_t>(params.string_length));
+  for (int i = 0; i < params.string_length; ++i) {
+    s[static_cast<size_t>(i)] = static_cast<uint8_t>(reader.ReadBit());
+  }
+  return HammingDistance(s, t) >= params.string_length / 2;
+}
+
+}  // namespace dcs

@@ -1,0 +1,63 @@
+// The distributional h-fold Gap-Hamming problem (Lemma 4.1, [ACK+16]).
+//
+// Alice holds h strings s_1..s_h ∈ {0,1}^(1/ε²), each of Hamming weight
+// 1/(2ε²). Bob holds an index i and a string t of the same weight, with
+// Δ(s_i, t) promised to be ≥ 1/(2ε²) + c/ε ("far") or ≤ 1/(2ε²) − c/ε
+// ("close"), each with probability 1/2. Any one-way protocol that lets Bob
+// decide which case holds with probability ≥ 2/3 needs Ω(h/ε²) bits.
+//
+// The for-all lower-bound construction (Section 4) encodes these strings
+// into forward edge weights {1, 2}; this module provides the instance
+// distribution and the trivial exact protocol.
+
+#ifndef DCS_COMM_GAP_HAMMING_H_
+#define DCS_COMM_GAP_HAMMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/message.h"
+#include "util/random.h"
+
+namespace dcs {
+
+// Parameters of the distribution.
+struct GapHammingParams {
+  int num_strings = 1;    // h
+  int string_length = 4;  // 1/ε² (must be even; weight is length/2)
+  double gap_c = 0.5;     // the constant c in the ±c/ε gap
+};
+
+// One sampled instance.
+struct GapHammingInstance {
+  GapHammingParams params;
+  std::vector<std::vector<uint8_t>> s;  // Alice's h strings
+  int index = 0;                        // Bob's index i
+  std::vector<uint8_t> t;               // Bob's string
+  bool is_far = false;                  // true iff Δ(s_i, t) is in the high tail
+};
+
+// Hamming distance between equal-length binary strings.
+int HammingDistance(const std::vector<uint8_t>& a,
+                    const std::vector<uint8_t>& b);
+
+// Samples an instance. The (s_i, t) pair is drawn by rejection sampling
+// conditioned on the promised gap; `is_far` records the drawn case.
+// Requires string_length even and gap_c·sqrt(string_length) ≥ 1 reachable
+// (always true for the parameters used here).
+GapHammingInstance SampleGapHammingInstance(const GapHammingParams& params,
+                                            Rng& rng);
+
+// Trivial protocol: Alice sends all h strings verbatim (h·length bits).
+Message GapHammingTrivialEncode(
+    const std::vector<std::vector<uint8_t>>& strings);
+
+// Bob decides "far" (true) or "close" (false) exactly from the trivial
+// message.
+bool GapHammingTrivialDecode(const Message& message,
+                             const GapHammingParams& params, int index,
+                             const std::vector<uint8_t>& t);
+
+}  // namespace dcs
+
+#endif  // DCS_COMM_GAP_HAMMING_H_

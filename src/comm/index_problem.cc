@@ -1,0 +1,28 @@
+#include "comm/index_problem.h"
+
+namespace dcs {
+
+IndexInstance SampleIndexInstance(int64_t length, Rng& rng) {
+  DCS_CHECK_GE(length, 1);
+  IndexInstance instance;
+  instance.s = rng.RandomSignString(static_cast<int>(length));
+  instance.index = static_cast<int64_t>(
+      rng.UniformInt(static_cast<uint64_t>(length)));
+  return instance;
+}
+
+Message IndexTrivialEncode(const std::vector<int8_t>& s) {
+  BitWriter writer;
+  for (int8_t sign : s) writer.WriteBit(sign > 0 ? 1 : 0);
+  return SealMessage(writer);
+}
+
+int8_t IndexTrivialDecode(const Message& message, int64_t index) {
+  DCS_CHECK_GE(index, 0);
+  DCS_CHECK_LT(index, message.bit_count);
+  BitReader reader = OpenMessage(message);
+  for (int64_t i = 0; i < index; ++i) reader.ReadBit();
+  return reader.ReadBit() ? 1 : -1;
+}
+
+}  // namespace dcs

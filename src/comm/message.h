@@ -1,0 +1,37 @@
+// One-way communication messages with exact bit accounting.
+//
+// The paper's lower bounds all follow the same template: Alice encodes her
+// input into a graph, sends Bob a sketch (the message), and Bob decodes.
+// This header defines the message type those reductions exchange; the
+// transcript length in bits is the quantity the theorems lower-bound.
+
+#ifndef DCS_COMM_MESSAGE_H_
+#define DCS_COMM_MESSAGE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/bitio.h"
+
+namespace dcs {
+
+// A finished one-way message: packed bytes plus the exact bit length.
+struct Message {
+  std::vector<uint8_t> bytes;
+  int64_t bit_count = 0;
+};
+
+// Seals a BitWriter into a Message.
+inline Message SealMessage(const BitWriter& writer) {
+  return Message{writer.bytes(), writer.bit_count()};
+}
+
+// Opens a Message for reading. The message must outlive the reader.
+inline BitReader OpenMessage(const Message& message) {
+  return BitReader(message.bytes);
+}
+
+}  // namespace dcs
+
+#endif  // DCS_COMM_MESSAGE_H_

@@ -1,0 +1,142 @@
+#include "comm/two_sum.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcs {
+
+int IntersectionCount(const std::vector<uint8_t>& x,
+                      const std::vector<uint8_t>& y) {
+  DCS_CHECK_EQ(x.size(), y.size());
+  int count = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] && y[i]) ++count;
+  }
+  return count;
+}
+
+int Disjointness(const std::vector<uint8_t>& x,
+                 const std::vector<uint8_t>& y) {
+  return IntersectionCount(x, y) == 0 ? 1 : 0;
+}
+
+namespace {
+
+// Fills one (X, Y) pair with INT exactly `alpha` (if intersect) or 0.
+void SamplePair(int length, int alpha, bool intersect, Rng& rng,
+                std::vector<uint8_t>& x, std::vector<uint8_t>& y) {
+  x.assign(static_cast<size_t>(length), 0);
+  y.assign(static_cast<size_t>(length), 0);
+  // Budget extra (non-shared) ones so supports stay disjoint off the shared
+  // positions: a third of the remaining positions to each side.
+  const int shared = intersect ? alpha : 0;
+  const int extra_each = std::max(0, (length - shared) / 3);
+  const std::vector<int> positions =
+      rng.RandomSubset(length, shared + 2 * extra_each);
+  // `positions` is sorted; shuffle to assign roles uniformly.
+  std::vector<int> roles = positions;
+  rng.Shuffle(roles);
+  int cursor = 0;
+  for (int i = 0; i < shared; ++i) {
+    x[static_cast<size_t>(roles[static_cast<size_t>(cursor)])] = 1;
+    y[static_cast<size_t>(roles[static_cast<size_t>(cursor)])] = 1;
+    ++cursor;
+  }
+  for (int i = 0; i < extra_each; ++i) {
+    x[static_cast<size_t>(roles[static_cast<size_t>(cursor)])] = 1;
+    ++cursor;
+  }
+  for (int i = 0; i < extra_each; ++i) {
+    y[static_cast<size_t>(roles[static_cast<size_t>(cursor)])] = 1;
+    ++cursor;
+  }
+}
+
+}  // namespace
+
+TwoSumInstance SampleTwoSumInstance(const TwoSumParams& params, Rng& rng) {
+  DCS_CHECK_GE(params.num_pairs, 1);
+  DCS_CHECK_GE(params.alpha, 1);
+  DCS_CHECK_LE(2 * params.alpha, params.string_length);
+  DCS_CHECK_GE(params.intersect_fraction, 1.0 / 1000);
+  DCS_CHECK_LE(params.intersect_fraction, 1.0);
+  TwoSumInstance instance;
+  instance.params = params;
+  instance.x.resize(static_cast<size_t>(params.num_pairs));
+  instance.y.resize(static_cast<size_t>(params.num_pairs));
+  // Exact number of intersecting pairs, at least one and at least the
+  // Definition 5.2 promise.
+  const int intersecting = std::max(
+      1, static_cast<int>(std::lround(params.intersect_fraction *
+                                      params.num_pairs)));
+  const std::vector<int> which =
+      rng.RandomSubset(params.num_pairs, intersecting);
+  std::vector<uint8_t> is_intersecting(
+      static_cast<size_t>(params.num_pairs), 0);
+  for (int i : which) is_intersecting[static_cast<size_t>(i)] = 1;
+  for (int i = 0; i < params.num_pairs; ++i) {
+    SamplePair(params.string_length, params.alpha,
+               is_intersecting[static_cast<size_t>(i)] != 0, rng,
+               instance.x[static_cast<size_t>(i)],
+               instance.y[static_cast<size_t>(i)]);
+  }
+  instance.disjoint_count = params.num_pairs - intersecting;
+  return instance;
+}
+
+TwoSumInstance ConcatenateAlphaCopies(const TwoSumInstance& base, int alpha) {
+  DCS_CHECK_GE(alpha, 1);
+  TwoSumInstance expanded;
+  expanded.params = base.params;
+  expanded.params.string_length = base.params.string_length * alpha;
+  expanded.params.alpha = base.params.alpha * alpha;
+  expanded.disjoint_count = base.disjoint_count;
+  expanded.x.resize(base.x.size());
+  expanded.y.resize(base.y.size());
+  for (size_t i = 0; i < base.x.size(); ++i) {
+    for (int copy = 0; copy < alpha; ++copy) {
+      expanded.x[i].insert(expanded.x[i].end(), base.x[i].begin(),
+                           base.x[i].end());
+      expanded.y[i].insert(expanded.y[i].end(), base.y[i].begin(),
+                           base.y[i].end());
+    }
+  }
+  return expanded;
+}
+
+std::vector<uint8_t> ConcatenateStrings(
+    const std::vector<std::vector<uint8_t>>& strings) {
+  std::vector<uint8_t> result;
+  for (const auto& s : strings) {
+    result.insert(result.end(), s.begin(), s.end());
+  }
+  return result;
+}
+
+Message TwoSumTrivialEncode(const std::vector<std::vector<uint8_t>>& x) {
+  BitWriter writer;
+  for (const auto& s : x) {
+    for (uint8_t bit : s) writer.WriteBit(bit ? 1 : 0);
+  }
+  return SealMessage(writer);
+}
+
+int TwoSumTrivialDecode(const Message& message, const TwoSumParams& params,
+                        const std::vector<std::vector<uint8_t>>& y) {
+  DCS_CHECK_EQ(static_cast<int>(y.size()), params.num_pairs);
+  BitReader reader = OpenMessage(message);
+  int disjoint = 0;
+  for (int i = 0; i < params.num_pairs; ++i) {
+    bool intersects = false;
+    for (int j = 0; j < params.string_length; ++j) {
+      const int bit = reader.ReadBit();
+      if (bit && y[static_cast<size_t>(i)][static_cast<size_t>(j)]) {
+        intersects = true;
+      }
+    }
+    if (!intersects) ++disjoint;
+  }
+  return disjoint;
+}
+
+}  // namespace dcs

@@ -1,0 +1,75 @@
+// The 2-SUM(t, L, α) problem (Definitions 5.1/5.2, [WZ14]).
+//
+// Alice holds t binary strings X^1..X^t of length L; Bob holds Y^1..Y^t.
+// Every pair satisfies INT(X^i, Y^i) ∈ {0, α}, and at least a 1/1000
+// fraction intersect. The players must approximate Σ_i DISJ(X^i, Y^i) to
+// additive error √t. Expected communication is Ω(tL/α) (Theorem 5.4, via
+// the α-fold concatenation reduction from 2-SUM(t, L/α, 1)).
+//
+// The min-cut query lower bound (Theorem 1.3) reduces this problem to
+// estimating MINCUT(G_{x,y}) where x, y are the concatenations of Alice's
+// and Bob's strings (see src/lowerbound/twosum_graph.h).
+
+#ifndef DCS_COMM_TWO_SUM_H_
+#define DCS_COMM_TWO_SUM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/message.h"
+#include "util/random.h"
+
+namespace dcs {
+
+// INT(x, y) = #indices where both strings are 1. Requires equal lengths.
+int IntersectionCount(const std::vector<uint8_t>& x,
+                      const std::vector<uint8_t>& y);
+
+// DISJ(x, y) = 1 if INT(x, y) == 0, else 0.
+int Disjointness(const std::vector<uint8_t>& x,
+                 const std::vector<uint8_t>& y);
+
+// Parameters of a 2-SUM instance.
+struct TwoSumParams {
+  int num_pairs = 1;        // t
+  int string_length = 16;   // L
+  int alpha = 1;            // promised intersection size when nonzero
+  // Fraction of pairs forced to intersect (>= 1/1000 per Definition 5.2).
+  double intersect_fraction = 0.5;
+};
+
+// One sampled instance.
+struct TwoSumInstance {
+  TwoSumParams params;
+  std::vector<std::vector<uint8_t>> x;  // Alice's strings
+  std::vector<std::vector<uint8_t>> y;  // Bob's strings
+  // Ground truth Σ_i DISJ(X^i, Y^i).
+  int disjoint_count = 0;
+};
+
+// Samples an instance: each pair intersects (in exactly alpha positions)
+// with probability intersect_fraction, re-drawn until at least
+// num_pairs/1000 pairs intersect. Requires alpha >= 1 and
+// 2*alpha <= string_length (so supports can be made disjoint elsewhere).
+TwoSumInstance SampleTwoSumInstance(const TwoSumParams& params, Rng& rng);
+
+// The Theorem 5.4 reduction: expands a 2-SUM(t, L, 1) instance into a
+// 2-SUM(t, α·L, α) instance by concatenating α copies of every string.
+TwoSumInstance ConcatenateAlphaCopies(const TwoSumInstance& base, int alpha);
+
+// Concatenates all of a player's strings into one long string (the x and y
+// fed to the G_{x,y} construction).
+std::vector<uint8_t> ConcatenateStrings(
+    const std::vector<std::vector<uint8_t>>& strings);
+
+// The trivial exact protocol: Alice ships all t·L bits; Bob computes
+// Σ DISJ exactly. The t·L transcript is the baseline the Ω(tL/α) bound of
+// Theorem 5.4 (and the min-cut reduction's shorter transcript) is read
+// against.
+Message TwoSumTrivialEncode(const std::vector<std::vector<uint8_t>>& x);
+int TwoSumTrivialDecode(const Message& message, const TwoSumParams& params,
+                        const std::vector<std::vector<uint8_t>>& y);
+
+}  // namespace dcs
+
+#endif  // DCS_COMM_TWO_SUM_H_

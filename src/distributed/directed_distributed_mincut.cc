@@ -1,0 +1,81 @@
+#include "distributed/directed_distributed_mincut.h"
+
+#include <limits>
+#include <utility>
+
+#include "graph/connectivity.h"
+#include "mincut/karger.h"
+
+namespace dcs {
+
+std::vector<DirectedGraph> PartitionDirectedEdges(const DirectedGraph& graph,
+                                                  int num_servers,
+                                                  Rng& rng) {
+  DCS_CHECK_GE(num_servers, 1);
+  std::vector<DirectedGraph> parts(static_cast<size_t>(num_servers),
+                                   DirectedGraph(graph.num_vertices()));
+  for (const Edge& e : graph.edges()) {
+    const size_t server = static_cast<size_t>(
+        rng.UniformInt(static_cast<uint64_t>(num_servers)));
+    parts[server].AddEdge(e.src, e.dst, e.weight);
+  }
+  return parts;
+}
+
+DirectedDistributedMinCutPipeline::DirectedDistributedMinCutPipeline(
+    std::vector<DirectedGraph> server_graphs,
+    const DirectedDistributedOptions& options, Rng& rng)
+    : server_graphs_(std::move(server_graphs)), options_(options) {
+  DCS_CHECK(!server_graphs_.empty());
+  DCS_CHECK_GE(options_.beta, 1.0);
+  for (const DirectedGraph& server_graph : server_graphs_) {
+    coarse_.push_back(std::make_unique<DirectedImportanceSamplerSketch>(
+        server_graph, options_.coarse_epsilon, options_.beta, rng));
+    foreach_.push_back(std::make_unique<DirectedForEachSketch>(
+        server_graph, options_.epsilon, options_.beta, rng));
+  }
+}
+
+DirectedDistributedMinCutPipeline::Result
+DirectedDistributedMinCutPipeline::Run(Rng& rng) const {
+  Result result;
+  for (const auto& sketch : coarse_) {
+    result.coarse_bits += sketch->SizeInBits();
+  }
+  for (const auto& sketch : foreach_) {
+    result.foreach_bits += sketch->SizeInBits();
+  }
+  // Coordinator: merge the coarse directed samples and enumerate candidate
+  // sides on the symmetrization with a balance-aware alpha.
+  const int n = server_graphs_.front().num_vertices();
+  DirectedGraph coarse(n);
+  for (const auto& sketch : coarse_) {
+    coarse.MergeFrom(sketch->sample());
+  }
+  const UndirectedGraph symmetric = coarse.Symmetrized();
+  DCS_CHECK(IsConnected(symmetric));
+  const double alpha = options_.alpha_slack * (1.0 + options_.beta);
+  const std::vector<GlobalMinCut> candidates = EnumerateNearMinimumCuts(
+      symmetric, alpha, rng, options_.karger_repetitions);
+  DCS_CHECK(!candidates.empty());
+  result.estimate = std::numeric_limits<double>::infinity();
+  for (const GlobalMinCut& candidate : candidates) {
+    // Score both orientations: the directed min cut may point either way.
+    for (const bool flip : {false, true}) {
+      const VertexSet side =
+          flip ? ComplementSet(candidate.side) : candidate.side;
+      double accurate = 0;
+      for (const auto& sketch : foreach_) {
+        accurate += sketch->EstimateCut(side);
+      }
+      ++result.candidates_considered;
+      if (accurate < result.estimate) {
+        result.estimate = accurate;
+        result.best_side = side;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dcs

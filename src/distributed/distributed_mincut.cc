@@ -1,0 +1,91 @@
+#include "distributed/distributed_mincut.h"
+
+#include <limits>
+#include <utility>
+
+#include "graph/connectivity.h"
+#include "mincut/karger.h"
+#include "sketch/serialization.h"
+
+namespace dcs {
+
+std::vector<UndirectedGraph> PartitionEdges(const UndirectedGraph& graph,
+                                            int num_servers, Rng& rng) {
+  DCS_CHECK_GE(num_servers, 1);
+  std::vector<UndirectedGraph> parts(
+      static_cast<size_t>(num_servers), UndirectedGraph(graph.num_vertices()));
+  for (const Edge& e : graph.edges()) {
+    const size_t server =
+        static_cast<size_t>(rng.UniformInt(static_cast<uint64_t>(num_servers)));
+    parts[server].AddEdge(e.src, e.dst, e.weight);
+  }
+  return parts;
+}
+
+DistributedMinCutPipeline::DistributedMinCutPipeline(
+    std::vector<UndirectedGraph> server_graphs,
+    const DistributedMinCutOptions& options, Rng& rng)
+    : server_graphs_(std::move(server_graphs)), options_(options) {
+  DCS_CHECK(!server_graphs_.empty());
+  DCS_CHECK_GE(options_.median_boost, 1);
+  for (const UndirectedGraph& server_graph : server_graphs_) {
+    forall_sketches_.push_back(std::make_unique<BenczurKargerSparsifier>(
+        server_graph, options_.coarse_epsilon, rng));
+    std::vector<std::unique_ptr<UndirectedCutSketch>> copies;
+    for (int b = 0; b < options_.median_boost; ++b) {
+      copies.push_back(std::make_unique<ForEachCutSketch>(
+          server_graph, options_.epsilon, rng));
+    }
+    foreach_sketches_.push_back(
+        std::make_unique<MedianOfSketches>(std::move(copies)));
+  }
+}
+
+DistributedMinCutPipeline::Result DistributedMinCutPipeline::Run(
+    Rng& rng) const {
+  Result result;
+  for (const auto& sketch : forall_sketches_) {
+    result.forall_bits += sketch->SizeInBits();
+  }
+  for (const auto& sketch : foreach_sketches_) {
+    result.foreach_bits += sketch->SizeInBits();
+  }
+  // Coordinator: merge the for-all sparsifiers into one coarse graph.
+  const int n = server_graphs_.front().num_vertices();
+  UndirectedGraph coarse(n);
+  for (const auto& sketch : forall_sketches_) {
+    coarse.MergeFrom(sketch->sparsifier());
+  }
+  DCS_CHECK(IsConnected(coarse));
+  // Enumerate every candidate cut within candidate_alpha of the coarse
+  // minimum; the true minimum cut is among them as long as the coarse
+  // sparsifier's error is below the alpha margin.
+  const std::vector<GlobalMinCut> candidates = EnumerateNearMinimumCuts(
+      coarse, options_.candidate_alpha, rng, options_.karger_repetitions);
+  DCS_CHECK(!candidates.empty());
+  // Re-evaluate each candidate with the accurate for-each sketches (cut
+  // values add across edge-disjoint servers).
+  result.estimate = std::numeric_limits<double>::infinity();
+  for (const GlobalMinCut& candidate : candidates) {
+    double accurate = 0;
+    for (const auto& sketch : foreach_sketches_) {
+      accurate += sketch->EstimateCut(candidate.side);
+    }
+    ++result.candidates_considered;
+    if (accurate < result.estimate) {
+      result.estimate = accurate;
+      result.best_side = candidate.side;
+    }
+  }
+  return result;
+}
+
+int64_t DistributedMinCutPipeline::NaiveShipAllBits() const {
+  int64_t total = 0;
+  for (const UndirectedGraph& server_graph : server_graphs_) {
+    total += SerializedSizeInBits(server_graph);
+  }
+  return total;
+}
+
+}  // namespace dcs

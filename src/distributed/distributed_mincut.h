@@ -1,0 +1,80 @@
+// Distributed minimum cut via cut sketches — the application that motivates
+// the paper's lower bounds (Section 1, following [ACK+16]).
+//
+// The edges of a graph are partitioned across servers. Each server sends
+// the coordinator two sketches of its edge set:
+//   * a (1±coarse_ε) for-all sparsifier  — used to find every
+//     O(1)-approximate minimum cut (there are only poly(n) of them, by
+//     Karger's theorem), and
+//   * a (1±ε) for-each sketch            — used to re-evaluate each
+//     candidate cut accurately (cut values add across edge-disjoint
+//     servers, so the coordinator sums per-server estimates).
+// The final answer is the best candidate under the accurate estimates.
+// Total communication is the serialized size of all sketches; the paper's
+// Theorem 1.1/1.2 lower bounds say the for-each/for-all parts of this
+// recipe are near-optimal.
+
+#ifndef DCS_DISTRIBUTED_DISTRIBUTED_MINCUT_H_
+#define DCS_DISTRIBUTED_DISTRIBUTED_MINCUT_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/ugraph.h"
+#include "mincut/stoer_wagner.h"
+#include "sketch/sampled_sketches.h"
+#include "util/random.h"
+
+namespace dcs {
+
+// Tuning for the pipeline.
+struct DistributedMinCutOptions {
+  double epsilon = 0.1;          // accuracy of the final estimate
+  double coarse_epsilon = 0.2;   // for-all sketch accuracy
+  double candidate_alpha = 2.0;  // enumerate cuts within α× of coarse min
+  int karger_repetitions = 12;   // contraction runs for enumeration
+  int median_boost = 3;          // independent for-each sketches per server
+};
+
+// Splits the edges of `graph` uniformly at random into `num_servers`
+// edge-disjoint subgraphs on the same vertex set.
+std::vector<UndirectedGraph> PartitionEdges(const UndirectedGraph& graph,
+                                            int num_servers, Rng& rng);
+
+// The full pipeline.
+class DistributedMinCutPipeline {
+ public:
+  // Builds per-server sketches for the given edge partition.
+  DistributedMinCutPipeline(std::vector<UndirectedGraph> server_graphs,
+                            const DistributedMinCutOptions& options,
+                            Rng& rng);
+
+  struct Result {
+    double estimate = 0;
+    VertexSet best_side;
+    int candidates_considered = 0;
+    int64_t forall_bits = 0;   // communication spent on for-all sketches
+    int64_t foreach_bits = 0;  // communication spent on for-each sketches
+    int64_t total_bits() const { return forall_bits + foreach_bits; }
+  };
+
+  // Runs candidate enumeration + accurate re-evaluation.
+  Result Run(Rng& rng) const;
+
+  // Communication of the naive protocol (every server ships its edges).
+  int64_t NaiveShipAllBits() const;
+
+  int num_servers() const {
+    return static_cast<int>(server_graphs_.size());
+  }
+
+ private:
+  std::vector<UndirectedGraph> server_graphs_;
+  DistributedMinCutOptions options_;
+  std::vector<std::unique_ptr<BenczurKargerSparsifier>> forall_sketches_;
+  std::vector<std::unique_ptr<MedianOfSketches>> foreach_sketches_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_DISTRIBUTED_DISTRIBUTED_MINCUT_H_

@@ -1,0 +1,123 @@
+#include "graph/balance.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <utility>
+
+namespace dcs {
+namespace {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+// max(forward/backward, backward/forward) with zero-handling.
+double ImbalanceOfPair(double forward, double backward) {
+  if (forward == 0 && backward == 0) return 1;
+  if (forward == 0 || backward == 0) return kInfinity;
+  return std::max(forward / backward, backward / forward);
+}
+
+}  // namespace
+
+double DirectedCutRatio(const DirectedGraph& graph, const VertexSet& side) {
+  DCS_CHECK(IsProperCutSide(side));
+  const double forward = graph.CutWeight(side);
+  const double backward = graph.CutWeight(ComplementSet(side));
+  if (backward == 0) return forward == 0 ? 1 : kInfinity;
+  return forward / backward;
+}
+
+double MeasureBalanceExact(const DirectedGraph& graph) {
+  const int n = graph.num_vertices();
+  DCS_CHECK_GE(n, 2);
+  DCS_CHECK_LE(n, 24);
+  double worst = 1;
+  // Fix vertex 0 on the S side to halve the enumeration; imbalance is
+  // symmetric under complement because we take the max of both directions.
+  const uint64_t limit = 1ULL << (n - 1);
+  VertexSet side(static_cast<size_t>(n));
+  for (uint64_t mask = 0; mask + 1 < limit; ++mask) {
+    side[0] = 1;
+    for (int v = 1; v < n; ++v) {
+      side[static_cast<size_t>(v)] =
+          static_cast<uint8_t>((mask >> (v - 1)) & 1);
+    }
+    // Skip S == V (mask with all bits set is excluded by the loop bound
+    // only when n > 1; the mask enumerates subsets of {1..n-1} and
+    // mask == limit-1 would make S == V).
+    const double forward = graph.CutWeight(side);
+    const double backward = graph.CutWeight(ComplementSet(side));
+    worst = std::max(worst, ImbalanceOfPair(forward, backward));
+    if (worst == kInfinity) return worst;
+  }
+  return worst;
+}
+
+double MeasureBalanceSampled(const DirectedGraph& graph, Rng& rng,
+                             int samples) {
+  const int n = graph.num_vertices();
+  DCS_CHECK_GE(n, 2);
+  double worst = 1;
+  VertexSet side(static_cast<size_t>(n), 0);
+  // All singleton cuts.
+  for (int v = 0; v < n; ++v) {
+    std::fill(side.begin(), side.end(), 0);
+    side[static_cast<size_t>(v)] = 1;
+    worst = std::max(
+        worst, ImbalanceOfPair(graph.CutWeight(side),
+                               graph.CutWeight(ComplementSet(side))));
+  }
+  // Random cuts.
+  for (int s = 0; s < samples; ++s) {
+    bool proper = false;
+    while (!proper) {
+      for (int v = 0; v < n; ++v) {
+        side[static_cast<size_t>(v)] = static_cast<uint8_t>(rng.Next() & 1);
+      }
+      proper = IsProperCutSide(side);
+    }
+    worst = std::max(
+        worst, ImbalanceOfPair(graph.CutWeight(side),
+                               graph.CutWeight(ComplementSet(side))));
+  }
+  return worst;
+}
+
+std::optional<double> PerEdgeBalanceCertificate(const DirectedGraph& graph) {
+  std::map<std::pair<VertexId, VertexId>, double> directed_weight;
+  for (const Edge& e : graph.edges()) {
+    directed_weight[{e.src, e.dst}] += e.weight;
+  }
+  double certificate = 1;
+  for (const auto& [key, forward] : directed_weight) {
+    if (forward == 0) continue;
+    const auto reverse_it = directed_weight.find({key.second, key.first});
+    if (reverse_it == directed_weight.end() || reverse_it->second == 0) {
+      return std::nullopt;
+    }
+    certificate = std::max(certificate, forward / reverse_it->second);
+  }
+  return certificate;
+}
+
+bool VerifyBalanceExact(const DirectedGraph& graph, double beta) {
+  DCS_CHECK_GE(beta, 1);
+  const int n = graph.num_vertices();
+  DCS_CHECK_GE(n, 2);
+  DCS_CHECK_LE(n, 24);
+  const uint64_t limit = 1ULL << (n - 1);
+  VertexSet side(static_cast<size_t>(n));
+  for (uint64_t mask = 0; mask + 1 < limit; ++mask) {
+    side[0] = 1;
+    for (int v = 1; v < n; ++v) {
+      side[static_cast<size_t>(v)] =
+          static_cast<uint8_t>((mask >> (v - 1)) & 1);
+    }
+    const double forward = graph.CutWeight(side);
+    const double backward = graph.CutWeight(ComplementSet(side));
+    if (forward > beta * backward || backward > beta * forward) return false;
+  }
+  return true;
+}
+
+}  // namespace dcs

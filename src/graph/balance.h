@@ -1,0 +1,46 @@
+// β-balance of directed graphs (Definition 2.1).
+//
+// A strongly connected digraph is β-balanced if w(S, V∖S) ≤ β·w(V∖S, S) for
+// every proper cut. The exact balance is the maximum ratio over all cuts —
+// computable by enumeration for small n — and can be lower-bounded by
+// sampling and upper-bounded by the per-edge reversal ratio (if every edge
+// (u,v) has a reverse edge of weight ≥ w(u,v)/β, every cut is β-balanced;
+// this is exactly how the paper argues balance of its constructions).
+
+#ifndef DCS_GRAPH_BALANCE_H_
+#define DCS_GRAPH_BALANCE_H_
+
+#include <optional>
+
+#include "graph/digraph.h"
+#include "util/random.h"
+
+namespace dcs {
+
+// w(S, V∖S) / w(V∖S, S). Returns +infinity when the denominator is zero
+// (and the numerator is positive); returns 1 when both are zero.
+double DirectedCutRatio(const DirectedGraph& graph, const VertexSet& side);
+
+// Exact balance β(G) = max over all proper cuts of max(ratio, 1/ratio)…
+// more precisely max over both orientations, which equals the smallest β
+// such that G is β-balanced. Enumerates all 2^(n−1) − 1 cuts; requires
+// 2 <= n <= 24.
+double MeasureBalanceExact(const DirectedGraph& graph);
+
+// Lower bound on β(G) from `samples` random cuts plus all singleton cuts.
+double MeasureBalanceSampled(const DirectedGraph& graph, Rng& rng,
+                             int samples);
+
+// Upper bound on β(G) via per-edge reversal ratios: the smallest β such
+// that every directed pair (u,v) has w(u→v) ≤ β·w(v→u). Returns nullopt if
+// some edge has no reverse weight at all (no finite per-edge certificate).
+// Any cut's imbalance is at most this value.
+std::optional<double> PerEdgeBalanceCertificate(const DirectedGraph& graph);
+
+// True iff every proper cut satisfies w(S, V∖S) <= beta * w(V∖S, S)
+// (exact enumeration; requires n <= 24).
+bool VerifyBalanceExact(const DirectedGraph& graph, double beta);
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_BALANCE_H_

@@ -1,0 +1,91 @@
+#include "graph/connectivity.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dcs {
+namespace {
+
+// Iterative DFS marking reachable vertices from `start` along `out` lists.
+void MarkReachable(const std::vector<std::vector<VertexId>>& out,
+                   VertexId start, std::vector<uint8_t>& visited) {
+  std::vector<VertexId> stack = {start};
+  visited[static_cast<size_t>(start)] = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (VertexId next : out[static_cast<size_t>(v)]) {
+      if (!visited[static_cast<size_t>(next)]) {
+        visited[static_cast<size_t>(next)] = 1;
+        stack.push_back(next);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool IsStronglyConnected(const DirectedGraph& graph) {
+  const int n = graph.num_vertices();
+  if (n < 2) return true;
+  std::vector<std::vector<VertexId>> out(static_cast<size_t>(n));
+  std::vector<std::vector<VertexId>> in(static_cast<size_t>(n));
+  for (const Edge& e : graph.edges()) {
+    if (e.weight <= 0) continue;
+    out[static_cast<size_t>(e.src)].push_back(e.dst);
+    in[static_cast<size_t>(e.dst)].push_back(e.src);
+  }
+  std::vector<uint8_t> forward(static_cast<size_t>(n), 0);
+  MarkReachable(out, 0, forward);
+  for (uint8_t bit : forward) {
+    if (!bit) return false;
+  }
+  std::vector<uint8_t> backward(static_cast<size_t>(n), 0);
+  MarkReachable(in, 0, backward);
+  for (uint8_t bit : backward) {
+    if (!bit) return false;
+  }
+  return true;
+}
+
+std::vector<int> ConnectedComponents(const UndirectedGraph& graph) {
+  const int n = graph.num_vertices();
+  std::vector<std::vector<VertexId>> adjacency(static_cast<size_t>(n));
+  for (const Edge& e : graph.edges()) {
+    if (e.weight <= 0) continue;
+    adjacency[static_cast<size_t>(e.src)].push_back(e.dst);
+    adjacency[static_cast<size_t>(e.dst)].push_back(e.src);
+  }
+  std::vector<int> component(static_cast<size_t>(n), -1);
+  int next_component = 0;
+  for (VertexId start = 0; start < n; ++start) {
+    if (component[static_cast<size_t>(start)] != -1) continue;
+    std::vector<VertexId> stack = {start};
+    component[static_cast<size_t>(start)] = next_component;
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId next : adjacency[static_cast<size_t>(v)]) {
+        if (component[static_cast<size_t>(next)] == -1) {
+          component[static_cast<size_t>(next)] = next_component;
+          stack.push_back(next);
+        }
+      }
+    }
+    ++next_component;
+  }
+  return component;
+}
+
+int CountComponents(const UndirectedGraph& graph) {
+  const std::vector<int> component = ConnectedComponents(graph);
+  int max_id = -1;
+  for (int id : component) max_id = std::max(max_id, id);
+  return max_id + 1;
+}
+
+bool IsConnected(const UndirectedGraph& graph) {
+  return graph.num_vertices() <= 1 || CountComponents(graph) == 1;
+}
+
+}  // namespace dcs

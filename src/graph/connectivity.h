@@ -1,0 +1,30 @@
+// Connectivity predicates: strong connectivity for digraphs (Definition 2.1
+// requires β-balanced graphs to be strongly connected) and components for
+// undirected graphs (used by sampling-based min-cut estimators).
+
+#ifndef DCS_GRAPH_CONNECTIVITY_H_
+#define DCS_GRAPH_CONNECTIVITY_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/ugraph.h"
+
+namespace dcs {
+
+// True iff the directed graph is strongly connected (trivially true for
+// graphs with fewer than two vertices).
+bool IsStronglyConnected(const DirectedGraph& graph);
+
+// True iff the undirected graph is connected.
+bool IsConnected(const UndirectedGraph& graph);
+
+// Component id (0-based, dense) for every vertex.
+std::vector<int> ConnectedComponents(const UndirectedGraph& graph);
+
+// Number of connected components.
+int CountComponents(const UndirectedGraph& graph);
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_CONNECTIVITY_H_

@@ -1,0 +1,128 @@
+#include "graph/digraph.h"
+
+#include <map>
+#include <utility>
+
+#include "graph/ugraph.h"
+
+namespace dcs {
+
+DirectedGraph::DirectedGraph(int num_vertices) : num_vertices_(num_vertices) {
+  DCS_CHECK_GE(num_vertices, 0);
+}
+
+void DirectedGraph::AddEdge(VertexId src, VertexId dst, double weight) {
+  DCS_CHECK(src >= 0 && src < num_vertices_);
+  DCS_CHECK(dst >= 0 && dst < num_vertices_);
+  DCS_CHECK_NE(src, dst);
+  DCS_CHECK_GE(weight, 0);
+  edges_.push_back(Edge{src, dst, weight});
+  adjacency_valid_ = false;
+}
+
+double DirectedGraph::TotalWeight() const {
+  double total = 0;
+  for (const Edge& e : edges_) total += e.weight;
+  return total;
+}
+
+double DirectedGraph::OutDegree(VertexId v) const {
+  DCS_CHECK(v >= 0 && v < num_vertices_);
+  EnsureAdjacency();
+  double total = 0;
+  for (int64_t id : out_edge_ids_[static_cast<size_t>(v)]) {
+    total += edges_[static_cast<size_t>(id)].weight;
+  }
+  return total;
+}
+
+double DirectedGraph::InDegree(VertexId v) const {
+  DCS_CHECK(v >= 0 && v < num_vertices_);
+  EnsureAdjacency();
+  double total = 0;
+  for (int64_t id : in_edge_ids_[static_cast<size_t>(v)]) {
+    total += edges_[static_cast<size_t>(id)].weight;
+  }
+  return total;
+}
+
+double DirectedGraph::CutWeight(const VertexSet& side) const {
+  DCS_CHECK_EQ(static_cast<int>(side.size()), num_vertices_);
+  double total = 0;
+  for (const Edge& e : edges_) {
+    if (side[static_cast<size_t>(e.src)] && !side[static_cast<size_t>(e.dst)]) {
+      total += e.weight;
+    }
+  }
+  return total;
+}
+
+double DirectedGraph::CrossWeight(const VertexSet& from,
+                                  const VertexSet& to) const {
+  DCS_CHECK_EQ(static_cast<int>(from.size()), num_vertices_);
+  DCS_CHECK_EQ(static_cast<int>(to.size()), num_vertices_);
+  double total = 0;
+  for (const Edge& e : edges_) {
+    if (from[static_cast<size_t>(e.src)] && to[static_cast<size_t>(e.dst)]) {
+      total += e.weight;
+    }
+  }
+  return total;
+}
+
+DirectedGraph DirectedGraph::Reversed() const {
+  DirectedGraph reversed(num_vertices_);
+  reversed.edges_.reserve(edges_.size());
+  for (const Edge& e : edges_) {
+    reversed.edges_.push_back(Edge{e.dst, e.src, e.weight});
+  }
+  return reversed;
+}
+
+UndirectedGraph DirectedGraph::Symmetrized() const {
+  // Coalesce by unordered endpoint pair so each pair yields one edge.
+  std::map<std::pair<VertexId, VertexId>, double> pair_weight;
+  for (const Edge& e : edges_) {
+    const auto key = e.src < e.dst ? std::make_pair(e.src, e.dst)
+                                   : std::make_pair(e.dst, e.src);
+    pair_weight[key] += e.weight;
+  }
+  UndirectedGraph symmetric(num_vertices_);
+  for (const auto& [key, weight] : pair_weight) {
+    symmetric.AddEdge(key.first, key.second, weight);
+  }
+  return symmetric;
+}
+
+void DirectedGraph::MergeFrom(const DirectedGraph& other) {
+  DCS_CHECK_EQ(num_vertices_, other.num_vertices_);
+  edges_.insert(edges_.end(), other.edges_.begin(), other.edges_.end());
+  adjacency_valid_ = false;
+}
+
+const std::vector<int64_t>& DirectedGraph::OutEdgeIds(VertexId v) const {
+  DCS_CHECK(v >= 0 && v < num_vertices_);
+  EnsureAdjacency();
+  return out_edge_ids_[static_cast<size_t>(v)];
+}
+
+const std::vector<int64_t>& DirectedGraph::InEdgeIds(VertexId v) const {
+  DCS_CHECK(v >= 0 && v < num_vertices_);
+  EnsureAdjacency();
+  return in_edge_ids_[static_cast<size_t>(v)];
+}
+
+void DirectedGraph::EnsureAdjacency() const {
+  if (adjacency_valid_) return;
+  out_edge_ids_.assign(static_cast<size_t>(num_vertices_), {});
+  in_edge_ids_.assign(static_cast<size_t>(num_vertices_), {});
+  for (size_t id = 0; id < edges_.size(); ++id) {
+    out_edge_ids_[static_cast<size_t>(edges_[id].src)].push_back(
+        static_cast<int64_t>(id));
+    in_edge_ids_[static_cast<size_t>(edges_[id].dst)].push_back(
+        static_cast<int64_t>(id));
+  }
+  adjacency_valid_ = true;
+}
+
+}  // namespace dcs

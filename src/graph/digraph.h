@@ -1,0 +1,82 @@
+// Weighted directed multigraph.
+//
+// The central object of the cut-sketching half of the library. Stored as an
+// edge list plus lazily maintained per-vertex adjacency offsets; supports
+// directed cut evaluation w(S, V∖S), per-vertex weighted in/out degrees,
+// reversal, symmetrization G + Gᵀ, and merging.
+
+#ifndef DCS_GRAPH_DIGRAPH_H_
+#define DCS_GRAPH_DIGRAPH_H_
+
+#include <vector>
+
+#include "graph/types.h"
+
+namespace dcs {
+
+class UndirectedGraph;
+
+// A weighted directed multigraph on vertices {0, ..., n−1}. Parallel edges
+// are allowed (weights add for all cut purposes); self-loops are rejected.
+class DirectedGraph {
+ public:
+  // An empty graph on `num_vertices` vertices.
+  explicit DirectedGraph(int num_vertices);
+
+  DirectedGraph(const DirectedGraph&) = default;
+  DirectedGraph& operator=(const DirectedGraph&) = default;
+  DirectedGraph(DirectedGraph&&) = default;
+  DirectedGraph& operator=(DirectedGraph&&) = default;
+
+  int num_vertices() const { return num_vertices_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Adds the directed edge (src → dst) with the given weight.
+  // Requires src != dst, both in range, weight >= 0.
+  void AddEdge(VertexId src, VertexId dst, double weight);
+
+  // Total weight of all edges.
+  double TotalWeight() const;
+
+  // Weighted out-degree / in-degree of v.
+  double OutDegree(VertexId v) const;
+  double InDegree(VertexId v) const;
+
+  // Directed cut value w(S, V∖S): total weight of edges leaving S.
+  // Requires side.size() == num_vertices().
+  double CutWeight(const VertexSet& side) const;
+
+  // Total weight of edges from S to T (S, T need not be disjoint; an edge
+  // counts iff src ∈ S and dst ∈ T).
+  double CrossWeight(const VertexSet& from, const VertexSet& to) const;
+
+  // The reverse graph Gᵀ (every edge flipped).
+  DirectedGraph Reversed() const;
+
+  // The undirected symmetrization: one undirected edge {u, v} of weight
+  // w(u→v) + w(v→u) for every ordered pair that has directed weight.
+  UndirectedGraph Symmetrized() const;
+
+  // Adds all edges of `other` into this graph. Vertex counts must match.
+  void MergeFrom(const DirectedGraph& other);
+
+  // Out-edges of v (indices into edges()).
+  const std::vector<int64_t>& OutEdgeIds(VertexId v) const;
+  // In-edges of v (indices into edges()).
+  const std::vector<int64_t>& InEdgeIds(VertexId v) const;
+
+ private:
+  void EnsureAdjacency() const;
+
+  int num_vertices_;
+  std::vector<Edge> edges_;
+  // Lazily built adjacency (invalidated by AddEdge/MergeFrom).
+  mutable bool adjacency_valid_ = false;
+  mutable std::vector<std::vector<int64_t>> out_edge_ids_;
+  mutable std::vector<std::vector<int64_t>> in_edge_ids_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_DIGRAPH_H_

@@ -1,0 +1,219 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dcs {
+
+DirectedGraph RandomBalancedDigraph(int n, double edge_probability,
+                                    double beta, Rng& rng) {
+  DCS_CHECK_GE(n, 2);
+  DCS_CHECK_GE(beta, 1.0);
+  DCS_CHECK(edge_probability >= 0 && edge_probability <= 1);
+  DirectedGraph graph(n);
+  // Connectivity backbone: a bidirected Hamiltonian cycle with the same
+  // per-edge forward/backward ratio as the random edges.
+  for (int v = 0; v < n; ++v) {
+    const int next = (v + 1) % n;
+    graph.AddEdge(v, next, 1.0);
+    graph.AddEdge(next, v, 1.0 / beta);
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (!rng.Bernoulli(edge_probability)) continue;
+      const double weight = 0.5 + rng.UniformDouble();
+      if (rng.Bernoulli(0.5)) {
+        graph.AddEdge(u, v, weight);
+        graph.AddEdge(v, u, weight / beta);
+      } else {
+        graph.AddEdge(v, u, weight);
+        graph.AddEdge(u, v, weight / beta);
+      }
+    }
+  }
+  return graph;
+}
+
+DirectedGraph RandomEulerianDigraph(int n, int extra_cycles,
+                                    int max_cycle_length, Rng& rng) {
+  DCS_CHECK_GE(n, 3);
+  DCS_CHECK_GE(max_cycle_length, 3);
+  DCS_CHECK_GE(extra_cycles, 0);
+  DirectedGraph graph(n);
+  for (int v = 0; v < n; ++v) graph.AddEdge(v, (v + 1) % n, 1.0);
+  for (int c = 0; c < extra_cycles; ++c) {
+    const int length =
+        3 + static_cast<int>(rng.UniformInt(
+                static_cast<uint64_t>(std::min(max_cycle_length, n) - 2)));
+    const std::vector<int> cycle = rng.RandomSubset(n, length);
+    // RandomSubset returns sorted vertices; walk them in a shuffled order to
+    // vary cycle shapes.
+    std::vector<int> order = cycle;
+    rng.Shuffle(order);
+    for (size_t i = 0; i < order.size(); ++i) {
+      graph.AddEdge(order[i], order[(i + 1) % order.size()], 1.0);
+    }
+  }
+  return graph;
+}
+
+DirectedGraph CompleteBipartiteDigraph(int left_size, int right_size,
+                                       double forward_weight,
+                                       double backward_weight) {
+  DCS_CHECK_GE(left_size, 1);
+  DCS_CHECK_GE(right_size, 1);
+  DirectedGraph graph(left_size + right_size);
+  for (int l = 0; l < left_size; ++l) {
+    for (int r = 0; r < right_size; ++r) {
+      const VertexId right_vertex = left_size + r;
+      if (forward_weight > 0) graph.AddEdge(l, right_vertex, forward_weight);
+      if (backward_weight > 0) graph.AddEdge(right_vertex, l, backward_weight);
+    }
+  }
+  return graph;
+}
+
+DirectedGraph BidirectedMatchingUnion(int n, int degree, Rng& rng,
+                                      double beta) {
+  DCS_CHECK_GE(n, 2);
+  DCS_CHECK_EQ(n % 2, 0);
+  DCS_CHECK_GE(degree, 1);
+  DCS_CHECK_GE(beta, 1.0);
+  DirectedGraph graph(n);
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int d = 0; d < degree; ++d) {
+    for (int v = 0; v < n; ++v) order[static_cast<size_t>(v)] = v;
+    rng.Shuffle(order);
+    for (int i = 0; i < n; i += 2) {
+      const int u = order[static_cast<size_t>(i)];
+      const int v = order[static_cast<size_t>(i + 1)];
+      graph.AddEdge(u, v, 1.0);
+      graph.AddEdge(v, u, 1.0 / beta);
+    }
+  }
+  return graph;
+}
+
+UndirectedGraph RandomUndirectedGraph(int n, double edge_probability,
+                                      double min_weight, double max_weight,
+                                      bool ensure_connected, Rng& rng) {
+  DCS_CHECK_GE(n, 1);
+  DCS_CHECK(edge_probability >= 0 && edge_probability <= 1);
+  DCS_CHECK_LE(min_weight, max_weight);
+  UndirectedGraph graph(n);
+  if (ensure_connected) {
+    for (int v = 0; v + 1 < n; ++v) graph.AddEdge(v, v + 1, min_weight);
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (!rng.Bernoulli(edge_probability)) continue;
+      const double weight =
+          min_weight + (max_weight - min_weight) * rng.UniformDouble();
+      graph.AddEdge(u, v, weight);
+    }
+  }
+  return graph;
+}
+
+UndirectedGraph CompleteGraph(int n, double weight) {
+  DCS_CHECK_GE(n, 1);
+  UndirectedGraph graph(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) graph.AddEdge(u, v, weight);
+  }
+  return graph;
+}
+
+UndirectedGraph CycleGraph(int n, double weight) {
+  DCS_CHECK_GE(n, 3);
+  UndirectedGraph graph(n);
+  for (int v = 0; v < n; ++v) graph.AddEdge(v, (v + 1) % n, weight);
+  return graph;
+}
+
+UndirectedGraph DumbbellGraph(int clique_size, int bridge_count) {
+  DCS_CHECK_GE(clique_size, 2);
+  DCS_CHECK_GE(bridge_count, 1);
+  DCS_CHECK_LE(bridge_count, clique_size);
+  const int n = 2 * clique_size;
+  UndirectedGraph graph(n);
+  for (int u = 0; u < clique_size; ++u) {
+    for (int v = u + 1; v < clique_size; ++v) {
+      graph.AddEdge(u, v, 1.0);
+      graph.AddEdge(clique_size + u, clique_size + v, 1.0);
+    }
+  }
+  for (int b = 0; b < bridge_count; ++b) {
+    graph.AddEdge(b, clique_size + b, 1.0);
+  }
+  return graph;
+}
+
+UndirectedGraph UnionOfRandomMatchings(int n, int degree, Rng& rng) {
+  DCS_CHECK_GE(n, 2);
+  DCS_CHECK_EQ(n % 2, 0);
+  DCS_CHECK_GE(degree, 1);
+  UndirectedGraph graph(n);
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int d = 0; d < degree; ++d) {
+    for (int v = 0; v < n; ++v) order[static_cast<size_t>(v)] = v;
+    rng.Shuffle(order);
+    for (int i = 0; i < n; i += 2) {
+      graph.AddEdge(order[static_cast<size_t>(i)],
+                    order[static_cast<size_t>(i + 1)], 1.0);
+    }
+  }
+  return graph;
+}
+
+UndirectedGraph GridGraph(int rows, int cols) {
+  DCS_CHECK_GE(rows, 1);
+  DCS_CHECK_GE(cols, 1);
+  DCS_CHECK_GE(static_cast<int64_t>(rows) * cols, 2);
+  UndirectedGraph graph(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) graph.AddEdge(id(r, c), id(r, c + 1), 1.0);
+      if (r + 1 < rows) graph.AddEdge(id(r, c), id(r + 1, c), 1.0);
+    }
+  }
+  return graph;
+}
+
+UndirectedGraph PreferentialAttachmentGraph(int n, int edges_per_vertex,
+                                            Rng& rng) {
+  DCS_CHECK_GE(edges_per_vertex, 1);
+  DCS_CHECK_GE(n, edges_per_vertex + 1);
+  UndirectedGraph graph(n);
+  // Seed clique on the first m+1 vertices, then attach by degree. The
+  // repeated-endpoint list makes degree-proportional sampling O(1).
+  std::vector<VertexId> endpoints;
+  for (int u = 0; u <= edges_per_vertex; ++u) {
+    for (int v = u + 1; v <= edges_per_vertex; ++v) {
+      graph.AddEdge(u, v, 1.0);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (int v = edges_per_vertex + 1; v < n; ++v) {
+    std::vector<VertexId> targets;
+    int guard = 0;
+    while (static_cast<int>(targets.size()) < edges_per_vertex) {
+      DCS_CHECK_LT(++guard, 100000);
+      const VertexId pick = endpoints[static_cast<size_t>(
+          rng.UniformInt(endpoints.size()))];
+      bool duplicate = false;
+      for (VertexId t : targets) duplicate = duplicate || t == pick;
+      if (!duplicate) targets.push_back(pick);
+    }
+    for (VertexId t : targets) {
+      graph.AddEdge(v, t, 1.0);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return graph;
+}
+
+}  // namespace dcs

@@ -1,0 +1,90 @@
+// Deterministic, seeded workload generators.
+//
+// The paper's instances are all synthetic and fully specified; these
+// generators produce them (plus standard test graphs). Everything takes an
+// explicit Rng so experiments replay exactly.
+
+#ifndef DCS_GRAPH_GENERATORS_H_
+#define DCS_GRAPH_GENERATORS_H_
+
+#include "graph/digraph.h"
+#include "graph/ugraph.h"
+#include "util/random.h"
+
+namespace dcs {
+
+// ---------------------------------------------------------------------------
+// Directed generators.
+// ---------------------------------------------------------------------------
+
+// A strongly connected digraph that is exactly β-balanced per edge: every
+// kept unordered pair {u, v} carries a forward edge of weight w ~ U[0.5,1.5]
+// (random orientation) and a reverse edge of weight w/beta. A bidirected
+// Hamiltonian cycle (same per-edge ratio) guarantees strong connectivity.
+// Requires n >= 2, edge_probability in [0, 1], beta >= 1.
+DirectedGraph RandomBalancedDigraph(int n, double edge_probability,
+                                    double beta, Rng& rng);
+
+// An Eulerian multigraph (weighted in-degree == out-degree at every vertex,
+// hence exactly 1-balanced): a Hamiltonian cycle plus `extra_cycles` random
+// simple closed walks of length up to `max_cycle_length`, unit weights.
+// Requires n >= 3, max_cycle_length >= 3.
+DirectedGraph RandomEulerianDigraph(int n, int extra_cycles,
+                                    int max_cycle_length, Rng& rng);
+
+// Complete bipartite digraph: left vertices are 0..left_size−1, right
+// vertices follow. Every (l, r) pair gets a forward edge of weight
+// `forward_weight` and a backward edge of weight `backward_weight`.
+DirectedGraph CompleteBipartiteDigraph(int left_size, int right_size,
+                                       double forward_weight,
+                                       double backward_weight);
+
+// Union of `degree` random perfect matchings with every matching edge
+// replaced by a directed pair: forward weight 1, backward weight 1/beta —
+// a beta-balanced (per-edge certificate) 2·degree-regular directed
+// multigraph with a uniform strength spectrum. beta = 1 (the default)
+// gives the Eulerian bidirected case. Used for sampling-regime experiments.
+// Requires n even, beta >= 1.
+DirectedGraph BidirectedMatchingUnion(int n, int degree, Rng& rng,
+                                      double beta = 1.0);
+
+// ---------------------------------------------------------------------------
+// Undirected generators.
+// ---------------------------------------------------------------------------
+
+// Erdős–Rényi G(n, p) with weights ~ U[min_weight, max_weight]. If
+// `ensure_connected` is true, a Hamiltonian path of min_weight edges is
+// added first.
+UndirectedGraph RandomUndirectedGraph(int n, double edge_probability,
+                                      double min_weight, double max_weight,
+                                      bool ensure_connected, Rng& rng);
+
+// Complete graph K_n with uniform edge weight.
+UndirectedGraph CompleteGraph(int n, double weight);
+
+// Cycle 0−1−…−(n−1)−0 with uniform edge weight. Min cut = 2·weight.
+UndirectedGraph CycleGraph(int n, double weight);
+
+// Two K_s cliques (unit weights) joined by `bridge_count` unit edges between
+// distinct vertex pairs. For bridge_count < s−1 the min cut is exactly
+// bridge_count (the clique split). Requires bridge_count <= s.
+UndirectedGraph DumbbellGraph(int clique_size, int bridge_count);
+
+// Union of `degree` uniformly random perfect matchings on n vertices
+// (n even): a degree-regular multigraph with unit weights.
+UndirectedGraph UnionOfRandomMatchings(int n, int degree, Rng& rng);
+
+// rows×cols 2D grid with unit weights (min cut = min(rows, cols) for
+// non-degenerate grids; a standard structured workload).
+UndirectedGraph GridGraph(int rows, int cols);
+
+// Barabási–Albert preferential attachment: each new vertex attaches
+// `edges_per_vertex` times to existing vertices chosen proportionally to
+// their current degree (skewed-degree workload; min cut typically
+// edges_per_vertex at the last-attached vertices).
+UndirectedGraph PreferentialAttachmentGraph(int n, int edges_per_vertex,
+                                            Rng& rng);
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_GENERATORS_H_

@@ -1,0 +1,109 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+namespace dcs {
+namespace {
+
+// Reads the next non-comment, non-blank line into a stringstream.
+bool NextContentLine(std::istream& in, std::istringstream& line_stream) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    line_stream.clear();
+    line_stream.str(line);
+    return true;
+  }
+  return false;
+}
+
+template <typename GraphT>
+void WriteGraphText(const GraphT& graph, char tag, std::ostream& out) {
+  // max_digits10 makes the double round trip bit-exact through text.
+  out << std::setprecision(17);
+  out << tag << ' ' << graph.num_vertices() << ' ' << graph.num_edges()
+      << '\n';
+  for (const Edge& e : graph.edges()) {
+    out << e.src << ' ' << e.dst << ' ' << e.weight << '\n';
+  }
+}
+
+template <typename GraphT>
+std::optional<GraphT> ReadGraphText(std::istream& in, char tag) {
+  std::istringstream line;
+  if (!NextContentLine(in, line)) return std::nullopt;
+  std::string header;
+  int64_t n = 0;
+  int64_t m = 0;
+  if (!(line >> header >> n >> m)) return std::nullopt;
+  if (header.size() != 1 || header[0] != tag) return std::nullopt;
+  if (n < 0 || m < 0 || n > (1 << 28)) return std::nullopt;
+  GraphT graph(static_cast<int>(n));
+  for (int64_t i = 0; i < m; ++i) {
+    if (!NextContentLine(in, line)) return std::nullopt;
+    int64_t src = 0;
+    int64_t dst = 0;
+    double weight = 0;
+    if (!(line >> src >> dst >> weight)) return std::nullopt;
+    if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst ||
+        weight < 0) {
+      return std::nullopt;
+    }
+    graph.AddEdge(static_cast<VertexId>(src), static_cast<VertexId>(dst),
+                  weight);
+  }
+  return graph;
+}
+
+}  // namespace
+
+void WriteDirectedGraphText(const DirectedGraph& graph, std::ostream& out) {
+  WriteGraphText(graph, 'D', out);
+}
+
+void WriteUndirectedGraphText(const UndirectedGraph& graph,
+                              std::ostream& out) {
+  WriteGraphText(graph, 'U', out);
+}
+
+std::optional<DirectedGraph> ReadDirectedGraphText(std::istream& in) {
+  return ReadGraphText<DirectedGraph>(in, 'D');
+}
+
+std::optional<UndirectedGraph> ReadUndirectedGraphText(std::istream& in) {
+  return ReadGraphText<UndirectedGraph>(in, 'U');
+}
+
+bool SaveDirectedGraph(const DirectedGraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteDirectedGraphText(graph, out);
+  return static_cast<bool>(out);
+}
+
+bool SaveUndirectedGraph(const UndirectedGraph& graph,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  WriteUndirectedGraphText(graph, out);
+  return static_cast<bool>(out);
+}
+
+std::optional<DirectedGraph> LoadDirectedGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadDirectedGraphText(in);
+}
+
+std::optional<UndirectedGraph> LoadUndirectedGraph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return ReadUndirectedGraphText(in);
+}
+
+}  // namespace dcs

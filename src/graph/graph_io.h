@@ -1,0 +1,39 @@
+// Plain-text graph I/O.
+//
+// Format (whitespace separated):
+//   line 1:  D|U  n  m      (D = directed, U = undirected)
+//   m lines: src dst weight
+// Comments (# ...) and blank lines are ignored.
+
+#ifndef DCS_GRAPH_GRAPH_IO_H_
+#define DCS_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/digraph.h"
+#include "graph/ugraph.h"
+
+namespace dcs {
+
+// Writers (always succeed on a good stream).
+void WriteDirectedGraphText(const DirectedGraph& graph, std::ostream& out);
+void WriteUndirectedGraphText(const UndirectedGraph& graph,
+                              std::ostream& out);
+
+// Readers return nullopt on malformed input (wrong header tag, bad counts,
+// out-of-range endpoints, negative weights).
+std::optional<DirectedGraph> ReadDirectedGraphText(std::istream& in);
+std::optional<UndirectedGraph> ReadUndirectedGraphText(std::istream& in);
+
+// File convenience wrappers. Save returns false on I/O failure.
+bool SaveDirectedGraph(const DirectedGraph& graph, const std::string& path);
+bool SaveUndirectedGraph(const UndirectedGraph& graph,
+                         const std::string& path);
+std::optional<DirectedGraph> LoadDirectedGraph(const std::string& path);
+std::optional<UndirectedGraph> LoadUndirectedGraph(const std::string& path);
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_GRAPH_IO_H_

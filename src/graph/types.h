@@ -1,0 +1,64 @@
+// Shared graph vocabulary: vertex ids, weighted edges, vertex sets.
+
+#ifndef DCS_GRAPH_TYPES_H_
+#define DCS_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcs {
+
+// Vertices are dense integer ids in [0, n).
+using VertexId = int;
+
+// A weighted directed edge (for undirected graphs, an edge is stored once
+// with src < dst by convention of UndirectedGraph).
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    return a.src == b.src && a.dst == b.dst && a.weight == b.weight;
+  }
+};
+
+// Characteristic vector of a vertex subset S ⊆ V: membership[v] != 0 iff
+// v ∈ S. Kept as uint8_t (not vector<bool>) for cheap random access.
+using VertexSet = std::vector<uint8_t>;
+
+// Builds a VertexSet over n vertices containing exactly `members`.
+inline VertexSet MakeVertexSet(int n, const std::vector<VertexId>& members) {
+  VertexSet set(static_cast<size_t>(n), 0);
+  for (VertexId v : members) {
+    DCS_CHECK(v >= 0 && v < n);
+    set[static_cast<size_t>(v)] = 1;
+  }
+  return set;
+}
+
+// Complement of a vertex set.
+inline VertexSet ComplementSet(const VertexSet& set) {
+  VertexSet complement(set.size());
+  for (size_t i = 0; i < set.size(); ++i) complement[i] = set[i] ? 0 : 1;
+  return complement;
+}
+
+// Number of members.
+inline int SetSize(const VertexSet& set) {
+  int count = 0;
+  for (uint8_t bit : set) count += bit ? 1 : 0;
+  return count;
+}
+
+// True if S is a proper nonempty subset (∅ ⊂ S ⊂ V), i.e. a valid cut side.
+inline bool IsProperCutSide(const VertexSet& set) {
+  const int size = SetSize(set);
+  return size > 0 && size < static_cast<int>(set.size());
+}
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_TYPES_H_

@@ -1,0 +1,44 @@
+#include "localquery/oracle.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace dcs {
+
+GraphOracle::GraphOracle(const UndirectedGraph& graph)
+    : num_vertices_(graph.num_vertices()),
+      neighbors_(static_cast<size_t>(graph.num_vertices())) {
+  for (const Edge& e : graph.edges()) {
+    DCS_CHECK_EQ(e.weight, 1.0);
+    neighbors_[static_cast<size_t>(e.src)].push_back(e.dst);
+    neighbors_[static_cast<size_t>(e.dst)].push_back(e.src);
+  }
+  // Deterministic neighbor order (slot semantics must be stable).
+  for (auto& list : neighbors_) std::sort(list.begin(), list.end());
+}
+
+int64_t GraphOracle::Degree(VertexId u) {
+  DCS_CHECK(u >= 0 && u < num_vertices_);
+  ++counts_.degree;
+  return static_cast<int64_t>(neighbors_[static_cast<size_t>(u)].size());
+}
+
+std::optional<VertexId> GraphOracle::Neighbor(VertexId u, int64_t slot) {
+  DCS_CHECK(u >= 0 && u < num_vertices_);
+  DCS_CHECK_GE(slot, 0);
+  ++counts_.neighbor;
+  const auto& list = neighbors_[static_cast<size_t>(u)];
+  if (slot >= static_cast<int64_t>(list.size())) return std::nullopt;
+  return list[static_cast<size_t>(slot)];
+}
+
+bool GraphOracle::Adjacent(VertexId u, VertexId v) {
+  DCS_CHECK(u >= 0 && u < num_vertices_);
+  DCS_CHECK(v >= 0 && v < num_vertices_);
+  ++counts_.adjacency;
+  const auto& list = neighbors_[static_cast<size_t>(u)];
+  return std::binary_search(list.begin(), list.end(), v);
+}
+
+}  // namespace dcs

@@ -1,0 +1,36 @@
+#include "lowerbound/cut_oracle.h"
+
+namespace dcs {
+
+CutOracle ExactCutOracle(const DirectedGraph& graph) {
+  return [&graph](const VertexSet& side) { return graph.CutWeight(side); };
+}
+
+CutOracle SketchCutOracle(const DirectedCutSketch& sketch) {
+  return [&sketch](const VertexSet& side) {
+    return sketch.EstimateCut(side);
+  };
+}
+
+CutOracle NoisyCutOracle(const DirectedGraph& graph, double relative_error,
+                         Rng& rng) {
+  DCS_CHECK_GE(relative_error, 0);
+  return [&graph, relative_error, &rng](const VertexSet& side) {
+    const double exact = graph.CutWeight(side);
+    const double factor =
+        1 + relative_error * (2 * rng.UniformDouble() - 1);
+    return exact * factor;
+  };
+}
+
+CutOracle MaximalNoiseCutOracle(const DirectedGraph& graph,
+                                double relative_error, Rng& rng) {
+  DCS_CHECK_GE(relative_error, 0);
+  return [&graph, relative_error, &rng](const VertexSet& side) {
+    const double exact = graph.CutWeight(side);
+    const double factor = 1 + relative_error * rng.RandomSign();
+    return exact * factor;
+  };
+}
+
+}  // namespace dcs

@@ -1,0 +1,45 @@
+// Cut oracles: the decoder-facing abstraction of "a sketch Bob can query".
+//
+// The lower-bound decoders (Sections 3 and 4) only ever interact with
+// Alice's sketch through cut-value queries. Modeling that interaction as a
+// std::function lets the same decoder run against (a) the exact graph,
+// (b) any DirectedCutSketch implementation, or (c) an adversarially/
+// randomly perturbed oracle with a prescribed relative error — which is how
+// the experiments locate the accuracy threshold at which decoding collapses.
+
+#ifndef DCS_LOWERBOUND_CUT_ORACLE_H_
+#define DCS_LOWERBOUND_CUT_ORACLE_H_
+
+#include <functional>
+#include <memory>
+
+#include "graph/digraph.h"
+#include "sketch/cut_sketch.h"
+#include "util/random.h"
+
+namespace dcs {
+
+// Answers directed cut queries w(S, V∖S) (possibly approximately).
+using CutOracle = std::function<double(const VertexSet&)>;
+
+// Exact oracle backed by the graph itself.
+CutOracle ExactCutOracle(const DirectedGraph& graph);
+
+// Oracle backed by a sketch (the sketch must outlive the oracle).
+CutOracle SketchCutOracle(const DirectedCutSketch& sketch);
+
+// Exact value perturbed by independent uniform multiplicative noise in
+// [1−relative_error, 1+relative_error]. The rng must outlive the oracle.
+// This models a generic (1±ε) sketch with fresh randomness per query.
+CutOracle NoisyCutOracle(const DirectedGraph& graph, double relative_error,
+                         Rng& rng);
+
+// Worst-case (1±relative_error) oracle: each query is perturbed by a
+// *sign-random but maximal* factor (exactly 1±relative_error). Decoders
+// must survive this to claim robustness at a given error level.
+CutOracle MaximalNoiseCutOracle(const DirectedGraph& graph,
+                                double relative_error, Rng& rng);
+
+}  // namespace dcs
+
+#endif  // DCS_LOWERBOUND_CUT_ORACLE_H_

@@ -1,0 +1,87 @@
+#include "lowerbound/protocols.h"
+
+#include "comm/gap_hamming.h"
+#include "comm/message.h"
+#include "graph/balance.h"
+#include "sketch/directed_sketches.h"
+
+namespace dcs {
+
+SketchProtocolResult RunForEachSketchProtocol(
+    const ForEachLowerBoundParams& params, double sketch_epsilon,
+    double oversample_c, int probes, Rng& rng) {
+  params.Check();
+  SketchProtocolResult result;
+  result.payload_bits = params.total_bits();
+
+  // --- Alice ---
+  const std::vector<int8_t> s =
+      rng.RandomSignString(static_cast<int>(params.total_bits()));
+  const ForEachEncoder encoder(params);
+  const ForEachEncoder::Encoding encoding = encoder.Encode(s);
+  const double beta =
+      PerEdgeBalanceCertificate(encoding.graph).value_or(params.beta());
+  const DirectedForEachSketch sketch(encoding.graph, sketch_epsilon, beta,
+                                     rng, oversample_c);
+  BitWriter writer;
+  sketch.Serialize(writer);
+  const Message message = SealMessage(writer);
+  result.message_bits = message.bit_count;
+
+  // --- Bob ---
+  BitReader reader = OpenMessage(message);
+  const DirectedForEachSketch received =
+      DirectedForEachSketch::Deserialize(reader);
+  const ForEachDecoder decoder(params);
+  const CutOracle oracle = SketchCutOracle(received);
+  for (int probe = 0; probe < probes; ++probe) {
+    const int64_t q = static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(params.total_bits())));
+    ++result.probes;
+    if (decoder.DecodeBit(q, oracle) == s[static_cast<size_t>(q)]) {
+      ++result.correct;
+    }
+  }
+  return result;
+}
+
+SketchProtocolResult RunForAllSketchProtocol(
+    const ForAllLowerBoundParams& params, double sketch_epsilon,
+    double oversample_c, int trials, Rng& rng) {
+  params.Check();
+  SketchProtocolResult result;
+  result.payload_bits = params.total_bits();
+  const ForAllEncoder encoder(params);
+  const ForAllDecoder decoder(params);
+  GapHammingParams gh;
+  gh.num_strings = static_cast<int>(params.total_strings());
+  gh.string_length = params.inv_epsilon_sq;
+  gh.gap_c = params.gap_c;
+  int64_t total_message_bits = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    // --- Alice ---
+    const GapHammingInstance instance = SampleGapHammingInstance(gh, rng);
+    const DirectedGraph graph = encoder.Encode(instance.s);
+    const DirectedForAllSketch sketch(graph, sketch_epsilon,
+                                      2.0 * params.beta, rng, oversample_c);
+    BitWriter writer;
+    sketch.Serialize(writer);
+    const Message message = SealMessage(writer);
+    total_message_bits += message.bit_count;
+
+    // --- Bob ---
+    BitReader reader = OpenMessage(message);
+    const DirectedForAllSketch received =
+        DirectedForAllSketch::Deserialize(reader);
+    const bool decided_far =
+        decoder.DecideFar(instance.index, instance.t,
+                          SketchCutOracle(received),
+                          ForAllDecoder::SubsetSelection::kGreedy);
+    ++result.probes;
+    if (decided_far == instance.is_far) ++result.correct;
+  }
+  result.message_bits = trials == 0 ? 0 : total_message_bits / trials;
+  return result;
+}
+
+}  // namespace dcs

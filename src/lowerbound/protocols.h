@@ -1,0 +1,54 @@
+// One-way sketch protocols: the paper's reductions with *real transcripts*.
+//
+// The lower-bound theorems say: if Bob can decode from Alice's message,
+// the message must be long. These runners make that operational end to
+// end — Alice encodes her communication-problem input into the
+// construction graph, builds an actual sketch from src/sketch, and
+// *serializes it*; the serialized bits are the message. Bob deserializes
+// and runs the decoder against the reconstructed sketch. The result pairs
+// the measured message length with the measured decoding accuracy, so
+// sweeping the sketch accuracy traces the size/decodability frontier the
+// theorems bound.
+
+#ifndef DCS_LOWERBOUND_PROTOCOLS_H_
+#define DCS_LOWERBOUND_PROTOCOLS_H_
+
+#include <cstdint>
+
+#include "lowerbound/foreach_encoding.h"
+#include "lowerbound/forall_encoding.h"
+#include "util/random.h"
+
+namespace dcs {
+
+// Outcome of one protocol run.
+struct SketchProtocolResult {
+  int64_t message_bits = 0;   // serialized sketch length (the transcript)
+  int64_t payload_bits = 0;   // information Alice embedded in the graph
+  int64_t probes = 0;         // decode attempts
+  int64_t correct = 0;        // successful decodes
+  double accuracy() const {
+    return probes == 0 ? 0 : static_cast<double>(correct) / probes;
+  }
+};
+
+// Index problem through a serialized DirectedForEachSketch (Section 3).
+// Alice: random ±1 string of length params.total_bits() → graph →
+// DirectedForEachSketch(sketch_epsilon, β from the per-edge certificate) →
+// serialize. Bob: deserialize, decode `probes` random positions with the
+// Section 3 decoder. Small sketch_epsilon ⇒ accurate decoding and a long
+// message; large sketch_epsilon ⇒ short message and chance-level decoding.
+SketchProtocolResult RunForEachSketchProtocol(
+    const ForEachLowerBoundParams& params, double sketch_epsilon,
+    double oversample_c, int probes, Rng& rng);
+
+// Distributional Gap-Hamming through a serialized DirectedForAllSketch
+// (Section 4). One instance + decision per trial; message_bits reports the
+// mean serialized size across trials.
+SketchProtocolResult RunForAllSketchProtocol(
+    const ForAllLowerBoundParams& params, double sketch_epsilon,
+    double oversample_c, int trials, Rng& rng);
+
+}  // namespace dcs
+
+#endif  // DCS_LOWERBOUND_PROTOCOLS_H_

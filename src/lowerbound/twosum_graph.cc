@@ -1,0 +1,52 @@
+#include "lowerbound/twosum_graph.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dcs {
+
+VertexSet TwoSumGraphLayout::WitnessSide() const {
+  VertexSet side(static_cast<size_t>(num_vertices()), 0);
+  for (int v = 0; v < 2 * side_length; ++v) {
+    side[static_cast<size_t>(v)] = 1;  // A ∪ A'
+  }
+  return side;
+}
+
+int PerfectSquareRoot(int64_t n) {
+  DCS_CHECK_GE(n, 1);
+  const int root = static_cast<int>(std::llround(std::sqrt(
+      static_cast<double>(n))));
+  DCS_CHECK_EQ(static_cast<int64_t>(root) * root, n);
+  return root;
+}
+
+UndirectedGraph BuildTwoSumGraph(const std::vector<uint8_t>& x,
+                                 const std::vector<uint8_t>& y) {
+  DCS_CHECK_EQ(x.size(), y.size());
+  const int side = PerfectSquareRoot(static_cast<int64_t>(x.size()));
+  const TwoSumGraphLayout layout(side);
+  UndirectedGraph graph(layout.num_vertices());
+  for (int i = 0; i < side; ++i) {
+    for (int j = 0; j < side; ++j) {
+      const size_t bit = static_cast<size_t>(i) * static_cast<size_t>(side) +
+                         static_cast<size_t>(j);
+      if (x[bit] && y[bit]) {
+        graph.AddEdge(layout.a(i), layout.b_prime(j), 1.0);
+        graph.AddEdge(layout.b(i), layout.a_prime(j), 1.0);
+      } else {
+        graph.AddEdge(layout.a(i), layout.a_prime(j), 1.0);
+        graph.AddEdge(layout.b(i), layout.b_prime(j), 1.0);
+      }
+    }
+  }
+  return graph;
+}
+
+TwoSumExample Figure2Example() {
+  return TwoSumExample{{0, 0, 0, 0, 0, 0, 1, 0, 0},
+                       {1, 0, 0, 0, 1, 0, 1, 0, 0}};
+}
+
+}  // namespace dcs

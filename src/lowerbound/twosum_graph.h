@@ -1,0 +1,68 @@
+// The Section 5.2 graph G_{x,y}: reducing 2-SUM to global min-cut.
+//
+// Given x, y ∈ {0,1}^N with N = ℓ², the vertex set is four blocks
+// A, A', B, B' of ℓ vertices each, and for every index pair (i, j):
+//
+//   x_{ij} = y_{ij} = 1  →  edges (a_i, b'_j) and (b_i, a'_j)   ("crossing")
+//   otherwise            →  edges (a_i, a'_j) and (b_i, b'_j)   ("parallel")
+//
+// Every vertex has degree exactly ℓ, the graph has 2N edges, and
+// Lemma 5.5 states MINCUT(G_{x,y}) = 2·INT(x, y) whenever √N ≥ 3·INT(x,y)
+// (the witness cut is (A ∪ A', B ∪ B')). The proof's 2γ-connectivity
+// argument (Figures 3–6) is verified in tests via max-flow path counts.
+
+#ifndef DCS_LOWERBOUND_TWOSUM_GRAPH_H_
+#define DCS_LOWERBOUND_TWOSUM_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/ugraph.h"
+
+namespace dcs {
+
+// Vertex-block layout of G_{x,y} for side length ℓ.
+struct TwoSumGraphLayout {
+  int side_length = 0;  // ℓ = √N
+
+  explicit TwoSumGraphLayout(int side) : side_length(side) {}
+
+  int num_vertices() const { return 4 * side_length; }
+  VertexId a(int i) const { return i; }
+  VertexId a_prime(int j) const { return side_length + j; }
+  VertexId b(int i) const { return 2 * side_length + i; }
+  VertexId b_prime(int j) const { return 3 * side_length + j; }
+
+  // Block membership tests.
+  bool InA(VertexId v) const { return v < side_length; }
+  bool InAPrime(VertexId v) const {
+    return v >= side_length && v < 2 * side_length;
+  }
+  bool InB(VertexId v) const {
+    return v >= 2 * side_length && v < 3 * side_length;
+  }
+  bool InBPrime(VertexId v) const { return v >= 3 * side_length; }
+
+  // The witness cut side A ∪ A' (its cut value is 2·INT(x, y)).
+  VertexSet WitnessSide() const;
+};
+
+// Returns ℓ with ℓ² == n, CHECK-failing if n is not a perfect square.
+int PerfectSquareRoot(int64_t n);
+
+// Builds G_{x,y}. Requires |x| == |y| == ℓ² for some integer ℓ >= 1.
+// Bits are indexed row-major: x_{ij} = x[(i−1)·ℓ + (j−1)] in the paper's
+// 1-based notation.
+UndirectedGraph BuildTwoSumGraph(const std::vector<uint8_t>& x,
+                                 const std::vector<uint8_t>& y);
+
+// The Figure 2 worked example: x = 000000100, y = 100010100 (ℓ = 3).
+struct TwoSumExample {
+  std::vector<uint8_t> x;
+  std::vector<uint8_t> y;
+};
+TwoSumExample Figure2Example();
+
+}  // namespace dcs
+
+#endif  // DCS_LOWERBOUND_TWOSUM_GRAPH_H_

@@ -1,0 +1,74 @@
+#include "lowerbound/twosum_oracle.h"
+
+#include <utility>
+
+#include "lowerbound/twosum_graph.h"
+
+namespace dcs {
+
+TwoSumGraphOracle::TwoSumGraphOracle(std::vector<uint8_t> alice_x,
+                                     std::vector<uint8_t> bob_y)
+    : side_(PerfectSquareRoot(static_cast<int64_t>(alice_x.size()))),
+      x_(std::move(alice_x)),
+      y_(std::move(bob_y)) {
+  DCS_CHECK_EQ(x_.size(), y_.size());
+}
+
+bool TwoSumGraphOracle::Intersects(int i, int j) {
+  // Alice sends x_{ij}, Bob sends y_{ij}: two bits on the wire.
+  bits_exchanged_ += 2;
+  const size_t bit = static_cast<size_t>(i) * static_cast<size_t>(side_) +
+                     static_cast<size_t>(j);
+  return x_[bit] != 0 && y_[bit] != 0;
+}
+
+int64_t TwoSumGraphOracle::Degree(VertexId u) {
+  DCS_CHECK(u >= 0 && u < num_vertices());
+  ++counts_.degree;
+  // Every vertex of G_{x,y} has degree exactly ℓ — no communication.
+  return side_;
+}
+
+std::optional<VertexId> TwoSumGraphOracle::Neighbor(VertexId u,
+                                                    int64_t slot) {
+  DCS_CHECK(u >= 0 && u < num_vertices());
+  DCS_CHECK_GE(slot, 0);
+  ++counts_.neighbor;
+  if (slot >= side_) return std::nullopt;
+  const TwoSumGraphLayout layout(side_);
+  const int local = u % side_;
+  const int j = static_cast<int>(slot);
+  if (layout.InA(u)) {
+    // a_i's j-th neighbor: b'_j on intersection, else a'_j.
+    return Intersects(local, j) ? layout.b_prime(j) : layout.a_prime(j);
+  }
+  if (layout.InB(u)) {
+    return Intersects(local, j) ? layout.a_prime(j) : layout.b_prime(j);
+  }
+  if (layout.InAPrime(u)) {
+    // a'_j's i-th neighbor: b_i on intersection, else a_i.
+    return Intersects(j, local) ? layout.b(j) : layout.a(j);
+  }
+  // u ∈ B'.
+  return Intersects(j, local) ? layout.a(j) : layout.b(j);
+}
+
+bool TwoSumGraphOracle::Adjacent(VertexId u, VertexId v) {
+  DCS_CHECK(u >= 0 && u < num_vertices());
+  DCS_CHECK(v >= 0 && v < num_vertices());
+  ++counts_.adjacency;
+  const TwoSumGraphLayout layout(side_);
+  // Normalize so u is on the {A, B} side.
+  if (layout.InAPrime(u) || layout.InBPrime(u)) std::swap(u, v);
+  if (!(layout.InA(u) || layout.InB(u))) return false;
+  if (!(layout.InAPrime(v) || layout.InBPrime(v))) return false;
+  const int i = u % side_;
+  const int j = v % side_;
+  const bool crossing = Intersects(i, j);
+  if (layout.InA(u)) {
+    return layout.InBPrime(v) ? crossing : !crossing;
+  }
+  return layout.InAPrime(v) ? crossing : !crossing;
+}
+
+}  // namespace dcs

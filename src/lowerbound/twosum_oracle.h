@@ -1,0 +1,51 @@
+// Lemma 5.6's query simulation made literal: a local-query oracle for
+// G_{x,y} that never materializes the graph.
+//
+// Alice holds x, Bob holds y. Degree queries are free (every vertex of
+// G_{x,y} has degree exactly ℓ = √N). A neighbor or adjacency query about
+// index pair (i, j) is answered by the players exchanging the two bits
+// x_{ij} and y_{ij} — so the oracle's CommunicationBits() is not an
+// accounting convention here but the count of bits a real two-party
+// protocol would have sent. Running any local-query min-cut algorithm
+// against this oracle *is* algorithm B of Lemma 5.6.
+
+#ifndef DCS_LOWERBOUND_TWOSUM_ORACLE_H_
+#define DCS_LOWERBOUND_TWOSUM_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "localquery/oracle.h"
+
+namespace dcs {
+
+class TwoSumGraphOracle final : public LocalQueryOracle {
+ public:
+  // Requires |x| == |y| == ℓ² for some integer ℓ >= 1.
+  TwoSumGraphOracle(std::vector<uint8_t> alice_x,
+                    std::vector<uint8_t> bob_y);
+
+  int num_vertices() const override { return 4 * side_; }
+  int64_t Degree(VertexId u) override;
+  std::optional<VertexId> Neighbor(VertexId u, int64_t slot) override;
+  bool Adjacent(VertexId u, VertexId v) override;
+
+  // Bits actually exchanged between the players (2 per answered
+  // neighbor/adjacency query; equals CommunicationBits()).
+  int64_t bits_exchanged() const { return bits_exchanged_; }
+
+  int side_length() const { return side_; }
+
+ private:
+  // The 2-bit exchange: both players reveal their (i, j) bit.
+  bool Intersects(int i, int j);
+
+  int side_;
+  std::vector<uint8_t> x_;
+  std::vector<uint8_t> y_;
+  int64_t bits_exchanged_ = 0;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_LOWERBOUND_TWOSUM_ORACLE_H_

@@ -1,0 +1,36 @@
+// Solving 2-SUM with a min-cut query algorithm — algorithm B of Lemma 5.6
+// as a library function.
+//
+// Given a 2-SUM(t, L, α) instance, concatenate Alice's and Bob's strings
+// into x, y, build G_{x,y}, estimate its global min cut with local queries,
+// and output t − MINCUT_estimate/(2α) as the approximation of
+// Σ_i DISJ(X^i, Y^i). Every neighbor/adjacency query the estimator makes
+// is charged 2 bits of Alice–Bob communication, so the returned
+// communication_bits is the transcript length of the simulated protocol.
+
+#ifndef DCS_LOWERBOUND_TWOSUM_SOLVER_H_
+#define DCS_LOWERBOUND_TWOSUM_SOLVER_H_
+
+#include "comm/two_sum.h"
+#include "localquery/mincut_estimator.h"
+#include "util/random.h"
+
+namespace dcs {
+
+// Result of the reduction.
+struct TwoSumSolveResult {
+  double disjoint_estimate = 0;   // estimate of Σ DISJ(X^i, Y^i)
+  double mincut_estimate = 0;     // the underlying MINCUT(G_{x,y}) estimate
+  int64_t total_queries = 0;      // local queries spent
+  int64_t communication_bits = 0; // Lemma 5.6 transcript bits
+};
+
+// Runs the reduction. Requires the concatenated length t·L to be a perfect
+// square with √(tL) ≥ 3·INT(x, y) (the Lemma 5.5 hypothesis; CHECKed).
+TwoSumSolveResult SolveTwoSumViaMinCut(
+    const TwoSumInstance& instance, double epsilon, Rng& rng,
+    SearchMode mode = SearchMode::kModifiedConstantSearch);
+
+}  // namespace dcs
+
+#endif  // DCS_LOWERBOUND_TWOSUM_SOLVER_H_

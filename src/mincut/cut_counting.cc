@@ -1,0 +1,79 @@
+#include "mincut/cut_counting.h"
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "graph/connectivity.h"
+#include "mincut/karger.h"
+
+namespace dcs {
+namespace {
+
+// Canonical key of a partition: membership string of the side with vertex 0.
+std::string PartitionKey(const VertexSet& side) {
+  std::string key(side.size(), '0');
+  const bool flip = side.empty() ? false : side[0] == 0;
+  for (size_t i = 0; i < side.size(); ++i) {
+    key[i] = ((side[i] != 0) != flip) ? '1' : '0';
+  }
+  return key;
+}
+
+}  // namespace
+
+CutCountResult CountNearMinimumCutsExhaustive(const UndirectedGraph& graph,
+                                              double alpha) {
+  const int n = graph.num_vertices();
+  DCS_CHECK_GE(n, 2);
+  DCS_CHECK_LE(n, 24);
+  DCS_CHECK_GE(alpha, 1.0);
+  DCS_CHECK(IsConnected(graph));
+  CutCountResult result;
+  result.min_value = -1;
+  // Enumerate partitions with vertex 0 fixed on one side.
+  const uint64_t limit = 1ULL << (n - 1);
+  VertexSet side(static_cast<size_t>(n));
+  std::vector<double> values;
+  values.reserve(static_cast<size_t>(limit));
+  for (uint64_t mask = 0; mask + 1 < limit; ++mask) {
+    side[0] = 1;
+    for (int v = 1; v < n; ++v) {
+      side[static_cast<size_t>(v)] = static_cast<uint8_t>((mask >> (v - 1)) & 1);
+    }
+    const double value = graph.CutWeight(side);
+    values.push_back(value);
+    if (result.min_value < 0 || value < result.min_value) {
+      result.min_value = value;
+    }
+  }
+  DCS_CHECK_GT(result.min_value, 0);
+  const double tolerance = 1e-9 * (1 + result.min_value);
+  for (double value : values) {
+    if (value <= result.min_value + tolerance) ++result.cuts_at_minimum;
+    if (value <= alpha * result.min_value + tolerance) {
+      ++result.cuts_within_alpha;
+    }
+  }
+  result.karger_bound = std::pow(static_cast<double>(n), 2 * alpha);
+  return result;
+}
+
+double KargerEnumerationCoverage(const UndirectedGraph& graph, double alpha,
+                                 Rng& rng, int repetitions) {
+  const CutCountResult truth =
+      CountNearMinimumCutsExhaustive(graph, alpha);
+  const std::vector<GlobalMinCut> found =
+      EnumerateNearMinimumCuts(graph, alpha, rng, repetitions);
+  const double tolerance = 1e-9 * (1 + truth.min_value);
+  std::set<std::string> discovered;
+  for (const GlobalMinCut& cut : found) {
+    if (cut.value <= alpha * truth.min_value + tolerance) {
+      discovered.insert(PartitionKey(cut.side));
+    }
+  }
+  return static_cast<double>(discovered.size()) /
+         static_cast<double>(truth.cuts_within_alpha);
+}
+
+}  // namespace dcs

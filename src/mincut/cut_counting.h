@@ -1,0 +1,42 @@
+// Near-minimum cut counting.
+//
+// Karger's cut-counting theorem — there are at most n^{2α} cuts within α
+// times the minimum — is what makes the paper's distributed min-cut recipe
+// work: the coordinator can afford to re-evaluate *every* O(1)-approximate
+// minimum cut with a for-each sketch. This module counts those cuts
+// exhaustively (small n) so the theorem, and the coverage of the
+// randomized Karger–Stein enumeration, can be validated directly.
+
+#ifndef DCS_MINCUT_CUT_COUNTING_H_
+#define DCS_MINCUT_CUT_COUNTING_H_
+
+#include <cstdint>
+
+#include "graph/ugraph.h"
+#include "util/random.h"
+
+namespace dcs {
+
+// Result of exhaustive enumeration over all 2^(n−1) − 1 cut partitions.
+struct CutCountResult {
+  double min_value = 0;
+  int64_t cuts_at_minimum = 0;      // partitions achieving min_value
+  int64_t cuts_within_alpha = 0;    // partitions with value <= alpha·min
+  // Karger's bound n^{2α} for comparison.
+  double karger_bound = 0;
+};
+
+// Counts cuts exhaustively. Requires 2 <= n <= 24 and a connected graph
+// with a positive minimum cut. Cut partitions are counted once (side
+// containing vertex 0).
+CutCountResult CountNearMinimumCutsExhaustive(const UndirectedGraph& graph,
+                                              double alpha);
+
+// Fraction of the true within-α cut partitions that `repetitions` rounds
+// of randomized Karger–Stein enumeration discover (1.0 = all of them).
+double KargerEnumerationCoverage(const UndirectedGraph& graph, double alpha,
+                                 Rng& rng, int repetitions);
+
+}  // namespace dcs
+
+#endif  // DCS_MINCUT_CUT_COUNTING_H_

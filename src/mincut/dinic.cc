@@ -1,0 +1,138 @@
+#include "mincut/dinic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace dcs {
+
+DinicSolver::DinicSolver(int num_vertices)
+    : num_vertices_(num_vertices),
+      arcs_(static_cast<size_t>(num_vertices)),
+      level_(static_cast<size_t>(num_vertices)),
+      next_arc_(static_cast<size_t>(num_vertices)) {
+  DCS_CHECK_GE(num_vertices, 2);
+}
+
+void DinicSolver::AddArc(VertexId src, VertexId dst, double capacity) {
+  DCS_CHECK(src >= 0 && src < num_vertices_);
+  DCS_CHECK(dst >= 0 && dst < num_vertices_);
+  DCS_CHECK_NE(src, dst);
+  DCS_CHECK_GE(capacity, 0);
+  auto& forward_list = arcs_[static_cast<size_t>(src)];
+  auto& backward_list = arcs_[static_cast<size_t>(dst)];
+  forward_list.push_back(
+      Arc{dst, capacity, capacity, backward_list.size()});
+  backward_list.push_back(Arc{src, 0, 0, forward_list.size() - 1});
+}
+
+bool DinicSolver::BuildLevels(VertexId s, VertexId t) {
+  std::fill(level_.begin(), level_.end(), -1);
+  std::queue<VertexId> frontier;
+  frontier.push(s);
+  level_[static_cast<size_t>(s)] = 0;
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (const Arc& arc : arcs_[static_cast<size_t>(v)]) {
+      if (arc.capacity > kFlowEpsilon &&
+          level_[static_cast<size_t>(arc.to)] == -1) {
+        level_[static_cast<size_t>(arc.to)] =
+            level_[static_cast<size_t>(v)] + 1;
+        frontier.push(arc.to);
+      }
+    }
+  }
+  return level_[static_cast<size_t>(t)] != -1;
+}
+
+double DinicSolver::SendFlow(VertexId v, VertexId t, double limit) {
+  if (v == t || limit <= kFlowEpsilon) return limit;
+  for (size_t& i = next_arc_[static_cast<size_t>(v)];
+       i < arcs_[static_cast<size_t>(v)].size(); ++i) {
+    Arc& arc = arcs_[static_cast<size_t>(v)][i];
+    if (arc.capacity <= kFlowEpsilon) continue;
+    if (level_[static_cast<size_t>(arc.to)] !=
+        level_[static_cast<size_t>(v)] + 1) {
+      continue;
+    }
+    const double pushed =
+        SendFlow(arc.to, t, std::min(limit, arc.capacity));
+    if (pushed > kFlowEpsilon) {
+      arc.capacity -= pushed;
+      arcs_[static_cast<size_t>(arc.to)][arc.reverse].capacity += pushed;
+      return pushed;
+    }
+  }
+  return 0;
+}
+
+MaxFlowResult DinicSolver::Solve(VertexId s, VertexId t) {
+  DCS_CHECK(s >= 0 && s < num_vertices_);
+  DCS_CHECK(t >= 0 && t < num_vertices_);
+  DCS_CHECK_NE(s, t);
+  // Reset to original capacities so the solver is reusable.
+  for (auto& arc_list : arcs_) {
+    for (Arc& arc : arc_list) arc.capacity = arc.original;
+  }
+  MaxFlowResult result;
+  while (BuildLevels(s, t)) {
+    std::fill(next_arc_.begin(), next_arc_.end(), 0);
+    while (true) {
+      const double pushed =
+          SendFlow(s, t, std::numeric_limits<double>::infinity());
+      if (pushed <= kFlowEpsilon) break;
+      result.flow_value += pushed;
+    }
+  }
+  // Source side of a min cut: vertices reachable in the residual network.
+  result.source_side.assign(static_cast<size_t>(num_vertices_), 0);
+  std::vector<VertexId> stack = {s};
+  result.source_side[static_cast<size_t>(s)] = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const Arc& arc : arcs_[static_cast<size_t>(v)]) {
+      if (arc.capacity > kFlowEpsilon &&
+          !result.source_side[static_cast<size_t>(arc.to)]) {
+        result.source_side[static_cast<size_t>(arc.to)] = 1;
+        stack.push_back(arc.to);
+      }
+    }
+  }
+  return result;
+}
+
+MaxFlowResult MaxFlow(const DirectedGraph& graph, VertexId s, VertexId t) {
+  DinicSolver solver(graph.num_vertices());
+  for (const Edge& e : graph.edges()) {
+    if (e.weight > 0) solver.AddArc(e.src, e.dst, e.weight);
+  }
+  return solver.Solve(s, t);
+}
+
+MaxFlowResult MaxFlowUndirected(const UndirectedGraph& graph, VertexId s,
+                                VertexId t) {
+  DinicSolver solver(graph.num_vertices());
+  for (const Edge& e : graph.edges()) {
+    if (e.weight > 0) {
+      solver.AddArc(e.src, e.dst, e.weight);
+      solver.AddArc(e.dst, e.src, e.weight);
+    }
+  }
+  return solver.Solve(s, t);
+}
+
+int CountEdgeDisjointPaths(const UndirectedGraph& graph, VertexId u,
+                           VertexId v) {
+  DinicSolver solver(graph.num_vertices());
+  for (const Edge& e : graph.edges()) {
+    solver.AddArc(e.src, e.dst, 1.0);
+    solver.AddArc(e.dst, e.src, 1.0);
+  }
+  const MaxFlowResult result = solver.Solve(u, v);
+  return static_cast<int>(std::llround(result.flow_value));
+}
+
+}  // namespace dcs

@@ -1,0 +1,74 @@
+// Dinic's max-flow / s-t min-cut.
+//
+// Used for: directed global min cut (n−1 flow calls), verifying the
+// edge-disjoint-path counts of Lemma 5.5's connectivity argument
+// (Figures 3–6), and exact s-t cut baselines.
+
+#ifndef DCS_MINCUT_DINIC_H_
+#define DCS_MINCUT_DINIC_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/ugraph.h"
+
+namespace dcs {
+
+// Result of a max-flow computation.
+struct MaxFlowResult {
+  // Maximum s-t flow value == minimum s-t cut capacity.
+  double flow_value = 0;
+  // The source side of a minimum cut (vertices reachable from s in the
+  // residual network).
+  VertexSet source_side;
+};
+
+// Max-flow solver over a fixed arc set. Capacities are doubles; residual
+// amounts below kFlowEpsilon are treated as zero.
+class DinicSolver {
+ public:
+  static constexpr double kFlowEpsilon = 1e-9;
+
+  // Builds the residual network for `num_vertices` vertices.
+  explicit DinicSolver(int num_vertices);
+
+  // Adds a directed arc with the given capacity (reverse residual arc has
+  // capacity 0). Requires src != dst.
+  void AddArc(VertexId src, VertexId dst, double capacity);
+
+  // Computes max flow from s to t. Resets any previous flow. s != t.
+  MaxFlowResult Solve(VertexId s, VertexId t);
+
+ private:
+  struct Arc {
+    VertexId to;
+    double capacity;   // remaining residual capacity
+    double original;   // capacity as added (for reset)
+    size_t reverse;    // index of the reverse arc in arcs_[to]
+  };
+
+  bool BuildLevels(VertexId s, VertexId t);
+  double SendFlow(VertexId v, VertexId t, double limit);
+
+  int num_vertices_;
+  std::vector<std::vector<Arc>> arcs_;
+  std::vector<int> level_;
+  std::vector<size_t> next_arc_;
+};
+
+// Max flow on a directed graph (capacities = edge weights).
+MaxFlowResult MaxFlow(const DirectedGraph& graph, VertexId s, VertexId t);
+
+// Max flow on an undirected graph (each edge usable in either direction up
+// to its weight).
+MaxFlowResult MaxFlowUndirected(const UndirectedGraph& graph, VertexId s,
+                                VertexId t);
+
+// Number of edge-disjoint u-v paths in an undirected multigraph (unit
+// capacities per parallel edge; weights ignored, multiplicity respected).
+int CountEdgeDisjointPaths(const UndirectedGraph& graph, VertexId u,
+                           VertexId v);
+
+}  // namespace dcs
+
+#endif  // DCS_MINCUT_DINIC_H_

@@ -1,0 +1,35 @@
+#include "mincut/directed_mincut.h"
+
+#include <limits>
+
+#include "mincut/dinic.h"
+
+namespace dcs {
+
+GlobalMinCut DirectedGlobalMinCut(const DirectedGraph& graph) {
+  const int n = graph.num_vertices();
+  DCS_CHECK_GE(n, 2);
+  DinicSolver solver(n);
+  for (const Edge& e : graph.edges()) {
+    if (e.weight > 0) solver.AddArc(e.src, e.dst, e.weight);
+  }
+  GlobalMinCut best;
+  best.value = std::numeric_limits<double>::infinity();
+  for (int t = 1; t < n; ++t) {
+    // Any proper cut (S, V∖S) either has 0 ∈ S, t ∉ S (an s-t cut) or
+    // 0 ∉ S, t ∈ S (a t-s cut); sweeping t covers all cuts.
+    MaxFlowResult forward = solver.Solve(0, t);
+    if (forward.flow_value < best.value) {
+      best.value = forward.flow_value;
+      best.side = std::move(forward.source_side);
+    }
+    MaxFlowResult backward = solver.Solve(t, 0);
+    if (backward.flow_value < best.value) {
+      best.value = backward.flow_value;
+      best.side = std::move(backward.source_side);
+    }
+  }
+  return best;
+}
+
+}  // namespace dcs

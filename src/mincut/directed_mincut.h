@@ -1,0 +1,19 @@
+// Exact directed global minimum cut: min over all proper S of w(S, V∖S),
+// computed with 2(n−1) max-flow calls (fix r = 0; for every t, the best cut
+// either separates r from t or t from r).
+
+#ifndef DCS_MINCUT_DIRECTED_MINCUT_H_
+#define DCS_MINCUT_DIRECTED_MINCUT_H_
+
+#include "graph/digraph.h"
+#include "mincut/stoer_wagner.h"
+
+namespace dcs {
+
+// Exact directed global min cut. Requires >= 2 vertices. For a graph that
+// is not strongly connected the value may be 0.
+GlobalMinCut DirectedGlobalMinCut(const DirectedGraph& graph);
+
+}  // namespace dcs
+
+#endif  // DCS_MINCUT_DIRECTED_MINCUT_H_

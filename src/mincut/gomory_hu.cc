@@ -1,0 +1,82 @@
+#include "mincut/gomory_hu.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "mincut/dinic.h"
+
+namespace dcs {
+
+GomoryHuTree::GomoryHuTree(const UndirectedGraph& graph) {
+  const int n = graph.num_vertices();
+  DCS_CHECK_GE(n, 2);
+  parent_.assign(static_cast<size_t>(n), 0);
+  cut_value_.assign(static_cast<size_t>(n), 0);
+
+  DinicSolver solver(n);
+  for (const Edge& e : graph.edges()) {
+    if (e.weight > 0) {
+      solver.AddArc(e.src, e.dst, e.weight);
+      solver.AddArc(e.dst, e.src, e.weight);
+    }
+  }
+  // Gusfield: process vertices in order; split siblings onto the new node
+  // when they fall on its side of the cut.
+  for (VertexId i = 1; i < n; ++i) {
+    const MaxFlowResult result = solver.Solve(i, parent_[static_cast<size_t>(i)]);
+    cut_value_[static_cast<size_t>(i)] = result.flow_value;
+    for (VertexId j = i + 1; j < n; ++j) {
+      if (result.source_side[static_cast<size_t>(j)] &&
+          parent_[static_cast<size_t>(j)] == parent_[static_cast<size_t>(i)]) {
+        parent_[static_cast<size_t>(j)] = i;
+      }
+    }
+  }
+  // Depths for path queries.
+  depth_.assign(static_cast<size_t>(n), -1);
+  depth_[0] = 0;
+  // Vertices' parents always precede them in Gusfield's construction only
+  // loosely; compute depths by walking up with memoization.
+  for (VertexId v = 0; v < n; ++v) {
+    // Walk up collecting the chain until a known depth.
+    std::vector<VertexId> chain;
+    VertexId cursor = v;
+    while (depth_[static_cast<size_t>(cursor)] == -1) {
+      chain.push_back(cursor);
+      cursor = parent_[static_cast<size_t>(cursor)];
+    }
+    int depth = depth_[static_cast<size_t>(cursor)];
+    for (size_t k = chain.size(); k-- > 0;) {
+      depth_[static_cast<size_t>(chain[k])] = ++depth;
+    }
+  }
+}
+
+double GomoryHuTree::MinCutValue(VertexId u, VertexId v) const {
+  const int n = num_vertices();
+  DCS_CHECK(u >= 0 && u < n);
+  DCS_CHECK(v >= 0 && v < n);
+  DCS_CHECK_NE(u, v);
+  // Minimum edge weight on the tree path: lift the deeper endpoint.
+  double minimum = std::numeric_limits<double>::infinity();
+  while (u != v) {
+    if (depth_[static_cast<size_t>(u)] >= depth_[static_cast<size_t>(v)]) {
+      minimum = std::min(minimum, cut_value_[static_cast<size_t>(u)]);
+      u = parent_[static_cast<size_t>(u)];
+    } else {
+      minimum = std::min(minimum, cut_value_[static_cast<size_t>(v)]);
+      v = parent_[static_cast<size_t>(v)];
+    }
+  }
+  return minimum;
+}
+
+double GomoryHuTree::GlobalMinCutValue() const {
+  double minimum = std::numeric_limits<double>::infinity();
+  for (size_t v = 1; v < cut_value_.size(); ++v) {
+    minimum = std::min(minimum, cut_value_[v]);
+  }
+  return minimum;
+}
+
+}  // namespace dcs

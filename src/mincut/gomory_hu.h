@@ -1,0 +1,51 @@
+// Gomory–Hu trees (Gusfield's variant): all-pairs minimum cuts from n−1
+// max-flow computations.
+//
+// The tree has one edge per non-root vertex; the minimum u-v cut value of
+// the original graph equals the minimum edge weight on the tree path
+// between u and v, and the corresponding side is recoverable from the
+// tree. Used as a substrate for cut-structure analysis (e.g. validating
+// edge strengths and sketch error against every pairwise cut at once).
+
+#ifndef DCS_MINCUT_GOMORY_HU_H_
+#define DCS_MINCUT_GOMORY_HU_H_
+
+#include <vector>
+
+#include "graph/ugraph.h"
+
+namespace dcs {
+
+class GomoryHuTree {
+ public:
+  // Builds the tree with n−1 max-flow calls (Gusfield's algorithm; no
+  // contractions needed). Requires >= 2 vertices. Disconnected graphs are
+  // fine: tree edges between components get weight 0.
+  explicit GomoryHuTree(const UndirectedGraph& graph);
+
+  int num_vertices() const { return static_cast<int>(parent_.size()); }
+
+  // Minimum u-v cut value (== max u-v flow). Requires u != v.
+  double MinCutValue(VertexId u, VertexId v) const;
+
+  // The global minimum cut value: the lightest tree edge.
+  double GlobalMinCutValue() const;
+
+  // Tree structure: parent of v (vertex 0 is the root, parent 0) and the
+  // min-cut value between v and parent[v].
+  VertexId parent(VertexId v) const {
+    return parent_[static_cast<size_t>(v)];
+  }
+  double parent_cut_value(VertexId v) const {
+    return cut_value_[static_cast<size_t>(v)];
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<double> cut_value_;
+  std::vector<int> depth_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_MINCUT_GOMORY_HU_H_

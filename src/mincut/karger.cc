@@ -1,0 +1,177 @@
+#include "mincut/karger.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "graph/connectivity.h"
+
+namespace dcs {
+namespace {
+
+// A contracted multigraph: supervertex labels plus coalesced edges.
+struct ContractedGraph {
+  // For each supervertex, the original vertices inside it.
+  std::vector<std::vector<VertexId>> groups;
+  // Edges between supervertex indices with coalesced weights.
+  std::vector<Edge> edges;
+  int original_n = 0;
+};
+
+ContractedGraph FromGraph(const UndirectedGraph& graph) {
+  ContractedGraph cg;
+  cg.original_n = graph.num_vertices();
+  cg.groups.resize(static_cast<size_t>(graph.num_vertices()));
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    cg.groups[static_cast<size_t>(v)] = {v};
+  }
+  cg.edges = graph.edges();
+  return cg;
+}
+
+// Contracts random weighted edges until `target` supervertices remain.
+void ContractTo(ContractedGraph& cg, int target, Rng& rng) {
+  while (static_cast<int>(cg.groups.size()) > target) {
+    double total = 0;
+    for (const Edge& e : cg.edges) total += e.weight;
+    DCS_CHECK_GT(total, 0);
+    // Pick an edge with probability proportional to weight.
+    double draw = rng.UniformDouble() * total;
+    size_t pick = 0;
+    for (size_t i = 0; i < cg.edges.size(); ++i) {
+      draw -= cg.edges[i].weight;
+      if (draw <= 0) {
+        pick = i;
+        break;
+      }
+    }
+    // Merge the higher-indexed supervertex into the lower-indexed one, then
+    // fill the freed slot with the last supervertex. keep < drop <= last, so
+    // the relabeling below can never produce an out-of-range index.
+    const int keep = std::min(cg.edges[pick].src, cg.edges[pick].dst);
+    const int drop = std::max(cg.edges[pick].src, cg.edges[pick].dst);
+    auto& group_keep = cg.groups[static_cast<size_t>(keep)];
+    auto& group_drop = cg.groups[static_cast<size_t>(drop)];
+    group_keep.insert(group_keep.end(), group_drop.begin(),
+                      group_drop.end());
+    const int last = static_cast<int>(cg.groups.size()) - 1;
+    if (drop != last) {
+      cg.groups[static_cast<size_t>(drop)] =
+          std::move(cg.groups[static_cast<size_t>(last)]);
+    }
+    cg.groups.pop_back();
+    // Relabel edges: drop -> keep, last -> drop; drop self-loops.
+    std::vector<Edge> kept;
+    kept.reserve(cg.edges.size());
+    for (Edge e : cg.edges) {
+      auto relabel = [&](int v) {
+        if (v == drop) return keep;
+        if (v == last) return drop;
+        return v;
+      };
+      e.src = relabel(e.src);
+      e.dst = relabel(e.dst);
+      if (e.src != e.dst) kept.push_back(e);
+    }
+    cg.edges = std::move(kept);
+  }
+}
+
+GlobalMinCut CutFromTwoSupervertices(const ContractedGraph& cg) {
+  DCS_CHECK_EQ(cg.groups.size(), 2u);
+  GlobalMinCut cut;
+  for (const Edge& e : cg.edges) cut.value += e.weight;
+  cut.side = MakeVertexSet(cg.original_n, cg.groups[0]);
+  return cut;
+}
+
+// Canonical key: the side containing vertex 0, as a 0/1 string.
+std::string CanonicalKey(const VertexSet& side) {
+  std::string key(side.size(), '0');
+  const bool flip = side.empty() ? false : side[0] == 0;
+  for (size_t i = 0; i < side.size(); ++i) {
+    const bool in_side = side[i] != 0;
+    key[i] = (in_side != flip) ? '1' : '0';
+  }
+  return key;
+}
+
+// Recursive Karger–Stein on a contracted graph; appends every leaf cut.
+void KargerSteinRecurse(ContractedGraph cg, Rng& rng,
+                        std::vector<GlobalMinCut>& leaves) {
+  const int n = static_cast<int>(cg.groups.size());
+  if (n <= 6) {
+    ContractTo(cg, 2, rng);
+    leaves.push_back(CutFromTwoSupervertices(cg));
+    return;
+  }
+  const int target =
+      std::max(2, static_cast<int>(std::ceil(1.0 + n / std::sqrt(2.0))));
+  for (int branch = 0; branch < 2; ++branch) {
+    ContractedGraph copy = cg;
+    ContractTo(copy, target, rng);
+    KargerSteinRecurse(std::move(copy), rng, leaves);
+  }
+}
+
+}  // namespace
+
+GlobalMinCut KargerContractOnce(const UndirectedGraph& graph, Rng& rng) {
+  DCS_CHECK_GE(graph.num_vertices(), 2);
+  DCS_CHECK(IsConnected(graph));
+  ContractedGraph cg = FromGraph(graph);
+  ContractTo(cg, 2, rng);
+  return CutFromTwoSupervertices(cg);
+}
+
+GlobalMinCut KargerSteinMinCut(const UndirectedGraph& graph, Rng& rng,
+                               int repetitions) {
+  DCS_CHECK_GE(graph.num_vertices(), 2);
+  DCS_CHECK_GE(repetitions, 1);
+  DCS_CHECK(IsConnected(graph));
+  GlobalMinCut best;
+  best.value = std::numeric_limits<double>::infinity();
+  std::vector<GlobalMinCut> leaves;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    leaves.clear();
+    KargerSteinRecurse(FromGraph(graph), rng, leaves);
+    for (GlobalMinCut& cut : leaves) {
+      if (cut.value < best.value) best = std::move(cut);
+    }
+  }
+  return best;
+}
+
+std::vector<GlobalMinCut> EnumerateNearMinimumCuts(
+    const UndirectedGraph& graph, double alpha, Rng& rng, int repetitions) {
+  DCS_CHECK_GE(alpha, 1.0);
+  DCS_CHECK_GE(repetitions, 1);
+  DCS_CHECK(IsConnected(graph));
+  std::vector<GlobalMinCut> leaves;
+  for (int rep = 0; rep < repetitions; ++rep) {
+    KargerSteinRecurse(FromGraph(graph), rng, leaves);
+  }
+  double min_value = std::numeric_limits<double>::infinity();
+  for (const GlobalMinCut& cut : leaves) {
+    min_value = std::min(min_value, cut.value);
+  }
+  std::map<std::string, GlobalMinCut> unique;
+  for (GlobalMinCut& cut : leaves) {
+    if (cut.value > alpha * min_value) continue;
+    std::string key = CanonicalKey(cut.side);
+    auto it = unique.find(key);
+    if (it == unique.end()) unique.emplace(std::move(key), std::move(cut));
+  }
+  std::vector<GlobalMinCut> result;
+  result.reserve(unique.size());
+  for (auto& [key, cut] : unique) result.push_back(std::move(cut));
+  std::sort(result.begin(), result.end(),
+            [](const GlobalMinCut& a, const GlobalMinCut& b) {
+              return a.value < b.value;
+            });
+  return result;
+}
+
+}  // namespace dcs

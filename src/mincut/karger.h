@@ -1,0 +1,41 @@
+// Randomized contraction algorithms: Karger's basic contraction,
+// Karger–Stein recursive contraction, and enumeration of all near-minimum
+// cuts.
+//
+// The distributed min-cut pipeline (the application motivating the paper's
+// lower bounds) needs the set of all O(1)-approximate minimum cuts of a
+// constant-accuracy sparsifier: Karger's theorem bounds their number by
+// n^O(α), and repeated randomized contraction finds them all with high
+// probability. Each contraction leaf yields one candidate cut; we collect,
+// deduplicate, and filter by value.
+
+#ifndef DCS_MINCUT_KARGER_H_
+#define DCS_MINCUT_KARGER_H_
+
+#include <vector>
+
+#include "graph/ugraph.h"
+#include "mincut/stoer_wagner.h"
+#include "util/random.h"
+
+namespace dcs {
+
+// One run of Karger's contraction to two supervertices. Returns the cut.
+// Requires a connected graph with >= 2 vertices and positive total weight.
+GlobalMinCut KargerContractOnce(const UndirectedGraph& graph, Rng& rng);
+
+// Karger–Stein recursive contraction, `repetitions` independent runs.
+// Returns the best cut found (correct whp for repetitions = Ω(log² n)).
+GlobalMinCut KargerSteinMinCut(const UndirectedGraph& graph, Rng& rng,
+                               int repetitions);
+
+// Collects candidate cuts from `repetitions` Karger–Stein runs, keeping
+// every deduplicated cut whose value is at most `alpha` times the smallest
+// value seen (alpha >= 1). Sides are canonicalized to contain vertex 0.
+// Output is sorted by value ascending.
+std::vector<GlobalMinCut> EnumerateNearMinimumCuts(
+    const UndirectedGraph& graph, double alpha, Rng& rng, int repetitions);
+
+}  // namespace dcs
+
+#endif  // DCS_MINCUT_KARGER_H_

@@ -1,0 +1,94 @@
+#include "mincut/nagamochi_ibaraki.h"
+
+#include <algorithm>
+
+#include "util/union_find.h"
+
+namespace dcs {
+
+std::vector<double> NagamochiIbarakiStrengths(const UndirectedGraph& graph,
+                                              double granularity) {
+  DCS_CHECK_GE(granularity, 0);
+  const int n = graph.num_vertices();
+  const size_t m = graph.edges().size();
+  std::vector<double> remaining(m);
+  std::vector<double> strength(m, 0);
+  size_t alive_count = 0;
+  for (size_t i = 0; i < m; ++i) {
+    remaining[i] = graph.edges()[i].weight;
+    if (remaining[i] > 0) ++alive_count;
+  }
+  if (n < 2) return strength;
+
+  double level = 0;
+  UnionFind uf(n);
+  std::vector<size_t> forest;
+  forest.reserve(static_cast<size_t>(n));
+  // Each round peels δ = min remaining weight in a maximal spanning forest;
+  // at least one edge is exhausted per round, so at most m rounds run.
+  while (alive_count > 0) {
+    uf.Reset();
+    forest.clear();
+    double min_remaining = 0;
+    double max_remaining = 0;
+    for (size_t i = 0; i < m; ++i) {
+      if (remaining[i] <= 0) continue;
+      const Edge& e = graph.edges()[i];
+      if (uf.Union(e.src, e.dst)) {
+        forest.push_back(i);
+        if (min_remaining == 0 || remaining[i] < min_remaining) {
+          min_remaining = remaining[i];
+        }
+        if (remaining[i] > max_remaining) max_remaining = remaining[i];
+      }
+    }
+    DCS_CHECK(!forest.empty());
+    // Geometric peeling: subtract up to granularity·level per round so the
+    // number of rounds stays logarithmic instead of Θ(m) on graphs with
+    // distinct real weights. The increment is capped by the deepest edge in
+    // the forest (the forest cannot be peeled beyond its capacity), and an
+    // edge exhausted mid-round is credited level_before + remaining — a
+    // safe *underestimate* of its exact peel level, so strengths never
+    // exceed the exact decomposition's values.
+    const double delta = std::min(
+        std::max(min_remaining, granularity * level), max_remaining);
+    for (size_t i : forest) {
+      if (remaining[i] <= delta + 1e-12) {
+        strength[i] = level + remaining[i];
+        remaining[i] = 0;
+        --alive_count;
+      } else {
+        remaining[i] -= delta;
+      }
+    }
+    level += delta;
+  }
+  return strength;
+}
+
+UndirectedGraph SparseCertificate(const UndirectedGraph& graph, int k) {
+  DCS_CHECK_GE(k, 1);
+  const int n = graph.num_vertices();
+  UndirectedGraph certificate(n);
+  if (n < 2) return certificate;
+  const size_t m = graph.edges().size();
+  std::vector<uint8_t> used(m, 0);
+  UnionFind uf(n);
+  for (int round = 0; round < k; ++round) {
+    uf.Reset();
+    bool any = false;
+    for (size_t i = 0; i < m; ++i) {
+      if (used[i]) continue;
+      const Edge& e = graph.edges()[i];
+      if (uf.Union(e.src, e.dst)) {
+        used[i] = 1;
+        certificate.AddEdge(e.src, e.dst, e.weight);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return certificate;
+}
+
+}  // namespace dcs

@@ -1,0 +1,47 @@
+// Nagamochi–Ibaraki forest decompositions.
+//
+// Two uses in this library:
+//  * Sparse certificates: the union of the first k maximal spanning forests
+//    preserves all cuts up to value k (unweighted), a classic
+//    k-connectivity certificate.
+//  * Edge strengths: the weighted peeling decomposition assigns each edge a
+//    connectivity estimate λ_e (the cumulative peel level at which the edge
+//    is exhausted); λ_e never exceeds the endpoint connectivity, and
+//    sampling edges with probability ∝ w_e/λ_e yields cut sparsifiers
+//    (Benczúr–Karger / Fung et al. style) — the substrate under every
+//    for-all sketch in src/sketch.
+
+#ifndef DCS_MINCUT_NAGAMOCHI_IBARAKI_H_
+#define DCS_MINCUT_NAGAMOCHI_IBARAKI_H_
+
+#include <vector>
+
+#include "graph/ugraph.h"
+
+namespace dcs {
+
+// For each edge (parallel to graph.edges()), a connectivity estimate
+// λ_e > 0: the cumulative peel level of the weighted forest decomposition
+// at the moment the edge's weight is exhausted. Satisfies w_e <= λ_e and
+// λ_e <= (1 + granularity) · (u,v)-max-flow for e = {u, v}. Zero-weight
+// edges get λ_e = 0.
+//
+// `granularity` trades resolution for speed: each round peels
+// δ = min(max(min remaining in forest, granularity·level), max remaining),
+// and an edge exhausted mid-round is credited level + remaining. With
+// granularity 0 the decomposition is exact (δ = min remaining, one
+// exhaustion per round) but may take Θ(m) rounds on graphs with distinct
+// real weights; the default 1/8 keeps the round count logarithmic at the
+// cost of strengths up to 12.5% above the exact decomposition's levels.
+std::vector<double> NagamochiIbarakiStrengths(const UndirectedGraph& graph,
+                                              double granularity = 0.125);
+
+// The union of the first k maximal spanning forests (unweighted view: each
+// edge used once regardless of weight, keeping its weight in the output).
+// The result has at most k·(n−1) edges and preserves connectivity up to k:
+// any cut of size < k (by edge count) has the same crossing edge *count*.
+UndirectedGraph SparseCertificate(const UndirectedGraph& graph, int k);
+
+}  // namespace dcs
+
+#endif  // DCS_MINCUT_NAGAMOCHI_IBARAKI_H_

@@ -1,0 +1,78 @@
+#include "mincut/stoer_wagner.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace dcs {
+
+GlobalMinCut StoerWagnerMinCut(const UndirectedGraph& graph) {
+  const int n = graph.num_vertices();
+  DCS_CHECK_GE(n, 2);
+  // Dense adjacency matrix of coalesced weights.
+  std::vector<std::vector<double>> weight(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n), 0));
+  for (const Edge& e : graph.edges()) {
+    weight[static_cast<size_t>(e.src)][static_cast<size_t>(e.dst)] += e.weight;
+    weight[static_cast<size_t>(e.dst)][static_cast<size_t>(e.src)] += e.weight;
+  }
+  // merged_into[v] lists the original vertices currently contracted into v.
+  std::vector<std::vector<VertexId>> merged(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) merged[static_cast<size_t>(v)] = {v};
+  std::vector<VertexId> active(static_cast<size_t>(n));
+  for (int v = 0; v < n; ++v) active[static_cast<size_t>(v)] = v;
+
+  GlobalMinCut best;
+  best.value = std::numeric_limits<double>::infinity();
+
+  while (active.size() > 1) {
+    // Maximum-adjacency order over the active vertices.
+    std::vector<double> attachment(static_cast<size_t>(n), 0);
+    std::vector<uint8_t> added(static_cast<size_t>(n), 0);
+    std::vector<VertexId> order;
+    order.reserve(active.size());
+    for (size_t step = 0; step < active.size(); ++step) {
+      VertexId pick = -1;
+      double pick_weight = -1;
+      for (VertexId v : active) {
+        if (added[static_cast<size_t>(v)]) continue;
+        if (attachment[static_cast<size_t>(v)] > pick_weight) {
+          pick_weight = attachment[static_cast<size_t>(v)];
+          pick = v;
+        }
+      }
+      added[static_cast<size_t>(pick)] = 1;
+      order.push_back(pick);
+      for (VertexId v : active) {
+        if (!added[static_cast<size_t>(v)]) {
+          attachment[static_cast<size_t>(v)] +=
+              weight[static_cast<size_t>(pick)][static_cast<size_t>(v)];
+        }
+      }
+    }
+    const VertexId s = order[order.size() - 2];
+    const VertexId t = order.back();
+    // Cut-of-the-phase: {t's merged set} vs the rest.
+    const double phase_cut = attachment[static_cast<size_t>(t)];
+    if (phase_cut < best.value) {
+      best.value = phase_cut;
+      best.side = MakeVertexSet(n, merged[static_cast<size_t>(t)]);
+    }
+    // Contract t into s.
+    for (VertexId v : active) {
+      if (v == s || v == t) continue;
+      weight[static_cast<size_t>(s)][static_cast<size_t>(v)] +=
+          weight[static_cast<size_t>(t)][static_cast<size_t>(v)];
+      weight[static_cast<size_t>(v)][static_cast<size_t>(s)] =
+          weight[static_cast<size_t>(s)][static_cast<size_t>(v)];
+    }
+    merged[static_cast<size_t>(s)].insert(
+        merged[static_cast<size_t>(s)].end(),
+        merged[static_cast<size_t>(t)].begin(),
+        merged[static_cast<size_t>(t)].end());
+    active.erase(std::find(active.begin(), active.end(), t));
+  }
+  return best;
+}
+
+}  // namespace dcs

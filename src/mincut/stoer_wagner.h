@@ -1,0 +1,26 @@
+// Stoer–Wagner global minimum cut for weighted undirected graphs.
+//
+// Deterministic O(n³) (adjacency-matrix variant); the exact ground truth
+// against which sketches, sparsifiers, and query estimators are judged.
+
+#ifndef DCS_MINCUT_STOER_WAGNER_H_
+#define DCS_MINCUT_STOER_WAGNER_H_
+
+#include "graph/ugraph.h"
+
+namespace dcs {
+
+// A global minimum cut: its value and one side.
+struct GlobalMinCut {
+  double value = 0;
+  VertexSet side;
+};
+
+// Computes the global minimum cut. Requires a graph with >= 2 vertices.
+// If the graph is disconnected, returns value 0 with one component as the
+// side.
+GlobalMinCut StoerWagnerMinCut(const UndirectedGraph& graph);
+
+}  // namespace dcs
+
+#endif  // DCS_MINCUT_STOER_WAGNER_H_

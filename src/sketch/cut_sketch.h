@@ -1,0 +1,45 @@
+// Abstract cut-sketch interfaces (Definitions 2.2 and 2.3 of the paper).
+//
+// A cut sketch is any data structure from which cut values can be
+// recovered. "For-all" sketches must be simultaneously accurate on every
+// cut; "for-each" sketches need only be accurate on each fixed cut with
+// constant probability (over the sketch's construction randomness). Both
+// kinds expose the same query interface; the guarantee they offer is part
+// of the concrete class's contract.
+
+#ifndef DCS_SKETCH_CUT_SKETCH_H_
+#define DCS_SKETCH_CUT_SKETCH_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace dcs {
+
+// A sketch of an undirected graph answering cut queries.
+class UndirectedCutSketch {
+ public:
+  virtual ~UndirectedCutSketch() = default;
+
+  // Estimate of the undirected cut value cut(S).
+  virtual double EstimateCut(const VertexSet& side) const = 0;
+
+  // Size of the serialized sketch in bits.
+  virtual int64_t SizeInBits() const = 0;
+};
+
+// A sketch of a directed graph answering directed cut queries w(S, V∖S).
+class DirectedCutSketch {
+ public:
+  virtual ~DirectedCutSketch() = default;
+
+  // Estimate of the directed cut value w(S, V∖S).
+  virtual double EstimateCut(const VertexSet& side) const = 0;
+
+  // Size of the serialized sketch in bits.
+  virtual int64_t SizeInBits() const = 0;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_SKETCH_CUT_SKETCH_H_

@@ -1,0 +1,180 @@
+#include "sketch/directed_sketches.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "mincut/nagamochi_ibaraki.h"
+#include "sketch/serialization.h"
+#include "util/bitio.h"
+#include "util/stats.h"
+
+namespace dcs {
+namespace {
+
+// Bits to serialize a per-vertex double array.
+int64_t ImbalanceSizeInBits(const std::vector<double>& imbalance) {
+  BitWriter writer;
+  SerializeDoubleVector(imbalance, writer);
+  return writer.bit_count();
+}
+
+double SumOverSide(const std::vector<double>& values, const VertexSet& side) {
+  DCS_CHECK_EQ(values.size(), side.size());
+  double sum = 0;
+  for (size_t v = 0; v < side.size(); ++v) {
+    if (side[v]) sum += values[v];
+  }
+  return sum;
+}
+
+double SymmetrizationEpsilon(double epsilon, double beta) {
+  DCS_CHECK(epsilon > 0 && epsilon < 1);
+  DCS_CHECK_GE(beta, 1);
+  // Directed error = symmetrization error · (1+β)/2; budget ε for it.
+  return std::min(0.5, 2 * epsilon / (1 + beta));
+}
+
+}  // namespace
+
+std::vector<double> VertexImbalances(const DirectedGraph& graph) {
+  std::vector<double> imbalance(static_cast<size_t>(graph.num_vertices()), 0);
+  for (const Edge& e : graph.edges()) {
+    imbalance[static_cast<size_t>(e.src)] += e.weight;
+    imbalance[static_cast<size_t>(e.dst)] -= e.weight;
+  }
+  return imbalance;
+}
+
+DirectedForEachSketch::DirectedForEachSketch(const DirectedGraph& graph,
+                                             double epsilon, double beta,
+                                             Rng& rng, double oversample_c)
+    : imbalance_(VertexImbalances(graph)),
+      symmetrization_epsilon_(SymmetrizationEpsilon(epsilon, beta)) {
+  symmetric_sketch_ = std::make_unique<ForEachCutSketch>(
+      graph.Symmetrized(), symmetrization_epsilon_, rng, oversample_c);
+}
+
+void DirectedForEachSketch::Serialize(BitWriter& writer) const {
+  SerializeDoubleVector(imbalance_, writer);
+  writer.WriteDouble(symmetrization_epsilon_);
+  symmetric_sketch_->Serialize(writer);
+}
+
+DirectedForEachSketch DirectedForEachSketch::Deserialize(BitReader& reader) {
+  DirectedForEachSketch sketch;
+  sketch.imbalance_ = DeserializeDoubleVector(reader);
+  sketch.symmetrization_epsilon_ = reader.ReadDouble();
+  sketch.symmetric_sketch_ = std::make_unique<ForEachCutSketch>(
+      ForEachCutSketch::Deserialize(reader));
+  return sketch;
+}
+
+double DirectedForEachSketch::EstimateCut(const VertexSet& side) const {
+  const double u_estimate = symmetric_sketch_->EstimateCut(side);
+  const double d_exact = SumOverSide(imbalance_, side);
+  return std::max(0.0, (u_estimate + d_exact) / 2);
+}
+
+int64_t DirectedForEachSketch::SizeInBits() const {
+  return ImbalanceSizeInBits(imbalance_) + symmetric_sketch_->SizeInBits();
+}
+
+DirectedForAllSketch::DirectedForAllSketch(const DirectedGraph& graph,
+                                           double epsilon, double beta,
+                                           Rng& rng, double oversample_c)
+    : imbalance_(VertexImbalances(graph)),
+      symmetrization_epsilon_(SymmetrizationEpsilon(epsilon, beta)) {
+  symmetric_sparsifier_ = std::make_unique<BenczurKargerSparsifier>(
+      graph.Symmetrized(), symmetrization_epsilon_, rng, oversample_c);
+}
+
+void DirectedForAllSketch::Serialize(BitWriter& writer) const {
+  SerializeDoubleVector(imbalance_, writer);
+  writer.WriteDouble(symmetrization_epsilon_);
+  symmetric_sparsifier_->Serialize(writer);
+}
+
+DirectedForAllSketch DirectedForAllSketch::Deserialize(BitReader& reader) {
+  DirectedForAllSketch sketch;
+  sketch.imbalance_ = DeserializeDoubleVector(reader);
+  sketch.symmetrization_epsilon_ = reader.ReadDouble();
+  sketch.symmetric_sparsifier_ = std::make_unique<BenczurKargerSparsifier>(
+      BenczurKargerSparsifier::Deserialize(reader));
+  return sketch;
+}
+
+double DirectedForAllSketch::EstimateCut(const VertexSet& side) const {
+  const double u_estimate = symmetric_sparsifier_->EstimateCut(side);
+  const double d_exact = SumOverSide(imbalance_, side);
+  return std::max(0.0, (u_estimate + d_exact) / 2);
+}
+
+int64_t DirectedForAllSketch::SizeInBits() const {
+  return ImbalanceSizeInBits(imbalance_) +
+         symmetric_sparsifier_->SizeInBits();
+}
+
+DirectedImportanceSamplerSketch::DirectedImportanceSamplerSketch(
+    const DirectedGraph& graph, double epsilon, double beta, Rng& rng,
+    double oversample_c)
+    : sample_(graph.num_vertices()), size_bits_(0) {
+  DCS_CHECK(epsilon > 0 && epsilon < 1);
+  DCS_CHECK_GE(beta, 1);
+  const UndirectedGraph symmetric = graph.Symmetrized();
+  const std::vector<double> strengths = NagamochiIbarakiStrengths(symmetric);
+  // Strength of each unordered pair, for looking up directed edges.
+  std::map<std::pair<VertexId, VertexId>, double> pair_strength;
+  for (size_t i = 0; i < symmetric.edges().size(); ++i) {
+    const Edge& e = symmetric.edges()[i];
+    pair_strength[{e.src, e.dst}] = strengths[i];
+  }
+  const double n = std::max(2, graph.num_vertices());
+  const double factor = oversample_c * std::log(n) * (1 + beta) /
+                        (epsilon * epsilon);
+  for (const Edge& e : graph.edges()) {
+    if (e.weight <= 0) continue;
+    const auto key = e.src < e.dst ? std::make_pair(e.src, e.dst)
+                                   : std::make_pair(e.dst, e.src);
+    const auto it = pair_strength.find(key);
+    DCS_CHECK(it != pair_strength.end());
+    const double p = std::min(1.0, factor * e.weight / it->second);
+    if (rng.Bernoulli(p)) {
+      sample_.AddEdge(e.src, e.dst, e.weight / p);
+    }
+  }
+  size_bits_ = SerializedSizeInBits(sample_);
+}
+
+double DirectedImportanceSamplerSketch::EstimateCut(
+    const VertexSet& side) const {
+  return sample_.CutWeight(side);
+}
+
+int64_t DirectedImportanceSamplerSketch::SizeInBits() const {
+  return size_bits_;
+}
+
+MedianOfDirectedSketches::MedianOfDirectedSketches(
+    std::vector<std::unique_ptr<DirectedCutSketch>> sketches)
+    : sketches_(std::move(sketches)) {
+  DCS_CHECK(!sketches_.empty());
+}
+
+double MedianOfDirectedSketches::EstimateCut(const VertexSet& side) const {
+  std::vector<double> estimates;
+  estimates.reserve(sketches_.size());
+  for (const auto& sketch : sketches_) {
+    estimates.push_back(sketch->EstimateCut(side));
+  }
+  return Median(std::move(estimates));
+}
+
+int64_t MedianOfDirectedSketches::SizeInBits() const {
+  int64_t total = 0;
+  for (const auto& sketch : sketches_) total += sketch->SizeInBits();
+  return total;
+}
+
+}  // namespace dcs

@@ -1,0 +1,50 @@
+// Degree-preserving sparsification of Eulerian digraphs.
+//
+// Eulerian graphs (weighted in-degree == out-degree everywhere) are the
+// β = 1 extreme of the paper's balanced-graph family, and the setting of
+// the Eulerian-sparsification line of work the paper cites ([CGP+23],
+// [CKK+18]). The key structural fact: an Eulerian digraph decomposes into
+// weighted directed cycles, and any nonnegative combination of those
+// cycles is again Eulerian.
+//
+// EulerianCycleSparsifier peels such a decomposition greedily and keeps
+// each cycle independently with probability p (reweighted by 1/p), so the
+// output is *exactly Eulerian* (every vertex imbalance is identically
+// zero — not just approximately), cuts are unbiased, and the forward and
+// backward values of every cut remain equal, preserving 1-balancedness by
+// construction. A plain edge sampler preserves none of that.
+
+#ifndef DCS_SKETCH_EULERIAN_SPARSIFIER_H_
+#define DCS_SKETCH_EULERIAN_SPARSIFIER_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/random.h"
+
+namespace dcs {
+
+// One weighted directed cycle: vertices[0] → vertices[1] → … → vertices[0].
+struct WeightedCycle {
+  std::vector<VertexId> vertices;
+  double weight = 0;
+};
+
+// Peels `graph` into weighted cycles. Requires the graph to be Eulerian
+// (CHECKed up to a tolerance): the returned cycles sum exactly back to the
+// graph's edge weights.
+std::vector<WeightedCycle> DecomposeIntoCycles(const DirectedGraph& graph);
+
+// Rebuilds a digraph from cycles (inverse of DecomposeIntoCycles up to
+// edge coalescing).
+DirectedGraph GraphFromCycles(int num_vertices,
+                              const std::vector<WeightedCycle>& cycles);
+
+// Keeps each cycle with probability `keep_probability`, reweighted by
+// 1/keep_probability: an unbiased, exactly-Eulerian sparsifier.
+DirectedGraph SparsifyEulerian(const DirectedGraph& graph,
+                               double keep_probability, Rng& rng);
+
+}  // namespace dcs
+
+#endif  // DCS_SKETCH_EULERIAN_SPARSIFIER_H_

@@ -1,0 +1,163 @@
+#include "sketch/sampled_sketches.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "mincut/nagamochi_ibaraki.h"
+#include "sketch/serialization.h"
+#include "util/stats.h"
+
+namespace dcs {
+
+UndirectedGraph ImportanceSampleByStrength(const UndirectedGraph& graph,
+                                           double factor, Rng& rng) {
+  DCS_CHECK_GT(factor, 0);
+  const std::vector<double> strengths = NagamochiIbarakiStrengths(graph);
+  UndirectedGraph sample(graph.num_vertices());
+  for (size_t i = 0; i < graph.edges().size(); ++i) {
+    const Edge& e = graph.edges()[i];
+    if (e.weight <= 0) continue;
+    const double p = std::min(1.0, factor * e.weight / strengths[i]);
+    if (rng.Bernoulli(p)) {
+      sample.AddEdge(e.src, e.dst, e.weight / p);
+    }
+  }
+  return sample;
+}
+
+BenczurKargerSparsifier::BenczurKargerSparsifier(const UndirectedGraph& graph,
+                                                 double epsilon, Rng& rng,
+                                                 double oversample_c)
+    : epsilon_(epsilon), sparsifier_(0), size_bits_(0) {
+  DCS_CHECK(epsilon > 0 && epsilon < 1);
+  const double n = std::max(2, graph.num_vertices());
+  const double factor =
+      oversample_c * std::log(n) / (epsilon * epsilon);
+  sparsifier_ = ImportanceSampleByStrength(graph, factor, rng);
+  size_bits_ = 64 + SerializedSizeInBits(sparsifier_);  // epsilon + graph
+}
+
+BenczurKargerSparsifier::BenczurKargerSparsifier(double epsilon,
+                                                 UndirectedGraph sparsifier,
+                                                 int64_t size_bits)
+    : epsilon_(epsilon),
+      sparsifier_(std::move(sparsifier)),
+      size_bits_(size_bits) {}
+
+BenczurKargerSparsifier BenczurKargerSparsifier::FromSparsifier(
+    double epsilon, UndirectedGraph sparsifier) {
+  const int64_t size_bits = 64 + SerializedSizeInBits(sparsifier);
+  return BenczurKargerSparsifier(epsilon, std::move(sparsifier), size_bits);
+}
+
+void BenczurKargerSparsifier::Serialize(BitWriter& writer) const {
+  writer.WriteDouble(epsilon_);
+  SerializeUndirectedGraph(sparsifier_, writer);
+}
+
+BenczurKargerSparsifier BenczurKargerSparsifier::Deserialize(
+    BitReader& reader) {
+  const double epsilon = reader.ReadDouble();
+  return FromSparsifier(epsilon, DeserializeUndirectedGraph(reader));
+}
+
+double BenczurKargerSparsifier::EstimateCut(const VertexSet& side) const {
+  return sparsifier_.CutWeight(side);
+}
+
+int64_t BenczurKargerSparsifier::SizeInBits() const { return size_bits_; }
+
+ForEachCutSketch::ForEachCutSketch(const UndirectedGraph& graph,
+                                   double epsilon, Rng& rng,
+                                   double oversample_c)
+    : epsilon_(epsilon), sample_(0), size_bits_(0) {
+  DCS_CHECK(epsilon > 0 && epsilon < 1);
+  const double factor = oversample_c / epsilon;
+  sample_ = ImportanceSampleByStrength(graph, factor, rng);
+  size_bits_ = 64 + SerializedSizeInBits(sample_);  // epsilon + graph
+}
+
+ForEachCutSketch::ForEachCutSketch(double epsilon, UndirectedGraph sample,
+                                   int64_t size_bits)
+    : epsilon_(epsilon), sample_(std::move(sample)), size_bits_(size_bits) {}
+
+ForEachCutSketch ForEachCutSketch::FromSample(double epsilon,
+                                              UndirectedGraph sample) {
+  const int64_t size_bits = 64 + SerializedSizeInBits(sample);
+  return ForEachCutSketch(epsilon, std::move(sample), size_bits);
+}
+
+void ForEachCutSketch::Serialize(BitWriter& writer) const {
+  writer.WriteDouble(epsilon_);
+  SerializeUndirectedGraph(sample_, writer);
+}
+
+ForEachCutSketch ForEachCutSketch::Deserialize(BitReader& reader) {
+  const double epsilon = reader.ReadDouble();
+  return FromSample(epsilon, DeserializeUndirectedGraph(reader));
+}
+
+double ForEachCutSketch::EstimateCut(const VertexSet& side) const {
+  return sample_.CutWeight(side);
+}
+
+int64_t ForEachCutSketch::SizeInBits() const { return size_bits_; }
+
+DegreeComplementSketch::DegreeComplementSketch(const UndirectedGraph& graph,
+                                               double epsilon, Rng& rng,
+                                               double oversample_c)
+    : degrees_(static_cast<size_t>(graph.num_vertices()), 0),
+      sample_(0),
+      size_bits_(0) {
+  DCS_CHECK(epsilon > 0 && epsilon < 1);
+  for (const Edge& e : graph.edges()) {
+    degrees_[static_cast<size_t>(e.src)] += e.weight;
+    degrees_[static_cast<size_t>(e.dst)] += e.weight;
+  }
+  sample_ = ImportanceSampleByStrength(graph, oversample_c / epsilon, rng);
+  // Wire cost: the degree table plus the sample graph.
+  size_bits_ = 64 * static_cast<int64_t>(degrees_.size()) +
+               SerializedSizeInBits(sample_);
+}
+
+double DegreeComplementSketch::EstimateCut(const VertexSet& side) const {
+  DCS_CHECK_EQ(side.size(), degrees_.size());
+  double degree_sum = 0;
+  for (size_t v = 0; v < side.size(); ++v) {
+    if (side[v]) degree_sum += degrees_[v];
+  }
+  double inside = 0;
+  for (const Edge& e : sample_.edges()) {
+    if (side[static_cast<size_t>(e.src)] &&
+        side[static_cast<size_t>(e.dst)]) {
+      inside += e.weight;
+    }
+  }
+  return std::max(0.0, degree_sum - 2 * inside);
+}
+
+int64_t DegreeComplementSketch::SizeInBits() const { return size_bits_; }
+
+MedianOfSketches::MedianOfSketches(
+    std::vector<std::unique_ptr<UndirectedCutSketch>> sketches)
+    : sketches_(std::move(sketches)) {
+  DCS_CHECK(!sketches_.empty());
+}
+
+double MedianOfSketches::EstimateCut(const VertexSet& side) const {
+  std::vector<double> estimates;
+  estimates.reserve(sketches_.size());
+  for (const auto& sketch : sketches_) {
+    estimates.push_back(sketch->EstimateCut(side));
+  }
+  return Median(std::move(estimates));
+}
+
+int64_t MedianOfSketches::SizeInBits() const {
+  int64_t total = 0;
+  for (const auto& sketch : sketches_) total += sketch->SizeInBits();
+  return total;
+}
+
+}  // namespace dcs

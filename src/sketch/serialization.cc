@@ -1,0 +1,79 @@
+#include "sketch/serialization.h"
+
+namespace dcs {
+namespace {
+
+template <typename GraphT>
+void SerializeEdges(const GraphT& graph, BitWriter& writer) {
+  writer.WriteEliasGamma(static_cast<uint64_t>(graph.num_vertices()));
+  writer.WriteEliasGamma(static_cast<uint64_t>(graph.num_edges()));
+  for (const Edge& e : graph.edges()) {
+    writer.WriteEliasGamma(static_cast<uint64_t>(e.src));
+    writer.WriteEliasGamma(static_cast<uint64_t>(e.dst));
+    writer.WriteDouble(e.weight);
+  }
+}
+
+}  // namespace
+
+void SerializeDirectedGraph(const DirectedGraph& graph, BitWriter& writer) {
+  SerializeEdges(graph, writer);
+}
+
+DirectedGraph DeserializeDirectedGraph(BitReader& reader) {
+  const int n = static_cast<int>(reader.ReadEliasGamma());
+  const int64_t m = static_cast<int64_t>(reader.ReadEliasGamma());
+  DirectedGraph graph(n);
+  for (int64_t i = 0; i < m; ++i) {
+    const VertexId src = static_cast<VertexId>(reader.ReadEliasGamma());
+    const VertexId dst = static_cast<VertexId>(reader.ReadEliasGamma());
+    const double weight = reader.ReadDouble();
+    graph.AddEdge(src, dst, weight);
+  }
+  return graph;
+}
+
+void SerializeUndirectedGraph(const UndirectedGraph& graph,
+                              BitWriter& writer) {
+  SerializeEdges(graph, writer);
+}
+
+UndirectedGraph DeserializeUndirectedGraph(BitReader& reader) {
+  const int n = static_cast<int>(reader.ReadEliasGamma());
+  const int64_t m = static_cast<int64_t>(reader.ReadEliasGamma());
+  UndirectedGraph graph(n);
+  for (int64_t i = 0; i < m; ++i) {
+    const VertexId src = static_cast<VertexId>(reader.ReadEliasGamma());
+    const VertexId dst = static_cast<VertexId>(reader.ReadEliasGamma());
+    const double weight = reader.ReadDouble();
+    graph.AddEdge(src, dst, weight);
+  }
+  return graph;
+}
+
+void SerializeDoubleVector(const std::vector<double>& values,
+                           BitWriter& writer) {
+  writer.WriteEliasGamma(values.size());
+  for (double v : values) writer.WriteDouble(v);
+}
+
+std::vector<double> DeserializeDoubleVector(BitReader& reader) {
+  const size_t count = static_cast<size_t>(reader.ReadEliasGamma());
+  std::vector<double> values(count);
+  for (size_t i = 0; i < count; ++i) values[i] = reader.ReadDouble();
+  return values;
+}
+
+int64_t SerializedSizeInBits(const DirectedGraph& graph) {
+  BitWriter writer;
+  SerializeDirectedGraph(graph, writer);
+  return writer.bit_count();
+}
+
+int64_t SerializedSizeInBits(const UndirectedGraph& graph) {
+  BitWriter writer;
+  SerializeUndirectedGraph(graph, writer);
+  return writer.bit_count();
+}
+
+}  // namespace dcs

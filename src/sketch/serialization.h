@@ -1,0 +1,39 @@
+// Bit-exact serialization of graphs and vertex-indexed arrays.
+//
+// Sketch sizes in this library are reported in *bits of serialized
+// representation*, because the paper's lower bounds are stated in bits.
+// Format (self-delimiting): Elias-gamma vertex/edge counts, per-edge
+// Elias-gamma endpoints and a raw IEEE double weight.
+
+#ifndef DCS_SKETCH_SERIALIZATION_H_
+#define DCS_SKETCH_SERIALIZATION_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/ugraph.h"
+#include "util/bitio.h"
+
+namespace dcs {
+
+// Serializes a directed graph (vertex count, edge count, edges).
+void SerializeDirectedGraph(const DirectedGraph& graph, BitWriter& writer);
+DirectedGraph DeserializeDirectedGraph(BitReader& reader);
+
+// Serializes an undirected graph.
+void SerializeUndirectedGraph(const UndirectedGraph& graph,
+                              BitWriter& writer);
+UndirectedGraph DeserializeUndirectedGraph(BitReader& reader);
+
+// Serializes a vector of doubles (count + raw 64-bit values).
+void SerializeDoubleVector(const std::vector<double>& values,
+                           BitWriter& writer);
+std::vector<double> DeserializeDoubleVector(BitReader& reader);
+
+// Serialized sizes in bits.
+int64_t SerializedSizeInBits(const DirectedGraph& graph);
+int64_t SerializedSizeInBits(const UndirectedGraph& graph);
+
+}  // namespace dcs
+
+#endif  // DCS_SKETCH_SERIALIZATION_H_

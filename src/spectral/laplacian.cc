@@ -1,0 +1,152 @@
+#include "spectral/laplacian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "graph/connectivity.h"
+#include "util/random.h"
+
+namespace dcs {
+
+DenseSpdSolver::DenseSpdSolver(std::vector<double> matrix, int n)
+    : n_(n), factor_(std::move(matrix)) {
+  DCS_CHECK_GE(n, 1);
+  DCS_CHECK_EQ(static_cast<int64_t>(factor_.size()),
+               static_cast<int64_t>(n) * n);
+  // In-place LDLᵀ: strictly-lower triangle holds L, diagonal holds D.
+  for (int j = 0; j < n_; ++j) {
+    double d = factor_[static_cast<size_t>(j) * n_ + j];
+    for (int k = 0; k < j; ++k) {
+      const double ljk = factor_[static_cast<size_t>(j) * n_ + k];
+      d -= ljk * ljk * factor_[static_cast<size_t>(k) * n_ + k];
+    }
+    DCS_CHECK_GT(d, 0);  // positive definiteness
+    factor_[static_cast<size_t>(j) * n_ + j] = d;
+    for (int i = j + 1; i < n_; ++i) {
+      double value = factor_[static_cast<size_t>(i) * n_ + j];
+      for (int k = 0; k < j; ++k) {
+        value -= factor_[static_cast<size_t>(i) * n_ + k] *
+                 factor_[static_cast<size_t>(j) * n_ + k] *
+                 factor_[static_cast<size_t>(k) * n_ + k];
+      }
+      factor_[static_cast<size_t>(i) * n_ + j] = value / d;
+    }
+  }
+}
+
+std::vector<double> DenseSpdSolver::Solve(const std::vector<double>& b) const {
+  DCS_CHECK_EQ(static_cast<int>(b.size()), n_);
+  std::vector<double> x = b;
+  // Forward: L z = b.
+  for (int i = 0; i < n_; ++i) {
+    for (int k = 0; k < i; ++k) {
+      x[static_cast<size_t>(i)] -=
+          factor_[static_cast<size_t>(i) * n_ + k] * x[static_cast<size_t>(k)];
+    }
+  }
+  // Diagonal: D y = z.
+  for (int i = 0; i < n_; ++i) {
+    x[static_cast<size_t>(i)] /= factor_[static_cast<size_t>(i) * n_ + i];
+  }
+  // Backward: Lᵀ x = y.
+  for (int i = n_ - 1; i >= 0; --i) {
+    for (int k = i + 1; k < n_; ++k) {
+      x[static_cast<size_t>(i)] -=
+          factor_[static_cast<size_t>(k) * n_ + i] * x[static_cast<size_t>(k)];
+    }
+  }
+  return x;
+}
+
+namespace {
+
+// Grounded Laplacian (last vertex removed), row-major (n−1)×(n−1).
+std::vector<double> GroundedLaplacian(const UndirectedGraph& graph) {
+  const int n = graph.num_vertices();
+  const int m = n - 1;
+  std::vector<double> matrix(static_cast<size_t>(m) * m, 0);
+  for (const Edge& e : graph.edges()) {
+    if (e.weight <= 0) continue;
+    const int u = e.src;
+    const int v = e.dst;
+    if (u < m) matrix[static_cast<size_t>(u) * m + u] += e.weight;
+    if (v < m) matrix[static_cast<size_t>(v) * m + v] += e.weight;
+    if (u < m && v < m) {
+      matrix[static_cast<size_t>(u) * m + v] -= e.weight;
+      matrix[static_cast<size_t>(v) * m + u] -= e.weight;
+    }
+  }
+  return matrix;
+}
+
+}  // namespace
+
+EffectiveResistances::EffectiveResistances(const UndirectedGraph& graph)
+    : n_(graph.num_vertices()),
+      graph_(&graph),
+      solver_(GroundedLaplacian(graph), graph.num_vertices() - 1),
+      potentials_cache_(static_cast<size_t>(graph.num_vertices())) {
+  DCS_CHECK_GE(n_, 2);
+  DCS_CHECK(IsConnected(graph));
+}
+
+const std::vector<double>& EffectiveResistances::Potentials(
+    VertexId u) const {
+  DCS_CHECK(u >= 0 && u < n_);
+  auto& cached = potentials_cache_[static_cast<size_t>(u)];
+  if (!cached.empty()) return cached;
+  const int m = n_ - 1;
+  if (u == n_ - 1) {
+    // Grounded vertex: zero potentials by convention.
+    cached.assign(static_cast<size_t>(m), 0.0);
+    return cached;
+  }
+  std::vector<double> rhs(static_cast<size_t>(m), 0.0);
+  rhs[static_cast<size_t>(u)] = 1.0;
+  cached = solver_.Solve(rhs);
+  return cached;
+}
+
+double EffectiveResistances::Resistance(VertexId u, VertexId v) const {
+  DCS_CHECK(u >= 0 && u < n_);
+  DCS_CHECK(v >= 0 && v < n_);
+  DCS_CHECK_NE(u, v);
+  const std::vector<double>& phi_u = Potentials(u);
+  const std::vector<double>& phi_v = Potentials(v);
+  auto at = [this](const std::vector<double>& phi, VertexId w) {
+    return w == n_ - 1 ? 0.0 : phi[static_cast<size_t>(w)];
+  };
+  return at(phi_u, u) - at(phi_u, v) - at(phi_v, u) + at(phi_v, v);
+}
+
+std::vector<double> EffectiveResistances::EdgeResistances() const {
+  std::vector<double> resistances;
+  resistances.reserve(graph_->edges().size());
+  for (const Edge& e : graph_->edges()) {
+    resistances.push_back(Resistance(e.src, e.dst));
+  }
+  return resistances;
+}
+
+UndirectedGraph SpectralSparsify(const UndirectedGraph& graph,
+                                 double epsilon, Rng& rng,
+                                 double oversample_c) {
+  DCS_CHECK(epsilon > 0 && epsilon < 1);
+  const EffectiveResistances resistances(graph);
+  const std::vector<double> edge_r = resistances.EdgeResistances();
+  const double n = std::max(2, graph.num_vertices());
+  const double rate = oversample_c * std::log(n) / (epsilon * epsilon);
+  UndirectedGraph sparsifier(graph.num_vertices());
+  for (size_t i = 0; i < graph.edges().size(); ++i) {
+    const Edge& e = graph.edges()[i];
+    if (e.weight <= 0) continue;
+    const double p = std::min(1.0, rate * e.weight * edge_r[i]);
+    if (rng.Bernoulli(p)) {
+      sparsifier.AddEdge(e.src, e.dst, e.weight / p);
+    }
+  }
+  return sparsifier;
+}
+
+}  // namespace dcs

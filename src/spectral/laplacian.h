@@ -1,0 +1,71 @@
+// Graph Laplacians, effective resistances, and dense linear solves.
+//
+// Substrate for the spectral side of the paper's related work ([SS11],
+// [ST11], spectral sketches): the effective resistance R(u, v) of an edge
+// is computed from the Laplacian pseudo-inverse, obtained here by a dense
+// Cholesky-style factorization of the grounded Laplacian — exact (up to
+// floating point) and adequate for the n ≤ ~1000 instances this library
+// experiments on.
+
+#ifndef DCS_SPECTRAL_LAPLACIAN_H_
+#define DCS_SPECTRAL_LAPLACIAN_H_
+
+#include <vector>
+
+#include "graph/ugraph.h"
+#include "util/random.h"
+
+namespace dcs {
+
+// Dense symmetric positive-definite solver (LDLᵀ without pivoting).
+// Factorizes once, solves many right-hand sides.
+class DenseSpdSolver {
+ public:
+  // `matrix` is row-major n×n, symmetric positive definite.
+  DenseSpdSolver(std::vector<double> matrix, int n);
+
+  // Solves A·x = b.
+  std::vector<double> Solve(const std::vector<double>& b) const;
+
+  int size() const { return n_; }
+
+ private:
+  int n_;
+  std::vector<double> factor_;  // packed L and D
+};
+
+// Effective resistances of a connected weighted graph.
+class EffectiveResistances {
+ public:
+  // Factorizes the grounded Laplacian (last vertex grounded).
+  // Requires a connected graph with >= 2 vertices and positive weights.
+  explicit EffectiveResistances(const UndirectedGraph& graph);
+
+  // R(u, v) = (e_u − e_v)ᵀ L⁺ (e_u − e_v). Requires u != v.
+  double Resistance(VertexId u, VertexId v) const;
+
+  // Resistances of every edge of the graph passed at construction
+  // (parallel to graph.edges()).
+  std::vector<double> EdgeResistances() const;
+
+ private:
+  // Potential vector for unit current injected at u, extracted at the
+  // ground vertex; memoized per u.
+  const std::vector<double>& Potentials(VertexId u) const;
+
+  int n_;
+  const UndirectedGraph* graph_;
+  DenseSpdSolver solver_;
+  mutable std::vector<std::vector<double>> potentials_cache_;
+};
+
+// Spielman–Srivastava spectral sparsifier: keeps edge e with probability
+// min(1, c·log(n)·w_e·R_e/ε²), reweighted by 1/p_e. A spectral sparsifier
+// is in particular a cut sparsifier, so the same cut-error harness applies.
+UndirectedGraph SpectralSparsify(const UndirectedGraph& graph,
+                                 double epsilon, Rng& rng,
+                                 double oversample_c = 0.5);
+
+}  // namespace dcs
+
+#endif  // DCS_SPECTRAL_LAPLACIAN_H_

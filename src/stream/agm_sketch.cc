@@ -1,0 +1,236 @@
+#include "stream/agm_sketch.h"
+
+#include <utility>
+
+#include "graph/connectivity.h"
+#include "mincut/stoer_wagner.h"
+#include "util/union_find.h"
+
+namespace dcs {
+namespace {
+
+int DefaultRounds(int n) {
+  int rounds = 2;
+  while ((1 << (rounds - 2)) < n) ++rounds;
+  return rounds;
+}
+
+}  // namespace
+
+AgmConnectivitySketch::AgmConnectivitySketch(int num_vertices, int rounds,
+                                             uint64_t seed)
+    : num_vertices_(num_vertices),
+      rounds_(rounds > 0 ? rounds : DefaultRounds(num_vertices)),
+      seed_(seed) {
+  DCS_CHECK_GE(num_vertices, 1);
+  const int64_t universe =
+      static_cast<int64_t>(num_vertices_) * num_vertices_;
+  samplers_.reserve(static_cast<size_t>(rounds_));
+  for (int r = 0; r < rounds_; ++r) {
+    std::vector<L0Sampler> row;
+    row.reserve(static_cast<size_t>(num_vertices_));
+    for (int v = 0; v < num_vertices_; ++v) {
+      // All samplers of one round share a seed (mergeable); rounds differ.
+      row.emplace_back(universe, seed_ * 1000003ULL + static_cast<uint64_t>(r));
+    }
+    samplers_.push_back(std::move(row));
+  }
+}
+
+int64_t AgmConnectivitySketch::EdgeCoordinate(VertexId u, VertexId v) const {
+  DCS_CHECK(u >= 0 && u < num_vertices_);
+  DCS_CHECK(v >= 0 && v < num_vertices_);
+  DCS_CHECK_NE(u, v);
+  if (u > v) std::swap(u, v);
+  return static_cast<int64_t>(u) * num_vertices_ + v;
+}
+
+void AgmConnectivitySketch::AddEdge(VertexId u, VertexId v) {
+  const int64_t coordinate = EdgeCoordinate(u, v);
+  const VertexId low = u < v ? u : v;
+  const VertexId high = u < v ? v : u;
+  for (int r = 0; r < rounds_; ++r) {
+    samplers_[static_cast<size_t>(r)][static_cast<size_t>(low)].Update(
+        coordinate, +1);
+    samplers_[static_cast<size_t>(r)][static_cast<size_t>(high)].Update(
+        coordinate, -1);
+  }
+}
+
+void AgmConnectivitySketch::RemoveEdge(VertexId u, VertexId v) {
+  const int64_t coordinate = EdgeCoordinate(u, v);
+  const VertexId low = u < v ? u : v;
+  const VertexId high = u < v ? v : u;
+  for (int r = 0; r < rounds_; ++r) {
+    samplers_[static_cast<size_t>(r)][static_cast<size_t>(low)].Update(
+        coordinate, -1);
+    samplers_[static_cast<size_t>(r)][static_cast<size_t>(high)].Update(
+        coordinate, +1);
+  }
+}
+
+void AgmConnectivitySketch::MergeFrom(const AgmConnectivitySketch& other) {
+  DCS_CHECK_EQ(num_vertices_, other.num_vertices_);
+  DCS_CHECK_EQ(rounds_, other.rounds_);
+  DCS_CHECK_EQ(seed_, other.seed_);
+  for (int r = 0; r < rounds_; ++r) {
+    for (int v = 0; v < num_vertices_; ++v) {
+      samplers_[static_cast<size_t>(r)][static_cast<size_t>(v)].MergeFrom(
+          other.samplers_[static_cast<size_t>(r)][static_cast<size_t>(v)]);
+    }
+  }
+}
+
+std::vector<Edge> AgmConnectivitySketch::SpanningForest() const {
+  const int n = num_vertices_;
+  UnionFind components(n);
+  auto find = [&components](int v) { return components.Find(v); };
+
+  // Per-component merged sampler, one per round, held at the root. Copies
+  // so extraction does not disturb the sketch.
+  std::vector<std::vector<L0Sampler>> component = samplers_;
+  // component[r][root] is the merged round-r sampler of root's component.
+  std::vector<Edge> forest;
+  for (int r = 0; r < rounds_; ++r) {
+    // Collect one candidate outgoing edge per component root.
+    std::vector<std::pair<VertexId, VertexId>> candidates;
+    for (int v = 0; v < n; ++v) {
+      if (find(v) != v) continue;
+      const std::optional<L0Sample> sample =
+          component[static_cast<size_t>(r)][static_cast<size_t>(v)].Sample();
+      if (!sample.has_value()) continue;
+      const VertexId u = static_cast<VertexId>(sample->index / n);
+      const VertexId w = static_cast<VertexId>(sample->index % n);
+      if (u < 0 || u >= n || w < 0 || w >= n || u == w) continue;
+      candidates.emplace_back(u, w);
+    }
+    bool merged_any = false;
+    for (const auto& [u, w] : candidates) {
+      const int root_u = find(u);
+      const int root_w = find(w);
+      if (root_u == root_w) continue;
+      // Union: merge w's component into u's and combine the samplers of
+      // every remaining round. The directed union keeps root_u as the
+      // representative, matching where the merged samplers live.
+      components.UnionInto(root_w, root_u);
+      for (int rr = 0; rr < rounds_; ++rr) {
+        component[static_cast<size_t>(rr)][static_cast<size_t>(root_u)]
+            .MergeFrom(component[static_cast<size_t>(rr)]
+                                [static_cast<size_t>(root_w)]);
+      }
+      forest.push_back(Edge{u, w, 1.0});
+      merged_any = true;
+    }
+    if (!merged_any && r > 0) {
+      // Components stopped merging: either done or every boundary sampler
+      // failed this round; later rounds are fresh, so keep going only if
+      // some component still looks non-isolated.
+      bool any_boundary = false;
+      for (int v = 0; v < n && !any_boundary; ++v) {
+        if (find(v) != v) continue;
+        if (!component[static_cast<size_t>(r)][static_cast<size_t>(v)]
+                 .AppearsZero()) {
+          any_boundary = true;
+        }
+      }
+      if (!any_boundary) break;
+    }
+  }
+  return forest;
+}
+
+int AgmConnectivitySketch::CountComponents() const {
+  return num_vertices_ - static_cast<int>(SpanningForest().size());
+}
+
+bool AgmConnectivitySketch::IsConnected() const {
+  return CountComponents() == 1;
+}
+
+int64_t AgmConnectivitySketch::SizeInBits() const {
+  int64_t total = 0;
+  for (const auto& row : samplers_) {
+    for (const L0Sampler& sampler : row) total += sampler.SizeInBits();
+  }
+  return total;
+}
+
+int64_t AgmConnectivitySketch::MeasurementCount() const {
+  int64_t total = 0;
+  for (const auto& row : samplers_) {
+    for (const L0Sampler& sampler : row) total += 3 * sampler.levels();
+  }
+  return total;
+}
+
+AgmKConnectivitySketch::AgmKConnectivitySketch(int num_vertices, int k,
+                                               int rounds, uint64_t seed)
+    : num_vertices_(num_vertices) {
+  DCS_CHECK_GE(k, 1);
+  layers_.reserve(static_cast<size_t>(k));
+  for (int layer = 0; layer < k; ++layer) {
+    // Independent seeds per layer; rounds shared.
+    layers_.emplace_back(num_vertices, rounds,
+                         seed + 0x9e3779b9ULL * static_cast<uint64_t>(layer + 1));
+  }
+}
+
+void AgmKConnectivitySketch::AddEdge(VertexId u, VertexId v) {
+  for (AgmConnectivitySketch& layer : layers_) layer.AddEdge(u, v);
+}
+
+void AgmKConnectivitySketch::RemoveEdge(VertexId u, VertexId v) {
+  for (AgmConnectivitySketch& layer : layers_) layer.RemoveEdge(u, v);
+}
+
+void AgmKConnectivitySketch::MergeFrom(const AgmKConnectivitySketch& other) {
+  DCS_CHECK_EQ(num_vertices_, other.num_vertices_);
+  DCS_CHECK_EQ(layers_.size(), other.layers_.size());
+  for (size_t layer = 0; layer < layers_.size(); ++layer) {
+    layers_[layer].MergeFrom(other.layers_[layer]);
+  }
+}
+
+UndirectedGraph AgmKConnectivitySketch::Certificate() const {
+  UndirectedGraph certificate(num_vertices_);
+  // Work on copies so extraction leaves the sketch intact; forests peeled
+  // from earlier layers are deleted from all later layers.
+  std::vector<AgmConnectivitySketch> layers = layers_;
+  for (size_t layer = 0; layer < layers.size(); ++layer) {
+    const std::vector<Edge> forest = layers[layer].SpanningForest();
+    for (const Edge& e : forest) {
+      certificate.AddEdge(e.src, e.dst, 1.0);
+      for (size_t later = layer + 1; later < layers.size(); ++later) {
+        layers[later].RemoveEdge(e.src, e.dst);
+      }
+    }
+  }
+  return certificate;
+}
+
+double AgmKConnectivitySketch::MinCutUpToK() const {
+  const UndirectedGraph certificate = Certificate();
+  if (certificate.num_edges() == 0) return 0;
+  if (!IsConnected(certificate)) return 0;
+  return StoerWagnerMinCut(certificate).value;
+}
+
+int64_t AgmKConnectivitySketch::SizeInBits() const {
+  int64_t total = 0;
+  for (const AgmConnectivitySketch& layer : layers_) {
+    total += layer.SizeInBits();
+  }
+  return total;
+}
+
+AgmConnectivitySketch SketchGraph(const UndirectedGraph& graph, int rounds,
+                                  uint64_t seed) {
+  AgmConnectivitySketch sketch(graph.num_vertices(), rounds, seed);
+  for (const Edge& e : graph.edges()) {
+    DCS_CHECK_EQ(e.weight, 1.0);
+    sketch.AddEdge(e.src, e.dst);
+  }
+  return sketch;
+}
+
+}  // namespace dcs

@@ -1,0 +1,121 @@
+// AGM graph sketches [AGM12]: dynamic connectivity and spanning forests
+// from linear measurements.
+//
+// The paper's introduction singles out Ahn–Guha–McGregor (PODS 2012) as
+// the key database-community result on cut sketching: Õ(n/ε²) linear
+// measurements suffice to (1+ε)-approximate all cuts, and the same
+// machinery gives connectivity under edge insertions *and deletions*.
+// This module implements that machinery's core:
+//
+//  * every vertex v maintains L0Samplers over the edge-coordinate space,
+//    with edge {u, v} (u < v) written as +1 into u's vector and −1 into
+//    v's — so summing a component's vectors cancels internal edges and
+//    leaves exactly the boundary;
+//  * a spanning forest is extracted by Boruvka rounds: each round merges
+//    component sketches (linearity!) and ℓ₀-samples one outgoing edge per
+//    component, using a fresh sampler copy per round for independence.
+//
+// Because the sketch is linear, edge-disjoint parts can be sketched on
+// different servers and merged at a coordinator — the same distributed
+// pattern as src/distributed, with deletions supported.
+
+#ifndef DCS_STREAM_AGM_SKETCH_H_
+#define DCS_STREAM_AGM_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+#include "graph/ugraph.h"
+#include "stream/l0_sampler.h"
+
+namespace dcs {
+
+class AgmConnectivitySketch {
+ public:
+  // `rounds` independent sampler copies = Boruvka rounds supported;
+  // pass 0 to use the default ceil(log2 n) + 2. Sketches must share
+  // (n, rounds, seed) to be mergeable.
+  AgmConnectivitySketch(int num_vertices, int rounds, uint64_t seed);
+
+  int num_vertices() const { return num_vertices_; }
+  int rounds() const { return rounds_; }
+
+  // Dynamic unweighted edge updates (parallel edges stack; a removal must
+  // match a prior insertion or the sketch's vector goes negative, which
+  // still cancels correctly as long as the final multiset is a graph).
+  void AddEdge(VertexId u, VertexId v);
+  void RemoveEdge(VertexId u, VertexId v);
+
+  // Adds all edges recorded in `other` (linearity; edge-disjoint parts).
+  void MergeFrom(const AgmConnectivitySketch& other);
+
+  // Extracts a spanning forest via Boruvka over the sketches. Whp the
+  // result spans every connected component; with bounded rounds or unlucky
+  // sampling it may under-connect (never over-connect: every returned edge
+  // is a real edge whp).
+  std::vector<Edge> SpanningForest() const;
+
+  // Number of connected components implied by SpanningForest().
+  int CountComponents() const;
+  bool IsConnected() const;
+
+  // Total size of the maintained linear measurements, in bits.
+  int64_t SizeInBits() const;
+  // Number of scalar linear measurements maintained.
+  int64_t MeasurementCount() const;
+
+ private:
+  int64_t EdgeCoordinate(VertexId u, VertexId v) const;
+
+  int num_vertices_;
+  int rounds_;
+  uint64_t seed_;
+  // samplers_[round][vertex]
+  std::vector<std::vector<L0Sampler>> samplers_;
+};
+
+// Convenience: sketch an existing unweighted graph.
+AgmConnectivitySketch SketchGraph(const UndirectedGraph& graph, int rounds,
+                                  uint64_t seed);
+
+// k-edge-connectivity from linear measurements ([AGM12], Section on
+// k-connectivity): maintain k independent connectivity sketches; at query
+// time extract a spanning forest F₁ from the first, *delete* F₁'s edges
+// from the second (linearity makes this a local subtraction), extract F₂,
+// and so on. The union F₁ ∪ … ∪ F_k is a sparse certificate that preserves
+// every cut up to value k — the streaming analogue of
+// mincut/SparseCertificate — so cuts of size < k (in particular the global
+// min cut, if below k) survive exactly.
+class AgmKConnectivitySketch {
+ public:
+  // `k` nested forests; rounds/seed as in AgmConnectivitySketch.
+  AgmKConnectivitySketch(int num_vertices, int k, int rounds, uint64_t seed);
+
+  int num_vertices() const { return num_vertices_; }
+  int k() const { return static_cast<int>(layers_.size()); }
+
+  void AddEdge(VertexId u, VertexId v);
+  void RemoveEdge(VertexId u, VertexId v);
+  void MergeFrom(const AgmKConnectivitySketch& other);
+
+  // The union of the k nested forests (unit weights). Whp it preserves the
+  // edge count of every cut of value < k and contains ≥ min(cut, k) edges
+  // across every cut.
+  UndirectedGraph Certificate() const;
+
+  // The certificate's global min cut. Whp this equals the true min cut
+  // whenever that is below k; otherwise it lies in [k, true min cut]
+  // (the certificate is a subgraph, so it never overstates any cut).
+  double MinCutUpToK() const;
+
+  int64_t SizeInBits() const;
+
+ private:
+  int num_vertices_;
+  std::vector<AgmConnectivitySketch> layers_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_STREAM_AGM_SKETCH_H_

@@ -1,0 +1,105 @@
+// ℓ₀-sampling over dynamic integer vectors.
+//
+// Substrate for the AGM graph sketches [AGM12] — the linear-measurement
+// graph sketching result the paper's introduction builds its database
+// motivation on. An L0Sampler maintains O(log U) linear measurements of a
+// dynamic vector a ∈ ℤ^U under coordinate updates a_i += Δ (insertions and
+// deletions), and can report some coordinate with a_i ≠ 0 with constant
+// success probability.
+//
+// Construction: per level j, coordinates are subsampled with probability
+// 2^{-j} by a seeded hash, and each level keeps a 1-sparse recovery triple
+//   (ℓ, z, p) = (Σ a_i, Σ a_i·i, Σ a_i·r^i mod q)
+// over the surviving coordinates. A level that is exactly 1-sparse
+// reproduces its coordinate as i = z/ℓ and verifies with the fingerprint p
+// (false positives with probability O(U/q), q = 2^61 − 1). Queries scan
+// levels from the sparsest.
+//
+// Everything is linear in the vector, so samplers over disjoint updates
+// can be merged by addition — the property the AGM sketch exploits.
+
+#ifndef DCS_STREAM_L0_SAMPLER_H_
+#define DCS_STREAM_L0_SAMPLER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcs {
+
+// A recovered nonzero coordinate.
+struct L0Sample {
+  int64_t index = 0;
+  int64_t value = 0;  // the (nonzero) coordinate value
+};
+
+// Exact 1-sparse recovery over a (sub)vector.
+class OneSparseRecovery {
+ public:
+  // `fingerprint_base` must be in [2, kModulus).
+  explicit OneSparseRecovery(uint64_t fingerprint_base);
+
+  // Applies a_i += delta.
+  void Update(int64_t index, int64_t delta);
+
+  // Adds another structure built with the same base.
+  void MergeFrom(const OneSparseRecovery& other);
+
+  // True if no updates survive (the zero vector, whp).
+  bool IsZero() const;
+
+  // If the residual vector is exactly 1-sparse, returns it (whp correct;
+  // verified against the fingerprint). Otherwise nullopt.
+  std::optional<L0Sample> Recover() const;
+
+  static constexpr uint64_t kModulus = (1ULL << 61) - 1;  // Mersenne prime
+
+ private:
+  uint64_t fingerprint_base_;
+  int64_t sum_ = 0;         // Σ a_i
+  __int128 weighted_ = 0;   // Σ a_i·i
+  uint64_t fingerprint_ = 0;  // Σ a_i·r^i mod q (values mod q)
+};
+
+// The full multi-level sampler.
+class L0Sampler {
+ public:
+  // Samples over coordinate universe [0, universe). The seed fixes both
+  // the level hash and the fingerprint base; samplers must share a seed
+  // (and universe) to be mergeable.
+  L0Sampler(int64_t universe, uint64_t seed);
+
+  void Update(int64_t index, int64_t delta);
+  void MergeFrom(const L0Sampler& other);
+
+  // Some nonzero coordinate of the maintained vector, or nullopt if the
+  // vector is zero or sampling failed at every level (constant failure
+  // probability for nonzero vectors).
+  std::optional<L0Sample> Sample() const;
+
+  // True iff every level reads zero (so the vector is zero whp).
+  bool AppearsZero() const;
+
+  int64_t universe() const { return universe_; }
+  uint64_t seed() const { return seed_; }
+  int levels() const { return static_cast<int>(levels_.size()); }
+
+  // Size of the maintained measurements in bits (3 words per level).
+  int64_t SizeInBits() const {
+    return static_cast<int64_t>(levels_.size()) * 3 * 64;
+  }
+
+ private:
+  // Level of a coordinate: the number of levels whose subsampling keeps it.
+  int LevelOf(int64_t index) const;
+
+  int64_t universe_;
+  uint64_t seed_;
+  std::vector<OneSparseRecovery> levels_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_STREAM_L0_SAMPLER_H_

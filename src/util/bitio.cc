@@ -1,0 +1,80 @@
+#include "util/bitio.h"
+
+#include <cstring>
+
+namespace dcs {
+
+void BitWriter::WriteBit(int bit) {
+  DCS_DCHECK(bit == 0 || bit == 1);
+  const int offset = static_cast<int>(bit_count_ & 7);
+  if (offset == 0) bytes_.push_back(0);
+  if (bit) bytes_.back() |= static_cast<uint8_t>(1u << offset);
+  ++bit_count_;
+}
+
+void BitWriter::WriteBits(uint64_t value, int width) {
+  DCS_CHECK_GE(width, 0);
+  DCS_CHECK_LE(width, 64);
+  for (int i = 0; i < width; ++i) {
+    WriteBit(static_cast<int>((value >> i) & 1));
+  }
+}
+
+void BitWriter::WriteEliasGamma(uint64_t value) {
+  DCS_CHECK_LT(value, UINT64_MAX);
+  const uint64_t shifted = value + 1;
+  int log = 63;
+  while (((shifted >> log) & 1) == 0) --log;
+  for (int i = 0; i < log; ++i) WriteBit(0);
+  WriteBit(1);
+  // Low `log` bits of shifted, MSB-to-LSB order mirrors classic gamma.
+  for (int i = log - 1; i >= 0; --i) {
+    WriteBit(static_cast<int>((shifted >> i) & 1));
+  }
+}
+
+void BitWriter::WriteDouble(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteBits(bits, 64);
+}
+
+int BitReader::ReadBit() {
+  DCS_CHECK_LT(position_, limit_);
+  const uint8_t byte = (*bytes_)[static_cast<size_t>(position_ >> 3)];
+  const int bit = (byte >> (position_ & 7)) & 1;
+  ++position_;
+  return bit;
+}
+
+uint64_t BitReader::ReadBits(int width) {
+  DCS_CHECK_GE(width, 0);
+  DCS_CHECK_LE(width, 64);
+  uint64_t value = 0;
+  for (int i = 0; i < width; ++i) {
+    value |= static_cast<uint64_t>(ReadBit()) << i;
+  }
+  return value;
+}
+
+uint64_t BitReader::ReadEliasGamma() {
+  int log = 0;
+  while (ReadBit() == 0) {
+    ++log;
+    DCS_CHECK_LT(log, 64);
+  }
+  uint64_t shifted = 1;
+  for (int i = 0; i < log; ++i) {
+    shifted = (shifted << 1) | static_cast<uint64_t>(ReadBit());
+  }
+  return shifted - 1;
+}
+
+double BitReader::ReadDouble() {
+  const uint64_t bits = ReadBits(64);
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace dcs

@@ -1,0 +1,82 @@
+// Bit-exact serialization.
+//
+// Lower-bound experiments in this library are about *bits*: "any for-each
+// cut sketch must output Ω̃(n√β/ε) bits". To make those statements
+// measurable, every sketch serializes itself through a BitWriter, and the
+// communication-game framework counts transcript lengths with the same
+// machinery. BitWriter/BitReader pack little-endian within bytes and support
+// fixed-width fields, Elias-gamma coded integers, and IEEE doubles.
+
+#ifndef DCS_UTIL_BITIO_H_
+#define DCS_UTIL_BITIO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcs {
+
+// Accumulates a bit stream. Bits are appended LSB-first within each byte.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  // Appends a single bit (0 or 1).
+  void WriteBit(int bit);
+
+  // Appends the low `width` bits of `value`, LSB first. width in [0, 64].
+  void WriteBits(uint64_t value, int width);
+
+  // Appends a nonnegative integer with Elias-gamma coding (value + 1, so 0
+  // is representable). Costs 2*floor(log2(value+1)) + 1 bits.
+  void WriteEliasGamma(uint64_t value);
+
+  // Appends a 64-bit IEEE-754 double (fixed 64 bits).
+  void WriteDouble(double value);
+
+  // Total number of bits written so far.
+  int64_t bit_count() const { return bit_count_; }
+
+  // The packed bytes (final partial byte zero-padded).
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  int64_t bit_count_ = 0;
+};
+
+// Reads back a stream produced by BitWriter.
+class BitReader {
+ public:
+  // The referenced buffer must outlive the reader.
+  explicit BitReader(const std::vector<uint8_t>& bytes)
+      : bytes_(&bytes), limit_(static_cast<int64_t>(bytes.size()) * 8) {}
+
+  // Reads a single bit. CHECK-fails past the end of the stream.
+  int ReadBit();
+
+  // Reads `width` bits, LSB first. width in [0, 64].
+  uint64_t ReadBits(int width);
+
+  // Reads an Elias-gamma coded nonnegative integer.
+  uint64_t ReadEliasGamma();
+
+  // Reads a 64-bit IEEE-754 double.
+  double ReadDouble();
+
+  // Number of bits consumed so far.
+  int64_t position() const { return position_; }
+
+  // True if fewer than `width` bits remain.
+  bool AtEnd() const { return position_ >= limit_; }
+
+ private:
+  const std::vector<uint8_t>* bytes_;
+  int64_t position_ = 0;
+  int64_t limit_ = 0;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_UTIL_BITIO_H_

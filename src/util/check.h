@@ -1,0 +1,63 @@
+// Invariant-enforcement macros.
+//
+// The library does not throw exceptions across API boundaries (recoverable
+// conditions are reported via return values / std::optional). CHECK is used
+// for programmer errors and violated invariants: it prints the failed
+// condition with file/line context and aborts.
+
+#ifndef DCS_UTIL_CHECK_H_
+#define DCS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dcs {
+namespace internal_check {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", file, line, condition);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal_check
+}  // namespace dcs
+
+// Aborts (with location context) if `condition` is false. Always on.
+#define DCS_CHECK(condition)                                          \
+  do {                                                                \
+    if (!(condition)) {                                               \
+      ::dcs::internal_check::CheckFailed(__FILE__, __LINE__,          \
+                                         #condition);                 \
+    }                                                                 \
+  } while (false)
+
+// Binary comparison checks. These evaluate each argument exactly once.
+#define DCS_CHECK_OP(op, a, b)                                        \
+  do {                                                                \
+    auto dcs_check_lhs = (a);                                         \
+    auto dcs_check_rhs = (b);                                         \
+    if (!(dcs_check_lhs op dcs_check_rhs)) {                          \
+      ::dcs::internal_check::CheckFailed(__FILE__, __LINE__,          \
+                                         #a " " #op " " #b);          \
+    }                                                                 \
+  } while (false)
+
+#define DCS_CHECK_EQ(a, b) DCS_CHECK_OP(==, a, b)
+#define DCS_CHECK_NE(a, b) DCS_CHECK_OP(!=, a, b)
+#define DCS_CHECK_LT(a, b) DCS_CHECK_OP(<, a, b)
+#define DCS_CHECK_LE(a, b) DCS_CHECK_OP(<=, a, b)
+#define DCS_CHECK_GT(a, b) DCS_CHECK_OP(>, a, b)
+#define DCS_CHECK_GE(a, b) DCS_CHECK_OP(>=, a, b)
+
+// Debug-only variants; compiled out in NDEBUG builds.
+#ifdef NDEBUG
+#define DCS_DCHECK(condition) \
+  do {                        \
+  } while (false)
+#else
+#define DCS_DCHECK(condition) DCS_CHECK(condition)
+#endif
+
+#endif  // DCS_UTIL_CHECK_H_

@@ -1,0 +1,146 @@
+#include "util/hadamard.h"
+
+#include <bit>
+
+namespace dcs {
+
+HadamardMatrix::HadamardMatrix(int log_size) : log_size_(log_size) {
+  DCS_CHECK_GE(log_size, 0);
+  DCS_CHECK_LE(log_size, 30);
+  size_ = 1 << log_size;
+}
+
+int HadamardMatrix::Entry(int row, int col) const {
+  DCS_DCHECK(row >= 0 && row < size_);
+  DCS_DCHECK(col >= 0 && col < size_);
+  const unsigned overlap =
+      static_cast<unsigned>(row) & static_cast<unsigned>(col);
+  return (std::popcount(overlap) & 1) ? -1 : 1;
+}
+
+std::vector<int8_t> HadamardMatrix::Row(int row) const {
+  std::vector<int8_t> values(static_cast<size_t>(size_));
+  for (int col = 0; col < size_; ++col) {
+    values[static_cast<size_t>(col)] = static_cast<int8_t>(Entry(row, col));
+  }
+  return values;
+}
+
+namespace {
+
+template <typename T>
+void FwhtImpl(std::vector<T>& values) {
+  const size_t n = values.size();
+  DCS_CHECK(n > 0 && (n & (n - 1)) == 0);
+  for (size_t len = 1; len < n; len <<= 1) {
+    for (size_t block = 0; block < n; block += len << 1) {
+      for (size_t i = block; i < block + len; ++i) {
+        const T a = values[i];
+        const T b = values[i + len];
+        values[i] = a + b;
+        values[i + len] = a - b;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void FastWalshHadamardTransform(std::vector<int64_t>& values) {
+  FwhtImpl(values);
+}
+
+void FastWalshHadamardTransform(std::vector<double>& values) {
+  FwhtImpl(values);
+}
+
+TensorSignMatrix::TensorSignMatrix(int log_size)
+    : log_size_(log_size),
+      block_size_(1 << log_size),
+      rows_(static_cast<int64_t>(block_size_ - 1) * (block_size_ - 1)),
+      cols_(static_cast<int64_t>(block_size_) * block_size_),
+      hadamard_(log_size) {
+  DCS_CHECK_GE(log_size, 1);
+  DCS_CHECK_LE(log_size, 15);
+}
+
+std::pair<int, int> TensorSignMatrix::RowFactors(int64_t t) const {
+  DCS_DCHECK(t >= 0 && t < rows_);
+  const int n_minus_1 = block_size_ - 1;
+  const int i = static_cast<int>(t / n_minus_1) + 1;
+  const int j = static_cast<int>(t % n_minus_1) + 1;
+  return {i, j};
+}
+
+int TensorSignMatrix::Entry(int64_t t, int64_t col) const {
+  DCS_DCHECK(col >= 0 && col < cols_);
+  const auto [i, j] = RowFactors(t);
+  const int a = static_cast<int>(col / block_size_);
+  const int b = static_cast<int>(col % block_size_);
+  return hadamard_.Entry(i, a) * hadamard_.Entry(j, b);
+}
+
+std::vector<int8_t> TensorSignMatrix::LeftFactor(int64_t t) const {
+  return hadamard_.Row(RowFactors(t).first);
+}
+
+std::vector<int8_t> TensorSignMatrix::RightFactor(int64_t t) const {
+  return hadamard_.Row(RowFactors(t).second);
+}
+
+std::vector<int64_t> TensorSignMatrix::EncodeSigns(
+    const std::vector<int8_t>& z) const {
+  DCS_CHECK_EQ(static_cast<int64_t>(z.size()), rows_);
+  const int n = block_size_;
+  // Arrange z into an N×N coefficient matrix Z with Z[i][j] = z_t for the
+  // row t whose factors are (i, j); row/column 0 are zero (the all-ones
+  // Hadamard row is excluded by the construction). Then
+  //   x[a*N + b] = Σ_{i,j} Z[i][j]·H(i,a)·H(j,b)
+  // which is a Walsh–Hadamard transform along each dimension (H is
+  // symmetric, so transforming rows then columns computes exactly this).
+  std::vector<std::vector<int64_t>> coeff(
+      static_cast<size_t>(n), std::vector<int64_t>(static_cast<size_t>(n), 0));
+  for (int64_t t = 0; t < rows_; ++t) {
+    const auto [i, j] = RowFactors(t);
+    coeff[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+        z[static_cast<size_t>(t)];
+  }
+  // Transform along j for each fixed i.
+  for (int i = 0; i < n; ++i) {
+    FastWalshHadamardTransform(coeff[static_cast<size_t>(i)]);
+  }
+  // Transform along i for each fixed b.
+  std::vector<int64_t> column(static_cast<size_t>(n));
+  for (int b = 0; b < n; ++b) {
+    for (int i = 0; i < n; ++i) {
+      column[static_cast<size_t>(i)] =
+          coeff[static_cast<size_t>(i)][static_cast<size_t>(b)];
+    }
+    FastWalshHadamardTransform(column);
+    for (int a = 0; a < n; ++a) {
+      coeff[static_cast<size_t>(a)][static_cast<size_t>(b)] =
+          column[static_cast<size_t>(a)];
+    }
+  }
+  std::vector<int64_t> x(static_cast<size_t>(cols_));
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      x[static_cast<size_t>(a) * static_cast<size_t>(n) +
+        static_cast<size_t>(b)] =
+          coeff[static_cast<size_t>(a)][static_cast<size_t>(b)];
+    }
+  }
+  return x;
+}
+
+int64_t TensorSignMatrix::InnerProductWithRow(const std::vector<int64_t>& x,
+                                              int64_t t) const {
+  DCS_CHECK_EQ(static_cast<int64_t>(x.size()), cols_);
+  int64_t sum = 0;
+  for (int64_t col = 0; col < cols_; ++col) {
+    sum += x[static_cast<size_t>(col)] * Entry(t, col);
+  }
+  return sum;
+}
+
+}  // namespace dcs

@@ -1,0 +1,94 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace dcs {
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0;
+  const double mean = Mean(values);
+  double sum_sq = 0;
+  for (double v : values) sum_sq += (v - mean) * (v - mean);
+  return std::sqrt(sum_sq / static_cast<double>(values.size() - 1));
+}
+
+double Median(std::vector<double> values) {
+  DCS_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double Percentile(std::vector<double> values, double p) {
+  DCS_CHECK(!values.empty());
+  DCS_CHECK_GE(p, 0.0);
+  DCS_CHECK_LE(p, 100.0);
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+LineFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys) {
+  DCS_CHECK_EQ(xs.size(), ys.size());
+  DCS_CHECK_GE(xs.size(), 2u);
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  LineFit fit;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0) {
+    fit.slope = 0;
+    fit.intercept = sy / n;
+    fit.r_squared = 0;
+    return fit;
+  }
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot <= 0) {
+    fit.r_squared = 1;
+    return fit;
+  }
+  double ss_res = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const double resid = ys[i] - (fit.slope * xs[i] + fit.intercept);
+    ss_res += resid * resid;
+  }
+  fit.r_squared = 1 - ss_res / ss_tot;
+  return fit;
+}
+
+LineFit FitLogLog(const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  DCS_CHECK_EQ(xs.size(), ys.size());
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    DCS_CHECK_GT(xs[i], 0);
+    DCS_CHECK_GT(ys[i], 0);
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return FitLine(lx, ly);
+}
+
+}  // namespace dcs

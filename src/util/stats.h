@@ -1,0 +1,42 @@
+// Small statistics helpers used by benchmarks and experiments: summary
+// statistics, medians, and log-log scaling fits (the benches validate
+// asymptotic shapes like m/(ε²k) by fitting slopes).
+
+#ifndef DCS_UTIL_STATS_H_
+#define DCS_UTIL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dcs {
+
+// Arithmetic mean. Returns 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+// Unbiased sample standard deviation. Returns 0 for fewer than two values.
+double StdDev(const std::vector<double>& values);
+
+// Median (average of middle two for even sizes). CHECK-fails on empty input.
+double Median(std::vector<double> values);
+
+// p-th percentile via nearest-rank, p in [0, 100]. CHECK-fails on empty.
+double Percentile(std::vector<double> values, double p);
+
+// Result of an ordinary-least-squares line fit y = slope * x + intercept.
+struct LineFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 0;
+};
+
+// OLS fit. CHECK-fails unless xs.size() == ys.size() >= 2.
+LineFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+// Fits log(y) = slope * log(x) + c, i.e. the exponent of a power law
+// y ≈ C·x^slope. All inputs must be positive.
+LineFit FitLogLog(const std::vector<double>& xs,
+                  const std::vector<double>& ys);
+
+}  // namespace dcs
+
+#endif  // DCS_UTIL_STATS_H_

@@ -1,0 +1,80 @@
+// Disjoint-set union with path halving and union by size.
+//
+// Shared by the contraction algorithms (Karger), the Nagamochi–Ibaraki
+// forest peeling, and the AGM Boruvka extraction.
+
+#ifndef DCS_UTIL_UNION_FIND_H_
+#define DCS_UTIL_UNION_FIND_H_
+
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcs {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n)
+      : parent_(static_cast<size_t>(n)), size_(static_cast<size_t>(n), 1) {
+    DCS_CHECK_GE(n, 0);
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  // Returns every element to its own singleton set.
+  void Reset() {
+    std::iota(parent_.begin(), parent_.end(), 0);
+    std::fill(size_.begin(), size_.end(), 1);
+  }
+
+  // Representative of v's set (path halving).
+  int Find(int v) {
+    DCS_CHECK(v >= 0 && v < static_cast<int>(parent_.size()));
+    while (parent_[static_cast<size_t>(v)] != v) {
+      parent_[static_cast<size_t>(v)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(v)])];
+      v = parent_[static_cast<size_t>(v)];
+    }
+    return v;
+  }
+
+  // Merges the sets of a and b; returns false if already joined.
+  bool Union(int a, int b) {
+    int ra = Find(a);
+    int rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[static_cast<size_t>(ra)] < size_[static_cast<size_t>(rb)]) {
+      std::swap(ra, rb);
+    }
+    parent_[static_cast<size_t>(rb)] = ra;
+    size_[static_cast<size_t>(ra)] += size_[static_cast<size_t>(rb)];
+    return true;
+  }
+
+  // Merges child's set into parent's set, guaranteeing that parent's
+  // representative stays the representative (for callers that co-maintain
+  // per-root payloads). Returns false if already joined.
+  bool UnionInto(int child, int parent) {
+    const int rc = Find(child);
+    const int rp = Find(parent);
+    if (rc == rp) return false;
+    parent_[static_cast<size_t>(rc)] = rp;
+    size_[static_cast<size_t>(rp)] += size_[static_cast<size_t>(rc)];
+    return true;
+  }
+
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  // Size of v's set.
+  int SetSize(int v) { return size_[static_cast<size_t>(Find(v))]; }
+
+  int num_elements() const { return static_cast<int>(parent_.size()); }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_UTIL_UNION_FIND_H_

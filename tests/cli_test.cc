@@ -1,0 +1,63 @@
+// Smoke tests of the `dcs` command-line tool (end-to-end through the shell).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace {
+
+// Runs the CLI with the given arguments; returns the exit status.
+int RunCli(const std::string& args) {
+  const std::string command = std::string(DCS_CLI_PATH) + " " + args +
+                              " > /dev/null 2>&1";
+  const int status = std::system(command.c_str());
+  return WEXITSTATUS(status);
+}
+
+TEST(CliTest, NoArgsPrintsUsageAndFails) {
+  EXPECT_NE(RunCli(""), 0);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  EXPECT_NE(RunCli("frobnicate"), 0);
+}
+
+TEST(CliTest, GenerateStatsMincutPipeline) {
+  const std::string graph = "/tmp/dcs_cli_test_graph.txt";
+  EXPECT_EQ(RunCli("generate --type balanced --n 24 --beta 2 --seed 3 "
+                   "--out " + graph),
+            0);
+  EXPECT_EQ(RunCli("stats --in " + graph + " --directed 1"), 0);
+  EXPECT_EQ(RunCli("mincut --in " + graph + " --directed 1"), 0);
+  EXPECT_EQ(RunCli("sketch --in " + graph + " --kind foreach "
+                   "--epsilon 0.3"),
+            0);
+  EXPECT_EQ(RunCli("sketch --in " + graph + " --kind forall "
+                   "--epsilon 0.3"),
+            0);
+}
+
+TEST(CliTest, UndirectedPipeline) {
+  const std::string graph = "/tmp/dcs_cli_test_dumbbell.txt";
+  EXPECT_EQ(RunCli("generate --type dumbbell --n 20 --k 2 --out " + graph),
+            0);
+  EXPECT_EQ(RunCli("stats --in " + graph), 0);
+  EXPECT_EQ(RunCli("mincut --in " + graph), 0);
+  EXPECT_EQ(RunCli("localquery --in " + graph + " --epsilon 0.3"), 0);
+}
+
+TEST(CliTest, EncodeRoundTrips) {
+  EXPECT_EQ(RunCli("encode --message hi"), 0);
+}
+
+TEST(CliTest, MissingInputFileFails) {
+  EXPECT_NE(RunCli("mincut --in /nonexistent/graph.txt"), 0);
+}
+
+TEST(CliTest, BadFlagSyntaxFails) {
+  EXPECT_NE(RunCli("generate --out"), 0);  // flag without value
+}
+
+}  // namespace

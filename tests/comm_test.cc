@@ -1,0 +1,191 @@
+// Communication problems: Index (Lemma 3.1), distributional Gap-Hamming
+// (Lemma 4.1), and 2-SUM (Definitions 5.1/5.2, Theorem 5.4).
+
+#include <cmath>
+
+#include "comm/gap_hamming.h"
+#include "comm/index_problem.h"
+#include "comm/two_sum.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+TEST(IndexProblemTest, InstanceShape) {
+  Rng rng(1);
+  const IndexInstance instance = SampleIndexInstance(64, rng);
+  EXPECT_EQ(instance.s.size(), 64u);
+  EXPECT_GE(instance.index, 0);
+  EXPECT_LT(instance.index, 64);
+}
+
+TEST(IndexProblemTest, TrivialProtocolIsCorrectAndTight) {
+  Rng rng(2);
+  const IndexInstance instance = SampleIndexInstance(128, rng);
+  const Message message = IndexTrivialEncode(instance.s);
+  EXPECT_EQ(message.bit_count, 128);  // exactly n bits — the Ω(n) bound
+  for (int64_t i = 0; i < 128; i += 17) {
+    EXPECT_EQ(IndexTrivialDecode(message, i),
+              instance.s[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(GapHammingTest, HammingDistanceBasic) {
+  EXPECT_EQ(HammingDistance({1, 0, 1, 0}, {1, 1, 0, 0}), 2);
+  EXPECT_EQ(HammingDistance({0, 0}, {0, 0}), 0);
+}
+
+TEST(GapHammingTest, InstanceRespectsWeightsAndGap) {
+  GapHammingParams params;
+  params.num_strings = 5;
+  params.string_length = 64;
+  params.gap_c = 0.5;
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const GapHammingInstance instance =
+        SampleGapHammingInstance(params, rng);
+    ASSERT_EQ(instance.s.size(), 5u);
+    for (const auto& s : instance.s) {
+      int weight = 0;
+      for (uint8_t b : s) weight += b;
+      EXPECT_EQ(weight, 32);
+    }
+    int t_weight = 0;
+    for (uint8_t b : instance.t) t_weight += b;
+    EXPECT_EQ(t_weight, 32);
+    const int distance =
+        HammingDistance(instance.s[static_cast<size_t>(instance.index)],
+                        instance.t);
+    const double gap = params.gap_c * std::sqrt(64.0);
+    if (instance.is_far) {
+      EXPECT_GE(distance, 32 + gap);
+    } else {
+      EXPECT_LE(distance, 32 - gap);
+    }
+  }
+}
+
+TEST(GapHammingTest, BothTailsAppear) {
+  GapHammingParams params;
+  params.num_strings = 2;
+  params.string_length = 36;
+  Rng rng(4);
+  int far = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    far += SampleGapHammingInstance(params, rng).is_far ? 1 : 0;
+  }
+  EXPECT_GT(far, 5);
+  EXPECT_LT(far, 35);
+}
+
+TEST(GapHammingTest, TrivialProtocolDecodesTheGap) {
+  GapHammingParams params;
+  params.num_strings = 4;
+  params.string_length = 100;
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const GapHammingInstance instance =
+        SampleGapHammingInstance(params, rng);
+    const Message message = GapHammingTrivialEncode(instance.s);
+    EXPECT_EQ(message.bit_count, 4 * 100);
+    EXPECT_EQ(GapHammingTrivialDecode(message, params, instance.index,
+                                      instance.t),
+              instance.is_far);
+  }
+}
+
+TEST(TwoSumTest, IntersectionAndDisjointness) {
+  const std::vector<uint8_t> x = {1, 0, 1, 1, 0};
+  const std::vector<uint8_t> y = {1, 1, 0, 1, 0};
+  EXPECT_EQ(IntersectionCount(x, y), 2);
+  EXPECT_EQ(Disjointness(x, y), 0);
+  EXPECT_EQ(Disjointness({1, 0}, {0, 1}), 1);
+}
+
+TEST(TwoSumTest, InstanceHonorsThePromise) {
+  TwoSumParams params;
+  params.num_pairs = 20;
+  params.string_length = 36;
+  params.alpha = 3;
+  params.intersect_fraction = 0.4;
+  Rng rng(6);
+  const TwoSumInstance instance = SampleTwoSumInstance(params, rng);
+  int disjoint = 0;
+  int intersecting = 0;
+  for (int i = 0; i < params.num_pairs; ++i) {
+    const int overlap = IntersectionCount(instance.x[static_cast<size_t>(i)],
+                                          instance.y[static_cast<size_t>(i)]);
+    EXPECT_TRUE(overlap == 0 || overlap == params.alpha)
+        << "pair " << i << " has INT " << overlap;
+    if (overlap == 0) {
+      ++disjoint;
+    } else {
+      ++intersecting;
+    }
+  }
+  EXPECT_EQ(disjoint, instance.disjoint_count);
+  EXPECT_GE(intersecting, params.num_pairs / 1000 + 1);
+  EXPECT_EQ(intersecting, 8);  // 0.4 × 20
+}
+
+TEST(TwoSumTest, AlphaOneInstances) {
+  TwoSumParams params;
+  params.num_pairs = 10;
+  params.string_length = 16;
+  params.alpha = 1;
+  params.intersect_fraction = 0.5;
+  Rng rng(7);
+  const TwoSumInstance instance = SampleTwoSumInstance(params, rng);
+  for (int i = 0; i < params.num_pairs; ++i) {
+    EXPECT_LE(IntersectionCount(instance.x[static_cast<size_t>(i)],
+                                instance.y[static_cast<size_t>(i)]),
+              1);
+  }
+}
+
+TEST(TwoSumTest, ConcatenationReductionScalesIntersections) {
+  // Theorem 5.4: expanding 2-SUM(t, L, 1) by α copies gives 2-SUM(t, αL, α)
+  // with the same DISJ values.
+  TwoSumParams params;
+  params.num_pairs = 8;
+  params.string_length = 16;
+  params.alpha = 1;
+  params.intersect_fraction = 0.5;
+  Rng rng(8);
+  const TwoSumInstance base = SampleTwoSumInstance(params, rng);
+  const TwoSumInstance expanded = ConcatenateAlphaCopies(base, 4);
+  EXPECT_EQ(expanded.params.string_length, 64);
+  EXPECT_EQ(expanded.disjoint_count, base.disjoint_count);
+  for (int i = 0; i < params.num_pairs; ++i) {
+    const int base_int = IntersectionCount(base.x[static_cast<size_t>(i)],
+                                           base.y[static_cast<size_t>(i)]);
+    const int expanded_int =
+        IntersectionCount(expanded.x[static_cast<size_t>(i)],
+                          expanded.y[static_cast<size_t>(i)]);
+    EXPECT_EQ(expanded_int, 4 * base_int);
+  }
+}
+
+TEST(TwoSumTest, TrivialProtocolIsExactAtFullCost) {
+  TwoSumParams params;
+  params.num_pairs = 12;
+  params.string_length = 40;
+  params.alpha = 2;
+  params.intersect_fraction = 0.4;
+  Rng rng(9);
+  const TwoSumInstance instance = SampleTwoSumInstance(params, rng);
+  const Message message = TwoSumTrivialEncode(instance.x);
+  EXPECT_EQ(message.bit_count, 12 * 40);  // ships every bit
+  EXPECT_EQ(TwoSumTrivialDecode(message, params, instance.y),
+            instance.disjoint_count);
+}
+
+TEST(TwoSumTest, ConcatenateStringsFlattens) {
+  const std::vector<std::vector<uint8_t>> strings = {{1, 0}, {0, 1, 1}};
+  EXPECT_EQ(ConcatenateStrings(strings),
+            (std::vector<uint8_t>{1, 0, 0, 1, 1}));
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,116 @@
+// β-balance (Definition 2.1): exact measurement, sampled lower bounds, and
+// the per-edge certificate used by the paper's constructions.
+
+#include "graph/balance.h"
+
+#include <limits>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+
+namespace dcs {
+namespace {
+
+DirectedGraph BidirectedTriangle(double forward, double backward) {
+  DirectedGraph g(3);
+  for (int v = 0; v < 3; ++v) {
+    g.AddEdge(v, (v + 1) % 3, forward);
+    g.AddEdge((v + 1) % 3, v, backward);
+  }
+  return g;
+}
+
+TEST(BalanceTest, EulerianCycleIsPerfectlyBalanced) {
+  DirectedGraph g(5);
+  for (int v = 0; v < 5; ++v) g.AddEdge(v, (v + 1) % 5, 2.0);
+  // Every cut has equal weight in both directions on a cycle with uniform
+  // weights? No: a directed cycle crosses each cut once in each direction.
+  EXPECT_DOUBLE_EQ(MeasureBalanceExact(g), 1.0);
+}
+
+TEST(BalanceTest, DirectedCutRatio) {
+  DirectedGraph g(2);
+  g.AddEdge(0, 1, 6.0);
+  g.AddEdge(1, 0, 2.0);
+  EXPECT_DOUBLE_EQ(DirectedCutRatio(g, MakeVertexSet(2, {0})), 3.0);
+  EXPECT_DOUBLE_EQ(DirectedCutRatio(g, MakeVertexSet(2, {1})), 1.0 / 3);
+}
+
+TEST(BalanceTest, RatioInfiniteWithoutBackEdge) {
+  DirectedGraph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 1, 1.0);
+  EXPECT_EQ(DirectedCutRatio(g, MakeVertexSet(3, {0})),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(BalanceTest, BidirectedTriangleIsBalancedByCyclicSymmetry) {
+  // Each cut of the asymmetric bidirected triangle crosses equally many
+  // heavy edges in both directions, so the graph is perfectly balanced even
+  // though individual edge pairs have ratio 4.
+  const DirectedGraph g = BidirectedTriangle(4.0, 1.0);
+  EXPECT_DOUBLE_EQ(MeasureBalanceExact(g), 1.0);
+}
+
+TEST(BalanceTest, ExactBalanceOfAsymmetricPair) {
+  DirectedGraph g(3);
+  g.AddEdge(0, 1, 4.0);
+  g.AddEdge(1, 0, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 1, 1.0);
+  g.AddEdge(2, 0, 1.0);
+  g.AddEdge(0, 2, 1.0);
+  // Cut {0}: forward 5, backward 2 → ratio 2.5 is the worst cut.
+  EXPECT_DOUBLE_EQ(MeasureBalanceExact(g), 2.5);
+  EXPECT_TRUE(VerifyBalanceExact(g, 2.5));
+  EXPECT_FALSE(VerifyBalanceExact(g, 2.4));
+}
+
+TEST(BalanceTest, SampledNeverExceedsExact) {
+  Rng rng(5);
+  const DirectedGraph g = RandomBalancedDigraph(10, 0.5, 3.0, rng);
+  const double exact = MeasureBalanceExact(g);
+  Rng rng2(6);
+  const double sampled = MeasureBalanceSampled(g, rng2, 200);
+  EXPECT_LE(sampled, exact + 1e-9);
+  EXPECT_GE(sampled, 1.0);
+}
+
+TEST(BalanceTest, PerEdgeCertificateBoundsExactBalance) {
+  Rng rng(7);
+  const DirectedGraph g = RandomBalancedDigraph(10, 0.4, 2.5, rng);
+  const std::optional<double> certificate = PerEdgeBalanceCertificate(g);
+  ASSERT_TRUE(certificate.has_value());
+  EXPECT_NEAR(*certificate, 2.5, 1e-9);
+  EXPECT_LE(MeasureBalanceExact(g), *certificate + 1e-9);
+}
+
+TEST(BalanceTest, CertificateAbsentWithoutReverseEdges) {
+  DirectedGraph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 0, 1.0);
+  EXPECT_FALSE(PerEdgeBalanceCertificate(g).has_value());
+}
+
+TEST(BalanceTest, CertificateHandlesParallelEdges) {
+  DirectedGraph g(2);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 1, 1.0);  // coalesces to 2.0 forward
+  g.AddEdge(1, 0, 1.0);
+  const std::optional<double> certificate = PerEdgeBalanceCertificate(g);
+  ASSERT_TRUE(certificate.has_value());
+  EXPECT_DOUBLE_EQ(*certificate, 2.0);
+}
+
+TEST(BalanceTest, GeneratorHitsTargetBalance) {
+  for (double beta : {1.0, 2.0, 8.0}) {
+    Rng rng(static_cast<uint64_t>(beta * 100));
+    const DirectedGraph g = RandomBalancedDigraph(12, 0.5, beta, rng);
+    EXPECT_TRUE(VerifyBalanceExact(g, beta + 1e-9)) << "beta=" << beta;
+  }
+}
+
+}  // namespace
+}  // namespace dcs

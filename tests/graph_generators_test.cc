@@ -1,0 +1,154 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/balance.h"
+#include "graph/connectivity.h"
+#include "gtest/gtest.h"
+#include "mincut/stoer_wagner.h"
+
+namespace dcs {
+namespace {
+
+TEST(GeneratorsTest, BalancedDigraphIsStronglyConnected) {
+  Rng rng(1);
+  const DirectedGraph g = RandomBalancedDigraph(20, 0.1, 4.0, rng);
+  EXPECT_TRUE(IsStronglyConnected(g));
+}
+
+TEST(GeneratorsTest, BalancedDigraphPerEdgeRatio) {
+  Rng rng(2);
+  const DirectedGraph g = RandomBalancedDigraph(15, 0.3, 5.0, rng);
+  const auto certificate = PerEdgeBalanceCertificate(g);
+  ASSERT_TRUE(certificate.has_value());
+  EXPECT_NEAR(*certificate, 5.0, 1e-9);
+}
+
+TEST(GeneratorsTest, BalancedDigraphEdgeCountGrowsWithProbability) {
+  Rng rng1(3);
+  Rng rng2(3);
+  const DirectedGraph sparse = RandomBalancedDigraph(40, 0.05, 2.0, rng1);
+  const DirectedGraph dense = RandomBalancedDigraph(40, 0.8, 2.0, rng2);
+  EXPECT_LT(sparse.num_edges(), dense.num_edges());
+}
+
+TEST(GeneratorsTest, EulerianDigraphHasEqualInOutDegrees) {
+  Rng rng(4);
+  const DirectedGraph g = RandomEulerianDigraph(12, 20, 6, rng);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(g.OutDegree(v), g.InDegree(v)) << "vertex " << v;
+  }
+}
+
+TEST(GeneratorsTest, EulerianDigraphIsOneBalanced) {
+  Rng rng(5);
+  const DirectedGraph g = RandomEulerianDigraph(10, 15, 5, rng);
+  EXPECT_TRUE(IsStronglyConnected(g));
+  EXPECT_NEAR(MeasureBalanceExact(g), 1.0, 1e-9);
+}
+
+TEST(GeneratorsTest, CompleteBipartiteDigraphStructure) {
+  const DirectedGraph g = CompleteBipartiteDigraph(3, 4, 2.0, 0.5);
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 24);
+  // Left vertices only have forward out-edges.
+  EXPECT_DOUBLE_EQ(g.OutDegree(0), 8.0);
+  EXPECT_DOUBLE_EQ(g.InDegree(0), 2.0);
+}
+
+TEST(GeneratorsTest, RandomUndirectedGraphConnectedFlag) {
+  Rng rng(6);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(30, 0.0, 1.0, 1.0, /*ensure_connected=*/true, rng);
+  EXPECT_TRUE(IsConnected(g));
+  EXPECT_EQ(g.num_edges(), 29);  // just the Hamiltonian path
+}
+
+TEST(GeneratorsTest, RandomUndirectedGraphWeightRange) {
+  Rng rng(7);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(20, 0.5, 2.0, 3.0, false, rng);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.weight, 2.0);
+    EXPECT_LE(e.weight, 3.0);
+  }
+}
+
+TEST(GeneratorsTest, CompleteGraphEdgeCount) {
+  const UndirectedGraph g = CompleteGraph(6, 1.0);
+  EXPECT_EQ(g.num_edges(), 15);
+  for (int v = 0; v < 6; ++v) EXPECT_DOUBLE_EQ(g.Degree(v), 5.0);
+}
+
+TEST(GeneratorsTest, CycleGraphMinCutIsTwo) {
+  const UndirectedGraph g = CycleGraph(9, 1.5);
+  const GlobalMinCut cut = StoerWagnerMinCut(g);
+  EXPECT_DOUBLE_EQ(cut.value, 3.0);  // two edges of weight 1.5
+}
+
+TEST(GeneratorsTest, DumbbellMinCutEqualsBridgeCount) {
+  for (int bridges : {1, 2, 4}) {
+    const UndirectedGraph g = DumbbellGraph(8, bridges);
+    const GlobalMinCut cut = StoerWagnerMinCut(g);
+    EXPECT_DOUBLE_EQ(cut.value, static_cast<double>(bridges))
+        << "bridges=" << bridges;
+    EXPECT_EQ(SetSize(cut.side) % 8, 0);  // splits along the cliques
+  }
+}
+
+TEST(GeneratorsTest, MatchingUnionIsRegular) {
+  Rng rng(8);
+  const UndirectedGraph g = UnionOfRandomMatchings(16, 5, rng);
+  EXPECT_EQ(g.num_edges(), 5 * 8);
+  for (int v = 0; v < 16; ++v) EXPECT_DOUBLE_EQ(g.Degree(v), 5.0);
+}
+
+TEST(GeneratorsTest, GridGraphStructure) {
+  const UndirectedGraph g = GridGraph(4, 6);
+  EXPECT_EQ(g.num_vertices(), 24);
+  EXPECT_EQ(g.num_edges(), 4 * 5 + 3 * 6);  // horizontal + vertical
+  EXPECT_TRUE(IsConnected(g));
+  // Corner degree 2, edge degree 3, interior degree 4.
+  EXPECT_DOUBLE_EQ(g.Degree(0), 2.0);
+  EXPECT_DOUBLE_EQ(g.Degree(1), 3.0);
+  EXPECT_DOUBLE_EQ(g.Degree(7), 4.0);
+  // The minimum cut isolates a corner (degree 2).
+  EXPECT_DOUBLE_EQ(StoerWagnerMinCut(g).value, 2.0);
+}
+
+TEST(GeneratorsTest, GridGraphDegenerateShapes) {
+  const UndirectedGraph path = GridGraph(1, 5);
+  EXPECT_EQ(path.num_edges(), 4);
+  const UndirectedGraph column = GridGraph(5, 1);
+  EXPECT_EQ(column.num_edges(), 4);
+}
+
+TEST(GeneratorsTest, PreferentialAttachmentShape) {
+  Rng rng(9);
+  const int m = 3;
+  const UndirectedGraph g = PreferentialAttachmentGraph(60, m, rng);
+  EXPECT_TRUE(IsConnected(g));
+  // Seed clique C(4,2) = 6 edges plus 3 per additional vertex.
+  EXPECT_EQ(g.num_edges(), 6 + (60 - 4) * 3);
+  // Every non-seed vertex has degree >= m; the oldest vertices are hubs.
+  for (int v = m + 1; v < 60; ++v) EXPECT_GE(g.Degree(v), 3.0);
+  double max_degree = 0;
+  for (int v = 0; v < 60; ++v) max_degree = std::max(max_degree, g.Degree(v));
+  EXPECT_GE(max_degree, 10.0);  // skewed degrees
+}
+
+TEST(GeneratorsTest, GeneratorsAreDeterministicPerSeed) {
+  Rng rng_a(99);
+  Rng rng_b(99);
+  const UndirectedGraph a = RandomUndirectedGraph(25, 0.3, 1, 2, true, rng_a);
+  const UndirectedGraph b = RandomUndirectedGraph(25, 0.3, 1, 2, true, rng_b);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (int64_t i = 0; i < a.num_edges(); ++i) {
+    EXPECT_EQ(a.edges()[static_cast<size_t>(i)],
+              b.edges()[static_cast<size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,93 @@
+#include "graph/graph_io.h"
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+TEST(GraphIoTest, DirectedRoundTrip) {
+  Rng rng(1);
+  const DirectedGraph g = RandomBalancedDigraph(12, 0.4, 2.0, rng);
+  std::stringstream stream;
+  WriteDirectedGraphText(g, stream);
+  const auto back = ReadDirectedGraphText(stream);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->num_vertices(), g.num_vertices());
+  ASSERT_EQ(back->num_edges(), g.num_edges());
+  const VertexSet side = MakeVertexSet(12, {0, 4, 8});
+  EXPECT_DOUBLE_EQ(back->CutWeight(side), g.CutWeight(side));
+}
+
+TEST(GraphIoTest, UndirectedRoundTrip) {
+  Rng rng(2);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(10, 0.5, 0.25, 4.0, true, rng);
+  std::stringstream stream;
+  WriteUndirectedGraphText(g, stream);
+  const auto back = ReadUndirectedGraphText(stream);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+  EXPECT_DOUBLE_EQ(back->TotalWeight(), g.TotalWeight());
+}
+
+TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
+  std::stringstream stream(
+      "# a graph\n\nU 3 2\n# first edge\n0 1 1.5\n\n1 2 2.5\n");
+  const auto graph = ReadUndirectedGraphText(stream);
+  ASSERT_TRUE(graph.has_value());
+  EXPECT_EQ(graph->num_edges(), 2);
+  EXPECT_DOUBLE_EQ(graph->TotalWeight(), 4.0);
+}
+
+TEST(GraphIoTest, RejectsWrongTag) {
+  std::stringstream stream("U 3 1\n0 1 1.0\n");
+  EXPECT_FALSE(ReadDirectedGraphText(stream).has_value());
+}
+
+TEST(GraphIoTest, RejectsMalformedInputs) {
+  {
+    std::stringstream stream("D 3\n");  // missing edge count
+    EXPECT_FALSE(ReadDirectedGraphText(stream).has_value());
+  }
+  {
+    std::stringstream stream("D 3 1\n0 5 1.0\n");  // endpoint out of range
+    EXPECT_FALSE(ReadDirectedGraphText(stream).has_value());
+  }
+  {
+    std::stringstream stream("D 3 1\n0 0 1.0\n");  // self loop
+    EXPECT_FALSE(ReadDirectedGraphText(stream).has_value());
+  }
+  {
+    std::stringstream stream("D 3 1\n0 1 -2.0\n");  // negative weight
+    EXPECT_FALSE(ReadDirectedGraphText(stream).has_value());
+  }
+  {
+    std::stringstream stream("D 3 2\n0 1 1.0\n");  // truncated edge list
+    EXPECT_FALSE(ReadDirectedGraphText(stream).has_value());
+  }
+  {
+    std::stringstream stream("");  // empty
+    EXPECT_FALSE(ReadUndirectedGraphText(stream).has_value());
+  }
+}
+
+TEST(GraphIoTest, FileRoundTrip) {
+  Rng rng(3);
+  const UndirectedGraph g = DumbbellGraph(5, 2);
+  const std::string path = "/tmp/dcs_graph_io_test.txt";
+  ASSERT_TRUE(SaveUndirectedGraph(g, path));
+  const auto back = LoadUndirectedGraph(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_edges(), g.num_edges());
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadDirectedGraph("/nonexistent/nowhere.txt").has_value());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,213 @@
+// Section 4 (Theorem 1.2 / Lemma 4.2): the for-all lower-bound encoding.
+// Verifies the {1,2}/1/β weight structure, the 2β balance certificate,
+// Bob's subset-selection decision procedure (enumeration and greedy modes),
+// and the collapse of the decision under large oracle error.
+
+#include "lowerbound/forall_encoding.h"
+
+#include <set>
+
+#include "graph/balance.h"
+#include "graph/connectivity.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+ForAllLowerBoundParams SmallParams() {
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 4;
+  params.beta = 2;
+  params.num_layers = 2;
+  return params;
+}
+
+std::vector<std::vector<uint8_t>> SampleStrings(
+    const ForAllLowerBoundParams& params, Rng& rng) {
+  std::vector<std::vector<uint8_t>> strings;
+  for (int64_t i = 0; i < params.total_strings(); ++i) {
+    strings.push_back(rng.RandomBinaryStringWithWeight(
+        params.inv_epsilon_sq, params.inv_epsilon_sq / 2));
+  }
+  return strings;
+}
+
+TEST(ForAllParamsTest, DerivedQuantities) {
+  const ForAllLowerBoundParams params = SmallParams();
+  EXPECT_EQ(params.layer_size(), 8);
+  EXPECT_EQ(params.num_vertices(), 16);
+  EXPECT_EQ(params.strings_per_layer_pair(), 16);
+  EXPECT_EQ(params.total_strings(), 16);
+  EXPECT_EQ(params.total_bits(), 64);
+  EXPECT_DOUBLE_EQ(params.backward_weight(), 0.5);
+}
+
+TEST(ForAllParamsTest, StringLocationCoversAll) {
+  ForAllLowerBoundParams params = SmallParams();
+  params.num_layers = 3;
+  std::set<std::tuple<int, int, int>> seen;
+  for (int64_t q = 0; q < params.total_strings(); ++q) {
+    const ForAllStringLocation loc = LocateForAllString(params, q);
+    EXPECT_LT(loc.layer_pair, 2);
+    EXPECT_LT(loc.left_index, params.layer_size());
+    EXPECT_LT(loc.right_cluster, params.beta);
+    seen.insert({loc.layer_pair, loc.left_index, loc.right_cluster});
+  }
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), params.total_strings());
+}
+
+TEST(ForAllEncoderTest, WeightsAreOneTwoAndOneOverBeta) {
+  const ForAllLowerBoundParams params = SmallParams();
+  Rng rng(1);
+  const auto strings = SampleStrings(params, rng);
+  const DirectedGraph graph = ForAllEncoder(params).Encode(strings);
+  EXPECT_EQ(graph.num_vertices(), 16);
+  EXPECT_EQ(graph.num_edges(), 128);  // 64 forward + 64 backward
+  EXPECT_TRUE(IsStronglyConnected(graph));
+  const int k = params.layer_size();
+  int weight_two = 0;
+  for (const Edge& e : graph.edges()) {
+    if (e.src < k) {
+      EXPECT_TRUE(e.weight == 1.0 || e.weight == 2.0);
+      weight_two += e.weight == 2.0 ? 1 : 0;
+    } else {
+      EXPECT_DOUBLE_EQ(e.weight, params.backward_weight());
+    }
+  }
+  // Every string has weight L/2, so exactly half the forward edges are 2.
+  EXPECT_EQ(weight_two, 32);
+}
+
+TEST(ForAllEncoderTest, GraphIsTwoBetaBalanced) {
+  const ForAllLowerBoundParams params = SmallParams();
+  Rng rng(2);
+  const DirectedGraph graph =
+      ForAllEncoder(params).Encode(SampleStrings(params, rng));
+  const auto certificate = PerEdgeBalanceCertificate(graph);
+  ASSERT_TRUE(certificate.has_value());
+  EXPECT_DOUBLE_EQ(*certificate, 2.0 * params.beta);
+  EXPECT_TRUE(VerifyBalanceExact(graph, 2.0 * params.beta));
+}
+
+TEST(ForAllEncoderTest, ForwardWeightsMatchStrings) {
+  const ForAllLowerBoundParams params = SmallParams();
+  Rng rng(3);
+  const auto strings = SampleStrings(params, rng);
+  const DirectedGraph graph = ForAllEncoder(params).Encode(strings);
+  // Check string q=5: located at (p=0, i, j); forward edge weights from
+  // ℓ_i into cluster j follow s+1.
+  const ForAllStringLocation loc = LocateForAllString(params, 5);
+  const int k = params.layer_size();
+  const int cluster_base = (loc.layer_pair + 1) * k +
+                           loc.right_cluster * params.inv_epsilon_sq;
+  const VertexId left = loc.layer_pair * k + loc.left_index;
+  for (int v = 0; v < params.inv_epsilon_sq; ++v) {
+    double weight = -1;
+    for (const Edge& e : graph.edges()) {
+      if (e.src == left && e.dst == cluster_base + v) {
+        weight = e.weight;
+        break;
+      }
+    }
+    EXPECT_DOUBLE_EQ(weight,
+                     strings[5][static_cast<size_t>(v)] ? 2.0 : 1.0);
+  }
+}
+
+// Maps a layer-local U subset and Bob's t to global vertex sets and checks
+// the selected subsets of both modes have equal forward weight w(U, T).
+TEST(ForAllDecoderTest, GreedyMatchesEnumerationOnExactOracle) {
+  const ForAllLowerBoundParams params = SmallParams();
+  Rng rng(4);
+  const auto strings = SampleStrings(params, rng);
+  const DirectedGraph graph = ForAllEncoder(params).Encode(strings);
+  const ForAllDecoder decoder(params);
+  const CutOracle oracle = ExactCutOracle(graph);
+  const int k = params.layer_size();
+  for (int64_t q : {0, 7, 15}) {
+    const std::vector<uint8_t> t = Rng(q + 10).RandomBinaryStringWithWeight(
+        params.inv_epsilon_sq, params.inv_epsilon_sq / 2);
+    const VertexSet enum_u = decoder.SelectBestSubset(
+        q, t, oracle, ForAllDecoder::SubsetSelection::kEnumerate);
+    const VertexSet greedy_u = decoder.SelectBestSubset(
+        q, t, oracle, ForAllDecoder::SubsetSelection::kGreedy);
+    ASSERT_EQ(SetSize(enum_u), k / 2);
+    ASSERT_EQ(SetSize(greedy_u), k / 2);
+    // Equal objective value (tie-safe comparison): forward weight into T.
+    const ForAllStringLocation loc = LocateForAllString(params, q);
+    const int cluster_base = (loc.layer_pair + 1) * k +
+                             loc.right_cluster * params.inv_epsilon_sq;
+    auto globalize = [&](const VertexSet& u_local) {
+      VertexSet global(static_cast<size_t>(params.num_vertices()), 0);
+      for (int i = 0; i < k; ++i) {
+        if (u_local[static_cast<size_t>(i)]) {
+          global[static_cast<size_t>(loc.layer_pair * k + i)] = 1;
+        }
+      }
+      return global;
+    };
+    VertexSet t_global(static_cast<size_t>(params.num_vertices()), 0);
+    for (int v = 0; v < params.inv_epsilon_sq; ++v) {
+      if (t[static_cast<size_t>(v)]) {
+        t_global[static_cast<size_t>(cluster_base + v)] = 1;
+      }
+    }
+    EXPECT_DOUBLE_EQ(graph.CrossWeight(globalize(enum_u), t_global),
+                     graph.CrossWeight(globalize(greedy_u), t_global))
+        << "string " << q;
+  }
+}
+
+TEST(ForAllDecoderTest, ExactOracleTrialsSucceed) {
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 16;
+  params.beta = 1;
+  params.num_layers = 2;
+  Rng rng(5);
+  const ForAllTrialResult result = RunForAllTrials(
+      params, 40, rng,
+      [](const DirectedGraph& graph) { return ExactCutOracle(graph); },
+      ForAllDecoder::SubsetSelection::kGreedy);
+  EXPECT_GE(result.accuracy(), 0.85);
+}
+
+TEST(ForAllDecoderTest, EnumerationTrialsSucceed) {
+  const ForAllLowerBoundParams params = SmallParams();
+  Rng rng(6);
+  const ForAllTrialResult result = RunForAllTrials(
+      params, 40, rng,
+      [](const DirectedGraph& graph) { return ExactCutOracle(graph); },
+      ForAllDecoder::SubsetSelection::kEnumerate);
+  EXPECT_GE(result.accuracy(), 0.8);
+}
+
+TEST(ForAllDecoderTest, MultiLayerTrialsSucceed) {
+  ForAllLowerBoundParams params = SmallParams();
+  params.num_layers = 3;
+  Rng rng(7);
+  const ForAllTrialResult result = RunForAllTrials(
+      params, 30, rng,
+      [](const DirectedGraph& graph) { return ExactCutOracle(graph); },
+      ForAllDecoder::SubsetSelection::kGreedy);
+  EXPECT_GE(result.accuracy(), 0.8);
+}
+
+TEST(ForAllDecoderTest, CollapsesUnderLargeOracleError) {
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 16;
+  params.beta = 1;
+  params.num_layers = 2;
+  Rng noise_rng(8);
+  auto factory = [&noise_rng](const DirectedGraph& graph) {
+    return NoisyCutOracle(graph, 0.8, noise_rng);
+  };
+  Rng rng(9);
+  const ForAllTrialResult result = RunForAllTrials(
+      params, 60, rng, factory, ForAllDecoder::SubsetSelection::kGreedy);
+  EXPECT_LE(result.accuracy(), 0.78);
+  EXPECT_GE(result.accuracy(), 0.25);
+}
+
+}  // namespace
+}  // namespace dcs

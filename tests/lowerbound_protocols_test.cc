@@ -1,0 +1,274 @@
+// End-to-end protocol runners: serialized-sketch transcripts for the
+// Section 3/4 reductions, and the Lemma 5.6 2-SUM solver.
+
+#include "lowerbound/protocols.h"
+
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "graph/generators.h"
+#include "localquery/oracle.h"
+#include "lowerbound/twosum_graph.h"
+#include "lowerbound/twosum_oracle.h"
+#include "lowerbound/twosum_solver.h"
+#include "sketch/directed_sketches.h"
+#include "sketch/sampled_sketches.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+TEST(SketchWireFormatTest, ForEachCutSketchRoundTrip) {
+  UndirectedGraph sample(4);
+  sample.AddEdge(0, 1, 2.5);
+  sample.AddEdge(2, 3, 1.0);
+  const ForEachCutSketch sketch =
+      ForEachCutSketch::FromSample(0.25, std::move(sample));
+  BitWriter writer;
+  sketch.Serialize(writer);
+  EXPECT_EQ(writer.bit_count(), sketch.SizeInBits());
+  BitReader reader(writer.bytes());
+  const ForEachCutSketch back = ForEachCutSketch::Deserialize(reader);
+  EXPECT_DOUBLE_EQ(back.epsilon(), 0.25);
+  const VertexSet side = MakeVertexSet(4, {0, 2});
+  EXPECT_DOUBLE_EQ(back.EstimateCut(side), sketch.EstimateCut(side));
+}
+
+TEST(SketchWireFormatTest, BenczurKargerRoundTrip) {
+  Rng rng(1);
+  const UndirectedGraph g = CompleteGraph(12, 1.0);
+  const BenczurKargerSparsifier sketch(g, 0.3, rng);
+  BitWriter writer;
+  sketch.Serialize(writer);
+  EXPECT_EQ(writer.bit_count(), sketch.SizeInBits());
+  BitReader reader(writer.bytes());
+  const BenczurKargerSparsifier back =
+      BenczurKargerSparsifier::Deserialize(reader);
+  const VertexSet side = MakeVertexSet(12, {0, 1, 5});
+  EXPECT_DOUBLE_EQ(back.EstimateCut(side), sketch.EstimateCut(side));
+  EXPECT_EQ(back.SizeInBits(), sketch.SizeInBits());
+}
+
+TEST(SketchWireFormatTest, DirectedSketchesRoundTrip) {
+  Rng gen_rng(2);
+  const DirectedGraph g = RandomBalancedDigraph(14, 0.5, 2.0, gen_rng);
+  Rng r1(3), r2(4);
+  const DirectedForEachSketch fe(g, 0.2, 2.0, r1);
+  const DirectedForAllSketch fa(g, 0.2, 2.0, r2);
+  const VertexSet side = MakeVertexSet(14, {0, 3, 6, 9});
+
+  BitWriter fe_writer;
+  fe.Serialize(fe_writer);
+  BitReader fe_reader(fe_writer.bytes());
+  const DirectedForEachSketch fe_back =
+      DirectedForEachSketch::Deserialize(fe_reader);
+  EXPECT_DOUBLE_EQ(fe_back.EstimateCut(side), fe.EstimateCut(side));
+
+  BitWriter fa_writer;
+  fa.Serialize(fa_writer);
+  BitReader fa_reader(fa_writer.bytes());
+  const DirectedForAllSketch fa_back =
+      DirectedForAllSketch::Deserialize(fa_reader);
+  EXPECT_DOUBLE_EQ(fa_back.EstimateCut(side), fa.EstimateCut(side));
+}
+
+TEST(ForEachProtocolTest, DenseSketchDecodesAndRespectsPigeonhole) {
+  ForEachLowerBoundParams params;
+  params.inv_epsilon = 4;
+  params.sqrt_beta = 1;
+  params.num_layers = 2;
+  Rng rng(5);
+  // Tiny sketch epsilon → the sampler keeps everything → exact decoding.
+  const SketchProtocolResult result =
+      RunForEachSketchProtocol(params, 0.01, 50.0, 60, rng);
+  EXPECT_GE(result.accuracy(), 0.95);
+  // Pigeonhole: a message supporting near-perfect decoding of
+  // payload_bits random bits cannot be shorter than the payload.
+  EXPECT_GE(result.message_bits, result.payload_bits);
+}
+
+TEST(ForEachProtocolTest, CoarseSketchShrinksMessageAndAccuracy) {
+  ForEachLowerBoundParams params;
+  params.inv_epsilon = 8;
+  params.sqrt_beta = 2;
+  params.num_layers = 2;
+  Rng rng1(6);
+  const SketchProtocolResult dense =
+      RunForEachSketchProtocol(params, 0.02, 20.0, 100, rng1);
+  Rng rng2(7);
+  const SketchProtocolResult coarse =
+      RunForEachSketchProtocol(params, 0.6, 0.05, 100, rng2);
+  EXPECT_LT(coarse.message_bits, dense.message_bits);
+  EXPECT_LT(coarse.accuracy(), dense.accuracy() + 1e-9);
+}
+
+TEST(ForAllProtocolTest, DenseSketchDecides) {
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 16;
+  params.beta = 1;
+  params.num_layers = 2;
+  Rng rng(8);
+  const SketchProtocolResult result =
+      RunForAllSketchProtocol(params, 0.01, 50.0, 20, rng);
+  EXPECT_GE(result.accuracy(), 0.75);
+  EXPECT_GT(result.message_bits, 0);
+}
+
+TEST(TwoSumSolverTest, RecoversDisjointCount) {
+  TwoSumParams params;
+  params.num_pairs = 4;
+  params.string_length = 100;  // N = 400, ℓ = 20
+  params.alpha = 1;
+  params.intersect_fraction = 0.5;
+  Rng rng(9);
+  const TwoSumInstance instance = SampleTwoSumInstance(params, rng);
+  Rng solve_rng(10);
+  const TwoSumSolveResult result =
+      SolveTwoSumViaMinCut(instance, 0.2, solve_rng);
+  EXPECT_NEAR(result.disjoint_estimate, instance.disjoint_count, 1.0);
+  EXPECT_GT(result.total_queries, 0);
+  EXPECT_EQ(result.communication_bits % 2, 0);
+}
+
+TEST(TwoSumSolverTest, WorksWithAlphaGreaterThanOne) {
+  TwoSumParams params;
+  params.num_pairs = 4;
+  params.string_length = 64;  // N = 256, ℓ = 16
+  params.alpha = 2;
+  params.intersect_fraction = 0.5;
+  Rng rng(11);
+  const TwoSumInstance instance = SampleTwoSumInstance(params, rng);
+  Rng solve_rng(12);
+  const TwoSumSolveResult result =
+      SolveTwoSumViaMinCut(instance, 0.2, solve_rng);
+  EXPECT_NEAR(result.disjoint_estimate, instance.disjoint_count, 1.0);
+}
+
+TEST(TwoSumSolverTest, BothSearchModesAgree) {
+  TwoSumParams params;
+  params.num_pairs = 2;
+  params.string_length = 128;  // N = 256
+  params.alpha = 1;
+  params.intersect_fraction = 0.5;
+  Rng rng(13);
+  const TwoSumInstance instance = SampleTwoSumInstance(params, rng);
+  Rng r1(14), r2(14);
+  const TwoSumSolveResult original = SolveTwoSumViaMinCut(
+      instance, 0.25, r1, SearchMode::kOriginalEpsilonSearch);
+  const TwoSumSolveResult modified = SolveTwoSumViaMinCut(
+      instance, 0.25, r2, SearchMode::kModifiedConstantSearch);
+  EXPECT_NEAR(original.disjoint_estimate, modified.disjoint_estimate, 1.0);
+}
+
+TEST(TwoSumOracleTest, AnswersMatchMaterializedGraph) {
+  Rng rng(60);
+  const int ell = 8;
+  std::vector<uint8_t> x = rng.RandomBinaryString(ell * ell);
+  std::vector<uint8_t> y = rng.RandomBinaryString(ell * ell);
+  const UndirectedGraph g = BuildTwoSumGraph(x, y);
+  GraphOracle materialized(g);
+  TwoSumGraphOracle two_party(x, y);
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    ASSERT_EQ(two_party.Degree(u), materialized.Degree(u));
+    // Slot orderings differ between the oracles (both are legal fixed
+    // orderings); compare neighbor multisets.
+    std::multiset<int> a, b;
+    for (int64_t slot = 0; slot < ell; ++slot) {
+      a.insert(*materialized.Neighbor(u, slot));
+      b.insert(*two_party.Neighbor(u, slot));
+    }
+    ASSERT_EQ(a, b) << "vertex " << u;
+  }
+  // Adjacency agrees on sampled pairs (including structural non-edges).
+  Rng pair_rng(61);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int u = static_cast<int>(pair_rng.UniformInt(4 * ell));
+    const int v = static_cast<int>(pair_rng.UniformInt(4 * ell));
+    if (u == v) continue;
+    ASSERT_EQ(two_party.Adjacent(u, v), materialized.Adjacent(u, v))
+        << u << "," << v;
+  }
+}
+
+TEST(TwoSumOracleTest, DegreeQueriesCostNoBits) {
+  Rng rng(62);
+  std::vector<uint8_t> x = rng.RandomBinaryString(36);
+  std::vector<uint8_t> y = rng.RandomBinaryString(36);
+  TwoSumGraphOracle oracle(x, y);
+  for (int u = 0; u < oracle.num_vertices(); ++u) oracle.Degree(u);
+  EXPECT_EQ(oracle.bits_exchanged(), 0);
+  oracle.Neighbor(0, 3);
+  EXPECT_EQ(oracle.bits_exchanged(), 2);
+  oracle.Adjacent(0, oracle.side_length());  // a_0 vs a'_0: one exchange
+  EXPECT_EQ(oracle.bits_exchanged(), 4);
+}
+
+TEST(TwoSumOracleTest, StructuralNonEdgesAreFree) {
+  Rng rng(63);
+  std::vector<uint8_t> x = rng.RandomBinaryString(25);
+  std::vector<uint8_t> y = rng.RandomBinaryString(25);
+  TwoSumGraphOracle oracle(x, y);
+  // Two A-side vertices can never be adjacent: no bits needed.
+  EXPECT_FALSE(oracle.Adjacent(0, 1));
+  EXPECT_EQ(oracle.bits_exchanged(), 0);
+}
+
+TEST(TwoSumOracleTest, SolverBitsEqualOracleExchanges) {
+  TwoSumParams params;
+  params.num_pairs = 4;
+  params.string_length = 64;  // N = 256
+  params.alpha = 1;
+  params.intersect_fraction = 0.5;
+  Rng rng(64);
+  const TwoSumInstance instance = SampleTwoSumInstance(params, rng);
+  Rng solve_rng(65);
+  const TwoSumSolveResult result =
+      SolveTwoSumViaMinCut(instance, 0.25, solve_rng);
+  EXPECT_NEAR(result.disjoint_estimate, instance.disjoint_count, 1.0);
+  EXPECT_GT(result.communication_bits, 0);
+}
+
+// --- failure injection: corrupted transcripts ---
+
+TEST(WireCorruptionTest, TruncatedSketchStreamDies) {
+  Rng gen_rng(40);
+  const DirectedGraph g = RandomBalancedDigraph(10, 0.5, 2.0, gen_rng);
+  Rng rng(41);
+  const DirectedForEachSketch sketch(g, 0.3, 2.0, rng);
+  BitWriter writer;
+  sketch.Serialize(writer);
+  // Drop the last quarter of the stream: deserialization must hit the
+  // end-of-stream CHECK rather than fabricate a sketch.
+  std::vector<uint8_t> truncated(
+      writer.bytes().begin(),
+      writer.bytes().begin() +
+          static_cast<int64_t>(writer.bytes().size() * 3 / 4));
+  BitReader reader(truncated);
+  EXPECT_DEATH(DirectedForEachSketch::Deserialize(reader), "CHECK");
+}
+
+TEST(WireCorruptionTest, BitFlipsPerturbOnlyWeights) {
+  // Flipping bits inside a weight field changes estimates but never the
+  // structure; the stream still parses to a sketch over the same vertices.
+  Rng gen_rng(42);
+  const DirectedGraph g = RandomBalancedDigraph(8, 0.6, 2.0, gen_rng);
+  Rng rng(43);
+  const DirectedForEachSketch sketch(g, 0.3, 2.0, rng);
+  BitWriter writer;
+  sketch.Serialize(writer);
+  std::vector<uint8_t> bytes = writer.bytes();
+  // The imbalance array sits at the front: count (gamma) then doubles.
+  // Flip a bit well inside the first double's mantissa.
+  bytes[4] ^= 0x10;
+  BitReader reader(bytes);
+  const DirectedForEachSketch corrupted =
+      DirectedForEachSketch::Deserialize(reader);
+  const VertexSet side = MakeVertexSet(8, {0, 2});
+  // Parses fine; the estimate may differ (and usually does).
+  const double estimate = corrupted.EstimateCut(side);
+  EXPECT_TRUE(std::isfinite(estimate) || std::isnan(estimate));
+}
+
+}  // namespace
+}  // namespace dcs

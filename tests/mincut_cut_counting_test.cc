@@ -1,0 +1,84 @@
+// Karger's cut-counting theorem and the coverage of randomized
+// near-min-cut enumeration (the distributed pipeline's foundation).
+
+#include "mincut/cut_counting.h"
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+TEST(CutCountingTest, CycleHasChooseTwoMinimumCuts) {
+  // C_n: every min cut (value 2) removes two edges; there are C(n,2)
+  // such partitions.
+  for (int n : {5, 8, 12}) {
+    const UndirectedGraph g = CycleGraph(n, 1.0);
+    const CutCountResult result = CountNearMinimumCutsExhaustive(g, 1.0);
+    EXPECT_DOUBLE_EQ(result.min_value, 2.0);
+    EXPECT_EQ(result.cuts_at_minimum, n * (n - 1) / 2) << "n=" << n;
+  }
+}
+
+TEST(CutCountingTest, CompleteGraphMinCutsAreSingletons) {
+  const UndirectedGraph g = CompleteGraph(8, 1.0);
+  const CutCountResult result = CountNearMinimumCutsExhaustive(g, 1.0);
+  EXPECT_DOUBLE_EQ(result.min_value, 7.0);
+  EXPECT_EQ(result.cuts_at_minimum, 8);
+}
+
+TEST(CutCountingTest, DumbbellHasUniqueMinCut) {
+  const UndirectedGraph g = DumbbellGraph(6, 1);
+  const CutCountResult result = CountNearMinimumCutsExhaustive(g, 1.0);
+  EXPECT_DOUBLE_EQ(result.min_value, 1.0);
+  EXPECT_EQ(result.cuts_at_minimum, 1);
+}
+
+TEST(CutCountingTest, KargerBoundHolds) {
+  // n^{2a} dominates the exhaustive count on every workload.
+  Rng rng(1);
+  for (double alpha : {1.0, 1.5, 2.0}) {
+    for (int seed = 0; seed < 3; ++seed) {
+      Rng gen_rng(static_cast<uint64_t>(seed));
+      const UndirectedGraph g =
+          RandomUndirectedGraph(14, 0.3, 1.0, 1.0, true, gen_rng);
+      const CutCountResult result =
+          CountNearMinimumCutsExhaustive(g, alpha);
+      EXPECT_LE(static_cast<double>(result.cuts_within_alpha),
+                result.karger_bound)
+          << "alpha=" << alpha << " seed=" << seed;
+    }
+  }
+}
+
+TEST(CutCountingTest, AlphaWindowIsMonotone) {
+  Rng gen_rng(7);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(12, 0.4, 1.0, 1.0, true, gen_rng);
+  const CutCountResult narrow = CountNearMinimumCutsExhaustive(g, 1.0);
+  const CutCountResult wide = CountNearMinimumCutsExhaustive(g, 2.0);
+  EXPECT_LE(narrow.cuts_within_alpha, wide.cuts_within_alpha);
+  EXPECT_GE(narrow.cuts_within_alpha, narrow.cuts_at_minimum);
+}
+
+TEST(CutCountingTest, KargerEnumerationCoversCycleMinCuts) {
+  // C_8 has 28 min-cut partitions; enough repetitions find them all.
+  const UndirectedGraph g = CycleGraph(8, 1.0);
+  Rng rng(3);
+  const double coverage = KargerEnumerationCoverage(g, 1.0, rng, 80);
+  EXPECT_DOUBLE_EQ(coverage, 1.0);
+}
+
+TEST(CutCountingTest, CoverageGrowsWithRepetitions) {
+  Rng gen_rng(11);
+  const UndirectedGraph g = CycleGraph(10, 1.0);
+  Rng r1(5), r2(5);
+  const double few = KargerEnumerationCoverage(g, 1.0, r1, 2);
+  const double many = KargerEnumerationCoverage(g, 1.0, r2, 60);
+  EXPECT_LE(few, many + 1e-9);
+  EXPECT_GE(many, 0.9);
+}
+
+}  // namespace
+}  // namespace dcs

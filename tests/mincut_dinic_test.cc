@@ -1,0 +1,109 @@
+#include "mincut/dinic.h"
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+TEST(DinicTest, SingleEdgeFlow) {
+  DirectedGraph g(2);
+  g.AddEdge(0, 1, 3.5);
+  const MaxFlowResult r = MaxFlow(g, 0, 1);
+  EXPECT_DOUBLE_EQ(r.flow_value, 3.5);
+  EXPECT_TRUE(r.source_side[0]);
+  EXPECT_FALSE(r.source_side[1]);
+}
+
+TEST(DinicTest, NoPathMeansZeroFlow) {
+  DirectedGraph g(3);
+  g.AddEdge(1, 0, 2.0);  // only points the wrong way
+  const MaxFlowResult r = MaxFlow(g, 0, 1);
+  EXPECT_DOUBLE_EQ(r.flow_value, 0.0);
+}
+
+TEST(DinicTest, ClassicTextbookNetwork) {
+  // CLRS-style network with known max flow 23.
+  DirectedGraph g(6);
+  g.AddEdge(0, 1, 16);
+  g.AddEdge(0, 2, 13);
+  g.AddEdge(1, 3, 12);
+  g.AddEdge(2, 1, 4);
+  g.AddEdge(2, 4, 14);
+  g.AddEdge(3, 2, 9);
+  g.AddEdge(3, 5, 20);
+  g.AddEdge(4, 3, 7);
+  g.AddEdge(4, 5, 4);
+  const MaxFlowResult r = MaxFlow(g, 0, 5);
+  EXPECT_DOUBLE_EQ(r.flow_value, 23.0);
+}
+
+TEST(DinicTest, MinCutSideMatchesFlowValue) {
+  Rng rng(11);
+  const DirectedGraph g = RandomBalancedDigraph(12, 0.4, 2.0, rng);
+  const MaxFlowResult r = MaxFlow(g, 0, 7);
+  // Max-flow min-cut: the cut defined by the residual-reachable side has
+  // capacity exactly the flow value.
+  EXPECT_NEAR(g.CutWeight(r.source_side), r.flow_value, 1e-6);
+  EXPECT_TRUE(r.source_side[0]);
+  EXPECT_FALSE(r.source_side[7]);
+}
+
+TEST(DinicTest, SolverIsReusable) {
+  DinicSolver solver(3);
+  solver.AddArc(0, 1, 2.0);
+  solver.AddArc(1, 2, 1.0);
+  const MaxFlowResult first = solver.Solve(0, 2);
+  const MaxFlowResult second = solver.Solve(0, 2);
+  EXPECT_DOUBLE_EQ(first.flow_value, 1.0);
+  EXPECT_DOUBLE_EQ(second.flow_value, 1.0);
+  // Different terminals on the same solver.
+  const MaxFlowResult third = solver.Solve(0, 1);
+  EXPECT_DOUBLE_EQ(third.flow_value, 2.0);
+}
+
+TEST(DinicTest, UndirectedFlowUsesBothDirections) {
+  UndirectedGraph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 3, 1.0);
+  g.AddEdge(0, 2, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  const MaxFlowResult r = MaxFlowUndirected(g, 0, 3);
+  EXPECT_DOUBLE_EQ(r.flow_value, 2.0);
+}
+
+TEST(DinicTest, ParallelEdgesAddCapacity) {
+  DirectedGraph g(2);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 1, 2.5);
+  EXPECT_DOUBLE_EQ(MaxFlow(g, 0, 1).flow_value, 3.5);
+}
+
+TEST(DinicTest, EdgeDisjointPathsOnCompleteGraph) {
+  // K_5: between any two vertices there are 4 edge-disjoint paths.
+  const UndirectedGraph g = CompleteGraph(5, 1.0);
+  EXPECT_EQ(CountEdgeDisjointPaths(g, 0, 3), 4);
+}
+
+TEST(DinicTest, EdgeDisjointPathsOnCycle) {
+  const UndirectedGraph g = CycleGraph(7, 1.0);
+  EXPECT_EQ(CountEdgeDisjointPaths(g, 0, 3), 2);
+}
+
+TEST(DinicTest, EdgeDisjointPathsCountsMultiplicity) {
+  UndirectedGraph g(2);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 1, 1.0);
+  EXPECT_EQ(CountEdgeDisjointPaths(g, 0, 1), 3);
+}
+
+TEST(DinicDeathTest, SameSourceAndSinkChecks) {
+  DirectedGraph g(2);
+  g.AddEdge(0, 1, 1.0);
+  EXPECT_DEATH(MaxFlow(g, 0, 0), "CHECK");
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,160 @@
+// Cross-validation of the global min-cut algorithms: Stoer–Wagner
+// (deterministic ground truth), Karger / Karger–Stein, near-min-cut
+// enumeration, and the directed global min cut.
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "mincut/directed_mincut.h"
+#include "mincut/karger.h"
+#include "mincut/stoer_wagner.h"
+
+namespace dcs {
+namespace {
+
+TEST(StoerWagnerTest, TwoVertices) {
+  UndirectedGraph g(2);
+  g.AddEdge(0, 1, 4.0);
+  const GlobalMinCut cut = StoerWagnerMinCut(g);
+  EXPECT_DOUBLE_EQ(cut.value, 4.0);
+  EXPECT_EQ(SetSize(cut.side), 1);
+}
+
+TEST(StoerWagnerTest, PathGraphCutsWeakestEdge) {
+  UndirectedGraph g(4);
+  g.AddEdge(0, 1, 3.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 3, 2.0);
+  const GlobalMinCut cut = StoerWagnerMinCut(g);
+  EXPECT_DOUBLE_EQ(cut.value, 1.0);
+  EXPECT_DOUBLE_EQ(g.CutWeight(cut.side), 1.0);
+}
+
+TEST(StoerWagnerTest, WeightedClassicInstance) {
+  // Stoer & Wagner's original 8-vertex example, min cut value 4.
+  UndirectedGraph g(8);
+  const int edges[][3] = {{0, 1, 2}, {0, 4, 3}, {1, 2, 3}, {1, 4, 2},
+                          {1, 5, 2}, {2, 3, 4}, {2, 6, 2}, {3, 6, 2},
+                          {3, 7, 2}, {4, 5, 3}, {5, 6, 1}, {6, 7, 3}};
+  for (const auto& e : edges) g.AddEdge(e[0], e[1], e[2]);
+  const GlobalMinCut cut = StoerWagnerMinCut(g);
+  EXPECT_DOUBLE_EQ(cut.value, 4.0);
+  EXPECT_DOUBLE_EQ(g.CutWeight(cut.side), 4.0);
+}
+
+TEST(StoerWagnerTest, DumbbellFamily) {
+  for (int bridges : {1, 3, 5}) {
+    const UndirectedGraph g = DumbbellGraph(7, bridges);
+    EXPECT_DOUBLE_EQ(StoerWagnerMinCut(g).value,
+                     static_cast<double>(bridges));
+  }
+}
+
+TEST(StoerWagnerTest, DisconnectedGraphHasZeroCut) {
+  UndirectedGraph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(StoerWagnerMinCut(g).value, 0.0);
+}
+
+TEST(KargerTest, ContractOnceReturnsAValidCut) {
+  Rng rng(21);
+  const UndirectedGraph g = DumbbellGraph(5, 2);
+  const GlobalMinCut cut = KargerContractOnce(g, rng);
+  EXPECT_TRUE(IsProperCutSide(cut.side));
+  EXPECT_NEAR(cut.value, g.CutWeight(cut.side), 1e-9);
+}
+
+TEST(KargerTest, KargerSteinFindsDumbbellCut) {
+  Rng rng(22);
+  const UndirectedGraph g = DumbbellGraph(8, 2);
+  const GlobalMinCut cut = KargerSteinMinCut(g, rng, 10);
+  EXPECT_DOUBLE_EQ(cut.value, 2.0);
+}
+
+TEST(KargerTest, MatchesStoerWagnerOnRandomGraphs) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng gen_rng(seed);
+    const UndirectedGraph g =
+        RandomUndirectedGraph(24, 0.25, 1.0, 2.0, true, gen_rng);
+    Rng ks_rng(seed + 100);
+    const double exact = StoerWagnerMinCut(g).value;
+    const double randomized = KargerSteinMinCut(g, ks_rng, 12).value;
+    EXPECT_NEAR(randomized, exact, 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(KargerTest, EnumerationContainsTheMinimumCut) {
+  Rng rng(23);
+  const UndirectedGraph g = DumbbellGraph(6, 2);
+  const std::vector<GlobalMinCut> cuts =
+      EnumerateNearMinimumCuts(g, 1.5, rng, 20);
+  ASSERT_FALSE(cuts.empty());
+  EXPECT_DOUBLE_EQ(cuts.front().value, 2.0);
+  // Values are sorted and within the alpha window.
+  for (size_t i = 1; i < cuts.size(); ++i) {
+    EXPECT_GE(cuts[i].value, cuts[i - 1].value);
+    EXPECT_LE(cuts[i].value, 1.5 * cuts.front().value + 1e-9);
+  }
+}
+
+TEST(KargerTest, EnumerationDeduplicatesSides) {
+  Rng rng(24);
+  const UndirectedGraph g = CycleGraph(6, 1.0);
+  // A 6-cycle has C(6,2)/... every pair of non-adjacent edge removals gives
+  // a cut of value 2; enumeration should find several distinct ones without
+  // repeats.
+  const std::vector<GlobalMinCut> cuts =
+      EnumerateNearMinimumCuts(g, 1.0, rng, 40);
+  for (size_t i = 0; i < cuts.size(); ++i) {
+    for (size_t j = i + 1; j < cuts.size(); ++j) {
+      const bool same = cuts[i].side == cuts[j].side ||
+                        cuts[i].side == ComplementSet(cuts[j].side);
+      EXPECT_FALSE(same) << i << "," << j;
+    }
+  }
+  EXPECT_GE(cuts.size(), 3u);
+}
+
+TEST(DirectedMinCutTest, SimpleTwoVertexGraph) {
+  DirectedGraph g(2);
+  g.AddEdge(0, 1, 5.0);
+  g.AddEdge(1, 0, 2.0);
+  const GlobalMinCut cut = DirectedGlobalMinCut(g);
+  EXPECT_DOUBLE_EQ(cut.value, 2.0);
+  EXPECT_NEAR(g.CutWeight(cut.side), 2.0, 1e-9);
+}
+
+TEST(DirectedMinCutTest, AsymmetricCycle) {
+  DirectedGraph g(4);
+  for (int v = 0; v < 4; ++v) {
+    g.AddEdge(v, (v + 1) % 4, 3.0);
+    g.AddEdge((v + 1) % 4, v, 1.0);
+  }
+  // Any single-vertex cut has forward weight 3 + 1 = 4; the reverse
+  // orientation also 4. Minimum over all cuts is 4.
+  const GlobalMinCut cut = DirectedGlobalMinCut(g);
+  EXPECT_DOUBLE_EQ(cut.value, 4.0);
+}
+
+TEST(DirectedMinCutTest, AgreesWithExhaustiveEnumeration) {
+  Rng rng(31);
+  const DirectedGraph g = RandomBalancedDigraph(10, 0.3, 2.0, rng);
+  const GlobalMinCut cut = DirectedGlobalMinCut(g);
+  // Exhaustive check over all proper cuts.
+  double best = 1e18;
+  const int n = g.num_vertices();
+  for (uint64_t mask = 1; mask + 1 < (1ULL << n); ++mask) {
+    VertexSet side(static_cast<size_t>(n));
+    for (int v = 0; v < n; ++v) {
+      side[static_cast<size_t>(v)] = static_cast<uint8_t>((mask >> v) & 1);
+    }
+    best = std::min(best, g.CutWeight(side));
+  }
+  EXPECT_NEAR(cut.value, best, 1e-9);
+}
+
+}  // namespace
+}  // namespace dcs

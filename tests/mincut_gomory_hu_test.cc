@@ -1,0 +1,97 @@
+// Gomory–Hu (Gusfield) trees: all pairwise min cuts from n−1 max flows.
+
+#include "mincut/gomory_hu.h"
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "mincut/dinic.h"
+#include "mincut/stoer_wagner.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+TEST(GomoryHuTest, TwoVertices) {
+  UndirectedGraph g(2);
+  g.AddEdge(0, 1, 3.5);
+  const GomoryHuTree tree(g);
+  EXPECT_DOUBLE_EQ(tree.MinCutValue(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(tree.GlobalMinCutValue(), 3.5);
+}
+
+TEST(GomoryHuTest, PathGraphPairwiseCuts) {
+  // On a path, min cut between u < v is the lightest edge between them.
+  UndirectedGraph g(5);
+  const double weights[] = {4, 1, 3, 2};
+  for (int v = 0; v < 4; ++v) g.AddEdge(v, v + 1, weights[v]);
+  const GomoryHuTree tree(g);
+  EXPECT_DOUBLE_EQ(tree.MinCutValue(0, 1), 4);
+  EXPECT_DOUBLE_EQ(tree.MinCutValue(0, 4), 1);
+  EXPECT_DOUBLE_EQ(tree.MinCutValue(2, 4), 2);
+  EXPECT_DOUBLE_EQ(tree.MinCutValue(2, 3), 3);
+  EXPECT_DOUBLE_EQ(tree.GlobalMinCutValue(), 1);
+}
+
+TEST(GomoryHuTest, MatchesMaxFlowOnAllPairs) {
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed);
+    const UndirectedGraph g =
+        RandomUndirectedGraph(14, 0.3, 0.5, 2.0, true, rng);
+    const GomoryHuTree tree(g);
+    for (int u = 0; u < 14; ++u) {
+      for (int v = u + 1; v < 14; ++v) {
+        EXPECT_NEAR(tree.MinCutValue(u, v),
+                    MaxFlowUndirected(g, u, v).flow_value, 1e-6)
+            << "seed " << seed << " pair " << u << "," << v;
+      }
+    }
+  }
+}
+
+TEST(GomoryHuTest, GlobalMinCutMatchesStoerWagner) {
+  for (uint64_t seed = 10; seed < 14; ++seed) {
+    Rng rng(seed);
+    const UndirectedGraph g =
+        RandomUndirectedGraph(18, 0.25, 1.0, 3.0, true, rng);
+    const GomoryHuTree tree(g);
+    EXPECT_NEAR(tree.GlobalMinCutValue(), StoerWagnerMinCut(g).value, 1e-6)
+        << "seed " << seed;
+  }
+}
+
+TEST(GomoryHuTest, DisconnectedGraphGivesZeroCuts) {
+  UndirectedGraph g(4);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(2, 3, 5.0);
+  const GomoryHuTree tree(g);
+  EXPECT_DOUBLE_EQ(tree.MinCutValue(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(tree.MinCutValue(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(tree.MinCutValue(2, 3), 5.0);
+  EXPECT_DOUBLE_EQ(tree.GlobalMinCutValue(), 0.0);
+}
+
+TEST(GomoryHuTest, DumbbellStructure) {
+  const UndirectedGraph g = DumbbellGraph(6, 2);
+  const GomoryHuTree tree(g);
+  // Across the bridge: 2. Within a clique: at least 5 (clique degree).
+  EXPECT_DOUBLE_EQ(tree.MinCutValue(1, 8), 2.0);
+  EXPECT_GE(tree.MinCutValue(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(tree.GlobalMinCutValue(), 2.0);
+}
+
+TEST(GomoryHuTest, TreeIsWellFormed) {
+  Rng rng(42);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(12, 0.4, 1.0, 1.0, true, rng);
+  const GomoryHuTree tree(g);
+  EXPECT_EQ(tree.parent(0), 0);
+  for (int v = 1; v < 12; ++v) {
+    EXPECT_GE(tree.parent(v), 0);
+    EXPECT_LT(tree.parent(v), 12);
+    EXPECT_NE(tree.parent(v), v);
+    EXPECT_GT(tree.parent_cut_value(v), 0);
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,144 @@
+#include "mincut/nagamochi_ibaraki.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "mincut/dinic.h"
+#include "mincut/stoer_wagner.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+TEST(NiStrengthTest, SingleEdgeStrengthIsItsWeight) {
+  UndirectedGraph g(2);
+  g.AddEdge(0, 1, 2.5);
+  const std::vector<double> strengths = NagamochiIbarakiStrengths(g);
+  ASSERT_EQ(strengths.size(), 1u);
+  EXPECT_DOUBLE_EQ(strengths[0], 2.5);
+}
+
+TEST(NiStrengthTest, TriangleUnitWeights) {
+  UndirectedGraph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(0, 2, 1.0);
+  const std::vector<double> strengths = NagamochiIbarakiStrengths(g);
+  // Every edge lies on a triangle: connectivity between endpoints is 2.
+  for (double s : strengths) {
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 2.0);
+  }
+}
+
+TEST(NiStrengthTest, StrengthAtLeastWeight) {
+  Rng rng(41);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(20, 0.3, 0.5, 2.0, true, rng);
+  const std::vector<double> strengths = NagamochiIbarakiStrengths(g);
+  for (size_t i = 0; i < strengths.size(); ++i) {
+    EXPECT_GE(strengths[i], g.edges()[i].weight - 1e-9);
+  }
+}
+
+TEST(NiStrengthTest, StrengthNeverExceedsEndpointMaxFlow) {
+  Rng rng(42);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(14, 0.35, 1.0, 2.0, true, rng);
+  const std::vector<double> strengths = NagamochiIbarakiStrengths(g);
+  for (size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    const double connectivity =
+        MaxFlowUndirected(g, e.src, e.dst).flow_value;
+    // Geometric peeling (default granularity 1/8) may sit up to 12.5%
+    // above the exact decomposition, which itself respects the max-flow
+    // bound exactly.
+    EXPECT_LE(strengths[i], 1.125 * connectivity + 1e-6)
+        << "edge " << e.src << "-" << e.dst;
+    const std::vector<double> exact =
+        NagamochiIbarakiStrengths(g, /*granularity=*/0);
+    EXPECT_LE(exact[i], connectivity + 1e-6);
+    EXPECT_LE(strengths[i], 1.125 * exact[i] + 1e-6);
+  }
+}
+
+TEST(NiStrengthTest, CompleteGraphForestLevels) {
+  const UndirectedGraph g = CompleteGraph(8, 1.0);
+  const std::vector<double> strengths = NagamochiIbarakiStrengths(g);
+  // The peeling decomposition stratifies K_8's edges across forest levels:
+  // the deepest level is ≥ n/2 (K_n decomposes into ~n/2 spanning trees)
+  // and no level exceeds the connectivity (7).
+  double max_strength = 0;
+  for (double s : strengths) {
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 7.0);
+    max_strength = std::max(max_strength, s);
+  }
+  EXPECT_GE(max_strength, 4.0);
+  // The inverse-strength sum that controls sparsifier size is O(n log n).
+  double inverse_sum = 0;
+  for (double s : strengths) inverse_sum += 1.0 / s;
+  EXPECT_LE(inverse_sum, 8.0 * std::log2(8.0) + 8);
+}
+
+TEST(NiStrengthTest, BridgeHasLowStrength) {
+  const UndirectedGraph g = DumbbellGraph(6, 1);
+  const std::vector<double> strengths = NagamochiIbarakiStrengths(g);
+  // The single bridge has endpoint connectivity exactly 1.
+  double bridge_strength = -1;
+  double max_clique_strength = 0;
+  for (size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    const bool is_bridge = (e.src < 6) != (e.dst < 6);
+    if (is_bridge) {
+      bridge_strength = strengths[i];
+    } else {
+      max_clique_strength = std::max(max_clique_strength, strengths[i]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(bridge_strength, 1.0);
+  EXPECT_GT(max_clique_strength, bridge_strength);
+}
+
+TEST(NiStrengthTest, ZeroWeightEdgesGetZeroStrength) {
+  UndirectedGraph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 0.0);
+  const std::vector<double> strengths = NagamochiIbarakiStrengths(g);
+  EXPECT_DOUBLE_EQ(strengths[1], 0.0);
+}
+
+TEST(SparseCertificateTest, SizeBound) {
+  const UndirectedGraph g = CompleteGraph(10, 1.0);
+  for (int k : {1, 2, 3}) {
+    const UndirectedGraph cert = SparseCertificate(g, k);
+    EXPECT_LE(cert.num_edges(), static_cast<int64_t>(k) * 9);
+  }
+}
+
+TEST(SparseCertificateTest, FirstForestSpans) {
+  Rng rng(43);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(15, 0.4, 1.0, 1.0, true, rng);
+  const UndirectedGraph cert = SparseCertificate(g, 1);
+  EXPECT_EQ(cert.num_edges(), 14);  // a spanning tree
+}
+
+TEST(SparseCertificateTest, LargeKKeepsEverything) {
+  const UndirectedGraph g = CycleGraph(8, 1.0);
+  const UndirectedGraph cert = SparseCertificate(g, 10);
+  EXPECT_EQ(cert.num_edges(), g.num_edges());
+}
+
+TEST(SparseCertificateTest, PreservesMinCutUpToK) {
+  // Min cut 2 (cycle); a 3-forest certificate must preserve it exactly.
+  const UndirectedGraph g = CycleGraph(10, 1.0);
+  const UndirectedGraph cert = SparseCertificate(g, 3);
+  EXPECT_DOUBLE_EQ(StoerWagnerMinCut(cert).value,
+                   StoerWagnerMinCut(g).value);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,249 @@
+// Property-based sweeps (parameterized across sizes/densities/seeds) of the
+// library's core invariants:
+//   * cut identities (degree/handshake, symmetrization, imbalance linearity)
+//   * agreement of independent min-cut algorithms
+//   * sampling unbiasedness of the sketches
+//   * strength bounds of the NI decomposition
+//   * balance certificates vs exact balance
+
+#include <cmath>
+#include <tuple>
+
+#include "graph/balance.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "mincut/dinic.h"
+#include "mincut/gomory_hu.h"
+#include "mincut/karger.h"
+#include "mincut/nagamochi_ibaraki.h"
+#include "mincut/stoer_wagner.h"
+#include "sketch/directed_sketches.h"
+#include "sketch/eulerian_sparsifier.h"
+#include "stream/agm_sketch.h"
+#include "sketch/sampled_sketches.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+using SizeDensitySeed = std::tuple<int, double, uint64_t>;
+
+class UndirectedPropertyTest
+    : public ::testing::TestWithParam<SizeDensitySeed> {
+ protected:
+  UndirectedGraph MakeGraph() {
+    const auto& [n, p, seed] = GetParam();
+    Rng rng(seed);
+    return RandomUndirectedGraph(n, p, 0.5, 2.0, true, rng);
+  }
+};
+
+TEST_P(UndirectedPropertyTest, HandshakeAndCutIdentity) {
+  const UndirectedGraph g = MakeGraph();
+  const int n = g.num_vertices();
+  double degree_sum = 0;
+  for (int v = 0; v < n; ++v) degree_sum += g.Degree(v);
+  EXPECT_NEAR(degree_sum, 2 * g.TotalWeight(), 1e-9);
+  // cut(S) = Σ_{v∈S} deg(v) − 2·w(S, S) for random S.
+  Rng rng(std::get<2>(GetParam()) + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    VertexSet side(static_cast<size_t>(n));
+    for (auto& b : side) b = static_cast<uint8_t>(rng.Next() & 1);
+    if (!IsProperCutSide(side)) continue;
+    double inside = 0;
+    double degrees = 0;
+    for (const Edge& e : g.edges()) {
+      if (side[static_cast<size_t>(e.src)] &&
+          side[static_cast<size_t>(e.dst)]) {
+        inside += e.weight;
+      }
+    }
+    for (int v = 0; v < n; ++v) {
+      if (side[static_cast<size_t>(v)]) degrees += g.Degree(v);
+    }
+    EXPECT_NEAR(g.CutWeight(side), degrees - 2 * inside, 1e-9);
+  }
+}
+
+TEST_P(UndirectedPropertyTest, MinCutAlgorithmsAgree) {
+  const UndirectedGraph g = MakeGraph();
+  const double stoer_wagner = StoerWagnerMinCut(g).value;
+  Rng rng(std::get<2>(GetParam()) + 2);
+  const double karger_stein = KargerSteinMinCut(g, rng, 10).value;
+  EXPECT_NEAR(karger_stein, stoer_wagner, 1e-9);
+  // Min cut is also min over s-t max flows from vertex 0.
+  double flow_min = 1e18;
+  for (int t = 1; t < g.num_vertices(); ++t) {
+    flow_min = std::min(flow_min, MaxFlowUndirected(g, 0, t).flow_value);
+  }
+  EXPECT_NEAR(flow_min, stoer_wagner, 1e-6);
+}
+
+TEST_P(UndirectedPropertyTest, StoerWagnerSideIsConsistent) {
+  const UndirectedGraph g = MakeGraph();
+  const GlobalMinCut cut = StoerWagnerMinCut(g);
+  EXPECT_TRUE(IsProperCutSide(cut.side));
+  EXPECT_NEAR(g.CutWeight(cut.side), cut.value, 1e-9);
+}
+
+TEST_P(UndirectedPropertyTest, StrengthsRespectWeightLowerBound) {
+  const UndirectedGraph g = MakeGraph();
+  const std::vector<double> strengths = NagamochiIbarakiStrengths(g);
+  double inverse_sum = 0;
+  for (size_t i = 0; i < strengths.size(); ++i) {
+    EXPECT_GE(strengths[i], g.edges()[i].weight - 1e-9);
+    inverse_sum += g.edges()[i].weight / strengths[i];
+  }
+  // Σ w_e/λ_e = O(n log(n·W)): the sparsifier size driver.
+  const double n = g.num_vertices();
+  EXPECT_LE(inverse_sum, 4 * n * std::log2(n + 4));
+}
+
+TEST_P(UndirectedPropertyTest, GomoryHuDominatesStrengths) {
+  // Every NI strength is a lower bound on the endpoint min cut, which the
+  // Gomory-Hu tree reports exactly (geometric peeling adds <= 12.5%).
+  const UndirectedGraph g = MakeGraph();
+  const GomoryHuTree tree(g);
+  const std::vector<double> strengths = NagamochiIbarakiStrengths(g);
+  for (size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    EXPECT_LE(strengths[i],
+              1.125 * tree.MinCutValue(e.src, e.dst) + 1e-6);
+  }
+}
+
+TEST_P(UndirectedPropertyTest, GomoryHuGlobalMatchesStoerWagner) {
+  const UndirectedGraph g = MakeGraph();
+  EXPECT_NEAR(GomoryHuTree(g).GlobalMinCutValue(),
+              StoerWagnerMinCut(g).value, 1e-6);
+}
+
+TEST_P(UndirectedPropertyTest, AgmComponentCountMatchesTruth) {
+  const UndirectedGraph g = MakeGraph();
+  // AGM requires unweighted inputs: reuse the topology with unit weights.
+  UndirectedGraph unit(g.num_vertices());
+  for (const Edge& e : g.edges()) unit.AddEdge(e.src, e.dst, 1.0);
+  const AgmConnectivitySketch sketch =
+      SketchGraph(unit, 0, std::get<2>(GetParam()) + 11);
+  EXPECT_EQ(sketch.CountComponents(), CountComponents(unit));
+}
+
+TEST_P(UndirectedPropertyTest, SparsifierEstimatesAreUnbiasedOnAverage) {
+  const UndirectedGraph g = MakeGraph();
+  const int n = g.num_vertices();
+  Rng side_rng(std::get<2>(GetParam()) + 3);
+  VertexSet side(static_cast<size_t>(n));
+  do {
+    for (auto& b : side) b = static_cast<uint8_t>(side_rng.Next() & 1);
+  } while (!IsProperCutSide(side));
+  const double exact = g.CutWeight(side);
+  double sum = 0;
+  const int builds = 40;
+  for (int b = 0; b < builds; ++b) {
+    Rng rng(std::get<2>(GetParam()) * 100 + b);
+    const ForEachCutSketch sketch(g, 0.4, rng);
+    sum += sketch.EstimateCut(side);
+  }
+  EXPECT_NEAR(sum / builds, exact, 0.15 * exact + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UndirectedPropertyTest,
+    ::testing::Values(SizeDensitySeed{10, 0.3, 1}, SizeDensitySeed{16, 0.2, 2},
+                      SizeDensitySeed{16, 0.6, 3}, SizeDensitySeed{24, 0.15, 4},
+                      SizeDensitySeed{24, 0.5, 5},
+                      SizeDensitySeed{32, 0.25, 6}));
+
+using BetaSeed = std::tuple<double, uint64_t>;
+
+class DirectedPropertyTest : public ::testing::TestWithParam<BetaSeed> {
+ protected:
+  DirectedGraph MakeGraph() {
+    const auto& [beta, seed] = GetParam();
+    Rng rng(seed);
+    return RandomBalancedDigraph(14, 0.4, beta, rng);
+  }
+};
+
+TEST_P(DirectedPropertyTest, SymmetrizationIdentityOnAllSingletons) {
+  const DirectedGraph g = MakeGraph();
+  const UndirectedGraph sym = g.Symmetrized();
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const VertexSet side = MakeVertexSet(g.num_vertices(), {v});
+    EXPECT_NEAR(sym.CutWeight(side),
+                g.CutWeight(side) + g.CutWeight(ComplementSet(side)), 1e-9);
+  }
+}
+
+TEST_P(DirectedPropertyTest, ImbalanceDecompositionRecoversDirectedCuts) {
+  const DirectedGraph g = MakeGraph();
+  const std::vector<double> imbalance = VertexImbalances(g);
+  const UndirectedGraph sym = g.Symmetrized();
+  Rng rng(std::get<1>(GetParam()) + 7);
+  for (int trial = 0; trial < 15; ++trial) {
+    VertexSet side(static_cast<size_t>(g.num_vertices()));
+    for (auto& b : side) b = static_cast<uint8_t>(rng.Next() & 1);
+    if (!IsProperCutSide(side)) continue;
+    double d = 0;
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      if (side[static_cast<size_t>(v)]) d += imbalance[static_cast<size_t>(v)];
+    }
+    // w(S, V∖S) = (u(S) + d(S))/2 — the decomposition all directed
+    // sketches rely on.
+    EXPECT_NEAR((sym.CutWeight(side) + d) / 2, g.CutWeight(side), 1e-9);
+  }
+}
+
+TEST_P(DirectedPropertyTest, BalanceWithinCertificate) {
+  const DirectedGraph g = MakeGraph();
+  const auto certificate = PerEdgeBalanceCertificate(g);
+  ASSERT_TRUE(certificate.has_value());
+  EXPECT_LE(MeasureBalanceExact(g), *certificate + 1e-9);
+}
+
+TEST_P(DirectedPropertyTest, DirectedSamplerUnbiasedOnSingletons) {
+  const DirectedGraph g = MakeGraph();
+  const auto& [beta, seed] = GetParam();
+  const VertexSet side = MakeVertexSet(g.num_vertices(), {0});
+  const double exact = g.CutWeight(side);
+  double sum = 0;
+  const int builds = 30;
+  for (int b = 0; b < builds; ++b) {
+    Rng rng(seed * 1000 + b);
+    const DirectedImportanceSamplerSketch sketch(g, 0.5, beta, rng, 0.5);
+    sum += sketch.EstimateCut(side);
+  }
+  EXPECT_NEAR(sum / builds, exact, 0.2 * exact + 0.5);
+}
+
+TEST_P(DirectedPropertyTest, EulerianDecompositionOfSymmetrizedPairs) {
+  // Turning the graph into an Eulerian one by mirroring every edge makes
+  // the cycle decomposition exact and the sparsifier's imbalance zero.
+  const DirectedGraph g = MakeGraph();
+  DirectedGraph mirrored(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    mirrored.AddEdge(e.src, e.dst, e.weight);
+    mirrored.AddEdge(e.dst, e.src, e.weight);
+  }
+  const auto cycles = DecomposeIntoCycles(mirrored);
+  const DirectedGraph rebuilt =
+      GraphFromCycles(mirrored.num_vertices(), cycles);
+  for (int v = 0; v < mirrored.num_vertices(); ++v) {
+    EXPECT_NEAR(rebuilt.OutDegree(v), mirrored.OutDegree(v), 1e-6);
+  }
+  Rng rng(std::get<1>(GetParam()) + 77);
+  const DirectedGraph sparse = SparsifyEulerian(mirrored, 0.5, rng);
+  for (double imbalance : VertexImbalances(sparse)) {
+    EXPECT_NEAR(imbalance, 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BetaSweep, DirectedPropertyTest,
+                         ::testing::Values(BetaSeed{1.0, 11},
+                                           BetaSeed{2.0, 12},
+                                           BetaSeed{4.0, 13},
+                                           BetaSeed{8.0, 14}));
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,151 @@
+// Eulerian cycle decomposition and the degree-preserving sparsifier
+// (the β = 1 extreme of the paper's balanced family).
+
+#include "sketch/eulerian_sparsifier.h"
+
+#include <cmath>
+
+#include "graph/balance.h"
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "sketch/directed_sketches.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace dcs {
+namespace {
+
+TEST(CycleDecompositionTest, SingleCycleGraph) {
+  DirectedGraph g(4);
+  for (int v = 0; v < 4; ++v) g.AddEdge(v, (v + 1) % 4, 2.5);
+  const std::vector<WeightedCycle> cycles = DecomposeIntoCycles(g);
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].vertices.size(), 4u);
+  EXPECT_DOUBLE_EQ(cycles[0].weight, 2.5);
+}
+
+TEST(CycleDecompositionTest, TwoCyclesSharingAVertex) {
+  DirectedGraph g(5);
+  // Cycle A: 0→1→2→0; cycle B: 0→3→4→0.
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(2, 0, 1.0);
+  g.AddEdge(0, 3, 1.0);
+  g.AddEdge(3, 4, 1.0);
+  g.AddEdge(4, 0, 1.0);
+  const std::vector<WeightedCycle> cycles = DecomposeIntoCycles(g);
+  EXPECT_EQ(cycles.size(), 2u);
+  double total = 0;
+  for (const WeightedCycle& c : cycles) {
+    total += c.weight * static_cast<double>(c.vertices.size());
+  }
+  EXPECT_DOUBLE_EQ(total, g.TotalWeight());
+}
+
+TEST(CycleDecompositionTest, WeightedCycleSplit) {
+  // A 2-cycle with asymmetric multiplicities decomposes into cycles whose
+  // total reproduces the weights exactly.
+  DirectedGraph g(3);
+  g.AddEdge(0, 1, 3.0);
+  g.AddEdge(1, 0, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(2, 0, 2.0);
+  g.AddEdge(0, 1, 0.0);  // zero-weight edge must be ignored
+  const std::vector<WeightedCycle> cycles = DecomposeIntoCycles(g);
+  const DirectedGraph rebuilt = GraphFromCycles(3, cycles);
+  for (int v = 0; v < 3; ++v) {
+    EXPECT_NEAR(rebuilt.OutDegree(v), g.OutDegree(v), 1e-9);
+    EXPECT_NEAR(rebuilt.InDegree(v), g.InDegree(v), 1e-9);
+  }
+  // Cut values are reproduced exactly, not just degrees.
+  for (int v = 0; v < 3; ++v) {
+    const VertexSet side = MakeVertexSet(3, {v});
+    EXPECT_NEAR(rebuilt.CutWeight(side), g.CutWeight(side), 1e-9);
+  }
+}
+
+TEST(CycleDecompositionTest, RandomEulerianReconstructsExactly) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    const DirectedGraph g = RandomEulerianDigraph(12, 20, 6, rng);
+    const std::vector<WeightedCycle> cycles = DecomposeIntoCycles(g);
+    const DirectedGraph rebuilt = GraphFromCycles(12, cycles);
+    Rng cut_rng(seed + 50);
+    for (int trial = 0; trial < 20; ++trial) {
+      VertexSet side(12);
+      for (auto& b : side) b = static_cast<uint8_t>(cut_rng.Next() & 1);
+      if (!IsProperCutSide(side)) continue;
+      EXPECT_NEAR(rebuilt.CutWeight(side), g.CutWeight(side), 1e-9)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(CycleDecompositionDeathTest, RejectsNonEulerian) {
+  DirectedGraph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);  // imbalance at 0 and 2
+  EXPECT_DEATH(DecomposeIntoCycles(g), "CHECK");
+}
+
+TEST(EulerianSparsifierTest, OutputIsExactlyEulerian) {
+  Rng rng(7);
+  const DirectedGraph g = RandomEulerianDigraph(16, 40, 8, rng);
+  Rng sparsify_rng(8);
+  const DirectedGraph sparse = SparsifyEulerian(g, 0.4, sparsify_rng);
+  for (double imbalance : VertexImbalances(sparse)) {
+    EXPECT_NEAR(imbalance, 0.0, 1e-9);
+  }
+}
+
+TEST(EulerianSparsifierTest, OutputCutsAreOneBalanced) {
+  Rng rng(9);
+  const DirectedGraph g = RandomEulerianDigraph(10, 30, 5, rng);
+  Rng sparsify_rng(10);
+  const DirectedGraph sparse = SparsifyEulerian(g, 0.5, sparsify_rng);
+  // Every cut of an Eulerian graph has equal weight in both directions.
+  Rng cut_rng(11);
+  for (int trial = 0; trial < 25; ++trial) {
+    VertexSet side(10);
+    for (auto& b : side) b = static_cast<uint8_t>(cut_rng.Next() & 1);
+    if (!IsProperCutSide(side)) continue;
+    EXPECT_NEAR(sparse.CutWeight(side),
+                sparse.CutWeight(ComplementSet(side)), 1e-9);
+  }
+}
+
+TEST(EulerianSparsifierTest, CutsAreUnbiased) {
+  Rng rng(12);
+  const DirectedGraph g = RandomEulerianDigraph(12, 60, 6, rng);
+  const VertexSet side = MakeVertexSet(12, {0, 2, 4, 6});
+  const double exact = g.CutWeight(side);
+  std::vector<double> estimates;
+  for (uint64_t seed = 0; seed < 300; ++seed) {
+    Rng sparsify_rng(seed);
+    estimates.push_back(
+        SparsifyEulerian(g, 0.3, sparsify_rng).CutWeight(side));
+  }
+  EXPECT_NEAR(Mean(estimates), exact, 0.08 * exact + 0.2);
+}
+
+TEST(EulerianSparsifierTest, KeepProbabilityOneIsLossless) {
+  Rng rng(13);
+  const DirectedGraph g = RandomEulerianDigraph(8, 15, 4, rng);
+  Rng sparsify_rng(14);
+  const DirectedGraph sparse = SparsifyEulerian(g, 1.0, sparsify_rng);
+  for (int v = 0; v < 8; ++v) {
+    const VertexSet side = MakeVertexSet(8, {v});
+    EXPECT_NEAR(sparse.CutWeight(side), g.CutWeight(side), 1e-9);
+  }
+}
+
+TEST(EulerianSparsifierTest, FewerEdgesAtLowKeepProbability) {
+  Rng rng(15);
+  const DirectedGraph g = RandomEulerianDigraph(20, 120, 8, rng);
+  Rng sparsify_rng(16);
+  const DirectedGraph sparse = SparsifyEulerian(g, 0.2, sparsify_rng);
+  EXPECT_LT(sparse.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,109 @@
+#include "sketch/serialization.h"
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+TEST(SerializationTest, DirectedGraphRoundTrip) {
+  Rng rng(1);
+  const DirectedGraph g = RandomBalancedDigraph(12, 0.4, 3.0, rng);
+  BitWriter writer;
+  SerializeDirectedGraph(g, writer);
+  BitReader reader(writer.bytes());
+  const DirectedGraph back = DeserializeDirectedGraph(reader);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (int64_t i = 0; i < g.num_edges(); ++i) {
+    EXPECT_EQ(back.edges()[static_cast<size_t>(i)],
+              g.edges()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(SerializationTest, UndirectedGraphRoundTrip) {
+  Rng rng(2);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(15, 0.3, 0.5, 2.5, true, rng);
+  BitWriter writer;
+  SerializeUndirectedGraph(g, writer);
+  BitReader reader(writer.bytes());
+  const UndirectedGraph back = DeserializeUndirectedGraph(reader);
+  ASSERT_EQ(back.num_vertices(), g.num_vertices());
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  const VertexSet side = MakeVertexSet(15, {0, 3, 7, 9});
+  EXPECT_DOUBLE_EQ(back.CutWeight(side), g.CutWeight(side));
+}
+
+TEST(SerializationTest, EmptyGraph) {
+  const DirectedGraph g(5);
+  BitWriter writer;
+  SerializeDirectedGraph(g, writer);
+  BitReader reader(writer.bytes());
+  const DirectedGraph back = DeserializeDirectedGraph(reader);
+  EXPECT_EQ(back.num_vertices(), 5);
+  EXPECT_EQ(back.num_edges(), 0);
+}
+
+TEST(SerializationTest, DoubleVectorRoundTrip) {
+  const std::vector<double> values = {0.0, -1.25, 3e17, 1e-300};
+  BitWriter writer;
+  SerializeDoubleVector(values, writer);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(DeserializeDoubleVector(reader), values);
+}
+
+TEST(SerializationTest, SizeInBitsMatchesWriter) {
+  Rng rng(3);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(10, 0.5, 1.0, 1.0, false, rng);
+  BitWriter writer;
+  SerializeUndirectedGraph(g, writer);
+  EXPECT_EQ(SerializedSizeInBits(g), writer.bit_count());
+}
+
+TEST(SerializationTest, SizeGrowsWithEdges) {
+  UndirectedGraph small(10);
+  small.AddEdge(0, 1, 1.0);
+  UndirectedGraph large(10);
+  for (int v = 0; v + 1 < 10; ++v) large.AddEdge(v, v + 1, 1.0);
+  EXPECT_LT(SerializedSizeInBits(small), SerializedSizeInBits(large));
+}
+
+TEST(SerializationTest, MultipleGraphsInOneStream) {
+  const DirectedGraph a = CompleteBipartiteDigraph(2, 2, 1.0, 0.5);
+  const UndirectedGraph b = CycleGraph(4, 2.0);
+  BitWriter writer;
+  SerializeDirectedGraph(a, writer);
+  SerializeUndirectedGraph(b, writer);
+  BitReader reader(writer.bytes());
+  const DirectedGraph a_back = DeserializeDirectedGraph(reader);
+  const UndirectedGraph b_back = DeserializeUndirectedGraph(reader);
+  EXPECT_EQ(a_back.num_edges(), a.num_edges());
+  EXPECT_EQ(b_back.num_edges(), b.num_edges());
+}
+
+TEST(SerializationTest, FuzzRoundTripManyRandomGraphs) {
+  for (uint64_t seed = 0; seed < 30; ++seed) {
+    Rng rng(seed);
+    const int n = 2 + static_cast<int>(rng.UniformInt(30));
+    const double p = rng.UniformDouble();
+    const DirectedGraph g = RandomBalancedDigraph(
+        n, p, 1.0 + 4 * rng.UniformDouble(), rng);
+    BitWriter writer;
+    SerializeDirectedGraph(g, writer);
+    BitReader reader(writer.bytes());
+    const DirectedGraph back = DeserializeDirectedGraph(reader);
+    ASSERT_EQ(back.num_edges(), g.num_edges()) << "seed " << seed;
+    ASSERT_EQ(reader.position(), writer.bit_count()) << "seed " << seed;
+    for (int64_t i = 0; i < g.num_edges(); ++i) {
+      ASSERT_EQ(back.edges()[static_cast<size_t>(i)],
+                g.edges()[static_cast<size_t>(i)])
+          << "seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,172 @@
+// Effective resistances and spectral sparsification: closed-form
+// resistances on canonical graphs, Foster's theorem, series/parallel laws,
+// and cut preservation of the Spielman–Srivastava sampler.
+
+#include "spectral/laplacian.h"
+
+#include <cmath>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "mincut/stoer_wagner.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+TEST(DenseSpdSolverTest, SolvesKnownSystem) {
+  // A = [[4,1],[1,3]], b = [1,2] → x = [1/11, 7/11].
+  const DenseSpdSolver solver({4, 1, 1, 3}, 2);
+  const std::vector<double> x = solver.Solve({1, 2});
+  EXPECT_NEAR(x[0], 1.0 / 11, 1e-12);
+  EXPECT_NEAR(x[1], 7.0 / 11, 1e-12);
+}
+
+TEST(DenseSpdSolverTest, IdentityMatrix) {
+  const DenseSpdSolver solver({1, 0, 0, 0, 1, 0, 0, 0, 1}, 3);
+  const std::vector<double> x = solver.Solve({3, -1, 5});
+  EXPECT_NEAR(x[0], 3, 1e-12);
+  EXPECT_NEAR(x[1], -1, 1e-12);
+  EXPECT_NEAR(x[2], 5, 1e-12);
+}
+
+TEST(DenseSpdSolverTest, ResidualIsTinyOnRandomSpdSystems) {
+  Rng rng(1);
+  const int n = 20;
+  // A = Bᵀ B + I is SPD.
+  std::vector<double> b_matrix(static_cast<size_t>(n) * n);
+  for (auto& v : b_matrix) v = rng.Normal();
+  std::vector<double> a(static_cast<size_t>(n) * n, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double dot = i == j ? 1.0 : 0.0;
+      for (int k = 0; k < n; ++k) {
+        dot += b_matrix[static_cast<size_t>(k) * n + i] *
+               b_matrix[static_cast<size_t>(k) * n + j];
+      }
+      a[static_cast<size_t>(i) * n + j] = dot;
+    }
+  }
+  std::vector<double> rhs(static_cast<size_t>(n));
+  for (auto& v : rhs) v = rng.Normal();
+  const DenseSpdSolver solver(a, n);
+  const std::vector<double> x = solver.Solve(rhs);
+  for (int i = 0; i < n; ++i) {
+    double row = 0;
+    for (int j = 0; j < n; ++j) {
+      row += a[static_cast<size_t>(i) * n + j] * x[static_cast<size_t>(j)];
+    }
+    EXPECT_NEAR(row, rhs[static_cast<size_t>(i)], 1e-8);
+  }
+}
+
+TEST(EffectiveResistanceTest, SingleEdge) {
+  UndirectedGraph g(2);
+  g.AddEdge(0, 1, 2.0);  // conductance 2 → resistance 1/2
+  const EffectiveResistances r(g);
+  EXPECT_NEAR(r.Resistance(0, 1), 0.5, 1e-12);
+}
+
+TEST(EffectiveResistanceTest, PathIsSeries) {
+  // Unit-weight path: resistance adds along the path.
+  UndirectedGraph g(5);
+  for (int v = 0; v < 4; ++v) g.AddEdge(v, v + 1, 1.0);
+  const EffectiveResistances r(g);
+  EXPECT_NEAR(r.Resistance(0, 4), 4.0, 1e-10);
+  EXPECT_NEAR(r.Resistance(1, 3), 2.0, 1e-10);
+}
+
+TEST(EffectiveResistanceTest, ParallelEdgesAddConductance) {
+  UndirectedGraph g(2);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 1, 3.0);  // total conductance 4
+  const EffectiveResistances r(g);
+  EXPECT_NEAR(r.Resistance(0, 1), 0.25, 1e-12);
+}
+
+TEST(EffectiveResistanceTest, CompleteGraphClosedForm) {
+  // K_n with unit weights: R(u, v) = 2/n.
+  const int n = 10;
+  const UndirectedGraph g = CompleteGraph(n, 1.0);
+  const EffectiveResistances r(g);
+  EXPECT_NEAR(r.Resistance(0, 7), 2.0 / n, 1e-10);
+  EXPECT_NEAR(r.Resistance(3, 9), 2.0 / n, 1e-10);
+}
+
+TEST(EffectiveResistanceTest, CycleClosedForm) {
+  // Unit cycle C_n: R(u, v) = d·(n−d)/n for hop distance d.
+  const int n = 8;
+  const UndirectedGraph g = CycleGraph(n, 1.0);
+  const EffectiveResistances r(g);
+  EXPECT_NEAR(r.Resistance(0, 1), 1.0 * 7 / 8, 1e-10);
+  EXPECT_NEAR(r.Resistance(0, 4), 4.0 * 4 / 8, 1e-10);
+}
+
+TEST(EffectiveResistanceTest, FostersTheorem) {
+  // Σ_e w_e·R_e = n − 1 on any connected graph.
+  for (uint64_t seed = 0; seed < 4; ++seed) {
+    Rng rng(seed);
+    const UndirectedGraph g =
+        RandomUndirectedGraph(16, 0.35, 0.5, 2.0, true, rng);
+    const EffectiveResistances r(g);
+    const std::vector<double> edge_r = r.EdgeResistances();
+    double total = 0;
+    for (size_t i = 0; i < edge_r.size(); ++i) {
+      total += g.edges()[i].weight * edge_r[i];
+    }
+    EXPECT_NEAR(total, 15.0, 1e-8) << "seed " << seed;
+  }
+}
+
+TEST(EffectiveResistanceTest, ResistanceIsAMetricOnExamples) {
+  Rng rng(9);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(12, 0.4, 1.0, 1.0, true, rng);
+  const EffectiveResistances r(g);
+  // Symmetry and triangle inequality on sampled triples.
+  for (int trial = 0; trial < 20; ++trial) {
+    const int a = static_cast<int>(rng.UniformInt(12));
+    const int b = static_cast<int>(rng.UniformInt(12));
+    const int c = static_cast<int>(rng.UniformInt(12));
+    if (a == b || b == c || a == c) continue;
+    EXPECT_NEAR(r.Resistance(a, b), r.Resistance(b, a), 1e-10);
+    EXPECT_LE(r.Resistance(a, c),
+              r.Resistance(a, b) + r.Resistance(b, c) + 1e-10);
+  }
+}
+
+TEST(SpectralSparsifyTest, PreservesCutsOnCompleteGraph) {
+  // n and eps chosen so the sampling rate is genuinely below 1:
+  // p = c·ln(n)/eps² · w·R = 0.5·4.38/0.25 · 2/80 ≈ 0.22.
+  const UndirectedGraph g = CompleteGraph(80, 1.0);
+  Rng rng(3);
+  const UndirectedGraph h = SpectralSparsify(g, 0.5, rng, 0.5);
+  EXPECT_LT(h.num_edges(), g.num_edges());
+  Rng cut_rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    VertexSet side(80);
+    for (auto& b : side) b = static_cast<uint8_t>(cut_rng.Next() & 1);
+    if (!IsProperCutSide(side)) continue;
+    const double exact = g.CutWeight(side);
+    EXPECT_NEAR(h.CutWeight(side), exact, 0.35 * exact) << trial;
+  }
+}
+
+TEST(SpectralSparsifyTest, KeepsBridgesSurely) {
+  // A bridge has w·R = 1 — the maximum — so p = 1 at any sane rate.
+  const UndirectedGraph g = DumbbellGraph(10, 1);
+  Rng rng(5);
+  const UndirectedGraph h = SpectralSparsify(g, 0.5, rng, 1.0);
+  EXPECT_GT(StoerWagnerMinCut(h).value, 0);
+}
+
+TEST(SpectralSparsifyTest, SizeShrinksWithEpsilon) {
+  const UndirectedGraph g = CompleteGraph(48, 1.0);
+  Rng r1(6), r2(6);
+  const UndirectedGraph tight = SpectralSparsify(g, 0.15, r1);
+  const UndirectedGraph loose = SpectralSparsify(g, 0.6, r2);
+  EXPECT_GT(tight.num_edges(), loose.num_edges());
+}
+
+}  // namespace
+}  // namespace dcs

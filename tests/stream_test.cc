@@ -1,0 +1,309 @@
+// ℓ₀-samplers and the AGM connectivity sketch: exact 1-sparse recovery,
+// sampling correctness under insertions/deletions, linearity/mergeability,
+// and Boruvka spanning-forest extraction.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "mincut/stoer_wagner.h"
+#include "gtest/gtest.h"
+#include "stream/agm_sketch.h"
+#include "stream/l0_sampler.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+TEST(OneSparseRecoveryTest, RecoversSingleCoordinate) {
+  OneSparseRecovery recovery(12345);
+  recovery.Update(42, 7);
+  const auto sample = recovery.Recover();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->index, 42);
+  EXPECT_EQ(sample->value, 7);
+}
+
+TEST(OneSparseRecoveryTest, NegativeValue) {
+  OneSparseRecovery recovery(999);
+  recovery.Update(5, -3);
+  const auto sample = recovery.Recover();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->index, 5);
+  EXPECT_EQ(sample->value, -3);
+}
+
+TEST(OneSparseRecoveryTest, CancellationYieldsZero) {
+  OneSparseRecovery recovery(54321);
+  recovery.Update(10, 4);
+  recovery.Update(10, -4);
+  EXPECT_TRUE(recovery.IsZero());
+  EXPECT_FALSE(recovery.Recover().has_value());
+}
+
+TEST(OneSparseRecoveryTest, RejectsTwoSparseVectors) {
+  OneSparseRecovery recovery(77777);
+  recovery.Update(3, 1);
+  recovery.Update(9, 1);
+  EXPECT_FALSE(recovery.Recover().has_value());
+  EXPECT_FALSE(recovery.IsZero());
+}
+
+TEST(OneSparseRecoveryTest, RejectsManySparseVectors) {
+  OneSparseRecovery recovery(31337);
+  for (int i = 0; i < 50; ++i) recovery.Update(i * 3, 1 + (i % 5));
+  EXPECT_FALSE(recovery.Recover().has_value());
+}
+
+TEST(OneSparseRecoveryTest, MergeCancelsAcrossInstances) {
+  OneSparseRecovery a(2024);
+  OneSparseRecovery b(2024);
+  a.Update(8, 5);
+  a.Update(15, 2);
+  b.Update(15, -2);
+  a.MergeFrom(b);
+  const auto sample = a.Recover();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->index, 8);
+  EXPECT_EQ(sample->value, 5);
+}
+
+TEST(L0SamplerTest, SamplesTheOnlyCoordinate) {
+  L0Sampler sampler(1000, 7);
+  sampler.Update(123, 9);
+  const auto sample = sampler.Sample();
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_EQ(sample->index, 123);
+  EXPECT_EQ(sample->value, 9);
+}
+
+TEST(L0SamplerTest, ZeroVectorSamplesNothing) {
+  L0Sampler sampler(64, 3);
+  EXPECT_TRUE(sampler.AppearsZero());
+  EXPECT_FALSE(sampler.Sample().has_value());
+  sampler.Update(10, 2);
+  sampler.Update(10, -2);
+  EXPECT_TRUE(sampler.AppearsZero());
+  EXPECT_FALSE(sampler.Sample().has_value());
+}
+
+TEST(L0SamplerTest, ReturnsOnlyRealCoordinates) {
+  // Whatever the sampler returns must be a coordinate that is actually
+  // nonzero with its true value.
+  Rng rng(11);
+  int successes = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    L0Sampler sampler(5000, 100 + trial);
+    std::map<int64_t, int64_t> truth;
+    for (int u = 0; u < 40; ++u) {
+      const int64_t index = static_cast<int64_t>(rng.UniformInt(5000));
+      const int64_t delta = rng.UniformInRange(-3, 3);
+      if (delta == 0) continue;
+      truth[index] += delta;
+      sampler.Update(index, delta);
+    }
+    const auto sample = sampler.Sample();
+    if (!sample.has_value()) continue;
+    ++successes;
+    ASSERT_TRUE(truth.count(sample->index)) << "trial " << trial;
+    EXPECT_EQ(truth[sample->index], sample->value) << "trial " << trial;
+  }
+  // ℓ₀-sampling succeeds with constant probability; expect a majority.
+  EXPECT_GE(successes, 25);
+}
+
+TEST(L0SamplerTest, MergeEqualsCombinedStream) {
+  L0Sampler a(256, 42);
+  L0Sampler b(256, 42);
+  L0Sampler combined(256, 42);
+  a.Update(7, 2);
+  combined.Update(7, 2);
+  b.Update(91, 5);
+  combined.Update(91, 5);
+  b.Update(7, -2);
+  combined.Update(7, -2);
+  a.MergeFrom(b);
+  const auto from_merge = a.Sample();
+  const auto from_stream = combined.Sample();
+  ASSERT_TRUE(from_merge.has_value());
+  ASSERT_TRUE(from_stream.has_value());
+  EXPECT_EQ(from_merge->index, from_stream->index);
+  EXPECT_EQ(from_merge->value, from_stream->value);
+  EXPECT_EQ(from_merge->index, 91);
+}
+
+TEST(AgmSketchTest, PathGraphSpanningForest) {
+  AgmConnectivitySketch sketch(8, 0, 1);
+  for (int v = 0; v + 1 < 8; ++v) sketch.AddEdge(v, v + 1);
+  const std::vector<Edge> forest = sketch.SpanningForest();
+  EXPECT_EQ(forest.size(), 7u);
+  EXPECT_TRUE(sketch.IsConnected());
+}
+
+TEST(AgmSketchTest, ForestEdgesAreRealEdges) {
+  Rng rng(2);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(24, 0.2, 1.0, 1.0, true, rng);
+  std::set<std::pair<int, int>> edge_set;
+  for (const Edge& e : g.edges()) edge_set.insert({e.src, e.dst});
+  const AgmConnectivitySketch sketch = SketchGraph(g, 0, 7);
+  for (const Edge& e : sketch.SpanningForest()) {
+    const auto key = e.src < e.dst ? std::make_pair(e.src, e.dst)
+                                   : std::make_pair(e.dst, e.src);
+    EXPECT_TRUE(edge_set.count(key))
+        << "forest edge " << e.src << "-" << e.dst << " not in graph";
+  }
+}
+
+TEST(AgmSketchTest, CountsComponents) {
+  // Two disjoint triangles plus two isolated vertices: 4 components.
+  AgmConnectivitySketch sketch(8, 0, 3);
+  sketch.AddEdge(0, 1);
+  sketch.AddEdge(1, 2);
+  sketch.AddEdge(0, 2);
+  sketch.AddEdge(3, 4);
+  sketch.AddEdge(4, 5);
+  sketch.AddEdge(3, 5);
+  EXPECT_EQ(sketch.CountComponents(), 4);
+  EXPECT_FALSE(sketch.IsConnected());
+}
+
+TEST(AgmSketchTest, DeletionsDisconnect) {
+  // A path 0-1-2-3; delete the middle edge: two components.
+  AgmConnectivitySketch sketch(4, 0, 5);
+  sketch.AddEdge(0, 1);
+  sketch.AddEdge(1, 2);
+  sketch.AddEdge(2, 3);
+  EXPECT_TRUE(sketch.IsConnected());
+  sketch.RemoveEdge(1, 2);
+  EXPECT_EQ(sketch.CountComponents(), 2);
+}
+
+TEST(AgmSketchTest, DeletionsRerouteThroughSurvivingEdges) {
+  // A cycle survives any single deletion.
+  AgmConnectivitySketch sketch(6, 0, 9);
+  for (int v = 0; v < 6; ++v) sketch.AddEdge(v, (v + 1) % 6);
+  sketch.RemoveEdge(2, 3);
+  EXPECT_TRUE(sketch.IsConnected());
+}
+
+TEST(AgmSketchTest, MergeAcrossServersMatchesWholeGraph) {
+  // Linearity: sketching two edge-disjoint halves on "servers" and merging
+  // equals sketching the whole graph.
+  Rng rng(4);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(20, 0.25, 1.0, 1.0, true, rng);
+  AgmConnectivitySketch server_a(20, 6, 11);
+  AgmConnectivitySketch server_b(20, 6, 11);
+  for (size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    if (i % 2 == 0) {
+      server_a.AddEdge(e.src, e.dst);
+    } else {
+      server_b.AddEdge(e.src, e.dst);
+    }
+  }
+  server_a.MergeFrom(server_b);
+  EXPECT_EQ(server_a.CountComponents(), CountComponents(g));
+}
+
+TEST(AgmSketchTest, RandomGraphComponentCountsMatch) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    Rng rng(seed);
+    const UndirectedGraph g =
+        RandomUndirectedGraph(30, 0.06, 1.0, 1.0, false, rng);
+    const AgmConnectivitySketch sketch = SketchGraph(g, 0, 100 + seed);
+    EXPECT_EQ(sketch.CountComponents(), CountComponents(g))
+        << "seed " << seed;
+  }
+}
+
+TEST(AgmSketchTest, SizeIsPolylogPerVertex) {
+  const AgmConnectivitySketch small(32, 0, 1);
+  const AgmConnectivitySketch large(256, 0, 1);
+  // Size per vertex grows polylogarithmically: less than 8x for an 8x
+  // larger graph (it is O(log^2 n) words per vertex).
+  const double small_per_vertex =
+      static_cast<double>(small.SizeInBits()) / 32;
+  const double large_per_vertex =
+      static_cast<double>(large.SizeInBits()) / 256;
+  EXPECT_LT(large_per_vertex, 3 * small_per_vertex);
+  EXPECT_GT(large.MeasurementCount(), 0);
+}
+
+TEST(AgmSketchTest, ParallelEdgesAreTolerated) {
+  AgmConnectivitySketch sketch(3, 0, 13);
+  sketch.AddEdge(0, 1);
+  sketch.AddEdge(0, 1);  // multiplicity 2
+  sketch.AddEdge(1, 2);
+  EXPECT_TRUE(sketch.IsConnected());
+  sketch.RemoveEdge(0, 1);  // multiplicity back to 1
+  EXPECT_TRUE(sketch.IsConnected());
+}
+
+TEST(AgmKConnectivityTest, CertificatePreservesSmallCuts) {
+  // Dumbbell with 2 bridges, k = 4 > 2: the certificate must keep the
+  // bridge cut at exactly 2.
+  const UndirectedGraph g = DumbbellGraph(8, 2);
+  AgmKConnectivitySketch sketch(16, 4, 0, 21);
+  for (const Edge& e : g.edges()) sketch.AddEdge(e.src, e.dst);
+  const UndirectedGraph certificate = sketch.Certificate();
+  EXPECT_DOUBLE_EQ(StoerWagnerMinCut(certificate).value, 2.0);
+  EXPECT_DOUBLE_EQ(sketch.MinCutUpToK(), 2.0);
+  // At most k forests: k(n-1) edges.
+  EXPECT_LE(certificate.num_edges(), 4 * 15);
+}
+
+TEST(AgmKConnectivityTest, SaturatesBetweenKAndTruth) {
+  // K_10 has min cut 9 > k = 3: the certificate's min cut lands in
+  // [k, true] — at least 3 (each of the 3 forests crosses every cut) and
+  // at most 9 (the certificate is a subgraph).
+  const UndirectedGraph g = CompleteGraph(10, 1.0);
+  AgmKConnectivitySketch sketch(10, 3, 0, 22);
+  for (const Edge& e : g.edges()) sketch.AddEdge(e.src, e.dst);
+  const double estimate = sketch.MinCutUpToK();
+  EXPECT_GE(estimate, 3.0);
+  EXPECT_LE(estimate, 9.0);
+}
+
+TEST(AgmKConnectivityTest, MatchesOfflineSparseCertificateBound) {
+  Rng rng(23);
+  const UndirectedGraph g =
+      RandomUndirectedGraph(20, 0.3, 1.0, 1.0, true, rng);
+  const double true_mincut = StoerWagnerMinCut(g).value;
+  AgmKConnectivitySketch sketch(20, 6, 0, 24);
+  for (const Edge& e : g.edges()) sketch.AddEdge(e.src, e.dst);
+  const double estimate = sketch.MinCutUpToK();
+  // Never above the truth (subgraph); equals it whp when below k = 6.
+  EXPECT_LE(estimate, true_mincut + 1e-9);
+  if (true_mincut < 6.0) {
+    EXPECT_NEAR(estimate, true_mincut, 1.0);
+  }
+}
+
+TEST(AgmKConnectivityTest, TracksDeletions) {
+  // A 3-bridge dumbbell loses one bridge: min cut 3 → 2.
+  const UndirectedGraph g = DumbbellGraph(6, 3);
+  AgmKConnectivitySketch sketch(12, 5, 0, 25);
+  for (const Edge& e : g.edges()) sketch.AddEdge(e.src, e.dst);
+  EXPECT_DOUBLE_EQ(sketch.MinCutUpToK(), 3.0);
+  sketch.RemoveEdge(0, 6);  // bridge 0
+  EXPECT_DOUBLE_EQ(sketch.MinCutUpToK(), 2.0);
+}
+
+TEST(AgmKConnectivityTest, MergeAcrossServers) {
+  const UndirectedGraph g = DumbbellGraph(6, 2);
+  AgmKConnectivitySketch a(12, 4, 0, 26);
+  AgmKConnectivitySketch b(12, 4, 0, 26);
+  for (size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    (i % 2 == 0 ? a : b).AddEdge(e.src, e.dst);
+  }
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.MinCutUpToK(), 2.0);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,153 @@
+#include "util/bitio.h"
+
+#include <cmath>
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+TEST(BitIoTest, SingleBits) {
+  BitWriter writer;
+  writer.WriteBit(1);
+  writer.WriteBit(0);
+  writer.WriteBit(1);
+  EXPECT_EQ(writer.bit_count(), 3);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.ReadBit(), 1);
+  EXPECT_EQ(reader.ReadBit(), 0);
+  EXPECT_EQ(reader.ReadBit(), 1);
+}
+
+TEST(BitIoTest, FixedWidthRoundTrip) {
+  BitWriter writer;
+  writer.WriteBits(0xDEADBEEFCAFEULL, 48);
+  writer.WriteBits(5, 3);
+  EXPECT_EQ(writer.bit_count(), 51);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.ReadBits(48), 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(reader.ReadBits(3), 5u);
+}
+
+TEST(BitIoTest, ZeroWidthWritesNothing) {
+  BitWriter writer;
+  writer.WriteBits(123, 0);
+  EXPECT_EQ(writer.bit_count(), 0);
+}
+
+TEST(BitIoTest, SixtyFourBitRoundTrip) {
+  BitWriter writer;
+  writer.WriteBits(std::numeric_limits<uint64_t>::max(), 64);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.ReadBits(64), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(BitIoTest, EliasGammaSmallValues) {
+  BitWriter writer;
+  for (uint64_t v = 0; v < 20; ++v) writer.WriteEliasGamma(v);
+  BitReader reader(writer.bytes());
+  for (uint64_t v = 0; v < 20; ++v) {
+    EXPECT_EQ(reader.ReadEliasGamma(), v);
+  }
+}
+
+TEST(BitIoTest, EliasGammaLengths) {
+  // gamma(v) costs 2*floor(log2(v+1)) + 1 bits.
+  for (const auto& [value, expected_bits] :
+       std::vector<std::pair<uint64_t, int64_t>>{
+           {0, 1}, {1, 3}, {2, 3}, {3, 5}, {6, 5}, {7, 7}, {1000, 19}}) {
+    BitWriter writer;
+    writer.WriteEliasGamma(value);
+    EXPECT_EQ(writer.bit_count(), expected_bits) << "value=" << value;
+  }
+}
+
+TEST(BitIoTest, EliasGammaLargeValuesRoundTrip) {
+  Rng rng(123);
+  BitWriter writer;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(rng.Next() >> (rng.Next() % 40));
+    writer.WriteEliasGamma(values.back());
+  }
+  BitReader reader(writer.bytes());
+  for (uint64_t v : values) {
+    EXPECT_EQ(reader.ReadEliasGamma(), v);
+  }
+}
+
+TEST(BitIoTest, DoubleRoundTrip) {
+  BitWriter writer;
+  const std::vector<double> values = {0.0,  -1.5, 3.14159,
+                                      1e300, -2.5e-10,
+                                      std::numeric_limits<double>::infinity()};
+  for (double v : values) writer.WriteDouble(v);
+  EXPECT_EQ(writer.bit_count(), static_cast<int64_t>(values.size()) * 64);
+  BitReader reader(writer.bytes());
+  for (double v : values) {
+    EXPECT_EQ(reader.ReadDouble(), v);
+  }
+}
+
+TEST(BitIoTest, NanRoundTripsBitExactly) {
+  BitWriter writer;
+  writer.WriteDouble(std::nan(""));
+  BitReader reader(writer.bytes());
+  EXPECT_TRUE(std::isnan(reader.ReadDouble()));
+}
+
+TEST(BitIoTest, MixedStreamRoundTrip) {
+  Rng rng(77);
+  BitWriter writer;
+  struct Record {
+    int bit;
+    uint64_t gamma;
+    uint64_t fixed;
+    double real;
+  };
+  std::vector<Record> records;
+  for (int i = 0; i < 100; ++i) {
+    Record r;
+    r.bit = static_cast<int>(rng.Next() & 1);
+    r.gamma = rng.UniformInt(100000);
+    r.fixed = rng.UniformInt(1 << 20);
+    r.real = rng.Normal();
+    records.push_back(r);
+    writer.WriteBit(r.bit);
+    writer.WriteEliasGamma(r.gamma);
+    writer.WriteBits(r.fixed, 20);
+    writer.WriteDouble(r.real);
+  }
+  BitReader reader(writer.bytes());
+  for (const Record& r : records) {
+    EXPECT_EQ(reader.ReadBit(), r.bit);
+    EXPECT_EQ(reader.ReadEliasGamma(), r.gamma);
+    EXPECT_EQ(reader.ReadBits(20), r.fixed);
+    EXPECT_EQ(reader.ReadDouble(), r.real);
+  }
+  EXPECT_EQ(reader.position(), writer.bit_count());
+}
+
+TEST(BitIoTest, PositionTracksReads) {
+  BitWriter writer;
+  writer.WriteBits(0b101, 3);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.position(), 0);
+  reader.ReadBit();
+  EXPECT_EQ(reader.position(), 1);
+  reader.ReadBits(2);
+  EXPECT_EQ(reader.position(), 3);
+}
+
+TEST(BitIoDeathTest, ReadPastEndChecks) {
+  BitWriter writer;
+  writer.WriteBit(1);
+  BitReader reader(writer.bytes());
+  reader.ReadBits(8);  // padding bits within the final byte are readable
+  EXPECT_DEATH(reader.ReadBit(), "CHECK");
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,39 @@
+#include "util/check.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  DCS_CHECK(true);
+  DCS_CHECK_EQ(1, 1);
+  DCS_CHECK_NE(1, 2);
+  DCS_CHECK_LT(1, 2);
+  DCS_CHECK_LE(2, 2);
+  DCS_CHECK_GT(3, 2);
+  DCS_CHECK_GE(3, 3);
+}
+
+TEST(CheckTest, ArgumentsEvaluatedExactlyOnce) {
+  int counter = 0;
+  DCS_CHECK_EQ(++counter, 1);
+  EXPECT_EQ(counter, 1);
+  DCS_CHECK_LT(counter++, 10);
+  EXPECT_EQ(counter, 2);
+}
+
+TEST(CheckDeathTest, FailingChecksAbortWithContext) {
+  EXPECT_DEATH(DCS_CHECK(false), "CHECK failed");
+  EXPECT_DEATH(DCS_CHECK_EQ(1, 2), "1 == 2");
+  EXPECT_DEATH(DCS_CHECK_GT(1, 2), "1 > 2");
+}
+
+TEST(CheckTest, DcheckActiveMatchesBuildMode) {
+#ifdef NDEBUG
+  DCS_DCHECK(false);  // compiled out in release builds
+#else
+  EXPECT_DEATH(DCS_DCHECK(false), "CHECK failed");
+#endif
+}
+
+}  // namespace

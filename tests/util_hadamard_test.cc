@@ -1,0 +1,193 @@
+// Verifies the Lemma 3.2 matrix properties the Section 3 encoding relies
+// on: balanced rows, pairwise orthogonality, tensor factor structure, and
+// the decoding identity ⟨x, M_t⟩ = z_t·‖M_t‖².
+
+#include "util/hadamard.h"
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+TEST(HadamardTest, SmallMatrixEntries) {
+  const HadamardMatrix h(1);  // [[1,1],[1,-1]]
+  EXPECT_EQ(h.Entry(0, 0), 1);
+  EXPECT_EQ(h.Entry(0, 1), 1);
+  EXPECT_EQ(h.Entry(1, 0), 1);
+  EXPECT_EQ(h.Entry(1, 1), -1);
+}
+
+TEST(HadamardTest, FirstRowAllOnes) {
+  const HadamardMatrix h(4);
+  for (int col = 0; col < h.size(); ++col) {
+    EXPECT_EQ(h.Entry(0, col), 1);
+  }
+}
+
+TEST(HadamardTest, NonFirstRowsAreBalanced) {
+  const HadamardMatrix h(4);
+  for (int row = 1; row < h.size(); ++row) {
+    int sum = 0;
+    for (int col = 0; col < h.size(); ++col) sum += h.Entry(row, col);
+    EXPECT_EQ(sum, 0) << "row " << row;
+  }
+}
+
+TEST(HadamardTest, RowsAreOrthogonal) {
+  const HadamardMatrix h(3);
+  for (int r1 = 0; r1 < h.size(); ++r1) {
+    for (int r2 = r1 + 1; r2 < h.size(); ++r2) {
+      int dot = 0;
+      for (int col = 0; col < h.size(); ++col) {
+        dot += h.Entry(r1, col) * h.Entry(r2, col);
+      }
+      EXPECT_EQ(dot, 0) << r1 << "," << r2;
+    }
+  }
+}
+
+TEST(FwhtTest, MatchesNaiveTransform) {
+  Rng rng(1);
+  const HadamardMatrix h(4);
+  const int n = h.size();
+  std::vector<int64_t> input(static_cast<size_t>(n));
+  for (auto& v : input) v = rng.UniformInRange(-50, 50);
+  std::vector<int64_t> naive(static_cast<size_t>(n), 0);
+  for (int row = 0; row < n; ++row) {
+    for (int col = 0; col < n; ++col) {
+      naive[static_cast<size_t>(row)] +=
+          h.Entry(row, col) * input[static_cast<size_t>(col)];
+    }
+  }
+  std::vector<int64_t> fast = input;
+  FastWalshHadamardTransform(fast);
+  EXPECT_EQ(fast, naive);
+}
+
+TEST(FwhtTest, TwiceIsScaling) {
+  std::vector<int64_t> values = {3, -1, 4, 1, -5, 9, 2, -6};
+  const std::vector<int64_t> original = values;
+  FastWalshHadamardTransform(values);
+  FastWalshHadamardTransform(values);
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i], 8 * original[i]);
+  }
+}
+
+class TensorSignMatrixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TensorSignMatrixTest, Lemma32Condition1RowsBalanced) {
+  const TensorSignMatrix m(GetParam());
+  for (int64_t t = 0; t < m.rows(); ++t) {
+    int64_t sum = 0;
+    for (int64_t col = 0; col < m.cols(); ++col) sum += m.Entry(t, col);
+    EXPECT_EQ(sum, 0) << "row " << t;
+  }
+}
+
+TEST_P(TensorSignMatrixTest, Lemma32Condition2RowsOrthogonal) {
+  const TensorSignMatrix m(GetParam());
+  // Exhaustive for small sizes, sampled pairs otherwise.
+  const int64_t limit = m.rows() > 16 ? 16 : m.rows();
+  for (int64_t t1 = 0; t1 < limit; ++t1) {
+    for (int64_t t2 = t1 + 1; t2 < limit; ++t2) {
+      int64_t dot = 0;
+      for (int64_t col = 0; col < m.cols(); ++col) {
+        dot += m.Entry(t1, col) * m.Entry(t2, col);
+      }
+      EXPECT_EQ(dot, 0) << t1 << "," << t2;
+    }
+  }
+}
+
+TEST_P(TensorSignMatrixTest, Lemma32Condition3TensorFactors) {
+  const TensorSignMatrix m(GetParam());
+  const int n = m.block_size();
+  for (int64_t t = 0; t < m.rows(); ++t) {
+    const std::vector<int8_t> u = m.LeftFactor(t);
+    const std::vector<int8_t> v = m.RightFactor(t);
+    // Factors are balanced ±1 vectors.
+    int u_sum = 0, v_sum = 0;
+    for (int8_t s : u) u_sum += s;
+    for (int8_t s : v) v_sum += s;
+    ASSERT_EQ(u_sum, 0);
+    ASSERT_EQ(v_sum, 0);
+    // M_t = u ⊗ v.
+    for (int a = 0; a < n; ++a) {
+      for (int b = 0; b < n; ++b) {
+        ASSERT_EQ(m.Entry(t, static_cast<int64_t>(a) * n + b),
+                  u[static_cast<size_t>(a)] * v[static_cast<size_t>(b)]);
+      }
+    }
+  }
+}
+
+TEST_P(TensorSignMatrixTest, EncodeSignsMatchesNaiveSum) {
+  const TensorSignMatrix m(GetParam());
+  Rng rng(99);
+  const std::vector<int8_t> z =
+      rng.RandomSignString(static_cast<int>(m.rows()));
+  const std::vector<int64_t> x = m.EncodeSigns(z);
+  ASSERT_EQ(static_cast<int64_t>(x.size()), m.cols());
+  for (int64_t col = 0; col < m.cols(); ++col) {
+    int64_t expected = 0;
+    for (int64_t t = 0; t < m.rows(); ++t) {
+      expected += z[static_cast<size_t>(t)] * m.Entry(t, col);
+    }
+    ASSERT_EQ(x[static_cast<size_t>(col)], expected) << "col " << col;
+  }
+}
+
+TEST_P(TensorSignMatrixTest, DecodingIdentity) {
+  // ⟨x, M_t⟩ = z_t·‖M_t‖² = z_t·N², the identity the decoder relies on.
+  const TensorSignMatrix m(GetParam());
+  Rng rng(7);
+  const std::vector<int8_t> z =
+      rng.RandomSignString(static_cast<int>(m.rows()));
+  const std::vector<int64_t> x = m.EncodeSigns(z);
+  for (int64_t t = 0; t < m.rows(); ++t) {
+    EXPECT_EQ(m.InnerProductWithRow(x, t),
+              static_cast<int64_t>(z[static_cast<size_t>(t)]) *
+                  m.RowNormSquared());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, TensorSignMatrixTest,
+                         ::testing::Values(1, 2, 3));
+
+TEST(TensorSignMatrixTest, DecodingIdentityAtLargeBlockSize) {
+  // N = 64: 3969 rows, 4096 columns — the FWHT path at realistic scale.
+  const TensorSignMatrix m(6);
+  Rng rng(123);
+  const std::vector<int8_t> z =
+      rng.RandomSignString(static_cast<int>(m.rows()));
+  const std::vector<int64_t> x = m.EncodeSigns(z);
+  for (int64_t t = 0; t < m.rows(); t += 397) {
+    EXPECT_EQ(m.InnerProductWithRow(x, t),
+              static_cast<int64_t>(z[static_cast<size_t>(t)]) *
+                  m.RowNormSquared());
+  }
+}
+
+TEST(TensorSignMatrixTest, Dimensions) {
+  const TensorSignMatrix m(3);  // N = 8
+  EXPECT_EQ(m.block_size(), 8);
+  EXPECT_EQ(m.rows(), 49);
+  EXPECT_EQ(m.cols(), 64);
+  EXPECT_EQ(m.RowNormSquared(), 64);
+}
+
+TEST(TensorSignMatrixTest, RowFactorsExcludeAllOnesRow) {
+  const TensorSignMatrix m(2);
+  for (int64_t t = 0; t < m.rows(); ++t) {
+    const auto [i, j] = m.RowFactors(t);
+    EXPECT_GE(i, 1);
+    EXPECT_GE(j, 1);
+    EXPECT_LT(i, m.block_size());
+    EXPECT_LT(j, m.block_size());
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,77 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+namespace dcs {
+namespace {
+
+TEST(StatsTest, MeanBasic) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({-3}), -3.0);
+}
+
+TEST(StatsTest, StdDevBasic) {
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({5}), 0.0);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+}
+
+TEST(StatsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3, 1, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4, 1, 3, 2}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({7}), 7.0);
+}
+
+TEST(StatsTest, PercentileEndpoints) {
+  const std::vector<double> values = {10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 25), 20.0);
+}
+
+TEST(StatsTest, FitLineExact) {
+  const LineFit fit = FitLine({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(StatsTest, FitLineNoisy) {
+  const LineFit fit =
+      FitLine({0, 1, 2, 3, 4, 5}, {0.1, 0.9, 2.2, 2.8, 4.1, 5.0});
+  EXPECT_NEAR(fit.slope, 1.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(StatsTest, FitLineConstantX) {
+  const LineFit fit = FitLine({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+TEST(StatsTest, FitLogLogRecoversExponent) {
+  // y = 3·x^2.5
+  std::vector<double> xs, ys;
+  for (double x : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+    xs.push_back(x);
+    ys.push_back(3 * std::pow(x, 2.5));
+  }
+  const LineFit fit = FitLogLog(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
+}
+
+TEST(StatsDeathTest, MedianEmptyChecks) {
+  EXPECT_DEATH(Median({}), "CHECK");
+}
+
+TEST(StatsDeathTest, FitLogLogRejectsNonPositive) {
+  EXPECT_DEATH(FitLogLog({1, 0}, {1, 1}), "CHECK");
+}
+
+}  // namespace
+}  // namespace dcs

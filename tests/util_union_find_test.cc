@@ -1,0 +1,65 @@
+#include "util/union_find.h"
+
+#include "gtest/gtest.h"
+
+namespace dcs {
+namespace {
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(5);
+  for (int v = 0; v < 5; ++v) {
+    EXPECT_EQ(uf.Find(v), v);
+    EXPECT_EQ(uf.SetSize(v), 1);
+  }
+  EXPECT_FALSE(uf.Connected(0, 1));
+}
+
+TEST(UnionFindTest, UnionMergesAndReports) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_FALSE(uf.Union(1, 0));  // already joined
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_TRUE(uf.Union(1, 3));
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.SetSize(3), 4);
+  EXPECT_EQ(uf.SetSize(5), 1);
+}
+
+TEST(UnionFindTest, UnionIntoKeepsRequestedRoot) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.UnionInto(/*child=*/0, /*parent=*/1));
+  EXPECT_EQ(uf.Find(0), 1);
+  EXPECT_TRUE(uf.UnionInto(/*child=*/2, /*parent=*/0));
+  // 2 joins the set whose representative is 1.
+  EXPECT_EQ(uf.Find(2), 1);
+  EXPECT_FALSE(uf.UnionInto(2, 1));
+}
+
+TEST(UnionFindTest, ResetRestoresSingletons) {
+  UnionFind uf(4);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Reset();
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_EQ(uf.Find(v), v);
+    EXPECT_EQ(uf.SetSize(v), 1);
+  }
+}
+
+TEST(UnionFindTest, LongChainCompresses) {
+  UnionFind uf(100);
+  for (int v = 0; v + 1 < 100; ++v) uf.UnionInto(v, v + 1);
+  EXPECT_EQ(uf.Find(0), 99);
+  EXPECT_EQ(uf.SetSize(0), 100);
+}
+
+TEST(UnionFindDeathTest, OutOfRangeChecks) {
+  UnionFind uf(3);
+  EXPECT_DEATH(uf.Find(3), "CHECK");
+  EXPECT_DEATH(uf.Find(-1), "CHECK");
+}
+
+}  // namespace
+}  // namespace dcs

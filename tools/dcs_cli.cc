@@ -1,0 +1,332 @@
+// dcs — command-line driver for the library.
+//
+// Subcommands:
+//   generate   write a synthetic graph to a text file
+//   stats      vertex/edge counts, balance certificate, connectivity
+//   mincut     exact global minimum cut (directed or undirected)
+//   sketch     build a cut sketch, report its size, spot-check accuracy
+//   localquery estimate the min cut via degree/neighbor queries only
+//   encode     store a text message in a balanced graph's edge weights and
+//              read it back through cut queries (Theorem 1.1 demo)
+//
+// Examples:
+//   dcs generate --type balanced --n 100 --beta 4 --seed 1 --out g.txt
+//   dcs stats --in g.txt --directed
+//   dcs mincut --in g.txt --directed
+//   dcs sketch --in g.txt --kind foreach --epsilon 0.2 --beta 4
+//   dcs generate --type dumbbell --n 40 --k 3 --out d.txt
+//   dcs localquery --in d.txt --epsilon 0.25
+//   dcs encode --message "hello cuts"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "graph/balance.h"
+#include "graph/connectivity.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "localquery/mincut_estimator.h"
+#include "stream/agm_sketch.h"
+#include "lowerbound/foreach_encoding.h"
+#include "mincut/directed_mincut.h"
+#include "mincut/stoer_wagner.h"
+#include "sketch/directed_sketches.h"
+#include "util/random.h"
+
+namespace {
+
+using FlagMap = std::map<std::string, std::string>;
+
+FlagMap ParseFlags(int argc, char** argv, int start) {
+  FlagMap flags;
+  for (int i = start; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+      std::exit(2);
+    }
+    key = key.substr(2);
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
+      std::exit(2);
+    }
+    flags[key] = argv[++i];
+  }
+  return flags;
+}
+
+std::string GetFlag(const FlagMap& flags, const std::string& key,
+                    const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+double GetDouble(const FlagMap& flags, const std::string& key,
+                 double fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stod(it->second);
+}
+
+int GetInt(const FlagMap& flags, const std::string& key, int fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stoi(it->second);
+}
+
+bool HasFlag(const FlagMap& flags, const std::string& key) {
+  return flags.count(key) > 0;
+}
+
+int CmdGenerate(const FlagMap& flags) {
+  const std::string type = GetFlag(flags, "type", "balanced");
+  const std::string out = GetFlag(flags, "out", "graph.txt");
+  const int n = GetInt(flags, "n", 64);
+  dcs::Rng rng(static_cast<uint64_t>(GetInt(flags, "seed", 1)));
+  bool ok = false;
+  if (type == "balanced") {
+    const double beta = GetDouble(flags, "beta", 2.0);
+    const double p = GetDouble(flags, "p", 0.3);
+    ok = dcs::SaveDirectedGraph(dcs::RandomBalancedDigraph(n, p, beta, rng),
+                                out);
+  } else if (type == "eulerian") {
+    ok = dcs::SaveDirectedGraph(
+        dcs::RandomEulerianDigraph(n, GetInt(flags, "cycles", n), 8, rng),
+        out);
+  } else if (type == "random") {
+    const double p = GetDouble(flags, "p", 0.2);
+    ok = dcs::SaveUndirectedGraph(
+        dcs::RandomUndirectedGraph(n, p, 1.0, 1.0, true, rng), out);
+  } else if (type == "dumbbell") {
+    ok = dcs::SaveUndirectedGraph(
+        dcs::DumbbellGraph(n / 2, GetInt(flags, "k", 2)), out);
+  } else if (type == "multigraph") {
+    ok = dcs::SaveUndirectedGraph(
+        dcs::UnionOfRandomMatchings(n, GetInt(flags, "k", 8), rng), out);
+  } else {
+    std::fprintf(stderr,
+                 "unknown --type (balanced|eulerian|random|dumbbell|"
+                 "multigraph)\n");
+    return 2;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+int CmdStats(const FlagMap& flags) {
+  const std::string in = GetFlag(flags, "in", "graph.txt");
+  if (HasFlag(flags, "directed")) {
+    const auto graph = dcs::LoadDirectedGraph(in);
+    if (!graph) {
+      std::fprintf(stderr, "cannot read directed graph from %s\n",
+                   in.c_str());
+      return 1;
+    }
+    std::printf("directed graph: n=%d m=%lld total weight %.3f\n",
+                graph->num_vertices(),
+                static_cast<long long>(graph->num_edges()),
+                graph->TotalWeight());
+    std::printf("strongly connected: %s\n",
+                dcs::IsStronglyConnected(*graph) ? "yes" : "no");
+    const auto certificate = dcs::PerEdgeBalanceCertificate(*graph);
+    if (certificate) {
+      std::printf("per-edge balance certificate: beta <= %.4f\n",
+                  *certificate);
+    } else {
+      std::printf("per-edge balance certificate: none (some edge has no "
+                  "reverse weight)\n");
+    }
+    return 0;
+  }
+  const auto graph = dcs::LoadUndirectedGraph(in);
+  if (!graph) {
+    std::fprintf(stderr, "cannot read undirected graph from %s\n",
+                 in.c_str());
+    return 1;
+  }
+  std::printf("undirected graph: n=%d m=%lld total weight %.3f\n",
+              graph->num_vertices(),
+              static_cast<long long>(graph->num_edges()),
+              graph->TotalWeight());
+  std::printf("connected: %s (%d components)\n",
+              dcs::IsConnected(*graph) ? "yes" : "no",
+              dcs::CountComponents(*graph));
+  return 0;
+}
+
+int CmdMinCut(const FlagMap& flags) {
+  const std::string in = GetFlag(flags, "in", "graph.txt");
+  if (HasFlag(flags, "directed")) {
+    const auto graph = dcs::LoadDirectedGraph(in);
+    if (!graph) return 1;
+    const dcs::GlobalMinCut cut = dcs::DirectedGlobalMinCut(*graph);
+    std::printf("directed global min cut: %.6f (|S| = %d)\n", cut.value,
+                dcs::SetSize(cut.side));
+    return 0;
+  }
+  const auto graph = dcs::LoadUndirectedGraph(in);
+  if (!graph) return 1;
+  const dcs::GlobalMinCut cut = dcs::StoerWagnerMinCut(*graph);
+  std::printf("global min cut: %.6f (|S| = %d)\n", cut.value,
+              dcs::SetSize(cut.side));
+  return 0;
+}
+
+int CmdSketch(const FlagMap& flags) {
+  const std::string in = GetFlag(flags, "in", "graph.txt");
+  const auto graph = dcs::LoadDirectedGraph(in);
+  if (!graph) {
+    std::fprintf(stderr, "sketch works on directed graphs (see generate "
+                 "--type balanced)\n");
+    return 1;
+  }
+  const double epsilon = GetDouble(flags, "epsilon", 0.2);
+  const double beta =
+      GetDouble(flags, "beta",
+                dcs::PerEdgeBalanceCertificate(*graph).value_or(1.0));
+  const std::string kind = GetFlag(flags, "kind", "foreach");
+  dcs::Rng rng(static_cast<uint64_t>(GetInt(flags, "seed", 1)));
+  std::unique_ptr<dcs::DirectedCutSketch> sketch;
+  if (kind == "foreach") {
+    sketch = std::make_unique<dcs::DirectedForEachSketch>(*graph, epsilon,
+                                                          beta, rng);
+  } else if (kind == "forall") {
+    sketch = std::make_unique<dcs::DirectedForAllSketch>(*graph, epsilon,
+                                                         beta, rng);
+  } else {
+    std::fprintf(stderr, "unknown --kind (foreach|forall)\n");
+    return 2;
+  }
+  std::printf("%s sketch at eps=%.3f beta=%.2f: %lld bits (graph: %lld)\n",
+              kind.c_str(), epsilon, beta,
+              static_cast<long long>(sketch->SizeInBits()),
+              static_cast<long long>(
+                  graph->num_edges() * 64));  // rough edge-list floor
+  // Spot check: 5 random cuts.
+  dcs::Rng cut_rng(7);
+  std::printf("%-10s %12s %12s %10s\n", "cut", "exact", "estimate",
+              "rel err");
+  for (int trial = 0; trial < 5; ++trial) {
+    dcs::VertexSet side(static_cast<size_t>(graph->num_vertices()));
+    for (auto& bit : side) bit = static_cast<uint8_t>(cut_rng.Next() & 1);
+    if (!dcs::IsProperCutSide(side)) continue;
+    const double exact = graph->CutWeight(side);
+    const double estimate = sketch->EstimateCut(side);
+    std::printf("#%-9d %12.3f %12.3f %10.4f\n", trial, exact, estimate,
+                exact > 0 ? std::abs(estimate - exact) / exact : 0.0);
+  }
+  return 0;
+}
+
+int CmdLocalQuery(const FlagMap& flags) {
+  const std::string in = GetFlag(flags, "in", "graph.txt");
+  const auto graph = dcs::LoadUndirectedGraph(in);
+  if (!graph) return 1;
+  const double epsilon = GetDouble(flags, "epsilon", 0.25);
+  dcs::Rng rng(static_cast<uint64_t>(GetInt(flags, "seed", 1)));
+  const dcs::LocalQueryMinCutResult result = dcs::EstimateMinCutLocalQueries(
+      *graph, epsilon, dcs::SearchMode::kModifiedConstantSearch, rng);
+  std::printf("estimated min cut: %.3f\n", result.estimate);
+  std::printf("queries: %lld degree, %lld neighbor, %lld adjacency\n",
+              static_cast<long long>(result.counts.degree),
+              static_cast<long long>(result.counts.neighbor),
+              static_cast<long long>(result.counts.adjacency));
+  std::printf("Lemma 5.6 communication: %lld bits\n",
+              static_cast<long long>(result.communication_bits));
+  return 0;
+}
+
+int CmdAgm(const FlagMap& flags) {
+  const std::string in = GetFlag(flags, "in", "graph.txt");
+  const auto graph = dcs::LoadUndirectedGraph(in);
+  if (!graph) {
+    std::fprintf(stderr, "cannot read undirected graph from %s\n",
+                 in.c_str());
+    return 1;
+  }
+  for (const dcs::Edge& e : graph->edges()) {
+    if (e.weight != 1.0) {
+      std::fprintf(stderr, "agm requires an unweighted graph\n");
+      return 1;
+    }
+  }
+  const uint64_t seed = static_cast<uint64_t>(GetInt(flags, "seed", 1));
+  const dcs::AgmConnectivitySketch sketch =
+      dcs::SketchGraph(*graph, 0, seed);
+  std::printf("AGM sketch: %lld bits, %lld linear measurements\n",
+              static_cast<long long>(sketch.SizeInBits()),
+              static_cast<long long>(sketch.MeasurementCount()));
+  std::printf("components (from sketch): %d\n", sketch.CountComponents());
+  std::printf("spanning forest edges: %zu\n",
+              sketch.SpanningForest().size());
+  return 0;
+}
+
+int CmdEncode(const FlagMap& flags) {
+  const std::string message = GetFlag(flags, "message", "hello cuts");
+  dcs::ForEachLowerBoundParams params;
+  params.inv_epsilon = GetInt(flags, "inv-eps", 8);
+  params.sqrt_beta = GetInt(flags, "sqrt-beta", 2);
+  const int64_t needed = static_cast<int64_t>(message.size()) * 8;
+  params.num_layers = 2;
+  while (params.total_bits() < needed) ++params.num_layers;
+  std::vector<int8_t> signs;
+  for (char c : message) {
+    for (int bit = 7; bit >= 0; --bit) {
+      signs.push_back(((c >> bit) & 1) ? 1 : -1);
+    }
+  }
+  while (static_cast<int64_t>(signs.size()) < params.total_bits()) {
+    signs.push_back(1);
+  }
+  const dcs::ForEachEncoder encoder(params);
+  const auto encoding = encoder.Encode(signs);
+  std::printf("encoded %zu chars into a %d-vertex beta=%.0f-balanced graph "
+              "(%lld edges)\n",
+              message.size(), params.num_vertices(), params.beta(),
+              static_cast<long long>(encoding.graph.num_edges()));
+  const dcs::ForEachDecoder decoder(params);
+  const dcs::CutOracle oracle = dcs::ExactCutOracle(encoding.graph);
+  std::string decoded;
+  for (size_t c = 0; c < message.size(); ++c) {
+    char value = 0;
+    for (int bit = 0; bit < 8; ++bit) {
+      const int8_t sign = decoder.DecodeBit(
+          static_cast<int64_t>(c * 8 + static_cast<size_t>(bit)), oracle);
+      value = static_cast<char>((value << 1) | (sign > 0 ? 1 : 0));
+    }
+    decoded.push_back(value);
+  }
+  std::printf("decoded via cut queries: \"%s\"\n", decoded.c_str());
+  return 0;
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: dcs <generate|stats|mincut|sketch|localquery|encode|agm> "
+               "[--flag value ...]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const FlagMap flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "mincut") return CmdMinCut(flags);
+  if (command == "sketch") return CmdSketch(flags);
+  if (command == "localquery") return CmdLocalQuery(flags);
+  if (command == "encode") return CmdEncode(flags);
+  if (command == "agm") return CmdAgm(flags);
+  PrintUsage();
+  return 2;
+}
