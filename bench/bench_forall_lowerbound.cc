@@ -141,6 +141,44 @@ void TableC() {
       " exponentially faster)\n");
 }
 
+void TableD(int threads) {
+  PrintBanner("T1.2/D",
+              "Seed-deterministic trial parallelism (RunForAllTrials)");
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 16;
+  params.beta = 2;
+  params.num_layers = 2;
+  const SeededCutOracleFactory factory = [](const DirectedGraph& g,
+                                            Rng& rng) -> CutOracle {
+    return NoisyCutOracle(g, 0.01, rng);
+  };
+  constexpr int kTrials = 40;
+  constexpr uint64_t kSeed = 2024;
+  const auto mode = ForAllDecoder::SubsetSelection::kGreedy;
+  const auto t0 = std::chrono::steady_clock::now();
+  const ForAllTrialResult serial =
+      RunForAllTrials(params, kTrials, kSeed, factory, mode, 1);
+  const auto t1 = std::chrono::steady_clock::now();
+  const ForAllTrialResult parallel =
+      RunForAllTrials(params, kTrials, kSeed, factory, mode, threads);
+  const auto t2 = std::chrono::steady_clock::now();
+  const double ms_serial =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double ms_parallel =
+      std::chrono::duration<double, std::milli>(t2 - t1).count();
+  PrintRow({"threads", "correct", "trials", "time(ms)", "speedup"});
+  PrintRule(5);
+  PrintRow({I(1), I(serial.correct), I(serial.trials), F(ms_serial, 1),
+            F(1.0, 2)});
+  PrintRow({I(threads), I(parallel.correct), I(parallel.trials),
+            F(ms_parallel, 1), F(ms_serial / ms_parallel, 2)});
+  std::printf("bit-identical to serial: %s\n",
+              serial.correct == parallel.correct &&
+                      serial.trials == parallel.trials
+                  ? "yes"
+                  : "NO (BUG)");
+}
+
 void BM_ForAllEncode(benchmark::State& state) {
   ForAllLowerBoundParams params;
   params.inv_epsilon_sq = static_cast<int>(state.range(0));
@@ -184,9 +222,11 @@ BENCHMARK(BM_ForAllGreedyDecision)->Arg(16)->Arg(36);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const int threads = dcs::bench::ConsumeThreadsFlag(&argc, argv);
   dcs::TableA();
   dcs::TableB();
   dcs::TableC();
+  dcs::TableD(threads);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

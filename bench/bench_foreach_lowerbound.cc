@@ -17,6 +17,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "lowerbound/foreach_encoding.h"
@@ -201,6 +202,44 @@ void TableD() {
   std::printf("(independent repetitions + median sharpen per-query success)\n");
 }
 
+void TableE(int threads) {
+  PrintBanner("T1.1/E",
+              "Seed-deterministic trial parallelism (RunForEachTrials)");
+  ForEachLowerBoundParams params;
+  params.inv_epsilon = 8;
+  params.sqrt_beta = 2;
+  params.num_layers = 2;
+  const SeededCutOracleFactory factory = [](const DirectedGraph& g,
+                                            Rng& rng) -> CutOracle {
+    return MaximalNoiseCutOracle(g, 0.01, rng);
+  };
+  constexpr int kTrials = 8;
+  constexpr int kProbes = 40;
+  constexpr uint64_t kSeed = 2024;
+  const auto t0 = std::chrono::steady_clock::now();
+  const ForEachTrialResult serial =
+      RunForEachTrials(params, kTrials, kProbes, kSeed, factory, 1);
+  const auto t1 = std::chrono::steady_clock::now();
+  const ForEachTrialResult parallel =
+      RunForEachTrials(params, kTrials, kProbes, kSeed, factory, threads);
+  const auto t2 = std::chrono::steady_clock::now();
+  const double ms_serial =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double ms_parallel =
+      std::chrono::duration<double, std::milli>(t2 - t1).count();
+  PrintRow({"threads", "correct", "probes", "time(ms)", "speedup"});
+  PrintRule(5);
+  PrintRow({I(1), I(serial.correct), I(serial.probes), F(ms_serial, 1),
+            F(1.0, 2)});
+  PrintRow({I(threads), I(parallel.correct), I(parallel.probes),
+            F(ms_parallel, 1), F(ms_serial / ms_parallel, 2)});
+  std::printf("bit-identical to serial: %s\n",
+              serial.correct == parallel.correct &&
+                      serial.probes == parallel.probes
+                  ? "yes"
+                  : "NO (BUG)");
+}
+
 void BM_ForEachEncode(benchmark::State& state) {
   ForEachLowerBoundParams params;
   params.inv_epsilon = static_cast<int>(state.range(0));
@@ -239,10 +278,12 @@ BENCHMARK(BM_ForEachDecodeBit)->Arg(4)->Arg(8)->Arg(16);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const int threads = dcs::bench::ConsumeThreadsFlag(&argc, argv);
   dcs::TableA();
   dcs::TableB();
   dcs::TableC();
   dcs::TableD();
+  dcs::TableE(threads);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -23,6 +23,7 @@
 #include "table.h"
 #include "util/stats.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace dcs {
 
@@ -51,16 +52,28 @@ struct Measurement {
   double estimate = 0;
 };
 
+// Set from --threads in main; repetitions use per-rep seeds, so the
+// averages are identical for every thread count.
+int g_measure_threads = 1;
+
 Measurement Measure(const UndirectedGraph& g, double epsilon, int reps,
                     uint64_t seed) {
-  Measurement m;
-  for (int rep = 0; rep < reps; ++rep) {
+  g.BuildAdjacency();  // shared across reps; pre-build the lazy index
+  std::vector<Measurement> slots(static_cast<size_t>(reps));
+  ParallelFor(g_measure_threads, reps, [&](int64_t rep) {
     Rng rng(seed + static_cast<uint64_t>(rep));
     const LocalQueryMinCutResult result = EstimateMinCutLocalQueries(
         g, epsilon, SearchMode::kModifiedConstantSearch, rng);
-    m.queries += static_cast<double>(result.counts.total()) / reps;
-    m.bits += static_cast<double>(result.communication_bits) / reps;
-    m.estimate += result.estimate / reps;
+    Measurement& slot = slots[static_cast<size_t>(rep)];
+    slot.queries = static_cast<double>(result.counts.total());
+    slot.bits = static_cast<double>(result.communication_bits);
+    slot.estimate = result.estimate;
+  });
+  Measurement m;
+  for (const Measurement& slot : slots) {
+    m.queries += slot.queries / reps;
+    m.bits += slot.bits / reps;
+    m.estimate += slot.estimate / reps;
   }
   return m;
 }
@@ -164,6 +177,7 @@ BENCHMARK(BM_LocalQueryEstimate)->Arg(24)->Arg(48);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  dcs::g_measure_threads = dcs::bench::ConsumeThreadsFlag(&argc, argv);
   dcs::TableA();
   dcs::TableB();
   dcs::TableC();

@@ -6,10 +6,31 @@
 #define DCS_BENCH_TABLE_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace dcs::bench {
+
+// Parses and strips "--threads N" / "--threads=N" from argv so the
+// remaining arguments can go straight to benchmark::Initialize (which
+// rejects flags it does not know). Returns 1 when absent.
+inline int ConsumeThreadsFlag(int* argc, char** argv) {
+  int threads = 1;
+  int write = 1;
+  for (int read = 1; read < *argc; ++read) {
+    const std::string arg = argv[read];
+    if (arg == "--threads" && read + 1 < *argc) {
+      threads = std::atoi(argv[++read]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = std::atoi(arg.c_str() + 10);
+    } else {
+      argv[write++] = argv[read];
+    }
+  }
+  *argc = write;
+  return threads < 1 ? 1 : threads;
+}
 
 // Prints a banner for one experiment section.
 inline void PrintBanner(const std::string& experiment_id,

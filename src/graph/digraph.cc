@@ -1,5 +1,6 @@
 #include "graph/digraph.h"
 
+#include <algorithm>
 #include <map>
 #include <utility>
 
@@ -27,20 +28,16 @@ double DirectedGraph::TotalWeight() const {
 }
 
 double DirectedGraph::OutDegree(VertexId v) const {
-  DCS_CHECK(v >= 0 && v < num_vertices_);
-  EnsureAdjacency();
   double total = 0;
-  for (int64_t id : out_edge_ids_[static_cast<size_t>(v)]) {
+  for (int64_t id : OutEdgeIds(v)) {
     total += edges_[static_cast<size_t>(id)].weight;
   }
   return total;
 }
 
 double DirectedGraph::InDegree(VertexId v) const {
-  DCS_CHECK(v >= 0 && v < num_vertices_);
-  EnsureAdjacency();
   double total = 0;
-  for (int64_t id : in_edge_ids_[static_cast<size_t>(v)]) {
+  for (int64_t id : InEdgeIds(v)) {
     total += edges_[static_cast<size_t>(id)].weight;
   }
   return total;
@@ -55,6 +52,65 @@ double DirectedGraph::CutWeight(const VertexSet& side) const {
     }
   }
   return total;
+}
+
+double DirectedGraph::CutWeight(const VertexSet& side,
+                                const DegreeIndex& index) const {
+  DCS_CHECK_EQ(static_cast<int>(side.size()), num_vertices_);
+  DCS_CHECK_EQ(static_cast<int>(index.out_count.size()), num_vertices_);
+  DCS_CHECK_EQ(static_cast<int>(index.in_count.size()), num_vertices_);
+  // Every crossing edge leaves some v ∈ S and enters some u ∉ S, so the cut
+  // can be accumulated from either frontier; walk the smaller one.
+  int64_t out_volume = 0;
+  int64_t in_volume = 0;
+  for (int v = 0; v < num_vertices_; ++v) {
+    const int64_t inside = side[static_cast<size_t>(v)] != 0;
+    out_volume += inside * index.out_count[static_cast<size_t>(v)];
+    in_volume += (1 - inside) * index.in_count[static_cast<size_t>(v)];
+  }
+  const int64_t volume = std::min(out_volume, in_volume);
+  if (volume == 0) return 0;
+  if (volume >= num_edges()) return CutWeight(side);
+  EnsureAdjacency();
+  double total = 0;
+  if (out_volume <= in_volume) {
+    for (int v = 0; v < num_vertices_; ++v) {
+      if (!side[static_cast<size_t>(v)]) continue;
+      const int64_t begin = out_offsets_[static_cast<size_t>(v)];
+      const int64_t end = out_offsets_[static_cast<size_t>(v) + 1];
+      for (int64_t k = begin; k < end; ++k) {
+        const Edge& e = edges_[static_cast<size_t>(out_edge_ids_[k])];
+        if (!side[static_cast<size_t>(e.dst)]) total += e.weight;
+      }
+    }
+  } else {
+    for (int v = 0; v < num_vertices_; ++v) {
+      if (side[static_cast<size_t>(v)]) continue;
+      const int64_t begin = in_offsets_[static_cast<size_t>(v)];
+      const int64_t end = in_offsets_[static_cast<size_t>(v) + 1];
+      for (int64_t k = begin; k < end; ++k) {
+        const Edge& e = edges_[static_cast<size_t>(in_edge_ids_[k])];
+        if (side[static_cast<size_t>(e.src)]) total += e.weight;
+      }
+    }
+  }
+  return total;
+}
+
+DegreeIndex DirectedGraph::BuildDegreeIndex() const {
+  EnsureAdjacency();
+  DegreeIndex index;
+  index.out_count.resize(static_cast<size_t>(num_vertices_));
+  index.in_count.resize(static_cast<size_t>(num_vertices_));
+  for (int v = 0; v < num_vertices_; ++v) {
+    index.out_count[static_cast<size_t>(v)] =
+        out_offsets_[static_cast<size_t>(v) + 1] -
+        out_offsets_[static_cast<size_t>(v)];
+    index.in_count[static_cast<size_t>(v)] =
+        in_offsets_[static_cast<size_t>(v) + 1] -
+        in_offsets_[static_cast<size_t>(v)];
+  }
+  return index;
 }
 
 double DirectedGraph::CrossWeight(const VertexSet& from,
@@ -100,27 +156,51 @@ void DirectedGraph::MergeFrom(const DirectedGraph& other) {
   adjacency_valid_ = false;
 }
 
-const std::vector<int64_t>& DirectedGraph::OutEdgeIds(VertexId v) const {
+std::span<const int64_t> DirectedGraph::OutEdgeIds(VertexId v) const {
   DCS_CHECK(v >= 0 && v < num_vertices_);
   EnsureAdjacency();
-  return out_edge_ids_[static_cast<size_t>(v)];
+  const size_t begin = static_cast<size_t>(out_offsets_[static_cast<size_t>(v)]);
+  const size_t end =
+      static_cast<size_t>(out_offsets_[static_cast<size_t>(v) + 1]);
+  return {out_edge_ids_.data() + begin, end - begin};
 }
 
-const std::vector<int64_t>& DirectedGraph::InEdgeIds(VertexId v) const {
+std::span<const int64_t> DirectedGraph::InEdgeIds(VertexId v) const {
   DCS_CHECK(v >= 0 && v < num_vertices_);
   EnsureAdjacency();
-  return in_edge_ids_[static_cast<size_t>(v)];
+  const size_t begin = static_cast<size_t>(in_offsets_[static_cast<size_t>(v)]);
+  const size_t end =
+      static_cast<size_t>(in_offsets_[static_cast<size_t>(v) + 1]);
+  return {in_edge_ids_.data() + begin, end - begin};
 }
 
 void DirectedGraph::EnsureAdjacency() const {
   if (adjacency_valid_) return;
-  out_edge_ids_.assign(static_cast<size_t>(num_vertices_), {});
-  in_edge_ids_.assign(static_cast<size_t>(num_vertices_), {});
+  const size_t n = static_cast<size_t>(num_vertices_);
+  // Counting sort into CSR: count degrees, prefix-sum into offsets, then
+  // scatter edge ids (a second pass restores the offsets).
+  out_offsets_.assign(n + 1, 0);
+  in_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++out_offsets_[static_cast<size_t>(e.src) + 1];
+    ++in_offsets_[static_cast<size_t>(e.dst) + 1];
+  }
+  for (size_t v = 0; v < n; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  out_edge_ids_.resize(edges_.size());
+  in_edge_ids_.resize(edges_.size());
+  std::vector<int64_t> out_cursor(out_offsets_.begin(),
+                                  out_offsets_.end() - 1);
+  std::vector<int64_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
   for (size_t id = 0; id < edges_.size(); ++id) {
-    out_edge_ids_[static_cast<size_t>(edges_[id].src)].push_back(
-        static_cast<int64_t>(id));
-    in_edge_ids_[static_cast<size_t>(edges_[id].dst)].push_back(
-        static_cast<int64_t>(id));
+    out_edge_ids_[static_cast<size_t>(
+        out_cursor[static_cast<size_t>(edges_[id].src)]++)] =
+        static_cast<int64_t>(id);
+    in_edge_ids_[static_cast<size_t>(
+        in_cursor[static_cast<size_t>(edges_[id].dst)]++)] =
+        static_cast<int64_t>(id);
   }
   adjacency_valid_ = true;
 }

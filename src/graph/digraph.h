@@ -1,13 +1,16 @@
 // Weighted directed multigraph.
 //
 // The central object of the cut-sketching half of the library. Stored as an
-// edge list plus lazily maintained per-vertex adjacency offsets; supports
-// directed cut evaluation w(S, V∖S), per-vertex weighted in/out degrees,
-// reversal, symmetrization G + Gᵀ, and merging.
+// edge list plus a lazily built CSR adjacency index (flat offset + edge-id
+// arrays, no per-vertex vectors); supports directed cut evaluation
+// w(S, V∖S) — full-scan or volume-bounded via a precomputed degree index —
+// per-vertex weighted in/out degrees, reversal, symmetrization G + Gᵀ, and
+// merging.
 
 #ifndef DCS_GRAPH_DIGRAPH_H_
 #define DCS_GRAPH_DIGRAPH_H_
 
+#include <span>
 #include <vector>
 
 #include "graph/types.h"
@@ -15,6 +18,14 @@
 namespace dcs {
 
 class UndirectedGraph;
+
+// Per-vertex edge counts, precomputed once so repeated cut queries can pick
+// the cheaper traversal (out-edges of S vs in-edges of V∖S) in O(n) and
+// early-exit entirely on zero-volume sides.
+struct DegreeIndex {
+  std::vector<int64_t> out_count;
+  std::vector<int64_t> in_count;
+};
 
 // A weighted directed multigraph on vertices {0, ..., n−1}. Parallel edges
 // are allowed (weights add for all cut purposes); self-loops are rejected.
@@ -44,8 +55,18 @@ class DirectedGraph {
   double InDegree(VertexId v) const;
 
   // Directed cut value w(S, V∖S): total weight of edges leaving S.
-  // Requires side.size() == num_vertices().
+  // Requires side.size() == num_vertices(). O(m) edge scan.
   double CutWeight(const VertexSet& side) const;
+
+  // Volume-bounded overload: walks the CSR adjacency over whichever of
+  // S's out-edges or (V∖S)'s in-edges is smaller (early-exiting to 0 on
+  // empty volume), falling back to the edge scan when neither side is
+  // small. `index` must come from BuildDegreeIndex() on this graph with
+  // the current edge set.
+  double CutWeight(const VertexSet& side, const DegreeIndex& index) const;
+
+  // Snapshot of per-vertex edge counts for the overload above.
+  DegreeIndex BuildDegreeIndex() const;
 
   // Total weight of edges from S to T (S, T need not be disjoint; an edge
   // counts iff src ∈ S and dst ∈ T).
@@ -62,19 +83,29 @@ class DirectedGraph {
   void MergeFrom(const DirectedGraph& other);
 
   // Out-edges of v (indices into edges()).
-  const std::vector<int64_t>& OutEdgeIds(VertexId v) const;
+  std::span<const int64_t> OutEdgeIds(VertexId v) const;
   // In-edges of v (indices into edges()).
-  const std::vector<int64_t>& InEdgeIds(VertexId v) const;
+  std::span<const int64_t> InEdgeIds(VertexId v) const;
+
+  // Forces the lazy CSR adjacency to be built now. The lazy build is not
+  // thread-safe; call this before sharing a graph across threads so
+  // concurrent OutEdgeIds/InEdgeIds/CutWeight(side, index) calls only read
+  // immutable state.
+  void BuildAdjacency() const { EnsureAdjacency(); }
 
  private:
   void EnsureAdjacency() const;
 
   int num_vertices_;
   std::vector<Edge> edges_;
-  // Lazily built adjacency (invalidated by AddEdge/MergeFrom).
+  // Lazily built CSR adjacency (invalidated by AddEdge/MergeFrom):
+  // out-edge ids of v are out_edge_ids_[out_offsets_[v] ..
+  // out_offsets_[v+1]), likewise for in-edges.
   mutable bool adjacency_valid_ = false;
-  mutable std::vector<std::vector<int64_t>> out_edge_ids_;
-  mutable std::vector<std::vector<int64_t>> in_edge_ids_;
+  mutable std::vector<int64_t> out_offsets_;
+  mutable std::vector<int64_t> in_offsets_;
+  mutable std::vector<int64_t> out_edge_ids_;
+  mutable std::vector<int64_t> in_edge_ids_;
 };
 
 }  // namespace dcs

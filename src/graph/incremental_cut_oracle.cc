@@ -1,0 +1,47 @@
+#include "graph/incremental_cut_oracle.h"
+
+#include <utility>
+
+namespace dcs {
+
+IncrementalCutOracle::IncrementalCutOracle(const DirectedGraph& graph,
+                                           VertexSet side)
+    : graph_(graph), side_(std::move(side)) {
+  DCS_CHECK_EQ(static_cast<int>(side_.size()), graph_.num_vertices());
+  graph_.BuildAdjacency();
+  // Normalize membership bytes to 0/1 so Flip can toggle with XOR.
+  for (uint8_t& b : side_) b = static_cast<uint8_t>(b != 0);
+  value_ = graph_.CutWeight(side_);
+}
+
+void IncrementalCutOracle::Flip(VertexId v) {
+  DCS_DCHECK(v >= 0 && v < graph_.num_vertices());
+  const std::vector<Edge>& edges = graph_.edges();
+  // Moving v into S: out-edges v→u with u ∉ S start crossing, in-edges u→v
+  // with u ∈ S stop crossing (v no longer absorbs them outside). Moving v
+  // out of S is the exact mirror. Self-loops are rejected by AddEdge, so
+  // every opposite endpoint below is a vertex other than v whose membership
+  // is unaffected by the flip — the delta can be accumulated before or
+  // after toggling side_[v].
+  const double sign = side_[static_cast<size_t>(v)] ? -1.0 : 1.0;
+  double delta = 0;
+  for (int64_t id : graph_.OutEdgeIds(v)) {
+    const Edge& e = edges[static_cast<size_t>(id)];
+    if (!side_[static_cast<size_t>(e.dst)]) delta += e.weight;
+  }
+  for (int64_t id : graph_.InEdgeIds(v)) {
+    const Edge& e = edges[static_cast<size_t>(id)];
+    if (side_[static_cast<size_t>(e.src)]) delta -= e.weight;
+  }
+  value_ += sign * delta;
+  side_[static_cast<size_t>(v)] ^= 1;
+}
+
+void IncrementalCutOracle::Reset(VertexSet side) {
+  DCS_CHECK_EQ(static_cast<int>(side.size()), graph_.num_vertices());
+  side_ = std::move(side);
+  for (uint8_t& b : side_) b = static_cast<uint8_t>(b != 0);
+  value_ = graph_.CutWeight(side_);
+}
+
+}  // namespace dcs

@@ -1,0 +1,49 @@
+// Incremental directed cut maintenance under single-vertex side flips.
+//
+// The decoders of the lower-bound protocols (Sections 3–4) evaluate the cut
+// function on long sequences of sides that differ in one vertex — Gray-code
+// enumeration of half-size subsets, greedy single-swap refinement, the four
+// inclusion–exclusion sides of a for-each query. Rescanning all m edges per
+// side costs O(m) each; maintaining the value under a flip costs O(deg(v)):
+// moving v across the cut only changes the crossing status of edges incident
+// to v, and the sign of each contribution is determined by which side the
+// *other* endpoint is on.
+
+#ifndef DCS_GRAPH_INCREMENTAL_CUT_ORACLE_H_
+#define DCS_GRAPH_INCREMENTAL_CUT_ORACLE_H_
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+
+namespace dcs {
+
+// Maintains w(S, V∖S) for a mutable side S over a fixed graph.
+//
+// The initial value is computed with one O(m) scan; each Flip(v) is
+// O(deg(v)) via the graph's CSR adjacency. The referenced graph must
+// outlive the oracle and must not gain edges while it is in use.
+class IncrementalCutOracle {
+ public:
+  IncrementalCutOracle(const DirectedGraph& graph, VertexSet side);
+
+  // Current cut value w(S, V∖S).
+  double value() const { return value_; }
+  // Current side S.
+  const VertexSet& side() const { return side_; }
+
+  // Moves v to the other side of the cut and updates value() in O(deg(v)).
+  void Flip(VertexId v);
+
+  // Replaces the side entirely (one O(m) rescan); cheaper than
+  // reconstructing when the oracle is reused across candidate sides.
+  void Reset(VertexSet side);
+
+ private:
+  const DirectedGraph& graph_;
+  VertexSet side_;
+  double value_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_INCREMENTAL_CUT_ORACLE_H_

@@ -39,17 +39,20 @@ inline VertexSet MakeVertexSet(int n, const std::vector<VertexId>& members) {
   return set;
 }
 
-// Complement of a vertex set.
+// Complement of a vertex set. Branch-free: `!x` normalizes any nonzero
+// membership byte to 0 and zero to 1 without a conditional.
 inline VertexSet ComplementSet(const VertexSet& set) {
   VertexSet complement(set.size());
-  for (size_t i = 0; i < set.size(); ++i) complement[i] = set[i] ? 0 : 1;
+  for (size_t i = 0; i < set.size(); ++i) {
+    complement[i] = static_cast<uint8_t>(!set[i]);
+  }
   return complement;
 }
 
-// Number of members.
+// Number of members. Branch-free accumulation of normalized membership bits.
 inline int SetSize(const VertexSet& set) {
   int count = 0;
-  for (uint8_t bit : set) count += bit ? 1 : 0;
+  for (uint8_t bit : set) count += static_cast<int>(bit != 0);
   return count;
 }
 

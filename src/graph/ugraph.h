@@ -54,6 +54,11 @@ class UndirectedGraph {
   // undirected graph to directed algorithms such as Dinic).
   std::vector<Edge> AsDirectedEdges() const;
 
+  // Forces the lazy adjacency index to be built now. The lazy build is not
+  // thread-safe; call this before sharing a graph across threads so
+  // concurrent IncidentEdgeIds/Degree calls only read immutable state.
+  void BuildAdjacency() const { EnsureAdjacency(); }
+
  private:
   void EnsureAdjacency() const;
 

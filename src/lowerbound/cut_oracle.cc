@@ -1,9 +1,72 @@
 #include "lowerbound/cut_oracle.h"
 
+#include "graph/incremental_cut_oracle.h"
+
 namespace dcs {
+namespace {
+
+// Fallback session for oracles with no incremental structure (sketches,
+// ad-hoc lambdas): tracks the side and rescans on every Query.
+class RescanCutQuerySession : public CutQuerySession {
+ public:
+  RescanCutQuerySession(CutOracle::QueryFn query, VertexSet side)
+      : query_(std::move(query)), side_(std::move(side)) {
+    for (uint8_t& b : side_) b = static_cast<uint8_t>(b != 0);
+  }
+
+  void Flip(VertexId v) override {
+    DCS_DCHECK(v >= 0 && v < static_cast<VertexId>(side_.size()));
+    side_[static_cast<size_t>(v)] ^= 1;
+  }
+
+  double Query() override { return query_(side_); }
+
+ private:
+  CutOracle::QueryFn query_;
+  VertexSet side_;
+};
+
+// Incremental session over the exact graph, with an optional per-query
+// multiplicative noise factor (how the noisy oracles reuse the fast path:
+// the exact value is maintained incrementally, the factor stays per-query).
+class IncrementalCutSession : public CutQuerySession {
+ public:
+  IncrementalCutSession(const DirectedGraph& graph, VertexSet side,
+                        std::function<double()> factor = nullptr)
+      : cut_(graph, std::move(side)), factor_(std::move(factor)) {}
+
+  void Flip(VertexId v) override { cut_.Flip(v); }
+
+  double Query() override {
+    return factor_ ? cut_.value() * factor_() : cut_.value();
+  }
+
+ private:
+  IncrementalCutOracle cut_;
+  std::function<double()> factor_;
+};
+
+}  // namespace
+
+std::unique_ptr<CutQuerySession> CutOracle::BeginSession(
+    VertexSet side) const {
+  if (sessions_) return sessions_(std::move(side));
+  DCS_CHECK(static_cast<bool>(query_));
+  return std::make_unique<RescanCutQuerySession>(query_, std::move(side));
+}
 
 CutOracle ExactCutOracle(const DirectedGraph& graph) {
-  return [&graph](const VertexSet& side) { return graph.CutWeight(side); };
+  graph.BuildAdjacency();
+  const auto index =
+      std::make_shared<const DegreeIndex>(graph.BuildDegreeIndex());
+  return CutOracle(
+      [&graph, index](const VertexSet& side) {
+        return graph.CutWeight(side, *index);
+      },
+      [&graph](VertexSet side) -> std::unique_ptr<CutQuerySession> {
+        return std::make_unique<IncrementalCutSession>(graph,
+                                                       std::move(side));
+      });
 }
 
 CutOracle SketchCutOracle(const DirectedCutSketch& sketch) {
@@ -15,22 +78,35 @@ CutOracle SketchCutOracle(const DirectedCutSketch& sketch) {
 CutOracle NoisyCutOracle(const DirectedGraph& graph, double relative_error,
                          Rng& rng) {
   DCS_CHECK_GE(relative_error, 0);
-  return [&graph, relative_error, &rng](const VertexSet& side) {
-    const double exact = graph.CutWeight(side);
-    const double factor =
-        1 + relative_error * (2 * rng.UniformDouble() - 1);
-    return exact * factor;
+  graph.BuildAdjacency();
+  const auto factor = [relative_error, &rng]() {
+    return 1 + relative_error * (2 * rng.UniformDouble() - 1);
   };
+  return CutOracle(
+      [&graph, factor](const VertexSet& side) {
+        return graph.CutWeight(side) * factor();
+      },
+      [&graph, factor](VertexSet side) -> std::unique_ptr<CutQuerySession> {
+        return std::make_unique<IncrementalCutSession>(graph, std::move(side),
+                                                       factor);
+      });
 }
 
 CutOracle MaximalNoiseCutOracle(const DirectedGraph& graph,
                                 double relative_error, Rng& rng) {
   DCS_CHECK_GE(relative_error, 0);
-  return [&graph, relative_error, &rng](const VertexSet& side) {
-    const double exact = graph.CutWeight(side);
-    const double factor = 1 + relative_error * rng.RandomSign();
-    return exact * factor;
+  graph.BuildAdjacency();
+  const auto factor = [relative_error, &rng]() {
+    return 1 + relative_error * rng.RandomSign();
   };
+  return CutOracle(
+      [&graph, factor](const VertexSet& side) {
+        return graph.CutWeight(side) * factor();
+      },
+      [&graph, factor](VertexSet side) -> std::unique_ptr<CutQuerySession> {
+        return std::make_unique<IncrementalCutSession>(graph, std::move(side),
+                                                       factor);
+      });
 }
 
 }  // namespace dcs

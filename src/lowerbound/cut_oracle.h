@@ -1,17 +1,23 @@
 // Cut oracles: the decoder-facing abstraction of "a sketch Bob can query".
 //
 // The lower-bound decoders (Sections 3 and 4) only ever interact with
-// Alice's sketch through cut-value queries. Modeling that interaction as a
-// std::function lets the same decoder run against (a) the exact graph,
-// (b) any DirectedCutSketch implementation, or (c) an adversarially/
-// randomly perturbed oracle with a prescribed relative error — which is how
-// the experiments locate the accuracy threshold at which decoding collapses.
+// Alice's sketch through cut-value queries. CutOracle wraps the query
+// function — so the same decoder runs against (a) the exact graph, (b) any
+// DirectedCutSketch implementation, or (c) an adversarially/randomly
+// perturbed oracle with a prescribed relative error — and, when the backing
+// store supports it, hands out *incremental query sessions*: the decoders'
+// query sequences (Gray-code subset enumeration, greedy marginals, the four
+// inclusion–exclusion sides of a for-each probe) walk sides that differ in
+// a few vertices, so a session maintains the value under Flip(v) in
+// O(deg(v)) instead of rescanning all m edges per query.
 
 #ifndef DCS_LOWERBOUND_CUT_ORACLE_H_
 #define DCS_LOWERBOUND_CUT_ORACLE_H_
 
 #include <functional>
 #include <memory>
+#include <type_traits>
+#include <utility>
 
 #include "graph/digraph.h"
 #include "sketch/cut_sketch.h"
@@ -19,10 +25,71 @@
 
 namespace dcs {
 
-// Answers directed cut queries w(S, V∖S) (possibly approximately).
-using CutOracle = std::function<double(const VertexSet&)>;
+// A stateful cursor over cut sides: Flip moves one vertex across the cut,
+// Query returns the oracle's estimate for the current side. For noisy
+// oracles every Query draws fresh noise, exactly as a standalone query
+// would.
+class CutQuerySession {
+ public:
+  virtual ~CutQuerySession() = default;
 
-// Exact oracle backed by the graph itself.
+  // Moves v to the other side of the cut.
+  virtual void Flip(VertexId v) = 0;
+
+  // The oracle's estimate of w(S, V∖S) for the current side.
+  virtual double Query() = 0;
+};
+
+// Answers directed cut queries w(S, V∖S) (possibly approximately).
+//
+// Implicitly constructible from any callable double(const VertexSet&), so
+// ad-hoc lambdas keep working; oracles built by the factories below
+// additionally carry an incremental session factory. BeginSession always
+// succeeds — oracles without incremental support get a fallback session
+// that rescans via the query function.
+class CutOracle {
+ public:
+  using QueryFn = std::function<double(const VertexSet&)>;
+  using SessionFactory =
+      std::function<std::unique_ptr<CutQuerySession>(VertexSet)>;
+
+  CutOracle() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                std::is_invocable_r_v<double, F&, const VertexSet&> &&
+                !std::is_same_v<std::remove_cvref_t<F>, CutOracle>>>
+  CutOracle(F&& query)  // NOLINT(google-explicit-constructor)
+      : query_(std::forward<F>(query)) {}
+
+  CutOracle(QueryFn query, SessionFactory sessions)
+      : query_(std::move(query)), sessions_(std::move(sessions)) {}
+
+  // One-shot query.
+  double operator()(const VertexSet& side) const { return query_(side); }
+
+  explicit operator bool() const { return static_cast<bool>(query_); }
+
+  // Starts an incremental session positioned at `side`.
+  std::unique_ptr<CutQuerySession> BeginSession(VertexSet side) const;
+
+  // True if sessions answer Flip/Query incrementally rather than by rescan.
+  bool has_incremental_sessions() const {
+    return static_cast<bool>(sessions_);
+  }
+
+ private:
+  QueryFn query_;
+  SessionFactory sessions_;
+};
+
+// Oracle factories taking a per-trial random stream; used by the parallel
+// trial runners so every trial's randomness is self-contained.
+using SeededCutOracleFactory =
+    std::function<CutOracle(const DirectedGraph&, Rng&)>;
+
+// Exact oracle backed by the graph itself. One-shot queries use the
+// volume-bounded CutWeight overload; sessions are O(deg) incremental.
 CutOracle ExactCutOracle(const DirectedGraph& graph);
 
 // Oracle backed by a sketch (the sketch must outlive the oracle).

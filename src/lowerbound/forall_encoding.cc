@@ -5,6 +5,10 @@
 #include <numeric>
 #include <utility>
 
+#include "graph/incremental_cut_oracle.h"
+#include "util/combinations.h"
+#include "util/thread_pool.h"
+
 namespace dcs {
 
 void ForAllLowerBoundParams::Check() const {
@@ -82,6 +86,9 @@ ForAllDecoder::ForAllDecoder(const ForAllLowerBoundParams& params)
       }
     }
   }
+  // Trial runners share one decoder across threads; force the lazy
+  // adjacency build now so later const access is read-only.
+  backward_skeleton_.BuildAdjacency();
 }
 
 VertexSet ForAllDecoder::BuildQuerySide(const ForAllStringLocation& loc,
@@ -132,35 +139,53 @@ VertexSet ForAllDecoder::SelectBestSubset(int64_t string_index,
   const ForAllStringLocation loc = LocateForAllString(params_, string_index);
   const int k = params_.layer_size();
   const int half = k / 2;
+  const int left_base = loc.layer_pair * k;
   if (mode == SubsetSelection::kEnumerate) {
-    // All half-size subsets via selector permutations (descending start so
-    // std::prev_permutation walks every combination).
-    std::vector<uint8_t> selector(static_cast<size_t>(k), 0);
-    for (int i = 0; i < half; ++i) selector[static_cast<size_t>(i)] = 1;
-    std::sort(selector.begin(), selector.end(), std::greater<uint8_t>());
-    VertexSet best;
-    double best_value = -std::numeric_limits<double>::infinity();
-    do {
-      VertexSet u_subset(selector.begin(), selector.end());
-      const double value = CorrectedEstimate(loc, t, u_subset, oracle);
+    // All C(k, k/2) half-size subsets in revolving-door (Gray-code) order:
+    // consecutive subsets differ by one swap, so after the initial query
+    // every candidate costs two O(deg) flips plus one session query instead
+    // of an O(m) rescan. The fixed backward weight is maintained by its own
+    // incremental oracle over the public skeleton.
+    VertexSet u_subset(static_cast<size_t>(k), 0);
+    for (int i = 0; i < half; ++i) u_subset[static_cast<size_t>(i)] = 1;
+    const auto session =
+        oracle.BeginSession(BuildQuerySide(loc, t, u_subset));
+    IncrementalCutOracle fixed(backward_skeleton_,
+                               BuildQuerySide(loc, t, u_subset));
+    VertexSet best = u_subset;
+    double best_value = session->Query() - fixed.value();
+    VisitRevolvingDoorSwaps(k, half, [&](int out, int in) {
+      u_subset[static_cast<size_t>(out)] = 0;
+      u_subset[static_cast<size_t>(in)] = 1;
+      session->Flip(left_base + out);
+      session->Flip(left_base + in);
+      fixed.Flip(left_base + out);
+      fixed.Flip(left_base + in);
+      const double value = session->Query() - fixed.value();
       if (value > best_value) {
         best_value = value;
-        best = std::move(u_subset);
+        best = u_subset;
       }
-    } while (std::prev_permutation(selector.begin(), selector.end()));
+    });
     return best;
   }
-  // Greedy: per-node marginals from k+1 queries. For modular estimators
-  // (all sketches in this library) the top-half by marginal is exactly the
+  // Greedy: per-node marginals from k+1 queries (base plus one per node,
+  // each two flips away from the base side). For modular estimators (all
+  // sketches in this library) the top-half by marginal is exactly the
   // enumeration argmax.
   const VertexSet empty(static_cast<size_t>(k), 0);
-  const double base_value = CorrectedEstimate(loc, t, empty, oracle);
+  const auto session = oracle.BeginSession(BuildQuerySide(loc, t, empty));
+  IncrementalCutOracle fixed(backward_skeleton_,
+                             BuildQuerySide(loc, t, empty));
+  const double base_value = session->Query() - fixed.value();
   std::vector<std::pair<double, int>> marginals;
   marginals.reserve(static_cast<size_t>(k));
   for (int i = 0; i < k; ++i) {
-    VertexSet single(static_cast<size_t>(k), 0);
-    single[static_cast<size_t>(i)] = 1;
-    const double value = CorrectedEstimate(loc, t, single, oracle);
+    session->Flip(left_base + i);
+    fixed.Flip(left_base + i);
+    const double value = session->Query() - fixed.value();
+    session->Flip(left_base + i);
+    fixed.Flip(left_base + i);
     marginals.emplace_back(value - base_value, i);
   }
   std::sort(marginals.begin(), marginals.end(),
@@ -209,6 +234,40 @@ ForAllTrialResult RunForAllTrials(
     ++result.trials;
     if (decided_far == instance.is_far) ++result.correct;
   }
+  return result;
+}
+
+ForAllTrialResult RunForAllTrials(const ForAllLowerBoundParams& params,
+                                  int num_trials, uint64_t base_seed,
+                                  const SeededCutOracleFactory& oracle_factory,
+                                  ForAllDecoder::SubsetSelection mode,
+                                  int num_threads) {
+  params.Check();
+  DCS_CHECK_GE(num_trials, 0);
+  const ForAllEncoder encoder(params);
+  const ForAllDecoder decoder(params);
+  GapHammingParams gh_params;
+  gh_params.num_strings = static_cast<int>(params.total_strings());
+  gh_params.string_length = params.inv_epsilon_sq;
+  gh_params.gap_c = params.gap_c;
+  // Trial i draws everything (instance and oracle noise) from its own
+  // Rng(SubtaskSeed(base_seed, i)), so the outcome of each trial — and
+  // therefore the aggregate — is bit-identical for every num_threads.
+  std::vector<uint8_t> trial_correct(static_cast<size_t>(num_trials), 0);
+  ParallelFor(num_threads, num_trials, [&](int64_t trial) {
+    Rng rng(SubtaskSeed(base_seed, trial));
+    const GapHammingInstance instance =
+        SampleGapHammingInstance(gh_params, rng);
+    const DirectedGraph graph = encoder.Encode(instance.s);
+    const CutOracle oracle = oracle_factory(graph, rng);
+    const bool decided_far =
+        decoder.DecideFar(instance.index, instance.t, oracle, mode);
+    trial_correct[static_cast<size_t>(trial)] =
+        decided_far == instance.is_far ? 1 : 0;
+  });
+  ForAllTrialResult result;
+  result.trials = num_trials;
+  for (const uint8_t correct : trial_correct) result.correct += correct;
   return result;
 }
 

@@ -138,6 +138,14 @@ ForAllTrialResult RunForAllTrials(
     const std::function<CutOracle(const DirectedGraph&)>& oracle_factory,
     ForAllDecoder::SubsetSelection mode);
 
+// Parallel, seed-deterministic variant: trial i draws its instance and its
+// oracle noise from a private Rng(SubtaskSeed(base_seed, i)), so the result is
+// bit-identical for every num_threads (1 runs serially on the caller).
+ForAllTrialResult RunForAllTrials(
+    const ForAllLowerBoundParams& params, int num_trials, uint64_t base_seed,
+    const SeededCutOracleFactory& oracle_factory,
+    ForAllDecoder::SubsetSelection mode, int num_threads);
+
 }  // namespace dcs
 
 #endif  // DCS_LOWERBOUND_FORALL_ENCODING_H_

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <utility>
 
+#include "graph/incremental_cut_oracle.h"
+#include "util/thread_pool.h"
+
 namespace dcs {
 namespace {
 
@@ -144,18 +147,20 @@ ForEachDecoder::ForEachDecoder(const ForEachLowerBoundParams& params)
     AddBackwardEdges(backward_skeleton_, k, p * k, (p + 1) * k,
                      params_.backward_weight());
   }
+  // Trial runners share one decoder across threads; force the lazy
+  // adjacency build now so later const access is read-only.
+  backward_skeleton_.BuildAdjacency();
 }
 
-ForEachDecoder::QueryPlan ForEachDecoder::PlanQueries(int64_t q) const {
-  const ForEachBitLocation loc = LocateForEachBit(params_, q);
+std::array<VertexSet, 4> ForEachDecoder::BuildQuerySides(
+    const ForEachBitLocation& loc) const {
   const int inv_eps = params_.inv_epsilon;
   const int k = params_.layer_size();
   const int n = params_.num_vertices();
   const std::vector<int8_t> h_a = tensor_.LeftFactor(loc.tensor_row);
   const std::vector<int8_t> h_b = tensor_.RightFactor(loc.tensor_row);
 
-  QueryPlan plan;
-  plan.signs = {+1, -1, -1, +1};
+  std::array<VertexSet, 4> sides;
   // Query index: 0 → (A,B), 1 → (Ā,B), 2 → (A,B̄), 3 → (Ā,B̄).
   for (int query = 0; query < 4; ++query) {
     const bool use_complement_a = (query == 1 || query == 3);
@@ -186,22 +191,58 @@ ForEachDecoder::QueryPlan ForEachDecoder::PlanQueries(int64_t q) const {
     for (int v = (loc.layer_pair + 2) * k; v < n; ++v) {
       side[static_cast<size_t>(v)] = 1;
     }
+    sides[static_cast<size_t>(query)] = std::move(side);
+  }
+  return sides;
+}
+
+ForEachDecoder::QueryPlan ForEachDecoder::PlanQueries(int64_t q) const {
+  const ForEachBitLocation loc = LocateForEachBit(params_, q);
+  QueryPlan plan;
+  plan.signs = {+1, -1, -1, +1};
+  plan.cut_sides = BuildQuerySides(loc);
+  for (int query = 0; query < 4; ++query) {
     plan.fixed_weights[static_cast<size_t>(query)] =
-        backward_skeleton_.CutWeight(side);
-    plan.cut_sides[static_cast<size_t>(query)] = std::move(side);
+        backward_skeleton_.CutWeight(
+            plan.cut_sides[static_cast<size_t>(query)]);
   }
   return plan;
 }
 
 double ForEachDecoder::EstimateInnerProduct(int64_t q,
                                             const CutOracle& oracle) const {
-  const QueryPlan plan = PlanQueries(q);
+  const ForEachBitLocation loc = LocateForEachBit(params_, q);
+  const std::array<VertexSet, 4> sides = BuildQuerySides(loc);
+  // Consecutive query sides differ only inside clusters L_i and R_j
+  // (2·(1/ε) vertices), so one oracle session plus an incremental skeleton
+  // oracle answer all four queries with O(1/ε) flips between them instead
+  // of four O(m) rescans. Query order and per-query noise draws match the
+  // one-shot path exactly.
+  const int k = params_.layer_size();
+  const int inv_eps = params_.inv_epsilon;
+  const int left_base = loc.layer_pair * k + loc.left_cluster * inv_eps;
+  const int right_base =
+      (loc.layer_pair + 1) * k + loc.right_cluster * inv_eps;
+  const auto session = oracle.BeginSession(sides[0]);
+  IncrementalCutOracle fixed(backward_skeleton_, sides[0]);
+  static constexpr std::array<int, 4> kSigns = {+1, -1, -1, +1};
   double estimate = 0;
   for (int query = 0; query < 4; ++query) {
-    const double cut_value = oracle(plan.cut_sides[static_cast<size_t>(query)]);
-    const double forward_part =
-        cut_value - plan.fixed_weights[static_cast<size_t>(query)];
-    estimate += plan.signs[static_cast<size_t>(query)] * forward_part;
+    if (query > 0) {
+      const VertexSet& prev = sides[static_cast<size_t>(query - 1)];
+      const VertexSet& next = sides[static_cast<size_t>(query)];
+      for (const int base : {left_base, right_base}) {
+        for (int off = 0; off < inv_eps; ++off) {
+          const size_t v = static_cast<size_t>(base + off);
+          if (prev[v] != next[v]) {
+            session->Flip(base + off);
+            fixed.Flip(base + off);
+          }
+        }
+      }
+    }
+    estimate += kSigns[static_cast<size_t>(query)] *
+                (session->Query() - fixed.value());
   }
   return estimate;
 }
@@ -227,6 +268,30 @@ ForEachTrialResult RunForEachTrial(
     const int8_t decoded = decoder.DecodeBit(q, oracle);
     ++result.probes;
     if (decoded == s[static_cast<size_t>(q)]) ++result.correct;
+  }
+  return result;
+}
+
+ForEachTrialResult RunForEachTrials(const ForEachLowerBoundParams& params,
+                                    int num_trials, int probe_count,
+                                    uint64_t base_seed,
+                                    const SeededCutOracleFactory& oracle_factory,
+                                    int num_threads) {
+  params.Check();
+  DCS_CHECK_GE(num_trials, 0);
+  std::vector<ForEachTrialResult> slots(static_cast<size_t>(num_trials));
+  ParallelFor(num_threads, num_trials, [&](int64_t trial) {
+    Rng rng(SubtaskSeed(base_seed, trial));
+    slots[static_cast<size_t>(trial)] = RunForEachTrial(
+        params, probe_count, rng,
+        [&oracle_factory, &rng](const DirectedGraph& graph) {
+          return oracle_factory(graph, rng);
+        });
+  });
+  ForEachTrialResult result;
+  for (const ForEachTrialResult& slot : slots) {
+    result.probes += slot.probes;
+    result.correct += slot.correct;
   }
   return result;
 }

@@ -144,6 +144,13 @@ class ForEachDecoder {
   double EstimateInnerProduct(int64_t q, const CutOracle& oracle) const;
 
  private:
+  // The four cut sides for bit location `loc`, in query order
+  // (A,B), (Ā,B), (A,B̄), (Ā,B̄). Consecutive sides differ only inside the
+  // two clusters L_i and R_j, which is what makes the session-based decode
+  // cheap.
+  std::array<VertexSet, 4> BuildQuerySides(
+      const ForEachBitLocation& loc) const;
+
   ForEachLowerBoundParams params_;
   TensorSignMatrix tensor_;
   // Backward-edge-only skeleton graph: all (publicly known) fixed weights.
@@ -163,6 +170,16 @@ struct ForEachTrialResult {
 ForEachTrialResult RunForEachTrial(
     const ForEachLowerBoundParams& params, int probe_count, Rng& rng,
     const std::function<CutOracle(const DirectedGraph&)>& oracle_factory);
+
+// Runs `num_trials` independent trials of `probe_count` probes each and
+// aggregates. Trial i draws its string, probes, and oracle noise from a
+// private Rng(SubtaskSeed(base_seed, i)), so the result is bit-identical for
+// every
+// num_threads (1 runs serially on the caller).
+ForEachTrialResult RunForEachTrials(
+    const ForEachLowerBoundParams& params, int num_trials, int probe_count,
+    uint64_t base_seed, const SeededCutOracleFactory& oracle_factory,
+    int num_threads);
 
 }  // namespace dcs
 

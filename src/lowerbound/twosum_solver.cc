@@ -2,6 +2,7 @@
 
 #include "lowerbound/twosum_graph.h"
 #include "lowerbound/twosum_oracle.h"
+#include "util/thread_pool.h"
 
 namespace dcs {
 
@@ -28,6 +29,22 @@ TwoSumSolveResult SolveTwoSumViaMinCut(const TwoSumInstance& instance,
       static_cast<double>(instance.params.num_pairs) -
       mincut.estimate / (2.0 * instance.params.alpha);
   return result;
+}
+
+std::vector<TwoSumSolveResult> SolveTwoSumViaMinCutRepeated(
+    const TwoSumInstance& instance, double epsilon, int repetitions,
+    uint64_t base_seed, SearchMode mode, int num_threads) {
+  DCS_CHECK_GE(repetitions, 0);
+  std::vector<TwoSumSolveResult> results(static_cast<size_t>(repetitions));
+  // Each repetition owns Rng(SubtaskSeed(base_seed, i)) and its own protocol
+  // transcript, so the per-repetition results are bit-identical for every
+  // num_threads.
+  ParallelFor(num_threads, repetitions, [&](int64_t rep) {
+    Rng rng(SubtaskSeed(base_seed, rep));
+    results[static_cast<size_t>(rep)] =
+        SolveTwoSumViaMinCut(instance, epsilon, rng, mode);
+  });
+  return results;
 }
 
 }  // namespace dcs

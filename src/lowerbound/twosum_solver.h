@@ -11,6 +11,9 @@
 #ifndef DCS_LOWERBOUND_TWOSUM_SOLVER_H_
 #define DCS_LOWERBOUND_TWOSUM_SOLVER_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "comm/two_sum.h"
 #include "localquery/mincut_estimator.h"
 #include "util/random.h"
@@ -30,6 +33,16 @@ struct TwoSumSolveResult {
 TwoSumSolveResult SolveTwoSumViaMinCut(
     const TwoSumInstance& instance, double epsilon, Rng& rng,
     SearchMode mode = SearchMode::kModifiedConstantSearch);
+
+// Runs the reduction `repetitions` times with independent estimator
+// randomness (repetition i uses a private Rng(SubtaskSeed(base_seed, i)))
+// and returns
+// the per-repetition results in repetition order. Bit-identical for every
+// num_threads (1 runs serially on the caller).
+std::vector<TwoSumSolveResult> SolveTwoSumViaMinCutRepeated(
+    const TwoSumInstance& instance, double epsilon, int repetitions,
+    uint64_t base_seed, SearchMode mode = SearchMode::kModifiedConstantSearch,
+    int num_threads = 1);
 
 }  // namespace dcs
 

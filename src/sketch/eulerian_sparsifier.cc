@@ -24,7 +24,7 @@ std::vector<WeightedCycle> DecomposeIntoCycles(const DirectedGraph& graph) {
   // Per-vertex cursor into its out-edge list, advanced past spent edges.
   std::vector<size_t> cursor(static_cast<size_t>(n), 0);
   auto next_out_edge = [&](VertexId v) -> int64_t {
-    const std::vector<int64_t>& out = graph.OutEdgeIds(v);
+    const std::span<const int64_t> out = graph.OutEdgeIds(v);
     while (cursor[static_cast<size_t>(v)] < out.size()) {
       const int64_t id = out[cursor[static_cast<size_t>(v)]];
       if (remaining[static_cast<size_t>(id)] > kWeightTolerance) return id;

@@ -1,0 +1,41 @@
+#include "util/combinations.h"
+
+namespace dcs {
+namespace {
+
+// Transition sequences of S(n, t) and reverse(S(n, t)), emitted via the
+// recursion in the header. The endpoint subsets needed for the junction
+// swaps have closed forms:
+//   first(S(n, t)) = {0, ..., t−1}
+//   last(S(n, t))  = {0, ..., t−2} ∪ {n−1}     (t >= 1)
+// so the forward junction last(S(n−1, t)) → last(S(n−1, t−1)) ∪ {n−1}
+// removes t−2 (or n−2 when t == 1) and inserts n−1.
+
+using SwapFn = std::function<void(int, int)>;
+
+void EmitForward(int n, int t, const SwapFn& swap);
+void EmitBackward(int n, int t, const SwapFn& swap);
+
+void EmitForward(int n, int t, const SwapFn& swap) {
+  if (t == 0 || t == n) return;  // singleton list, no transitions
+  EmitForward(n - 1, t, swap);
+  swap(t == 1 ? n - 2 : t - 2, n - 1);
+  EmitBackward(n - 1, t - 1, swap);
+}
+
+void EmitBackward(int n, int t, const SwapFn& swap) {
+  if (t == 0 || t == n) return;
+  EmitForward(n - 1, t - 1, swap);
+  swap(n - 1, t == 1 ? n - 2 : t - 2);
+  EmitBackward(n - 1, t, swap);
+}
+
+}  // namespace
+
+void VisitRevolvingDoorSwaps(int n, int t, const SwapFn& swap) {
+  DCS_CHECK_GE(t, 0);
+  DCS_CHECK_LE(t, n);
+  EmitForward(n, t, swap);
+}
+
+}  // namespace dcs

@@ -1,0 +1,30 @@
+// Revolving-door (Gray code) enumeration of fixed-size subsets.
+//
+// Visits all C(n, t) t-subsets of {0, ..., n−1} so that consecutive
+// subsets differ by exactly one element swap (one out, one in) — the
+// combinatorial Gray code of Knuth 7.2.1.3 / Nijenhuis–Wilf, built from
+// the recursion  S(n, t) = S(n−1, t), then reverse(S(n−1, t−1)) ⊎ {n−1}.
+//
+// This is the enumeration order behind ForAllDecoder's exhaustive subset
+// search (Lemma 4.4): against an incremental cut oracle each successive
+// candidate costs two O(deg) vertex flips instead of an O(m) rescan.
+
+#ifndef DCS_UTIL_COMBINATIONS_H_
+#define DCS_UTIL_COMBINATIONS_H_
+
+#include <functional>
+
+#include "util/check.h"
+
+namespace dcs {
+
+// The first subset of the revolving-door order is always {0, ..., t−1}.
+// `swap(out, in)` is then invoked C(n, t) − 1 times; applying each swap
+// (remove `out`, insert `in`) to the current subset yields the next one.
+// Requires 0 <= t <= n. Amortized O(1) work per visited subset.
+void VisitRevolvingDoorSwaps(int n, int t,
+                             const std::function<void(int out, int in)>& swap);
+
+}  // namespace dcs
+
+#endif  // DCS_UTIL_COMBINATIONS_H_

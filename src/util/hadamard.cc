@@ -19,26 +19,29 @@ int HadamardMatrix::Entry(int row, int col) const {
 }
 
 std::vector<int8_t> HadamardMatrix::Row(int row) const {
-  std::vector<int8_t> values(static_cast<size_t>(size_));
-  for (int col = 0; col < size_; ++col) {
-    values[static_cast<size_t>(col)] = static_cast<int8_t>(Entry(row, col));
-  }
-  return values;
+  return PackedRow(row).ToSigns();
+}
+
+SignVector HadamardMatrix::PackedRow(int row) const {
+  DCS_CHECK(row >= 0 && row < size_);
+  return SignVector::HadamardRow(row, log_size_);
 }
 
 namespace {
 
 template <typename T>
-void FwhtImpl(std::vector<T>& values) {
-  const size_t n = values.size();
+void FwhtImpl(T* data, size_t n, size_t stride) {
   DCS_CHECK(n > 0 && (n & (n - 1)) == 0);
+  DCS_CHECK_GE(stride, size_t{1});
   for (size_t len = 1; len < n; len <<= 1) {
     for (size_t block = 0; block < n; block += len << 1) {
       for (size_t i = block; i < block + len; ++i) {
-        const T a = values[i];
-        const T b = values[i + len];
-        values[i] = a + b;
-        values[i + len] = a - b;
+        T& lo = data[i * stride];
+        T& hi = data[(i + len) * stride];
+        const T a = lo;
+        const T b = hi;
+        lo = a + b;
+        hi = a - b;
       }
     }
   }
@@ -47,11 +50,19 @@ void FwhtImpl(std::vector<T>& values) {
 }  // namespace
 
 void FastWalshHadamardTransform(std::vector<int64_t>& values) {
-  FwhtImpl(values);
+  FwhtImpl(values.data(), values.size(), 1);
 }
 
 void FastWalshHadamardTransform(std::vector<double>& values) {
-  FwhtImpl(values);
+  FwhtImpl(values.data(), values.size(), 1);
+}
+
+void FastWalshHadamardTransform(int64_t* data, size_t n, size_t stride) {
+  FwhtImpl(data, n, stride);
+}
+
+void FastWalshHadamardTransform(double* data, size_t n, size_t stride) {
+  FwhtImpl(data, n, stride);
 }
 
 TensorSignMatrix::TensorSignMatrix(int log_size)
@@ -88,46 +99,57 @@ std::vector<int8_t> TensorSignMatrix::RightFactor(int64_t t) const {
   return hadamard_.Row(RowFactors(t).second);
 }
 
+SignVector TensorSignMatrix::LeftFactorPacked(int64_t t) const {
+  return hadamard_.PackedRow(RowFactors(t).first);
+}
+
+SignVector TensorSignMatrix::RightFactorPacked(int64_t t) const {
+  return hadamard_.PackedRow(RowFactors(t).second);
+}
+
+int64_t TensorSignMatrix::RowInnerProduct(int64_t t, int64_t t_other) const {
+  return LeftFactorPacked(t).InnerProduct(LeftFactorPacked(t_other)) *
+         RightFactorPacked(t).InnerProduct(RightFactorPacked(t_other));
+}
+
 std::vector<int64_t> TensorSignMatrix::EncodeSigns(
     const std::vector<int8_t>& z) const {
   DCS_CHECK_EQ(static_cast<int64_t>(z.size()), rows_);
-  const int n = block_size_;
-  // Arrange z into an N×N coefficient matrix Z with Z[i][j] = z_t for the
-  // row t whose factors are (i, j); row/column 0 are zero (the all-ones
-  // Hadamard row is excluded by the construction). Then
-  //   x[a*N + b] = Σ_{i,j} Z[i][j]·H(i,a)·H(j,b)
-  // which is a Walsh–Hadamard transform along each dimension (H is
-  // symmetric, so transforming rows then columns computes exactly this).
-  std::vector<std::vector<int64_t>> coeff(
-      static_cast<size_t>(n), std::vector<int64_t>(static_cast<size_t>(n), 0));
+  const size_t n = static_cast<size_t>(block_size_);
+  // Arrange z into a flat row-major N×N coefficient matrix X with
+  // X[i·N + j] = z_t for the row t whose factors are (i, j); row/column 0
+  // stay zero (the all-ones Hadamard row is excluded by the construction).
+  // Then x[a·N + b] = Σ_{i,j} X[i·N+j]·H(i,a)·H(j,b), a Walsh–Hadamard
+  // transform along each dimension (H is symmetric, so transforming rows
+  // then columns computes exactly this) — and the transformed buffer *is*
+  // the answer, already in the a·N + b layout.
+  std::vector<int64_t> x(static_cast<size_t>(cols_), 0);
   for (int64_t t = 0; t < rows_; ++t) {
     const auto [i, j] = RowFactors(t);
-    coeff[static_cast<size_t>(i)][static_cast<size_t>(j)] =
+    x[static_cast<size_t>(i) * n + static_cast<size_t>(j)] =
         z[static_cast<size_t>(t)];
   }
-  // Transform along j for each fixed i.
-  for (int i = 0; i < n; ++i) {
-    FastWalshHadamardTransform(coeff[static_cast<size_t>(i)]);
+  // Transform along j for each fixed i (contiguous rows).
+  for (size_t i = 0; i < n; ++i) {
+    FastWalshHadamardTransform(x.data() + i * n, n, 1);
   }
-  // Transform along i for each fixed b.
-  std::vector<int64_t> column(static_cast<size_t>(n));
-  for (int b = 0; b < n; ++b) {
-    for (int i = 0; i < n; ++i) {
-      column[static_cast<size_t>(i)] =
-          coeff[static_cast<size_t>(i)][static_cast<size_t>(b)];
-    }
-    FastWalshHadamardTransform(column);
-    for (int a = 0; a < n; ++a) {
-      coeff[static_cast<size_t>(a)][static_cast<size_t>(b)] =
-          column[static_cast<size_t>(a)];
-    }
-  }
-  std::vector<int64_t> x(static_cast<size_t>(cols_));
-  for (int a = 0; a < n; ++a) {
-    for (int b = 0; b < n; ++b) {
-      x[static_cast<size_t>(a) * static_cast<size_t>(n) +
-        static_cast<size_t>(b)] =
-          coeff[static_cast<size_t>(a)][static_cast<size_t>(b)];
+  // Transform along i. Rather than running one stride-N FWHT per column
+  // (N passes that each touch one element per cache line), run the
+  // butterfly stages over whole rows: each (row a, row a+len) pair is
+  // combined element-wise in a single contiguous sweep, so every stage
+  // streams the buffer once.
+  for (size_t len = 1; len < n; len <<= 1) {
+    for (size_t block = 0; block < n; block += len << 1) {
+      for (size_t a = block; a < block + len; ++a) {
+        int64_t* lo = x.data() + a * n;
+        int64_t* hi = x.data() + (a + len) * n;
+        for (size_t col = 0; col < n; ++col) {
+          const int64_t u = lo[col];
+          const int64_t v = hi[col];
+          lo[col] = u + v;
+          hi[col] = u - v;
+        }
+      }
     }
   }
   return x;

@@ -10,10 +10,12 @@
 // The construction takes rows 2..2^k of the Sylvester–Hadamard matrix
 // H_{2^k} and uses all (2^k−1)² tensor products H_i ⊗ H_j.
 //
-// Entries are computed on demand (H(i,j) = (−1)^popcount(i AND j)); nothing
-// is materialized. Encoding Σ_t z_t·M_t uses a two-dimensional fast
-// Walsh–Hadamard transform, O(N²·log N) for N = 2^k instead of the naive
-// O(N⁴).
+// Entries are computed on demand (H(i,j) = (−1)^popcount(i AND j)); rows
+// are handed out bit-packed (SignVector, 64 signs/word) so factor inner
+// products are XOR + popcount. Encoding Σ_t z_t·M_t uses a two-dimensional
+// fast Walsh–Hadamard transform over one flat row-major N×N buffer
+// (contiguous row passes + strided column passes), O(N²·log N) for
+// N = 2^k instead of the naive O(N⁴).
 
 #ifndef DCS_UTIL_HADAMARD_H_
 #define DCS_UTIL_HADAMARD_H_
@@ -22,6 +24,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/sign_vector.h"
 
 namespace dcs {
 
@@ -42,6 +45,10 @@ class HadamardMatrix {
   // Returns row `row` as a ±1 vector of length size().
   std::vector<int8_t> Row(int row) const;
 
+  // Returns row `row` bit-packed (64 signs/word); inner products between
+  // packed rows are popcount-based.
+  SignVector PackedRow(int row) const;
+
  private:
   int log_size_;
   int size_;
@@ -51,6 +58,12 @@ class HadamardMatrix {
 // (unnormalized: applying twice multiplies by 2^k).
 void FastWalshHadamardTransform(std::vector<int64_t>& values);
 void FastWalshHadamardTransform(std::vector<double>& values);
+
+// Strided in-place FWHT over `n` elements at data[0], data[stride],
+// data[2·stride], …; the column passes of the 2-D transform run directly
+// on the flat row-major buffer with stride = row length.
+void FastWalshHadamardTransform(int64_t* data, size_t n, size_t stride);
+void FastWalshHadamardTransform(double* data, size_t n, size_t stride);
 
 // The Lemma 3.2 matrix M for block size N = 2^log_size.
 //
@@ -81,8 +94,17 @@ class TensorSignMatrix {
   // The right factor v of M_t = u ⊗ v, as a ±1 vector of length N.
   std::vector<int8_t> RightFactor(int64_t t) const;
 
+  // Bit-packed factors (the fast path used by the decoders).
+  SignVector LeftFactorPacked(int64_t t) const;
+  SignVector RightFactorPacked(int64_t t) const;
+
+  // ⟨M_t, M_t'⟩ = ⟨u, u'⟩·⟨v, v'⟩ via packed popcount inner products,
+  // O(N/64) words instead of O(N²) entries.
+  int64_t RowInnerProduct(int64_t t, int64_t t_other) const;
+
   // Computes x = Σ_t z_t · M_t for a sign vector z of length rows().
-  // Returned vector has length cols(). Uses a 2-D FWHT.
+  // Returned vector has length cols(). Uses a 2-D FWHT over a single flat
+  // buffer (no per-row vectors, no column copies).
   std::vector<int64_t> EncodeSigns(const std::vector<int8_t>& z) const;
 
   // ⟨x, M_t⟩ computed directly (O(cols())); used by decoders and tests.

@@ -82,6 +82,20 @@ class Rng {
   uint64_t state_[4];
 };
 
+// Derives the seed for independent subtask `index` (a trial, repetition, or
+// probe batch) of a run seeded with `base_seed`. The splitmix64 finalizer
+// decorrelates the pair: a plain `base_seed ^ index` or `base_seed + index`
+// would map nearby base seeds to the *same set* of per-subtask streams
+// (merely permuted), making order-invariant aggregates identical across
+// seeds.
+inline uint64_t SubtaskSeed(uint64_t base_seed, int64_t index) {
+  uint64_t z = base_seed +
+               0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(index) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 }  // namespace dcs
 
 #endif  // DCS_UTIL_RANDOM_H_

@@ -1,0 +1,74 @@
+#include "util/sign_vector.h"
+
+#include <bit>
+
+namespace dcs {
+
+SignVector::SignVector(int64_t size) : size_(size) {
+  DCS_CHECK_GE(size, 0);
+  words_.assign(static_cast<size_t>((size + 63) >> 6), 0);
+}
+
+SignVector SignVector::FromSigns(const std::vector<int8_t>& signs) {
+  SignVector packed(static_cast<int64_t>(signs.size()));
+  for (size_t i = 0; i < signs.size(); ++i) {
+    DCS_CHECK(signs[i] == 1 || signs[i] == -1);
+    if (signs[i] < 0) {
+      packed.words_[i >> 6] |= uint64_t{1} << (i & 63);
+    }
+  }
+  return packed;
+}
+
+SignVector SignVector::HadamardRow(int row, int log_size) {
+  DCS_CHECK_GE(log_size, 0);
+  DCS_CHECK_LE(log_size, 30);
+  const int64_t n = int64_t{1} << log_size;
+  DCS_CHECK(row >= 0 && row < n);
+  SignVector packed(n);
+  for (int64_t col = 0; col < n; ++col) {
+    const unsigned overlap =
+        static_cast<unsigned>(row) & static_cast<unsigned>(col);
+    if (std::popcount(overlap) & 1) {
+      packed.words_[static_cast<size_t>(col >> 6)] |= uint64_t{1}
+                                                      << (col & 63);
+    }
+  }
+  return packed;
+}
+
+void SignVector::SetSign(int64_t i, int sign) {
+  DCS_CHECK(i >= 0 && i < size_);
+  DCS_CHECK(sign == 1 || sign == -1);
+  const uint64_t mask = uint64_t{1} << (i & 63);
+  if (sign < 0) {
+    words_[static_cast<size_t>(i >> 6)] |= mask;
+  } else {
+    words_[static_cast<size_t>(i >> 6)] &= ~mask;
+  }
+}
+
+int64_t SignVector::InnerProduct(const SignVector& other) const {
+  DCS_CHECK_EQ(size_, other.size_);
+  int64_t disagreements = 0;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    disagreements += std::popcount(words_[w] ^ other.words_[w]);
+  }
+  return size_ - 2 * disagreements;
+}
+
+int64_t SignVector::SumOfSigns() const {
+  int64_t negatives = 0;
+  for (const uint64_t word : words_) negatives += std::popcount(word);
+  return size_ - 2 * negatives;
+}
+
+std::vector<int8_t> SignVector::ToSigns() const {
+  std::vector<int8_t> signs(static_cast<size_t>(size_));
+  for (int64_t i = 0; i < size_; ++i) {
+    signs[static_cast<size_t>(i)] = static_cast<int8_t>(Sign(i));
+  }
+  return signs;
+}
+
+}  // namespace dcs

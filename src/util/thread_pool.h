@@ -1,0 +1,143 @@
+// A small fixed thread pool and the ParallelFor trial-parallelism helper.
+//
+// The pool is deliberately work-stealing-free: ParallelFor hands out loop
+// indices through a single atomic counter, so every worker (including the
+// calling thread) pulls the next undone index until the range is drained.
+// Determinism contract: callers make each iteration self-contained — a
+// per-iteration Rng seeded as SubtaskSeed(base_seed, index), results in a
+// slot owned by that index — so the outcome is bit-identical for every
+// thread count, including the serial num_threads <= 1 fast path (which
+// touches no threading machinery at all).
+
+#ifndef DCS_UTIL_THREAD_POOL_H_
+#define DCS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcs {
+
+// A fixed set of worker threads executing one parallel loop at a time.
+// ParallelFor may only be called from one thread at a time (no nesting,
+// no concurrent loops on the same pool).
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers (the caller participates as the last
+  // worker). Requires num_threads >= 1.
+  explicit ThreadPool(int num_threads) : num_threads_(num_threads) {
+    DCS_CHECK_GE(num_threads, 1);
+    workers_.reserve(static_cast<size_t>(num_threads - 1));
+    for (int i = 0; i + 1 < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    wake_workers_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs body(i) for every i in [0, count), distributing indices across all
+  // threads; blocks until the whole range is done.
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& body) {
+    DCS_CHECK_GE(count, 0);
+    if (count == 0) return;
+    if (num_threads_ == 1 || count == 1) {
+      for (int64_t i = 0; i < count; ++i) body(i);
+      return;
+    }
+    // Publication order matters: a worker only sees indices to claim after
+    // the release store of next_index_, which happens-after body_/count_/
+    // pending_ are in place. Stragglers from the previous loop re-reading
+    // these atomics mid-claim see a consistent new loop or an exhausted
+    // old one.
+    body_.store(&body, std::memory_order_release);
+    count_.store(count, std::memory_order_release);
+    pending_.store(count, std::memory_order_release);
+    next_index_.store(0, std::memory_order_release);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++generation_;
+    }
+    wake_workers_.notify_all();
+    DrainIndices();
+    // Every index is claimed; wait for stragglers still inside body(i).
+    std::unique_lock<std::mutex> lock(mutex_);
+    loop_done_.wait(lock, [this] { return pending_.load() == 0; });
+  }
+
+ private:
+  void DrainIndices() {
+    while (true) {
+      const int64_t i = next_index_.fetch_add(1, std::memory_order_acquire);
+      if (i >= count_.load(std::memory_order_acquire)) return;
+      (*body_.load(std::memory_order_acquire))(i);
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        loop_done_.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    int64_t seen_generation = 0;
+    while (true) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wake_workers_.wait(lock, [this, seen_generation] {
+          return shutdown_ || generation_ != seen_generation;
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+      }
+      DrainIndices();
+    }
+  }
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_workers_;
+  std::condition_variable loop_done_;
+  bool shutdown_ = false;
+  int64_t generation_ = 0;
+
+  std::atomic<const std::function<void(int64_t)>*> body_{nullptr};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> next_index_{0};
+  std::atomic<int64_t> pending_{0};
+};
+
+// One-shot helper used by the trial runners and bench drivers: runs body(i)
+// for i in [0, count) on `num_threads` threads. num_threads <= 1 is a plain
+// serial loop with zero threading overhead.
+inline void ParallelFor(int num_threads, int64_t count,
+                        const std::function<void(int64_t)>& body) {
+  DCS_CHECK_GE(count, 0);
+  if (num_threads <= 1 || count <= 1) {
+    for (int64_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(count, body);
+}
+
+}  // namespace dcs
+
+#endif  // DCS_UTIL_THREAD_POOL_H_

@@ -52,6 +52,20 @@ TEST(CliTest, EncodeRoundTrips) {
   EXPECT_EQ(RunCli("encode --message hi"), 0);
 }
 
+TEST(CliTest, TrialsSubcommand) {
+  EXPECT_EQ(RunCli("trials --kind forall --trials 6 --inv-eps-sq 4 "
+                   "--beta 1 --noise 0.05 --threads 2"),
+            0);
+  EXPECT_EQ(RunCli("trials --kind forall --trials 4 --inv-eps-sq 4 "
+                   "--beta 1 --mode enumerate"),
+            0);
+  EXPECT_EQ(RunCli("trials --kind foreach --trials 2 --probes 8 "
+                   "--inv-eps 8 --sqrt-beta 1 --threads 2"),
+            0);
+  EXPECT_NE(RunCli("trials --kind nonsense"), 0);
+  EXPECT_NE(RunCli("trials --kind forall --mode nonsense"), 0);
+}
+
 TEST(CliTest, MissingInputFileFails) {
   EXPECT_NE(RunCli("mincut --in /nonexistent/graph.txt"), 0);
 }

@@ -1,0 +1,128 @@
+// Golden equivalence of the cut fast paths against brute force:
+// IncrementalCutOracle under randomized flip sequences vs a fresh O(m)
+// CutWeight scan, and the volume-bounded CutWeight overload vs the plain
+// edge scan.
+
+#include "graph/incremental_cut_oracle.h"
+
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+// A random directed multigraph with dyadic weights (exact in double, so
+// equality comparisons below are legitimate).
+DirectedGraph RandomGraph(int num_vertices, int num_edges, Rng& rng) {
+  DirectedGraph g(num_vertices);
+  for (int e = 0; e < num_edges; ++e) {
+    const int src = static_cast<int>(rng.UniformInt(
+        static_cast<uint64_t>(num_vertices)));
+    int dst = static_cast<int>(rng.UniformInt(
+        static_cast<uint64_t>(num_vertices - 1)));
+    if (dst >= src) ++dst;  // no self-loops
+    const double weight =
+        static_cast<double>(rng.UniformInRange(0, 31)) / 4.0;
+    g.AddEdge(src, dst, weight);
+  }
+  return g;
+}
+
+VertexSet RandomSide(int num_vertices, Rng& rng) {
+  return rng.RandomBinaryString(num_vertices);
+}
+
+TEST(IncrementalCutOracleTest, MatchesBruteForceUnderRandomFlips) {
+  Rng rng(11);
+  for (int round = 0; round < 20; ++round) {
+    const int n = static_cast<int>(rng.UniformInRange(2, 24));
+    const int m = static_cast<int>(rng.UniformInRange(0, 4 * n));
+    const DirectedGraph g = RandomGraph(n, m, rng);
+    VertexSet side = RandomSide(n, rng);
+    IncrementalCutOracle oracle(g, side);
+    EXPECT_EQ(oracle.value(), g.CutWeight(side));
+    for (int step = 0; step < 100; ++step) {
+      const VertexId v =
+          static_cast<VertexId>(rng.UniformInt(static_cast<uint64_t>(n)));
+      side[static_cast<size_t>(v)] ^= 1;
+      oracle.Flip(v);
+      ASSERT_EQ(oracle.value(), g.CutWeight(side))
+          << "round " << round << " step " << step << " flip " << v;
+    }
+  }
+}
+
+TEST(IncrementalCutOracleTest, FlipIsAnInvolution) {
+  Rng rng(13);
+  const DirectedGraph g = RandomGraph(10, 30, rng);
+  const VertexSet side = RandomSide(10, rng);
+  IncrementalCutOracle oracle(g, side);
+  const double before = oracle.value();
+  oracle.Flip(4);
+  oracle.Flip(4);
+  EXPECT_EQ(oracle.value(), before);
+  EXPECT_EQ(oracle.side(), VertexSet(side.begin(), side.end()));
+}
+
+TEST(IncrementalCutOracleTest, AcceptsNonNormalizedSideBytes) {
+  // VertexSet membership is "byte != 0"; the oracle must not be confused
+  // by bytes other than 0/1.
+  DirectedGraph g(3);
+  g.AddEdge(0, 1, 2.0);
+  g.AddEdge(1, 2, 4.0);
+  VertexSet side = {0, 7, 0};  // S = {1}
+  IncrementalCutOracle oracle(g, side);
+  EXPECT_EQ(oracle.value(), 4.0);
+  oracle.Flip(1);  // S = {}
+  EXPECT_EQ(oracle.value(), 0.0);
+  oracle.Flip(0);  // S = {0}
+  EXPECT_EQ(oracle.value(), 2.0);
+}
+
+TEST(IncrementalCutOracleTest, ResetReplacesTheSide) {
+  Rng rng(17);
+  const DirectedGraph g = RandomGraph(12, 40, rng);
+  IncrementalCutOracle oracle(g, RandomSide(12, rng));
+  const VertexSet fresh = RandomSide(12, rng);
+  oracle.Reset(fresh);
+  EXPECT_EQ(oracle.value(), g.CutWeight(fresh));
+}
+
+TEST(CutWeightOverloadTest, VolumeBoundedMatchesEdgeScan) {
+  Rng rng(19);
+  for (int round = 0; round < 30; ++round) {
+    const int n = static_cast<int>(rng.UniformInRange(2, 20));
+    const int m = static_cast<int>(rng.UniformInRange(0, 5 * n));
+    const DirectedGraph g = RandomGraph(n, m, rng);
+    const DegreeIndex index = g.BuildDegreeIndex();
+    for (int trial = 0; trial < 10; ++trial) {
+      const VertexSet side = RandomSide(n, rng);
+      ASSERT_EQ(g.CutWeight(side, index), g.CutWeight(side))
+          << "round " << round << " trial " << trial;
+    }
+  }
+}
+
+TEST(CutWeightOverloadTest, EmptyAndFullSidesShortCircuitToZero) {
+  Rng rng(23);
+  const DirectedGraph g = RandomGraph(8, 20, rng);
+  const DegreeIndex index = g.BuildDegreeIndex();
+  EXPECT_EQ(g.CutWeight(VertexSet(8, 0), index), 0.0);
+  EXPECT_EQ(g.CutWeight(VertexSet(8, 1), index), 0.0);
+}
+
+TEST(CutQueryHelperTest, ComplementAndSetSize) {
+  const VertexSet side = {0, 1, 5, 0, 1};
+  EXPECT_EQ(SetSize(side), 3);
+  const VertexSet complement = ComplementSet(side);
+  ASSERT_EQ(complement.size(), side.size());
+  EXPECT_EQ(complement, (VertexSet{1, 0, 0, 1, 0}));
+  EXPECT_EQ(SetSize(complement), 2);
+}
+
+}  // namespace
+}  // namespace dcs

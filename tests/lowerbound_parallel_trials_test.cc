@@ -1,0 +1,132 @@
+// The parallel trial runners must be bit-identical to their serial runs:
+// trial i draws everything from a private Rng(SubtaskSeed(base_seed, i)),
+// so thread count can only change scheduling, never results.
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "lowerbound/forall_encoding.h"
+#include "lowerbound/foreach_encoding.h"
+#include "lowerbound/twosum_solver.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+CutOracle MakeNoisyOracle(const DirectedGraph& graph, Rng& rng) {
+  return NoisyCutOracle(graph, 0.05, rng);
+}
+
+TEST(ParallelTrialsTest, ForAllMatchesSerialForEveryThreadCount) {
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 8;
+  params.beta = 1;
+  params.num_layers = 2;
+  const SeededCutOracleFactory factory = MakeNoisyOracle;
+  for (const auto mode : {ForAllDecoder::SubsetSelection::kGreedy,
+                          ForAllDecoder::SubsetSelection::kEnumerate}) {
+    const ForAllTrialResult serial =
+        RunForAllTrials(params, 12, 777, factory, mode, 1);
+    EXPECT_EQ(serial.trials, 12);
+    for (const int threads : {2, 4}) {
+      const ForAllTrialResult parallel =
+          RunForAllTrials(params, 12, 777, factory, mode, threads);
+      EXPECT_EQ(parallel.trials, serial.trials) << "threads " << threads;
+      EXPECT_EQ(parallel.correct, serial.correct) << "threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelTrialsTest, ForAllSeedChangesResults) {
+  // Sanity check that the base seed actually reaches the trials (a stuck
+  // seed would also pass the identity test above).
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 8;
+  params.beta = 1;
+  params.num_layers = 2;
+  const SeededCutOracleFactory factory = [](const DirectedGraph& graph,
+                                            Rng& rng) -> CutOracle {
+    return MaximalNoiseCutOracle(graph, 0.9, rng);
+  };
+  const auto mode = ForAllDecoder::SubsetSelection::kGreedy;
+  int distinct = 0;
+  const ForAllTrialResult base =
+      RunForAllTrials(params, 24, 1, factory, mode, 2);
+  for (const uint64_t seed : {uint64_t{2}, uint64_t{3}, uint64_t{4}}) {
+    const ForAllTrialResult other =
+        RunForAllTrials(params, 24, seed, factory, mode, 2);
+    distinct += other.correct != base.correct ? 1 : 0;
+  }
+  EXPECT_GT(distinct, 0);
+}
+
+TEST(ParallelTrialsTest, ForEachMatchesSerialForEveryThreadCount) {
+  ForEachLowerBoundParams params;
+  params.inv_epsilon = 8;
+  params.sqrt_beta = 1;
+  params.num_layers = 2;
+  const SeededCutOracleFactory factory = MakeNoisyOracle;
+  const ForEachTrialResult serial =
+      RunForEachTrials(params, 4, 10, 555, factory, 1);
+  EXPECT_EQ(serial.probes, 40);
+  for (const int threads : {2, 4}) {
+    const ForEachTrialResult parallel =
+        RunForEachTrials(params, 4, 10, 555, factory, threads);
+    EXPECT_EQ(parallel.probes, serial.probes) << "threads " << threads;
+    EXPECT_EQ(parallel.correct, serial.correct) << "threads " << threads;
+  }
+}
+
+TEST(ParallelTrialsTest, TwoSumRepetitionsMatchSerial) {
+  TwoSumParams params;
+  params.num_pairs = 4;
+  params.string_length = 100;
+  params.alpha = 1;
+  params.intersect_fraction = 0.25;
+  Rng rng(99);
+  const TwoSumInstance instance = SampleTwoSumInstance(params, rng);
+  const std::vector<TwoSumSolveResult> serial = SolveTwoSumViaMinCutRepeated(
+      instance, 0.25, 3, 42, SearchMode::kModifiedConstantSearch, 1);
+  ASSERT_EQ(serial.size(), 3u);
+  const std::vector<TwoSumSolveResult> parallel =
+      SolveTwoSumViaMinCutRepeated(instance, 0.25, 3, 42,
+                                   SearchMode::kModifiedConstantSearch, 4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].disjoint_estimate, serial[i].disjoint_estimate);
+    EXPECT_EQ(parallel[i].mincut_estimate, serial[i].mincut_estimate);
+    EXPECT_EQ(parallel[i].total_queries, serial[i].total_queries);
+    EXPECT_EQ(parallel[i].communication_bits, serial[i].communication_bits);
+  }
+}
+
+TEST(ParallelTrialsTest, IncrementalSessionsAgreeWithOneShotQueries) {
+  // An exact oracle's sessions (incremental flips) and its one-shot
+  // queries are two implementations of the same cut function; the trial
+  // accuracy of a decoder must not depend on which one it uses.
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 8;
+  params.beta = 1;
+  params.num_layers = 2;
+  const SeededCutOracleFactory with_sessions =
+      [](const DirectedGraph& graph, Rng&) -> CutOracle {
+    return ExactCutOracle(graph);
+  };
+  const SeededCutOracleFactory query_only = [](const DirectedGraph& graph,
+                                               Rng&) -> CutOracle {
+    return CutOracle(
+        [&graph](const VertexSet& side) { return graph.CutWeight(side); });
+  };
+  for (const auto mode : {ForAllDecoder::SubsetSelection::kGreedy,
+                          ForAllDecoder::SubsetSelection::kEnumerate}) {
+    const ForAllTrialResult fast =
+        RunForAllTrials(params, 10, 31, with_sessions, mode, 1);
+    const ForAllTrialResult slow =
+        RunForAllTrials(params, 10, 31, query_only, mode, 1);
+    EXPECT_EQ(fast.correct, slow.correct);
+  }
+}
+
+}  // namespace
+}  // namespace dcs

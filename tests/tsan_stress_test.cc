@@ -1,0 +1,110 @@
+// Thread-sanitizer stress driver for the trial-parallelism layer (no
+// gtest: TSan findings are the assertions). Registered with ctest only
+// when configured with -DDCS_ENABLE_SANITIZERS=thread; see the root
+// CMakeLists.txt.
+//
+// Hammers the constructs the parallel runners rely on: ThreadPool reuse
+// across many loops, ParallelFor over shared read-only graphs with
+// pre-built adjacency, and the seed-deterministic trial runners
+// themselves at several thread counts.
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "graph/incremental_cut_oracle.h"
+#include "lowerbound/forall_encoding.h"
+#include "lowerbound/foreach_encoding.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace dcs {
+namespace {
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAILED: %s\n", what);
+    std::exit(1);
+  }
+}
+
+void StressThreadPoolReuse() {
+  ThreadPool pool(4);
+  std::vector<int64_t> slots(512);
+  for (int round = 0; round < 200; ++round) {
+    pool.ParallelFor(static_cast<int64_t>(slots.size()),
+                     [&slots, round](int64_t i) {
+                       slots[static_cast<size_t>(i)] = round + i;
+                     });
+  }
+  Require(slots[511] == 199 + 511, "thread pool reuse");
+}
+
+void StressSharedGraphReads() {
+  // Many threads query cuts on one shared graph whose lazy adjacency was
+  // built up front — the access pattern of the decoders' skeleton graphs.
+  Rng rng(5);
+  DirectedGraph graph(64);
+  for (int e = 0; e < 1000; ++e) {
+    const int src = static_cast<int>(rng.UniformInt(64));
+    int dst = static_cast<int>(rng.UniformInt(63));
+    if (dst >= src) ++dst;
+    graph.AddEdge(src, dst, 1.0);
+  }
+  graph.BuildAdjacency();
+  const DegreeIndex index = graph.BuildDegreeIndex();
+  std::vector<double> values(64);
+  ParallelFor(8, 64, [&](int64_t i) {
+    Rng local(SubtaskSeed(77, i));
+    VertexSet side = local.RandomBinaryString(64);
+    IncrementalCutOracle oracle(graph, side);
+    for (int step = 0; step < 50; ++step) {
+      oracle.Flip(static_cast<VertexId>(local.UniformInt(64)));
+    }
+    values[static_cast<size_t>(i)] =
+        oracle.value() + graph.CutWeight(oracle.side(), index);
+  });
+  Require(values.size() == 64, "shared graph reads");
+}
+
+void StressTrialRunners() {
+  ForAllLowerBoundParams forall;
+  forall.inv_epsilon_sq = 8;
+  forall.beta = 1;
+  forall.num_layers = 2;
+  const SeededCutOracleFactory factory = [](const DirectedGraph& g,
+                                            Rng& rng) -> CutOracle {
+    return NoisyCutOracle(g, 0.05, rng);
+  };
+  const ForAllTrialResult serial = RunForAllTrials(
+      forall, 16, 123, factory, ForAllDecoder::SubsetSelection::kGreedy, 1);
+  for (const int threads : {2, 4, 8}) {
+    const ForAllTrialResult parallel =
+        RunForAllTrials(forall, 16, 123, factory,
+                        ForAllDecoder::SubsetSelection::kGreedy, threads);
+    Require(parallel.correct == serial.correct, "forall determinism");
+  }
+  ForEachLowerBoundParams foreach_params;
+  foreach_params.inv_epsilon = 8;
+  foreach_params.sqrt_beta = 1;
+  foreach_params.num_layers = 2;
+  const ForEachTrialResult foreach_serial =
+      RunForEachTrials(foreach_params, 4, 8, 321, factory, 1);
+  for (const int threads : {2, 8}) {
+    const ForEachTrialResult parallel =
+        RunForEachTrials(foreach_params, 4, 8, 321, factory, threads);
+    Require(parallel.correct == foreach_serial.correct,
+            "foreach determinism");
+  }
+}
+
+}  // namespace
+}  // namespace dcs
+
+int main() {
+  dcs::StressThreadPoolReuse();
+  dcs::StressSharedGraphReads();
+  dcs::StressTrialRunners();
+  std::printf("tsan stress: OK\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Revolving-door enumeration: starting from {0..t−1} and applying the
+// emitted swaps must visit every t-subset of {0..n−1} exactly once, one
+// single-element swap at a time.
+
+#include "util/combinations.h"
+
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dcs {
+namespace {
+
+int64_t Binomial(int n, int t) {
+  int64_t result = 1;
+  for (int i = 1; i <= t; ++i) result = result * (n - i + 1) / i;
+  return result;
+}
+
+// Runs the enumeration and returns every visited subset as a bitmask, in
+// visit order; validates each swap as it is applied.
+std::vector<uint64_t> CollectSubsets(int n, int t) {
+  std::vector<uint8_t> in_subset(static_cast<size_t>(n), 0);
+  for (int i = 0; i < t; ++i) in_subset[static_cast<size_t>(i)] = 1;
+  auto mask = [&in_subset, n] {
+    uint64_t m = 0;
+    for (int i = 0; i < n; ++i) {
+      if (in_subset[static_cast<size_t>(i)]) m |= uint64_t{1} << i;
+    }
+    return m;
+  };
+  std::vector<uint64_t> visited = {mask()};
+  VisitRevolvingDoorSwaps(n, t, [&](int out, int in) {
+    ASSERT_GE(out, 0);
+    ASSERT_LT(out, n);
+    ASSERT_GE(in, 0);
+    ASSERT_LT(in, n);
+    ASSERT_NE(out, in);
+    ASSERT_TRUE(in_subset[static_cast<size_t>(out)])
+        << "swap removes an element not in the subset";
+    ASSERT_FALSE(in_subset[static_cast<size_t>(in)])
+        << "swap inserts an element already in the subset";
+    in_subset[static_cast<size_t>(out)] = 0;
+    in_subset[static_cast<size_t>(in)] = 1;
+    visited.push_back(mask());
+  });
+  return visited;
+}
+
+TEST(RevolvingDoorTest, VisitsEverySubsetExactlyOnce) {
+  for (int n = 1; n <= 10; ++n) {
+    for (int t = 0; t <= n; ++t) {
+      const std::vector<uint64_t> visited = CollectSubsets(n, t);
+      ASSERT_EQ(static_cast<int64_t>(visited.size()), Binomial(n, t))
+          << "n=" << n << " t=" << t;
+      std::set<uint64_t> unique(visited.begin(), visited.end());
+      EXPECT_EQ(unique.size(), visited.size())
+          << "duplicate subset at n=" << n << " t=" << t;
+      for (const uint64_t m : visited) {
+        EXPECT_EQ(std::popcount(m), t) << "n=" << n << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(RevolvingDoorTest, HalfSizeSubsetsOfTwelve) {
+  // The decoder's case: k = 12 vertices, half-size subsets.
+  const std::vector<uint64_t> visited = CollectSubsets(12, 6);
+  EXPECT_EQ(static_cast<int64_t>(visited.size()), Binomial(12, 6));
+  const std::set<uint64_t> unique(visited.begin(), visited.end());
+  EXPECT_EQ(unique.size(), visited.size());
+}
+
+TEST(RevolvingDoorTest, DegenerateSizes) {
+  EXPECT_EQ(CollectSubsets(5, 0).size(), 1u);  // only the empty set
+  EXPECT_EQ(CollectSubsets(5, 5).size(), 1u);  // only the full set
+  EXPECT_EQ(CollectSubsets(1, 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,91 @@
+// Bit-packed ±1 vectors: round-trips, Hadamard rows, and popcount inner
+// products checked against entry-wise arithmetic.
+
+#include "util/sign_vector.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/hadamard.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+TEST(SignVectorTest, DefaultIsAllPlusOne) {
+  const SignVector v(130);  // spans three words
+  EXPECT_EQ(v.size(), 130);
+  for (int64_t i = 0; i < v.size(); ++i) EXPECT_EQ(v.Sign(i), 1);
+  EXPECT_EQ(v.SumOfSigns(), 130);
+}
+
+TEST(SignVectorTest, FromSignsRoundTrips) {
+  Rng rng(3);
+  for (const int length : {1, 63, 64, 65, 200}) {
+    const std::vector<int8_t> signs = rng.RandomSignString(length);
+    const SignVector packed = SignVector::FromSigns(signs);
+    EXPECT_EQ(packed.ToSigns(), signs) << "length " << length;
+    for (int i = 0; i < length; ++i) {
+      EXPECT_EQ(packed.Sign(i), signs[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST(SignVectorTest, SetSignUpdatesEntryAndSum) {
+  SignVector v(100);
+  v.SetSign(0, -1);
+  v.SetSign(64, -1);
+  v.SetSign(99, -1);
+  EXPECT_EQ(v.Sign(0), -1);
+  EXPECT_EQ(v.Sign(64), -1);
+  EXPECT_EQ(v.Sign(99), -1);
+  EXPECT_EQ(v.Sign(1), 1);
+  EXPECT_EQ(v.SumOfSigns(), 100 - 2 * 3);
+  v.SetSign(64, 1);
+  EXPECT_EQ(v.Sign(64), 1);
+  EXPECT_EQ(v.SumOfSigns(), 100 - 2 * 2);
+}
+
+TEST(SignVectorTest, InnerProductMatchesEntrywise) {
+  Rng rng(7);
+  for (const int length : {5, 64, 129}) {
+    const std::vector<int8_t> a_signs = rng.RandomSignString(length);
+    const std::vector<int8_t> b_signs = rng.RandomSignString(length);
+    const SignVector a = SignVector::FromSigns(a_signs);
+    const SignVector b = SignVector::FromSigns(b_signs);
+    int64_t expected = 0;
+    for (int i = 0; i < length; ++i) {
+      expected += a_signs[static_cast<size_t>(i)] *
+                  b_signs[static_cast<size_t>(i)];
+    }
+    EXPECT_EQ(a.InnerProduct(b), expected) << "length " << length;
+  }
+}
+
+TEST(SignVectorTest, HadamardRowMatchesMatrixEntries) {
+  const int log_size = 6;
+  const HadamardMatrix h(log_size);
+  for (int row = 0; row < h.size(); ++row) {
+    const SignVector packed = SignVector::HadamardRow(row, log_size);
+    ASSERT_EQ(packed.size(), h.size());
+    for (int col = 0; col < h.size(); ++col) {
+      EXPECT_EQ(packed.Sign(col), h.Entry(row, col))
+          << "row " << row << " col " << col;
+    }
+  }
+}
+
+TEST(SignVectorTest, HadamardRowsOrthogonalViaPackedInnerProduct) {
+  const int log_size = 5;
+  const int size = 1 << log_size;
+  for (int r1 = 0; r1 < size; ++r1) {
+    const SignVector a = SignVector::HadamardRow(r1, log_size);
+    for (int r2 = 0; r2 < size; ++r2) {
+      const SignVector b = SignVector::HadamardRow(r2, log_size);
+      EXPECT_EQ(a.InnerProduct(b), r1 == r2 ? size : 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcs

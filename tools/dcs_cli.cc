@@ -8,6 +8,8 @@
 //   localquery estimate the min cut via degree/neighbor queries only
 //   encode     store a text message in a balanced graph's edge weights and
 //              read it back through cut queries (Theorem 1.1 demo)
+//   trials     run seed-deterministic lower-bound decode trials, optionally
+//              across threads (--threads N; results are identical for any N)
 //
 // Examples:
 //   dcs generate --type balanced --n 100 --beta 4 --seed 1 --out g.txt
@@ -17,6 +19,7 @@
 //   dcs generate --type dumbbell --n 40 --k 3 --out d.txt
 //   dcs localquery --in d.txt --epsilon 0.25
 //   dcs encode --message "hello cuts"
+//   dcs trials --kind forall --trials 40 --threads 4 --mode enumerate
 
 #include <cstdio>
 #include <cstring>
@@ -29,6 +32,7 @@
 #include "graph/graph_io.h"
 #include "localquery/mincut_estimator.h"
 #include "stream/agm_sketch.h"
+#include "lowerbound/forall_encoding.h"
 #include "lowerbound/foreach_encoding.h"
 #include "mincut/directed_mincut.h"
 #include "mincut/stoer_wagner.h"
@@ -305,10 +309,62 @@ int CmdEncode(const FlagMap& flags) {
   return 0;
 }
 
+int CmdTrials(const FlagMap& flags) {
+  const std::string kind = GetFlag(flags, "kind", "forall");
+  const int trials = GetInt(flags, "trials", 20);
+  const int threads = GetInt(flags, "threads", 1);
+  const uint64_t seed = static_cast<uint64_t>(GetInt(flags, "seed", 1));
+  const double noise = GetDouble(flags, "noise", 0.0);
+  const dcs::SeededCutOracleFactory oracle_factory =
+      [noise](const dcs::DirectedGraph& graph,
+              dcs::Rng& rng) -> dcs::CutOracle {
+    if (noise <= 0) return dcs::ExactCutOracle(graph);
+    return dcs::NoisyCutOracle(graph, noise, rng);
+  };
+  if (kind == "forall") {
+    dcs::ForAllLowerBoundParams params;
+    params.inv_epsilon_sq = GetInt(flags, "inv-eps-sq", 4);
+    params.beta = GetInt(flags, "beta", 2);
+    params.num_layers = GetInt(flags, "layers", 2);
+    const std::string mode_name = GetFlag(flags, "mode", "greedy");
+    if (mode_name != "greedy" && mode_name != "enumerate") {
+      std::fprintf(stderr, "unknown --mode (greedy|enumerate)\n");
+      return 2;
+    }
+    const auto mode = mode_name == "enumerate"
+                          ? dcs::ForAllDecoder::SubsetSelection::kEnumerate
+                          : dcs::ForAllDecoder::SubsetSelection::kGreedy;
+    const dcs::ForAllTrialResult result = dcs::RunForAllTrials(
+        params, trials, seed, oracle_factory, mode, threads);
+    std::printf("forall %s: %lld/%lld correct (accuracy %.3f, threads %d)\n",
+                mode_name.c_str(), static_cast<long long>(result.correct),
+                static_cast<long long>(result.trials), result.accuracy(),
+                threads);
+    return 0;
+  }
+  if (kind == "foreach") {
+    dcs::ForEachLowerBoundParams params;
+    params.inv_epsilon = GetInt(flags, "inv-eps", 8);
+    params.sqrt_beta = GetInt(flags, "sqrt-beta", 2);
+    params.num_layers = GetInt(flags, "layers", 2);
+    const int probes = GetInt(flags, "probes", 16);
+    const dcs::ForEachTrialResult result = dcs::RunForEachTrials(
+        params, trials, probes, seed, oracle_factory, threads);
+    std::printf("foreach: %lld/%lld probes correct (accuracy %.3f, "
+                "threads %d)\n",
+                static_cast<long long>(result.correct),
+                static_cast<long long>(result.probes), result.accuracy(),
+                threads);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown --kind (forall|foreach)\n");
+  return 2;
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
-               "usage: dcs <generate|stats|mincut|sketch|localquery|encode|agm> "
-               "[--flag value ...]\n");
+               "usage: dcs <generate|stats|mincut|sketch|localquery|encode|"
+               "agm|trials> [--flag value ...]\n");
 }
 
 }  // namespace
@@ -327,6 +383,7 @@ int main(int argc, char** argv) {
   if (command == "localquery") return CmdLocalQuery(flags);
   if (command == "encode") return CmdEncode(flags);
   if (command == "agm") return CmdAgm(flags);
+  if (command == "trials") return CmdTrials(flags);
   PrintUsage();
   return 2;
 }
