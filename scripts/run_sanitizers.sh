@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Builds and runs the full test suite under AddressSanitizer and
+# ThreadSanitizer (separate build trees, both kept for incremental reruns).
+# The sanitizer builds also register tsan_stress_test with ctest, so the
+# straggler/data-race stress drivers run under the real checkers.
+#
+# Usage: scripts/run_sanitizers.sh [address|thread]
+#   With no argument both sanitizers run (address first).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+run_one() {
+  local kind="$1"
+  local build_dir="${repo_root}/build-${kind%%san*}san"
+  case "${kind}" in
+    address) build_dir="${repo_root}/build-asan" ;;
+    thread) build_dir="${repo_root}/build-tsan" ;;
+    *)
+      echo "unknown sanitizer '${kind}' (want address or thread)" >&2
+      exit 2
+      ;;
+  esac
+  echo "=== ${kind} sanitizer: ${build_dir} ==="
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DDCS_ENABLE_SANITIZERS="${kind}"
+  cmake --build "${build_dir}" -j"$(nproc)"
+  ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
+}
+
+if [[ $# -gt 1 ]]; then
+  echo "usage: $0 [address|thread]" >&2
+  exit 2
+fi
+
+if [[ $# -eq 1 ]]; then
+  run_one "$1"
+else
+  run_one address
+  run_one thread
+fi

@@ -1,6 +1,7 @@
 #include "graph/digraph.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <utility>
 
@@ -16,6 +17,10 @@ void DirectedGraph::AddEdge(VertexId src, VertexId dst, double weight) {
   DCS_CHECK(src >= 0 && src < num_vertices_);
   DCS_CHECK(dst >= 0 && dst < num_vertices_);
   DCS_CHECK_NE(src, dst);
+  // NaN fails both comparisons below in confusing ways; reject it (and
+  // infinities) explicitly. Untrusted inputs are screened before AddEdge by
+  // graph_io / serialization, so tripping this is a caller bug.
+  DCS_CHECK(std::isfinite(weight));
   DCS_CHECK_GE(weight, 0);
   edges_.push_back(Edge{src, dst, weight});
   adjacency_valid_ = false;

@@ -1,5 +1,6 @@
 #include "graph/graph_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -8,10 +9,13 @@
 namespace dcs {
 namespace {
 
-// Reads the next non-comment, non-blank line into a stringstream.
-bool NextContentLine(std::istream& in, std::istringstream& line_stream) {
+// Reads the next non-comment, non-blank line into a stringstream, tracking
+// the 1-based line number for error messages.
+bool NextContentLine(std::istream& in, std::istringstream& line_stream,
+                     int64_t& line_number) {
   std::string line;
   while (std::getline(in, line)) {
+    ++line_number;
     const size_t first = line.find_first_not_of(" \t\r");
     if (first == std::string::npos) continue;
     if (line[first] == '#') continue;
@@ -20,6 +24,17 @@ bool NextContentLine(std::istream& in, std::istringstream& line_stream) {
     return true;
   }
   return false;
+}
+
+// True if the line has unparsed tokens beyond trailing whitespace/comment.
+bool HasTrailingGarbage(std::istringstream& line) {
+  std::string extra;
+  if (!(line >> extra)) return false;
+  return extra[0] != '#';
+}
+
+std::string AtLine(int64_t line_number) {
+  return " (line " + std::to_string(line_number) + ")";
 }
 
 template <typename GraphT>
@@ -34,25 +49,57 @@ void WriteGraphText(const GraphT& graph, char tag, std::ostream& out) {
 }
 
 template <typename GraphT>
-std::optional<GraphT> ReadGraphText(std::istream& in, char tag) {
+StatusOr<GraphT> ReadGraphText(std::istream& in, char tag) {
   std::istringstream line;
-  if (!NextContentLine(in, line)) return std::nullopt;
+  int64_t line_number = 0;
+  if (!NextContentLine(in, line, line_number)) {
+    return DataLossError("empty graph stream: no header line");
+  }
   std::string header;
   int64_t n = 0;
   int64_t m = 0;
-  if (!(line >> header >> n >> m)) return std::nullopt;
-  if (header.size() != 1 || header[0] != tag) return std::nullopt;
-  if (n < 0 || m < 0 || n > (1 << 28)) return std::nullopt;
+  if (!(line >> header >> n >> m) || HasTrailingGarbage(line)) {
+    return InvalidArgumentError("malformed header, expected '" +
+                                std::string(1, tag) + " n m'" +
+                                AtLine(line_number));
+  }
+  if (header.size() != 1 || header[0] != tag) {
+    return InvalidArgumentError("wrong graph tag '" + header +
+                                "', expected '" + std::string(1, tag) + "'" +
+                                AtLine(line_number));
+  }
+  if (n < 0 || m < 0 || n > (1 << 28)) {
+    return InvalidArgumentError("bad vertex/edge counts n=" +
+                                std::to_string(n) + " m=" +
+                                std::to_string(m) + AtLine(line_number));
+  }
   GraphT graph(static_cast<int>(n));
   for (int64_t i = 0; i < m; ++i) {
-    if (!NextContentLine(in, line)) return std::nullopt;
+    if (!NextContentLine(in, line, line_number)) {
+      return DataLossError("stream ended after " + std::to_string(i) +
+                           " of " + std::to_string(m) + " edges");
+    }
     int64_t src = 0;
     int64_t dst = 0;
     double weight = 0;
-    if (!(line >> src >> dst >> weight)) return std::nullopt;
-    if (src < 0 || src >= n || dst < 0 || dst >= n || src == dst ||
-        weight < 0) {
-      return std::nullopt;
+    if (!(line >> src >> dst >> weight) || HasTrailingGarbage(line)) {
+      return InvalidArgumentError("malformed edge line, expected 'src dst "
+                                  "weight'" +
+                                  AtLine(line_number));
+    }
+    if (src < 0 || src >= n || dst < 0 || dst >= n) {
+      return InvalidArgumentError(
+          "edge endpoint out of range [0, " + std::to_string(n) + "): " +
+          std::to_string(src) + " -> " + std::to_string(dst) +
+          AtLine(line_number));
+    }
+    if (src == dst) {
+      return InvalidArgumentError("self-loop at vertex " +
+                                  std::to_string(src) + AtLine(line_number));
+    }
+    if (!std::isfinite(weight) || weight < 0) {
+      return InvalidArgumentError("non-finite or negative edge weight" +
+                                  AtLine(line_number));
     }
     graph.AddEdge(static_cast<VertexId>(src), static_cast<VertexId>(dst),
                   weight);
@@ -71,38 +118,44 @@ void WriteUndirectedGraphText(const UndirectedGraph& graph,
   WriteGraphText(graph, 'U', out);
 }
 
-std::optional<DirectedGraph> ReadDirectedGraphText(std::istream& in) {
+StatusOr<DirectedGraph> ReadDirectedGraphText(std::istream& in) {
   return ReadGraphText<DirectedGraph>(in, 'D');
 }
 
-std::optional<UndirectedGraph> ReadUndirectedGraphText(std::istream& in) {
+StatusOr<UndirectedGraph> ReadUndirectedGraphText(std::istream& in) {
   return ReadGraphText<UndirectedGraph>(in, 'U');
 }
 
-bool SaveDirectedGraph(const DirectedGraph& graph, const std::string& path) {
+Status SaveDirectedGraph(const DirectedGraph& graph, const std::string& path) {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    return NotFoundError("cannot open '" + path + "' for writing");
+  }
   WriteDirectedGraphText(graph, out);
-  return static_cast<bool>(out);
+  if (!out) return InternalError("write to '" + path + "' failed");
+  return OkStatus();
 }
 
-bool SaveUndirectedGraph(const UndirectedGraph& graph,
-                         const std::string& path) {
+Status SaveUndirectedGraph(const UndirectedGraph& graph,
+                           const std::string& path) {
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) {
+    return NotFoundError("cannot open '" + path + "' for writing");
+  }
   WriteUndirectedGraphText(graph, out);
-  return static_cast<bool>(out);
+  if (!out) return InternalError("write to '" + path + "' failed");
+  return OkStatus();
 }
 
-std::optional<DirectedGraph> LoadDirectedGraph(const std::string& path) {
+StatusOr<DirectedGraph> LoadDirectedGraph(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) return NotFoundError("cannot open '" + path + "'");
   return ReadDirectedGraphText(in);
 }
 
-std::optional<UndirectedGraph> LoadUndirectedGraph(const std::string& path) {
+StatusOr<UndirectedGraph> LoadUndirectedGraph(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
+  if (!in) return NotFoundError("cannot open '" + path + "'");
   return ReadUndirectedGraphText(in);
 }
 

@@ -9,11 +9,11 @@
 #define DCS_GRAPH_GRAPH_IO_H_
 
 #include <iosfwd>
-#include <optional>
 #include <string>
 
 #include "graph/digraph.h"
 #include "graph/ugraph.h"
+#include "util/status.h"
 
 namespace dcs {
 
@@ -22,17 +22,20 @@ void WriteDirectedGraphText(const DirectedGraph& graph, std::ostream& out);
 void WriteUndirectedGraphText(const UndirectedGraph& graph,
                               std::ostream& out);
 
-// Readers return nullopt on malformed input (wrong header tag, bad counts,
-// out-of-range endpoints, negative weights).
-std::optional<DirectedGraph> ReadDirectedGraphText(std::istream& in);
-std::optional<UndirectedGraph> ReadUndirectedGraphText(std::istream& in);
+// Readers treat the stream as untrusted: a malformed header, bad counts,
+// out-of-range or duplicate endpoints, or a non-finite/negative weight
+// yields kInvalidArgument with the 1-based line number of the offending
+// line; a stream that ends early yields kDataLoss. They never abort.
+StatusOr<DirectedGraph> ReadDirectedGraphText(std::istream& in);
+StatusOr<UndirectedGraph> ReadUndirectedGraphText(std::istream& in);
 
-// File convenience wrappers. Save returns false on I/O failure.
-bool SaveDirectedGraph(const DirectedGraph& graph, const std::string& path);
-bool SaveUndirectedGraph(const UndirectedGraph& graph,
-                         const std::string& path);
-std::optional<DirectedGraph> LoadDirectedGraph(const std::string& path);
-std::optional<UndirectedGraph> LoadUndirectedGraph(const std::string& path);
+// File convenience wrappers. Load reports kNotFound for an unopenable path
+// and otherwise forwards the reader's status; Save reports I/O failures.
+Status SaveDirectedGraph(const DirectedGraph& graph, const std::string& path);
+Status SaveUndirectedGraph(const UndirectedGraph& graph,
+                           const std::string& path);
+StatusOr<DirectedGraph> LoadDirectedGraph(const std::string& path);
+StatusOr<UndirectedGraph> LoadUndirectedGraph(const std::string& path);
 
 }  // namespace dcs
 

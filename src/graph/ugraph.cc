@@ -1,5 +1,6 @@
 #include "graph/ugraph.h"
 
+#include <cmath>
 #include <utility>
 
 namespace dcs {
@@ -13,6 +14,10 @@ void UndirectedGraph::AddEdge(VertexId u, VertexId v, double weight) {
   DCS_CHECK(u >= 0 && u < num_vertices_);
   DCS_CHECK(v >= 0 && v < num_vertices_);
   DCS_CHECK_NE(u, v);
+  // NaN fails both comparisons below in confusing ways; reject it (and
+  // infinities) explicitly. Untrusted inputs are screened before AddEdge by
+  // graph_io / serialization, so tripping this is a caller bug.
+  DCS_CHECK(std::isfinite(weight));
   DCS_CHECK_GE(weight, 0);
   if (u > v) std::swap(u, v);
   edges_.push_back(Edge{u, v, weight});

@@ -1,0 +1,58 @@
+#include "localquery/fault_injection.h"
+
+#include <algorithm>
+#include <string>
+
+namespace dcs {
+
+FaultInjectingOracle::FaultInjectingOracle(LocalQueryOracle& base,
+                                           double failure_rate, uint64_t seed)
+    : base_(base),
+      failure_rate_(std::clamp(failure_rate, 0.0, 1.0)),
+      rng_(seed) {}
+
+int64_t FaultInjectingOracle::Degree(VertexId u) {
+  ++counts_.degree;
+  return base_.Degree(u);
+}
+
+std::optional<VertexId> FaultInjectingOracle::Neighbor(VertexId u,
+                                                       int64_t slot) {
+  ++counts_.neighbor;
+  return base_.Neighbor(u, slot);
+}
+
+bool FaultInjectingOracle::Adjacent(VertexId u, VertexId v) {
+  ++counts_.adjacency;
+  return base_.Adjacent(u, v);
+}
+
+Status FaultInjectingOracle::MaybeFail(const char* what) {
+  if (rng_.Bernoulli(failure_rate_)) {
+    ++injected_failures_;
+    return UnavailableError(std::string("injected fault: ") + what +
+                            " query failed");
+  }
+  return OkStatus();
+}
+
+StatusOr<int64_t> FaultInjectingOracle::TryDegree(VertexId u) {
+  ++counts_.degree;
+  DCS_RETURN_IF_ERROR(MaybeFail("degree"));
+  return base_.Degree(u);
+}
+
+StatusOr<std::optional<VertexId>> FaultInjectingOracle::TryNeighbor(
+    VertexId u, int64_t slot) {
+  ++counts_.neighbor;
+  DCS_RETURN_IF_ERROR(MaybeFail("neighbor"));
+  return base_.Neighbor(u, slot);
+}
+
+StatusOr<bool> FaultInjectingOracle::TryAdjacent(VertexId u, VertexId v) {
+  ++counts_.adjacency;
+  DCS_RETURN_IF_ERROR(MaybeFail("adjacency"));
+  return base_.Adjacent(u, v);
+}
+
+}  // namespace dcs

@@ -1,0 +1,64 @@
+// Deterministic fault injection for the local query model.
+//
+// Real deployments of the query oracles are remote (Section 5 charges
+// communication bits per query); remote backends fail. FaultInjectingOracle
+// wraps any LocalQueryOracle and makes a configurable fraction of the
+// fallible Try* queries return kUnavailable, so the retry-or-propagate
+// paths in VerifyGuess / EstimateMinCutLocalQueries can be exercised in
+// tests without a network.
+//
+// The injector draws from its *own* Rng stream, so the wrapped algorithm's
+// randomness is untouched: a run that recovers from every injected fault
+// must produce bit-identical results to a fault-free run.
+
+#ifndef DCS_LOCALQUERY_FAULT_INJECTION_H_
+#define DCS_LOCALQUERY_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "localquery/oracle.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dcs {
+
+class FaultInjectingOracle final : public LocalQueryOracle {
+ public:
+  // Fails each Try* query independently with probability `failure_rate`
+  // (clamped to [0, 1]) using a stream seeded by `seed`. The base oracle
+  // must outlive the injector.
+  FaultInjectingOracle(LocalQueryOracle& base, double failure_rate,
+                       uint64_t seed);
+
+  int num_vertices() const override { return base_.num_vertices(); }
+
+  // The infallible queries pass straight through (fault injection only
+  // makes sense for callers that issue the fallible variants).
+  int64_t Degree(VertexId u) override;
+  std::optional<VertexId> Neighbor(VertexId u, int64_t slot) override;
+  bool Adjacent(VertexId u, VertexId v) override;
+
+  // Fallible queries: kUnavailable with probability failure_rate; a failed
+  // query never reaches the base oracle but still counts as issued here.
+  StatusOr<int64_t> TryDegree(VertexId u) override;
+  StatusOr<std::optional<VertexId>> TryNeighbor(VertexId u,
+                                                int64_t slot) override;
+  StatusOr<bool> TryAdjacent(VertexId u, VertexId v) override;
+
+  // Number of queries failed so far.
+  int64_t injected_failures() const { return injected_failures_; }
+
+ private:
+  // Returns the injected error, or OK to forward the query.
+  Status MaybeFail(const char* what);
+
+  LocalQueryOracle& base_;
+  double failure_rate_;
+  Rng rng_;
+  int64_t injected_failures_ = 0;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_LOCALQUERY_FAULT_INJECTION_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "localquery/query_retry.h"
 
 namespace dcs {
 
@@ -9,10 +12,13 @@ LocalQueryMinCutResult EstimateMinCutLocalQueries(
     const UndirectedGraph& graph, double epsilon, SearchMode mode, Rng& rng,
     const MinCutEstimatorOptions& options) {
   GraphOracle oracle(graph);
-  return EstimateMinCutLocalQueries(oracle, epsilon, mode, rng, options);
+  // GraphOracle is infallible, so a non-OK status here is a programmer
+  // error and value() is safe.
+  return EstimateMinCutLocalQueries(oracle, epsilon, mode, rng, options)
+      .value();
 }
 
-LocalQueryMinCutResult EstimateMinCutLocalQueries(
+StatusOr<LocalQueryMinCutResult> EstimateMinCutLocalQueries(
     LocalQueryOracle& oracle, double epsilon, SearchMode mode, Rng& rng,
     const MinCutEstimatorOptions& options) {
   DCS_CHECK(epsilon > 0 && epsilon < 1);
@@ -29,13 +35,16 @@ LocalQueryMinCutResult EstimateMinCutLocalQueries(
   // starting at n would be wrong).
   double min_degree = 0;
   for (VertexId v = 0; v < n; ++v) {
-    const double degree = static_cast<double>(oracle.Degree(v));
+    DCS_ASSIGN_OR_RETURN(const int64_t degree_query,
+                         RetryQuery([&] { return oracle.TryDegree(v); }));
+    const double degree = static_cast<double>(degree_query);
     if (v == 0 || degree < min_degree) min_degree = degree;
   }
   double t = std::max(1.0, min_degree);
   while (t >= 1.0) {
-    const VerifyGuessResult vg =
-        VerifyGuess(oracle, t, search_epsilon, rng, options.oversample_c);
+    DCS_ASSIGN_OR_RETURN(
+        const VerifyGuessResult vg,
+        VerifyGuess(oracle, t, search_epsilon, rng, options.oversample_c));
     ++result.verify_guess_calls;
     if (vg.accepted) break;
     t /= 2;
@@ -45,8 +54,9 @@ LocalQueryMinCutResult EstimateMinCutLocalQueries(
   const double kappa =
       options.kappa_c * log_n / (search_epsilon * search_epsilon);
   const double final_guess = std::max(1.0, t / kappa);
-  const VerifyGuessResult final_vg =
-      VerifyGuess(oracle, final_guess, epsilon, rng, options.oversample_c);
+  DCS_ASSIGN_OR_RETURN(
+      const VerifyGuessResult final_vg,
+      VerifyGuess(oracle, final_guess, epsilon, rng, options.oversample_c));
   ++result.verify_guess_calls;
   result.estimate = final_vg.estimate;
   result.counts = oracle.counts();

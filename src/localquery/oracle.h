@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "graph/ugraph.h"
+#include "util/status.h"
 
 namespace dcs {
 
@@ -50,6 +51,19 @@ class LocalQueryOracle {
 
   // Adjacency query.
   virtual bool Adjacent(VertexId u, VertexId v) = 0;
+
+  // Fallible variants for *unreliable* oracles (a remote backend may fail a
+  // query transiently with kUnavailable). The defaults wrap the infallible
+  // queries and never fail; algorithms that want to survive flaky backends
+  // (VerifyGuess, the min-cut estimators) issue these and retry-or-propagate.
+  virtual StatusOr<int64_t> TryDegree(VertexId u) { return Degree(u); }
+  virtual StatusOr<std::optional<VertexId>> TryNeighbor(VertexId u,
+                                                        int64_t slot) {
+    return Neighbor(u, slot);
+  }
+  virtual StatusOr<bool> TryAdjacent(VertexId u, VertexId v) {
+    return Adjacent(u, v);
+  }
 
   const QueryCounts& counts() const { return counts_; }
   void ResetCounts() { counts_ = QueryCounts{}; }

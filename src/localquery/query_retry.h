@@ -1,0 +1,38 @@
+// Bounded retry for fallible oracle queries.
+//
+// kUnavailable is the one transient code (see status.h): a query that
+// failed with it may succeed on reissue, so the local-query algorithms
+// retry it a bounded number of times before propagating. Any other error —
+// and exhaustion of the attempt budget — is returned to the caller.
+//
+// Retries only reissue the oracle query; they draw nothing from the
+// algorithm's Rng, so a run that recovers from transient faults produces
+// bit-identical results to a fault-free run.
+
+#ifndef DCS_LOCALQUERY_QUERY_RETRY_H_
+#define DCS_LOCALQUERY_QUERY_RETRY_H_
+
+#include <utility>
+
+#include "util/status.h"
+
+namespace dcs {
+
+// Attempts per query before giving up on kUnavailable.
+inline constexpr int kMaxQueryAttempts = 8;
+
+// Invokes `query` (returning StatusOr<T>) up to kMaxQueryAttempts times.
+template <typename QueryFn>
+auto RetryQuery(QueryFn&& query) -> decltype(query()) {
+  for (int attempt = 1;; ++attempt) {
+    auto result = query();
+    if (result.ok() || result.status().code() != StatusCode::kUnavailable ||
+        attempt >= kMaxQueryAttempts) {
+      return result;
+    }
+  }
+}
+
+}  // namespace dcs
+
+#endif  // DCS_LOCALQUERY_QUERY_RETRY_H_

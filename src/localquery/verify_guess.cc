@@ -4,13 +4,14 @@
 #include <cmath>
 
 #include "graph/connectivity.h"
+#include "localquery/query_retry.h"
 #include "mincut/stoer_wagner.h"
 
 namespace dcs {
 
-VerifyGuessResult VerifyGuess(LocalQueryOracle& oracle, double guess_t,
-                              double epsilon, Rng& rng,
-                              double oversample_c) {
+StatusOr<VerifyGuessResult> VerifyGuess(LocalQueryOracle& oracle,
+                                        double guess_t, double epsilon,
+                                        Rng& rng, double oversample_c) {
   DCS_CHECK_GE(guess_t, 1.0);
   DCS_CHECK(epsilon > 0 && epsilon < 1);
   const int n = oracle.num_vertices();
@@ -28,14 +29,22 @@ VerifyGuessResult VerifyGuess(LocalQueryOracle& oracle, double guess_t,
   UndirectedGraph sample(n);
   const double slot_weight = 1.0 / (2.0 * p);
   for (VertexId u = 0; u < n; ++u) {
-    const int64_t degree = oracle.Degree(u);
+    DCS_ASSIGN_OR_RETURN(const int64_t degree,
+                         RetryQuery([&] { return oracle.TryDegree(u); }));
     const int64_t picks = rng.Binomial(degree, p);
     if (picks == 0) continue;
     const std::vector<int> slots =
         rng.RandomSubset(static_cast<int>(degree), static_cast<int>(picks));
     for (int slot : slots) {
-      const std::optional<VertexId> neighbor = oracle.Neighbor(u, slot);
-      DCS_CHECK(neighbor.has_value());
+      DCS_ASSIGN_OR_RETURN(
+          const std::optional<VertexId> neighbor,
+          RetryQuery([&] { return oracle.TryNeighbor(u, slot); }));
+      if (!neighbor.has_value()) {
+        // The oracle reported deg(u) > slot yet returned ⊥: an inconsistent
+        // backend, not a programmer error — surface it, don't abort.
+        return FailedPreconditionError(
+            "oracle returned no neighbor for an in-range slot");
+      }
       sample.AddEdge(u, *neighbor, slot_weight);
     }
   }

@@ -14,6 +14,7 @@
 
 #include "localquery/oracle.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace dcs {
 
@@ -30,9 +31,15 @@ struct VerifyGuessResult {
 // Runs VERIFY-GUESS(D, t, ε) against the oracle. `oversample_c` is the
 // constant c in the sampling rate. Accepts iff the sampled min-cut
 // estimate is at least (1−ε)·t. Requires guess_t >= 1.
-VerifyGuessResult VerifyGuess(LocalQueryOracle& oracle, double guess_t,
-                              double epsilon, Rng& rng,
-                              double oversample_c = 2.0);
+//
+// Queries go through the oracle's fallible Try* interface: transient
+// (kUnavailable) failures are retried a bounded number of times
+// (query_retry.h) and otherwise propagated, so an unreliable backend makes
+// VerifyGuess return an error rather than crash. Retries never touch `rng`,
+// so a recovered run is bit-identical to a fault-free one.
+StatusOr<VerifyGuessResult> VerifyGuess(LocalQueryOracle& oracle,
+                                        double guess_t, double epsilon,
+                                        Rng& rng, double oversample_c = 2.0);
 
 }  // namespace dcs
 

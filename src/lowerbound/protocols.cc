@@ -30,8 +30,10 @@ SketchProtocolResult RunForEachSketchProtocol(
 
   // --- Bob ---
   BitReader reader = OpenMessage(message);
+  // In-process round trip of bytes Alice just wrote: a parse failure is a
+  // programmer error, so value() is safe.
   const DirectedForEachSketch received =
-      DirectedForEachSketch::Deserialize(reader);
+      DirectedForEachSketch::Deserialize(reader).value();
   const ForEachDecoder decoder(params);
   const CutOracle oracle = SketchCutOracle(received);
   for (int probe = 0; probe < probes; ++probe) {
@@ -71,8 +73,9 @@ SketchProtocolResult RunForAllSketchProtocol(
 
     // --- Bob ---
     BitReader reader = OpenMessage(message);
+    // In-process round trip: value() is safe (see above).
     const DirectedForAllSketch received =
-        DirectedForAllSketch::Deserialize(reader);
+        DirectedForAllSketch::Deserialize(reader).value();
     const bool decided_far =
         decoder.DecideFar(instance.index, instance.t,
                           SketchCutOracle(received),

@@ -19,8 +19,10 @@ TwoSumSolveResult SolveTwoSumViaMinCut(const TwoSumInstance& instance,
   // answered by Alice and Bob exchanging the two relevant bits.
   TwoSumGraphOracle oracle(x, y);
   TwoSumSolveResult result;
+  // TwoSumGraphOracle computes answers in-process and never fails, so a
+  // non-OK status here is a programmer error and value() is safe.
   const LocalQueryMinCutResult mincut =
-      EstimateMinCutLocalQueries(oracle, epsilon, mode, rng);
+      EstimateMinCutLocalQueries(oracle, epsilon, mode, rng).value();
   result.mincut_estimate = mincut.estimate;
   result.total_queries = mincut.counts.total();
   result.communication_bits = oracle.bits_exchanged();

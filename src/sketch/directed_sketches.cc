@@ -13,11 +13,17 @@
 namespace dcs {
 namespace {
 
-// Bits to serialize a per-vertex double array.
-int64_t ImbalanceSizeInBits(const std::vector<double>& imbalance) {
+// Wire size of a sketch, by serializing it (the envelope makes any
+// closed-form accounting brittle; these are called once per sketch).
+template <typename SketchT>
+int64_t WireSizeInBits(const SketchT& sketch) {
   BitWriter writer;
-  SerializeDoubleVector(imbalance, writer);
+  sketch.Serialize(writer);
   return writer.bit_count();
+}
+
+bool ValidEpsilon(double epsilon) {
+  return std::isfinite(epsilon) && epsilon > 0 && epsilon < 1;
 }
 
 double SumOverSide(const std::vector<double>& values, const VertexSet& side) {
@@ -57,17 +63,40 @@ DirectedForEachSketch::DirectedForEachSketch(const DirectedGraph& graph,
 }
 
 void DirectedForEachSketch::Serialize(BitWriter& writer) const {
-  SerializeDoubleVector(imbalance_, writer);
-  writer.WriteDouble(symmetrization_epsilon_);
-  symmetric_sketch_->Serialize(writer);
+  BitWriter payload;
+  SerializeDoubleVector(imbalance_, payload);
+  payload.WriteDouble(symmetrization_epsilon_);
+  symmetric_sketch_->Serialize(payload);
+  WriteEnvelope(StreamKind::kDirectedForEachSketch, payload, writer);
 }
 
-DirectedForEachSketch DirectedForEachSketch::Deserialize(BitReader& reader) {
+StatusOr<DirectedForEachSketch> DirectedForEachSketch::Deserialize(
+    BitReader& reader) {
+  DCS_ASSIGN_OR_RETURN(
+      const EnvelopePayload payload,
+      ReadEnvelopePayload(StreamKind::kDirectedForEachSketch, reader));
+  BitReader payload_reader(payload.bytes);
   DirectedForEachSketch sketch;
-  sketch.imbalance_ = DeserializeDoubleVector(reader);
-  sketch.symmetrization_epsilon_ = reader.ReadDouble();
+  DCS_ASSIGN_OR_RETURN(sketch.imbalance_,
+                       DeserializeDoubleVector(payload_reader));
+  DCS_ASSIGN_OR_RETURN(sketch.symmetrization_epsilon_,
+                       payload_reader.TryReadDouble());
+  if (!ValidEpsilon(sketch.symmetrization_epsilon_)) {
+    return InvalidArgumentError("symmetrization epsilon outside (0, 1)");
+  }
+  DCS_ASSIGN_OR_RETURN(ForEachCutSketch inner,
+                       ForEachCutSketch::Deserialize(payload_reader));
+  if (payload_reader.position() != payload.bit_count) {
+    return DataLossError("directed sketch payload has trailing bits");
+  }
+  if (static_cast<int>(sketch.imbalance_.size()) !=
+      inner.sample().num_vertices()) {
+    return InvalidArgumentError(
+        "imbalance array length does not match the inner sketch's vertex "
+        "count");
+  }
   sketch.symmetric_sketch_ = std::make_unique<ForEachCutSketch>(
-      ForEachCutSketch::Deserialize(reader));
+      std::move(inner));
   return sketch;
 }
 
@@ -78,7 +107,7 @@ double DirectedForEachSketch::EstimateCut(const VertexSet& side) const {
 }
 
 int64_t DirectedForEachSketch::SizeInBits() const {
-  return ImbalanceSizeInBits(imbalance_) + symmetric_sketch_->SizeInBits();
+  return WireSizeInBits(*this);
 }
 
 DirectedForAllSketch::DirectedForAllSketch(const DirectedGraph& graph,
@@ -91,17 +120,40 @@ DirectedForAllSketch::DirectedForAllSketch(const DirectedGraph& graph,
 }
 
 void DirectedForAllSketch::Serialize(BitWriter& writer) const {
-  SerializeDoubleVector(imbalance_, writer);
-  writer.WriteDouble(symmetrization_epsilon_);
-  symmetric_sparsifier_->Serialize(writer);
+  BitWriter payload;
+  SerializeDoubleVector(imbalance_, payload);
+  payload.WriteDouble(symmetrization_epsilon_);
+  symmetric_sparsifier_->Serialize(payload);
+  WriteEnvelope(StreamKind::kDirectedForAllSketch, payload, writer);
 }
 
-DirectedForAllSketch DirectedForAllSketch::Deserialize(BitReader& reader) {
+StatusOr<DirectedForAllSketch> DirectedForAllSketch::Deserialize(
+    BitReader& reader) {
+  DCS_ASSIGN_OR_RETURN(
+      const EnvelopePayload payload,
+      ReadEnvelopePayload(StreamKind::kDirectedForAllSketch, reader));
+  BitReader payload_reader(payload.bytes);
   DirectedForAllSketch sketch;
-  sketch.imbalance_ = DeserializeDoubleVector(reader);
-  sketch.symmetrization_epsilon_ = reader.ReadDouble();
+  DCS_ASSIGN_OR_RETURN(sketch.imbalance_,
+                       DeserializeDoubleVector(payload_reader));
+  DCS_ASSIGN_OR_RETURN(sketch.symmetrization_epsilon_,
+                       payload_reader.TryReadDouble());
+  if (!ValidEpsilon(sketch.symmetrization_epsilon_)) {
+    return InvalidArgumentError("symmetrization epsilon outside (0, 1)");
+  }
+  DCS_ASSIGN_OR_RETURN(BenczurKargerSparsifier inner,
+                       BenczurKargerSparsifier::Deserialize(payload_reader));
+  if (payload_reader.position() != payload.bit_count) {
+    return DataLossError("directed sketch payload has trailing bits");
+  }
+  if (static_cast<int>(sketch.imbalance_.size()) !=
+      inner.sparsifier().num_vertices()) {
+    return InvalidArgumentError(
+        "imbalance array length does not match the inner sparsifier's "
+        "vertex count");
+  }
   sketch.symmetric_sparsifier_ = std::make_unique<BenczurKargerSparsifier>(
-      BenczurKargerSparsifier::Deserialize(reader));
+      std::move(inner));
   return sketch;
 }
 
@@ -112,8 +164,7 @@ double DirectedForAllSketch::EstimateCut(const VertexSet& side) const {
 }
 
 int64_t DirectedForAllSketch::SizeInBits() const {
-  return ImbalanceSizeInBits(imbalance_) +
-         symmetric_sparsifier_->SizeInBits();
+  return WireSizeInBits(*this);
 }
 
 DirectedImportanceSamplerSketch::DirectedImportanceSamplerSketch(

@@ -34,6 +34,7 @@
 #include "util/bitio.h"
 #include "sketch/sampled_sketches.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace dcs {
 
@@ -48,9 +49,11 @@ class DirectedForEachSketch final : public DirectedCutSketch {
   DirectedForEachSketch(const DirectedGraph& graph, double epsilon,
                         double beta, Rng& rng, double oversample_c = 2.0);
 
-  // Wire format: imbalance array + symmetrization epsilon + inner sketch.
+  // Wire format: an envelope (kDirectedForEachSketch) whose payload is the
+  // imbalance array + symmetrization epsilon + the enveloped inner sketch.
+  // Deserialize validates the stream and never aborts on corrupted input.
   void Serialize(BitWriter& writer) const;
-  static DirectedForEachSketch Deserialize(BitReader& reader);
+  static StatusOr<DirectedForEachSketch> Deserialize(BitReader& reader);
 
   double EstimateCut(const VertexSet& side) const override;
   int64_t SizeInBits() const override;
@@ -75,9 +78,12 @@ class DirectedForAllSketch final : public DirectedCutSketch {
   DirectedForAllSketch(const DirectedGraph& graph, double epsilon,
                        double beta, Rng& rng, double oversample_c = 2.0);
 
-  // Wire format: imbalance array + symmetrization epsilon + inner sketch.
+  // Wire format: an envelope (kDirectedForAllSketch) whose payload is the
+  // imbalance array + symmetrization epsilon + the enveloped inner
+  // sparsifier. Deserialize validates the stream and never aborts on
+  // corrupted input.
   void Serialize(BitWriter& writer) const;
-  static DirectedForAllSketch Deserialize(BitReader& reader);
+  static StatusOr<DirectedForAllSketch> Deserialize(BitReader& reader);
 
   double EstimateCut(const VertexSet& side) const override;
   int64_t SizeInBits() const override;

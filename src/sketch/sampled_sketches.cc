@@ -35,31 +35,47 @@ BenczurKargerSparsifier::BenczurKargerSparsifier(const UndirectedGraph& graph,
   const double factor =
       oversample_c * std::log(n) / (epsilon * epsilon);
   sparsifier_ = ImportanceSampleByStrength(graph, factor, rng);
-  size_bits_ = 64 + SerializedSizeInBits(sparsifier_);  // epsilon + graph
+  BitWriter wire;
+  Serialize(wire);
+  size_bits_ = wire.bit_count();
 }
 
 BenczurKargerSparsifier::BenczurKargerSparsifier(double epsilon,
-                                                 UndirectedGraph sparsifier,
-                                                 int64_t size_bits)
-    : epsilon_(epsilon),
-      sparsifier_(std::move(sparsifier)),
-      size_bits_(size_bits) {}
+                                                 UndirectedGraph sparsifier)
+    : epsilon_(epsilon), sparsifier_(std::move(sparsifier)), size_bits_(0) {
+  BitWriter wire;
+  Serialize(wire);
+  size_bits_ = wire.bit_count();
+}
 
 BenczurKargerSparsifier BenczurKargerSparsifier::FromSparsifier(
     double epsilon, UndirectedGraph sparsifier) {
-  const int64_t size_bits = 64 + SerializedSizeInBits(sparsifier);
-  return BenczurKargerSparsifier(epsilon, std::move(sparsifier), size_bits);
+  return BenczurKargerSparsifier(epsilon, std::move(sparsifier));
 }
 
 void BenczurKargerSparsifier::Serialize(BitWriter& writer) const {
-  writer.WriteDouble(epsilon_);
-  SerializeUndirectedGraph(sparsifier_, writer);
+  BitWriter payload;
+  payload.WriteDouble(epsilon_);
+  SerializeUndirectedGraph(sparsifier_, payload);
+  WriteEnvelope(StreamKind::kForAllSparsifier, payload, writer);
 }
 
-BenczurKargerSparsifier BenczurKargerSparsifier::Deserialize(
+StatusOr<BenczurKargerSparsifier> BenczurKargerSparsifier::Deserialize(
     BitReader& reader) {
-  const double epsilon = reader.ReadDouble();
-  return FromSparsifier(epsilon, DeserializeUndirectedGraph(reader));
+  DCS_ASSIGN_OR_RETURN(
+      const EnvelopePayload payload,
+      ReadEnvelopePayload(StreamKind::kForAllSparsifier, reader));
+  BitReader payload_reader(payload.bytes);
+  DCS_ASSIGN_OR_RETURN(const double epsilon, payload_reader.TryReadDouble());
+  if (!std::isfinite(epsilon) || epsilon <= 0 || epsilon >= 1) {
+    return InvalidArgumentError("sparsifier epsilon outside (0, 1)");
+  }
+  DCS_ASSIGN_OR_RETURN(UndirectedGraph sparsifier,
+                       DeserializeUndirectedGraph(payload_reader));
+  if (payload_reader.position() != payload.bit_count) {
+    return DataLossError("sparsifier payload has trailing bits");
+  }
+  return FromSparsifier(epsilon, std::move(sparsifier));
 }
 
 double BenczurKargerSparsifier::EstimateCut(const VertexSet& side) const {
@@ -75,27 +91,45 @@ ForEachCutSketch::ForEachCutSketch(const UndirectedGraph& graph,
   DCS_CHECK(epsilon > 0 && epsilon < 1);
   const double factor = oversample_c / epsilon;
   sample_ = ImportanceSampleByStrength(graph, factor, rng);
-  size_bits_ = 64 + SerializedSizeInBits(sample_);  // epsilon + graph
+  BitWriter wire;
+  Serialize(wire);
+  size_bits_ = wire.bit_count();
 }
 
-ForEachCutSketch::ForEachCutSketch(double epsilon, UndirectedGraph sample,
-                                   int64_t size_bits)
-    : epsilon_(epsilon), sample_(std::move(sample)), size_bits_(size_bits) {}
+ForEachCutSketch::ForEachCutSketch(double epsilon, UndirectedGraph sample)
+    : epsilon_(epsilon), sample_(std::move(sample)), size_bits_(0) {
+  BitWriter wire;
+  Serialize(wire);
+  size_bits_ = wire.bit_count();
+}
 
 ForEachCutSketch ForEachCutSketch::FromSample(double epsilon,
                                               UndirectedGraph sample) {
-  const int64_t size_bits = 64 + SerializedSizeInBits(sample);
-  return ForEachCutSketch(epsilon, std::move(sample), size_bits);
+  return ForEachCutSketch(epsilon, std::move(sample));
 }
 
 void ForEachCutSketch::Serialize(BitWriter& writer) const {
-  writer.WriteDouble(epsilon_);
-  SerializeUndirectedGraph(sample_, writer);
+  BitWriter payload;
+  payload.WriteDouble(epsilon_);
+  SerializeUndirectedGraph(sample_, payload);
+  WriteEnvelope(StreamKind::kForEachSketch, payload, writer);
 }
 
-ForEachCutSketch ForEachCutSketch::Deserialize(BitReader& reader) {
-  const double epsilon = reader.ReadDouble();
-  return FromSample(epsilon, DeserializeUndirectedGraph(reader));
+StatusOr<ForEachCutSketch> ForEachCutSketch::Deserialize(BitReader& reader) {
+  DCS_ASSIGN_OR_RETURN(
+      const EnvelopePayload payload,
+      ReadEnvelopePayload(StreamKind::kForEachSketch, reader));
+  BitReader payload_reader(payload.bytes);
+  DCS_ASSIGN_OR_RETURN(const double epsilon, payload_reader.TryReadDouble());
+  if (!std::isfinite(epsilon) || epsilon <= 0 || epsilon >= 1) {
+    return InvalidArgumentError("sketch epsilon outside (0, 1)");
+  }
+  DCS_ASSIGN_OR_RETURN(UndirectedGraph sample,
+                       DeserializeUndirectedGraph(payload_reader));
+  if (payload_reader.position() != payload.bit_count) {
+    return DataLossError("sketch payload has trailing bits");
+  }
+  return FromSample(epsilon, std::move(sample));
 }
 
 double ForEachCutSketch::EstimateCut(const VertexSet& side) const {

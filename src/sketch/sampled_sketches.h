@@ -30,6 +30,7 @@
 #include "sketch/cut_sketch.h"
 #include "util/bitio.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace dcs {
 
@@ -51,9 +52,11 @@ class BenczurKargerSparsifier final : public UndirectedCutSketch {
   static BenczurKargerSparsifier FromSparsifier(double epsilon,
                                                 UndirectedGraph sparsifier);
 
-  // Wire format: epsilon (double) + the sparsifier graph.
+  // Wire format: an envelope (kForAllSparsifier) whose payload is epsilon
+  // (double) + the enveloped sparsifier graph. Deserialize validates the
+  // stream (see serialization.h) and never aborts on corrupted input.
   void Serialize(BitWriter& writer) const;
-  static BenczurKargerSparsifier Deserialize(BitReader& reader);
+  static StatusOr<BenczurKargerSparsifier> Deserialize(BitReader& reader);
 
   double EstimateCut(const VertexSet& side) const override;
   int64_t SizeInBits() const override;
@@ -62,8 +65,7 @@ class BenczurKargerSparsifier final : public UndirectedCutSketch {
   double epsilon() const { return epsilon_; }
 
  private:
-  BenczurKargerSparsifier(double epsilon, UndirectedGraph sparsifier,
-                          int64_t size_bits);
+  BenczurKargerSparsifier(double epsilon, UndirectedGraph sparsifier);
 
   double epsilon_;
   UndirectedGraph sparsifier_;
@@ -79,9 +81,11 @@ class ForEachCutSketch final : public UndirectedCutSketch {
   // Reconstructs a sketch from an already-drawn sample.
   static ForEachCutSketch FromSample(double epsilon, UndirectedGraph sample);
 
-  // Wire format: epsilon (double) + the sample graph.
+  // Wire format: an envelope (kForEachSketch) whose payload is epsilon
+  // (double) + the enveloped sample graph. Deserialize validates the stream
+  // (see serialization.h) and never aborts on corrupted input.
   void Serialize(BitWriter& writer) const;
-  static ForEachCutSketch Deserialize(BitReader& reader);
+  static StatusOr<ForEachCutSketch> Deserialize(BitReader& reader);
 
   double EstimateCut(const VertexSet& side) const override;
   int64_t SizeInBits() const override;
@@ -90,8 +94,7 @@ class ForEachCutSketch final : public UndirectedCutSketch {
   double epsilon() const { return epsilon_; }
 
  private:
-  ForEachCutSketch(double epsilon, UndirectedGraph sample,
-                   int64_t size_bits);
+  ForEachCutSketch(double epsilon, UndirectedGraph sample);
 
   double epsilon_;
   UndirectedGraph sample_;

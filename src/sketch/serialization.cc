@@ -1,7 +1,30 @@
 #include "sketch/serialization.h"
 
+#include <cmath>
+#include <cstddef>
+#include <string>
+
 namespace dcs {
 namespace {
+
+constexpr uint64_t kEnvelopeMagic = 0xD5CE;  // "DCS envelope"
+constexpr uint64_t kFormatVersion = 1;
+
+// Largest vertex count a stream may declare; matches the graph_io cap.
+constexpr uint64_t kMaxVertices = uint64_t{1} << 28;
+
+// Smallest possible serialized edge: two 1-bit Elias-gamma endpoints plus a
+// 64-bit weight. Declared edge counts are capped against remaining/66.
+constexpr int64_t kMinEdgeBits = 66;
+
+uint32_t Fnv1a(const std::vector<uint8_t>& bytes) {
+  uint32_t hash = 2166136261u;
+  for (uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 16777619u;
+  }
+  return hash;
+}
 
 template <typename GraphT>
 void SerializeEdges(const GraphT& graph, BitWriter& writer) {
@@ -14,41 +37,137 @@ void SerializeEdges(const GraphT& graph, BitWriter& writer) {
   }
 }
 
-}  // namespace
-
-void SerializeDirectedGraph(const DirectedGraph& graph, BitWriter& writer) {
-  SerializeEdges(graph, writer);
-}
-
-DirectedGraph DeserializeDirectedGraph(BitReader& reader) {
-  const int n = static_cast<int>(reader.ReadEliasGamma());
-  const int64_t m = static_cast<int64_t>(reader.ReadEliasGamma());
-  DirectedGraph graph(n);
-  for (int64_t i = 0; i < m; ++i) {
-    const VertexId src = static_cast<VertexId>(reader.ReadEliasGamma());
-    const VertexId dst = static_cast<VertexId>(reader.ReadEliasGamma());
-    const double weight = reader.ReadDouble();
-    graph.AddEdge(src, dst, weight);
+// Parses the count/edge-list payload shared by both graph kinds. The
+// payload already passed the envelope checksum, so failures here indicate a
+// stream written by a buggy or hostile producer rather than corruption in
+// transit — still a non-OK Status, never an abort.
+template <typename GraphT>
+StatusOr<GraphT> ParseGraphPayload(BitReader& reader) {
+  DCS_ASSIGN_OR_RETURN(const uint64_t n, reader.TryReadEliasGamma());
+  if (n > kMaxVertices) {
+    return InvalidArgumentError("graph stream declares " + std::to_string(n) +
+                                " vertices (cap " +
+                                std::to_string(kMaxVertices) + ")");
+  }
+  DCS_ASSIGN_OR_RETURN(const uint64_t m, reader.TryReadEliasGamma());
+  const uint64_t max_edges =
+      static_cast<uint64_t>(reader.RemainingBits() / kMinEdgeBits);
+  if (m > max_edges) {
+    return DataLossError("graph stream declares " + std::to_string(m) +
+                         " edges but only " +
+                         std::to_string(reader.RemainingBits()) +
+                         " payload bits remain");
+  }
+  GraphT graph(static_cast<int>(n));
+  for (uint64_t i = 0; i < m; ++i) {
+    DCS_ASSIGN_OR_RETURN(const uint64_t src, reader.TryReadEliasGamma());
+    DCS_ASSIGN_OR_RETURN(const uint64_t dst, reader.TryReadEliasGamma());
+    DCS_ASSIGN_OR_RETURN(const double weight, reader.TryReadDouble());
+    if (src >= n || dst >= n) {
+      return InvalidArgumentError(
+          "edge " + std::to_string(i) + " endpoint out of range [0, " +
+          std::to_string(n) + "): " + std::to_string(src) + " -> " +
+          std::to_string(dst));
+    }
+    if (src == dst) {
+      return InvalidArgumentError("edge " + std::to_string(i) +
+                                  " is a self-loop at vertex " +
+                                  std::to_string(src));
+    }
+    if (!std::isfinite(weight) || weight < 0) {
+      return InvalidArgumentError("edge " + std::to_string(i) +
+                                  " has non-finite or negative weight");
+    }
+    graph.AddEdge(static_cast<VertexId>(src), static_cast<VertexId>(dst),
+                  weight);
   }
   return graph;
+}
+
+template <typename GraphT>
+StatusOr<GraphT> DeserializeGraph(StreamKind kind, BitReader& reader) {
+  DCS_ASSIGN_OR_RETURN(const EnvelopePayload payload,
+                       ReadEnvelopePayload(kind, reader));
+  BitReader payload_reader(payload.bytes);
+  DCS_ASSIGN_OR_RETURN(GraphT graph, ParseGraphPayload<GraphT>(payload_reader));
+  if (payload_reader.position() != payload.bit_count) {
+    return DataLossError("graph payload has trailing bits");
+  }
+  return graph;
+}
+
+}  // namespace
+
+void WriteEnvelope(StreamKind kind, const BitWriter& payload, BitWriter& out) {
+  out.WriteBits(kEnvelopeMagic, 16);
+  out.WriteBits(kFormatVersion, 8);
+  out.WriteBits(static_cast<uint64_t>(kind), 8);
+  out.WriteEliasGamma(static_cast<uint64_t>(payload.bit_count()));
+  out.WriteBits(Fnv1a(payload.bytes()), 32);
+  out.AppendBits(payload.bytes(), payload.bit_count());
+}
+
+StatusOr<EnvelopePayload> ReadEnvelopePayload(StreamKind expected_kind,
+                                              BitReader& reader) {
+  DCS_ASSIGN_OR_RETURN(const uint64_t magic, reader.TryReadBits(16));
+  if (magic != kEnvelopeMagic) {
+    return DataLossError("bad envelope magic (not a dcs stream?)");
+  }
+  DCS_ASSIGN_OR_RETURN(const uint64_t version, reader.TryReadBits(8));
+  if (version != kFormatVersion) {
+    return DataLossError("unsupported stream format version " +
+                         std::to_string(version));
+  }
+  DCS_ASSIGN_OR_RETURN(const uint64_t kind, reader.TryReadBits(8));
+  if (kind != static_cast<uint64_t>(expected_kind)) {
+    return DataLossError(
+        "stream kind mismatch: expected " +
+        std::to_string(static_cast<uint64_t>(expected_kind)) + ", found " +
+        std::to_string(kind));
+  }
+  DCS_ASSIGN_OR_RETURN(const uint64_t bit_count, reader.TryReadEliasGamma());
+  if (reader.RemainingBits() < 32 ||
+      bit_count > static_cast<uint64_t>(reader.RemainingBits() - 32)) {
+    return DataLossError("envelope declares " + std::to_string(bit_count) +
+                         " payload bits but the stream is shorter");
+  }
+  DCS_ASSIGN_OR_RETURN(const uint64_t checksum, reader.TryReadBits(32));
+  EnvelopePayload payload;
+  payload.bit_count = static_cast<int64_t>(bit_count);
+  payload.bytes.assign(static_cast<size_t>((bit_count + 7) / 8), 0);
+  for (int64_t bit = 0; bit < payload.bit_count; ++bit) {
+    DCS_ASSIGN_OR_RETURN(const int value, reader.TryReadBit());
+    if (value) {
+      payload.bytes[static_cast<size_t>(bit >> 3)] |=
+          static_cast<uint8_t>(1u << (bit & 7));
+    }
+  }
+  if (Fnv1a(payload.bytes) != checksum) {
+    return DataLossError("envelope checksum mismatch (corrupted payload)");
+  }
+  return payload;
+}
+
+void SerializeDirectedGraph(const DirectedGraph& graph, BitWriter& writer) {
+  BitWriter payload;
+  SerializeEdges(graph, payload);
+  WriteEnvelope(StreamKind::kDirectedGraph, payload, writer);
+}
+
+StatusOr<DirectedGraph> DeserializeDirectedGraph(BitReader& reader) {
+  return DeserializeGraph<DirectedGraph>(StreamKind::kDirectedGraph, reader);
 }
 
 void SerializeUndirectedGraph(const UndirectedGraph& graph,
                               BitWriter& writer) {
-  SerializeEdges(graph, writer);
+  BitWriter payload;
+  SerializeEdges(graph, payload);
+  WriteEnvelope(StreamKind::kUndirectedGraph, payload, writer);
 }
 
-UndirectedGraph DeserializeUndirectedGraph(BitReader& reader) {
-  const int n = static_cast<int>(reader.ReadEliasGamma());
-  const int64_t m = static_cast<int64_t>(reader.ReadEliasGamma());
-  UndirectedGraph graph(n);
-  for (int64_t i = 0; i < m; ++i) {
-    const VertexId src = static_cast<VertexId>(reader.ReadEliasGamma());
-    const VertexId dst = static_cast<VertexId>(reader.ReadEliasGamma());
-    const double weight = reader.ReadDouble();
-    graph.AddEdge(src, dst, weight);
-  }
-  return graph;
+StatusOr<UndirectedGraph> DeserializeUndirectedGraph(BitReader& reader) {
+  return DeserializeGraph<UndirectedGraph>(StreamKind::kUndirectedGraph,
+                                           reader);
 }
 
 void SerializeDoubleVector(const std::vector<double>& values,
@@ -57,10 +176,22 @@ void SerializeDoubleVector(const std::vector<double>& values,
   for (double v : values) writer.WriteDouble(v);
 }
 
-std::vector<double> DeserializeDoubleVector(BitReader& reader) {
-  const size_t count = static_cast<size_t>(reader.ReadEliasGamma());
-  std::vector<double> values(count);
-  for (size_t i = 0; i < count; ++i) values[i] = reader.ReadDouble();
+StatusOr<std::vector<double>> DeserializeDoubleVector(BitReader& reader) {
+  DCS_ASSIGN_OR_RETURN(const uint64_t count, reader.TryReadEliasGamma());
+  if (count > static_cast<uint64_t>(reader.RemainingBits() / 64)) {
+    return DataLossError("double vector declares " + std::to_string(count) +
+                         " entries but only " +
+                         std::to_string(reader.RemainingBits()) +
+                         " bits remain");
+  }
+  std::vector<double> values(static_cast<size_t>(count));
+  for (size_t i = 0; i < values.size(); ++i) {
+    DCS_ASSIGN_OR_RETURN(values[i], reader.TryReadDouble());
+    if (!std::isfinite(values[i])) {
+      return InvalidArgumentError("double vector entry " + std::to_string(i) +
+                                  " is not finite");
+    }
+  }
   return values;
 }
 

@@ -2,35 +2,79 @@
 //
 // Sketch sizes in this library are reported in *bits of serialized
 // representation*, because the paper's lower bounds are stated in bits.
-// Format (self-delimiting): Elias-gamma vertex/edge counts, per-edge
-// Elias-gamma endpoints and a raw IEEE double weight.
+//
+// Serialized artifacts are exactly the things meant to cross machine
+// boundaries (sketches shipped Alice→Bob), so deserialization treats the
+// bytes as hostile: every top-level object is wrapped in a self-delimiting
+// envelope — magic (16 bits), format version (8), stream kind (8),
+// Elias-gamma payload bit count, FNV-1a checksum (32) — and the payload is
+// validated field by field (counts capped by the remaining stream length
+// before any allocation, endpoints range-checked, weights finite and
+// nonnegative). Deserializers return StatusOr and never abort, hang, or
+// make an unbounded allocation on corrupted input; any bit flip or
+// truncation is caught by the envelope checks.
+//
+// Payload format for graphs (inside the envelope): Elias-gamma vertex and
+// edge counts, then per edge Elias-gamma endpoints and a raw IEEE double
+// weight. Double vectors are headerless *fragments* (count + raw 64-bit
+// values) meant to be embedded inside an enclosing envelope's payload.
 
 #ifndef DCS_SKETCH_SERIALIZATION_H_
 #define DCS_SKETCH_SERIALIZATION_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/digraph.h"
 #include "graph/ugraph.h"
 #include "util/bitio.h"
+#include "util/status.h"
 
 namespace dcs {
 
-// Serializes a directed graph (vertex count, edge count, edges).
-void SerializeDirectedGraph(const DirectedGraph& graph, BitWriter& writer);
-DirectedGraph DeserializeDirectedGraph(BitReader& reader);
+// Discriminates the envelope's payload. Stable wire values.
+enum class StreamKind : uint8_t {
+  kDirectedGraph = 1,
+  kUndirectedGraph = 2,
+  kForEachSketch = 3,
+  kForAllSparsifier = 4,
+  kDirectedForEachSketch = 5,
+  kDirectedForAllSketch = 6,
+};
 
-// Serializes an undirected graph.
+// A validated envelope payload: the packed payload bits and their count.
+struct EnvelopePayload {
+  std::vector<uint8_t> bytes;
+  int64_t bit_count = 0;
+};
+
+// Wraps `payload` in an envelope of the given kind and appends it to `out`.
+void WriteEnvelope(StreamKind kind, const BitWriter& payload, BitWriter& out);
+
+// Reads one envelope of the expected kind from `reader`: verifies magic,
+// version, kind, payload length (against the remaining stream) and
+// checksum, and returns the payload bits. kDataLoss on any mismatch.
+StatusOr<EnvelopePayload> ReadEnvelopePayload(StreamKind expected_kind,
+                                              BitReader& reader);
+
+// Serializes a directed graph (enveloped).
+void SerializeDirectedGraph(const DirectedGraph& graph, BitWriter& writer);
+StatusOr<DirectedGraph> DeserializeDirectedGraph(BitReader& reader);
+
+// Serializes an undirected graph (enveloped).
 void SerializeUndirectedGraph(const UndirectedGraph& graph,
                               BitWriter& writer);
-UndirectedGraph DeserializeUndirectedGraph(BitReader& reader);
+StatusOr<UndirectedGraph> DeserializeUndirectedGraph(BitReader& reader);
 
-// Serializes a vector of doubles (count + raw 64-bit values).
+// Serializes a vector of doubles (headerless fragment: count + raw 64-bit
+// values). Deserialization caps the count against the remaining bits and
+// rejects non-finite entries (the library only serializes finite arrays:
+// imbalances, degree tables).
 void SerializeDoubleVector(const std::vector<double>& values,
                            BitWriter& writer);
-std::vector<double> DeserializeDoubleVector(BitReader& reader);
+StatusOr<std::vector<double>> DeserializeDoubleVector(BitReader& reader);
 
-// Serialized sizes in bits.
+// Serialized sizes in bits (envelope included).
 int64_t SerializedSizeInBits(const DirectedGraph& graph);
 int64_t SerializedSizeInBits(const UndirectedGraph& graph);
 

@@ -1,5 +1,6 @@
 #include "util/bitio.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace dcs {
@@ -39,6 +40,24 @@ void BitWriter::WriteDouble(double value) {
   WriteBits(bits, 64);
 }
 
+void BitWriter::AppendBits(const std::vector<uint8_t>& bytes,
+                           int64_t bit_count) {
+  DCS_CHECK_GE(bit_count, 0);
+  DCS_CHECK_LE(bit_count, static_cast<int64_t>(bytes.size()) * 8);
+  int64_t done = 0;
+  while (done < bit_count) {
+    const int chunk = static_cast<int>(std::min<int64_t>(64, bit_count - done));
+    uint64_t value = 0;
+    for (int i = 0; i < chunk; ++i) {
+      const int64_t bit = done + i;
+      const uint8_t byte = bytes[static_cast<size_t>(bit >> 3)];
+      value |= static_cast<uint64_t>((byte >> (bit & 7)) & 1) << i;
+    }
+    WriteBits(value, chunk);
+    done += chunk;
+  }
+}
+
 int BitReader::ReadBit() {
   DCS_CHECK_LT(position_, limit_);
   const uint8_t byte = (*bytes_)[static_cast<size_t>(position_ >> 3)];
@@ -72,6 +91,49 @@ uint64_t BitReader::ReadEliasGamma() {
 
 double BitReader::ReadDouble() {
   const uint64_t bits = ReadBits(64);
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+StatusOr<int> BitReader::TryReadBit() {
+  if (position_ >= limit_) {
+    return DataLossError("bit stream truncated");
+  }
+  return ReadBit();
+}
+
+StatusOr<uint64_t> BitReader::TryReadBits(int width) {
+  DCS_CHECK_GE(width, 0);
+  DCS_CHECK_LE(width, 64);
+  if (RemainingBits() < width) {
+    return DataLossError("bit stream truncated");
+  }
+  return ReadBits(width);
+}
+
+StatusOr<uint64_t> BitReader::TryReadEliasGamma() {
+  int log = 0;
+  while (true) {
+    DCS_ASSIGN_OR_RETURN(const int bit, TryReadBit());
+    if (bit == 1) break;
+    if (++log >= 64) {
+      return DataLossError("Elias-gamma prefix longer than 64 bits");
+    }
+  }
+  DCS_ASSIGN_OR_RETURN(const uint64_t low, TryReadBits(log));
+  // The payload is written MSB-to-LSB, and TryReadBits packs bits in read
+  // order LSB-first — so bit i of `low` is the (i+1)-th most significant
+  // payload bit. Append them in stream order under the leading 1.
+  uint64_t shifted = 1;
+  for (int i = 0; i < log; ++i) {
+    shifted = (shifted << 1) | ((low >> i) & 1);
+  }
+  return shifted - 1;
+}
+
+StatusOr<double> BitReader::TryReadDouble() {
+  DCS_ASSIGN_OR_RETURN(const uint64_t bits, TryReadBits(64));
   double value = 0;
   std::memcpy(&value, &bits, sizeof(value));
   return value;

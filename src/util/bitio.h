@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/status.h"
 
 namespace dcs {
 
@@ -35,6 +36,10 @@ class BitWriter {
   // Appends a 64-bit IEEE-754 double (fixed 64 bits).
   void WriteDouble(double value);
 
+  // Appends the first `bit_count` bits of another writer's packed bytes
+  // (used to splice an independently built payload into an envelope).
+  void AppendBits(const std::vector<uint8_t>& bytes, int64_t bit_count);
+
   // Total number of bits written so far.
   int64_t bit_count() const { return bit_count_; }
 
@@ -47,6 +52,13 @@ class BitWriter {
 };
 
 // Reads back a stream produced by BitWriter.
+//
+// Two read APIs share the cursor. The plain reads (ReadBit, ...) are for
+// *trusted* streams the library itself just wrote — transcripts, in-process
+// round trips — and CHECK-fail on overruns. The Try reads are for
+// *untrusted* bytes (anything that crossed a machine or file boundary):
+// they return kDataLoss instead of aborting and leave the cursor where the
+// failure was detected.
 class BitReader {
  public:
   // The referenced buffer must outlive the reader.
@@ -65,8 +77,18 @@ class BitReader {
   // Reads a 64-bit IEEE-754 double.
   double ReadDouble();
 
+  // Non-aborting variants for untrusted streams: kDataLoss on overrun (and,
+  // for Elias gamma, on a run of zeros no finite code can start with).
+  StatusOr<int> TryReadBit();
+  StatusOr<uint64_t> TryReadBits(int width);
+  StatusOr<uint64_t> TryReadEliasGamma();
+  StatusOr<double> TryReadDouble();
+
   // Number of bits consumed so far.
   int64_t position() const { return position_; }
+
+  // Number of unread bits (including any zero padding in the final byte).
+  int64_t RemainingBits() const { return limit_ - position_; }
 
   // True if fewer than `width` bits remain.
   bool AtEnd() const { return position_ >= limit_; }

@@ -1,0 +1,134 @@
+// Recoverable error handling: Status and StatusOr<T>.
+//
+// Convention (DESIGN.md §7): DCS_CHECK is for programmer errors and violated
+// internal invariants — it aborts. Status is for *untrusted input* and
+// *unreliable backends*: corrupted sketch byte streams, malformed graph
+// files, bad CLI flags, flaky query oracles. Functions that parse or touch
+// any of those return Status (or StatusOr<T>) and never abort on bad data.
+//
+// The vocabulary is a deliberately small subset of absl::Status: an error
+// code, a human-readable message, and the two composition macros
+// DCS_RETURN_IF_ERROR / DCS_ASSIGN_OR_RETURN.
+
+#ifndef DCS_UTIL_STATUS_H_
+#define DCS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dcs {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // caller-supplied value is malformed
+  kOutOfRange,          // value parses but violates a documented range
+  kDataLoss,            // stream corruption: bad magic, truncation, checksum
+  kNotFound,            // missing file / resource
+  kFailedPrecondition,  // operation is not valid in the current state
+  kUnavailable,         // transient backend failure; retrying may succeed
+  kInternal,            // invariant violation surfaced as a value
+};
+
+// Name of the code as a stable lowercase token ("data_loss", ...).
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+
+// Error constructors, one per non-OK code.
+Status InvalidArgumentError(std::string message);
+Status OutOfRangeError(std::string message);
+Status DataLossError(std::string message);
+Status NotFoundError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status UnavailableError(std::string message);
+Status InternalError(std::string message);
+
+// A Status or a value of type T. Accessing the value of a non-OK StatusOr
+// is a programmer error (CHECK).
+template <typename T>
+class StatusOr {
+ public:
+  // Implicit from an error Status (passing an OK status is a programmer
+  // error: an OK StatusOr must carry a value).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    DCS_CHECK(!status_.ok());
+  }
+  // Implicit from a value.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DCS_CHECK(ok());
+    return *value_;
+  }
+  T& value() & {
+    DCS_CHECK(ok());
+    return *value_;
+  }
+  T&& value() && {
+    DCS_CHECK(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dcs
+
+// Evaluates `expr` (a Status); returns it from the enclosing function if it
+// is not OK.
+#define DCS_RETURN_IF_ERROR(expr)                        \
+  do {                                                   \
+    ::dcs::Status dcs_status_macro_ = (expr);            \
+    if (!dcs_status_macro_.ok()) return dcs_status_macro_; \
+  } while (false)
+
+#define DCS_STATUS_MACRO_CONCAT_INNER(x, y) x##y
+#define DCS_STATUS_MACRO_CONCAT(x, y) DCS_STATUS_MACRO_CONCAT_INNER(x, y)
+
+// Evaluates `expr` (a StatusOr<T>); on OK assigns the value to `lhs`
+// (which may declare a new variable), otherwise returns the error status.
+#define DCS_ASSIGN_OR_RETURN(lhs, expr)                               \
+  DCS_ASSIGN_OR_RETURN_IMPL(                                          \
+      DCS_STATUS_MACRO_CONCAT(dcs_statusor_, __LINE__), lhs, expr)
+
+#define DCS_ASSIGN_OR_RETURN_IMPL(statusor, lhs, expr) \
+  auto statusor = (expr);                              \
+  if (!statusor.ok()) return statusor.status();        \
+  lhs = std::move(statusor).value()
+
+#endif  // DCS_UTIL_STATUS_H_

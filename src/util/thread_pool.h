@@ -54,6 +54,19 @@ class ThreadPool {
 
   // Runs body(i) for every i in [0, count), distributing indices across all
   // threads; blocks until the whole range is done.
+  //
+  // Each call is one *epoch* (generation_). Loop state (body_/count_/
+  // next_index_/pending_) is only ever written while the previous epoch is
+  // closed AND quiescent: workers claim indices only between marking
+  // themselves as active drainers (under the mutex, after observing an open
+  // epoch) and unmarking (under the mutex), and ParallelFor does not return
+  // until active_drainers_ == 0. A straggler that claimed i >= count_ in
+  // epoch N therefore cannot race the reset for epoch N+1 — the reset
+  // happens-after it left DrainIndices, and it re-reads the generation
+  // before it can ever claim again. (The previous version reset the atomics
+  // while such a straggler could still be between its fetch_add and the
+  // count_ load, letting one stale index run twice in the new loop and the
+  // loop return before every index had run.)
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& body) {
     DCS_CHECK_GE(count, 0);
     if (count == 0) return;
@@ -61,32 +74,35 @@ class ThreadPool {
       for (int64_t i = 0; i < count; ++i) body(i);
       return;
     }
-    // Publication order matters: a worker only sees indices to claim after
-    // the release store of next_index_, which happens-after body_/count_/
-    // pending_ are in place. Stragglers from the previous loop re-reading
-    // these atomics mid-claim see a consistent new loop or an exhausted
-    // old one.
-    body_.store(&body, std::memory_order_release);
-    count_.store(count, std::memory_order_release);
-    pending_.store(count, std::memory_order_release);
-    next_index_.store(0, std::memory_order_release);
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      // Closed + quiescent (guaranteed by the wait below on the previous
+      // call): safe to install the new epoch's state.
+      body_ = &body;
+      count_ = count;
+      pending_.store(count, std::memory_order_relaxed);
+      next_index_.store(0, std::memory_order_relaxed);
+      loop_open_ = true;
       ++generation_;
     }
     wake_workers_.notify_all();
     DrainIndices();
-    // Every index is claimed; wait for stragglers still inside body(i).
+    // Every index is claimed; wait for stragglers still inside body(i) or
+    // mid-claim, then close the epoch so late wakers go back to sleep.
     std::unique_lock<std::mutex> lock(mutex_);
-    loop_done_.wait(lock, [this] { return pending_.load() == 0; });
+    loop_done_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0 &&
+             active_drainers_ == 0;
+    });
+    loop_open_ = false;
   }
 
  private:
   void DrainIndices() {
     while (true) {
-      const int64_t i = next_index_.fetch_add(1, std::memory_order_acquire);
-      if (i >= count_.load(std::memory_order_acquire)) return;
-      (*body_.load(std::memory_order_acquire))(i);
+      const int64_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count_) return;
+      (*body_)(i);
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::unique_lock<std::mutex> lock(mutex_);
         loop_done_.notify_all();
@@ -99,13 +115,23 @@ class ThreadPool {
     while (true) {
       {
         std::unique_lock<std::mutex> lock(mutex_);
+        // Claiming is only legal inside an open epoch: a worker that slept
+        // through epoch N must not start draining after N closed, or it
+        // would race the state reset for epoch N+1.
         wake_workers_.wait(lock, [this, seen_generation] {
-          return shutdown_ || generation_ != seen_generation;
+          return shutdown_ ||
+                 (generation_ != seen_generation && loop_open_);
         });
         if (shutdown_) return;
         seen_generation = generation_;
+        ++active_drainers_;
       }
       DrainIndices();
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        --active_drainers_;
+      }
+      loop_done_.notify_all();
     }
   }
 
@@ -116,10 +142,15 @@ class ThreadPool {
   std::condition_variable wake_workers_;
   std::condition_variable loop_done_;
   bool shutdown_ = false;
+  bool loop_open_ = false;
   int64_t generation_ = 0;
+  int active_drainers_ = 0;
 
-  std::atomic<const std::function<void(int64_t)>*> body_{nullptr};
-  std::atomic<int64_t> count_{0};
+  // Written only under mutex_ while the epoch is closed and quiescent; read
+  // by drainers, which synchronized with those writes when they observed
+  // the open epoch under mutex_.
+  const std::function<void(int64_t)>* body_ = nullptr;
+  int64_t count_ = 0;
   std::atomic<int64_t> next_index_{0};
   std::atomic<int64_t> pending_{0};
 };

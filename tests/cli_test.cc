@@ -66,12 +66,45 @@ TEST(CliTest, TrialsSubcommand) {
   EXPECT_NE(RunCli("trials --kind forall --mode nonsense"), 0);
 }
 
-TEST(CliTest, MissingInputFileFails) {
-  EXPECT_NE(RunCli("mincut --in /nonexistent/graph.txt"), 0);
+// Exit-code contract (tools/dcs_cli.cc): 0 success, 1 runtime/data error,
+// 2 usage error. Bad inputs must map to the right code and never abort
+// (an abort surfaces as 134, not 1/2).
+
+TEST(CliTest, MissingInputFileExitsOne) {
+  EXPECT_EQ(RunCli("mincut --in /nonexistent/graph.txt"), 1);
 }
 
-TEST(CliTest, BadFlagSyntaxFails) {
-  EXPECT_NE(RunCli("generate --out"), 0);  // flag without value
+TEST(CliTest, BadFlagSyntaxExitsTwo) {
+  EXPECT_EQ(RunCli("generate --out"), 2);  // flag without value
+}
+
+TEST(CliTest, NonNumericFlagValueExitsTwo) {
+  EXPECT_EQ(RunCli("generate --type balanced --n notanumber "
+                   "--out /tmp/dcs_cli_test_unused.txt"),
+            2);
+  EXPECT_EQ(RunCli("generate --type balanced --p 0.3x "
+                   "--out /tmp/dcs_cli_test_unused.txt"),
+            2);
+}
+
+TEST(CliTest, CorruptGraphFileExitsOne) {
+  const std::string path = "/tmp/dcs_cli_test_corrupt.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  // Header promises two edges; the only edge has an out-of-range endpoint.
+  std::fputs("D 3 2\n0 99 1.0\n", f);
+  std::fclose(f);
+  EXPECT_EQ(RunCli("stats --in " + path + " --directed 1"), 1);
+  EXPECT_EQ(RunCli("mincut --in " + path + " --directed 1"), 1);
+}
+
+TEST(CliTest, TruncatedGraphFileExitsOne) {
+  const std::string path = "/tmp/dcs_cli_test_truncated.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("U 4 3\n0 1 1.0\n", f);
+  std::fclose(f);
+  EXPECT_EQ(RunCli("stats --in " + path), 1);
 }
 
 }  // namespace

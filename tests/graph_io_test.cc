@@ -15,7 +15,7 @@ TEST(GraphIoTest, DirectedRoundTrip) {
   std::stringstream stream;
   WriteDirectedGraphText(g, stream);
   const auto back = ReadDirectedGraphText(stream);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok());
   ASSERT_EQ(back->num_vertices(), g.num_vertices());
   ASSERT_EQ(back->num_edges(), g.num_edges());
   const VertexSet side = MakeVertexSet(12, {0, 4, 8});
@@ -29,7 +29,7 @@ TEST(GraphIoTest, UndirectedRoundTrip) {
   std::stringstream stream;
   WriteUndirectedGraphText(g, stream);
   const auto back = ReadUndirectedGraphText(stream);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->num_edges(), g.num_edges());
   EXPECT_DOUBLE_EQ(back->TotalWeight(), g.TotalWeight());
 }
@@ -38,55 +38,84 @@ TEST(GraphIoTest, CommentsAndBlankLinesIgnored) {
   std::stringstream stream(
       "# a graph\n\nU 3 2\n# first edge\n0 1 1.5\n\n1 2 2.5\n");
   const auto graph = ReadUndirectedGraphText(stream);
-  ASSERT_TRUE(graph.has_value());
+  ASSERT_TRUE(graph.ok());
   EXPECT_EQ(graph->num_edges(), 2);
   EXPECT_DOUBLE_EQ(graph->TotalWeight(), 4.0);
 }
 
 TEST(GraphIoTest, RejectsWrongTag) {
   std::stringstream stream("U 3 1\n0 1 1.0\n");
-  EXPECT_FALSE(ReadDirectedGraphText(stream).has_value());
+  EXPECT_FALSE(ReadDirectedGraphText(stream).ok());
 }
 
 TEST(GraphIoTest, RejectsMalformedInputs) {
   {
     std::stringstream stream("D 3\n");  // missing edge count
-    EXPECT_FALSE(ReadDirectedGraphText(stream).has_value());
+    EXPECT_FALSE(ReadDirectedGraphText(stream).ok());
   }
   {
     std::stringstream stream("D 3 1\n0 5 1.0\n");  // endpoint out of range
-    EXPECT_FALSE(ReadDirectedGraphText(stream).has_value());
+    EXPECT_FALSE(ReadDirectedGraphText(stream).ok());
   }
   {
     std::stringstream stream("D 3 1\n0 0 1.0\n");  // self loop
-    EXPECT_FALSE(ReadDirectedGraphText(stream).has_value());
+    EXPECT_FALSE(ReadDirectedGraphText(stream).ok());
   }
   {
     std::stringstream stream("D 3 1\n0 1 -2.0\n");  // negative weight
-    EXPECT_FALSE(ReadDirectedGraphText(stream).has_value());
+    EXPECT_FALSE(ReadDirectedGraphText(stream).ok());
   }
   {
     std::stringstream stream("D 3 2\n0 1 1.0\n");  // truncated edge list
-    EXPECT_FALSE(ReadDirectedGraphText(stream).has_value());
+    EXPECT_FALSE(ReadDirectedGraphText(stream).ok());
   }
   {
     std::stringstream stream("");  // empty
-    EXPECT_FALSE(ReadUndirectedGraphText(stream).has_value());
+    EXPECT_FALSE(ReadUndirectedGraphText(stream).ok());
   }
+}
+
+TEST(GraphIoTest, ErrorsCarryCodeAndLineNumber) {
+  std::stringstream stream("D 3 2\n0 1 1.0\n0 9 1.0\n");
+  const auto result = ReadDirectedGraphText(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // The bad endpoint is on line 3 of the stream.
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(GraphIoTest, RejectsNaNWeight) {
+  std::stringstream stream("U 3 1\n0 1 nan\n");
+  const auto result = ReadUndirectedGraphText(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphIoTest, RejectsInfiniteWeight) {
+  std::stringstream stream("U 3 1\n0 1 inf\n");
+  EXPECT_FALSE(ReadUndirectedGraphText(stream).ok());
+}
+
+TEST(GraphIoTest, TruncationReportsDataLoss) {
+  std::stringstream stream("D 3 2\n0 1 1.0\n");
+  const auto result = ReadDirectedGraphText(stream);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(GraphIoTest, FileRoundTrip) {
   Rng rng(3);
   const UndirectedGraph g = DumbbellGraph(5, 2);
   const std::string path = "/tmp/dcs_graph_io_test.txt";
-  ASSERT_TRUE(SaveUndirectedGraph(g, path));
+  ASSERT_TRUE(SaveUndirectedGraph(g, path).ok());
   const auto back = LoadUndirectedGraph(path);
-  ASSERT_TRUE(back.has_value());
+  ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->num_edges(), g.num_edges());
 }
 
 TEST(GraphIoTest, LoadMissingFileFails) {
-  EXPECT_FALSE(LoadDirectedGraph("/nonexistent/nowhere.txt").has_value());
+  EXPECT_FALSE(LoadDirectedGraph("/nonexistent/nowhere.txt").ok());
 }
 
 }  // namespace

@@ -1,0 +1,139 @@
+// FaultInjectingOracle: retry-or-propagate behavior of the local-query
+// algorithms against an unreliable backend, and the determinism contract
+// (a recovered run is bit-identical to a fault-free run, because retries
+// draw nothing from the algorithm's Rng).
+
+#include "localquery/fault_injection.h"
+
+#include "graph/ugraph.h"
+#include "gtest/gtest.h"
+#include "localquery/mincut_estimator.h"
+#include "localquery/oracle.h"
+#include "localquery/query_retry.h"
+#include "localquery/verify_guess.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dcs {
+namespace {
+
+// Connected unweighted multigraph: a 12-cycle plus chords, min cut > 2.
+UndirectedGraph TestGraph() {
+  constexpr int n = 12;
+  UndirectedGraph g(n);
+  for (int v = 0; v < n; ++v) {
+    g.AddEdge(v, (v + 1) % n, 1.0);
+    g.AddEdge(v, (v + 3) % n, 1.0);
+  }
+  return g;
+}
+
+TEST(FaultInjectionTest, AlwaysFailingReturnsUnavailable) {
+  const UndirectedGraph g = TestGraph();
+  GraphOracle base(g);
+  FaultInjectingOracle faulty(base, 1.0, /*seed=*/1);
+  const auto degree = faulty.TryDegree(0);
+  ASSERT_FALSE(degree.ok());
+  EXPECT_EQ(degree.status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(faulty.TryNeighbor(0, 0).ok());
+  EXPECT_FALSE(faulty.TryAdjacent(0, 1).ok());
+  EXPECT_EQ(faulty.injected_failures(), 3);
+  // Failed queries never reach the base oracle but count as issued on the
+  // wrapper (the caller did pay for them).
+  EXPECT_EQ(base.counts().total(), 0);
+  EXPECT_EQ(faulty.counts().total(), 3);
+}
+
+TEST(FaultInjectionTest, ZeroRateIsTransparent) {
+  const UndirectedGraph g = TestGraph();
+  GraphOracle base(g);
+  FaultInjectingOracle faulty(base, 0.0, /*seed=*/1);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const auto degree = faulty.TryDegree(v);
+    ASSERT_TRUE(degree.ok());
+    EXPECT_EQ(degree.value(), base.Degree(v));
+  }
+  EXPECT_EQ(faulty.injected_failures(), 0);
+}
+
+TEST(FaultInjectionTest, InfallibleQueriesPassThrough) {
+  const UndirectedGraph g = TestGraph();
+  GraphOracle base(g);
+  FaultInjectingOracle faulty(base, 1.0, /*seed=*/1);
+  EXPECT_EQ(faulty.num_vertices(), g.num_vertices());
+  EXPECT_EQ(faulty.Degree(0), 4);
+  EXPECT_TRUE(faulty.Adjacent(0, 1));
+  EXPECT_EQ(faulty.injected_failures(), 0);
+}
+
+TEST(FaultInjectionTest, RetryRecoversFromTransientFaults) {
+  const UndirectedGraph g = TestGraph();
+  GraphOracle base(g);
+  // At rate 0.25 a query still fails all kMaxQueryAttempts tries with
+  // probability 0.25^8 ≈ 1.5e-5; this fixed-seed loop stays clear of that.
+  FaultInjectingOracle faulty(base, 0.25, /*seed=*/5);
+  for (int round = 0; round < 100; ++round) {
+    const VertexId u = round % g.num_vertices();
+    const auto degree =
+        RetryQuery([&] { return faulty.TryDegree(u); });
+    ASSERT_TRUE(degree.ok()) << "round " << round;
+    EXPECT_EQ(degree.value(), base.Degree(u));
+  }
+  EXPECT_GT(faulty.injected_failures(), 0);
+  // The wrapper billed every attempt; the base only saw the successes.
+  EXPECT_EQ(faulty.counts().degree,
+            100 + faulty.injected_failures());
+}
+
+TEST(FaultInjectionTest, VerifyGuessPropagatesPersistentFailure) {
+  const UndirectedGraph g = TestGraph();
+  GraphOracle base(g);
+  FaultInjectingOracle faulty(base, 1.0, /*seed=*/2);
+  Rng rng(3);
+  const auto result = VerifyGuess(faulty, 4.0, 0.5, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultInjectionTest, EstimatorPropagatesPersistentFailure) {
+  const UndirectedGraph g = TestGraph();
+  GraphOracle base(g);
+  FaultInjectingOracle faulty(base, 1.0, /*seed=*/2);
+  Rng rng(3);
+  const auto result = EstimateMinCutLocalQueries(
+      faulty, 0.5, SearchMode::kModifiedConstantSearch, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultInjectionTest, RecoveredRunIsBitIdenticalToFaultFree) {
+  const UndirectedGraph g = TestGraph();
+
+  GraphOracle clean(g);
+  Rng clean_rng(42);
+  const auto clean_result = EstimateMinCutLocalQueries(
+      clean, 0.4, SearchMode::kModifiedConstantSearch, clean_rng);
+  ASSERT_TRUE(clean_result.ok());
+
+  GraphOracle base(g);
+  // Rate 0.1: a query survives retries with failure probability 1e-8, so
+  // the run recovers; the injector's own Rng stream leaves the algorithm's
+  // randomness untouched.
+  FaultInjectingOracle faulty(base, 0.1, /*seed=*/77);
+  Rng faulty_rng(42);
+  const auto faulty_result = EstimateMinCutLocalQueries(
+      faulty, 0.4, SearchMode::kModifiedConstantSearch, faulty_rng);
+  ASSERT_TRUE(faulty_result.ok());
+
+  EXPECT_GT(faulty.injected_failures(), 0);
+  EXPECT_EQ(faulty_result->estimate, clean_result->estimate);
+  EXPECT_EQ(faulty_result->verify_guess_calls,
+            clean_result->verify_guess_calls);
+  // Same queries issued by the algorithm, plus the billed retries.
+  EXPECT_EQ(base.counts().total(), clean.counts().total());
+  EXPECT_EQ(faulty.counts().total(),
+            clean.counts().total() + faulty.injected_failures());
+}
+
+}  // namespace
+}  // namespace dcs

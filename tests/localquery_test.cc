@@ -93,7 +93,8 @@ TEST(VerifyGuessTest, AcceptsGuessBelowMinCut) {
   const UndirectedGraph g = DumbbellGraph(12, 4);
   GraphOracle oracle(g);
   Rng rng(1);
-  const VerifyGuessResult result = VerifyGuess(oracle, 2.0, 0.3, rng, 4.0);
+  const VerifyGuessResult result =
+      VerifyGuess(oracle, 2.0, 0.3, rng, 4.0).value();
   EXPECT_TRUE(result.accepted);
   EXPECT_NEAR(result.estimate, 4.0, 1.5);
 }
@@ -103,7 +104,7 @@ TEST(VerifyGuessTest, RejectsHugeGuess) {
   GraphOracle oracle(g);
   Rng rng(2);
   // t = 600 ≫ k = 2: sampled graph is far too sparse to show a cut of 600.
-  const VerifyGuessResult result = VerifyGuess(oracle, 600.0, 0.3, rng);
+  const VerifyGuessResult result = VerifyGuess(oracle, 600.0, 0.3, rng).value();
   EXPECT_FALSE(result.accepted);
 }
 
@@ -112,7 +113,8 @@ TEST(VerifyGuessTest, SaturatedSamplingIsExact) {
   const UndirectedGraph g = DumbbellGraph(10, 3);
   GraphOracle oracle(g);
   Rng rng(3);
-  const VerifyGuessResult result = VerifyGuess(oracle, 1.0, 0.2, rng, 10.0);
+  const VerifyGuessResult result =
+      VerifyGuess(oracle, 1.0, 0.2, rng, 10.0).value();
   EXPECT_TRUE(result.accepted);
   EXPECT_DOUBLE_EQ(result.sample_probability, 1.0);
   EXPECT_NEAR(result.estimate, 3.0, 1e-9);
@@ -122,9 +124,9 @@ TEST(VerifyGuessTest, QueriesScaleInverselyWithGuess) {
   const UndirectedGraph g = CompleteGraph(64, 1.0);
   Rng rng(4);
   GraphOracle oracle_small(g);
-  VerifyGuess(oracle_small, 2.0, 0.5, rng);
+  ASSERT_TRUE(VerifyGuess(oracle_small, 2.0, 0.5, rng).ok());
   GraphOracle oracle_large(g);
-  VerifyGuess(oracle_large, 512.0, 0.5, rng);
+  ASSERT_TRUE(VerifyGuess(oracle_large, 512.0, 0.5, rng).ok());
   // Neighbor queries shrink roughly in proportion (degree queries are n in
   // both cases).
   EXPECT_GT(oracle_small.counts().neighbor,

@@ -1,5 +1,7 @@
 #include "sketch/serialization.h"
 
+#include <limits>
+
 #include "graph/generators.h"
 #include "gtest/gtest.h"
 #include "util/random.h"
@@ -13,7 +15,7 @@ TEST(SerializationTest, DirectedGraphRoundTrip) {
   BitWriter writer;
   SerializeDirectedGraph(g, writer);
   BitReader reader(writer.bytes());
-  const DirectedGraph back = DeserializeDirectedGraph(reader);
+  const DirectedGraph back = DeserializeDirectedGraph(reader).value();
   ASSERT_EQ(back.num_vertices(), g.num_vertices());
   ASSERT_EQ(back.num_edges(), g.num_edges());
   for (int64_t i = 0; i < g.num_edges(); ++i) {
@@ -29,7 +31,7 @@ TEST(SerializationTest, UndirectedGraphRoundTrip) {
   BitWriter writer;
   SerializeUndirectedGraph(g, writer);
   BitReader reader(writer.bytes());
-  const UndirectedGraph back = DeserializeUndirectedGraph(reader);
+  const UndirectedGraph back = DeserializeUndirectedGraph(reader).value();
   ASSERT_EQ(back.num_vertices(), g.num_vertices());
   ASSERT_EQ(back.num_edges(), g.num_edges());
   const VertexSet side = MakeVertexSet(15, {0, 3, 7, 9});
@@ -41,7 +43,7 @@ TEST(SerializationTest, EmptyGraph) {
   BitWriter writer;
   SerializeDirectedGraph(g, writer);
   BitReader reader(writer.bytes());
-  const DirectedGraph back = DeserializeDirectedGraph(reader);
+  const DirectedGraph back = DeserializeDirectedGraph(reader).value();
   EXPECT_EQ(back.num_vertices(), 5);
   EXPECT_EQ(back.num_edges(), 0);
 }
@@ -51,7 +53,7 @@ TEST(SerializationTest, DoubleVectorRoundTrip) {
   BitWriter writer;
   SerializeDoubleVector(values, writer);
   BitReader reader(writer.bytes());
-  EXPECT_EQ(DeserializeDoubleVector(reader), values);
+  EXPECT_EQ(DeserializeDoubleVector(reader).value(), values);
 }
 
 TEST(SerializationTest, SizeInBitsMatchesWriter) {
@@ -78,10 +80,100 @@ TEST(SerializationTest, MultipleGraphsInOneStream) {
   SerializeDirectedGraph(a, writer);
   SerializeUndirectedGraph(b, writer);
   BitReader reader(writer.bytes());
-  const DirectedGraph a_back = DeserializeDirectedGraph(reader);
-  const UndirectedGraph b_back = DeserializeUndirectedGraph(reader);
+  const DirectedGraph a_back = DeserializeDirectedGraph(reader).value();
+  const UndirectedGraph b_back = DeserializeUndirectedGraph(reader).value();
   EXPECT_EQ(a_back.num_edges(), a.num_edges());
   EXPECT_EQ(b_back.num_edges(), b.num_edges());
+}
+
+// Serializes the graph-payload fields by hand so corrupt field values can
+// be wrapped in a valid envelope (checksum intact) and must be caught by
+// the field validation itself.
+BitWriter EnvelopedDirectedPayload(const std::vector<uint64_t>& gammas,
+                                   double weight) {
+  BitWriter payload;
+  for (uint64_t g : gammas) payload.WriteEliasGamma(g);
+  payload.WriteDouble(weight);
+  BitWriter writer;
+  WriteEnvelope(StreamKind::kDirectedGraph, payload, writer);
+  return writer;
+}
+
+TEST(SerializationStatusTest, DoubleVectorCountCappedByRemainingBits) {
+  BitWriter writer;
+  // Claims ~10^12 entries with only one value present: must fail before
+  // allocating, not attempt a multi-terabyte vector.
+  writer.WriteEliasGamma(uint64_t{1} << 40);
+  writer.WriteDouble(1.0);
+  BitReader reader(writer.bytes());
+  const auto result = DeserializeDoubleVector(reader);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializationStatusTest, DoubleVectorRejectsNonFiniteEntries) {
+  BitWriter writer;
+  writer.WriteEliasGamma(1);
+  writer.WriteDouble(std::numeric_limits<double>::quiet_NaN());
+  BitReader reader(writer.bytes());
+  const auto result = DeserializeDoubleVector(reader);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationStatusTest, GraphEdgeCountCappedByRemainingBits) {
+  // n=4, m=10^12, no edge data: the count cap must fire.
+  const BitWriter writer =
+      EnvelopedDirectedPayload({4, uint64_t{1} << 40, 0, 1}, 1.0);
+  BitReader reader(writer.bytes());
+  const auto result = DeserializeDirectedGraph(reader);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializationStatusTest, GraphRejectsOutOfRangeEndpoint) {
+  const BitWriter writer = EnvelopedDirectedPayload({3, 1, 0, 7}, 1.0);
+  BitReader reader(writer.bytes());
+  const auto result = DeserializeDirectedGraph(reader);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationStatusTest, GraphRejectsSelfLoop) {
+  const BitWriter writer = EnvelopedDirectedPayload({3, 1, 2, 2}, 1.0);
+  BitReader reader(writer.bytes());
+  EXPECT_FALSE(DeserializeDirectedGraph(reader).ok());
+}
+
+TEST(SerializationStatusTest, GraphRejectsNaNWeight) {
+  const BitWriter writer = EnvelopedDirectedPayload(
+      {3, 1, 0, 1}, std::numeric_limits<double>::quiet_NaN());
+  BitReader reader(writer.bytes());
+  const auto result = DeserializeDirectedGraph(reader);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationStatusTest, GraphRejectsNegativeWeight) {
+  const BitWriter writer = EnvelopedDirectedPayload({3, 1, 0, 1}, -2.0);
+  BitReader reader(writer.bytes());
+  EXPECT_FALSE(DeserializeDirectedGraph(reader).ok());
+}
+
+TEST(SerializationStatusTest, WrongStreamKindRejected) {
+  const UndirectedGraph g = CycleGraph(4, 1.0);
+  BitWriter writer;
+  SerializeUndirectedGraph(g, writer);
+  BitReader reader(writer.bytes());
+  const auto result = DeserializeDirectedGraph(reader);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializationStatusTest, EmptyStreamRejected) {
+  const std::vector<uint8_t> empty;
+  BitReader reader(empty);
+  EXPECT_FALSE(DeserializeDirectedGraph(reader).ok());
 }
 
 TEST(SerializationTest, FuzzRoundTripManyRandomGraphs) {
@@ -94,7 +186,7 @@ TEST(SerializationTest, FuzzRoundTripManyRandomGraphs) {
     BitWriter writer;
     SerializeDirectedGraph(g, writer);
     BitReader reader(writer.bytes());
-    const DirectedGraph back = DeserializeDirectedGraph(reader);
+    const DirectedGraph back = DeserializeDirectedGraph(reader).value();
     ASSERT_EQ(back.num_edges(), g.num_edges()) << "seed " << seed;
     ASSERT_EQ(reader.position(), writer.bit_count()) << "seed " << seed;
     for (int64_t i = 0; i < g.num_edges(); ++i) {

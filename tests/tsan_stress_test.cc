@@ -8,6 +8,7 @@
 // pre-built adjacency, and the seed-deterministic trial runners
 // themselves at several thread counts.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -38,6 +39,31 @@ void StressThreadPoolReuse() {
                      });
   }
   Require(slots[511] == 199 + 511, "thread pool reuse");
+}
+
+void StressBackToBackGrowingLoops() {
+  // The straggler window: a worker that claimed the last index of a short
+  // loop but has not finished draining while the caller installs the next
+  // (larger) loop. Tiny and growing counts alternate with no pause so TSan
+  // sees the worker/caller hand-off under maximal pressure.
+  ThreadPool pool(8);
+  constexpr int64_t kMaxCount = 2048;
+  std::vector<std::atomic<int>> hits(kMaxCount);
+  int64_t grown = 1;
+  for (int round = 0; round < 2000; ++round) {
+    const int64_t count = (round % 2 == 0) ? grown : 1;
+    for (int64_t i = 0; i < count; ++i) {
+      hits[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
+    }
+    pool.ParallelFor(count, [&hits](int64_t i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (int64_t i = 0; i < count; ++i) {
+      Require(hits[static_cast<size_t>(i)].load() == 1,
+              "straggler stress: index ran exactly once");
+    }
+    if (round % 2 == 0) grown = grown >= kMaxCount / 2 ? 1 : grown * 2 + 1;
+  }
 }
 
 void StressSharedGraphReads() {
@@ -103,6 +129,7 @@ void StressTrialRunners() {
 
 int main() {
   dcs::StressThreadPoolReuse();
+  dcs::StressBackToBackGrowingLoops();
   dcs::StressSharedGraphReads();
   dcs::StressTrialRunners();
   std::printf("tsan stress: OK\n");

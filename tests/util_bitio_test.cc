@@ -149,5 +149,82 @@ TEST(BitIoDeathTest, ReadPastEndChecks) {
   EXPECT_DEATH(reader.ReadBit(), "CHECK");
 }
 
+TEST(BitIoTryTest, TryReadsMatchTrustedReads) {
+  BitWriter writer;
+  writer.WriteBit(1);
+  writer.WriteBits(0xABCD, 16);
+  writer.WriteEliasGamma(12345);
+  writer.WriteDouble(-2.75);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.TryReadBit().value(), 1);
+  EXPECT_EQ(reader.TryReadBits(16).value(), 0xABCDu);
+  EXPECT_EQ(reader.TryReadEliasGamma().value(), 12345u);
+  EXPECT_EQ(reader.TryReadDouble().value(), -2.75);
+  EXPECT_EQ(reader.position(), writer.bit_count());
+}
+
+TEST(BitIoTryTest, OverrunReturnsDataLossNotAbort) {
+  const std::vector<uint8_t> empty;
+  BitReader reader(empty);
+  EXPECT_EQ(reader.TryReadBit().status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(reader.TryReadBits(8).status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(reader.TryReadEliasGamma().status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(reader.TryReadDouble().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BitIoTryTest, TruncatedDoubleReturnsDataLoss) {
+  BitWriter writer;
+  writer.WriteBits(0, 40);  // only 40 of the 64 bits a double needs
+  BitReader reader(writer.bytes());
+  const auto result = reader.TryReadDouble();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BitIoTryTest, AllZeroGammaPrefixReturnsDataLoss) {
+  // A run of zeros longer than any finite Elias-gamma prefix: corrupted
+  // data, not an overrun, but still kDataLoss (no valid code starts here).
+  BitWriter writer;
+  for (int i = 0; i < 80; ++i) writer.WriteBit(0);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.TryReadEliasGamma().status().code(),
+            StatusCode::kDataLoss);
+}
+
+TEST(BitIoTryTest, RemainingBitsTracksCursor) {
+  BitWriter writer;
+  writer.WriteBits(0, 16);
+  BitReader reader(writer.bytes());
+  EXPECT_EQ(reader.RemainingBits(), 16);
+  ASSERT_TRUE(reader.TryReadBits(5).ok());
+  EXPECT_EQ(reader.RemainingBits(), 11);
+  ASSERT_TRUE(reader.TryReadBits(11).ok());
+  EXPECT_EQ(reader.RemainingBits(), 0);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BitIoTest, AppendBitsSplicesPayload) {
+  BitWriter payload;
+  payload.WriteEliasGamma(99);
+  payload.WriteBits(0b1011, 4);
+  BitWriter outer;
+  outer.WriteBits(0b101, 3);  // misaligned on purpose
+  outer.AppendBits(payload.bytes(), payload.bit_count());
+  EXPECT_EQ(outer.bit_count(), 3 + payload.bit_count());
+  BitReader reader(outer.bytes());
+  EXPECT_EQ(reader.ReadBits(3), 0b101u);
+  EXPECT_EQ(reader.ReadEliasGamma(), 99u);
+  EXPECT_EQ(reader.ReadBits(4), 0b1011u);
+}
+
+TEST(BitIoTest, AppendBitsEmptyIsNoop) {
+  BitWriter outer;
+  outer.WriteBit(1);
+  const BitWriter empty;
+  outer.AppendBits(empty.bytes(), 0);
+  EXPECT_EQ(outer.bit_count(), 1);
+}
+
 }  // namespace
 }  // namespace dcs

@@ -1,0 +1,131 @@
+#include "util/status.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dcs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_TRUE(OkStatus().ok());
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, ErrorConstructorsCarryCodeAndMessage) {
+  const std::vector<std::pair<Status, StatusCode>> cases = {
+      {InvalidArgumentError("a"), StatusCode::kInvalidArgument},
+      {OutOfRangeError("b"), StatusCode::kOutOfRange},
+      {DataLossError("c"), StatusCode::kDataLoss},
+      {NotFoundError("d"), StatusCode::kNotFound},
+      {FailedPreconditionError("e"), StatusCode::kFailedPrecondition},
+      {UnavailableError("f"), StatusCode::kUnavailable},
+      {InternalError("g"), StatusCode::kInternal},
+  };
+  for (const auto& [status, code] : cases) {
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), code);
+    EXPECT_EQ(status.message().size(), 1u);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(OkStatus().ToString(), "ok");
+  const Status s = DataLossError("bad magic");
+  EXPECT_NE(s.ToString().find(StatusCodeName(StatusCode::kDataLoss)),
+            std::string::npos);
+  EXPECT_NE(s.ToString().find("bad magic"), std::string::npos);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  const StatusOr<int> result = NotFoundError("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "nope");
+}
+
+TEST(StatusOrTest, MoveOnlyValueMovesOut) {
+  StatusOr<std::unique_ptr<int>> result = std::make_unique<int>(7);
+  ASSERT_TRUE(result.ok());
+  const std::unique_ptr<int> moved = std::move(result).value();
+  EXPECT_EQ(*moved, 7);
+}
+
+TEST(StatusOrTest, ArrowOperatorReachesMembers) {
+  const StatusOr<std::string> result = std::string("hello");
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(StatusOrDeathTest, ValueOfErrorChecks) {
+  const StatusOr<int> result = InternalError("boom");
+  EXPECT_DEATH(result.value(), "CHECK");
+}
+
+TEST(StatusOrDeathTest, OkStatusIntoStatusOrChecks) {
+  EXPECT_DEATH(StatusOr<int>{OkStatus()}, "CHECK");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return InvalidArgumentError("negative");
+  return OkStatus();
+}
+
+Status ChainedCheck(int x) {
+  DCS_RETURN_IF_ERROR(FailIfNegative(x));
+  return OkStatus();
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(ChainedCheck(1).ok());
+  const Status s = ChainedCheck(-1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return OutOfRangeError("not positive");
+  return x;
+}
+
+StatusOr<int> DoubleIfPositive(int x) {
+  DCS_ASSIGN_OR_RETURN(const int parsed, ParsePositive(x));
+  return 2 * parsed;
+}
+
+TEST(StatusMacroTest, AssignOrReturnAssignsAndPropagates) {
+  const StatusOr<int> ok = DoubleIfPositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  const StatusOr<int> err = DoubleIfPositive(0);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusMacroTest, AssignOrReturnTwiceInOneFunction) {
+  // The __LINE__-based temporary name must not collide.
+  const auto sum = [](int a, int b) -> StatusOr<int> {
+    DCS_ASSIGN_OR_RETURN(const int x, ParsePositive(a));
+    DCS_ASSIGN_OR_RETURN(const int y, ParsePositive(b));
+    return x + y;
+  };
+  EXPECT_EQ(sum(2, 3).value(), 5);
+  EXPECT_FALSE(sum(2, -3).ok());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -67,6 +67,34 @@ TEST(ThreadPoolTest, PoolIsReusableAcrossLoops) {
   }
 }
 
+TEST(ThreadPoolTest, StragglerStressBackToBackGrowingLoops) {
+  // Regression stress for a straggler race: a worker still draining loop L
+  // while the caller installs loop L+1 must not observe the new loop's
+  // body/count (it could then run new indices twice or over-run the old
+  // bound). Back-to-back loops with no pause and counts that alternate
+  // between tiny and growing maximize the window; run it under
+  // -DDCS_ENABLE_SANITIZERS=thread for the full data-race check
+  // (scripts/run_sanitizers.sh).
+  ThreadPool pool(8);
+  constexpr int64_t kMaxCount = 2048;
+  std::vector<std::atomic<int>> hits(kMaxCount);
+  int64_t grown = 1;
+  for (int round = 0; round < 600; ++round) {
+    const int64_t count = (round % 2 == 0) ? grown : 1 + round % 3;
+    for (int64_t i = 0; i < count; ++i) {
+      hits[static_cast<size_t>(i)].store(0, std::memory_order_relaxed);
+    }
+    pool.ParallelFor(count, [&hits](int64_t i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (int64_t i = 0; i < count; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "round=" << round << " count=" << count << " i=" << i;
+    }
+    if (round % 2 == 0) grown = grown >= kMaxCount / 2 ? 1 : grown * 2 + 1;
+  }
+}
+
 TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
   ThreadPool pool(1);
   int64_t sum = 0;  // unsynchronized on purpose: must run on the caller

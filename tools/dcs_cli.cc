@@ -21,7 +21,13 @@
 //   dcs encode --message "hello cuts"
 //   dcs trials --kind forall --trials 40 --threads 4 --mode enumerate
 
+// Exit codes: 0 success, 1 runtime/data error (unreadable or corrupt
+// input, failed write), 2 usage error (unknown command/flag, malformed
+// numeric value). Errors go to stderr; the tool never aborts on bad input.
+
+#include <climits>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
@@ -67,15 +73,35 @@ std::string GetFlag(const FlagMap& flags, const std::string& key,
   return it == flags.end() ? fallback : it->second;
 }
 
+// Numeric flag parsing via strtod/strtol with full-consumption checks:
+// a malformed value is a usage error (exit 2), never an uncaught
+// exception or a silently truncated parse.
 double GetDouble(const FlagMap& flags, const std::string& key,
                  double fallback) {
   const auto it = flags.find(key);
-  return it == flags.end() ? fallback : std::stod(it->second);
+  if (it == flags.end()) return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.c_str(), &end);
+  if (it->second.empty() || end != it->second.c_str() + it->second.size()) {
+    std::fprintf(stderr, "flag --%s: '%s' is not a number\n", key.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return value;
 }
 
 int GetInt(const FlagMap& flags, const std::string& key, int fallback) {
   const auto it = flags.find(key);
-  return it == flags.end() ? fallback : std::stoi(it->second);
+  if (it == flags.end()) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(it->second.c_str(), &end, 10);
+  if (it->second.empty() || end != it->second.c_str() + it->second.size() ||
+      value < INT_MIN || value > INT_MAX) {
+    std::fprintf(stderr, "flag --%s: '%s' is not an integer\n", key.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  return static_cast<int>(value);
 }
 
 bool HasFlag(const FlagMap& flags, const std::string& key) {
@@ -87,25 +113,25 @@ int CmdGenerate(const FlagMap& flags) {
   const std::string out = GetFlag(flags, "out", "graph.txt");
   const int n = GetInt(flags, "n", 64);
   dcs::Rng rng(static_cast<uint64_t>(GetInt(flags, "seed", 1)));
-  bool ok = false;
+  dcs::Status status;
   if (type == "balanced") {
     const double beta = GetDouble(flags, "beta", 2.0);
     const double p = GetDouble(flags, "p", 0.3);
-    ok = dcs::SaveDirectedGraph(dcs::RandomBalancedDigraph(n, p, beta, rng),
-                                out);
+    status = dcs::SaveDirectedGraph(
+        dcs::RandomBalancedDigraph(n, p, beta, rng), out);
   } else if (type == "eulerian") {
-    ok = dcs::SaveDirectedGraph(
+    status = dcs::SaveDirectedGraph(
         dcs::RandomEulerianDigraph(n, GetInt(flags, "cycles", n), 8, rng),
         out);
   } else if (type == "random") {
     const double p = GetDouble(flags, "p", 0.2);
-    ok = dcs::SaveUndirectedGraph(
+    status = dcs::SaveUndirectedGraph(
         dcs::RandomUndirectedGraph(n, p, 1.0, 1.0, true, rng), out);
   } else if (type == "dumbbell") {
-    ok = dcs::SaveUndirectedGraph(
+    status = dcs::SaveUndirectedGraph(
         dcs::DumbbellGraph(n / 2, GetInt(flags, "k", 2)), out);
   } else if (type == "multigraph") {
-    ok = dcs::SaveUndirectedGraph(
+    status = dcs::SaveUndirectedGraph(
         dcs::UnionOfRandomMatchings(n, GetInt(flags, "k", 8), rng), out);
   } else {
     std::fprintf(stderr,
@@ -113,8 +139,9 @@ int CmdGenerate(const FlagMap& flags) {
                  "multigraph)\n");
     return 2;
   }
-  if (!ok) {
-    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", out.c_str(),
+                 status.ToString().c_str());
     return 1;
   }
   std::printf("wrote %s\n", out.c_str());
@@ -125,9 +152,9 @@ int CmdStats(const FlagMap& flags) {
   const std::string in = GetFlag(flags, "in", "graph.txt");
   if (HasFlag(flags, "directed")) {
     const auto graph = dcs::LoadDirectedGraph(in);
-    if (!graph) {
-      std::fprintf(stderr, "cannot read directed graph from %s\n",
-                   in.c_str());
+    if (!graph.ok()) {
+      std::fprintf(stderr, "cannot read directed graph from %s: %s\n",
+                   in.c_str(), graph.status().ToString().c_str());
       return 1;
     }
     std::printf("directed graph: n=%d m=%lld total weight %.3f\n",
@@ -147,9 +174,9 @@ int CmdStats(const FlagMap& flags) {
     return 0;
   }
   const auto graph = dcs::LoadUndirectedGraph(in);
-  if (!graph) {
-    std::fprintf(stderr, "cannot read undirected graph from %s\n",
-                 in.c_str());
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cannot read undirected graph from %s: %s\n",
+                 in.c_str(), graph.status().ToString().c_str());
     return 1;
   }
   std::printf("undirected graph: n=%d m=%lld total weight %.3f\n",
@@ -166,14 +193,22 @@ int CmdMinCut(const FlagMap& flags) {
   const std::string in = GetFlag(flags, "in", "graph.txt");
   if (HasFlag(flags, "directed")) {
     const auto graph = dcs::LoadDirectedGraph(in);
-    if (!graph) return 1;
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", in.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
     const dcs::GlobalMinCut cut = dcs::DirectedGlobalMinCut(*graph);
     std::printf("directed global min cut: %.6f (|S| = %d)\n", cut.value,
                 dcs::SetSize(cut.side));
     return 0;
   }
   const auto graph = dcs::LoadUndirectedGraph(in);
-  if (!graph) return 1;
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s: %s\n", in.c_str(),
+                 graph.status().ToString().c_str());
+    return 1;
+  }
   const dcs::GlobalMinCut cut = dcs::StoerWagnerMinCut(*graph);
   std::printf("global min cut: %.6f (|S| = %d)\n", cut.value,
               dcs::SetSize(cut.side));
@@ -183,9 +218,11 @@ int CmdMinCut(const FlagMap& flags) {
 int CmdSketch(const FlagMap& flags) {
   const std::string in = GetFlag(flags, "in", "graph.txt");
   const auto graph = dcs::LoadDirectedGraph(in);
-  if (!graph) {
-    std::fprintf(stderr, "sketch works on directed graphs (see generate "
-                 "--type balanced)\n");
+  if (!graph.ok()) {
+    std::fprintf(stderr,
+                 "sketch works on directed graphs (see generate "
+                 "--type balanced): %s\n",
+                 graph.status().ToString().c_str());
     return 1;
   }
   const double epsilon = GetDouble(flags, "epsilon", 0.2);
@@ -229,7 +266,11 @@ int CmdSketch(const FlagMap& flags) {
 int CmdLocalQuery(const FlagMap& flags) {
   const std::string in = GetFlag(flags, "in", "graph.txt");
   const auto graph = dcs::LoadUndirectedGraph(in);
-  if (!graph) return 1;
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s: %s\n", in.c_str(),
+                 graph.status().ToString().c_str());
+    return 1;
+  }
   const double epsilon = GetDouble(flags, "epsilon", 0.25);
   dcs::Rng rng(static_cast<uint64_t>(GetInt(flags, "seed", 1)));
   const dcs::LocalQueryMinCutResult result = dcs::EstimateMinCutLocalQueries(
@@ -247,9 +288,9 @@ int CmdLocalQuery(const FlagMap& flags) {
 int CmdAgm(const FlagMap& flags) {
   const std::string in = GetFlag(flags, "in", "graph.txt");
   const auto graph = dcs::LoadUndirectedGraph(in);
-  if (!graph) {
-    std::fprintf(stderr, "cannot read undirected graph from %s\n",
-                 in.c_str());
+  if (!graph.ok()) {
+    std::fprintf(stderr, "cannot read undirected graph from %s: %s\n",
+                 in.c_str(), graph.status().ToString().c_str());
     return 1;
   }
   for (const dcs::Edge& e : graph->edges()) {
