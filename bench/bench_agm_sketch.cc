@@ -22,6 +22,7 @@
 #include "graph/generators.h"
 #include "sketch/serialization.h"
 #include "stream/agm_sketch.h"
+#include "json_writer.h"
 #include "table.h"
 #include "util/random.h"
 
@@ -152,10 +153,13 @@ BENCHMARK(BM_AgmSpanningForest)->Arg(64)->Arg(128);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_agm_sketch.json");
   dcs::TableA();
   dcs::TableB();
   dcs::TableC();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

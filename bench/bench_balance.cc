@@ -11,6 +11,7 @@
 
 #include "graph/balance.h"
 #include "graph/generators.h"
+#include "json_writer.h"
 #include "table.h"
 #include "util/random.h"
 
@@ -88,9 +89,12 @@ BENCHMARK(BM_PerEdgeCertificate)->Arg(64)->Arg(256);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_balance.json");
   dcs::TableA();
   dcs::TableB();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

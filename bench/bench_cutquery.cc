@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "json_writer.h"
 #include "lowerbound/forall_encoding.h"
 #include "table.h"
 #include "util/hadamard.h"
@@ -237,55 +238,44 @@ void WriteJson(const std::string& path,
                const std::vector<EnumerateRecord>& enumerate_records,
                const std::vector<EncodeRecord>& encode_records,
                const ParallelismResult& parallelism) {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return;
+  JsonValue root = JsonValue::MakeObject();
+  JsonValue enumerate_json = JsonValue::MakeArray();
+  for (const EnumerateRecord& r : enumerate_records) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("k", r.k);
+    entry.Set("subsets", r.subsets);
+    entry.Set("ms_rescan", r.ms_rescan);
+    entry.Set("ms_incremental", r.ms_incremental);
+    entry.Set("speedup", r.speedup());
+    entry.Set("same_subset", r.same_subset);
+    enumerate_json.Append(std::move(entry));
   }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"machine\": {\"hardware_concurrency\": %u},\n",
-               std::thread::hardware_concurrency());
-  std::fprintf(out, "  \"enumerate_decode\": [\n");
-  for (size_t i = 0; i < enumerate_records.size(); ++i) {
-    const EnumerateRecord& r = enumerate_records[i];
-    std::fprintf(out,
-                 "    {\"k\": %d, \"subsets\": %.0f, \"ms_rescan\": %.4f, "
-                 "\"ms_incremental\": %.4f, \"speedup\": %.2f, "
-                 "\"same_subset\": %s}%s\n",
-                 r.k, r.subsets, r.ms_rescan, r.ms_incremental, r.speedup(),
-                 r.same_subset ? "true" : "false",
-                 i + 1 < enumerate_records.size() ? "," : "");
+  root.Set("enumerate_decode", std::move(enumerate_json));
+  JsonValue encode_json = JsonValue::MakeArray();
+  for (const EncodeRecord& r : encode_records) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("log_size", r.log_size);
+    entry.Set("ms_reference", r.ms_reference);
+    entry.Set("ms_flat", r.ms_flat);
+    entry.Set("speedup", r.speedup());
+    entry.Set("match", r.match);
+    encode_json.Append(std::move(entry));
   }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"encode_signs\": [\n");
-  for (size_t i = 0; i < encode_records.size(); ++i) {
-    const EncodeRecord& r = encode_records[i];
-    std::fprintf(out,
-                 "    {\"log_size\": %d, \"ms_reference\": %.4f, "
-                 "\"ms_flat\": %.4f, \"speedup\": %.2f, \"match\": %s}%s\n",
-                 r.log_size, r.ms_reference, r.ms_flat, r.speedup(),
-                 r.match ? "true" : "false",
-                 i + 1 < encode_records.size() ? "," : "");
+  root.Set("encode_signs", std::move(encode_json));
+  JsonValue parallelism_json = JsonValue::MakeObject();
+  parallelism_json.Set("trials", parallelism.trials);
+  parallelism_json.Set("results_identical", parallelism.identical);
+  JsonValue sweep = JsonValue::MakeArray();
+  for (const ThreadRecord& r : parallelism.records) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("threads", r.threads);
+    entry.Set("ms", r.ms);
+    entry.Set("correct", r.correct);
+    sweep.Append(std::move(entry));
   }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"trial_parallelism\": {\n");
-  std::fprintf(out, "    \"trials\": %d,\n", parallelism.trials);
-  std::fprintf(out, "    \"results_identical\": %s,\n",
-               parallelism.identical ? "true" : "false");
-  std::fprintf(out, "    \"sweep\": [\n");
-  for (size_t i = 0; i < parallelism.records.size(); ++i) {
-    const ThreadRecord& r = parallelism.records[i];
-    std::fprintf(out,
-                 "      {\"threads\": %d, \"ms\": %.2f, \"correct\": %lld}"
-                 "%s\n",
-                 r.threads, r.ms, static_cast<long long>(r.correct),
-                 i + 1 < parallelism.records.size() ? "," : "");
-  }
-  std::fprintf(out, "    ]\n");
-  std::fprintf(out, "  }\n");
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("\nwrote %s\n", path.c_str());
+  parallelism_json.Set("sweep", std::move(sweep));
+  root.Set("trial_parallelism", std::move(parallelism_json));
+  bench::WriteBenchJson(path, std::move(root));
 }
 
 }  // namespace dcs
@@ -296,10 +286,8 @@ int main(int argc, char** argv) {
     const unsigned hw = std::thread::hardware_concurrency();
     threads = hw > 1 ? static_cast<int>(hw > 8 ? 8 : hw) : 2;
   }
-  std::string out_path = "BENCH_cutquery.json";
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--out") out_path = argv[i + 1];
-  }
+  const std::string out_path =
+      dcs::bench::ConsumeOutFlag(&argc, argv, "BENCH_cutquery.json");
   const auto enumerate_records = dcs::SectionEnumerate();
   const auto encode_records = dcs::SectionEncodeSigns();
   const auto parallelism = dcs::SectionParallelism(threads);

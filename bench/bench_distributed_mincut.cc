@@ -26,6 +26,7 @@
 #include "mincut/cut_counting.h"
 #include "graph/generators.h"
 #include "mincut/stoer_wagner.h"
+#include "json_writer.h"
 #include "table.h"
 #include "util/stats.h"
 
@@ -198,11 +199,14 @@ BENCHMARK(BM_DistributedPipeline)->Arg(64)->Arg(256);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_distributed_mincut.json");
   dcs::TableA();
   dcs::TableB();
   dcs::TableC();
   dcs::TableD();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

@@ -19,6 +19,7 @@
 #include <cmath>
 
 #include "lowerbound/forall_encoding.h"
+#include "json_writer.h"
 #include "table.h"
 #include "util/random.h"
 
@@ -222,6 +223,8 @@ BENCHMARK(BM_ForAllGreedyDecision)->Arg(16)->Arg(36);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_forall_lowerbound.json");
   const int threads = dcs::bench::ConsumeThreadsFlag(&argc, argv);
   dcs::TableA();
   dcs::TableB();
@@ -229,5 +232,6 @@ int main(int argc, char** argv) {
   dcs::TableD(threads);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

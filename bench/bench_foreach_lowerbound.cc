@@ -21,6 +21,7 @@
 #include <cmath>
 
 #include "lowerbound/foreach_encoding.h"
+#include "json_writer.h"
 #include "table.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -278,6 +279,8 @@ BENCHMARK(BM_ForEachDecodeBit)->Arg(4)->Arg(8)->Arg(16);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_foreach_lowerbound.json");
   const int threads = dcs::bench::ConsumeThreadsFlag(&argc, argv);
   dcs::TableA();
   dcs::TableB();
@@ -286,5 +289,6 @@ int main(int argc, char** argv) {
   dcs::TableE(threads);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

@@ -19,6 +19,7 @@
 #include "lowerbound/twosum_graph.h"
 #include "mincut/dinic.h"
 #include "mincut/stoer_wagner.h"
+#include "json_writer.h"
 #include "table.h"
 #include "util/random.h"
 
@@ -149,10 +150,13 @@ BENCHMARK(BM_StoerWagnerOnGxy)->Arg(12)->Arg(24)->Arg(48);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_gxy_mincut.json");
   dcs::TableA();
   dcs::TableB();
   dcs::TableC();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "json_writer.h"
 #include "table.h"
 #include "util/hadamard.h"
 #include "util/random.h"
@@ -125,8 +126,11 @@ BENCHMARK(BM_HadamardEntry);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_hadamard.json");
   dcs::VerificationTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

@@ -20,6 +20,7 @@
 
 #include "localquery/mincut_estimator.h"
 #include "lowerbound/twosum_graph.h"
+#include "json_writer.h"
 #include "table.h"
 #include "util/stats.h"
 #include "util/random.h"
@@ -177,11 +178,14 @@ BENCHMARK(BM_LocalQueryEstimate)->Arg(24)->Arg(48);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_localquery_lowerbound.json");
   dcs::g_measure_threads = dcs::bench::ConsumeThreadsFlag(&argc, argv);
   dcs::TableA();
   dcs::TableB();
   dcs::TableC();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

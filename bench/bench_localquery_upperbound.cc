@@ -21,6 +21,7 @@
 #include "graph/generators.h"
 #include "localquery/mincut_estimator.h"
 #include "mincut/stoer_wagner.h"
+#include "json_writer.h"
 #include "table.h"
 #include "util/stats.h"
 
@@ -150,10 +151,13 @@ BENCHMARK(BM_VerifyGuessDrivenEstimate)->Arg(1024)->Arg(4096);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_localquery_upperbound.json");
   dcs::TableA();
   dcs::TableB();
   dcs::TableC();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "mincut/gomory_hu.h"
 #include "mincut/karger.h"
 #include "mincut/stoer_wagner.h"
+#include "json_writer.h"
 #include "table.h"
 #include "util/random.h"
 
@@ -130,9 +131,12 @@ BENCHMARK(BM_DirectedGlobalMinCut)->Arg(24)->Arg(48);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_mincut_algorithms.json");
   dcs::TableA();
   dcs::TableB();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

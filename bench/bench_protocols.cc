@@ -18,6 +18,7 @@
 
 #include "lowerbound/protocols.h"
 #include "lowerbound/twosum_solver.h"
+#include "json_writer.h"
 #include "table.h"
 #include "util/random.h"
 
@@ -153,11 +154,14 @@ BENCHMARK(BM_ForEachProtocol);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_protocols.json");
   const int threads = dcs::bench::ConsumeThreadsFlag(&argc, argv);
   dcs::TableA();
   dcs::TableB();
   dcs::TableC(threads);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

@@ -29,6 +29,7 @@
 #include "sketch/directed_sketches.h"
 #include "sketch/exact_sketch.h"
 #include "sketch/serialization.h"
+#include "json_writer.h"
 #include "table.h"
 #include "util/stats.h"
 
@@ -219,11 +220,14 @@ BENCHMARK(BM_BuildDirectedForAll)->Arg(64)->Arg(128);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_sketch_sizes.json");
   dcs::TableA();
   dcs::TableB();
   dcs::TableC();
   dcs::TableD();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

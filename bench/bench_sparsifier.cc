@@ -19,6 +19,7 @@
 #include "mincut/stoer_wagner.h"
 #include "sketch/sampled_sketches.h"
 #include "spectral/laplacian.h"
+#include "json_writer.h"
 #include "table.h"
 #include "util/stats.h"
 
@@ -262,6 +263,8 @@ BENCHMARK(BM_BuildBkSparsifier)->Arg(64)->Arg(128);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_sparsifier.json");
   dcs::TableA();
   dcs::TableB();
   dcs::TableC();
@@ -269,5 +272,6 @@ int main(int argc, char** argv) {
   dcs::TableE();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

@@ -18,6 +18,7 @@
 
 #include "graph/generators.h"
 #include "spectral/laplacian.h"
+#include "json_writer.h"
 #include "table.h"
 #include "util/random.h"
 
@@ -135,10 +136,13 @@ BENCHMARK(BM_SpectralSparsify)->Arg(64)->Arg(128);
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  const std::string out_path = dcs::bench::ConsumeOutFlag(
+      &argc, argv, "BENCH_spectral.json");
   dcs::TableA();
   dcs::TableB();
   dcs::TableC();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

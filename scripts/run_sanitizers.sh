@@ -4,33 +4,49 @@
 # The sanitizer builds also register tsan_stress_test with ctest, so the
 # straggler/data-race stress drivers run under the real checkers.
 #
-# Usage: scripts/run_sanitizers.sh [address|thread]
-#   With no argument both sanitizers run (address first).
+# A third configuration, "metrics-off", compiles the library with
+# DCS_ENABLE_METRICS=OFF (no sanitizer) and runs the suite there, proving
+# the instrumentation macros really compile out: metric-dependent tests
+# skip and everything else behaves identically.
+#
+# Usage: scripts/run_sanitizers.sh [address|thread|metrics-off]
+#   With no argument all three configurations run (address first).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 run_one() {
   local kind="$1"
-  local build_dir="${repo_root}/build-${kind%%san*}san"
+  local build_dir
+  local -a cmake_flags
   case "${kind}" in
-    address) build_dir="${repo_root}/build-asan" ;;
-    thread) build_dir="${repo_root}/build-tsan" ;;
+    address)
+      build_dir="${repo_root}/build-asan"
+      cmake_flags=(-DDCS_ENABLE_SANITIZERS=address)
+      ;;
+    thread)
+      build_dir="${repo_root}/build-tsan"
+      cmake_flags=(-DDCS_ENABLE_SANITIZERS=thread)
+      ;;
+    metrics-off)
+      build_dir="${repo_root}/build-metrics-off"
+      cmake_flags=(-DDCS_ENABLE_METRICS=OFF)
+      ;;
     *)
-      echo "unknown sanitizer '${kind}' (want address or thread)" >&2
+      echo "unknown configuration '${kind}' (want address, thread, or metrics-off)" >&2
       exit 2
       ;;
   esac
-  echo "=== ${kind} sanitizer: ${build_dir} ==="
+  echo "=== ${kind}: ${build_dir} ==="
   cmake -B "${build_dir}" -S "${repo_root}" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DDCS_ENABLE_SANITIZERS="${kind}"
+    "${cmake_flags[@]}"
   cmake --build "${build_dir}" -j"$(nproc)"
   ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
 }
 
 if [[ $# -gt 1 ]]; then
-  echo "usage: $0 [address|thread]" >&2
+  echo "usage: $0 [address|thread|metrics-off]" >&2
   exit 2
 fi
 
@@ -39,4 +55,5 @@ if [[ $# -eq 1 ]]; then
 else
   run_one address
   run_one thread
+  run_one metrics-off
 fi

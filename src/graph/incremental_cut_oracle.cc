@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/metrics.h"
+
 namespace dcs {
 
 IncrementalCutOracle::IncrementalCutOracle(const DirectedGraph& graph,
@@ -14,8 +16,19 @@ IncrementalCutOracle::IncrementalCutOracle(const DirectedGraph& graph,
   value_ = graph_.CutWeight(side_);
 }
 
+IncrementalCutOracle::~IncrementalCutOracle() {
+  DCS_METRIC_ADD("graph.inccut.flip", flips_);
+  DCS_METRIC_ADD("graph.inccut.flip_edges", flip_edges_);
+  if (flips_ > 0) {
+    DCS_METRIC_RECORD("graph.inccut.oracle_flips", flips_);
+  }
+}
+
 void IncrementalCutOracle::Flip(VertexId v) {
   DCS_DCHECK(v >= 0 && v < graph_.num_vertices());
+  ++flips_;
+  flip_edges_ += static_cast<int64_t>(graph_.OutEdgeIds(v).size()) +
+                 static_cast<int64_t>(graph_.InEdgeIds(v).size());
   const std::vector<Edge>& edges = graph_.edges();
   // Moving v into S: out-edges v→u with u ∉ S start crossing, in-edges u→v
   // with u ∈ S stop crossing (v no longer absorbs them outside). Moving v

@@ -26,6 +26,12 @@ class IncrementalCutOracle {
  public:
   IncrementalCutOracle(const DirectedGraph& graph, VertexSet side);
 
+  // Flushes the per-object flip tallies into the metrics registry
+  // (`graph.inccut.*`). Flip itself stays metric-free: per-flip registry
+  // traffic would dominate the O(deg) update this class exists to provide
+  // (DESIGN.md §8's object-scope aggregation rule).
+  ~IncrementalCutOracle();
+
   // Current cut value w(S, V∖S).
   double value() const { return value_; }
   // Current side S.
@@ -42,6 +48,9 @@ class IncrementalCutOracle {
   const DirectedGraph& graph_;
   VertexSet side_;
   double value_;
+  // Lifetime tallies flushed by the destructor (see above).
+  int64_t flips_ = 0;
+  int64_t flip_edges_ = 0;
 };
 
 }  // namespace dcs

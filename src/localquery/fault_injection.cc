@@ -12,24 +12,25 @@ FaultInjectingOracle::FaultInjectingOracle(LocalQueryOracle& base,
       rng_(seed) {}
 
 int64_t FaultInjectingOracle::Degree(VertexId u) {
-  ++counts_.degree;
+  TallyDegreeQuery();
   return base_.Degree(u);
 }
 
 std::optional<VertexId> FaultInjectingOracle::Neighbor(VertexId u,
                                                        int64_t slot) {
-  ++counts_.neighbor;
+  TallyNeighborQuery();
   return base_.Neighbor(u, slot);
 }
 
 bool FaultInjectingOracle::Adjacent(VertexId u, VertexId v) {
-  ++counts_.adjacency;
+  TallyAdjacencyQuery();
   return base_.Adjacent(u, v);
 }
 
 Status FaultInjectingOracle::MaybeFail(const char* what) {
   if (rng_.Bernoulli(failure_rate_)) {
     ++injected_failures_;
+    DCS_METRIC_INC("localquery.fault.injected");
     return UnavailableError(std::string("injected fault: ") + what +
                             " query failed");
   }
@@ -37,20 +38,20 @@ Status FaultInjectingOracle::MaybeFail(const char* what) {
 }
 
 StatusOr<int64_t> FaultInjectingOracle::TryDegree(VertexId u) {
-  ++counts_.degree;
+  TallyDegreeQuery();
   DCS_RETURN_IF_ERROR(MaybeFail("degree"));
   return base_.Degree(u);
 }
 
 StatusOr<std::optional<VertexId>> FaultInjectingOracle::TryNeighbor(
     VertexId u, int64_t slot) {
-  ++counts_.neighbor;
+  TallyNeighborQuery();
   DCS_RETURN_IF_ERROR(MaybeFail("neighbor"));
   return base_.Neighbor(u, slot);
 }
 
 StatusOr<bool> FaultInjectingOracle::TryAdjacent(VertexId u, VertexId v) {
-  ++counts_.adjacency;
+  TallyAdjacencyQuery();
   DCS_RETURN_IF_ERROR(MaybeFail("adjacency"));
   return base_.Adjacent(u, v);
 }

@@ -20,14 +20,14 @@ GraphOracle::GraphOracle(const UndirectedGraph& graph)
 
 int64_t GraphOracle::Degree(VertexId u) {
   DCS_CHECK(u >= 0 && u < num_vertices_);
-  ++counts_.degree;
+  TallyDegreeQuery();
   return static_cast<int64_t>(neighbors_[static_cast<size_t>(u)].size());
 }
 
 std::optional<VertexId> GraphOracle::Neighbor(VertexId u, int64_t slot) {
   DCS_CHECK(u >= 0 && u < num_vertices_);
   DCS_CHECK_GE(slot, 0);
-  ++counts_.neighbor;
+  TallyNeighborQuery();
   const auto& list = neighbors_[static_cast<size_t>(u)];
   if (slot >= static_cast<int64_t>(list.size())) return std::nullopt;
   return list[static_cast<size_t>(slot)];
@@ -36,7 +36,7 @@ std::optional<VertexId> GraphOracle::Neighbor(VertexId u, int64_t slot) {
 bool GraphOracle::Adjacent(VertexId u, VertexId v) {
   DCS_CHECK(u >= 0 && u < num_vertices_);
   DCS_CHECK(v >= 0 && v < num_vertices_);
-  ++counts_.adjacency;
+  TallyAdjacencyQuery();
   const auto& list = neighbors_[static_cast<size_t>(u)];
   return std::binary_search(list.begin(), list.end(), v);
 }

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "graph/ugraph.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace dcs {
@@ -75,6 +76,22 @@ class LocalQueryOracle {
   }
 
  protected:
+  // Implementations tally through these (not by touching counts_ directly)
+  // so the per-oracle accounting and the process-wide metrics registry
+  // (`localquery.*.issued`) stay in lockstep.
+  void TallyDegreeQuery() {
+    ++counts_.degree;
+    DCS_METRIC_INC("localquery.degree.issued");
+  }
+  void TallyNeighborQuery() {
+    ++counts_.neighbor;
+    DCS_METRIC_INC("localquery.neighbor.issued");
+  }
+  void TallyAdjacencyQuery() {
+    ++counts_.adjacency;
+    DCS_METRIC_INC("localquery.adjacency.issued");
+  }
+
   QueryCounts counts_;
 };
 

@@ -14,6 +14,7 @@
 
 #include <utility>
 
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace dcs {
@@ -26,10 +27,15 @@ template <typename QueryFn>
 auto RetryQuery(QueryFn&& query) -> decltype(query()) {
   for (int attempt = 1;; ++attempt) {
     auto result = query();
-    if (result.ok() || result.status().code() != StatusCode::kUnavailable ||
-        attempt >= kMaxQueryAttempts) {
+    if (result.ok() ||
+        result.status().code() != StatusCode::kUnavailable) {
       return result;
     }
+    if (attempt >= kMaxQueryAttempts) {
+      DCS_METRIC_INC("localquery.retry.exhausted");
+      return result;
+    }
+    DCS_METRIC_INC("localquery.retry.reissued");
   }
 }
 

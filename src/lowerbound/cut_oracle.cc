@@ -1,9 +1,24 @@
 #include "lowerbound/cut_oracle.h"
 
 #include "graph/incremental_cut_oracle.h"
+#include "util/metrics.h"
 
 namespace dcs {
 namespace {
+
+// Sessions tally Query/Flip calls into plain members and flush once at
+// destruction (DESIGN.md §8): decoders issue thousands of session ops per
+// recovered bit, so per-op registry traffic would breach the overhead
+// budget.
+struct SessionTally {
+  int64_t queries = 0;
+  int64_t flips = 0;
+
+  ~SessionTally() {
+    DCS_METRIC_ADD("cutoracle.session.query", queries);
+    DCS_METRIC_ADD("cutoracle.session.flip", flips);
+  }
+};
 
 // Fallback session for oracles with no incremental structure (sketches,
 // ad-hoc lambdas): tracks the side and rescans on every Query.
@@ -16,14 +31,19 @@ class RescanCutQuerySession : public CutQuerySession {
 
   void Flip(VertexId v) override {
     DCS_DCHECK(v >= 0 && v < static_cast<VertexId>(side_.size()));
+    ++tally_.flips;
     side_[static_cast<size_t>(v)] ^= 1;
   }
 
-  double Query() override { return query_(side_); }
+  double Query() override {
+    ++tally_.queries;
+    return query_(side_);
+  }
 
  private:
   CutOracle::QueryFn query_;
   VertexSet side_;
+  SessionTally tally_;
 };
 
 // Incremental session over the exact graph, with an optional per-query
@@ -35,22 +55,32 @@ class IncrementalCutSession : public CutQuerySession {
                         std::function<double()> factor = nullptr)
       : cut_(graph, std::move(side)), factor_(std::move(factor)) {}
 
-  void Flip(VertexId v) override { cut_.Flip(v); }
+  void Flip(VertexId v) override {
+    ++tally_.flips;
+    cut_.Flip(v);
+  }
 
   double Query() override {
+    ++tally_.queries;
     return factor_ ? cut_.value() * factor_() : cut_.value();
   }
 
  private:
   IncrementalCutOracle cut_;
   std::function<double()> factor_;
+  SessionTally tally_;
 };
 
 }  // namespace
 
 std::unique_ptr<CutQuerySession> CutOracle::BeginSession(
     VertexSet side) const {
-  if (sessions_) return sessions_(std::move(side));
+  DCS_METRIC_INC("cutoracle.session.opened");
+  if (sessions_) {
+    DCS_METRIC_INC("cutoracle.session.incremental");
+    return sessions_(std::move(side));
+  }
+  DCS_METRIC_INC("cutoracle.session.rescan");
   DCS_CHECK(static_cast<bool>(query_));
   return std::make_unique<RescanCutQuerySession>(query_, std::move(side));
 }

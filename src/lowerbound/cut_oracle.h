@@ -21,6 +21,7 @@
 
 #include "graph/digraph.h"
 #include "sketch/cut_sketch.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace dcs {
@@ -65,8 +66,12 @@ class CutOracle {
   CutOracle(QueryFn query, SessionFactory sessions)
       : query_(std::move(query)), sessions_(std::move(sessions)) {}
 
-  // One-shot query.
-  double operator()(const VertexSet& side) const { return query_(side); }
+  // One-shot query. Counted separately from session queries so tests can
+  // assert a decoder used only its sessions (metrics_bounds_test).
+  double operator()(const VertexSet& side) const {
+    DCS_METRIC_INC("cutoracle.query.served");
+    return query_(side);
+  }
 
   explicit operator bool() const { return static_cast<bool>(query_); }
 

@@ -7,6 +7,7 @@
 
 #include "graph/incremental_cut_oracle.h"
 #include "util/combinations.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace dcs {
@@ -154,7 +155,9 @@ VertexSet ForAllDecoder::SelectBestSubset(int64_t string_index,
                                BuildQuerySide(loc, t, u_subset));
     VertexSet best = u_subset;
     double best_value = session->Query() - fixed.value();
+    int64_t candidates = 1;  // flushed below; hot loop stays registry-free
     VisitRevolvingDoorSwaps(k, half, [&](int out, int in) {
+      ++candidates;
       u_subset[static_cast<size_t>(out)] = 0;
       u_subset[static_cast<size_t>(in)] = 1;
       session->Flip(left_base + out);
@@ -167,6 +170,7 @@ VertexSet ForAllDecoder::SelectBestSubset(int64_t string_index,
         best = u_subset;
       }
     });
+    DCS_METRIC_ADD("forall.subset.enumerated", candidates);
     return best;
   }
   // Greedy: per-node marginals from k+1 queries (base plus one per node,
@@ -188,6 +192,7 @@ VertexSet ForAllDecoder::SelectBestSubset(int64_t string_index,
     fixed.Flip(left_base + i);
     marginals.emplace_back(value - base_value, i);
   }
+  DCS_METRIC_ADD("forall.marginal.queried", k);
   std::sort(marginals.begin(), marginals.end(),
             [](const auto& a, const auto& b) {
               if (a.first != b.first) return a.first > b.first;
@@ -205,6 +210,7 @@ bool ForAllDecoder::DecideFar(int64_t string_index,
                               const std::vector<uint8_t>& t,
                               const CutOracle& oracle,
                               SubsetSelection mode) const {
+  DCS_METRIC_INC("forall.string.decoded");
   const ForAllStringLocation loc = LocateForAllString(params_, string_index);
   const VertexSet q_subset =
       SelectBestSubset(string_index, t, oracle, mode);

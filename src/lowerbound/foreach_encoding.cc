@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "graph/incremental_cut_oracle.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace dcs {
@@ -134,6 +135,11 @@ ForEachEncoder::Encoding ForEachEncoder::Encode(
     AddBackwardEdges(encoding.graph, k, left_base, right_base, backward);
   }
   DCS_CHECK_EQ(cursor, params_.total_bits());
+  DCS_METRIC_INC("foreach.graph.encoded");
+  DCS_METRIC_ADD("foreach.cluster.encoded",
+                 static_cast<int64_t>(params_.num_layers - 1) *
+                     params_.cluster_pairs_per_layer());
+  DCS_METRIC_ADD("foreach.cluster.failed", encoding.failed_clusters);
   return encoding;
 }
 
@@ -248,6 +254,7 @@ double ForEachDecoder::EstimateInnerProduct(int64_t q,
 }
 
 int8_t ForEachDecoder::DecodeBit(int64_t q, const CutOracle& oracle) const {
+  DCS_METRIC_INC("foreach.bit.decoded");
   return EstimateInnerProduct(q, oracle) >= 0 ? 1 : -1;
 }
 

@@ -24,7 +24,7 @@ bool TwoSumGraphOracle::Intersects(int i, int j) {
 
 int64_t TwoSumGraphOracle::Degree(VertexId u) {
   DCS_CHECK(u >= 0 && u < num_vertices());
-  ++counts_.degree;
+  TallyDegreeQuery();
   // Every vertex of G_{x,y} has degree exactly ℓ — no communication.
   return side_;
 }
@@ -33,7 +33,7 @@ std::optional<VertexId> TwoSumGraphOracle::Neighbor(VertexId u,
                                                     int64_t slot) {
   DCS_CHECK(u >= 0 && u < num_vertices());
   DCS_CHECK_GE(slot, 0);
-  ++counts_.neighbor;
+  TallyNeighborQuery();
   if (slot >= side_) return std::nullopt;
   const TwoSumGraphLayout layout(side_);
   const int local = u % side_;
@@ -56,7 +56,7 @@ std::optional<VertexId> TwoSumGraphOracle::Neighbor(VertexId u,
 bool TwoSumGraphOracle::Adjacent(VertexId u, VertexId v) {
   DCS_CHECK(u >= 0 && u < num_vertices());
   DCS_CHECK(v >= 0 && v < num_vertices());
-  ++counts_.adjacency;
+  TallyAdjacencyQuery();
   const TwoSumGraphLayout layout(side_);
   // Normalize so u is on the {A, B} side.
   if (layout.InAPrime(u) || layout.InBPrime(u)) std::swap(u, v);

@@ -3,9 +3,33 @@
 #include <cmath>
 #include <cstddef>
 #include <string>
+#include <string_view>
+
+#include "util/metrics.h"
 
 namespace dcs {
 namespace {
+
+// Precomputed metric names so the DCS_METRICS_ENABLED=0 configuration does
+// no per-envelope string assembly (metrics.h: dynamic names must be
+// long-lived constants).
+std::string_view PayloadBitsMetricName(StreamKind kind) {
+  switch (kind) {
+    case StreamKind::kDirectedGraph:
+      return "serialization.payload_bits.directed_graph";
+    case StreamKind::kUndirectedGraph:
+      return "serialization.payload_bits.undirected_graph";
+    case StreamKind::kForEachSketch:
+      return "serialization.payload_bits.foreach_sketch";
+    case StreamKind::kForAllSparsifier:
+      return "serialization.payload_bits.forall_sparsifier";
+    case StreamKind::kDirectedForEachSketch:
+      return "serialization.payload_bits.directed_foreach_sketch";
+    case StreamKind::kDirectedForAllSketch:
+      return "serialization.payload_bits.directed_forall_sketch";
+  }
+  return "serialization.payload_bits.unknown";
+}
 
 constexpr uint64_t kEnvelopeMagic = 0xD5CE;  // "DCS envelope"
 constexpr uint64_t kFormatVersion = 1;
@@ -98,7 +122,27 @@ StatusOr<GraphT> DeserializeGraph(StreamKind kind, BitReader& reader) {
 
 }  // namespace
 
+const char* StreamKindName(StreamKind kind) {
+  switch (kind) {
+    case StreamKind::kDirectedGraph:
+      return "directed_graph";
+    case StreamKind::kUndirectedGraph:
+      return "undirected_graph";
+    case StreamKind::kForEachSketch:
+      return "foreach_sketch";
+    case StreamKind::kForAllSparsifier:
+      return "forall_sparsifier";
+    case StreamKind::kDirectedForEachSketch:
+      return "directed_foreach_sketch";
+    case StreamKind::kDirectedForAllSketch:
+      return "directed_forall_sketch";
+  }
+  return "unknown";
+}
+
 void WriteEnvelope(StreamKind kind, const BitWriter& payload, BitWriter& out) {
+  DCS_METRIC_INC("serialization.envelope.written");
+  metrics::RecordValue(PayloadBitsMetricName(kind), payload.bit_count());
   out.WriteBits(kEnvelopeMagic, 16);
   out.WriteBits(kFormatVersion, 8);
   out.WriteBits(static_cast<uint64_t>(kind), 8);
@@ -145,6 +189,7 @@ StatusOr<EnvelopePayload> ReadEnvelopePayload(StreamKind expected_kind,
   if (Fnv1a(payload.bytes) != checksum) {
     return DataLossError("envelope checksum mismatch (corrupted payload)");
   }
+  DCS_METRIC_INC("serialization.envelope.read");
   return payload;
 }
 

@@ -42,6 +42,10 @@ enum class StreamKind : uint8_t {
   kDirectedForAllSketch = 6,
 };
 
+// Stable lowercase name of a stream kind ("directed_graph", ...); used in
+// metric names (`serialization.payload_bits.<name>`) and diagnostics.
+const char* StreamKindName(StreamKind kind);
+
 // A validated envelope payload: the packed payload bits and their count.
 struct EnvelopePayload {
   std::vector<uint8_t> bytes;

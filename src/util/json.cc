@@ -1,0 +1,399 @@
+#include "util/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace dcs {
+namespace {
+
+// Hostile inputs must not blow the stack: DESIGN.md §7.
+constexpr int kMaxParseDepth = 128;
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+// Shortest representation that round-trips; always re-parses as a double
+// (a bare integer-looking value gets a trailing ".0").
+void AppendDouble(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan; the library only serializes finite numbers, so
+    // hitting this is a programmer error upstream — emit null rather than
+    // invalid JSON.
+    out += "null";
+    return;
+  }
+  char buffer[64];
+  const auto result =
+      std::to_chars(buffer, buffer + sizeof(buffer) - 2, value);
+  DCS_CHECK(result.ec == std::errc());
+  *result.ptr = '\0';
+  std::string_view text(buffer);
+  out += text;
+  if (text.find('.') == std::string_view::npos &&
+      text.find('e') == std::string_view::npos &&
+      text.find('E') == std::string_view::npos) {
+    out += ".0";
+  }
+}
+
+void AppendIndent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out.push_back('\n');
+  out.append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    DCS_ASSIGN_OR_RETURN(JsonValue value, ParseValue(0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError("json parse error at byte " +
+                                std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxParseDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      DCS_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue(std::move(s));
+    }
+    if (ConsumeLiteral("true")) return JsonValue(true);
+    if (ConsumeLiteral("false")) return JsonValue(false);
+    if (ConsumeLiteral("null")) return JsonValue(nullptr);
+    return ParseNumber();
+  }
+
+  StatusOr<JsonValue> ParseObject(int depth) {
+    ++pos_;  // '{'
+    JsonValue object = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      DCS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      DCS_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      object.object().emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return object;
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  StatusOr<JsonValue> ParseArray(int depth) {
+    ++pos_;  // '['
+    JsonValue array = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    while (true) {
+      DCS_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      array.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return array;
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad hex digit in \\u escape");
+          }
+          // Encode the code point as UTF-8 (surrogate pairs are passed
+          // through as two separate 3-byte sequences — the writer never
+          // emits \u for non-control characters, so this path only serves
+          // foreign documents).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Error("expected a value");
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      int64_t value = 0;
+      const auto result =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (result.ec == std::errc() &&
+          result.ptr == token.data() + token.size()) {
+        return JsonValue(value);
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double value = 0;
+    const auto result =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (result.ec != std::errc() ||
+        result.ptr != token.data() + token.size()) {
+      return Error("malformed number '" + std::string(token) + "'");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::bool_value() const {
+  DCS_CHECK(is_bool());
+  return std::get<bool>(value_);
+}
+
+int64_t JsonValue::int_value() const {
+  DCS_CHECK(is_int());
+  return std::get<int64_t>(value_);
+}
+
+double JsonValue::number_value() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(value_));
+  DCS_CHECK(is_double());
+  return std::get<double>(value_);
+}
+
+const std::string& JsonValue::string_value() const {
+  DCS_CHECK(is_string());
+  return std::get<std::string>(value_);
+}
+
+const JsonValue::Array& JsonValue::array() const {
+  DCS_CHECK(is_array());
+  return std::get<Array>(value_);
+}
+
+JsonValue::Array& JsonValue::array() {
+  DCS_CHECK(is_array());
+  return std::get<Array>(value_);
+}
+
+const JsonValue::Object& JsonValue::object() const {
+  DCS_CHECK(is_object());
+  return std::get<Object>(value_);
+}
+
+JsonValue::Object& JsonValue::object() {
+  DCS_CHECK(is_object());
+  return std::get<Object>(value_);
+}
+
+void JsonValue::Append(JsonValue value) { array().push_back(std::move(value)); }
+
+void JsonValue::Set(std::string_view key, JsonValue value) {
+  for (Member& member : object()) {
+    if (member.first == key) {
+      member.second = std::move(value);
+      return;
+    }
+  }
+  object().emplace_back(std::string(key), std::move(value));
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const Member& member : object()) {
+    if (member.first == key) return &member.second;
+  }
+  return nullptr;
+}
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (is_int()) {
+    out += std::to_string(std::get<int64_t>(value_));
+  } else if (is_double()) {
+    AppendDouble(out, std::get<double>(value_));
+  } else if (is_string()) {
+    AppendEscaped(out, std::get<std::string>(value_));
+  } else if (is_array()) {
+    const Array& items = std::get<Array>(value_);
+    if (items.empty()) {
+      out += "[]";
+      return;
+    }
+    out.push_back('[');
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendIndent(out, indent, depth + 1);
+      items[i].DumpTo(out, indent, depth + 1);
+    }
+    AppendIndent(out, indent, depth);
+    out.push_back(']');
+  } else {
+    const Object& members = std::get<Object>(value_);
+    if (members.empty()) {
+      out += "{}";
+      return;
+    }
+    out.push_back('{');
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendIndent(out, indent, depth + 1);
+      AppendEscaped(out, members[i].first);
+      out.push_back(':');
+      if (indent > 0) out.push_back(' ');
+      members[i].second.DumpTo(out, indent, depth + 1);
+    }
+    AppendIndent(out, indent, depth);
+    out.push_back('}');
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace dcs

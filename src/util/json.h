@@ -1,0 +1,103 @@
+// A small, deterministic JSON value type: build, serialize, parse.
+//
+// Every machine-readable artifact this library emits — `dcs_cli
+// --metrics-json`, the benches' `BENCH_*.json` tables, metrics snapshots —
+// goes through this one writer so the output is byte-deterministic for a
+// given value: object members keep insertion order, integers print exactly,
+// doubles print via shortest-round-trip `std::to_chars`. The parser is the
+// validation side of the same contract: tests parse what the tools wrote
+// and assert on fields instead of grepping text.
+//
+// Parsing follows the library's untrusted-input rules (DESIGN.md §7): it
+// returns `StatusOr` with `kInvalidArgument` naming the byte offset, never
+// aborts, and caps nesting depth so hostile input cannot blow the stack.
+
+#ifndef DCS_UTIL_JSON_H_
+#define DCS_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dcs {
+
+// One JSON value (null, bool, integer, double, string, array, or object).
+// Objects preserve insertion order; `Set` replaces an existing key in
+// place, so rewriting a member does not reorder the serialization.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}  // NOLINT
+  JsonValue(bool value) : value_(value) {}        // NOLINT
+  JsonValue(int value) : value_(static_cast<int64_t>(value)) {}  // NOLINT
+  JsonValue(int64_t value) : value_(value) {}     // NOLINT
+  JsonValue(double value) : value_(value) {}      // NOLINT
+  JsonValue(const char* value) : value_(std::string(value)) {}  // NOLINT
+  JsonValue(std::string value) : value_(std::move(value)) {}    // NOLINT
+
+  static JsonValue MakeArray() { return JsonValue(Array{}); }
+  static JsonValue MakeObject() { return JsonValue(Object{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+
+  // Typed accessors; DCS_CHECK on kind mismatch (callers gate on is_*()).
+  bool bool_value() const;
+  int64_t int_value() const;
+  // Numeric value as a double (integers convert).
+  double number_value() const;
+  const std::string& string_value() const;
+  const Array& array() const;
+  Array& array();
+  const Object& object() const;
+  Object& object();
+
+  // Appends to an array value.
+  void Append(JsonValue value);
+  // Sets `key` in an object value (replaces in place if present).
+  void Set(std::string_view key, JsonValue value);
+  // Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Deterministic serialization. indent == 0 emits the compact one-line
+  // form; indent > 0 pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b) {
+    return a.value_ == b.value_;
+  }
+
+ private:
+  explicit JsonValue(Array value) : value_(std::move(value)) {}
+  explicit JsonValue(Object value) : value_(std::move(value)) {}
+
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      value_;
+};
+
+// Parses one JSON document (trailing garbage is an error). Numbers without
+// '.', 'e', or 'E' that fit in int64 parse as integers, everything else as
+// double. kInvalidArgument on malformed input, naming the byte offset.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace dcs
+
+#endif  // DCS_UTIL_JSON_H_

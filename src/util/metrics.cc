@@ -1,0 +1,178 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace dcs::metrics {
+namespace {
+
+// Bucket index for a sample: 0 for v <= 0, otherwise bit_width(v) (values
+// in [2^(b-1), 2^b) land in bucket b).
+size_t BucketOf(int64_t value) {
+  if (value <= 0) return 0;
+  const size_t b = static_cast<size_t>(
+      std::bit_width(static_cast<uint64_t>(value)));
+  return b < kNumBuckets ? b : kNumBuckets - 1;
+}
+
+void AtomicMin(std::atomic<int64_t>& target, int64_t value) {
+  int64_t current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<int64_t>& target, int64_t value) {
+  int64_t current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+size_t ThreadStripeIndex() {
+  static std::atomic<size_t> next_stripe{0};
+  thread_local const size_t stripe =
+      next_stripe.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return stripe;
+}
+
+void Distribution::Record(int64_t value) {
+  Cell& cell = cells_[ThreadStripeIndex()];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(cell.min, value);
+  AtomicMax(cell.max, value);
+  cell.buckets[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+DistributionStats Distribution::stats() const {
+  DistributionStats stats;
+  int64_t min = INT64_MAX;
+  int64_t max = INT64_MIN;
+  for (const Cell& cell : cells_) {
+    stats.count += cell.count.load(std::memory_order_relaxed);
+    stats.sum += cell.sum.load(std::memory_order_relaxed);
+    min = std::min(min, cell.min.load(std::memory_order_relaxed));
+    max = std::max(max, cell.max.load(std::memory_order_relaxed));
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      stats.buckets[b] += cell.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  if (stats.count > 0) {
+    stats.min = min;
+    stats.max = max;
+  }
+  return stats;
+}
+
+int64_t DistributionStats::ApproxPercentile(double p) const {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  const int64_t target =
+      std::max<int64_t>(1, static_cast<int64_t>(p * static_cast<double>(count) + 0.5));
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    cumulative += buckets[b];
+    if (cumulative >= target) {
+      // Upper bound of bucket b: 0 for b == 0, else 2^b − 1.
+      const int64_t upper =
+          b == 0 ? 0
+                 : (b >= 63 ? INT64_MAX
+                            : (int64_t{1} << b) - 1);
+      return std::clamp(upper, min, max);
+    }
+  }
+  return max;
+}
+
+MetricsSnapshot MetricsSnapshot::DiffSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot diff;
+  for (const auto& [name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    diff.counters[name] =
+        value - (it == earlier.counters.end() ? 0 : it->second);
+  }
+  for (const auto& [name, stats] : distributions) {
+    DistributionStats d = stats;
+    const auto it = earlier.distributions.find(name);
+    if (it != earlier.distributions.end()) {
+      d.count -= it->second.count;
+      d.sum -= it->second.sum;
+      for (size_t b = 0; b < kNumBuckets; ++b) {
+        d.buckets[b] -= it->second.buckets[b];
+      }
+    }
+    diff.distributions[name] = d;
+  }
+  return diff;
+}
+
+JsonValue MetricsSnapshot::ToJson() const {
+  JsonValue counters_json = JsonValue::MakeObject();
+  for (const auto& [name, value] : counters) {
+    counters_json.Set(name, value);
+  }
+  JsonValue distributions_json = JsonValue::MakeObject();
+  for (const auto& [name, stats] : distributions) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("count", stats.count);
+    entry.Set("sum", stats.sum);
+    entry.Set("min", stats.min);
+    entry.Set("max", stats.max);
+    entry.Set("mean", stats.mean());
+    entry.Set("p50", stats.ApproxPercentile(0.50));
+    entry.Set("p90", stats.ApproxPercentile(0.90));
+    entry.Set("p99", stats.ApproxPercentile(0.99));
+    distributions_json.Set(name, std::move(entry));
+  }
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("counters", std::move(counters_json));
+  root.Set("distributions", std::move(distributions_json));
+  return root;
+}
+
+std::string MetricsSnapshot::ToJsonString(int indent) const {
+  return ToJson().Dump(indent);
+}
+
+Registry& Registry::Get() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+Distribution& Registry::GetDistribution(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = distributions_.find(name);
+  if (it == distributions_.end()) {
+    it = distributions_.try_emplace(std::string(name)).first;
+  }
+  return it->second;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter.value();
+  }
+  for (const auto& [name, distribution] : distributions_) {
+    snapshot.distributions[name] = distribution.stats();
+  }
+  return snapshot;
+}
+
+}  // namespace dcs::metrics

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace dcs {
 
@@ -70,8 +71,12 @@ class ThreadPool {
   void ParallelFor(int64_t count, const std::function<void(int64_t)>& body) {
     DCS_CHECK_GE(count, 0);
     if (count == 0) return;
+    DCS_METRIC_INC("threadpool.loop.started");
+    DCS_METRIC_RECORD("threadpool.loop.tasks", count);
+    DCS_METRIC_TIMER("threadpool.loop.duration_ns");
     if (num_threads_ == 1 || count == 1) {
       for (int64_t i = 0; i < count; ++i) body(i);
+      DCS_METRIC_ADD("threadpool.task.completed", count);
       return;
     }
     {
@@ -99,15 +104,23 @@ class ThreadPool {
 
  private:
   void DrainIndices() {
+    // Indices claimed by this drainer in this epoch; flushed once below so
+    // the claim loop stays registry-free. The per-drainer distribution is
+    // the pool's load-balance/straggler signal: a wide spread between p50
+    // and max means one thread ran most of the loop.
+    int64_t claimed = 0;
     while (true) {
       const int64_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count_) return;
+      if (i >= count_) break;
+      ++claimed;
       (*body_)(i);
       if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::unique_lock<std::mutex> lock(mutex_);
         loop_done_.notify_all();
       }
     }
+    DCS_METRIC_ADD("threadpool.task.completed", claimed);
+    DCS_METRIC_RECORD("threadpool.drain.claimed", claimed);
   }
 
   void WorkerLoop() {
@@ -126,6 +139,7 @@ class ThreadPool {
         seen_generation = generation_;
         ++active_drainers_;
       }
+      DCS_METRIC_INC("threadpool.worker.woken");
       DrainIndices();
       {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -162,7 +176,12 @@ inline void ParallelFor(int num_threads, int64_t count,
                         const std::function<void(int64_t)>& body) {
   DCS_CHECK_GE(count, 0);
   if (num_threads <= 1 || count <= 1) {
+    if (count == 0) return;
+    DCS_METRIC_INC("threadpool.loop.started");
+    DCS_METRIC_RECORD("threadpool.loop.tasks", count);
+    DCS_METRIC_TIMER("threadpool.loop.duration_ns");
     for (int64_t i = 0; i < count; ++i) body(i);
+    DCS_METRIC_ADD("threadpool.task.completed", count);
     return;
   }
   ThreadPool pool(num_threads);

@@ -3,8 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "gtest/gtest.h"
+#include "util/json.h"
 
 namespace {
 
@@ -105,6 +107,119 @@ TEST(CliTest, TruncatedGraphFileExitsOne) {
   std::fputs("U 4 3\n0 1 1.0\n", f);
   std::fclose(f);
   EXPECT_EQ(RunCli("stats --in " + path), 1);
+}
+
+// --metrics-json=FILE dumps the process metrics registry (DESIGN.md §8)
+// after any subcommand. The tests below parse the file back with the
+// library's own JSON parser and, when instrumentation is compiled in,
+// check the paper's resource counts appear with the expected values.
+
+std::string ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string text;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(f);
+  return text;
+}
+
+// Parses the metrics file and checks the envelope fields shared by every
+// subcommand. Returns the parsed document.
+dcs::JsonValue ParseMetricsFile(const std::string& path,
+                                const std::string& command) {
+  const std::string text = ReadFileToString(path);
+  EXPECT_FALSE(text.empty()) << "metrics file missing: " << path;
+  auto parsed = dcs::ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  if (!parsed.ok()) return dcs::JsonValue();
+  const dcs::JsonValue& root = *parsed;
+  EXPECT_TRUE(root.is_object());
+  const dcs::JsonValue* binary = root.Find("binary");
+  EXPECT_NE(binary, nullptr);
+  if (binary != nullptr) {
+    EXPECT_EQ(binary->string_value(), "dcs");
+  }
+  const dcs::JsonValue* cmd = root.Find("command");
+  EXPECT_NE(cmd, nullptr);
+  if (cmd != nullptr) {
+    EXPECT_EQ(cmd->string_value(), command);
+  }
+  EXPECT_NE(root.Find("metrics_enabled"), nullptr);
+  EXPECT_NE(root.Find("metrics"), nullptr);
+  return std::move(parsed).value();
+}
+
+bool MetricsEnabled(const dcs::JsonValue& root) {
+  const dcs::JsonValue* enabled = root.Find("metrics_enabled");
+  return enabled != nullptr && enabled->is_bool() && enabled->bool_value();
+}
+
+TEST(CliTest, MetricsJsonReportsFourCutQueriesPerDecodedBit) {
+  const std::string path = "/tmp/dcs_cli_test_metrics_trials.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(RunCli("trials --kind foreach --trials 2 --probes 4 "
+                   "--inv-eps 8 --sqrt-beta 1 --metrics-json=" + path),
+            0);
+  const dcs::JsonValue root = ParseMetricsFile(path, "trials");
+  if (!MetricsEnabled(root)) return;  // OFF build: envelope checks only.
+  const dcs::JsonValue* counters = root.Find("metrics")->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  // 2 trials × 4 probes = 8 decoded bits, four cut queries each
+  // (Lemma 3.2) — the end-to-end paper invariant in the CLI output.
+  const dcs::JsonValue* decoded = counters->Find("foreach.bit.decoded");
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->int_value(), 8);
+  const dcs::JsonValue* queries = counters->Find("cutoracle.session.query");
+  ASSERT_NE(queries, nullptr);
+  EXPECT_EQ(queries->int_value(), 4 * 8);
+}
+
+TEST(CliTest, MetricsJsonRecordsSerializedSketchBits) {
+  const std::string graph = "/tmp/dcs_cli_test_metrics_graph.txt";
+  const std::string path = "/tmp/dcs_cli_test_metrics_sketch.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(RunCli("generate --type balanced --n 16 --beta 2 --seed 7 "
+                   "--out " + graph),
+            0);
+  // Space-separated flag form, exercising both --key=value and --key value.
+  ASSERT_EQ(RunCli("sketch --in " + graph + " --kind foreach "
+                   "--epsilon 0.3 --metrics-json " + path),
+            0);
+  const dcs::JsonValue root = ParseMetricsFile(path, "sketch");
+  if (!MetricsEnabled(root)) return;
+  const dcs::JsonValue* metrics = root.Find("metrics");
+  const dcs::JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const dcs::JsonValue* written =
+      counters->Find("serialization.envelope.written");
+  ASSERT_NE(written, nullptr);
+  EXPECT_GE(written->int_value(), 1);
+  // The per-kind bit-size distribution for the sketch that was built.
+  const dcs::JsonValue* distributions = metrics->Find("distributions");
+  ASSERT_NE(distributions, nullptr);
+  const dcs::JsonValue* bits = distributions->Find(
+      "serialization.payload_bits.directed_foreach_sketch");
+  ASSERT_NE(bits, nullptr);
+  const dcs::JsonValue* count = bits->Find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_GE(count->int_value(), 1);
+  const dcs::JsonValue* sum = bits->Find("sum");
+  ASSERT_NE(sum, nullptr);
+  EXPECT_GT(sum->number_value(), 0);
+}
+
+TEST(CliTest, MetricsJsonWrittenEvenWhenCommandFails) {
+  const std::string path = "/tmp/dcs_cli_test_metrics_fail.json";
+  std::remove(path.c_str());
+  EXPECT_EQ(RunCli("mincut --in /nonexistent/graph.txt --metrics-json=" +
+                   path),
+            1);
+  const dcs::JsonValue root = ParseMetricsFile(path, "mincut");
+  EXPECT_TRUE(root.is_object());
 }
 
 }  // namespace

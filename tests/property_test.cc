@@ -7,6 +7,8 @@
 //   * balance certificates vs exact balance
 
 #include <cmath>
+#include <functional>
+#include <string>
 #include <tuple>
 
 #include "graph/balance.h"
@@ -20,8 +22,11 @@
 #include "mincut/stoer_wagner.h"
 #include "sketch/directed_sketches.h"
 #include "sketch/eulerian_sparsifier.h"
+#include "sketch/serialization.h"
 #include "stream/agm_sketch.h"
 #include "sketch/sampled_sketches.h"
+#include "util/bitio.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace dcs {
@@ -244,6 +249,89 @@ INSTANTIATE_TEST_SUITE_P(BetaSweep, DirectedPropertyTest,
                                            BetaSeed{2.0, 12},
                                            BetaSeed{4.0, 13},
                                            BetaSeed{8.0, 14}));
+
+// Serialized-size accounting (DESIGN.md §8): serializing a sketch records
+// exactly one `serialization.payload_bits.<kind>` sample for the sketch's
+// own stream kind, and its value equals the envelope's payload bit-count
+// field as read back from the wire. Checked for all four sketch kinds.
+// (Directed sketches nest an enveloped graph inside their payload, so the
+// metrics diff also shows the inner graph's kind — the assertions key on
+// the outer kind only.) Skipped when metrics are compiled out: the counts
+// do not exist in that configuration.
+class SerializationAccountingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+#if !DCS_METRICS_ENABLED
+    GTEST_SKIP() << "library compiled with DCS_ENABLE_METRICS=OFF";
+#endif
+  }
+
+  // Serializes via `serialize` (the object must already be built: sketch
+  // constructors serialize once internally to precompute SizeInBits, which
+  // would double the sample count inside the diff window), then checks the
+  // metric sample against the payload bit-count field decoded from the
+  // stream itself. The diff's min/max are defined to come from the later
+  // full snapshot, so only count and sum are asserted here.
+  void ExpectPayloadBitsMatchEnvelope(
+      StreamKind kind, const std::function<void(BitWriter&)>& serialize) {
+    const std::string metric =
+        std::string("serialization.payload_bits.") + StreamKindName(kind);
+    const metrics::MetricsSnapshot before =
+        metrics::Registry::Get().Snapshot();
+    BitWriter writer;
+    serialize(writer);
+    const metrics::MetricsSnapshot diff =
+        metrics::Registry::Get().Snapshot().DiffSince(before);
+    const auto it = diff.distributions.find(metric);
+    ASSERT_NE(it, diff.distributions.end()) << metric;
+    EXPECT_EQ(it->second.count, 1) << metric;
+    BitReader reader(writer.bytes());
+    const StatusOr<EnvelopePayload> payload =
+        ReadEnvelopePayload(kind, reader);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    EXPECT_EQ(it->second.sum, payload->bit_count) << metric;
+  }
+};
+
+TEST_F(SerializationAccountingTest, PayloadBitsMatchForAllFourSketchKinds) {
+  Rng rng(321);
+  const UndirectedGraph ugraph = RandomUndirectedGraph(20, 0.3, 0.5, 2.0,
+                                                       true, rng);
+  const DirectedGraph dgraph = RandomBalancedDigraph(16, 0.4, 2.0, rng);
+  const ForEachCutSketch foreach_sketch(ugraph, 0.4, rng);
+  const BenczurKargerSparsifier forall_sparsifier(ugraph, 0.4, rng);
+  const DirectedForEachSketch directed_foreach(dgraph, 0.4, 2.0, rng);
+  const DirectedForAllSketch directed_forall(dgraph, 0.4, 2.0, rng);
+
+  ExpectPayloadBitsMatchEnvelope(
+      StreamKind::kForEachSketch,
+      [&](BitWriter& writer) { foreach_sketch.Serialize(writer); });
+  ExpectPayloadBitsMatchEnvelope(
+      StreamKind::kForAllSparsifier,
+      [&](BitWriter& writer) { forall_sparsifier.Serialize(writer); });
+  ExpectPayloadBitsMatchEnvelope(
+      StreamKind::kDirectedForEachSketch,
+      [&](BitWriter& writer) { directed_foreach.Serialize(writer); });
+  ExpectPayloadBitsMatchEnvelope(
+      StreamKind::kDirectedForAllSketch,
+      [&](BitWriter& writer) { directed_forall.Serialize(writer); });
+}
+
+TEST_F(SerializationAccountingTest, GraphEnvelopesAccountedToo) {
+  // The plain graph serializers carry the same invariant, with no nesting.
+  Rng rng(654);
+  const UndirectedGraph ugraph = RandomUndirectedGraph(12, 0.4, 0.5, 2.0,
+                                                       true, rng);
+  const DirectedGraph dgraph = RandomBalancedDigraph(10, 0.5, 1.0, rng);
+  ExpectPayloadBitsMatchEnvelope(
+      StreamKind::kUndirectedGraph, [&](BitWriter& writer) {
+        SerializeUndirectedGraph(ugraph, writer);
+      });
+  ExpectPayloadBitsMatchEnvelope(
+      StreamKind::kDirectedGraph, [&](BitWriter& writer) {
+        SerializeDirectedGraph(dgraph, writer);
+      });
+}
 
 }  // namespace
 }  // namespace dcs

@@ -24,6 +24,11 @@
 // Exit codes: 0 success, 1 runtime/data error (unreadable or corrupt
 // input, failed write), 2 usage error (unknown command/flag, malformed
 // numeric value). Errors go to stderr; the tool never aborts on bad input.
+//
+// Every subcommand accepts --metrics-json FILE (or --metrics-json=FILE):
+// after the command runs, the process-wide metrics snapshot (cut queries,
+// local queries, per-sketch-kind serialized bit sizes, ...) is written to
+// FILE as deterministic JSON. See DESIGN.md §8.
 
 #include <climits>
 #include <cstdio>
@@ -43,6 +48,8 @@
 #include "mincut/directed_mincut.h"
 #include "mincut/stoer_wagner.h"
 #include "sketch/directed_sketches.h"
+#include "util/json.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace {
@@ -58,6 +65,12 @@ FlagMap ParseFlags(int argc, char** argv, int start) {
       std::exit(2);
     }
     key = key.substr(2);
+    // Both spellings are accepted: `--key value` and `--key=value`.
+    const size_t equals = key.find('=');
+    if (equals != std::string::npos) {
+      flags[key.substr(0, equals)] = key.substr(equals + 1);
+      continue;
+    }
     if (i + 1 >= argc) {
       std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
       std::exit(2);
@@ -405,18 +418,33 @@ int CmdTrials(const FlagMap& flags) {
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: dcs <generate|stats|mincut|sketch|localquery|encode|"
-               "agm|trials> [--flag value ...]\n");
+               "agm|trials> [--flag value ...] [--metrics-json FILE]\n");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    PrintUsage();
-    return 2;
+// Writes the process-wide metrics snapshot to `path`. Returns 1 (runtime
+// error) on I/O failure, 0 otherwise.
+int WriteMetricsJson(const std::string& path, const std::string& command) {
+  dcs::JsonValue root = dcs::JsonValue::MakeObject();
+  root.Set("binary", "dcs");
+  root.Set("command", command);
+  root.Set("metrics_enabled", DCS_METRICS_ENABLED != 0);
+  root.Set("metrics", dcs::metrics::Registry::Get().Snapshot().ToJson());
+  const std::string text = root.Dump(2) + "\n";
+  FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s for metrics output\n", path.c_str());
+    return 1;
   }
-  const std::string command = argv[1];
-  const FlagMap flags = ParseFlags(argc, argv, 2);
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  if (std::fclose(file) != 0 || !ok) {
+    std::fprintf(stderr, "failed to write metrics to %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int RunCommand(const std::string& command, const FlagMap& flags) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "mincut") return CmdMinCut(flags);
@@ -427,4 +455,29 @@ int main(int argc, char** argv) {
   if (command == "trials") return CmdTrials(flags);
   PrintUsage();
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  FlagMap flags = ParseFlags(argc, argv, 2);
+  std::string metrics_path;
+  if (const auto it = flags.find("metrics-json"); it != flags.end()) {
+    metrics_path = it->second;
+    flags.erase(it);
+  }
+  int rc = RunCommand(command, flags);
+  if (!metrics_path.empty()) {
+    // The snapshot is written even after a failing command (a failed run's
+    // resource counts are exactly what one wants to inspect); a metrics
+    // write failure only surfaces when the command itself succeeded.
+    const int metrics_rc = WriteMetricsJson(metrics_path, command);
+    if (rc == 0) rc = metrics_rc;
+  }
+  return rc;
 }
