@@ -43,6 +43,12 @@ run_one() {
     "${cmake_flags[@]}"
   cmake --build "${build_dir}" -j"$(nproc)"
   ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
+  if [[ "${kind}" == "address" ]]; then
+    # The chaos sweep drives the lossy-channel retransmission paths end to
+    # end; under ASan it doubles as a leak/overflow check on the frame
+    # parser and reassembly buffers.
+    "${repo_root}/scripts/run_chaos.sh" "${build_dir}"
+  fi
 }
 
 if [[ $# -gt 1 ]]; then

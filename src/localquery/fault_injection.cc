@@ -7,8 +7,16 @@ namespace dcs {
 
 FaultInjectingOracle::FaultInjectingOracle(LocalQueryOracle& base,
                                            double failure_rate, uint64_t seed)
+    : FaultInjectingOracle(base, failure_rate, /*short_read_rate=*/0.0,
+                           seed) {}
+
+FaultInjectingOracle::FaultInjectingOracle(LocalQueryOracle& base,
+                                           double failure_rate,
+                                           double short_read_rate,
+                                           uint64_t seed)
     : base_(base),
       failure_rate_(std::clamp(failure_rate, 0.0, 1.0)),
+      short_read_rate_(std::clamp(short_read_rate, 0.0, 1.0)),
       rng_(seed) {}
 
 int64_t FaultInjectingOracle::Degree(VertexId u) {
@@ -28,13 +36,39 @@ bool FaultInjectingOracle::Adjacent(VertexId u, VertexId v) {
 }
 
 Status FaultInjectingOracle::MaybeFail(const char* what) {
-  if (rng_.Bernoulli(failure_rate_)) {
+  // One uniform draw is split across the two fault kinds
+  // (u < failure_rate → transient, u < failure_rate + short_read_rate →
+  // short read), reproducing Bernoulli(failure_rate)'s exact draw pattern —
+  // including its no-draw shortcuts at 0 and 1 — whenever short_read_rate
+  // is zero, so fixed-seed fault scripts from the two-argument constructor
+  // are unchanged.
+  bool transient = false;
+  if (failure_rate_ >= 1) {
+    transient = true;
+  } else if (failure_rate_ > 0) {
+    const double u = rng_.UniformDouble();
+    if (u < failure_rate_) {
+      transient = true;
+    } else if (u < failure_rate_ + short_read_rate_) {
+      return ShortRead(what);
+    }
+  } else if (rng_.Bernoulli(short_read_rate_)) {
+    return ShortRead(what);
+  }
+  if (transient) {
     ++injected_failures_;
     DCS_METRIC_INC("localquery.fault.injected");
     return UnavailableError(std::string("injected fault: ") + what +
                             " query failed");
   }
   return OkStatus();
+}
+
+Status FaultInjectingOracle::ShortRead(const char* what) {
+  ++injected_short_reads_;
+  DCS_METRIC_INC("localquery.fault.short_read");
+  return DataLossError(std::string("injected short read: ") + what +
+                       " reply truncated mid-stream");
 }
 
 StatusOr<int64_t> FaultInjectingOracle::TryDegree(VertexId u) {

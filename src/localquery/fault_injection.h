@@ -31,6 +31,16 @@ class FaultInjectingOracle final : public LocalQueryOracle {
   FaultInjectingOracle(LocalQueryOracle& base, double failure_rate,
                        uint64_t seed);
 
+  // Adds a truncating/short-read fault mode: with probability
+  // `short_read_rate` a fallible query returns kDataLoss — the reply
+  // arrived cut off mid-stream, so reissuing cannot help and RetryQuery
+  // must propagate it immediately (unlike the transient kUnavailable
+  // faults). Both kinds are decided by the one draw Bernoulli would make,
+  // so a zero short_read_rate replays the two-argument constructor's fault
+  // script bit for bit.
+  FaultInjectingOracle(LocalQueryOracle& base, double failure_rate,
+                       double short_read_rate, uint64_t seed);
+
   int num_vertices() const override { return base_.num_vertices(); }
 
   // The infallible queries pass straight through (fault injection only
@@ -46,17 +56,23 @@ class FaultInjectingOracle final : public LocalQueryOracle {
                                                 int64_t slot) override;
   StatusOr<bool> TryAdjacent(VertexId u, VertexId v) override;
 
-  // Number of queries failed so far.
+  // Number of transient (kUnavailable) faults injected so far.
   int64_t injected_failures() const { return injected_failures_; }
+  // Number of short-read (kDataLoss) faults injected so far.
+  int64_t injected_short_reads() const { return injected_short_reads_; }
 
  private:
   // Returns the injected error, or OK to forward the query.
   Status MaybeFail(const char* what);
+  // Counts and returns the kDataLoss short-read error.
+  Status ShortRead(const char* what);
 
   LocalQueryOracle& base_;
   double failure_rate_;
+  double short_read_rate_;
   Rng rng_;
   int64_t injected_failures_ = 0;
+  int64_t injected_short_reads_ = 0;
 };
 
 }  // namespace dcs

@@ -23,16 +23,21 @@ namespace dcs {
 inline constexpr int kMaxQueryAttempts = 8;
 
 // Invokes `query` (returning StatusOr<T>) up to kMaxQueryAttempts times.
+// Every query records how many attempts it took into the
+// "localquery.retry.attempts" distribution (a log2 histogram in the metrics
+// registry), so a chaos run shows the retry tail, not just the totals.
 template <typename QueryFn>
 auto RetryQuery(QueryFn&& query) -> decltype(query()) {
   for (int attempt = 1;; ++attempt) {
     auto result = query();
     if (result.ok() ||
         result.status().code() != StatusCode::kUnavailable) {
+      DCS_METRIC_RECORD("localquery.retry.attempts", attempt);
       return result;
     }
     if (attempt >= kMaxQueryAttempts) {
       DCS_METRIC_INC("localquery.retry.exhausted");
+      DCS_METRIC_RECORD("localquery.retry.attempts", attempt);
       return result;
     }
     DCS_METRIC_INC("localquery.retry.reissued");

@@ -156,21 +156,29 @@ VertexSet ForAllDecoder::SelectBestSubset(int64_t string_index,
     VertexSet best = u_subset;
     double best_value = session->Query() - fixed.value();
     int64_t candidates = 1;  // flushed below; hot loop stays registry-free
-    VisitRevolvingDoorSwaps(k, half, [&](int out, int in) {
-      ++candidates;
-      u_subset[static_cast<size_t>(out)] = 0;
-      u_subset[static_cast<size_t>(in)] = 1;
-      session->Flip(left_base + out);
-      session->Flip(left_base + in);
-      fixed.Flip(left_base + out);
-      fixed.Flip(left_base + in);
-      const double value = session->Query() - fixed.value();
-      if (value > best_value) {
-        best_value = value;
-        best = u_subset;
-      }
-    });
+    const bool completed = VisitRevolvingDoorSwapsUntil(
+        k, half, [&](int out, int in) {
+          // Cooperative deadline: past the budget, checkpoint best-so-far
+          // and unwind instead of finishing the exponential sweep.
+          if (enumeration_budget_ > 0 && candidates >= enumeration_budget_) {
+            return false;
+          }
+          ++candidates;
+          u_subset[static_cast<size_t>(out)] = 0;
+          u_subset[static_cast<size_t>(in)] = 1;
+          session->Flip(left_base + out);
+          session->Flip(left_base + in);
+          fixed.Flip(left_base + out);
+          fixed.Flip(left_base + in);
+          const double value = session->Query() - fixed.value();
+          if (value > best_value) {
+            best_value = value;
+            best = u_subset;
+          }
+          return true;
+        });
     DCS_METRIC_ADD("forall.subset.enumerated", candidates);
+    if (!completed) DCS_METRIC_INC("forall.enumeration.deadline_hit");
     return best;
   }
   // Greedy: per-node marginals from k+1 queries (base plus one per node,

@@ -98,6 +98,18 @@ class ForAllDecoder {
 
   explicit ForAllDecoder(const ForAllLowerBoundParams& params);
 
+  // Cooperative deadline for the kEnumerate mode, whose C(k, k/2) subset
+  // sweep is exponential in the layer size: the enumeration checkpoints the
+  // best subset seen so far and stops after `budget` candidates (counting
+  // the initial subset). 0 (the default) is unlimited. Deterministic — the
+  // same budget always stops at the same candidate — so chaos runs with a
+  // decode deadline stay replayable and can never hang. kGreedy is
+  // polynomial and ignores the budget.
+  void set_enumeration_budget(int64_t budget) {
+    enumeration_budget_ = budget;
+  }
+  int64_t enumeration_budget() const { return enumeration_budget_; }
+
   // Returns true for "far" (Δ(s_q, t) in the high tail), false for "close".
   bool DecideFar(int64_t string_index, const std::vector<uint8_t>& t,
                  const CutOracle& oracle, SubsetSelection mode) const;
@@ -120,6 +132,7 @@ class ForAllDecoder {
 
   ForAllLowerBoundParams params_;
   DirectedGraph backward_skeleton_;
+  int64_t enumeration_budget_ = 0;  // 0 = unlimited
 };
 
 // End-to-end trial: sample a distributional Gap-Hamming instance

@@ -1,15 +1,45 @@
 #include "lowerbound/protocols.h"
 
+#include <optional>
+
 #include "comm/gap_hamming.h"
 #include "comm/message.h"
 #include "graph/balance.h"
 #include "sketch/directed_sketches.h"
 
 namespace dcs {
+namespace {
+
+// Runs Alice's serialized sketch through `link` (when present) and returns
+// the message Bob sees, accounting wire/retransmitted bits into `result`.
+// nullopt means the transfer exceeded its deadline: the message is lost and
+// Bob decodes nothing.
+std::optional<Message> DeliverMessage(const Message& message,
+                                      ReliableLink* link,
+                                      SketchProtocolResult& result) {
+  if (link == nullptr) {
+    result.message_bits += message.bit_count;
+    return message;
+  }
+  const int64_t wire_before = link->stats().wire_bits;
+  const int64_t retrans_before = link->stats().retransmitted_bits;
+  auto delivered = link->Transfer(message);
+  result.message_bits += link->stats().wire_bits - wire_before;
+  result.retransmitted_bits +=
+      link->stats().retransmitted_bits - retrans_before;
+  if (!delivered.ok()) {
+    ++result.lost_messages;
+    return std::nullopt;
+  }
+  return std::move(delivered).value();
+}
+
+}  // namespace
 
 SketchProtocolResult RunForEachSketchProtocol(
     const ForEachLowerBoundParams& params, double sketch_epsilon,
-    double oversample_c, int probes, Rng& rng) {
+    double oversample_c, int probes, Rng& rng,
+    const ChannelOptions* channel) {
   params.Check();
   SketchProtocolResult result;
   result.payload_bits = params.total_bits();
@@ -26,12 +56,20 @@ SketchProtocolResult RunForEachSketchProtocol(
   BitWriter writer;
   sketch.Serialize(writer);
   const Message message = SealMessage(writer);
-  result.message_bits = message.bit_count;
+  result.sketch_bits = message.bit_count;
+
+  // --- The wire ---
+  std::optional<ReliableLink> link;
+  if (channel != nullptr) link.emplace(*channel);
+  const std::optional<Message> arrived =
+      DeliverMessage(message, link ? &*link : nullptr, result);
+  if (!arrived.has_value()) return result;  // lost past the deadline
 
   // --- Bob ---
-  BitReader reader = OpenMessage(message);
-  // In-process round trip of bytes Alice just wrote: a parse failure is a
-  // programmer error, so value() is safe.
+  BitReader reader = OpenMessage(*arrived);
+  // A recovered transfer is frame-checksummed end to end, so the bytes Bob
+  // holds are the bytes Alice wrote; a parse failure is a programmer error
+  // and value() is safe (matching the in-process round trip).
   const DirectedForEachSketch received =
       DirectedForEachSketch::Deserialize(reader).value();
   const ForEachDecoder decoder(params);
@@ -49,7 +87,8 @@ SketchProtocolResult RunForEachSketchProtocol(
 
 SketchProtocolResult RunForAllSketchProtocol(
     const ForAllLowerBoundParams& params, double sketch_epsilon,
-    double oversample_c, int trials, Rng& rng) {
+    double oversample_c, int trials, Rng& rng,
+    const ChannelOptions* channel) {
   params.Check();
   SketchProtocolResult result;
   result.payload_bits = params.total_bits();
@@ -60,6 +99,7 @@ SketchProtocolResult RunForAllSketchProtocol(
   gh.string_length = params.inv_epsilon_sq;
   gh.gap_c = params.gap_c;
   int64_t total_message_bits = 0;
+  int64_t total_sketch_bits = 0;
   for (int trial = 0; trial < trials; ++trial) {
     // --- Alice ---
     const GapHammingInstance instance = SampleGapHammingInstance(gh, rng);
@@ -69,11 +109,26 @@ SketchProtocolResult RunForAllSketchProtocol(
     BitWriter writer;
     sketch.Serialize(writer);
     const Message message = SealMessage(writer);
-    total_message_bits += message.bit_count;
+    total_sketch_bits += message.bit_count;
+
+    // --- The wire: a fresh link per trial with a derived seed ---
+    std::optional<ReliableLink> link;
+    if (channel != nullptr) {
+      ChannelOptions trial_channel = *channel;
+      trial_channel.seed = SubtaskSeed(channel->seed, trial);
+      link.emplace(trial_channel);
+    }
+    SketchProtocolResult trial_transport;
+    const std::optional<Message> arrived =
+        DeliverMessage(message, link ? &*link : nullptr, trial_transport);
+    total_message_bits += trial_transport.message_bits;
+    result.retransmitted_bits += trial_transport.retransmitted_bits;
+    result.lost_messages += trial_transport.lost_messages;
+    if (!arrived.has_value()) continue;  // lost trial: no decision made
 
     // --- Bob ---
-    BitReader reader = OpenMessage(message);
-    // In-process round trip: value() is safe (see above).
+    BitReader reader = OpenMessage(*arrived);
+    // Recovered (or in-process) bytes are exactly Alice's: value() is safe.
     const DirectedForAllSketch received =
         DirectedForAllSketch::Deserialize(reader).value();
     const bool decided_far =
@@ -83,7 +138,12 @@ SketchProtocolResult RunForAllSketchProtocol(
     ++result.probes;
     if (decided_far == instance.is_far) ++result.correct;
   }
+  // All transport fields are per-trial means so they stay mutually
+  // comparable (mean wire bits ≥ mean sketch bits + mean retransmitted).
   result.message_bits = trials == 0 ? 0 : total_message_bits / trials;
+  result.sketch_bits = trials == 0 ? 0 : total_sketch_bits / trials;
+  result.retransmitted_bits =
+      trials == 0 ? 0 : result.retransmitted_bits / trials;
   return result;
 }
 

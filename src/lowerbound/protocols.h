@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "comm/channel.h"
 #include "lowerbound/foreach_encoding.h"
 #include "lowerbound/forall_encoding.h"
 #include "util/random.h"
@@ -22,11 +23,24 @@
 namespace dcs {
 
 // Outcome of one protocol run.
+//
+// Transport accounting: with no channel, message_bits is the serialized
+// sketch length exactly as before. With a ChannelOptions, message_bits is
+// every bit the link put on the wire — framing, ACK traffic, and
+// retransmissions — so the measured transcript stays honest under faults
+// (DESIGN.md §9); sketch_bits keeps the pre-channel serialized size for
+// comparison. A transfer that exceeds its deadline counts in lost_messages
+// and contributes no probes (for-all reports per-trial means over the
+// trials that ran, as before).
 struct SketchProtocolResult {
-  int64_t message_bits = 0;   // serialized sketch length (the transcript)
+  int64_t message_bits = 0;   // transcript length (wire bits under a channel)
   int64_t payload_bits = 0;   // information Alice embedded in the graph
+  int64_t sketch_bits = 0;    // serialized sketch length, pre-framing
+  int64_t retransmitted_bits = 0;  // wire bits spent beyond first attempts
+  int64_t lost_messages = 0;  // transfers that exceeded the deadline
   int64_t probes = 0;         // decode attempts
   int64_t correct = 0;        // successful decodes
+  bool degraded() const { return lost_messages > 0; }
   double accuracy() const {
     return probes == 0 ? 0 : static_cast<double>(correct) / probes;
   }
@@ -38,16 +52,26 @@ struct SketchProtocolResult {
 // serialize. Bob: deserialize, decode `probes` random positions with the
 // Section 3 decoder. Small sketch_epsilon ⇒ accurate decoding and a long
 // message; large sketch_epsilon ⇒ short message and chance-level decoding.
+// `channel`, when non-null, routes Alice's serialized sketch through a
+// ReliableLink over a LossyChannel (comm/channel.h). The link draws only
+// from channel->seed, so a run whose transfers all recover decodes
+// bit-identically to the fault-free run — only the transcript accounting
+// (and the comm.channel.* metrics) differ.
 SketchProtocolResult RunForEachSketchProtocol(
     const ForEachLowerBoundParams& params, double sketch_epsilon,
-    double oversample_c, int probes, Rng& rng);
+    double oversample_c, int probes, Rng& rng,
+    const ChannelOptions* channel = nullptr);
 
 // Distributional Gap-Hamming through a serialized DirectedForAllSketch
-// (Section 4). One instance + decision per trial; message_bits reports the
-// mean serialized size across trials.
+// (Section 4). One instance + decision per trial; message_bits,
+// sketch_bits, and retransmitted_bits all report per-trial means so the
+// transport fields stay mutually comparable (lost_messages stays a count).
+// Trial t's link is seeded with SubtaskSeed(channel->seed, t), so every
+// trial replays its own fault script independently of the others.
 SketchProtocolResult RunForAllSketchProtocol(
     const ForAllLowerBoundParams& params, double sketch_epsilon,
-    double oversample_c, int trials, Rng& rng);
+    double oversample_c, int trials, Rng& rng,
+    const ChannelOptions* channel = nullptr);
 
 }  // namespace dcs
 

@@ -10,32 +10,43 @@ namespace {
 //   last(S(n, t))  = {0, ..., t−2} ∪ {n−1}     (t >= 1)
 // so the forward junction last(S(n−1, t)) → last(S(n−1, t−1)) ∪ {n−1}
 // removes t−2 (or n−2 when t == 1) and inserts n−1.
+//
+// Both entry points share the stoppable emitters; the visitor returns false
+// to unwind the whole recursion without emitting further swaps.
 
-using SwapFn = std::function<void(int, int)>;
+using StopFn = std::function<bool(int, int)>;
 
-void EmitForward(int n, int t, const SwapFn& swap);
-void EmitBackward(int n, int t, const SwapFn& swap);
+bool EmitForward(int n, int t, const StopFn& swap);
+bool EmitBackward(int n, int t, const StopFn& swap);
 
-void EmitForward(int n, int t, const SwapFn& swap) {
-  if (t == 0 || t == n) return;  // singleton list, no transitions
-  EmitForward(n - 1, t, swap);
-  swap(t == 1 ? n - 2 : t - 2, n - 1);
-  EmitBackward(n - 1, t - 1, swap);
+bool EmitForward(int n, int t, const StopFn& swap) {
+  if (t == 0 || t == n) return true;  // singleton list, no transitions
+  if (!EmitForward(n - 1, t, swap)) return false;
+  if (!swap(t == 1 ? n - 2 : t - 2, n - 1)) return false;
+  return EmitBackward(n - 1, t - 1, swap);
 }
 
-void EmitBackward(int n, int t, const SwapFn& swap) {
-  if (t == 0 || t == n) return;
-  EmitForward(n - 1, t - 1, swap);
-  swap(n - 1, t == 1 ? n - 2 : t - 2);
-  EmitBackward(n - 1, t, swap);
+bool EmitBackward(int n, int t, const StopFn& swap) {
+  if (t == 0 || t == n) return true;
+  if (!EmitForward(n - 1, t - 1, swap)) return false;
+  if (!swap(n - 1, t == 1 ? n - 2 : t - 2)) return false;
+  return EmitBackward(n - 1, t, swap);
 }
 
 }  // namespace
 
-void VisitRevolvingDoorSwaps(int n, int t, const SwapFn& swap) {
+void VisitRevolvingDoorSwaps(int n, int t,
+                             const std::function<void(int, int)>& swap) {
+  VisitRevolvingDoorSwapsUntil(n, t, [&swap](int out, int in) {
+    swap(out, in);
+    return true;
+  });
+}
+
+bool VisitRevolvingDoorSwapsUntil(int n, int t, const StopFn& swap) {
   DCS_CHECK_GE(t, 0);
   DCS_CHECK_LE(t, n);
-  EmitForward(n, t, swap);
+  return EmitForward(n, t, swap);
 }
 
 }  // namespace dcs

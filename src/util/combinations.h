@@ -25,6 +25,14 @@ namespace dcs {
 void VisitRevolvingDoorSwaps(int n, int t,
                              const std::function<void(int out, int in)>& swap);
 
+// Cooperative-deadline variant: `swap` returns true to continue and false
+// to abandon the enumeration immediately (no further swaps are emitted).
+// Returns true if the enumeration ran to completion, false if the visitor
+// stopped it. Used by decoders whose enumeration is exponential and must
+// respect a candidate budget under chaos runs.
+bool VisitRevolvingDoorSwapsUntil(
+    int n, int t, const std::function<bool(int out, int in)>& swap);
+
 }  // namespace dcs
 
 #endif  // DCS_UTIL_COMBINATIONS_H_

@@ -30,6 +30,7 @@ enum class StatusCode {
   kFailedPrecondition,  // operation is not valid in the current state
   kUnavailable,         // transient backend failure; retrying may succeed
   kInternal,            // invariant violation surfaced as a value
+  kDeadlineExceeded,    // retry/time budget exhausted before completion
 };
 
 // Name of the code as a stable lowercase token ("data_loss", ...).
@@ -66,6 +67,7 @@ Status NotFoundError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status UnavailableError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // A Status or a value of type T. Accessing the value of a non-OK StatusOr
 // is a programmer error (CHECK).

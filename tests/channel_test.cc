@@ -1,0 +1,404 @@
+// Lossy channel + reliable link (DESIGN.md §9): fault injection is a pure
+// function of the chaos seed, recovery reproduces the sender's bytes bit
+// for bit, the deadline turns unbounded loss into kDeadlineExceeded instead
+// of a hang, and every wire/retransmission bit is accounted.
+
+#include "comm/channel.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "distributed/distributed_mincut.h"
+#include "graph/generators.h"
+#include "lowerbound/cut_oracle.h"
+#include "lowerbound/forall_encoding.h"
+#include "lowerbound/protocols.h"
+#include "util/metrics.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+Message RandomMessage(int64_t bits, uint64_t seed) {
+  Rng rng(seed);
+  BitWriter writer;
+  for (int64_t b = 0; b < bits; ++b) {
+    writer.WriteBit(static_cast<int>(rng.Next() & 1));
+  }
+  return SealMessage(writer);
+}
+
+TEST(ChannelFrameTest, RoundTripsHeaderAndPayload) {
+  BitWriter payload;
+  for (int b = 0; b < 37; ++b) payload.WriteBit(b % 3 == 0);
+  BitWriter framed;
+  WriteChannelFrame(/*seq=*/2, /*total_chunks=*/5, /*message_bits=*/9001,
+                    payload.bytes(), payload.bit_count(), framed);
+  BitReader reader(framed.bytes());
+  const ParsedChannelFrame frame = TryParseChannelFrame(reader).value();
+  EXPECT_EQ(frame.seq, 2);
+  EXPECT_EQ(frame.total_chunks, 5);
+  EXPECT_EQ(frame.message_bits, 9001);
+  EXPECT_EQ(frame.payload_bits, 37);
+  EXPECT_EQ(frame.payload, payload.bytes());
+}
+
+TEST(ChannelFrameTest, RejectsWrongMagic) {
+  BitWriter framed;
+  WriteChannelFrame(0, 1, 8, {0xAB}, 8, framed);
+  std::vector<uint8_t> bytes = framed.bytes();
+  bytes[0] ^= 0xFF;
+  BitReader reader(bytes);
+  const auto parsed = TryParseChannelFrame(reader);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ReliableLinkTest, FaultFreeTransferIsBitIdentical) {
+  const Message message = RandomMessage(10007, /*seed=*/3);
+  ChannelOptions options;
+  options.seed = 1;
+  ASSERT_FALSE(options.any_faults());
+  ReliableLink link(options);
+  const Message delivered = link.Transfer(message).value();
+  EXPECT_EQ(delivered.bytes, message.bytes);
+  EXPECT_EQ(delivered.bit_count, message.bit_count);
+  // Framing and the ACK bitmap are real overhead on the wire; nothing was
+  // retransmitted.
+  EXPECT_GT(link.stats().wire_bits, message.bit_count);
+  EXPECT_EQ(link.stats().retransmitted_bits, 0);
+  EXPECT_EQ(link.stats().transfers_recovered, 1);
+  EXPECT_EQ(link.stats().rounds, 1);
+}
+
+TEST(ReliableLinkTest, RecoversExactBytesUnderEveryFaultKind) {
+  const Message message = RandomMessage(9173, /*seed=*/4);
+  ChannelOptions options;
+  options.seed = 11;
+  options.drop_rate = 0.2;
+  options.flip_rate = 0.2;
+  options.truncate_rate = 0.1;
+  options.duplicate_rate = 0.2;
+  options.reorder_rate = 0.3;
+  options.max_rounds = 64;
+  ReliableLink link(options);
+  const Message delivered = link.Transfer(message).value();
+  EXPECT_EQ(delivered.bytes, message.bytes);
+  EXPECT_EQ(delivered.bit_count, message.bit_count);
+  // With these rates at least one frame needed another attempt, and every
+  // extra attempt is billed both as wire and as retransmission traffic.
+  EXPECT_GT(link.stats().retransmitted_bits, 0);
+  EXPECT_GE(link.stats().wire_bits,
+            message.bit_count + link.stats().retransmitted_bits);
+  EXPECT_GT(link.stats().rounds, 1);
+}
+
+TEST(ReliableLinkTest, SameSeedReplaysIdenticalTranscriptAndMetrics) {
+  const Message message = RandomMessage(6301, /*seed=*/5);
+  ChannelOptions options;
+  options.seed = 77;
+  options.drop_rate = 0.3;
+  options.flip_rate = 0.1;
+  options.max_rounds = 32;
+
+  const metrics::MetricsSnapshot s0 = metrics::Registry::Get().Snapshot();
+  ReliableLink first(options);
+  const Message a = first.Transfer(message).value();
+  const metrics::MetricsSnapshot s1 = metrics::Registry::Get().Snapshot();
+  ReliableLink second(options);
+  const Message b = second.Transfer(message).value();
+  const metrics::MetricsSnapshot s2 = metrics::Registry::Get().Snapshot();
+
+  EXPECT_EQ(a.bytes, b.bytes);
+  const ChannelStats& fs = first.stats();
+  const ChannelStats& ss = second.stats();
+  EXPECT_EQ(fs.frames_sent, ss.frames_sent);
+  EXPECT_EQ(fs.frames_dropped, ss.frames_dropped);
+  EXPECT_EQ(fs.frames_flipped, ss.frames_flipped);
+  EXPECT_EQ(fs.wire_bits, ss.wire_bits);
+  EXPECT_EQ(fs.retransmitted_bits, ss.retransmitted_bits);
+  EXPECT_EQ(fs.rounds, ss.rounds);
+  // The per-run comm.channel.* metric deltas are identical too — same JSON,
+  // byte for byte.
+  EXPECT_EQ(s1.DiffSince(s0).ToJsonString(), s2.DiffSince(s1).ToJsonString());
+}
+
+TEST(ReliableLinkTest, DifferentSeedsProduceDifferentFaultScripts) {
+  const Message message = RandomMessage(6301, /*seed=*/5);
+  ChannelOptions options;
+  options.drop_rate = 0.4;
+  options.max_rounds = 64;
+  options.seed = 1;
+  ReliableLink first(options);
+  ASSERT_TRUE(first.Transfer(message).ok());
+  options.seed = 2;
+  ReliableLink second(options);
+  ASSERT_TRUE(second.Transfer(message).ok());
+  EXPECT_NE(first.stats().frames_dropped, second.stats().frames_dropped);
+}
+
+TEST(ReliableLinkTest, DeadlineExceededWhenEverythingDrops) {
+  const Message message = RandomMessage(4096, /*seed=*/6);
+  ChannelOptions options;
+  options.seed = 5;
+  options.drop_rate = 1.0;
+  options.max_rounds = 3;
+  ReliableLink link(options);
+  const auto result = link.Transfer(message);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(link.stats().transfers_expired, 1);
+  EXPECT_EQ(link.stats().rounds, 3);  // gave up at the deadline, no hang
+  // Backoff between retransmission rounds is counted, capped-exponential:
+  // 1 + 2 for rounds two and three.
+  EXPECT_EQ(link.stats().backoff_units, 3);
+}
+
+TEST(ReliableLinkTest, BackoffIsCapped) {
+  const Message message = RandomMessage(128, /*seed=*/7);
+  ChannelOptions options;
+  options.seed = 5;
+  options.drop_rate = 1.0;
+  options.max_rounds = 10;
+  options.backoff_cap = 4;
+  ReliableLink link(options);
+  ASSERT_FALSE(link.Transfer(message).ok());
+  // 1 + 2 + 4 + 4 + ... : everything past the cap contributes 4.
+  EXPECT_EQ(link.stats().backoff_units, 1 + 2 + 4 * 7);
+}
+
+// --- protocol-level recovery invariant (the acceptance criterion) ---
+
+TEST(ProtocolChannelTest, ForEachRecoveredRunDecodesBitIdentically) {
+  ForEachLowerBoundParams params;
+  params.inv_epsilon = 4;
+  params.sqrt_beta = 1;
+  params.num_layers = 2;
+  ChannelOptions channel;
+  channel.seed = 21;
+  channel.drop_rate = 0.4;
+  channel.flip_rate = 0.1;
+  channel.chunk_payload_bits = 256;  // several chunks even for a tiny sketch
+  channel.max_rounds = 64;
+
+  Rng fault_free_rng(9);
+  const SketchProtocolResult fault_free =
+      RunForEachSketchProtocol(params, 0.05, 20.0, 40, fault_free_rng);
+  Rng chaos_rng(9);
+  const SketchProtocolResult recovered =
+      RunForEachSketchProtocol(params, 0.05, 20.0, 40, chaos_rng, &channel);
+
+  // The channel draws only from its own stream, so a run whose transfers
+  // all recover makes the identical decode decisions...
+  ASSERT_EQ(recovered.lost_messages, 0);
+  EXPECT_EQ(recovered.probes, fault_free.probes);
+  EXPECT_EQ(recovered.correct, fault_free.correct);
+  EXPECT_EQ(recovered.sketch_bits, fault_free.sketch_bits);
+  // ...while the transcript strictly grows: framing + ACKs + every
+  // retransmitted bit.
+  EXPECT_GT(recovered.message_bits, fault_free.message_bits);
+  EXPECT_GT(recovered.retransmitted_bits, 0);
+  EXPECT_GE(recovered.message_bits,
+            recovered.sketch_bits + recovered.retransmitted_bits);
+  EXPECT_FALSE(recovered.degraded());
+}
+
+TEST(ProtocolChannelTest, ForAllRecoveredRunDecodesBitIdentically) {
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 4;
+  params.beta = 1;
+  params.num_layers = 2;
+  ChannelOptions channel;
+  channel.seed = 22;
+  channel.drop_rate = 0.25;
+  channel.max_rounds = 64;
+
+  Rng fault_free_rng(10);
+  const SketchProtocolResult fault_free =
+      RunForAllSketchProtocol(params, 0.05, 20.0, 6, fault_free_rng);
+  Rng chaos_rng(10);
+  const SketchProtocolResult recovered =
+      RunForAllSketchProtocol(params, 0.05, 20.0, 6, chaos_rng, &channel);
+
+  ASSERT_EQ(recovered.lost_messages, 0);
+  EXPECT_EQ(recovered.probes, fault_free.probes);
+  EXPECT_EQ(recovered.correct, fault_free.correct);
+  EXPECT_GT(recovered.message_bits, fault_free.message_bits);
+  // All transport fields are per-trial means, so they must stay mutually
+  // comparable: mean wire ≥ mean sketch + mean retransmitted.
+  EXPECT_GT(recovered.retransmitted_bits, 0);
+  EXPECT_GE(recovered.message_bits,
+            recovered.sketch_bits + recovered.retransmitted_bits);
+}
+
+TEST(ProtocolChannelTest, PastDeadlineLossDegradesInsteadOfCrashing) {
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 4;
+  params.beta = 1;
+  params.num_layers = 2;
+  ChannelOptions channel;
+  channel.seed = 23;
+  channel.drop_rate = 1.0;
+  channel.max_rounds = 2;
+  Rng rng(11);
+  const SketchProtocolResult result =
+      RunForAllSketchProtocol(params, 0.05, 20.0, 5, rng, &channel);
+  EXPECT_EQ(result.lost_messages, 5);
+  EXPECT_EQ(result.probes, 0);  // no decision was fabricated for lost trials
+  EXPECT_TRUE(result.degraded());
+  EXPECT_GT(result.message_bits, 0);  // the failed attempts still cost bits
+}
+
+TEST(ProtocolChannelTest, SameChaosSeedGivesIdenticalTranscripts) {
+  ForEachLowerBoundParams params;
+  params.inv_epsilon = 4;
+  params.sqrt_beta = 1;
+  params.num_layers = 2;
+  ChannelOptions channel;
+  channel.seed = 31;
+  channel.drop_rate = 0.3;
+  channel.max_rounds = 32;
+  Rng r1(12), r2(12);
+  const SketchProtocolResult a =
+      RunForEachSketchProtocol(params, 0.05, 20.0, 20, r1, &channel);
+  const SketchProtocolResult b =
+      RunForEachSketchProtocol(params, 0.05, 20.0, 20, r2, &channel);
+  EXPECT_EQ(a.message_bits, b.message_bits);
+  EXPECT_EQ(a.retransmitted_bits, b.retransmitted_bits);
+  EXPECT_EQ(a.correct, b.correct);
+}
+
+// --- cooperative deadline for the exponential for-all enumeration ---
+
+TEST(EnumerationBudgetTest, BudgetOneKeepsInitialSubsetAndTerminates) {
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 4;
+  params.beta = 1;
+  params.num_layers = 2;
+  ForAllDecoder decoder(params);
+  decoder.set_enumeration_budget(1);
+  Rng rng(13);
+  GapHammingParams gh;
+  gh.num_strings = static_cast<int>(params.total_strings());
+  gh.string_length = params.inv_epsilon_sq;
+  const GapHammingInstance instance = SampleGapHammingInstance(gh, rng);
+  const ForAllEncoder encoder(params);
+  const DirectedGraph graph = encoder.Encode(instance.s);
+  const CutOracle oracle = ExactCutOracle(graph);
+  const VertexSet subset = decoder.SelectBestSubset(
+      instance.index, instance.t, oracle,
+      ForAllDecoder::SubsetSelection::kEnumerate);
+  // Budget 1 admits only the initial subset {0, 1}: a checkpointed early
+  // exit, not a hang or a crash.
+  const int k = params.layer_size();
+  ASSERT_EQ(static_cast<int>(subset.size()), k);
+  for (int i = 0; i < k; ++i) {
+    EXPECT_EQ(subset[static_cast<size_t>(i)], i < k / 2 ? 1 : 0);
+  }
+}
+
+TEST(EnumerationBudgetTest, LargeBudgetMatchesUnlimited) {
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 6;
+  params.beta = 1;
+  params.num_layers = 2;
+  ForAllDecoder unlimited(params);
+  ForAllDecoder budgeted(params);
+  budgeted.set_enumeration_budget(1 << 20);  // far beyond C(6, 3)
+  Rng rng(14);
+  GapHammingParams gh;
+  gh.num_strings = static_cast<int>(params.total_strings());
+  gh.string_length = params.inv_epsilon_sq;
+  const GapHammingInstance instance = SampleGapHammingInstance(gh, rng);
+  const ForAllEncoder encoder(params);
+  const DirectedGraph graph = encoder.Encode(instance.s);
+  const CutOracle oracle = ExactCutOracle(graph);
+  EXPECT_EQ(budgeted.SelectBestSubset(
+                instance.index, instance.t, oracle,
+                ForAllDecoder::SubsetSelection::kEnumerate),
+            unlimited.SelectBestSubset(
+                instance.index, instance.t, oracle,
+                ForAllDecoder::SubsetSelection::kEnumerate));
+}
+
+// --- distributed pipeline over the channel ---
+
+TEST(DistributedChannelTest, FaultFreeChannelMatchesInProcessRun) {
+  Rng part_rng(15);
+  const UndirectedGraph graph = DumbbellGraph(12, 3);
+  DistributedMinCutOptions options;
+  options.median_boost = 2;
+  options.karger_repetitions = 8;
+  Rng build_rng(16);
+  const DistributedMinCutPipeline pipeline(
+      PartitionEdges(graph, 3, part_rng), options, build_rng);
+  ChannelOptions channel;
+  channel.seed = 41;  // no fault rates: every transfer recovers in round 1
+  Rng r1(17), r2(17);
+  const auto in_process = pipeline.Run(r1);
+  const auto over_channel = pipeline.Run(r2, channel).value();
+  EXPECT_EQ(over_channel.estimate, in_process.estimate);
+  EXPECT_EQ(over_channel.best_side, in_process.best_side);
+  EXPECT_FALSE(over_channel.degraded);
+  EXPECT_TRUE(over_channel.lost_servers.empty());
+  EXPECT_DOUBLE_EQ(over_channel.effective_epsilon, options.epsilon);
+  EXPECT_GT(over_channel.channel_wire_bits, over_channel.total_bits());
+  EXPECT_EQ(over_channel.retransmitted_bits, 0);
+}
+
+TEST(DistributedChannelTest, LostServersDegradeGracefully) {
+  Rng part_rng(18);
+  const UndirectedGraph graph = DumbbellGraph(12, 3);
+  DistributedMinCutOptions options;
+  options.median_boost = 2;
+  options.karger_repetitions = 8;
+  Rng build_rng(19);
+  const int num_servers = 4;
+  const DistributedMinCutPipeline pipeline(
+      PartitionEdges(graph, num_servers, part_rng), options, build_rng);
+  // Find a chaos seed that loses some but not all servers; the fault
+  // script is deterministic, so once found the loss pattern is fixed.
+  for (uint64_t chaos_seed = 1; chaos_seed <= 64; ++chaos_seed) {
+    ChannelOptions channel;
+    channel.seed = chaos_seed;
+    channel.drop_rate = 0.18;
+    channel.max_rounds = 2;
+    Rng rng(20);
+    const auto run = pipeline.Run(rng, channel);
+    if (!run.ok()) {
+      EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+      continue;
+    }
+    const auto& result = run.value();
+    if (result.lost_servers.empty()) continue;
+    // Partial loss: degraded but alive, with the loss surfaced.
+    EXPECT_TRUE(result.degraded);
+    EXPECT_LT(static_cast<int>(result.lost_servers.size()), num_servers);
+    EXPECT_GT(result.effective_epsilon, options.epsilon);
+    EXPECT_GT(result.estimate, 0);
+    EXPECT_GT(result.retransmitted_bits, 0);
+    return;
+  }
+  FAIL() << "no chaos seed in [1, 64] produced a partial loss";
+}
+
+TEST(DistributedChannelTest, AllServersLostIsAnErrorNotACrash) {
+  Rng part_rng(21);
+  const UndirectedGraph graph = DumbbellGraph(10, 2);
+  DistributedMinCutOptions options;
+  options.median_boost = 2;
+  Rng build_rng(22);
+  const DistributedMinCutPipeline pipeline(
+      PartitionEdges(graph, 2, part_rng), options, build_rng);
+  ChannelOptions channel;
+  channel.seed = 51;
+  channel.drop_rate = 1.0;
+  channel.max_rounds = 2;
+  Rng rng(23);
+  const auto run = pipeline.Run(rng, channel);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -222,4 +222,66 @@ TEST(CliTest, MetricsJsonWrittenEvenWhenCommandFails) {
   EXPECT_TRUE(root.is_object());
 }
 
+// Lossy-channel subcommands (DESIGN.md §9): `protocol` and `distributed`
+// run fault-free and under --chaos-* flags, malformed chaos flags are
+// usage errors, and a chaos run is a pure function of --chaos-seed.
+
+// Runs the CLI capturing stdout (stderr discarded); returns the exit code.
+int RunCliCapture(const std::string& args, std::string* out) {
+  const std::string path = "/tmp/dcs_cli_test_capture.txt";
+  const std::string command = std::string(DCS_CLI_PATH) + " " + args +
+                              " > " + path + " 2> /dev/null";
+  const int status = std::system(command.c_str());
+  *out = ReadFileToString(path);
+  return WEXITSTATUS(status);
+}
+
+TEST(CliChaosTest, ProtocolSubcommandRunsFaultFreeAndUnderChaos) {
+  EXPECT_EQ(RunCli("protocol --kind foreach --probes 8 --seed 3"), 0);
+  EXPECT_EQ(RunCli("protocol --kind forall --trials 4 --seed 3"), 0);
+  EXPECT_EQ(RunCli("protocol --kind foreach --probes 8 --seed 3 "
+                   "--chaos-seed 7 --chaos-drop 0.2 --chaos-flip 0.05"),
+            0);
+  EXPECT_EQ(RunCli("protocol --kind nonsense"), 2);
+}
+
+TEST(CliChaosTest, DistributedSubcommandRunsFaultFreeAndUnderChaos) {
+  const std::string graph = "/tmp/dcs_cli_test_chaos_graph.txt";
+  ASSERT_EQ(RunCli("generate --type dumbbell --n 16 --k 3 --out " + graph),
+            0);
+  EXPECT_EQ(RunCli("distributed --in " + graph + " --servers 3 --seed 5"),
+            0);
+  EXPECT_EQ(RunCli("distributed --in " + graph + " --servers 3 --seed 5 "
+                   "--chaos-seed 9 --chaos-drop 0.2"),
+            0);
+  EXPECT_EQ(RunCli("distributed --in /nonexistent/graph.txt"), 1);
+  EXPECT_EQ(RunCli("distributed --in " + graph + " --servers 0"), 2);
+}
+
+TEST(CliChaosTest, MalformedChaosFlagsExitTwo) {
+  EXPECT_EQ(RunCli("protocol --chaos-drop=1.5"), 2);   // rate > 1
+  EXPECT_EQ(RunCli("protocol --chaos-drop=-0.1"), 2);  // rate < 0
+  EXPECT_EQ(RunCli("protocol --chaos-rounds 0"), 2);   // no deadline budget
+  EXPECT_EQ(RunCli("protocol --chaos-drop notarate"), 2);
+}
+
+TEST(CliChaosTest, SameChaosSeedPrintsIdenticalOutput) {
+  const std::string args =
+      "protocol --kind foreach --probes 16 --seed 4 "
+      "--chaos-seed 11 --chaos-drop 0.3 --chaos-flip 0.1";
+  std::string first, second;
+  ASSERT_EQ(RunCliCapture(args, &first), 0);
+  ASSERT_EQ(RunCliCapture(args, &second), 0);
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // A recovered chaos run decodes bit-identically to the fault-free run:
+  // same protocol line, more transport bits.
+  std::string fault_free;
+  ASSERT_EQ(RunCliCapture("protocol --kind foreach --probes 16 --seed 4",
+                          &fault_free),
+            0);
+  const std::string decode_line = first.substr(0, first.find('\n'));
+  EXPECT_EQ(fault_free.substr(0, fault_free.find('\n')), decode_line);
+}
+
 }  // namespace

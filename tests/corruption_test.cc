@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/channel.h"
 #include "graph/generators.h"
 #include "gtest/gtest.h"
 #include "sketch/directed_sketches.h"
@@ -123,6 +124,34 @@ std::vector<WireCase> BuildWireCases() {
     c.bit_count = writer.bit_count();
     c.parse = AsParser(
         [](BitReader& r) { return DirectedForAllSketch::Deserialize(r); });
+    cases.push_back(std::move(c));
+  }
+  {
+    // A lossy-channel frame (comm/channel.h) as its receiver sees it: the
+    // parser's own checks plus the transfer-geometry validation ReliableLink
+    // applies (expected seq/total/message/payload sizes) — a header that
+    // disagrees is NACKed exactly like a parse failure, so the combination
+    // must reject every mutation.
+    WireCase c;
+    c.name = "channel_frame";
+    BitWriter payload;
+    for (int b = 0; b < 300; ++b) {
+      payload.WriteBit(static_cast<int>(rng.Next() & 1));
+    }
+    BitWriter framed;
+    WriteChannelFrame(/*seq=*/3, /*total_chunks=*/7, /*message_bits=*/2048,
+                      payload.bytes(), payload.bit_count(), framed);
+    c.bytes = framed.bytes();
+    c.bit_count = framed.bit_count();
+    c.parse = [](BitReader& r) -> Status {
+      const auto frame = TryParseChannelFrame(r);
+      if (!frame.ok()) return frame.status();
+      if (frame->seq != 3 || frame->total_chunks != 7 ||
+          frame->message_bits != 2048 || frame->payload_bits != 300) {
+        return DataLossError("channel frame header mismatch");
+      }
+      return OkStatus();
+    };
     cases.push_back(std::move(c));
   }
   return cases;

@@ -3,6 +3,8 @@
 
 #include "distributed/distributed_mincut.h"
 
+#include <cmath>
+
 #include "distributed/directed_distributed_mincut.h"
 #include "mincut/directed_mincut.h"
 
@@ -100,6 +102,61 @@ TEST(DistributedMinCutTest, SingleServerDegeneratesGracefully) {
                                            options, rng);
   const auto result = pipeline.Run(rng);
   EXPECT_NEAR(result.estimate, 2.0, 1.0);
+}
+
+TEST(DistributedChaosTest, SameChaosSeedIsDeterministic) {
+  const UndirectedGraph g = DumbbellGraph(10, 3);
+  Rng part_rng(30);
+  DistributedMinCutOptions options;
+  options.median_boost = 2;
+  Rng build_rng(31);
+  const DistributedMinCutPipeline pipeline(PartitionEdges(g, 3, part_rng),
+                                           options, build_rng);
+  ChannelOptions channel;
+  channel.seed = 6;
+  channel.drop_rate = 0.25;
+  channel.flip_rate = 0.05;
+  channel.max_rounds = 32;
+  Rng r1(32), r2(32);
+  const auto a = pipeline.Run(r1, channel).value();
+  const auto b = pipeline.Run(r2, channel).value();
+  EXPECT_EQ(a.estimate, b.estimate);
+  EXPECT_EQ(a.channel_wire_bits, b.channel_wire_bits);
+  EXPECT_EQ(a.retransmitted_bits, b.retransmitted_bits);
+  EXPECT_EQ(a.lost_servers, b.lost_servers);
+}
+
+TEST(DistributedChaosTest, DegradedRunWidensEffectiveEpsilon) {
+  const UndirectedGraph g = DumbbellGraph(12, 3);
+  Rng part_rng(33);
+  DistributedMinCutOptions options;
+  options.median_boost = 2;
+  Rng build_rng(34);
+  const int num_servers = 4;
+  const DistributedMinCutPipeline pipeline(
+      PartitionEdges(g, num_servers, part_rng), options, build_rng);
+  for (uint64_t chaos_seed = 1; chaos_seed <= 64; ++chaos_seed) {
+    ChannelOptions channel;
+    channel.seed = chaos_seed;
+    channel.drop_rate = 0.18;
+    channel.max_rounds = 2;
+    Rng rng(35);
+    const auto run = pipeline.Run(rng, channel);
+    if (!run.ok() || run->lost_servers.empty()) continue;
+    const auto& result = run.value();
+    const int survivors =
+        num_servers - static_cast<int>(result.lost_servers.size());
+    ASSERT_GT(survivors, 0);
+    // The widened bound is ε·√(S/(S−L)) — the error of the smaller
+    // surviving sample.
+    EXPECT_DOUBLE_EQ(
+        result.effective_epsilon,
+        options.epsilon *
+            std::sqrt(static_cast<double>(num_servers) / survivors));
+    EXPECT_TRUE(result.degraded);
+    return;
+  }
+  FAIL() << "no chaos seed in [1, 64] produced a partial loss";
 }
 
 TEST(DirectedDistributedTest, PartitionPreservesDirectedEdges) {

@@ -106,6 +106,77 @@ TEST(FaultInjectionTest, EstimatorPropagatesPersistentFailure) {
   EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
 }
 
+TEST(ShortReadTest, ShortReadReturnsDataLossAndIsCounted) {
+  const UndirectedGraph g = TestGraph();
+  GraphOracle base(g);
+  FaultInjectingOracle faulty(base, /*failure_rate=*/0.0,
+                              /*short_read_rate=*/1.0, /*seed=*/1);
+  const auto degree = faulty.TryDegree(0);
+  ASSERT_FALSE(degree.ok());
+  EXPECT_EQ(degree.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(faulty.injected_short_reads(), 1);
+  EXPECT_EQ(faulty.injected_failures(), 0);
+  EXPECT_EQ(base.counts().total(), 0);  // the truncated reply never arrived
+}
+
+TEST(ShortReadTest, ShortReadIsNotRetried) {
+  const UndirectedGraph g = TestGraph();
+  GraphOracle base(g);
+  FaultInjectingOracle faulty(base, 0.0, 1.0, /*seed=*/2);
+  const auto result = RetryQuery([&] { return faulty.TryDegree(0); });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  // A truncated reply is not transient: exactly one attempt, no reissue.
+  EXPECT_EQ(faulty.counts().degree, 1);
+  EXPECT_EQ(faulty.injected_short_reads(), 1);
+}
+
+TEST(ShortReadTest, EstimatorPropagatesShortRead) {
+  const UndirectedGraph g = TestGraph();
+  GraphOracle base(g);
+  FaultInjectingOracle faulty(base, 0.0, 1.0, /*seed=*/3);
+  Rng rng(4);
+  const auto result = EstimateMinCutLocalQueries(
+      faulty, 0.5, SearchMode::kModifiedConstantSearch, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ShortReadTest, ZeroShortReadRateReplaysTheTwoArgFaultScript) {
+  // The mixed-mode constructor splits one uniform draw across the fault
+  // kinds, so at short_read_rate = 0 it must inject the exact same faults
+  // at the exact same queries as the two-argument constructor.
+  const UndirectedGraph g = TestGraph();
+  GraphOracle base_a(g), base_b(g);
+  FaultInjectingOracle two_arg(base_a, 0.25, /*seed=*/9);
+  FaultInjectingOracle three_arg(base_b, 0.25, /*short_read_rate=*/0.0,
+                                 /*seed=*/9);
+  for (int q = 0; q < 200; ++q) {
+    const VertexId u = q % g.num_vertices();
+    EXPECT_EQ(two_arg.TryDegree(u).ok(), three_arg.TryDegree(u).ok())
+        << "query " << q;
+  }
+  EXPECT_EQ(two_arg.injected_failures(), three_arg.injected_failures());
+  EXPECT_EQ(three_arg.injected_short_reads(), 0);
+}
+
+TEST(ShortReadTest, MixedRatesInjectBothKinds) {
+  const UndirectedGraph g = TestGraph();
+  GraphOracle base(g);
+  FaultInjectingOracle faulty(base, 0.2, 0.2, /*seed=*/11);
+  int transient = 0, short_reads = 0;
+  for (int q = 0; q < 300; ++q) {
+    const auto result = faulty.TryDegree(q % g.num_vertices());
+    if (result.ok()) continue;
+    if (result.status().code() == StatusCode::kUnavailable) ++transient;
+    if (result.status().code() == StatusCode::kDataLoss) ++short_reads;
+  }
+  EXPECT_GT(transient, 0);
+  EXPECT_GT(short_reads, 0);
+  EXPECT_EQ(faulty.injected_failures(), transient);
+  EXPECT_EQ(faulty.injected_short_reads(), short_reads);
+}
+
 TEST(FaultInjectionTest, RecoveredRunIsBitIdenticalToFaultFree) {
   const UndirectedGraph g = TestGraph();
 

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "comm/channel.h"
 #include "graph/incremental_cut_oracle.h"
 #include "lowerbound/forall_encoding.h"
 #include "lowerbound/foreach_encoding.h"
@@ -124,6 +125,45 @@ void StressTrialRunners() {
   }
 }
 
+void StressChannelParallelTransfers() {
+  // Concurrent ReliableLink transfers, one link per task with a derived
+  // seed, all over one shared message and the shared metrics registry.
+  // Per-link state plus per-task seeding means every task's transcript must
+  // be bit-identical to a serial replay at every thread count.
+  Rng rng(9);
+  BitWriter writer;
+  for (int b = 0; b < 20000; ++b) {
+    writer.WriteBit(static_cast<int>(rng.Next() & 1));
+  }
+  const Message message = SealMessage(writer);
+  constexpr int64_t kTasks = 32;
+  auto run_one = [&message](int64_t task) -> int64_t {
+    ChannelOptions options;
+    options.seed = SubtaskSeed(555, task);
+    options.drop_rate = 0.3;
+    options.flip_rate = 0.1;
+    options.max_rounds = 64;
+    ReliableLink link(options);
+    const auto delivered = link.Transfer(message);
+    Require(delivered.ok(), "channel stress: transfer recovered");
+    Require(delivered->bytes == message.bytes,
+            "channel stress: recovered bytes are the sender's");
+    return link.stats().wire_bits;
+  };
+  std::vector<int64_t> serial(static_cast<size_t>(kTasks));
+  for (int64_t t = 0; t < kTasks; ++t) {
+    serial[static_cast<size_t>(t)] = run_one(t);
+  }
+  for (const int threads : {2, 4, 8}) {
+    std::vector<int64_t> parallel(static_cast<size_t>(kTasks));
+    ParallelFor(threads, kTasks, [&](int64_t t) {
+      parallel[static_cast<size_t>(t)] = run_one(t);
+    });
+    Require(parallel == serial,
+            "channel stress: transcripts identical across thread counts");
+  }
+}
+
 }  // namespace
 }  // namespace dcs
 
@@ -132,6 +172,7 @@ int main() {
   dcs::StressBackToBackGrowingLoops();
   dcs::StressSharedGraphReads();
   dcs::StressTrialRunners();
+  dcs::StressChannelParallelTransfers();
   std::printf("tsan stress: OK\n");
   return 0;
 }

@@ -80,5 +80,46 @@ TEST(RevolvingDoorTest, DegenerateSizes) {
   EXPECT_EQ(CollectSubsets(1, 1).size(), 1u);
 }
 
+TEST(RevolvingDoorUntilTest, CompletesWhenVisitorNeverStops) {
+  int swaps = 0;
+  const bool completed = VisitRevolvingDoorSwapsUntil(8, 4, [&](int, int) {
+    ++swaps;
+    return true;
+  });
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(static_cast<int64_t>(swaps) + 1, Binomial(8, 4));
+}
+
+TEST(RevolvingDoorUntilTest, StopsExactlyWhereTheVisitorSaysAndUnwinds) {
+  for (int stop_after : {0, 1, 5, 17}) {
+    int swaps = 0;
+    const bool completed =
+        VisitRevolvingDoorSwapsUntil(8, 4, [&](int, int) {
+          if (swaps >= stop_after) return false;
+          ++swaps;
+          return true;
+        });
+    EXPECT_FALSE(completed) << "stop_after=" << stop_after;
+    EXPECT_EQ(swaps, stop_after);
+  }
+}
+
+TEST(RevolvingDoorUntilTest, PrefixMatchesUnconditionalEnumeration) {
+  // The Until variant must walk the same Gray-code order as the plain one.
+  std::vector<std::pair<int, int>> all;
+  VisitRevolvingDoorSwaps(7, 3, [&](int out, int in) {
+    all.emplace_back(out, in);
+  });
+  std::vector<std::pair<int, int>> prefix;
+  VisitRevolvingDoorSwapsUntil(7, 3, [&](int out, int in) {
+    prefix.emplace_back(out, in);
+    return prefix.size() < 10;
+  });
+  ASSERT_EQ(prefix.size(), 10u);
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    EXPECT_EQ(prefix[i], all[i]) << "swap " << i;
+  }
+}
+
 }  // namespace
 }  // namespace dcs

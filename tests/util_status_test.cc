@@ -28,6 +28,7 @@ TEST(StatusTest, ErrorConstructorsCarryCodeAndMessage) {
       {FailedPreconditionError("e"), StatusCode::kFailedPrecondition},
       {UnavailableError("f"), StatusCode::kUnavailable},
       {InternalError("g"), StatusCode::kInternal},
+      {DeadlineExceededError("h"), StatusCode::kDeadlineExceeded},
   };
   for (const auto& [status, code] : cases) {
     EXPECT_FALSE(status.ok());
@@ -42,6 +43,16 @@ TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
   EXPECT_NE(s.ToString().find(StatusCodeName(StatusCode::kDataLoss)),
             std::string::npos);
   EXPECT_NE(s.ToString().find("bad magic"), std::string::npos);
+}
+
+TEST(StatusTest, DeadlineExceededHasItsOwnCodeName) {
+  const Status s = DeadlineExceededError("3 rounds spent");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+            std::string("deadline_exceeded"));
+  EXPECT_NE(s.ToString().find("deadline_exceeded"), std::string::npos);
+  // Distinct from the transient kUnavailable: the retry budget itself is
+  // gone, so callers must not re-issue.
+  EXPECT_NE(s.code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -10,6 +10,17 @@
 //              read it back through cut queries (Theorem 1.1 demo)
 //   trials     run seed-deterministic lower-bound decode trials, optionally
 //              across threads (--threads N; results are identical for any N)
+//   protocol   run a one-way sketch protocol (Alice serializes, Bob
+//              decodes), optionally over a lossy channel (--chaos-* flags)
+//   distributed run the distributed min-cut pipeline on a partitioned
+//              graph, optionally over a lossy channel with graceful
+//              degradation when servers are lost
+//
+// Chaos flags (protocol, distributed): passing any of --chaos-seed,
+// --chaos-drop, --chaos-flip, --chaos-truncate, --chaos-duplicate,
+// --chaos-reorder, --chaos-rounds routes every message through a
+// ReliableLink over a seeded LossyChannel (DESIGN.md §9). The fault script
+// is a pure function of --chaos-seed, so reruns are bit-identical.
 //
 // Examples:
 //   dcs generate --type balanced --n 100 --beta 4 --seed 1 --out g.txt
@@ -20,6 +31,8 @@
 //   dcs localquery --in d.txt --epsilon 0.25
 //   dcs encode --message "hello cuts"
 //   dcs trials --kind forall --trials 40 --threads 4 --mode enumerate
+//   dcs protocol --kind foreach --probes 32 --chaos-seed 7 --chaos-drop 0.05
+//   dcs distributed --in g.txt --servers 4 --chaos-seed 7 --chaos-drop 0.3
 
 // Exit codes: 0 success, 1 runtime/data error (unreadable or corrupt
 // input, failed write), 2 usage error (unknown command/flag, malformed
@@ -37,11 +50,14 @@
 #include <map>
 #include <string>
 
+#include "comm/channel.h"
+#include "distributed/distributed_mincut.h"
 #include "graph/balance.h"
 #include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "localquery/mincut_estimator.h"
+#include "lowerbound/protocols.h"
 #include "stream/agm_sketch.h"
 #include "lowerbound/forall_encoding.h"
 #include "lowerbound/foreach_encoding.h"
@@ -415,10 +431,154 @@ int CmdTrials(const FlagMap& flags) {
   return 2;
 }
 
+// Fills `channel` from the --chaos-* flags and returns true iff any of
+// them was given (no chaos flags ⇒ no channel, exactly the old in-process
+// behavior). Out-of-range rates are a usage error (exit 2), never an
+// abort.
+bool ParseChannelFlags(const FlagMap& flags, dcs::ChannelOptions& channel) {
+  static const char* kRateFlags[] = {"chaos-drop", "chaos-flip",
+                                     "chaos-truncate", "chaos-duplicate",
+                                     "chaos-reorder"};
+  bool any = HasFlag(flags, "chaos-seed") || HasFlag(flags, "chaos-rounds");
+  for (const char* flag : kRateFlags) any = any || HasFlag(flags, flag);
+  if (!any) return false;
+  channel.seed = static_cast<uint64_t>(GetInt(flags, "chaos-seed", 1));
+  channel.drop_rate = GetDouble(flags, "chaos-drop", 0.0);
+  channel.flip_rate = GetDouble(flags, "chaos-flip", 0.0);
+  channel.truncate_rate = GetDouble(flags, "chaos-truncate", 0.0);
+  channel.duplicate_rate = GetDouble(flags, "chaos-duplicate", 0.0);
+  channel.reorder_rate = GetDouble(flags, "chaos-reorder", 0.0);
+  channel.max_rounds = GetInt(flags, "chaos-rounds", channel.max_rounds);
+  for (const char* flag : kRateFlags) {
+    const double rate = GetDouble(flags, flag, 0.0);
+    if (rate < 0.0 || rate > 1.0) {
+      std::fprintf(stderr, "flag --%s: rate must be in [0, 1]\n", flag);
+      std::exit(2);
+    }
+  }
+  if (channel.max_rounds < 1) {
+    std::fprintf(stderr, "flag --chaos-rounds: must be >= 1\n");
+    std::exit(2);
+  }
+  return true;
+}
+
+int CmdProtocol(const FlagMap& flags) {
+  const std::string kind = GetFlag(flags, "kind", "foreach");
+  const double sketch_eps = GetDouble(flags, "sketch-eps", 0.25);
+  const double oversample = GetDouble(flags, "oversample", 2.0);
+  dcs::Rng rng(static_cast<uint64_t>(GetInt(flags, "seed", 1)));
+  dcs::ChannelOptions channel;
+  const bool chaos = ParseChannelFlags(flags, channel);
+  const dcs::ChannelOptions* channel_ptr = chaos ? &channel : nullptr;
+  dcs::SketchProtocolResult result;
+  if (kind == "foreach") {
+    dcs::ForEachLowerBoundParams params;
+    params.inv_epsilon = GetInt(flags, "inv-eps", 8);
+    params.sqrt_beta = GetInt(flags, "sqrt-beta", 2);
+    params.num_layers = GetInt(flags, "layers", 2);
+    const int probes = GetInt(flags, "probes", 16);
+    result = dcs::RunForEachSketchProtocol(params, sketch_eps, oversample,
+                                           probes, rng, channel_ptr);
+  } else if (kind == "forall") {
+    dcs::ForAllLowerBoundParams params;
+    params.inv_epsilon_sq = GetInt(flags, "inv-eps-sq", 4);
+    params.beta = GetInt(flags, "beta", 2);
+    params.num_layers = GetInt(flags, "layers", 2);
+    const int trials = GetInt(flags, "trials", 8);
+    result = dcs::RunForAllSketchProtocol(params, sketch_eps, oversample,
+                                          trials, rng, channel_ptr);
+  } else {
+    std::fprintf(stderr, "unknown --kind (foreach|forall)\n");
+    return 2;
+  }
+  // The decode line stays comparable across chaos settings (a fully
+  // recovered run matches the fault-free run bit for bit); the transport
+  // line carries everything the channel changed.
+  std::printf("%s protocol: %lld/%lld correct (accuracy %.3f)%s\n",
+              kind.c_str(), static_cast<long long>(result.correct),
+              static_cast<long long>(result.probes), result.accuracy(),
+              result.degraded() ? " [degraded]" : "");
+  std::printf("transport: %lld message bits (sketch %lld, payload %lld, "
+              "retransmitted %lld, lost %lld)\n",
+              static_cast<long long>(result.message_bits),
+              static_cast<long long>(result.sketch_bits),
+              static_cast<long long>(result.payload_bits),
+              static_cast<long long>(result.retransmitted_bits),
+              static_cast<long long>(result.lost_messages));
+  return 0;
+}
+
+int CmdDistributed(const FlagMap& flags) {
+  const std::string in = GetFlag(flags, "in", "graph.txt");
+  const auto graph = dcs::LoadUndirectedGraph(in);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s: %s\n", in.c_str(),
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  if (graph->num_vertices() < 2) {
+    std::fprintf(stderr, "distributed needs a graph with >= 2 vertices\n");
+    return 1;
+  }
+  const int servers = GetInt(flags, "servers", 4);
+  if (servers < 1) {
+    std::fprintf(stderr, "flag --servers: must be >= 1\n");
+    return 2;
+  }
+  dcs::DistributedMinCutOptions options;
+  options.epsilon = GetDouble(flags, "epsilon", 0.1);
+  options.coarse_epsilon = GetDouble(flags, "coarse-eps", 0.2);
+  options.median_boost = GetInt(flags, "median-boost", 3);
+  dcs::Rng rng(static_cast<uint64_t>(GetInt(flags, "seed", 1)));
+  const dcs::DistributedMinCutPipeline pipeline(
+      dcs::PartitionEdges(*graph, servers, rng), options, rng);
+  dcs::ChannelOptions channel;
+  const bool chaos = ParseChannelFlags(flags, channel);
+  dcs::DistributedMinCutPipeline::Result result;
+  if (chaos) {
+    auto run = pipeline.Run(rng, channel);
+    if (!run.ok()) {
+      std::fprintf(stderr, "distributed run failed: %s\n",
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    result = std::move(run).value();
+  } else {
+    result = pipeline.Run(rng);
+  }
+  std::printf("distributed min cut estimate: %.6f (|S| = %d, "
+              "%d candidates, %d servers)\n",
+              result.estimate, dcs::SetSize(result.best_side),
+              result.candidates_considered, servers);
+  std::printf("sketch bits: %lld forall + %lld foreach = %lld "
+              "(naive ship-all %lld)\n",
+              static_cast<long long>(result.forall_bits),
+              static_cast<long long>(result.foreach_bits),
+              static_cast<long long>(result.total_bits()),
+              static_cast<long long>(pipeline.NaiveShipAllBits()));
+  if (chaos) {
+    std::string lost;
+    for (const int server : result.lost_servers) {
+      if (!lost.empty()) lost += ",";
+      lost += std::to_string(server);
+    }
+    std::printf("channel: %lld wire bits (%lld retransmitted), "
+                "degraded %s%s%s, effective eps %.4f\n",
+                static_cast<long long>(result.channel_wire_bits),
+                static_cast<long long>(result.retransmitted_bits),
+                result.degraded ? "yes" : "no",
+                result.degraded ? ", lost servers " : "", lost.c_str(),
+                result.effective_epsilon);
+  }
+  return 0;
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: dcs <generate|stats|mincut|sketch|localquery|encode|"
-               "agm|trials> [--flag value ...] [--metrics-json FILE]\n");
+               "agm|trials|protocol|distributed> [--flag value ...] "
+               "[--metrics-json FILE]\n");
 }
 
 // Writes the process-wide metrics snapshot to `path`. Returns 1 (runtime
@@ -453,6 +613,8 @@ int RunCommand(const std::string& command, const FlagMap& flags) {
   if (command == "encode") return CmdEncode(flags);
   if (command == "agm") return CmdAgm(flags);
   if (command == "trials") return CmdTrials(flags);
+  if (command == "protocol") return CmdProtocol(flags);
+  if (command == "distributed") return CmdDistributed(flags);
   PrintUsage();
   return 2;
 }
