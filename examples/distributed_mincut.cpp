@@ -41,8 +41,9 @@ int main() {
   std::printf("  candidates scored : %d\n", result.candidates_considered);
   std::printf("  estimated min cut : %.2f (true %.1f)\n", result.estimate,
               truth.value);
-  std::printf("  cut side size     : %d of %d vertices\n",
-              dcs::SetSize(result.best_side), graph.num_vertices());
+  std::printf("  cut side size     : %lld of %d vertices\n",
+              static_cast<long long>(dcs::SetSize(result.best_side)),
+              graph.num_vertices());
   std::printf("\ncommunication:\n");
   std::printf("  for-all sketches  : %lld bits\n",
               static_cast<long long>(result.forall_bits));

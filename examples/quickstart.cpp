@@ -55,9 +55,9 @@ int main() {
     dcs::VertexSet side(static_cast<size_t>(n));
     for (auto& bit : side) bit = static_cast<uint8_t>(cut_rng.Next() & 1);
     if (!dcs::IsProperCutSide(side)) continue;
-    char label[32];
-    std::snprintf(label, sizeof(label), "random cut #%d (|S|=%d)", trial,
-                  dcs::SetSize(side));
+    char label[64];
+    std::snprintf(label, sizeof(label), "random cut #%d (|S|=%lld)", trial,
+                  static_cast<long long>(dcs::SetSize(side)));
     std::printf("%-28s %10.1f %10.1f %10.1f\n", label,
                 graph.CutWeight(side), foreach_sketch.EstimateCut(side),
                 forall_sketch.EstimateCut(side));

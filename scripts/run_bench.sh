@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Builds the cut-query benchmark in Release mode (-O3 -march=native) and
-# runs it, leaving BENCH_cutquery.json in the repository root.
+# Builds the cut-query and serving-layer benchmarks in Release mode
+# (-O3 -march=native) and runs them, leaving BENCH_cutquery.json and
+# BENCH_serve.json in the repository root.
 #
-# Usage: scripts/run_bench.sh [--threads N] [--out FILE]
-#   --threads N   cap for the thread-scaling sweep (default: up to 8 or
+# Usage: scripts/run_bench.sh [--threads N]
+#   --threads N   cap for the thread-scaling sweeps (default: up to 8 or
 #                 the hardware concurrency, whichever is smaller)
-#   --out FILE    where to write the JSON (default: BENCH_cutquery.json)
+# Extra arguments are passed through to both benchmark binaries, so
+# per-binary --out overrides are better done by invoking the binary
+# directly from build-bench/bench/.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -14,7 +17,8 @@ build_dir="${repo_root}/build-bench"
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS="-O3 -march=native"
-cmake --build "${build_dir}" --target bench_cutquery -j"$(nproc)"
+cmake --build "${build_dir}" --target bench_cutquery bench_serve -j"$(nproc)"
 
 cd "${repo_root}"
-exec "${build_dir}/bench/bench_cutquery" "$@"
+"${build_dir}/bench/bench_cutquery" "$@"
+"${build_dir}/bench/bench_serve" "$@"

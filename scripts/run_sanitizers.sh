@@ -43,6 +43,14 @@ run_one() {
     "${cmake_flags[@]}"
   cmake --build "${build_dir}" -j"$(nproc)"
   ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
+  if [[ "${kind}" == "address" || "${kind}" == "thread" ]]; then
+    # Run the serving-layer suite once more by itself so its cache/batch
+    # concurrency paths (striped LRU under eviction pressure, concurrent
+    # AnswerBatch callers in tsan_stress_test) get an isolated, clearly
+    # attributed pass under the checker.
+    ctest --test-dir "${build_dir}" --output-on-failure \
+      -R '^(serve_test|tsan_stress_test)$'
+  fi
   if [[ "${kind}" == "address" ]]; then
     # The chaos sweep drives the lossy-channel retransmission paths end to
     # end; under ASan it doubles as a leak/overflow check on the frame

@@ -30,7 +30,11 @@ struct Edge {
 using VertexSet = std::vector<uint8_t>;
 
 // Builds a VertexSet over n vertices containing exactly `members`.
+// Bounds-checked in every build mode (DCS_CHECK, not DCS_DCHECK): a member
+// outside [0, n) aborts instead of writing out of range, and a negative n
+// aborts instead of allocating a near-2^64-byte vector.
 inline VertexSet MakeVertexSet(int n, const std::vector<VertexId>& members) {
+  DCS_CHECK_GE(n, 0);
   VertexSet set(static_cast<size_t>(n), 0);
   for (VertexId v : members) {
     DCS_CHECK(v >= 0 && v < n);
@@ -49,17 +53,21 @@ inline VertexSet ComplementSet(const VertexSet& set) {
   return complement;
 }
 
-// Number of members. Branch-free accumulation of normalized membership bits.
-inline int SetSize(const VertexSet& set) {
-  int count = 0;
-  for (uint8_t bit : set) count += static_cast<int>(bit != 0);
+// Number of members. Branch-free accumulation of normalized membership
+// bits, in 64 bits: a VertexSet's length is a size_t, so a 32-bit
+// accumulator would wrap on sets beyond 2^31 vertices (and the serve-layer
+// cache keys hash set cardinality alongside membership, so the count must
+// be exact for every representable set).
+inline int64_t SetSize(const VertexSet& set) {
+  int64_t count = 0;
+  for (uint8_t bit : set) count += static_cast<int64_t>(bit != 0);
   return count;
 }
 
 // True if S is a proper nonempty subset (∅ ⊂ S ⊂ V), i.e. a valid cut side.
 inline bool IsProperCutSide(const VertexSet& set) {
-  const int size = SetSize(set);
-  return size > 0 && size < static_cast<int>(set.size());
+  const int64_t size = SetSize(set);
+  return size > 0 && size < static_cast<int64_t>(set.size());
 }
 
 }  // namespace dcs

@@ -29,6 +29,18 @@ StatusOr<LocalQueryMinCutResult> EstimateMinCutLocalQueries(
                                     ? epsilon
                                     : options.search_beta0;
 
+  // Every verification goes through one seam so a caller-supplied variant
+  // (the serving layer's batched one) replaces the search loop and the
+  // final harvest together, never just one of them.
+  const auto verify = [&](double guess_t,
+                          double eps) -> StatusOr<VerifyGuessResult> {
+    if (options.verify_fn) {
+      return options.verify_fn(oracle, guess_t, eps, rng,
+                               options.oversample_c);
+    }
+    return VerifyGuess(oracle, guess_t, eps, rng, options.oversample_c);
+  };
+
   LocalQueryMinCutResult result;
   // Guess-halving search: the min cut is at most the minimum degree, which
   // costs n degree queries to learn (multigraphs can have k ≫ n, so
@@ -42,9 +54,8 @@ StatusOr<LocalQueryMinCutResult> EstimateMinCutLocalQueries(
   }
   double t = std::max(1.0, min_degree);
   while (t >= 1.0) {
-    DCS_ASSIGN_OR_RETURN(
-        const VerifyGuessResult vg,
-        VerifyGuess(oracle, t, search_epsilon, rng, options.oversample_c));
+    DCS_ASSIGN_OR_RETURN(const VerifyGuessResult vg,
+                         verify(t, search_epsilon));
     ++result.verify_guess_calls;
     if (vg.accepted) break;
     t /= 2;
@@ -54,9 +65,8 @@ StatusOr<LocalQueryMinCutResult> EstimateMinCutLocalQueries(
   const double kappa =
       options.kappa_c * log_n / (search_epsilon * search_epsilon);
   const double final_guess = std::max(1.0, t / kappa);
-  DCS_ASSIGN_OR_RETURN(
-      const VerifyGuessResult final_vg,
-      VerifyGuess(oracle, final_guess, epsilon, rng, options.oversample_c));
+  DCS_ASSIGN_OR_RETURN(const VerifyGuessResult final_vg,
+                       verify(final_guess, epsilon));
   ++result.verify_guess_calls;
   result.estimate = final_vg.estimate;
   result.counts = oracle.counts();

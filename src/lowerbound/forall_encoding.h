@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "comm/gap_hamming.h"
@@ -119,6 +120,22 @@ class ForAllDecoder {
                              const std::vector<uint8_t>& t,
                              const CutOracle& oracle,
                              SubsetSelection mode) const;
+
+  // Session-source overloads: the decoder only ever drives "a session
+  // positioned at a side", so callers above this layer (the cut-query
+  // serving layer, src/serve) can substitute their own cache-aware
+  // sessions without lowerbound depending on them. The CutOracle overloads
+  // delegate here with oracle.BeginSession as the source; the query
+  // sequence is identical either way.
+  using SessionSource =
+      std::function<std::unique_ptr<CutQuerySession>(VertexSet)>;
+  VertexSet SelectBestSubset(int64_t string_index,
+                             const std::vector<uint8_t>& t,
+                             const SessionSource& begin_session,
+                             SubsetSelection mode) const;
+  bool DecideFar(int64_t string_index, const std::vector<uint8_t>& t,
+                 const SessionSource& begin_session,
+                 SubsetSelection mode) const;
 
  private:
   // S(U) for the given location/T, plus its fixed backward weight.

@@ -1,0 +1,239 @@
+#include "serve/cut_query_service.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "util/check.h"
+#include "util/metrics.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+// Cache-aware session. Flip is O(1) on the canonical key (packed bit +
+// XOR into the side hash); the underlying session stays parked at the side
+// of the last backend query, and the flips accumulated since are replayed
+// into it only when a cache miss forces a real query. For non-cacheable
+// (noisy) objects every Query reaches the backend in issue order, so the
+// noise stream is identical to an unserved session.
+class ServedCutQuerySession final : public CutQuerySession {
+ public:
+  ServedCutQuerySession(CutQueryCache* cache, int64_t object,
+                        std::unique_ptr<CutQuerySession> underlying,
+                        const VertexSet& side, std::unique_ptr<Rng> owned_rng,
+                        std::unique_ptr<CutOracle> owned_oracle)
+      : cache_(cache),
+        object_(object),
+        owned_rng_(std::move(owned_rng)),
+        owned_oracle_(std::move(owned_oracle)),
+        underlying_(std::move(underlying)),
+        packed_(PackSide(side)),
+        hash_(HashSide(side)),
+        num_vertices_(static_cast<VertexId>(side.size())) {}
+
+  ~ServedCutQuerySession() override {
+    DCS_METRIC_ADD("serve.query.logical", logical_queries_);
+  }
+
+  void Flip(VertexId v) override {
+    DCS_CHECK(v >= 0 && v < num_vertices_);
+    packed_.words[static_cast<size_t>(v) / 64] ^=
+        uint64_t{1} << (static_cast<size_t>(v) % 64);
+    hash_ ^= HashVertex(v);
+    pending_.push_back(v);
+  }
+
+  double Query() override {
+    ++logical_queries_;
+    if (cache_ != nullptr) {
+      if (const auto hit = cache_->Lookup(object_, hash_, packed_)) {
+        // The underlying session does not advance: pending flips stay
+        // queued until a miss needs the backend at this side.
+        return *hit;
+      }
+    }
+    for (const VertexId v : pending_) underlying_->Flip(v);
+    pending_.clear();
+    const double value = underlying_->Query();
+    if (cache_ != nullptr) cache_->Insert(object_, hash_, packed_, value);
+    return value;
+  }
+
+ private:
+  CutQueryCache* cache_;  // null for non-cacheable objects
+  int64_t object_;
+  // Declaration order is lifetime order: the oracle captures the rng, the
+  // underlying session captures the oracle's backing state.
+  std::unique_ptr<Rng> owned_rng_;
+  std::unique_ptr<CutOracle> owned_oracle_;
+  std::unique_ptr<CutQuerySession> underlying_;
+  PackedSide packed_;
+  uint64_t hash_;
+  VertexId num_vertices_;
+  std::vector<VertexId> pending_;
+  int64_t logical_queries_ = 0;  // flushed at destruction (DESIGN.md §8)
+};
+
+}  // namespace
+
+CutQueryService::CutQueryService(CutQueryServiceOptions options)
+    : options_(options) {
+  DCS_CHECK_GE(options_.num_threads, 1);
+  DCS_CHECK_GE(options_.shard_size, 1);
+  if (options_.enable_cache) {
+    CutQueryCache::Options cache_options;
+    cache_options.capacity = options_.cache_capacity;
+    cache_options.num_stripes = options_.cache_stripes;
+    cache_ = std::make_unique<CutQueryCache>(cache_options);
+  }
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+CutQueryService::ObjectId CutQueryService::Register(ObjectEntry entry) {
+  objects_.push_back(std::move(entry));
+  DCS_METRIC_INC("serve.object.registered");
+  return static_cast<ObjectId>(objects_.size()) - 1;
+}
+
+CutQueryService::ObjectId CutQueryService::RegisterGraph(
+    const DirectedGraph& graph) {
+  ObjectEntry entry;
+  entry.oracle = ExactCutOracle(graph);
+  entry.cacheable = true;
+  return Register(std::move(entry));
+}
+
+CutQueryService::ObjectId CutQueryService::RegisterSketch(
+    const DirectedCutSketch& sketch) {
+  ObjectEntry entry;
+  entry.oracle = SketchCutOracle(sketch);
+  entry.cacheable = true;
+  return Register(std::move(entry));
+}
+
+CutQueryService::ObjectId CutQueryService::RegisterOracle(CutOracle oracle,
+                                                          bool cacheable) {
+  DCS_CHECK(static_cast<bool>(oracle));
+  ObjectEntry entry;
+  entry.oracle = std::move(oracle);
+  entry.cacheable = cacheable;
+  return Register(std::move(entry));
+}
+
+CutQueryService::ObjectId CutQueryService::RegisterSeededOracle(
+    const DirectedGraph& graph, SeededCutOracleFactory factory,
+    uint64_t base_seed) {
+  DCS_CHECK(static_cast<bool>(factory));
+  graph.BuildAdjacency();
+  ObjectEntry entry;
+  entry.seeded_graph = &graph;
+  entry.seeded_factory = std::move(factory);
+  entry.base_seed = base_seed;
+  entry.cacheable = false;
+  return Register(std::move(entry));
+}
+
+const CutQueryService::ObjectEntry& CutQueryService::EntryFor(
+    ObjectId object) const {
+  DCS_CHECK(object >= 0 && object < static_cast<ObjectId>(objects_.size()));
+  return objects_[static_cast<size_t>(object)];
+}
+
+std::vector<double> CutQueryService::AnswerBatch(
+    const std::vector<Query>& batch) {
+  DCS_METRIC_TIMER("serve.batch.latency_ns");
+  DCS_METRIC_RECORD("serve.batch.size",
+                    static_cast<int64_t>(batch.size()));
+  DCS_METRIC_ADD("serve.query.logical", static_cast<int64_t>(batch.size()));
+  std::vector<double> answers(batch.size(), 0.0);
+  if (batch.empty()) return answers;
+  const int64_t batch_index =
+      batch_counter_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t shard_size = options_.shard_size;
+  const int64_t count = static_cast<int64_t>(batch.size());
+  const int64_t num_shards = (count + shard_size - 1) / shard_size;
+
+  const auto serve_shard = [&](int64_t shard) {
+    const int64_t begin = shard * shard_size;
+    const int64_t end = std::min(count, begin + shard_size);
+    // Seeded objects get one oracle per (batch, shard, object), built from
+    // the shard's derived seed — the same SubtaskSeed discipline as the
+    // trial runners, so the answers are independent of num_threads.
+    std::deque<Rng> shard_rngs;
+    std::map<ObjectId, CutOracle> shard_oracles;
+    for (int64_t i = begin; i < end; ++i) {
+      const Query& query = batch[static_cast<size_t>(i)];
+      const ObjectEntry& entry = EntryFor(query.object);
+      const bool cacheable = entry.cacheable && cache_ != nullptr;
+      uint64_t side_hash = 0;
+      PackedSide packed;
+      if (cacheable) {
+        side_hash = HashSide(query.side);
+        packed = PackSide(query.side);
+        if (const auto hit =
+                cache_->Lookup(query.object, side_hash, packed)) {
+          answers[static_cast<size_t>(i)] = *hit;
+          continue;
+        }
+      }
+      const CutOracle* oracle = &entry.oracle;
+      if (entry.seeded_factory) {
+        auto it = shard_oracles.find(query.object);
+        if (it == shard_oracles.end()) {
+          shard_rngs.emplace_back(SubtaskSeed(
+              SubtaskSeed(entry.base_seed, batch_index), shard));
+          it = shard_oracles
+                   .emplace(query.object,
+                            entry.seeded_factory(*entry.seeded_graph,
+                                                 shard_rngs.back()))
+                   .first;
+        }
+        oracle = &it->second;
+      }
+      const double value = (*oracle)(query.side);
+      answers[static_cast<size_t>(i)] = value;
+      if (cacheable) {
+        cache_->Insert(query.object, side_hash, packed, value);
+      }
+    }
+  };
+
+  if (pool_ != nullptr) {
+    // The ThreadPool runs one loop at a time; concurrent AnswerBatch
+    // callers queue here rather than corrupt the pool's epoch state.
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool_->ParallelFor(num_shards, serve_shard);
+  } else {
+    for (int64_t shard = 0; shard < num_shards; ++shard) serve_shard(shard);
+  }
+  return answers;
+}
+
+std::unique_ptr<CutQuerySession> CutQueryService::BeginSession(
+    ObjectId object, VertexSet side) {
+  const ObjectEntry& entry = EntryFor(object);
+  std::unique_ptr<Rng> owned_rng;
+  std::unique_ptr<CutOracle> owned_oracle;
+  const CutOracle* oracle = &entry.oracle;
+  if (entry.seeded_factory) {
+    const int64_t session_index =
+        session_counter_.fetch_add(1, std::memory_order_relaxed);
+    owned_rng =
+        std::make_unique<Rng>(SubtaskSeed(entry.base_seed, session_index));
+    owned_oracle = std::make_unique<CutOracle>(
+        entry.seeded_factory(*entry.seeded_graph, *owned_rng));
+    oracle = owned_oracle.get();
+  }
+  auto underlying = oracle->BeginSession(side);
+  CutQueryCache* cache =
+      entry.cacheable && cache_ != nullptr ? cache_.get() : nullptr;
+  return std::make_unique<ServedCutQuerySession>(
+      cache, object, std::move(underlying), side, std::move(owned_rng),
+      std::move(owned_oracle));
+}
+
+}  // namespace dcs

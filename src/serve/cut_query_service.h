@@ -1,0 +1,136 @@
+// The batched cut-query serving layer (DESIGN.md §10).
+//
+// A CutQueryService owns a registry of queryable objects — exact graphs,
+// sketches, arbitrary oracles — and answers *batches* of cut queries
+// against them. Batch execution is sharded across a ThreadPool in fixed
+// shard_size runs, so the work partition (and therefore every seeded
+// oracle's noise stream) depends only on the batch contents, never on the
+// thread count. Repeated queries on cacheable (pure) objects are answered
+// from a striped LRU cache (query_cache.h) keyed on the canonical side.
+//
+// Bit accounting: a cached answer is still a logical query. Every batch
+// entry and every session Query() increments serve.query.logical exactly
+// once, whether it hit the cache or ran the oracle — so the paper's
+// query-count bounds (4 per for-each bit, Lemma 3.2) are asserted on
+// serve.query.logical and hold with the cache cold or warm
+// (tests/metrics_bounds_test.cc). What the cache changes is only how many
+// of those logical queries reach a backend oracle.
+//
+// Sessions: BeginSession returns a cache-aware CutQuerySession. Flip is
+// O(1) on the session's canonical key (one packed-bit toggle plus one XOR
+// into the side hash); the underlying incremental session only advances on
+// a cache miss, when the pending flips are replayed into it. The for-all
+// decoder's subset enumeration runs unchanged over these sessions and
+// picks up cross-trial cache hits for free.
+//
+// Thread-safety: register every object before serving (registration is not
+// synchronized against queries). AnswerBatch and sessions may then run
+// concurrently from multiple threads; a service with num_threads > 1
+// serializes its internal pool behind a mutex (the ThreadPool contract is
+// one loop at a time).
+
+#ifndef DCS_SERVE_CUT_QUERY_SERVICE_H_
+#define DCS_SERVE_CUT_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "lowerbound/cut_oracle.h"
+#include "serve/query_cache.h"
+#include "sketch/cut_sketch.h"
+#include "util/thread_pool.h"
+
+namespace dcs {
+
+struct CutQueryServiceOptions {
+  // Threads for batch execution. 1 = serve on the calling thread (and
+  // concurrent AnswerBatch calls from different threads run fully
+  // concurrently — there is no pool to serialize).
+  int num_threads = 1;
+  // Queries per shard. The shard partition is the determinism unit: shard
+  // s of batch b always holds the same queries and draws from the same
+  // seed stream, for every num_threads.
+  int shard_size = 32;
+  // Memoization cache over cacheable objects.
+  bool enable_cache = true;
+  int64_t cache_capacity = 1 << 16;
+  int cache_stripes = 8;
+};
+
+class CutQueryService {
+ public:
+  using ObjectId = int64_t;
+
+  // One cut query: the oracle's estimate of w(S, V∖S) on `object`.
+  struct Query {
+    ObjectId object = 0;
+    VertexSet side;
+  };
+
+  explicit CutQueryService(CutQueryServiceOptions options = {});
+
+  CutQueryService(const CutQueryService&) = delete;
+  CutQueryService& operator=(const CutQueryService&) = delete;
+
+  // Registration (call before serving; referenced graphs/sketches must
+  // outlive the service). Graphs and sketches are pure functions of the
+  // side, hence cacheable.
+  ObjectId RegisterGraph(const DirectedGraph& graph);
+  ObjectId RegisterSketch(const DirectedCutSketch& sketch);
+  // An arbitrary oracle; pass cacheable=false for oracles whose answers
+  // draw randomness (caching one draw would freeze the noise).
+  ObjectId RegisterOracle(CutOracle oracle, bool cacheable);
+  // A noisy-oracle family with the PR-1 seeding discipline: shard s of
+  // batch b queries an oracle built from
+  // Rng(SubtaskSeed(SubtaskSeed(base_seed, b), s)), so results are
+  // bit-identical for every num_threads. Never cached.
+  ObjectId RegisterSeededOracle(const DirectedGraph& graph,
+                                SeededCutOracleFactory factory,
+                                uint64_t base_seed);
+
+  // Answers batch[i] into result[i]. Shards of shard_size run across the
+  // pool; cacheable objects consult/populate the cache per query. Counts
+  // batch.size() logical queries and records serve.batch.{size,latency_ns}.
+  std::vector<double> AnswerBatch(const std::vector<Query>& batch);
+
+  // A cache-aware incremental session positioned at `side`. For seeded
+  // objects the session owns its oracle, built from
+  // Rng(SubtaskSeed(base_seed, session_index)) at open.
+  std::unique_ptr<CutQuerySession> BeginSession(ObjectId object,
+                                                VertexSet side);
+
+  const CutQueryServiceOptions& options() const { return options_; }
+  int64_t num_objects() const {
+    return static_cast<int64_t>(objects_.size());
+  }
+  // Entries currently cached (0 when the cache is disabled).
+  int64_t cache_size() const { return cache_ ? cache_->size() : 0; }
+
+ private:
+  struct ObjectEntry {
+    CutOracle oracle;  // unset for seeded entries
+    const DirectedGraph* seeded_graph = nullptr;
+    SeededCutOracleFactory seeded_factory;  // set => per-shard oracles
+    uint64_t base_seed = 0;
+    bool cacheable = false;
+  };
+
+  ObjectId Register(ObjectEntry entry);
+  const ObjectEntry& EntryFor(ObjectId object) const;
+
+  CutQueryServiceOptions options_;
+  std::vector<ObjectEntry> objects_;
+  std::unique_ptr<CutQueryCache> cache_;   // null when disabled
+  std::unique_ptr<ThreadPool> pool_;       // null when num_threads <= 1
+  std::mutex pool_mutex_;                  // one ParallelFor at a time
+  std::atomic<int64_t> batch_counter_{0};
+  std::atomic<int64_t> session_counter_{0};
+};
+
+}  // namespace dcs
+
+#endif  // DCS_SERVE_CUT_QUERY_SERVICE_H_

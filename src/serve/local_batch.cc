@@ -1,0 +1,123 @@
+#include "serve/local_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "graph/connectivity.h"
+#include "localquery/query_retry.h"
+#include "mincut/stoer_wagner.h"
+#include "util/metrics.h"
+
+namespace dcs {
+
+StatusOr<std::vector<int64_t>> LocalQueryBatcher::Degrees(
+    const std::vector<VertexId>& vertices) {
+  DCS_METRIC_INC("serve.localbatch.batches");
+  DCS_METRIC_RECORD("serve.localbatch.degree.size",
+                    static_cast<int64_t>(vertices.size()));
+  std::vector<int64_t> degrees;
+  degrees.reserve(vertices.size());
+  for (const VertexId u : vertices) {
+    DCS_ASSIGN_OR_RETURN(const int64_t degree,
+                         RetryQuery([&] { return oracle_.TryDegree(u); }));
+    degrees.push_back(degree);
+  }
+  return degrees;
+}
+
+StatusOr<std::vector<std::optional<VertexId>>> LocalQueryBatcher::Neighbors(
+    const std::vector<SlotProbe>& probes) {
+  DCS_METRIC_INC("serve.localbatch.batches");
+  DCS_METRIC_RECORD("serve.localbatch.neighbor.size",
+                    static_cast<int64_t>(probes.size()));
+  std::vector<std::optional<VertexId>> neighbors;
+  neighbors.reserve(probes.size());
+  for (const SlotProbe& probe : probes) {
+    DCS_ASSIGN_OR_RETURN(const std::optional<VertexId> neighbor,
+                         RetryQuery([&] {
+                           return oracle_.TryNeighbor(probe.u, probe.slot);
+                         }));
+    neighbors.push_back(neighbor);
+  }
+  return neighbors;
+}
+
+StatusOr<VerifyGuessResult> BatchedVerifyGuess(LocalQueryOracle& oracle,
+                                               double guess_t,
+                                               double epsilon, Rng& rng,
+                                               double oversample_c) {
+  DCS_CHECK_GE(guess_t, 1.0);
+  DCS_CHECK(epsilon > 0 && epsilon < 1);
+  const int n = oracle.num_vertices();
+  DCS_CHECK_GE(n, 2);
+  const double log_n = std::log(std::max(3, n));
+  const double p = std::min(
+      1.0, oversample_c * log_n / (epsilon * epsilon * guess_t));
+
+  VerifyGuessResult result;
+  result.sample_probability = p;
+  LocalQueryBatcher batcher(oracle);
+
+  // Phase 1: every degree in one batch (vertex order — the order the
+  // unbatched code queries them in).
+  std::vector<VertexId> vertices(static_cast<size_t>(n));
+  for (VertexId u = 0; u < n; ++u) vertices[static_cast<size_t>(u)] = u;
+  DCS_ASSIGN_OR_RETURN(const std::vector<int64_t> degrees,
+                       batcher.Degrees(vertices));
+
+  // Phase 2: sampling draws, per vertex in order. This is exactly the
+  // unbatched rng sequence — one Binomial per vertex, one RandomSubset
+  // only when picks > 0 — so the sampled slots match VerifyGuess bit for
+  // bit.
+  std::vector<LocalQueryBatcher::SlotProbe> probes;
+  for (VertexId u = 0; u < n; ++u) {
+    const int64_t degree = degrees[static_cast<size_t>(u)];
+    const int64_t picks = rng.Binomial(degree, p);
+    if (picks == 0) continue;
+    const std::vector<int> slots =
+        rng.RandomSubset(static_cast<int>(degree), static_cast<int>(picks));
+    for (const int slot : slots) {
+      probes.push_back(LocalQueryBatcher::SlotProbe{u, slot});
+    }
+  }
+
+  // Phase 3: every sampled neighbor slot in one batch, then the sample
+  // graph built in probe order — the same edge insertion order as the
+  // unbatched code, so downstream floating-point sums are identical.
+  DCS_ASSIGN_OR_RETURN(const std::vector<std::optional<VertexId>> neighbors,
+                       batcher.Neighbors(probes));
+  UndirectedGraph sample(n);
+  const double slot_weight = 1.0 / (2.0 * p);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    if (!neighbors[i].has_value()) {
+      // The oracle reported deg(u) > slot yet returned ⊥: an inconsistent
+      // backend, not a programmer error — surface it, don't abort.
+      return FailedPreconditionError(
+          "oracle returned no neighbor for an in-range slot");
+    }
+    sample.AddEdge(probes[i].u, *neighbors[i], slot_weight);
+  }
+  if (!IsConnected(sample)) {
+    // A disconnected sample certifies the sampled min cut is 0 (far below
+    // (1−ε)t): reject without running the exact min-cut solver.
+    result.accepted = false;
+    result.estimate = 0;
+    return result;
+  }
+  result.estimate = StoerWagnerMinCut(sample).value;
+  result.accepted = result.estimate >= (1 - epsilon) * guess_t;
+  return result;
+}
+
+StatusOr<LocalQueryMinCutResult> EstimateMinCutBatched(
+    LocalQueryOracle& oracle, double epsilon, SearchMode mode, Rng& rng,
+    MinCutEstimatorOptions options) {
+  options.verify_fn = [](LocalQueryOracle& o, double guess_t, double eps,
+                         Rng& r, double oversample_c) {
+    return BatchedVerifyGuess(o, guess_t, eps, r, oversample_c);
+  };
+  return EstimateMinCutLocalQueries(oracle, epsilon, mode, rng, options);
+}
+
+}  // namespace dcs

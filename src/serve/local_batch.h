@@ -1,0 +1,80 @@
+// Batched local-query probes for the verification path (DESIGN.md §10).
+//
+// VerifyGuess (localquery/verify_guess.h) interleaves degree queries,
+// sampling draws, and neighbor queries per vertex; against a remote or
+// simulated oracle that interleaving forces one round trip per probe. The
+// batched variant here issues the SAME probes in three phases — all
+// degrees, then all sampling draws, then all neighbor slots — so a
+// transport can amortize each phase into one round.
+//
+// Rng discipline: the sampling draws (Binomial, RandomSubset) depend only
+// on the degree answers and are taken in the same per-vertex order as the
+// unbatched code, and retries never touch the rng — so on an infallible
+// oracle BatchedVerifyGuess is bit-identical to VerifyGuess (the sampled
+// edges, their insertion order, and hence the Stoer–Wagner estimate all
+// match exactly; tests/serve_test.cc asserts this). The *oracle-side*
+// query order does change (degrees before neighbors), which fault
+// injectors that index faults by query position will observe — the default
+// estimator path therefore stays on the unbatched VerifyGuess, and the
+// batched variant opts in through MinCutEstimatorOptions::verify_fn.
+
+#ifndef DCS_SERVE_LOCAL_BATCH_H_
+#define DCS_SERVE_LOCAL_BATCH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "localquery/mincut_estimator.h"
+#include "localquery/oracle.h"
+#include "localquery/verify_guess.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dcs {
+
+// Issues homogeneous runs of local queries through the fallible Try*
+// interface with bounded retries. Answers land in input order. Not a
+// parallelism layer: oracles count queries through mutable state, so a
+// batch runs on the calling thread — the win is one call site (and, for
+// round-trip transports, one round) per phase instead of per probe.
+class LocalQueryBatcher {
+ public:
+  explicit LocalQueryBatcher(LocalQueryOracle& oracle) : oracle_(oracle) {}
+
+  // deg(u) for every u, in order.
+  StatusOr<std::vector<int64_t>> Degrees(
+      const std::vector<VertexId>& vertices);
+
+  // One neighbor-slot probe.
+  struct SlotProbe {
+    VertexId u = 0;
+    int64_t slot = 0;
+  };
+
+  // The `slot`-th neighbor of `u` for every probe, in order (nullopt when
+  // the oracle reports the slot out of range).
+  StatusOr<std::vector<std::optional<VertexId>>> Neighbors(
+      const std::vector<SlotProbe>& probes);
+
+ private:
+  LocalQueryOracle& oracle_;
+};
+
+// VERIFY-GUESS with phase-batched probes (see file comment). Bit-identical
+// to VerifyGuess on infallible oracles; same retry/propagation semantics
+// on fallible ones.
+StatusOr<VerifyGuessResult> BatchedVerifyGuess(LocalQueryOracle& oracle,
+                                               double guess_t,
+                                               double epsilon, Rng& rng,
+                                               double oversample_c = 2.0);
+
+// The full estimator with every verification call batched (plugs
+// BatchedVerifyGuess into MinCutEstimatorOptions::verify_fn).
+StatusOr<LocalQueryMinCutResult> EstimateMinCutBatched(
+    LocalQueryOracle& oracle, double epsilon, SearchMode mode, Rng& rng,
+    MinCutEstimatorOptions options = MinCutEstimatorOptions{});
+
+}  // namespace dcs
+
+#endif  // DCS_SERVE_LOCAL_BATCH_H_

@@ -1,0 +1,107 @@
+#include "serve/query_cache.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/metrics.h"
+
+namespace dcs {
+namespace {
+
+size_t RoundUpToPowerOfTwo(int value) {
+  size_t power = 1;
+  while (power < static_cast<size_t>(std::max(1, value))) power <<= 1;
+  return power;
+}
+
+}  // namespace
+
+uint64_t HashSide(const VertexSet& side) {
+  uint64_t hash = 0;
+  for (size_t v = 0; v < side.size(); ++v) {
+    if (side[v]) hash ^= HashVertex(static_cast<VertexId>(v));
+  }
+  return hash;
+}
+
+PackedSide PackSide(const VertexSet& side) {
+  PackedSide packed;
+  packed.words.assign((side.size() + 63) / 64, 0);
+  for (size_t v = 0; v < side.size(); ++v) {
+    if (side[v]) packed.words[v / 64] |= uint64_t{1} << (v % 64);
+  }
+  return packed;
+}
+
+CutQueryCache::CutQueryCache(const Options& options) {
+  DCS_CHECK_GE(options.capacity, 1);
+  const size_t num_stripes = RoundUpToPowerOfTwo(options.num_stripes);
+  stripe_mask_ = num_stripes - 1;
+  per_stripe_capacity_ =
+      std::max<int64_t>(1, options.capacity / static_cast<int64_t>(num_stripes));
+  stripes_.reserve(num_stripes);
+  for (size_t s = 0; s < num_stripes; ++s) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+std::optional<double> CutQueryCache::Lookup(int64_t object,
+                                            uint64_t side_hash,
+                                            const PackedSide& side) {
+  const uint64_t key_hash = CacheKeyHash(object, side_hash);
+  Stripe& stripe = StripeFor(key_hash);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto [it, end] = stripe.index.equal_range(key_hash);
+  for (; it != end; ++it) {
+    const LruList::iterator entry = it->second;
+    if (entry->object == object && entry->side == side) {
+      stripe.lru.splice(stripe.lru.begin(), stripe.lru, entry);
+      DCS_METRIC_INC("serve.cache.hits");
+      return entry->value;
+    }
+  }
+  DCS_METRIC_INC("serve.cache.misses");
+  return std::nullopt;
+}
+
+void CutQueryCache::Insert(int64_t object, uint64_t side_hash,
+                           const PackedSide& side, double value) {
+  const uint64_t key_hash = CacheKeyHash(object, side_hash);
+  Stripe& stripe = StripeFor(key_hash);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  auto [it, end] = stripe.index.equal_range(key_hash);
+  for (; it != end; ++it) {
+    const LruList::iterator entry = it->second;
+    if (entry->object == object && entry->side == side) {
+      // A racing shard already stored this side; cacheable objects are
+      // pure, so the values agree — just refresh recency.
+      stripe.lru.splice(stripe.lru.begin(), stripe.lru, entry);
+      return;
+    }
+  }
+  stripe.lru.push_front(Entry{object, key_hash, side, value});
+  stripe.index.emplace(key_hash, stripe.lru.begin());
+  while (static_cast<int64_t>(stripe.lru.size()) > per_stripe_capacity_) {
+    const LruList::iterator victim = std::prev(stripe.lru.end());
+    auto [vit, vend] = stripe.index.equal_range(victim->key_hash);
+    for (; vit != vend; ++vit) {
+      if (vit->second == victim) {
+        stripe.index.erase(vit);
+        break;
+      }
+    }
+    stripe.lru.pop_back();
+    DCS_METRIC_INC("serve.cache.evictions");
+  }
+}
+
+int64_t CutQueryCache::size() const {
+  int64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mutex);
+    total += static_cast<int64_t>(stripe->lru.size());
+  }
+  return total;
+}
+
+}  // namespace dcs

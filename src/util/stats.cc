@@ -23,7 +23,7 @@ double StdDev(const std::vector<double>& values) {
 }
 
 double Median(std::vector<double> values) {
-  DCS_CHECK(!values.empty());
+  if (values.empty()) return 0;
   std::sort(values.begin(), values.end());
   const size_t n = values.size();
   if (n % 2 == 1) return values[n / 2];
@@ -31,15 +31,18 @@ double Median(std::vector<double> values) {
 }
 
 double Percentile(std::vector<double> values, double p) {
-  DCS_CHECK(!values.empty());
-  DCS_CHECK_GE(p, 0.0);
-  DCS_CHECK_LE(p, 100.0);
+  if (values.empty()) return 0;
+  p = std::clamp(p, 0.0, 100.0);
   std::sort(values.begin(), values.end());
-  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t n = values.size();
+  if (n == 1) return values[0];
+  const double rank = p / 100.0 * static_cast<double>(n - 1);
   const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, values.size() - 1);
+  // rank == n-1 exactly at p = 100 (and any fp drift above it): the upper
+  // interpolation point would be past the end, so return the max directly.
+  if (lo >= n - 1) return values[n - 1];
   const double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1 - frac) + values[hi] * frac;
+  return values[lo] * (1 - frac) + values[lo + 1] * frac;
 }
 
 LineFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys) {

@@ -16,10 +16,17 @@ double Mean(const std::vector<double>& values);
 // Unbiased sample standard deviation. Returns 0 for fewer than two values.
 double StdDev(const std::vector<double>& values);
 
-// Median (average of middle two for even sizes). CHECK-fails on empty input.
+// Median (average of middle two for even sizes). Returns 0 for an empty
+// input — the same sentinel as Mean/StdDev, never NaN and never an abort
+// (bench summaries run on whatever samples a possibly-degraded run
+// produced, including none).
 double Median(std::vector<double> values);
 
-// p-th percentile via nearest-rank, p in [0, 100]. CHECK-fails on empty.
+// p-th percentile via linear interpolation between order statistics, with
+// p clamped to [0, 100] (callers often compute p and fp drift can push it
+// a hair past either end). Returns 0 for an empty input and the sole
+// element for a single-element input at every p; p = 100 returns the
+// maximum without reading past the sorted vector.
 double Percentile(std::vector<double> values, double p);
 
 // Result of an ordinary-least-squares line fit y = slope * x + intercept.

@@ -89,6 +89,30 @@ TEST(CliTest, NonNumericFlagValueExitsTwo) {
             2);
 }
 
+TEST(CliTest, OutOfRangeFlagValuesExitTwo) {
+  // strtol/strtod overflow (errno == ERANGE) is a usage error, not a
+  // silently saturated value leaking into the math: integer flags...
+  EXPECT_EQ(RunCli("generate --type balanced --n 99999999999999999999 "
+                   "--out /tmp/dcs_cli_test_unused.txt"),
+            2);
+  // ...double flags overflowing to infinity...
+  EXPECT_EQ(RunCli("generate --type balanced --n 8 --p 1e999 "
+                   "--out /tmp/dcs_cli_test_unused.txt"),
+            2);
+  EXPECT_EQ(RunCli("trials --kind foreach --trials 1 --probes 1 "
+                   "--noise 1e999"),
+            2);
+  EXPECT_EQ(RunCli("protocol --kind foreach --sketch-eps 1e999"), 2);
+  // ...and literal non-finite values, which parse cleanly but are rejected
+  // by the finiteness check.
+  EXPECT_EQ(RunCli("generate --type balanced --n 8 --p inf "
+                   "--out /tmp/dcs_cli_test_unused.txt"),
+            2);
+  EXPECT_EQ(RunCli("generate --type balanced --n 8 --p nan "
+                   "--out /tmp/dcs_cli_test_unused.txt"),
+            2);
+}
+
 TEST(CliTest, CorruptGraphFileExitsOne) {
   const std::string path = "/tmp/dcs_cli_test_corrupt.txt";
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -234,6 +258,40 @@ int RunCliCapture(const std::string& args, std::string* out) {
   const int status = std::system(command.c_str());
   *out = ReadFileToString(path);
   return WEXITSTATUS(status);
+}
+
+TEST(CliTest, ServeSubcommand) {
+  EXPECT_EQ(RunCli("serve --n 32 --rounds 3 --batch 64 --pool 8 "
+                   "--threads 2 --seed 5"),
+            0);
+  EXPECT_EQ(RunCli("serve --n 32 --rounds 2 --batch 32 --pool 8 "
+                   "--cache 0"),
+            0);
+  EXPECT_EQ(RunCli("serve --n 1"), 2);
+  EXPECT_EQ(RunCli("serve --threads 0"), 2);
+}
+
+TEST(CliTest, ServeMetricsJsonCountsLogicalQueries) {
+  const std::string path = "/tmp/dcs_cli_test_metrics_serve.json";
+  std::remove(path.c_str());
+  ASSERT_EQ(RunCli("serve --n 32 --rounds 2 --batch 50 --pool 10 "
+                   "--metrics-json=" + path),
+            0);
+  const dcs::JsonValue root = ParseMetricsFile(path, "serve");
+  if (!MetricsEnabled(root)) return;
+  const dcs::JsonValue* counters = root.Find("metrics")->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  // 2 rounds × 50 queries, every one logical whether cached or not; the
+  // 10 distinct sides miss once each and hit for the remaining 90.
+  const dcs::JsonValue* logical = counters->Find("serve.query.logical");
+  ASSERT_NE(logical, nullptr);
+  EXPECT_EQ(logical->int_value(), 100);
+  const dcs::JsonValue* misses = counters->Find("serve.cache.misses");
+  ASSERT_NE(misses, nullptr);
+  EXPECT_EQ(misses->int_value(), 10);
+  const dcs::JsonValue* hits = counters->Find("serve.cache.hits");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->int_value(), 90);
 }
 
 TEST(CliChaosTest, ProtocolSubcommandRunsFaultFreeAndUnderChaos) {

@@ -27,6 +27,8 @@
 #include "localquery/mincut_estimator.h"
 #include "lowerbound/cut_oracle.h"
 #include "lowerbound/foreach_encoding.h"
+#include "serve/cut_query_service.h"
+#include "serve/decoder_batch.h"
 #include "util/metrics.h"
 #include "util/random.h"
 
@@ -129,6 +131,56 @@ TEST_F(MetricsBoundsTest, FourQueryBoundHoldsForNoisyAndRescanOracles) {
   EXPECT_EQ(CounterDiff(diff, "cutoracle.session.query"), 4 * kProbes);
   EXPECT_EQ(CounterDiff(diff, "cutoracle.session.rescan"), kProbes);
   EXPECT_EQ(CounterDiff(diff, "cutoracle.query.served"), 0);
+}
+
+TEST_F(MetricsBoundsTest, ServedDecodeKeepsFourLogicalQueriesPerBit) {
+  // Lemma 3.2 through the serving layer: a batched decode still spends
+  // exactly four *logical* queries per bit, and a warm cache changes only
+  // how many of them reach the backend — never the logical count and never
+  // the decoded bits.
+  ForEachLowerBoundParams params;
+  params.inv_epsilon = 8;
+  params.sqrt_beta = 2;
+  params.num_layers = 2;
+  Rng rng(4242);
+  const std::vector<int8_t> s =
+      rng.RandomSignString(static_cast<int>(params.total_bits()));
+  const auto encoding = ForEachEncoder(params).Encode(s);
+  const ForEachDecoder decoder(params);
+
+  CutQueryService service;
+  const auto object = service.RegisterGraph(encoding.graph);
+
+  // Distinct bit positions, so no two probes share a cut side within a
+  // pass and the cold pass is all misses.
+  constexpr int kProbes = 32;
+  std::vector<int64_t> qs;
+  for (int64_t q = 0; q < kProbes; ++q) qs.push_back(q);
+
+  const MetricsSnapshot before_cold = Registry::Get().Snapshot();
+  const std::vector<int8_t> cold = DecodeForEachBits(decoder, qs, service,
+                                                     object);
+  const MetricsSnapshot cold_diff =
+      Registry::Get().Snapshot().DiffSince(before_cold);
+  EXPECT_EQ(CounterDiff(cold_diff, "serve.query.logical"), 4 * kProbes);
+  EXPECT_EQ(CounterDiff(cold_diff, "serve.cache.misses"), 4 * kProbes);
+  EXPECT_EQ(CounterDiff(cold_diff, "serve.cache.hits"), 0);
+  EXPECT_EQ(CounterDiff(cold_diff, "foreach.bit.decoded"), kProbes);
+
+  const MetricsSnapshot before_warm = Registry::Get().Snapshot();
+  const std::vector<int8_t> warm = DecodeForEachBits(decoder, qs, service,
+                                                     object);
+  const MetricsSnapshot warm_diff =
+      Registry::Get().Snapshot().DiffSince(before_warm);
+  EXPECT_EQ(CounterDiff(warm_diff, "serve.query.logical"), 4 * kProbes);
+  EXPECT_EQ(CounterDiff(warm_diff, "serve.cache.hits"), 4 * kProbes);
+  EXPECT_EQ(CounterDiff(warm_diff, "serve.cache.misses"), 0);
+
+  EXPECT_EQ(cold, warm);
+  for (int i = 0; i < kProbes; ++i) {
+    EXPECT_EQ(cold[static_cast<size_t>(i)], s[static_cast<size_t>(i)])
+        << "bit " << i;
+  }
 }
 
 TEST_F(MetricsBoundsTest, MinCutEstimatorStaysWithinTheorem57Budget) {

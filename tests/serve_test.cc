@@ -1,0 +1,427 @@
+// Tests for the batched cut-query serving layer (src/serve): cache
+// semantics, batch determinism, warm/cold bit-identity, and the batched
+// decoder/localquery entry points against their unbatched references.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/types.h"
+#include "gtest/gtest.h"
+#include "localquery/mincut_estimator.h"
+#include "localquery/oracle.h"
+#include "localquery/verify_guess.h"
+#include "lowerbound/cut_oracle.h"
+#include "lowerbound/foreach_encoding.h"
+#include "lowerbound/forall_encoding.h"
+#include "serve/cut_query_service.h"
+#include "serve/decoder_batch.h"
+#include "serve/local_batch.h"
+#include "serve/query_cache.h"
+#include "sketch/directed_sketches.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CutQueryCache
+// ---------------------------------------------------------------------------
+
+TEST(QueryCacheTest, LookupAfterInsertHits) {
+  CutQueryCache cache(CutQueryCache::Options{});
+  const VertexSet side = MakeVertexSet(8, {1, 3, 5});
+  const uint64_t h = HashSide(side);
+  const PackedSide packed = PackSide(side);
+
+  EXPECT_FALSE(cache.Lookup(0, h, packed).has_value());
+  cache.Insert(0, h, packed, 42.5);
+  const auto hit = cache.Lookup(0, h, packed);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 42.5);
+  // Same side, different object: distinct entry.
+  EXPECT_FALSE(cache.Lookup(1, h, packed).has_value());
+  EXPECT_EQ(cache.size(), 1);
+}
+
+TEST(QueryCacheTest, KeysAreByteValueInsensitive) {
+  // VertexSet membership is "any nonzero byte": {1, 7, 255} and {1, 1, 1}
+  // at the same positions denote the same side and must share a cache key.
+  VertexSet a(8, 0), b(8, 0);
+  a[2] = 1;
+  a[5] = 1;
+  b[2] = 7;
+  b[5] = 255;
+  EXPECT_EQ(HashSide(a), HashSide(b));
+  EXPECT_TRUE(PackSide(a) == PackSide(b));
+
+  CutQueryCache cache(CutQueryCache::Options{});
+  cache.Insert(3, HashSide(a), PackSide(a), 7.25);
+  const auto hit = cache.Lookup(3, HashSide(b), PackSide(b));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 7.25);
+}
+
+TEST(QueryCacheTest, SideHashIsIncrementalUnderFlips) {
+  // The serving layer maintains side hashes by XORing HashVertex(v) per
+  // flip; that only works if HashSide is exactly the XOR over members.
+  VertexSet side = MakeVertexSet(16, {0, 4, 9});
+  uint64_t h = HashSide(side);
+  // Flip 9 out, 11 in.
+  h ^= HashVertex(9);
+  side[9] = 0;
+  h ^= HashVertex(11);
+  side[11] = 1;
+  EXPECT_EQ(h, HashSide(side));
+}
+
+TEST(QueryCacheTest, EvictsLeastRecentlyUsed) {
+  CutQueryCache::Options options;
+  options.capacity = 2;
+  options.num_stripes = 1;  // one stripe so LRU order is global
+  CutQueryCache cache(options);
+
+  const VertexSet s0 = MakeVertexSet(8, {0});
+  const VertexSet s1 = MakeVertexSet(8, {1});
+  const VertexSet s2 = MakeVertexSet(8, {2});
+  cache.Insert(0, HashSide(s0), PackSide(s0), 10);
+  cache.Insert(0, HashSide(s1), PackSide(s1), 11);
+  // Touch s0 so s1 becomes the LRU victim.
+  ASSERT_TRUE(cache.Lookup(0, HashSide(s0), PackSide(s0)).has_value());
+  cache.Insert(0, HashSide(s2), PackSide(s2), 12);
+
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_TRUE(cache.Lookup(0, HashSide(s0), PackSide(s0)).has_value());
+  EXPECT_FALSE(cache.Lookup(0, HashSide(s1), PackSide(s1)).has_value());
+  EXPECT_TRUE(cache.Lookup(0, HashSide(s2), PackSide(s2)).has_value());
+}
+
+TEST(QueryCacheTest, DuplicateInsertRefreshesInsteadOfDoubleStoring) {
+  CutQueryCache::Options options;
+  options.capacity = 4;
+  options.num_stripes = 1;
+  CutQueryCache cache(options);
+  const VertexSet side = MakeVertexSet(8, {1, 2});
+  cache.Insert(0, HashSide(side), PackSide(side), 5.0);
+  cache.Insert(0, HashSide(side), PackSide(side), 5.0);
+  EXPECT_EQ(cache.size(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// CutQueryService batches
+// ---------------------------------------------------------------------------
+
+std::vector<CutQueryService::Query> MakeBatch(CutQueryService::ObjectId object,
+                                              int n, int count, Rng& rng,
+                                              int repeat_period = 0) {
+  std::vector<CutQueryService::Query> batch;
+  std::vector<VertexSet> pool;
+  for (int i = 0; i < count; ++i) {
+    if (repeat_period > 0 && i >= repeat_period) {
+      batch.push_back(
+          {object, batch[static_cast<size_t>(i % repeat_period)].side});
+      continue;
+    }
+    VertexSet side(static_cast<size_t>(n), 0);
+    do {
+      for (auto& bit : side) bit = static_cast<uint8_t>(rng.Next() & 1);
+    } while (!IsProperCutSide(side));
+    batch.push_back({object, std::move(side)});
+  }
+  return batch;
+}
+
+TEST(CutQueryServiceTest, GraphBatchMatchesDirectCutWeights) {
+  Rng rng(7);
+  const DirectedGraph graph = RandomBalancedDigraph(24, 0.4, 2.0, rng);
+  CutQueryService service;
+  const auto object = service.RegisterGraph(graph);
+  const auto batch = MakeBatch(object, 24, 40, rng);
+
+  const std::vector<double> answers = service.AnswerBatch(batch);
+  ASSERT_EQ(answers.size(), batch.size());
+  const CutOracle direct = ExactCutOracle(graph);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(answers[i], direct(batch[i].side)) << "query " << i;
+  }
+}
+
+TEST(CutQueryServiceTest, WarmBatchBitIdenticalToCold) {
+  Rng rng(11);
+  const DirectedGraph graph = RandomBalancedDigraph(20, 0.5, 1.0, rng);
+  CutQueryService service;
+  const auto object = service.RegisterGraph(graph);
+  // Heavy repetition: 50 queries cycling through 10 distinct sides.
+  const auto batch = MakeBatch(object, 20, 50, rng, /*repeat_period=*/10);
+
+  const std::vector<double> cold = service.AnswerBatch(batch);
+  EXPECT_GT(service.cache_size(), 0);
+  const std::vector<double> warm = service.AnswerBatch(batch);
+  ASSERT_EQ(cold.size(), warm.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i], warm[i]) << "query " << i;
+  }
+}
+
+TEST(CutQueryServiceTest, CacheDisabledStillAnswersCorrectly) {
+  Rng rng(13);
+  const DirectedGraph graph = RandomBalancedDigraph(16, 0.5, 1.0, rng);
+  CutQueryServiceOptions options;
+  options.enable_cache = false;
+  CutQueryService service(options);
+  const auto object = service.RegisterGraph(graph);
+  const auto batch = MakeBatch(object, 16, 20, rng, /*repeat_period=*/5);
+
+  const std::vector<double> a = service.AnswerBatch(batch);
+  const std::vector<double> b = service.AnswerBatch(batch);
+  EXPECT_EQ(service.cache_size(), 0);
+  const CutOracle direct = ExactCutOracle(graph);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(a[i], direct(batch[i].side));
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(CutQueryServiceTest, SketchBatchMatchesDirectEstimates) {
+  Rng rng(17);
+  const DirectedGraph graph = RandomBalancedDigraph(24, 0.5, 2.0, rng);
+  Rng sketch_rng(5);
+  const DirectedForEachSketch sketch(graph, 0.5, 2.0, sketch_rng);
+  CutQueryService service;
+  const auto object = service.RegisterSketch(sketch);
+  const auto batch = MakeBatch(object, 24, 20, rng);
+
+  const std::vector<double> answers = service.AnswerBatch(batch);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(answers[i], sketch.EstimateCut(batch[i].side));
+  }
+}
+
+TEST(CutQueryServiceTest, SeededBatchesDeterministicAcrossThreadCounts) {
+  Rng rng(23);
+  const DirectedGraph graph = RandomBalancedDigraph(20, 0.5, 1.0, rng);
+  const SeededCutOracleFactory factory = [](const DirectedGraph& g,
+                                            Rng& oracle_rng) {
+    return NoisyCutOracle(g, 0.2, oracle_rng);
+  };
+
+  auto run = [&](int num_threads, int shard_size) {
+    CutQueryServiceOptions options;
+    options.num_threads = num_threads;
+    options.shard_size = shard_size;
+    CutQueryService service(options);
+    const auto object = service.RegisterSeededOracle(graph, factory, 99);
+    Rng batch_rng(31);
+    const auto batch = MakeBatch(object, 20, 70, batch_rng);
+    return service.AnswerBatch(batch);
+  };
+
+  const std::vector<double> serial = run(1, 16);
+  const std::vector<double> pooled = run(4, 16);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], pooled[i]) << "query " << i;
+  }
+  // A different shard size is a different (but still valid) noise
+  // partition, so it may differ — only the thread count must not matter.
+  const std::vector<double> pooled8 = run(8, 16);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], pooled8[i]) << "query " << i;
+  }
+}
+
+TEST(CutQueryServiceTest, SeededOraclesAreNeverCached) {
+  Rng rng(29);
+  const DirectedGraph graph = RandomBalancedDigraph(16, 0.5, 1.0, rng);
+  CutQueryService service;
+  const auto object = service.RegisterSeededOracle(
+      graph,
+      [](const DirectedGraph& g, Rng& oracle_rng) {
+        return NoisyCutOracle(g, 0.3, oracle_rng);
+      },
+      7);
+  Rng batch_rng(3);
+  const auto batch = MakeBatch(object, 16, 10, batch_rng);
+  service.AnswerBatch(batch);
+  EXPECT_EQ(service.cache_size(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Served sessions
+// ---------------------------------------------------------------------------
+
+TEST(CutQueryServiceTest, ServedSessionMatchesDirectSession) {
+  Rng rng(41);
+  const DirectedGraph graph = RandomBalancedDigraph(18, 0.5, 2.0, rng);
+  CutQueryService service;
+  const auto object = service.RegisterGraph(graph);
+  const CutOracle direct = ExactCutOracle(graph);
+
+  const VertexSet start = MakeVertexSet(18, {0, 3, 4, 9, 15});
+  const std::vector<VertexId> flips = {1, 9, 2, 1, 16, 0};
+
+  auto served = service.BeginSession(object, start);
+  auto reference = direct.BeginSession(start);
+  EXPECT_EQ(served->Query(), reference->Query());
+  for (const VertexId v : flips) {
+    served->Flip(v);
+    reference->Flip(v);
+    EXPECT_EQ(served->Query(), reference->Query()) << "after flip " << v;
+  }
+
+  // A second served session over the same walk answers from the cache —
+  // and must stay bit-identical to the direct session.
+  auto warm = service.BeginSession(object, start);
+  auto reference2 = direct.BeginSession(start);
+  EXPECT_EQ(warm->Query(), reference2->Query());
+  for (const VertexId v : flips) {
+    warm->Flip(v);
+    reference2->Flip(v);
+    EXPECT_EQ(warm->Query(), reference2->Query()) << "after flip " << v;
+  }
+}
+
+TEST(CutQueryServiceTest, SessionSkipsUnqueriedFlipRuns) {
+  // Multiple flips between queries must collapse correctly (pending-flip
+  // replay), including flips that cancel out.
+  Rng rng(43);
+  const DirectedGraph graph = RandomBalancedDigraph(12, 0.6, 1.0, rng);
+  CutQueryService service;
+  const auto object = service.RegisterGraph(graph);
+  const CutOracle direct = ExactCutOracle(graph);
+
+  const VertexSet start = MakeVertexSet(12, {2, 5, 7});
+  auto served = service.BeginSession(object, start);
+  auto reference = direct.BeginSession(start);
+  for (const VertexId v : {1, 4, 4, 8}) {
+    served->Flip(v);
+    reference->Flip(v);
+  }
+  EXPECT_EQ(served->Query(), reference->Query());
+}
+
+// ---------------------------------------------------------------------------
+// Batched decoders
+// ---------------------------------------------------------------------------
+
+TEST(DecoderBatchTest, DecodeForEachBitsMatchesPerBitDecode) {
+  ForEachLowerBoundParams params;
+  params.inv_epsilon = 4;
+  params.sqrt_beta = 1;
+  params.num_layers = 2;
+  const ForEachEncoder encoder(params);
+  const ForEachDecoder decoder(params);
+
+  Rng rng(51);
+  std::vector<int8_t> s(static_cast<size_t>(params.total_bits()));
+  for (auto& bit : s) bit = (rng.Next() & 1) ? 1 : -1;
+  const auto encoding = encoder.Encode(s);
+
+  CutQueryService service;
+  const auto object = service.RegisterGraph(encoding.graph);
+  const CutOracle direct = ExactCutOracle(encoding.graph);
+
+  std::vector<int64_t> qs;
+  for (int64_t q = 0; q < params.total_bits(); ++q) qs.push_back(q);
+  const std::vector<int8_t> batched =
+      DecodeForEachBits(decoder, qs, service, object);
+  ASSERT_EQ(batched.size(), qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(batched[i], decoder.DecodeBit(qs[i], direct)) << "bit " << i;
+  }
+  // Warm pass: identical decodes from the cache.
+  const std::vector<int8_t> warm =
+      DecodeForEachBits(decoder, qs, service, object);
+  EXPECT_EQ(batched, warm);
+}
+
+TEST(DecoderBatchTest, ForAllServicePathMatchesOraclePath) {
+  ForAllLowerBoundParams params;
+  params.inv_epsilon_sq = 4;
+  params.beta = 1;
+  params.num_layers = 2;
+  const ForAllEncoder encoder(params);
+  const ForAllDecoder decoder(params);
+
+  Rng rng(53);
+  std::vector<std::vector<uint8_t>> strings;
+  for (int64_t i = 0; i < params.total_strings(); ++i) {
+    std::vector<uint8_t> s(static_cast<size_t>(params.inv_epsilon_sq), 0);
+    const auto picks = rng.RandomSubset(params.inv_epsilon_sq,
+                                        params.inv_epsilon_sq / 2);
+    for (const int v : picks) s[static_cast<size_t>(v)] = 1;
+    strings.push_back(std::move(s));
+  }
+  const DirectedGraph graph = encoder.Encode(strings);
+  const CutOracle oracle = ExactCutOracle(graph);
+
+  CutQueryService service;
+  const auto object = service.RegisterGraph(graph);
+
+  std::vector<uint8_t> t(static_cast<size_t>(params.inv_epsilon_sq), 0);
+  t[0] = 1;
+  t[1] = 1;
+  for (const auto mode : {ForAllDecoder::SubsetSelection::kEnumerate,
+                          ForAllDecoder::SubsetSelection::kGreedy}) {
+    for (int64_t q = 0; q < params.total_strings(); ++q) {
+      EXPECT_EQ(
+          SelectForAllBestSubset(decoder, q, t, service, object, mode),
+          decoder.SelectBestSubset(q, t, oracle, mode));
+      EXPECT_EQ(DecideForAllFar(decoder, q, t, service, object, mode),
+                decoder.DecideFar(q, t, oracle, mode));
+    }
+  }
+  // The enumeration revisits sides across strings/modes; the cache should
+  // have picked some of that up.
+  EXPECT_GT(service.cache_size(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Batched local queries
+// ---------------------------------------------------------------------------
+
+TEST(LocalBatchTest, BatchedVerifyGuessBitIdenticalToUnbatched) {
+  Rng graph_rng(61);
+  const UndirectedGraph graph =
+      RandomUndirectedGraph(40, 0.3, 1.0, 1.0, true, graph_rng);
+  for (const double guess : {1.0, 2.0, 8.0}) {
+    GraphOracle oracle_a(graph);
+    GraphOracle oracle_b(graph);
+    Rng rng_a(77);
+    Rng rng_b(77);
+    const auto unbatched = VerifyGuess(oracle_a, guess, 0.5, rng_a);
+    const auto batched = BatchedVerifyGuess(oracle_b, guess, 0.5, rng_b);
+    ASSERT_TRUE(unbatched.ok());
+    ASSERT_TRUE(batched.ok());
+    EXPECT_EQ(batched->accepted, unbatched->accepted) << "t=" << guess;
+    EXPECT_EQ(batched->estimate, unbatched->estimate) << "t=" << guess;
+    EXPECT_EQ(batched->sample_probability, unbatched->sample_probability);
+    // Same probes on the oracle side, just reordered.
+    EXPECT_EQ(oracle_a.counts().degree, oracle_b.counts().degree);
+    EXPECT_EQ(oracle_a.counts().neighbor, oracle_b.counts().neighbor);
+  }
+}
+
+TEST(LocalBatchTest, EstimateMinCutBatchedMatchesUnbatched) {
+  Rng graph_rng(67);
+  const UndirectedGraph graph =
+      RandomUndirectedGraph(32, 0.3, 1.0, 1.0, true, graph_rng);
+  for (const auto mode : {SearchMode::kOriginalEpsilonSearch,
+                          SearchMode::kModifiedConstantSearch}) {
+    GraphOracle oracle_a(graph);
+    GraphOracle oracle_b(graph);
+    Rng rng_a(91);
+    Rng rng_b(91);
+    const auto unbatched =
+        EstimateMinCutLocalQueries(oracle_a, 0.5, mode, rng_a);
+    const auto batched = EstimateMinCutBatched(oracle_b, 0.5, mode, rng_b);
+    ASSERT_TRUE(unbatched.ok());
+    ASSERT_TRUE(batched.ok());
+    EXPECT_EQ(batched->estimate, unbatched->estimate);
+    EXPECT_EQ(batched->verify_guess_calls, unbatched->verify_guess_calls);
+    EXPECT_EQ(batched->communication_bits, unbatched->communication_bits);
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -17,6 +17,7 @@
 #include "graph/incremental_cut_oracle.h"
 #include "lowerbound/forall_encoding.h"
 #include "lowerbound/foreach_encoding.h"
+#include "serve/cut_query_service.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -164,6 +165,74 @@ void StressChannelParallelTransfers() {
   }
 }
 
+void StressServeCacheConcurrency() {
+  // The serving layer's striped cache under contention and eviction
+  // pressure: many threads fire AnswerBatch on one service (num_threads=1,
+  // so batches run fully concurrently on the callers), all over a
+  // deliberately tiny cache that evicts constantly. Warm answers must stay
+  // bit-identical to the cold path no matter how lookups, inserts, and
+  // evictions interleave.
+  Rng rng(13);
+  DirectedGraph graph(48);
+  for (int e = 0; e < 600; ++e) {
+    const int src = static_cast<int>(rng.UniformInt(48));
+    int dst = static_cast<int>(rng.UniformInt(47));
+    if (dst >= src) ++dst;
+    graph.AddEdge(src, dst, 1.0 + static_cast<double>(rng.Next() % 4));
+  }
+
+  CutQueryServiceOptions options;
+  options.num_threads = 1;   // callers are the concurrency
+  options.cache_capacity = 16;  // far fewer than distinct sides: evict hard
+  options.cache_stripes = 4;
+  CutQueryService service(options);
+  const auto object = service.RegisterGraph(graph);
+
+  // 96 distinct sides, each repeated across tasks so hits and misses mix.
+  constexpr int kSides = 96;
+  std::vector<VertexSet> sides;
+  std::vector<double> expected;
+  graph.BuildAdjacency();
+  for (int i = 0; i < kSides; ++i) {
+    VertexSet side = rng.RandomBinaryString(48);
+    side[static_cast<size_t>(i % 48)] = 1;  // never empty
+    expected.push_back(graph.CutWeight(side));
+    sides.push_back(std::move(side));
+  }
+
+  constexpr int64_t kTasks = 24;
+  std::vector<int> mismatches(static_cast<size_t>(kTasks), 0);
+  for (const int threads : {2, 4, 8}) {
+    ParallelFor(threads, kTasks, [&](int64_t task) {
+      Rng local(SubtaskSeed(4242, task));
+      for (int round = 0; round < 20; ++round) {
+        std::vector<CutQueryService::Query> batch;
+        for (int i = 0; i < 16; ++i) {
+          const auto pick = static_cast<size_t>(local.UniformInt(kSides));
+          batch.push_back({object, sides[pick]});
+        }
+        const std::vector<double> answers = service.AnswerBatch(batch);
+        for (size_t i = 0; i < batch.size(); ++i) {
+          // Identify the side by membership (batch stores copies).
+          for (int s = 0; s < kSides; ++s) {
+            if (sides[static_cast<size_t>(s)] == batch[i].side) {
+              if (answers[i] != expected[static_cast<size_t>(s)]) {
+                ++mismatches[static_cast<size_t>(task)];
+              }
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (const int count : mismatches) {
+    Require(count == 0,
+            "serve stress: warm answers bit-identical to cold path");
+  }
+  Require(service.cache_size() <= 16, "serve stress: capacity respected");
+}
+
 }  // namespace
 }  // namespace dcs
 
@@ -173,6 +242,7 @@ int main() {
   dcs::StressSharedGraphReads();
   dcs::StressTrialRunners();
   dcs::StressChannelParallelTransfers();
+  dcs::StressServeCacheConcurrency();
   std::printf("tsan stress: OK\n");
   return 0;
 }

@@ -25,12 +25,42 @@ TEST(StatsTest, MedianOddAndEven) {
   EXPECT_DOUBLE_EQ(Median({7}), 7.0);
 }
 
+TEST(StatsTest, MedianEmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+  EXPECT_FALSE(std::isnan(Median({})));
+}
+
 TEST(StatsTest, PercentileEndpoints) {
   const std::vector<double> values = {10, 20, 30, 40, 50};
   EXPECT_DOUBLE_EQ(Percentile(values, 0), 10.0);
   EXPECT_DOUBLE_EQ(Percentile(values, 100), 50.0);
   EXPECT_DOUBLE_EQ(Percentile(values, 50), 30.0);
   EXPECT_DOUBLE_EQ(Percentile(values, 25), 20.0);
+}
+
+TEST(StatsTest, PercentileEmptyReturnsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+  EXPECT_FALSE(std::isnan(Percentile({}, 100)));
+}
+
+TEST(StatsTest, PercentileSingleElementEveryP) {
+  for (double p : {0.0, 37.5, 50.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile({42.0}, p), 42.0) << "p=" << p;
+  }
+}
+
+TEST(StatsTest, PercentileClampsOutOfRangeP) {
+  const std::vector<double> values = {10, 20, 30};
+  EXPECT_DOUBLE_EQ(Percentile(values, -5), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 150), 30.0);
+  // The exact p=100 rank lands on the last element without interpolating
+  // past the end, even when fp rounding makes rank fractionally high.
+  EXPECT_DOUBLE_EQ(Percentile(values, std::nextafter(100.0, 200.0)), 30.0);
+}
+
+TEST(StatsTest, PercentileInterpolatesBetweenRanks) {
+  const std::vector<double> values = {0, 10};
+  EXPECT_DOUBLE_EQ(Percentile(values, 75), 7.5);
 }
 
 TEST(StatsTest, FitLineExact) {
@@ -63,10 +93,6 @@ TEST(StatsTest, FitLogLogRecoversExponent) {
   const LineFit fit = FitLogLog(xs, ys);
   EXPECT_NEAR(fit.slope, 2.5, 1e-9);
   EXPECT_NEAR(std::exp(fit.intercept), 3.0, 1e-9);
-}
-
-TEST(StatsDeathTest, MedianEmptyChecks) {
-  EXPECT_DEATH(Median({}), "CHECK");
 }
 
 TEST(StatsDeathTest, FitLogLogRejectsNonPositive) {

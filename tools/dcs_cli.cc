@@ -15,6 +15,9 @@
 //   distributed run the distributed min-cut pipeline on a partitioned
 //              graph, optionally over a lossy channel with graceful
 //              degradation when servers are lost
+//   serve      run batched cut queries through the CutQueryService and
+//              report cold vs warm-cache round times plus cache counters,
+//              verifying warm answers are bit-identical to the cold pass
 //
 // Chaos flags (protocol, distributed): passing any of --chaos-seed,
 // --chaos-drop, --chaos-flip, --chaos-truncate, --chaos-duplicate,
@@ -33,6 +36,7 @@
 //   dcs trials --kind forall --trials 40 --threads 4 --mode enumerate
 //   dcs protocol --kind foreach --probes 32 --chaos-seed 7 --chaos-drop 0.05
 //   dcs distributed --in g.txt --servers 4 --chaos-seed 7 --chaos-drop 0.3
+//   dcs serve --n 128 --rounds 4 --batch 512 --pool 64 --threads 4
 
 // Exit codes: 0 success, 1 runtime/data error (unreadable or corrupt
 // input, failed write), 2 usage error (unknown command/flag, malformed
@@ -43,7 +47,10 @@
 // local queries, per-sketch-kind serialized bit sizes, ...) is written to
 // FILE as deterministic JSON. See DESIGN.md §8.
 
+#include <cerrno>
+#include <chrono>
 #include <climits>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,6 +70,7 @@
 #include "lowerbound/foreach_encoding.h"
 #include "mincut/directed_mincut.h"
 #include "mincut/stoer_wagner.h"
+#include "serve/cut_query_service.h"
 #include "sketch/directed_sketches.h"
 #include "util/json.h"
 #include "util/metrics.h"
@@ -102,17 +110,25 @@ std::string GetFlag(const FlagMap& flags, const std::string& key,
   return it == flags.end() ? fallback : it->second;
 }
 
-// Numeric flag parsing via strtod/strtol with full-consumption checks:
-// a malformed value is a usage error (exit 2), never an uncaught
-// exception or a silently truncated parse.
+// Numeric flag parsing via strtod/strtol with full-consumption and range
+// checks: a malformed or out-of-range value (`--eps=1e999` overflows to
+// inf with errno == ERANGE) is a usage error (exit 2), never an uncaught
+// exception, a silently truncated parse, or a non-finite value leaking
+// into the math downstream.
 double GetDouble(const FlagMap& flags, const std::string& key,
                  double fallback) {
   const auto it = flags.find(key);
   if (it == flags.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const double value = std::strtod(it->second.c_str(), &end);
   if (it->second.empty() || end != it->second.c_str() + it->second.size()) {
     std::fprintf(stderr, "flag --%s: '%s' is not a number\n", key.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  if (errno == ERANGE || !std::isfinite(value)) {
+    std::fprintf(stderr, "flag --%s: '%s' is out of range\n", key.c_str(),
                  it->second.c_str());
     std::exit(2);
   }
@@ -123,10 +139,15 @@ int GetInt(const FlagMap& flags, const std::string& key, int fallback) {
   const auto it = flags.find(key);
   if (it == flags.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long value = std::strtol(it->second.c_str(), &end, 10);
-  if (it->second.empty() || end != it->second.c_str() + it->second.size() ||
-      value < INT_MIN || value > INT_MAX) {
+  if (it->second.empty() || end != it->second.c_str() + it->second.size()) {
     std::fprintf(stderr, "flag --%s: '%s' is not an integer\n", key.c_str(),
+                 it->second.c_str());
+    std::exit(2);
+  }
+  if (errno == ERANGE || value < INT_MIN || value > INT_MAX) {
+    std::fprintf(stderr, "flag --%s: '%s' is out of range\n", key.c_str(),
                  it->second.c_str());
     std::exit(2);
   }
@@ -228,8 +249,8 @@ int CmdMinCut(const FlagMap& flags) {
       return 1;
     }
     const dcs::GlobalMinCut cut = dcs::DirectedGlobalMinCut(*graph);
-    std::printf("directed global min cut: %.6f (|S| = %d)\n", cut.value,
-                dcs::SetSize(cut.side));
+    std::printf("directed global min cut: %.6f (|S| = %lld)\n", cut.value,
+                static_cast<long long>(dcs::SetSize(cut.side)));
     return 0;
   }
   const auto graph = dcs::LoadUndirectedGraph(in);
@@ -239,8 +260,8 @@ int CmdMinCut(const FlagMap& flags) {
     return 1;
   }
   const dcs::GlobalMinCut cut = dcs::StoerWagnerMinCut(*graph);
-  std::printf("global min cut: %.6f (|S| = %d)\n", cut.value,
-              dcs::SetSize(cut.side));
+  std::printf("global min cut: %.6f (|S| = %lld)\n", cut.value,
+              static_cast<long long>(dcs::SetSize(cut.side)));
   return 0;
 }
 
@@ -547,9 +568,10 @@ int CmdDistributed(const FlagMap& flags) {
   } else {
     result = pipeline.Run(rng);
   }
-  std::printf("distributed min cut estimate: %.6f (|S| = %d, "
+  std::printf("distributed min cut estimate: %.6f (|S| = %lld, "
               "%d candidates, %d servers)\n",
-              result.estimate, dcs::SetSize(result.best_side),
+              result.estimate,
+              static_cast<long long>(dcs::SetSize(result.best_side)),
               result.candidates_considered, servers);
   std::printf("sketch bits: %lld forall + %lld foreach = %lld "
               "(naive ship-all %lld)\n",
@@ -574,10 +596,96 @@ int CmdDistributed(const FlagMap& flags) {
   return 0;
 }
 
+int CmdServe(const FlagMap& flags) {
+  const int n = GetInt(flags, "n", 64);
+  const double p = GetDouble(flags, "p", 0.3);
+  const double beta = GetDouble(flags, "beta", 2.0);
+  const int rounds = GetInt(flags, "rounds", 4);
+  const int batch_size = GetInt(flags, "batch", 256);
+  const int pool_size = GetInt(flags, "pool", 32);
+  if (n < 2 || rounds < 1 || batch_size < 1 || pool_size < 1) {
+    std::fprintf(stderr,
+                 "serve needs --n >= 2, --rounds/--batch/--pool >= 1\n");
+    return 2;
+  }
+  dcs::CutQueryServiceOptions options;
+  options.num_threads = GetInt(flags, "threads", 1);
+  options.shard_size = GetInt(flags, "shard", 32);
+  options.enable_cache = GetInt(flags, "cache", 1) != 0;
+  options.cache_capacity =
+      static_cast<int64_t>(GetInt(flags, "cache-capacity", 1 << 16));
+  if (options.num_threads < 1 || options.shard_size < 1 ||
+      options.cache_capacity < 1) {
+    std::fprintf(stderr,
+                 "serve needs --threads/--shard/--cache-capacity >= 1\n");
+    return 2;
+  }
+
+  dcs::Rng rng(static_cast<uint64_t>(GetInt(flags, "seed", 1)));
+  const dcs::DirectedGraph graph = dcs::RandomBalancedDigraph(n, p, beta, rng);
+  dcs::CutQueryService service(options);
+  const auto object = service.RegisterGraph(graph);
+
+  // A fixed pool of proper cut sides; every round's batch cycles through
+  // it, so round 1 is all cold and later rounds are all warm.
+  std::vector<dcs::VertexSet> pool;
+  while (static_cast<int>(pool.size()) < pool_size) {
+    dcs::VertexSet side(static_cast<size_t>(n));
+    for (auto& bit : side) bit = static_cast<uint8_t>(rng.Next() & 1);
+    if (dcs::IsProperCutSide(side)) pool.push_back(std::move(side));
+  }
+  std::vector<dcs::CutQueryService::Query> batch;
+  for (int i = 0; i < batch_size; ++i) {
+    batch.push_back({object, pool[static_cast<size_t>(i) % pool.size()]});
+  }
+
+  std::printf("serving %d-vertex graph: %d rounds x %d queries "
+              "(%zu distinct sides, %d threads, cache %s)\n",
+              n, rounds, batch_size, pool.size(), options.num_threads,
+              options.enable_cache ? "on" : "off");
+  // First-seen answer per pool side; every later round must reproduce it
+  // bit for bit (the memoization contract), cache on or off.
+  std::vector<double> first_seen(pool.size());
+  for (int round = 0; round < rounds; ++round) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<double> answers = service.AnswerBatch(batch);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    for (size_t i = 0; i < answers.size(); ++i) {
+      const size_t side_index = i % pool.size();
+      if (round == 0 && i == side_index) {
+        first_seen[side_index] = answers[i];
+      } else if (answers[i] != first_seen[side_index]) {
+        std::fprintf(stderr,
+                     "round %d query %zu: answer %.17g != first-seen "
+                     "%.17g\n",
+                     round, i, answers[i], first_seen[side_index]);
+        return 1;
+      }
+    }
+    std::printf("round %d: %8.3f ms  (%.0f queries/s)%s\n", round, ms,
+                ms > 0 ? 1000.0 * batch_size / ms : 0.0,
+                round == 0 ? "  [cold]" : "  [warm]");
+  }
+  const auto snapshot = dcs::metrics::Registry::Get().Snapshot();
+  const auto counter = [&snapshot](const char* name) -> long long {
+    const auto it = snapshot.counters.find(name);
+    return it == snapshot.counters.end() ? 0 : it->second;
+  };
+  std::printf("cache: %lld hits, %lld misses, %lld evictions "
+              "(%lld entries); %lld logical queries\n",
+              counter("serve.cache.hits"), counter("serve.cache.misses"),
+              counter("serve.cache.evictions"),
+              static_cast<long long>(service.cache_size()),
+              counter("serve.query.logical"));
+  return 0;
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: dcs <generate|stats|mincut|sketch|localquery|encode|"
-               "agm|trials|protocol|distributed> [--flag value ...] "
+               "agm|trials|protocol|distributed|serve> [--flag value ...] "
                "[--metrics-json FILE]\n");
 }
 
@@ -615,6 +723,7 @@ int RunCommand(const std::string& command, const FlagMap& flags) {
   if (command == "trials") return CmdTrials(flags);
   if (command == "protocol") return CmdProtocol(flags);
   if (command == "distributed") return CmdDistributed(flags);
+  if (command == "serve") return CmdServe(flags);
   PrintUsage();
   return 2;
 }
