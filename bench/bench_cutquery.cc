@@ -14,8 +14,10 @@
 // Results are printed as tables and written to BENCH_cutquery.json
 // (override with --out FILE). --threads N caps the thread sweep.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -86,18 +88,27 @@ std::vector<EnumerateRecord> SectionEnumerate() {
     const auto mode = ForAllDecoder::SubsetSelection::kEnumerate;
     const int reps = inv_eps_sq <= 12 ? 20 : 5;
     VertexSet subset_rescan, subset_incremental;
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int rep = 0; rep < reps; ++rep) {
-      subset_rescan = decoder.SelectBestSubset(instance.index, instance.t,
-                                               rescan_oracle, mode);
+    // Best-of-3 timing passes: the perf gate compares these numbers
+    // across runs, and a single pass on a shared core is exposed to
+    // scheduler steal that dwarfs the 15% threshold.
+    constexpr int kPasses = 3;
+    record.ms_rescan = std::numeric_limits<double>::infinity();
+    record.ms_incremental = std::numeric_limits<double>::infinity();
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < reps; ++rep) {
+        subset_rescan = decoder.SelectBestSubset(instance.index, instance.t,
+                                                 rescan_oracle, mode);
+      }
+      record.ms_rescan = std::min(record.ms_rescan, MsSince(t0) / reps);
+      const auto t1 = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < reps; ++rep) {
+        subset_incremental = decoder.SelectBestSubset(
+            instance.index, instance.t, incremental_oracle, mode);
+      }
+      record.ms_incremental =
+          std::min(record.ms_incremental, MsSince(t1) / reps);
     }
-    record.ms_rescan = MsSince(t0) / reps;
-    const auto t1 = std::chrono::steady_clock::now();
-    for (int rep = 0; rep < reps; ++rep) {
-      subset_incremental = decoder.SelectBestSubset(
-          instance.index, instance.t, incremental_oracle, mode);
-    }
-    record.ms_incremental = MsSince(t1) / reps;
     record.same_subset = subset_rescan == subset_incremental;
     PrintRow({I(record.k), F(record.subsets, 0), F(record.ms_rescan, 3),
               F(record.ms_incremental, 3), F(record.speedup(), 1),
@@ -163,16 +174,22 @@ std::vector<EncodeRecord> SectionEncodeSigns() {
     record.log_size = log_size;
     const int reps = log_size <= 7 ? 50 : 10;
     std::vector<int64_t> reference, flat;
-    const auto t0 = std::chrono::steady_clock::now();
-    for (int rep = 0; rep < reps; ++rep) {
-      reference = ReferenceEncodeSigns(tensor, z);
+    // Best-of-3 passes for gate stability (see SectionEnumerate).
+    constexpr int kPasses = 3;
+    record.ms_reference = std::numeric_limits<double>::infinity();
+    record.ms_flat = std::numeric_limits<double>::infinity();
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < reps; ++rep) {
+        reference = ReferenceEncodeSigns(tensor, z);
+      }
+      record.ms_reference = std::min(record.ms_reference, MsSince(t0) / reps);
+      const auto t1 = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < reps; ++rep) {
+        flat = tensor.EncodeSigns(z);
+      }
+      record.ms_flat = std::min(record.ms_flat, MsSince(t1) / reps);
     }
-    record.ms_reference = MsSince(t0) / reps;
-    const auto t1 = std::chrono::steady_clock::now();
-    for (int rep = 0; rep < reps; ++rep) {
-      flat = tensor.EncodeSigns(z);
-    }
-    record.ms_flat = MsSince(t1) / reps;
     record.match = reference == flat;
     PrintRow({I(log_size), I(1 << log_size), F(record.ms_reference, 3),
               F(record.ms_flat, 3), F(record.speedup(), 1),

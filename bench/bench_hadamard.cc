@@ -9,10 +9,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
 #include "json_writer.h"
 #include "table.h"
 #include "util/hadamard.h"
 #include "util/random.h"
+#include "util/simd.h"
 
 namespace dcs {
 
@@ -82,6 +93,180 @@ void VerificationTable() {
               " plus the <w,M_t> = z_t/eps decoding identity)\n");
 }
 
+// ---------------------------------------------------------------------------
+// SIMD section: scalar reference vs dispatched kernels, per size.
+// ---------------------------------------------------------------------------
+
+struct SimdRecord {
+  const char* kernel = "";
+  int64_t n = 0;  // elements (FWHT) or 64-bit words (popcounts)
+  double scalar_ns = 0;
+  double simd_ns = 0;
+  double bytes_per_cycle = 0;  // dispatched path; 0 when no cycle counter
+  double speedup() const { return simd_ns > 0 ? scalar_ns / simd_ns : 0; }
+};
+
+struct KernelTiming {
+  double ns = 0;      // per call
+  double cycles = 0;  // per call; 0 off x86
+};
+
+// Median-of-5 timing of `reps` back-to-back calls.
+template <typename Fn>
+KernelTiming TimeKernel(int reps, const Fn& fn) {
+  KernelTiming best;
+  std::vector<KernelTiming> samples;
+  for (int sample = 0; sample < 5; ++sample) {
+    const auto t0 = std::chrono::steady_clock::now();
+#if defined(__x86_64__)
+    const uint64_t c0 = __rdtsc();
+#endif
+    for (int rep = 0; rep < reps; ++rep) fn();
+#if defined(__x86_64__)
+    const uint64_t c1 = __rdtsc();
+#endif
+    KernelTiming t;
+    t.ns = std::chrono::duration<double, std::nano>(
+               std::chrono::steady_clock::now() - t0)
+               .count() /
+           reps;
+#if defined(__x86_64__)
+    t.cycles = static_cast<double>(c1 - c0) / reps;
+#endif
+    samples.push_back(t);
+  }
+  std::sort(samples.begin(), samples.end(),
+            [](const KernelTiming& a, const KernelTiming& b) {
+              return a.ns < b.ns;
+            });
+  best = samples[samples.size() / 2];
+  return best;
+}
+
+std::vector<SimdRecord> SectionSimdComparison() {
+  PrintBanner("SIMD",
+              "scalar reference vs dispatched kernels (path: " +
+                  std::string(simd::DispatchPathName(simd::ActivePath())) +
+                  ")");
+  PrintRow({"kernel", "n", "scalar(ns)", "simd(ns)", "speedup", "B/cycle"});
+  PrintRule(6);
+  std::vector<SimdRecord> records;
+  Rng rng(3);
+
+  // FWHT (int64): subtract the per-rep memcpy that restores the input so
+  // only the transform is timed. Bytes/cycle counts every butterfly pass
+  // touching every element (n·8·log₂n streamed bytes per call).
+  for (const int log_n : {8, 10, 12, 14, 16}) {
+    const size_t n = size_t{1} << log_n;
+    std::vector<int64_t> input(n);
+    for (auto& v : input) v = rng.UniformInRange(-100, 100);
+    std::vector<int64_t> work(n);
+    const int reps = std::max(1, 1 << (20 - log_n));
+    const auto copy_only = TimeKernel(reps, [&] {
+      std::memcpy(work.data(), input.data(), n * sizeof(int64_t));
+      benchmark::DoNotOptimize(work.data());
+    });
+    const auto scalar = TimeKernel(reps, [&] {
+      std::memcpy(work.data(), input.data(), n * sizeof(int64_t));
+      simd::scalar::Fwht(work.data(), n, 1);
+      benchmark::DoNotOptimize(work.data());
+    });
+    const auto dispatched = TimeKernel(reps, [&] {
+      std::memcpy(work.data(), input.data(), n * sizeof(int64_t));
+      simd::Fwht(work.data(), n, 1);
+      benchmark::DoNotOptimize(work.data());
+    });
+    SimdRecord record;
+    record.kernel = "fwht_i64";
+    record.n = static_cast<int64_t>(n);
+    record.scalar_ns = std::max(0.0, scalar.ns - copy_only.ns);
+    record.simd_ns = std::max(0.0, dispatched.ns - copy_only.ns);
+    const double cycles = dispatched.cycles - copy_only.cycles;
+    if (cycles > 0) {
+      record.bytes_per_cycle =
+          static_cast<double>(n) * 8.0 * log_n / cycles;
+    }
+    records.push_back(record);
+  }
+
+  // XOR+popcount and popcount over packed words (the SignVector inner
+  // product core). Bytes/cycle counts every input byte read.
+  for (const int log_words : {6, 10, 14}) {
+    const size_t words = size_t{1} << log_words;
+    std::vector<uint64_t> a(words), b(words);
+    for (auto& w : a) w = rng.Next();
+    for (auto& w : b) w = rng.Next();
+    const int reps = std::max(1, 1 << (22 - log_words));
+    int64_t sink = 0;
+    const auto scalar_xor = TimeKernel(reps, [&] {
+      sink += simd::scalar::XorPopcount(a.data(), b.data(), words);
+      benchmark::DoNotOptimize(sink);
+    });
+    const auto simd_xor = TimeKernel(reps, [&] {
+      sink += simd::XorPopcount(a.data(), b.data(), words);
+      benchmark::DoNotOptimize(sink);
+    });
+    SimdRecord xor_record;
+    xor_record.kernel = "xor_popcount";
+    xor_record.n = static_cast<int64_t>(words);
+    xor_record.scalar_ns = scalar_xor.ns;
+    xor_record.simd_ns = simd_xor.ns;
+    if (simd_xor.cycles > 0) {
+      xor_record.bytes_per_cycle =
+          static_cast<double>(words) * 16.0 / simd_xor.cycles;
+    }
+    records.push_back(xor_record);
+
+    const auto scalar_pop = TimeKernel(reps, [&] {
+      sink += simd::scalar::Popcount(a.data(), words);
+      benchmark::DoNotOptimize(sink);
+    });
+    const auto simd_pop = TimeKernel(reps, [&] {
+      sink += simd::Popcount(a.data(), words);
+      benchmark::DoNotOptimize(sink);
+    });
+    SimdRecord pop_record;
+    pop_record.kernel = "popcount";
+    pop_record.n = static_cast<int64_t>(words);
+    pop_record.scalar_ns = scalar_pop.ns;
+    pop_record.simd_ns = simd_pop.ns;
+    if (simd_pop.cycles > 0) {
+      pop_record.bytes_per_cycle =
+          static_cast<double>(words) * 8.0 / simd_pop.cycles;
+    }
+    records.push_back(pop_record);
+  }
+
+  for (const SimdRecord& r : records) {
+    PrintRow({r.kernel, I(r.n), F(r.scalar_ns, 1), F(r.simd_ns, 1),
+              F(r.speedup(), 2), F(r.bytes_per_cycle, 2)});
+  }
+  std::printf(
+      "(scalar = the no-autovectorize reference the dispatch layer falls\n"
+      " back to; identical bits are asserted by util_simd_test, this table\n"
+      " only measures speed)\n");
+  return records;
+}
+
+JsonValue SimdJson(const std::vector<SimdRecord>& records) {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("dispatch_path",
+           std::string(simd::DispatchPathName(simd::ActivePath())));
+  JsonValue rows = JsonValue::MakeArray();
+  for (const SimdRecord& r : records) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("kernel", std::string(r.kernel));
+    entry.Set("n", r.n);
+    entry.Set("scalar_ns", r.scalar_ns);
+    entry.Set("simd_ns", r.simd_ns);
+    entry.Set("speedup", r.speedup());
+    entry.Set("bytes_per_cycle", r.bytes_per_cycle);
+    rows.Append(std::move(entry));
+  }
+  root.Set("rows", std::move(rows));
+  return root;
+}
+
 void BM_FwhtTransform(benchmark::State& state) {
   const int log_size = static_cast<int>(state.range(0));
   Rng rng(1);
@@ -128,9 +313,13 @@ BENCHMARK(BM_HadamardEntry);
 int main(int argc, char** argv) {
   const std::string out_path = dcs::bench::ConsumeOutFlag(
       &argc, argv, "BENCH_hadamard.json");
+  const std::string simd_out_path = dcs::bench::ConsumeStringFlag(
+      &argc, argv, "--out-simd", "BENCH_simd.json");
   dcs::VerificationTable();
+  const auto simd_records = dcs::SectionSimdComparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  dcs::bench::WriteBenchJson(simd_out_path, dcs::SimdJson(simd_records));
   dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
   return 0;
 }

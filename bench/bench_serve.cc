@@ -13,8 +13,10 @@
 // Results are printed as tables and written to BENCH_serve.json (override
 // with --out FILE). --threads N caps the thread sweep.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -95,13 +97,19 @@ std::vector<CacheRecord> SectionWarmVsCold() {
     record.ms_cold = MsSince(t0);
 
     warm_service.AnswerBatch(warm_batch);  // prime the cache
+    // Best-of-3 passes of 5 reps: the perf gate tracks ms_warm, and a
+    // single pass on a shared core is exposed to scheduler steal.
     constexpr int kWarmReps = 5;
+    constexpr int kPasses = 3;
     std::vector<double> warm;
-    const auto t1 = std::chrono::steady_clock::now();
-    for (int rep = 0; rep < kWarmReps; ++rep) {
-      warm = warm_service.AnswerBatch(warm_batch);
+    record.ms_warm = std::numeric_limits<double>::infinity();
+    for (int pass = 0; pass < kPasses; ++pass) {
+      const auto t1 = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < kWarmReps; ++rep) {
+        warm = warm_service.AnswerBatch(warm_batch);
+      }
+      record.ms_warm = std::min(record.ms_warm, MsSince(t1) / kWarmReps);
     }
-    record.ms_warm = MsSince(t1) / kWarmReps;
     record.identical = warm == cold;
 
     PrintRow({I(record.n), I(record.edges), I(record.batch),
@@ -150,10 +158,15 @@ DecodeRecord SectionForEachDecode() {
   const std::vector<int8_t> cold =
       DecodeForEachBits(decoder, qs, service, object);
   record.ms_cold = MsSince(t0);
-  const auto t1 = std::chrono::steady_clock::now();
-  const std::vector<int8_t> warm =
-      DecodeForEachBits(decoder, qs, service, object);
-  record.ms_warm = MsSince(t1);
+  // Best-of-3 for gate stability; warm decodes are cache hits, so every
+  // pass returns the same bits.
+  std::vector<int8_t> warm;
+  record.ms_warm = std::numeric_limits<double>::infinity();
+  for (int pass = 0; pass < 3; ++pass) {
+    const auto t1 = std::chrono::steady_clock::now();
+    warm = DecodeForEachBits(decoder, qs, service, object);
+    record.ms_warm = std::min(record.ms_warm, MsSince(t1));
+  }
 
   // Reference: the per-bit incremental-session path.
   const CutOracle oracle = ExactCutOracle(encoding.graph);
@@ -174,11 +187,15 @@ DecodeRecord SectionForEachDecode() {
 struct ThreadRecord {
   int threads = 0;
   double ms = 0;
+  bool ran = false;                 // false ⇒ skipped (oversubscribed)
+  bool answers_identical = false;   // vs the threads=1 baseline
 };
 
 struct ScalingResult {
   int batch = 0;
+  int hardware_concurrency = 0;
   bool identical = true;
+  bool truncated = false;  // some sweep points exceeded the hardware
   std::vector<ThreadRecord> records;
 };
 
@@ -194,12 +211,25 @@ ScalingResult SectionThreadScaling(int max_threads) {
   };
   ScalingResult result;
   result.batch = 4096;
+  result.hardware_concurrency =
+      static_cast<int>(std::thread::hardware_concurrency());
+  if (result.hardware_concurrency < 1) result.hardware_concurrency = 1;
 
-  PrintRow({"threads", "time(ms)", "speedup"});
-  PrintRule(3);
+  PrintRow({"threads", "time(ms)", "speedup", "identical"});
+  PrintRule(4);
   std::vector<double> serial_answers;
   double ms_serial = 0;
   for (int threads = 1; threads <= max_threads; threads *= 2) {
+    if (threads > result.hardware_concurrency) {
+      // Oversubscribed points measure scheduler noise, not scaling; skip
+      // them rather than record numbers a perf gate would trust.
+      ThreadRecord skipped;
+      skipped.threads = threads;
+      result.truncated = true;
+      result.records.push_back(skipped);
+      PrintRow({I(threads), "skipped", "-", "-"});
+      continue;
+    }
     CutQueryServiceOptions options;
     options.num_threads = threads;
     CutQueryService service(options);
@@ -220,18 +250,28 @@ ScalingResult SectionThreadScaling(int max_threads) {
     ThreadRecord record;
     record.threads = threads;
     record.ms = MsSince(t0);
+    record.ran = true;
     if (threads == 1) {
       ms_serial = record.ms;
       serial_answers = answers;
-    } else if (answers != serial_answers) {
-      result.identical = false;
+      record.answers_identical = true;
+    } else {
+      record.answers_identical = answers == serial_answers;
+      if (!record.answers_identical) result.identical = false;
     }
     PrintRow({I(threads), F(record.ms, 1),
-              F(record.ms > 0 ? ms_serial / record.ms : 0, 2)});
+              F(record.ms > 0 ? ms_serial / record.ms : 0, 2),
+              record.answers_identical ? "yes" : "NO"});
     result.records.push_back(record);
   }
   std::printf("answers identical across thread counts: %s\n",
               result.identical ? "yes" : "NO (BUG)");
+  if (result.truncated) {
+    std::printf(
+        "sweep truncated: hardware_concurrency=%d < max requested threads "
+        "(oversubscribed points skipped)\n",
+        result.hardware_concurrency);
+  }
   return result;
 }
 
@@ -265,11 +305,15 @@ void WriteJson(const std::string& path,
   JsonValue scaling_json = JsonValue::MakeObject();
   scaling_json.Set("batch", scaling.batch);
   scaling_json.Set("answers_identical", scaling.identical);
+  scaling_json.Set("hardware_concurrency", scaling.hardware_concurrency);
+  scaling_json.Set("truncated", scaling.truncated);
   JsonValue sweep = JsonValue::MakeArray();
   for (const ThreadRecord& r : scaling.records) {
     JsonValue entry = JsonValue::MakeObject();
     entry.Set("threads", r.threads);
     entry.Set("ms", r.ms);
+    entry.Set("ran", r.ran);
+    entry.Set("answers_identical", r.answers_identical);
     sweep.Append(std::move(entry));
   }
   scaling_json.Set("sweep", std::move(sweep));
@@ -282,8 +326,11 @@ void WriteJson(const std::string& path,
 int main(int argc, char** argv) {
   int threads = dcs::bench::ConsumeThreadsFlag(&argc, argv);
   if (threads == 1) {
+    // Default sweep ceiling: what the machine actually has, capped at 8.
+    // On a single-core machine that is 1 — the section refuses to time
+    // oversubscribed points, so requesting more would only print skips.
     const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw > 1 ? static_cast<int>(hw > 8 ? 8 : hw) : 2;
+    threads = hw > 8 ? 8 : (hw < 1 ? 1 : static_cast<int>(hw));
   }
   const std::string out_path =
       dcs::bench::ConsumeOutFlag(&argc, argv, "BENCH_serve.json");

@@ -23,25 +23,34 @@
 
 namespace dcs::bench {
 
-// Parses and strips "--out FILE" / "--out=FILE" from argv so the remaining
-// arguments can go straight to benchmark::Initialize (same contract as
-// ConsumeThreadsFlag in table.h). Returns `fallback` when absent.
-inline std::string ConsumeOutFlag(int* argc, char** argv,
-                                  std::string fallback) {
-  std::string path = std::move(fallback);
+// Parses and strips "<flag> VALUE" / "<flag>=VALUE" from argv so the
+// remaining arguments can go straight to benchmark::Initialize (same
+// contract as ConsumeThreadsFlag in table.h). Returns `fallback` when the
+// flag is absent.
+inline std::string ConsumeStringFlag(int* argc, char** argv,
+                                     const std::string& flag,
+                                     std::string fallback) {
+  std::string value = std::move(fallback);
+  const std::string prefix = flag + "=";
   int write = 1;
   for (int read = 1; read < *argc; ++read) {
     const std::string arg = argv[read];
-    if (arg == "--out" && read + 1 < *argc) {
-      path = argv[++read];
-    } else if (arg.rfind("--out=", 0) == 0) {
-      path = arg.substr(6);
+    if (arg == flag && read + 1 < *argc) {
+      value = argv[++read];
+    } else if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
     } else {
       argv[write++] = argv[read];
     }
   }
   *argc = write;
-  return path;
+  return value;
+}
+
+// "--out FILE": where the bench writes its BENCH_<name>.json.
+inline std::string ConsumeOutFlag(int* argc, char** argv,
+                                  std::string fallback) {
+  return ConsumeStringFlag(argc, argv, "--out", std::move(fallback));
 }
 
 inline JsonValue MachineBlock() {

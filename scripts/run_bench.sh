@@ -1,24 +1,63 @@
 #!/usr/bin/env bash
-# Builds the cut-query and serving-layer benchmarks in Release mode
-# (-O3 -march=native) and runs them, leaving BENCH_cutquery.json and
-# BENCH_serve.json in the repository root.
+# Builds the cut-query, serving-layer, and Hadamard/SIMD benchmarks in
+# Release mode (-O3 -march=native), runs them into a scratch directory,
+# gates the fresh numbers against the committed BENCH_*.json baselines
+# with scripts/check_perf_regression.py (>15% slowdown on a tracked
+# timing fails), and only then copies the fresh JSON into the repository
+# root as the new baselines.
 #
-# Usage: scripts/run_bench.sh [--threads N]
-#   --threads N   cap for the thread-scaling sweeps (default: up to 8 or
-#                 the hardware concurrency, whichever is smaller)
-# Extra arguments are passed through to both benchmark binaries, so
-# per-binary --out overrides are better done by invoking the binary
-# directly from build-bench/bench/.
+# Usage: scripts/run_bench.sh [--no-gate] [--threads N]
+#   --no-gate     skip the regression gate (also: DCS_PERF_GATE=off)
+#   --threads N   cap for the thread-scaling sweeps (default: hardware
+#                 concurrency, at most 8)
+# Extra arguments are passed through to all three benchmark binaries.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
+out_dir="${build_dir}/bench-out"
+
+gate=1
+if [[ "${DCS_PERF_GATE:-on}" == "off" ]]; then
+  gate=0
+fi
+declare -a passthrough=()
+for arg in "$@"; do
+  if [[ "${arg}" == "--no-gate" ]]; then
+    gate=0
+  else
+    passthrough+=("${arg}")
+  fi
+done
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS="-O3 -march=native"
-cmake --build "${build_dir}" --target bench_cutquery bench_serve -j"$(nproc)"
+cmake --build "${build_dir}" \
+  --target bench_cutquery bench_serve bench_hadamard -j"$(nproc)"
 
-cd "${repo_root}"
-"${build_dir}/bench/bench_cutquery" "$@"
-"${build_dir}/bench/bench_serve" "$@"
+mkdir -p "${out_dir}"
+"${build_dir}/bench/bench_cutquery" \
+  --out "${out_dir}/BENCH_cutquery.json" "${passthrough[@]+"${passthrough[@]}"}"
+"${build_dir}/bench/bench_serve" \
+  --out "${out_dir}/BENCH_serve.json" "${passthrough[@]+"${passthrough[@]}"}"
+"${build_dir}/bench/bench_hadamard" \
+  --out "${out_dir}/BENCH_hadamard.json" \
+  --out-simd "${out_dir}/BENCH_simd.json" \
+  "${passthrough[@]+"${passthrough[@]}"}"
+
+if [[ "${gate}" -eq 1 ]]; then
+  echo
+  echo "=== perf-regression gate (baseline: repo root) ==="
+  python3 "${repo_root}/scripts/check_perf_regression.py" \
+    --baseline "${repo_root}" --fresh "${out_dir}"
+else
+  echo "perf gate disabled (--no-gate or DCS_PERF_GATE=off)"
+fi
+
+# Gate passed (or was disabled): promote the fresh numbers to baselines.
+cp "${out_dir}/BENCH_cutquery.json" \
+   "${out_dir}/BENCH_serve.json" \
+   "${out_dir}/BENCH_simd.json" \
+   "${repo_root}/"
+echo "baselines updated in ${repo_root}"

@@ -50,6 +50,16 @@ run_one() {
     # attributed pass under the checker.
     ctest --test-dir "${build_dir}" --output-on-failure \
       -R '^(serve_test|tsan_stress_test)$'
+    # The SIMD dispatch layer has two code paths per kernel (vectorized
+    # and forced-scalar); run the kernels' consumers under the checker on
+    # both so neither path escapes sanitizer coverage.
+    local force_scalar
+    for force_scalar in 0 1; do
+      echo "--- ${kind}: DCS_FORCE_SCALAR=${force_scalar} ---"
+      DCS_FORCE_SCALAR="${force_scalar}" ctest --test-dir "${build_dir}" \
+        --output-on-failure \
+        -R '^(util_simd_test|util_hadamard_test|util_sign_vector_test|serve_test|lowerbound_foreach_test)$'
+    done
   fi
   if [[ "${kind}" == "address" ]]; then
     # The chaos sweep drives the lossy-channel retransmission paths end to

@@ -77,6 +77,11 @@ double DirectedGraph::CutWeight(const VertexSet& side,
   if (volume == 0) return 0;
   if (volume >= num_edges()) return CutWeight(side);
   EnsureAdjacency();
+  // The CSR walk chases edge ids into the edge array — dependent loads the
+  // hardware prefetcher cannot follow. Prefetch a few ids ahead (within the
+  // vertex's own range, so no stale id is dereferenced) to overlap the
+  // misses; the accumulation order is untouched.
+  constexpr int64_t kPrefetchDistance = 8;
   double total = 0;
   if (out_volume <= in_volume) {
     for (int v = 0; v < num_vertices_; ++v) {
@@ -84,6 +89,10 @@ double DirectedGraph::CutWeight(const VertexSet& side,
       const int64_t begin = out_offsets_[static_cast<size_t>(v)];
       const int64_t end = out_offsets_[static_cast<size_t>(v) + 1];
       for (int64_t k = begin; k < end; ++k) {
+        if (k + kPrefetchDistance < end) {
+          __builtin_prefetch(&edges_[static_cast<size_t>(
+              out_edge_ids_[static_cast<size_t>(k + kPrefetchDistance)])]);
+        }
         const Edge& e = edges_[static_cast<size_t>(out_edge_ids_[k])];
         if (!side[static_cast<size_t>(e.dst)]) total += e.weight;
       }
@@ -94,6 +103,10 @@ double DirectedGraph::CutWeight(const VertexSet& side,
       const int64_t begin = in_offsets_[static_cast<size_t>(v)];
       const int64_t end = in_offsets_[static_cast<size_t>(v) + 1];
       for (int64_t k = begin; k < end; ++k) {
+        if (k + kPrefetchDistance < end) {
+          __builtin_prefetch(&edges_[static_cast<size_t>(
+              in_edge_ids_[static_cast<size_t>(k + kPrefetchDistance)])]);
+        }
         const Edge& e = edges_[static_cast<size_t>(in_edge_ids_[k])];
         if (side[static_cast<size_t>(e.src)]) total += e.weight;
       }

@@ -29,9 +29,13 @@ class ServedCutQuerySession final : public CutQuerySession {
         owned_rng_(std::move(owned_rng)),
         owned_oracle_(std::move(owned_oracle)),
         underlying_(std::move(underlying)),
-        packed_(PackSide(side)),
-        hash_(HashSide(side)),
-        num_vertices_(static_cast<VertexId>(side.size())) {}
+        hash_(PackSideInto(side, packed_)),
+        num_vertices_(static_cast<VertexId>(side.size())) {
+    // Typical sessions flip a handful of vertices between queries; one
+    // up-front reservation keeps the pending-flip replay queue from
+    // reallocating in the Flip hot path.
+    pending_.reserve(64);
+  }
 
   ~ServedCutQuerySession() override {
     DCS_METRIC_ADD("serve.query.logical", logical_queries_);
@@ -165,15 +169,16 @@ std::vector<double> CutQueryService::AnswerBatch(
     // trial runners, so the answers are independent of num_threads.
     std::deque<Rng> shard_rngs;
     std::map<ObjectId, CutOracle> shard_oracles;
+    // Hoisted per-shard scratch: PackSideInto reuses the word storage, so
+    // after the first query the pack step performs zero allocations.
+    PackedSide packed;
     for (int64_t i = begin; i < end; ++i) {
       const Query& query = batch[static_cast<size_t>(i)];
       const ObjectEntry& entry = EntryFor(query.object);
       const bool cacheable = entry.cacheable && cache_ != nullptr;
       uint64_t side_hash = 0;
-      PackedSide packed;
       if (cacheable) {
-        side_hash = HashSide(query.side);
-        packed = PackSide(query.side);
+        side_hash = PackSideInto(query.side, packed);
         if (const auto hit =
                 cache_->Lookup(query.object, side_hash, packed)) {
           answers[static_cast<size_t>(i)] = *hit;
@@ -205,8 +210,13 @@ std::vector<double> CutQueryService::AnswerBatch(
   if (pool_ != nullptr) {
     // The ThreadPool runs one loop at a time; concurrent AnswerBatch
     // callers queue here rather than corrupt the pool's epoch state.
+    // Batch-granular handoff: hand each worker a run of shards per claim
+    // (keeping ~4 claims per thread for load balance) so cheap shards do
+    // not turn the shared counter into a coherence hot spot.
+    const int64_t grain = std::max<int64_t>(
+        1, num_shards / (static_cast<int64_t>(options_.num_threads) * 4));
     std::lock_guard<std::mutex> lock(pool_mutex_);
-    pool_->ParallelFor(num_shards, serve_shard);
+    pool_->ParallelFor(num_shards, serve_shard, grain);
   } else {
     for (int64_t shard = 0; shard < num_shards; ++shard) serve_shard(shard);
   }

@@ -26,11 +26,20 @@ uint64_t HashSide(const VertexSet& side) {
 
 PackedSide PackSide(const VertexSet& side) {
   PackedSide packed;
-  packed.words.assign((side.size() + 63) / 64, 0);
-  for (size_t v = 0; v < side.size(); ++v) {
-    if (side[v]) packed.words[v / 64] |= uint64_t{1} << (v % 64);
-  }
+  PackSideInto(side, packed);
   return packed;
+}
+
+uint64_t PackSideInto(const VertexSet& side, PackedSide& packed) {
+  packed.words.assign((side.size() + 63) / 64, 0);
+  uint64_t hash = 0;
+  for (size_t v = 0; v < side.size(); ++v) {
+    if (side[v]) {
+      packed.words[v / 64] |= uint64_t{1} << (v % 64);
+      hash ^= HashVertex(static_cast<VertexId>(v));
+    }
+  }
+  return hash;
 }
 
 CutQueryCache::CutQueryCache(const Options& options) {

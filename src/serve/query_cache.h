@@ -65,6 +65,13 @@ uint64_t HashSide(const VertexSet& side);
 // Normalizes a VertexSet into its packed canonical form.
 PackedSide PackSide(const VertexSet& side);
 
+// Single-pass pack + hash: fills `packed` with the canonical form of `side`
+// (reusing its existing word storage when the size matches) and returns
+// HashSide(side). The serving fast path calls this once per query into
+// per-shard scratch instead of allocating a fresh PackedSide and walking
+// the side twice.
+uint64_t PackSideInto(const VertexSet& side, PackedSide& packed);
+
 // Combines an object id into a side hash to form the cache key hash. The
 // finalizer decorrelates objects: without it, the same side under two
 // objects would land in the same stripe and bucket, making cross-object
@@ -118,7 +125,12 @@ class CutQueryCache {
   // front = most recently used.
   using LruList = std::list<Entry>;
 
-  struct Stripe {
+  // alignas(64): stripes are the contention points of the whole serving
+  // layer; starting each on its own cache line keeps one stripe's mutex
+  // traffic from invalidating its neighbors' lines (the stripes are
+  // individually heap-allocated, but allocators routinely pack small
+  // objects 16-byte apart).
+  struct alignas(64) Stripe {
     mutable std::mutex mutex;
     LruList lru;
     std::unordered_multimap<uint64_t, LruList::iterator> index;

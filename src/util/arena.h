@@ -1,0 +1,146 @@
+// Bump-pointer scratch arenas for per-session / per-shard work buffers.
+//
+// The query fast path used to pay one heap allocation per decoded bit
+// (Hadamard factor unpacking) and one per served query (side packing).
+// A ScratchArena turns those into pointer bumps over memory that is
+// allocated once and reused: Alloc hands out 64-byte-aligned uninitialized
+// spans of trivial types; a Scope rewinds the cursor on exit so nested hot
+// loops reuse the same bytes on every iteration. Blocks are never freed
+// until the arena dies — rewinding only moves the cursor, so steady-state
+// operation performs zero allocations.
+//
+// Not thread-safe; use one arena per thread. ThreadLocalScratchArena()
+// hands out a per-thread instance for call sites without a natural owner
+// (the for-each decoder runs under trial parallelism, so a shared member
+// arena would race).
+
+#ifndef DCS_UTIL_ARENA_H_
+#define DCS_UTIL_ARENA_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dcs {
+
+class ScratchArena {
+ public:
+  explicit ScratchArena(size_t initial_capacity = size_t{1} << 16) {
+    AppendBlock(initial_capacity);
+  }
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  // An uninitialized span of `count` elements, aligned to 64 bytes (cache
+  // line / vector-lane friendly). Only trivial types: the arena never runs
+  // constructors or destructors.
+  template <typename T>
+  std::span<T> Alloc(size_t count) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "ScratchArena only holds trivial types");
+    if (count == 0) return {};
+    return {reinterpret_cast<T*>(AllocBytes(count * sizeof(T))), count};
+  }
+
+  // Cursor snapshot / rewind. Rewinding invalidates every span handed out
+  // after the corresponding Mark; the memory stays owned by the arena and
+  // is reused by later Allocs.
+  struct Mark {
+    size_t block = 0;
+    size_t offset = 0;
+  };
+
+  Mark CurrentMark() const { return Mark{current_block_, offset_}; }
+
+  void Rewind(Mark mark) {
+    DCS_DCHECK(mark.block < blocks_.size());
+    current_block_ = mark.block;
+    offset_ = mark.offset;
+  }
+
+  void Reset() { Rewind(Mark{}); }
+
+  // RAII rewind for hot loops: take a Scope at the top of the iteration,
+  // Alloc freely, and the cursor snaps back when the Scope dies.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena& arena)
+        : arena_(arena), mark_(arena.CurrentMark()) {}
+    ~Scope() { arena_.Rewind(mark_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ScratchArena& arena_;
+    Mark mark_;
+  };
+
+  // Total bytes owned (all blocks, regardless of cursor position).
+  size_t capacity_bytes() const {
+    size_t total = 0;
+    for (const Block& block : blocks_) total += block.size;
+    return total;
+  }
+
+ private:
+  static constexpr size_t kAlignment = 64;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> storage;  // over-allocated for alignment
+    std::byte* aligned = nullptr;
+    size_t size = 0;
+  };
+
+  static size_t AlignUp(size_t value) {
+    return (value + kAlignment - 1) & ~(kAlignment - 1);
+  }
+
+  void AppendBlock(size_t min_size) {
+    Block block;
+    block.size = AlignUp(min_size < kAlignment ? kAlignment : min_size);
+    block.storage = std::make_unique<std::byte[]>(block.size + kAlignment);
+    const auto raw = reinterpret_cast<uintptr_t>(block.storage.get());
+    block.aligned = block.storage.get() +
+                    (AlignUp(raw) - raw);
+    blocks_.push_back(std::move(block));
+  }
+
+  std::byte* AllocBytes(size_t bytes) {
+    const size_t need = AlignUp(bytes);
+    // Advance to the next block that fits, growing geometrically when none
+    // exists yet (existing smaller blocks are skipped, not freed — a later
+    // Rewind may still point into them).
+    while (blocks_[current_block_].size - offset_ < need) {
+      if (current_block_ + 1 == blocks_.size()) {
+        AppendBlock(std::max(need, blocks_.back().size * 2));
+      }
+      ++current_block_;
+      offset_ = 0;
+    }
+    std::byte* out = blocks_[current_block_].aligned + offset_;
+    offset_ += need;
+    return out;
+  }
+
+  std::vector<Block> blocks_;
+  size_t current_block_ = 0;
+  size_t offset_ = 0;
+};
+
+// Per-thread arena for call sites without a natural per-object owner.
+inline ScratchArena& ThreadLocalScratchArena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
+}  // namespace dcs
+
+#endif  // DCS_UTIL_ARENA_H_

@@ -1,6 +1,9 @@
 #include "util/hadamard.h"
 
+#include <algorithm>
 #include <bit>
+
+#include "util/simd.h"
 
 namespace dcs {
 
@@ -27,42 +30,20 @@ SignVector HadamardMatrix::PackedRow(int row) const {
   return SignVector::HadamardRow(row, log_size_);
 }
 
-namespace {
-
-template <typename T>
-void FwhtImpl(T* data, size_t n, size_t stride) {
-  DCS_CHECK(n > 0 && (n & (n - 1)) == 0);
-  DCS_CHECK_GE(stride, size_t{1});
-  for (size_t len = 1; len < n; len <<= 1) {
-    for (size_t block = 0; block < n; block += len << 1) {
-      for (size_t i = block; i < block + len; ++i) {
-        T& lo = data[i * stride];
-        T& hi = data[(i + len) * stride];
-        const T a = lo;
-        const T b = hi;
-        lo = a + b;
-        hi = a - b;
-      }
-    }
-  }
-}
-
-}  // namespace
-
 void FastWalshHadamardTransform(std::vector<int64_t>& values) {
-  FwhtImpl(values.data(), values.size(), 1);
+  simd::Fwht(values.data(), values.size(), 1);
 }
 
 void FastWalshHadamardTransform(std::vector<double>& values) {
-  FwhtImpl(values.data(), values.size(), 1);
+  simd::Fwht(values.data(), values.size(), 1);
 }
 
 void FastWalshHadamardTransform(int64_t* data, size_t n, size_t stride) {
-  FwhtImpl(data, n, stride);
+  simd::Fwht(data, n, stride);
 }
 
 void FastWalshHadamardTransform(double* data, size_t n, size_t stride) {
-  FwhtImpl(data, n, stride);
+  simd::Fwht(data, n, stride);
 }
 
 TensorSignMatrix::TensorSignMatrix(int log_size)
@@ -99,6 +80,15 @@ std::vector<int8_t> TensorSignMatrix::RightFactor(int64_t t) const {
   return hadamard_.Row(RowFactors(t).second);
 }
 
+void TensorSignMatrix::LeftFactorInto(int64_t t, std::span<int8_t> out) const {
+  HadamardRowSignsInto(RowFactors(t).first, log_size_, out);
+}
+
+void TensorSignMatrix::RightFactorInto(int64_t t,
+                                       std::span<int8_t> out) const {
+  HadamardRowSignsInto(RowFactors(t).second, log_size_, out);
+}
+
 SignVector TensorSignMatrix::LeftFactorPacked(int64_t t) const {
   return hadamard_.PackedRow(RowFactors(t).first);
 }
@@ -129,25 +119,28 @@ std::vector<int64_t> TensorSignMatrix::EncodeSigns(
     x[static_cast<size_t>(i) * n + static_cast<size_t>(j)] =
         z[static_cast<size_t>(t)];
   }
-  // Transform along j for each fixed i (contiguous rows).
+  // Transform along j for each fixed i (contiguous rows, SIMD-dispatched).
   for (size_t i = 0; i < n; ++i) {
-    FastWalshHadamardTransform(x.data() + i * n, n, 1);
+    simd::Fwht(x.data() + i * n, n, 1);
   }
   // Transform along i. Rather than running one stride-N FWHT per column
   // (N passes that each touch one element per cache line), run the
   // butterfly stages over whole rows: each (row a, row a+len) pair is
-  // combined element-wise in a single contiguous sweep, so every stage
-  // streams the buffer once.
-  for (size_t len = 1; len < n; len <<= 1) {
-    for (size_t block = 0; block < n; block += len << 1) {
-      for (size_t a = block; a < block + len; ++a) {
-        int64_t* lo = x.data() + a * n;
-        int64_t* hi = x.data() + (a + len) * n;
-        for (size_t col = 0; col < n; ++col) {
-          const int64_t u = lo[col];
-          const int64_t v = hi[col];
-          lo[col] = u + v;
-          hi[col] = u - v;
+  // combined element-wise in a contiguous SIMD sweep. Column tiling keeps
+  // the working set of all log N stages inside L2 when the buffer is
+  // larger: each tile of columns runs every stage while resident (the
+  // stages act per column, so tiling reorders only operations on disjoint
+  // elements — results are bit-identical to the untiled sweep).
+  constexpr size_t kL2TileBytes = size_t{1} << 18;  // 256 KiB
+  const size_t tile =
+      std::max<size_t>(8, std::min(n, kL2TileBytes / (n * sizeof(int64_t))));
+  for (size_t col0 = 0; col0 < n; col0 += tile) {
+    const size_t width = std::min(tile, n - col0);
+    for (size_t len = 1; len < n; len <<= 1) {
+      for (size_t block = 0; block < n; block += len << 1) {
+        for (size_t a = block; a < block + len; ++a) {
+          simd::ButterflyRows(x.data() + a * n + col0,
+                              x.data() + (a + len) * n + col0, width);
         }
       }
     }

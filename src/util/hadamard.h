@@ -21,6 +21,7 @@
 #define DCS_UTIL_HADAMARD_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/check.h"
@@ -93,6 +94,12 @@ class TensorSignMatrix {
   std::vector<int8_t> LeftFactor(int64_t t) const;
   // The right factor v of M_t = u ⊗ v, as a ±1 vector of length N.
   std::vector<int8_t> RightFactor(int64_t t) const;
+
+  // Allocation-free variants writing into caller scratch of length exactly
+  // N — the for-each decoder fills arena spans with these on every decoded
+  // bit instead of materializing two fresh vectors per bit.
+  void LeftFactorInto(int64_t t, std::span<int8_t> out) const;
+  void RightFactorInto(int64_t t, std::span<int8_t> out) const;
 
   // Bit-packed factors (the fast path used by the decoders).
   SignVector LeftFactorPacked(int64_t t) const;

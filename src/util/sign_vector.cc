@@ -1,8 +1,55 @@
 #include "util/sign_vector.h"
 
+#include <algorithm>
 #include <bit>
 
+#include "util/simd.h"
+
 namespace dcs {
+namespace {
+
+// The packed word covering columns [word_index·64, word_index·64 + 64) of
+// Hadamard row `row` (bit = 1 ⇔ sign = −1). Split col = hi·64 + lo:
+// parity(popcount(row AND col)) = parity(row_lo AND lo) XOR
+// parity(row_hi AND hi), so the whole word is a 6-bit base pattern,
+// complemented when the high parts have odd overlap — O(1) per word
+// instead of 64 per-column popcounts.
+inline uint64_t HadamardRowWord(unsigned row, size_t word_index,
+                                uint64_t base_pattern) {
+  const unsigned row_hi = row >> 6;
+  const unsigned hi = static_cast<unsigned>(word_index);
+  return (std::popcount(row_hi & hi) & 1) ? ~base_pattern : base_pattern;
+}
+
+inline uint64_t HadamardBasePattern(unsigned row) {
+  const unsigned row_lo = row & 63u;
+  uint64_t base = 0;
+  for (unsigned lo = 0; lo < 64; ++lo) {
+    if (std::popcount(row_lo & lo) & 1) base |= uint64_t{1} << lo;
+  }
+  return base;
+}
+
+}  // namespace
+
+void HadamardRowSignsInto(int row, int log_size, std::span<int8_t> out) {
+  DCS_CHECK_GE(log_size, 0);
+  DCS_CHECK_LE(log_size, 30);
+  const int64_t n = int64_t{1} << log_size;
+  DCS_CHECK(row >= 0 && row < n);
+  DCS_CHECK_EQ(static_cast<int64_t>(out.size()), n);
+  const unsigned urow = static_cast<unsigned>(row);
+  const uint64_t base = HadamardBasePattern(urow);
+  int64_t col = 0;
+  for (size_t w = 0; col < n; ++w) {
+    const uint64_t word = HadamardRowWord(urow, w, base);
+    const int64_t limit = std::min<int64_t>(n, col + 64);
+    for (; col < limit; ++col) {
+      out[static_cast<size_t>(col)] =
+          (word >> (col & 63)) & 1 ? int8_t{-1} : int8_t{1};
+    }
+  }
+}
 
 SignVector::SignVector(int64_t size) : size_(size) {
   DCS_CHECK_GE(size, 0);
@@ -26,13 +73,15 @@ SignVector SignVector::HadamardRow(int row, int log_size) {
   const int64_t n = int64_t{1} << log_size;
   DCS_CHECK(row >= 0 && row < n);
   SignVector packed(n);
-  for (int64_t col = 0; col < n; ++col) {
-    const unsigned overlap =
-        static_cast<unsigned>(row) & static_cast<unsigned>(col);
-    if (std::popcount(overlap) & 1) {
-      packed.words_[static_cast<size_t>(col >> 6)] |= uint64_t{1}
-                                                      << (col & 63);
-    }
+  const unsigned urow = static_cast<unsigned>(row);
+  const uint64_t base = HadamardBasePattern(urow);
+  if (n < 64) {
+    // Partial word: mask off the tail bits (invariant: tail bits are 0).
+    packed.words_[0] = base & ((uint64_t{1} << n) - 1);
+    return packed;
+  }
+  for (size_t w = 0; w < packed.words_.size(); ++w) {
+    packed.words_[w] = HadamardRowWord(urow, w, base);
   }
   return packed;
 }
@@ -50,17 +99,13 @@ void SignVector::SetSign(int64_t i, int sign) {
 
 int64_t SignVector::InnerProduct(const SignVector& other) const {
   DCS_CHECK_EQ(size_, other.size_);
-  int64_t disagreements = 0;
-  for (size_t w = 0; w < words_.size(); ++w) {
-    disagreements += std::popcount(words_[w] ^ other.words_[w]);
-  }
-  return size_ - 2 * disagreements;
+  return size_ -
+         2 * simd::XorPopcount(words_.data(), other.words_.data(),
+                               words_.size());
 }
 
 int64_t SignVector::SumOfSigns() const {
-  int64_t negatives = 0;
-  for (const uint64_t word : words_) negatives += std::popcount(word);
-  return size_ - 2 * negatives;
+  return size_ - 2 * simd::Popcount(words_.data(), words_.size());
 }
 
 std::vector<int8_t> SignVector::ToSigns() const {

@@ -1,0 +1,90 @@
+// Runtime-dispatched SIMD kernels for the sketch hot paths (DESIGN.md §11).
+//
+// Three kernel families sit under every hot loop in the library:
+//   Fwht          — in-place fast Walsh–Hadamard transform, the inner engine
+//                   of the Lemma 3.2 tensor encoding (util/hadamard.cc);
+//   ButterflyRows — the element-wise (a, b) → (a+b, a−b) row combine used by
+//                   the tiled column passes of the 2-D transform;
+//   XorPopcount / Popcount — packed-sign inner products (util/sign_vector.cc).
+//
+// Each family has one scalar implementation (namespace simd::scalar,
+// compiled with auto-vectorization disabled so "scalar" means scalar even
+// under -march=native) and vector implementations selected at runtime:
+// AVX2 on x86-64 when the CPU supports it, NEON on AArch64. The dispatched
+// entry points below consult ActivePath() per call (one relaxed atomic
+// load).
+//
+// Bit-identity contract: every path — scalar fallback included — executes
+// the SAME blocked pass structure (see FwhtBlocked in simd.cc), and the
+// vector lanes perform exactly the element-wise operations of the scalar
+// loop. Integer kernels are exact; for doubles, per-element association
+// order is preserved by construction (passes in increasing butterfly
+// length per element, element-wise add/sub within a pass), so scalar and
+// SIMD outputs are bit-identical, not merely close. tests/util_simd_test.cc
+// asserts this for every power-of-two size up to 2^16, strided and
+// contiguous.
+//
+// Forcing a path: set the environment variable DCS_FORCE_SCALAR to any
+// value other than "0" (read once, at first dispatch), or call
+// ForceScalar() programmatically (tests, benches).
+
+#ifndef DCS_UTIL_SIMD_H_
+#define DCS_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcs::simd {
+
+enum class DispatchPath {
+  kScalar = 0,
+  kAvx2 = 1,
+  kNeon = 2,
+};
+
+// The path the dispatched kernels below currently use. Resolved once from
+// DCS_FORCE_SCALAR + CPU detection, then cached; ForceScalar overrides.
+DispatchPath ActivePath();
+
+// Stable lowercase name ("scalar", "avx2", "neon") for logs and bench JSON.
+const char* DispatchPathName(DispatchPath path);
+
+// ForceScalar(true) pins the dispatched kernels to the scalar path;
+// ForceScalar(false) restores the hardware-detected path (ignoring the
+// DCS_FORCE_SCALAR environment variable — tests use this to compare both
+// paths in one process). Takes effect for subsequent calls on any thread.
+void ForceScalar(bool force);
+
+// In-place unnormalized FWHT of n = 2^k elements at data[0], data[stride],
+// …, data[(n−1)·stride]. The contiguous case (stride == 1) runs the blocked
+// vector kernel; strided layouts run the shared scalar pass loop on every
+// path (identical results by construction).
+void Fwht(int64_t* data, size_t n, size_t stride);
+void Fwht(double* data, size_t n, size_t stride);
+
+// Element-wise butterfly over two contiguous runs of length n:
+//   (lo[i], hi[i]) ← (lo[i] + hi[i], lo[i] − hi[i]).
+// The 2-D transform's column passes are sweeps of this kernel.
+void ButterflyRows(int64_t* lo, int64_t* hi, size_t n);
+void ButterflyRows(double* lo, double* hi, size_t n);
+
+// Number of set bits in (a[i] ^ b[i]) summed over i < num_words.
+int64_t XorPopcount(const uint64_t* a, const uint64_t* b, size_t num_words);
+// Number of set bits in a[i] summed over i < num_words.
+int64_t Popcount(const uint64_t* a, size_t num_words);
+
+// The scalar implementations, callable directly (the benches time them
+// against the dispatched path; the property tests compare against them).
+// These are the exact code the dispatched functions run under ForceScalar.
+namespace scalar {
+void Fwht(int64_t* data, size_t n, size_t stride);
+void Fwht(double* data, size_t n, size_t stride);
+void ButterflyRows(int64_t* lo, int64_t* hi, size_t n);
+void ButterflyRows(double* lo, double* hi, size_t n);
+int64_t XorPopcount(const uint64_t* a, const uint64_t* b, size_t num_words);
+int64_t Popcount(const uint64_t* a, size_t num_words);
+}  // namespace scalar
+
+}  // namespace dcs::simd
+
+#endif  // DCS_UTIL_SIMD_H_

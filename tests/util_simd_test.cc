@@ -1,0 +1,379 @@
+// Property tests for the runtime SIMD dispatch layer (src/util/simd.h).
+//
+// The layer's contract is bit-identity: every dispatched kernel must return
+// exactly the bytes the scalar reference returns, for int64 and double, at
+// every size including non-multiple-of-lane tails. These tests pin that
+// contract for the FWHT (contiguous and strided), the popcount kernels (via
+// SignVector), the 2-D EncodeSigns transform, the arena, and a served
+// batch under forced-scalar vs hardware dispatch.
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/generators.h"
+#include "graph/types.h"
+#include "gtest/gtest.h"
+#include "serve/cut_query_service.h"
+#include "util/arena.h"
+#include "util/hadamard.h"
+#include "util/random.h"
+#include "util/sign_vector.h"
+#include "util/simd.h"
+
+namespace dcs {
+namespace {
+
+// Restores hardware dispatch on scope exit so test order cannot leak a
+// forced-scalar state into later tests.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force) { simd::ForceScalar(force); }
+  ~ScopedForceScalar() { simd::ForceScalar(false); }
+};
+
+std::vector<int64_t> RandomI64(size_t n, Rng& rng) {
+  std::vector<int64_t> values(n);
+  for (auto& v : values) {
+    v = static_cast<int64_t>(rng.Next() % 2001) - 1000;
+  }
+  return values;
+}
+
+std::vector<double> RandomF64(size_t n, Rng& rng) {
+  std::vector<double> values(n);
+  for (auto& v : values) {
+    v = (static_cast<double>(rng.Next() % 4001) - 2000.0) / 16.0;
+  }
+  return values;
+}
+
+// O(n²) reference transform straight from the definition.
+std::vector<int64_t> NaiveFwht(const std::vector<int64_t>& values) {
+  const size_t n = values.size();
+  std::vector<int64_t> out(n, 0);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) {
+      const int sign =
+          (std::popcount(static_cast<unsigned>(r) & static_cast<unsigned>(c)) &
+           1)
+              ? -1
+              : 1;
+      out[r] += sign * values[c];
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatchTest, ForceScalarOverridesHardwarePath) {
+  const simd::DispatchPath hardware = simd::ActivePath();
+  {
+    ScopedForceScalar guard(true);
+    EXPECT_EQ(simd::ActivePath(), simd::DispatchPath::kScalar);
+  }
+  EXPECT_EQ(simd::ActivePath(), hardware);
+}
+
+TEST(SimdDispatchTest, PathNamesAreStable) {
+  EXPECT_STREQ(simd::DispatchPathName(simd::DispatchPath::kScalar), "scalar");
+  EXPECT_STREQ(simd::DispatchPathName(simd::DispatchPath::kAvx2), "avx2");
+  EXPECT_STREQ(simd::DispatchPathName(simd::DispatchPath::kNeon), "neon");
+}
+
+// ---------------------------------------------------------------------------
+// FWHT bit-identity: dispatched vs scalar reference
+// ---------------------------------------------------------------------------
+
+TEST(SimdFwhtTest, MatchesNaiveTransformSmall) {
+  Rng rng(7);
+  for (size_t n : {size_t{1}, size_t{2}, size_t{4}, size_t{8}, size_t{16},
+                   size_t{64}, size_t{256}}) {
+    std::vector<int64_t> values = RandomI64(n, rng);
+    const std::vector<int64_t> expected = NaiveFwht(values);
+    simd::Fwht(values.data(), n, 1);
+    EXPECT_EQ(values, expected) << "n=" << n;
+  }
+}
+
+TEST(SimdFwhtTest, Int64BitIdenticalToScalarAllPowerOfTwoSizes) {
+  Rng rng(13);
+  for (int log_n = 0; log_n <= 16; ++log_n) {
+    const size_t n = size_t{1} << log_n;
+    const std::vector<int64_t> input = RandomI64(n, rng);
+    std::vector<int64_t> dispatched = input;
+    std::vector<int64_t> reference = input;
+    simd::Fwht(dispatched.data(), n, 1);
+    simd::scalar::Fwht(reference.data(), n, 1);
+    ASSERT_EQ(dispatched, reference) << "n=" << n;
+  }
+}
+
+TEST(SimdFwhtTest, DoubleBitIdenticalToScalarAllPowerOfTwoSizes) {
+  Rng rng(17);
+  for (int log_n = 0; log_n <= 16; ++log_n) {
+    const size_t n = size_t{1} << log_n;
+    const std::vector<double> input = RandomF64(n, rng);
+    std::vector<double> dispatched = input;
+    std::vector<double> reference = input;
+    simd::Fwht(dispatched.data(), n, 1);
+    simd::scalar::Fwht(reference.data(), n, 1);
+    for (size_t i = 0; i < n; ++i) {
+      // Bit-level comparison: the contract is stronger than numeric
+      // equality (NaN/−0.0 would differ).
+      ASSERT_EQ(std::bit_cast<uint64_t>(dispatched[i]),
+                std::bit_cast<uint64_t>(reference[i]))
+          << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdFwhtTest, StridedBitIdenticalToScalar) {
+  Rng rng(19);
+  for (const size_t stride : {size_t{2}, size_t{3}}) {
+    for (int log_n = 0; log_n <= 10; ++log_n) {
+      const size_t n = size_t{1} << log_n;
+      const std::vector<int64_t> input = RandomI64(n * stride, rng);
+      std::vector<int64_t> dispatched = input;
+      std::vector<int64_t> reference = input;
+      simd::Fwht(dispatched.data(), n, stride);
+      simd::scalar::Fwht(reference.data(), n, stride);
+      // Untouched gap elements must survive; compare the whole buffer.
+      ASSERT_EQ(dispatched, reference) << "n=" << n << " stride=" << stride;
+    }
+  }
+}
+
+TEST(SimdFwhtTest, ButterflyRowsMatchesScalar) {
+  Rng rng(23);
+  for (const size_t n : {size_t{1}, size_t{3}, size_t{4}, size_t{7},
+                         size_t{64}, size_t{1000}}) {
+    const std::vector<int64_t> lo_in = RandomI64(n, rng);
+    const std::vector<int64_t> hi_in = RandomI64(n, rng);
+    std::vector<int64_t> lo_a = lo_in, hi_a = hi_in;
+    std::vector<int64_t> lo_b = lo_in, hi_b = hi_in;
+    simd::ButterflyRows(lo_a.data(), hi_a.data(), n);
+    simd::scalar::ButterflyRows(lo_b.data(), hi_b.data(), n);
+    EXPECT_EQ(lo_a, lo_b) << "n=" << n;
+    EXPECT_EQ(hi_a, hi_b) << "n=" << n;
+  }
+}
+
+TEST(SimdFwhtTest, ForcedScalarFwhtMatchesHardwarePath) {
+  Rng rng(29);
+  const size_t n = 4096;
+  const std::vector<int64_t> input = RandomI64(n, rng);
+  std::vector<int64_t> hardware = input;
+  simd::Fwht(hardware.data(), n, 1);
+  std::vector<int64_t> forced = input;
+  {
+    ScopedForceScalar guard(true);
+    simd::Fwht(forced.data(), n, 1);
+  }
+  EXPECT_EQ(hardware, forced);
+}
+
+// ---------------------------------------------------------------------------
+// Popcount kernels, via SignVector and directly
+// ---------------------------------------------------------------------------
+
+TEST(SimdPopcountTest, MatchesScalarAtAllWordCounts) {
+  Rng rng(31);
+  for (const size_t words :
+       {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{4}, size_t{5},
+        size_t{7}, size_t{8}, size_t{9}, size_t{16}, size_t{63}, size_t{64},
+        size_t{65}, size_t{100}}) {
+    std::vector<uint64_t> a(words), b(words);
+    for (auto& w : a) w = rng.Next();
+    for (auto& w : b) w = rng.Next();
+    EXPECT_EQ(simd::XorPopcount(a.data(), b.data(), words),
+              simd::scalar::XorPopcount(a.data(), b.data(), words))
+        << words;
+    EXPECT_EQ(simd::Popcount(a.data(), words),
+              simd::scalar::Popcount(a.data(), words))
+        << words;
+  }
+}
+
+TEST(SimdPopcountTest, SignVectorInnerProductMatchesNaive) {
+  Rng rng(37);
+  // Sizes straddling word boundaries, incl. non-multiple-of-64 tails.
+  for (const int64_t size : {int64_t{0}, int64_t{1}, int64_t{63}, int64_t{64},
+                             int64_t{65}, int64_t{127}, int64_t{128},
+                             int64_t{129}, int64_t{1000}, int64_t{4096},
+                             int64_t{4097}}) {
+    std::vector<int8_t> a(static_cast<size_t>(size)),
+        b(static_cast<size_t>(size));
+    for (auto& s : a) s = (rng.Next() & 1) ? int8_t{1} : int8_t{-1};
+    for (auto& s : b) s = (rng.Next() & 1) ? int8_t{1} : int8_t{-1};
+    int64_t naive_inner = 0;
+    int64_t naive_sum = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      naive_inner += static_cast<int64_t>(a[i]) * b[i];
+      naive_sum += a[i];
+    }
+    const SignVector pa = SignVector::FromSigns(a);
+    const SignVector pb = SignVector::FromSigns(b);
+    EXPECT_EQ(pa.InnerProduct(pb), naive_inner) << "size=" << size;
+    EXPECT_EQ(pa.SumOfSigns(), naive_sum) << "size=" << size;
+  }
+}
+
+TEST(SimdPopcountTest, AllMinusOnesEdgeCase) {
+  // Every bit set in every word, incl. a partial tail word: the popcount
+  // path must not count the (zero) tail bits beyond size.
+  for (const int64_t size : {int64_t{64}, int64_t{65}, int64_t{129},
+                             int64_t{1000}}) {
+    const std::vector<int8_t> all_minus(static_cast<size_t>(size),
+                                        int8_t{-1});
+    const SignVector packed = SignVector::FromSigns(all_minus);
+    EXPECT_EQ(packed.SumOfSigns(), -size);
+    EXPECT_EQ(packed.InnerProduct(packed), size);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hadamard row fast paths
+// ---------------------------------------------------------------------------
+
+TEST(SimdHadamardRowTest, PackedRowMatchesEntryDefinition) {
+  for (const int log_size : {0, 1, 3, 6, 7, 10}) {
+    const HadamardMatrix h(log_size);
+    for (int row = 0; row < h.size(); row += std::max(1, h.size() / 7)) {
+      const std::vector<int8_t> signs = h.Row(row);
+      ASSERT_EQ(static_cast<int>(signs.size()), h.size());
+      for (int col = 0; col < h.size(); ++col) {
+        ASSERT_EQ(signs[static_cast<size_t>(col)], h.Entry(row, col))
+            << "log=" << log_size << " row=" << row << " col=" << col;
+      }
+    }
+  }
+}
+
+TEST(SimdHadamardRowTest, RowSignsIntoMatchesRow) {
+  for (const int log_size : {0, 2, 5, 8}) {
+    const HadamardMatrix h(log_size);
+    std::vector<int8_t> scratch(static_cast<size_t>(h.size()));
+    for (int row = 0; row < h.size(); ++row) {
+      HadamardRowSignsInto(row, log_size, scratch);
+      EXPECT_EQ(scratch, h.Row(row)) << "log=" << log_size << " row=" << row;
+    }
+  }
+}
+
+TEST(SimdHadamardRowTest, FactorIntoMatchesFactor) {
+  const TensorSignMatrix tensor(4);
+  std::vector<int8_t> scratch(static_cast<size_t>(tensor.block_size()));
+  for (int64_t t = 0; t < tensor.rows(); t += 7) {
+    tensor.LeftFactorInto(t, scratch);
+    EXPECT_EQ(scratch, tensor.LeftFactor(t)) << t;
+    tensor.RightFactorInto(t, scratch);
+    EXPECT_EQ(scratch, tensor.RightFactor(t)) << t;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EncodeSigns: 2-D transform identical across dispatch paths
+// ---------------------------------------------------------------------------
+
+TEST(SimdEncodeSignsTest, ScalarAndDispatchedEncodeIdentically) {
+  Rng rng(41);
+  for (const int log_size : {1, 2, 4, 6}) {
+    const TensorSignMatrix tensor(log_size);
+    const std::vector<int8_t> z =
+        rng.RandomSignString(static_cast<int>(tensor.rows()));
+    const std::vector<int64_t> dispatched = tensor.EncodeSigns(z);
+    std::vector<int64_t> forced;
+    {
+      ScopedForceScalar guard(true);
+      forced = tensor.EncodeSigns(z);
+    }
+    EXPECT_EQ(dispatched, forced) << "log_size=" << log_size;
+    // And both satisfy the defining identity ⟨x, M_t⟩ = z_t · N².
+    for (int64_t t = 0; t < tensor.rows(); t += std::max<int64_t>(
+             1, tensor.rows() / 5)) {
+      EXPECT_EQ(tensor.InnerProductWithRow(dispatched, t),
+                z[static_cast<size_t>(t)] * tensor.RowNormSquared())
+          << "log_size=" << log_size << " t=" << t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScratchArena
+// ---------------------------------------------------------------------------
+
+TEST(ScratchArenaTest, AllocationsAreAlignedAndDisjoint) {
+  ScratchArena arena(128);
+  const std::span<int64_t> a = arena.Alloc<int64_t>(5);
+  const std::span<int64_t> b = arena.Alloc<int64_t>(5);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a.data()) % 64, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b.data()) % 64, 0u);
+  for (auto& v : a) v = 1;
+  for (auto& v : b) v = 2;
+  for (const auto& v : a) EXPECT_EQ(v, 1);
+}
+
+TEST(ScratchArenaTest, ScopeRewindReusesMemoryWithoutGrowth) {
+  ScratchArena arena(1024);
+  const int64_t* first = nullptr;
+  const size_t capacity_before = [&] {
+    ScratchArena::Scope scope(arena);
+    first = arena.Alloc<int64_t>(64).data();
+    return arena.capacity_bytes();
+  }();
+  for (int iter = 0; iter < 100; ++iter) {
+    ScratchArena::Scope scope(arena);
+    const std::span<int64_t> again = arena.Alloc<int64_t>(64);
+    EXPECT_EQ(again.data(), first);
+  }
+  EXPECT_EQ(arena.capacity_bytes(), capacity_before);
+}
+
+TEST(ScratchArenaTest, GrowsBeyondInitialBlockAndKeepsData) {
+  ScratchArena arena(64);
+  const std::span<uint8_t> small = arena.Alloc<uint8_t>(16);
+  for (auto& v : small) v = 7;
+  const std::span<uint8_t> big = arena.Alloc<uint8_t>(1 << 12);
+  for (auto& v : big) v = 9;
+  for (const auto& v : small) EXPECT_EQ(v, 7);
+  EXPECT_GE(arena.capacity_bytes(), size_t{1} << 12);
+}
+
+// ---------------------------------------------------------------------------
+// Serving layer: answers identical under forced-scalar dispatch
+// ---------------------------------------------------------------------------
+
+TEST(SimdServeTest, BatchAnswersIdenticalAcrossDispatchPaths) {
+  Rng rng(47);
+  const DirectedGraph graph = RandomBalancedDigraph(24, 0.4, 1.0, rng);
+  std::vector<CutQueryService::Query> batch;
+  CutQueryService hardware_service;
+  const auto object = hardware_service.RegisterGraph(graph);
+  for (int i = 0; i < 40; ++i) {
+    VertexSet side(24, 0);
+    for (auto& bit : side) bit = static_cast<uint8_t>(rng.Next() & 1);
+    batch.push_back({object, std::move(side)});
+  }
+  const std::vector<double> hardware = hardware_service.AnswerBatch(batch);
+
+  ScopedForceScalar guard(true);
+  CutQueryService scalar_service;
+  const auto scalar_object = scalar_service.RegisterGraph(graph);
+  ASSERT_EQ(scalar_object, object);
+  const std::vector<double> forced = scalar_service.AnswerBatch(batch);
+  ASSERT_EQ(hardware.size(), forced.size());
+  for (size_t i = 0; i < hardware.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(hardware[i]),
+              std::bit_cast<uint64_t>(forced[i]))
+        << "query " << i;
+  }
+}
+
+}  // namespace
+}  // namespace dcs
