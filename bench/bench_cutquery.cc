@@ -300,8 +300,8 @@ void WriteJson(const std::string& path,
 int main(int argc, char** argv) {
   int threads = dcs::bench::ConsumeThreadsFlag(&argc, argv);
   if (threads == 1) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw > 1 ? static_cast<int>(hw > 8 ? 8 : hw) : 2;
+    const int hw = dcs::bench::HardwareConcurrencyOrOne();
+    threads = hw > 1 ? (hw > 8 ? 8 : hw) : 2;
   }
   const std::string out_path =
       dcs::bench::ConsumeOutFlag(&argc, argv, "BENCH_cutquery.json");

@@ -211,9 +211,7 @@ ScalingResult SectionThreadScaling(int max_threads) {
   };
   ScalingResult result;
   result.batch = 4096;
-  result.hardware_concurrency =
-      static_cast<int>(std::thread::hardware_concurrency());
-  if (result.hardware_concurrency < 1) result.hardware_concurrency = 1;
+  result.hardware_concurrency = bench::HardwareConcurrencyOrOne();
 
   PrintRow({"threads", "time(ms)", "speedup", "identical"});
   PrintRule(4);
@@ -329,8 +327,8 @@ int main(int argc, char** argv) {
     // Default sweep ceiling: what the machine actually has, capped at 8.
     // On a single-core machine that is 1 — the section refuses to time
     // oversubscribed points, so requesting more would only print skips.
-    const unsigned hw = std::thread::hardware_concurrency();
-    threads = hw > 8 ? 8 : (hw < 1 ? 1 : static_cast<int>(hw));
+    const int hw = dcs::bench::HardwareConcurrencyOrOne();
+    threads = hw > 8 ? 8 : hw;
   }
   const std::string out_path =
       dcs::bench::ConsumeOutFlag(&argc, argv, "BENCH_serve.json");

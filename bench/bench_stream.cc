@@ -1,0 +1,203 @@
+// Experiment STREAM — the concurrent streaming ingestion pipeline.
+//
+// One sweep: sustained edge-update throughput through StreamIngestor as a
+// function of producer (inserter) count and gutter capacity, on a fixed
+// mixed insert/delete workload. The workload is built once as
+// kProducerStreams independent per-producer streams (each stream's deletes
+// target only its own earlier inserts, so every interleaving is
+// admissible), and every configuration pushes the same union of updates —
+// so the sealed sketch digest must be bit-identical to the serial
+// reference for every (inserters, gutter) point. The bench reports that
+// check as answers_identical alongside the timings; the perf gate
+// (scripts/check_perf_regression.py) fails the run if it is ever false or
+// if the best throughput drops below its floor.
+//
+// Results go to BENCH_stream.json (override with --out FILE).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "json_writer.h"
+#include "stream/agm_sketch.h"
+#include "stream/binary_stream.h"
+#include "stream/ingest.h"
+#include "table.h"
+#include "util/random.h"
+
+namespace dcs {
+
+using bench::F;
+using bench::I;
+using bench::PrintBanner;
+using bench::PrintRow;
+using bench::PrintRule;
+
+namespace {
+
+constexpr int kVertices = 512;
+constexpr int kRounds = 4;
+constexpr int kShards = 8;
+constexpr uint64_t kSeed = 77;
+constexpr double kDeleteFraction = 0.2;
+// The update total splits across this many per-producer streams; inserter
+// counts must divide it so every configuration pushes the same union.
+constexpr int kProducerStreams = 4;
+constexpr int64_t kUpdatesPerStream = 1 << 16;
+
+struct StreamRecord {
+  int inserters = 0;
+  int gutter = 0;
+  double ms = 0;
+  int64_t updates = 0;
+  bool identical = false;
+  double ns_per_update() const {
+    return updates > 0 ? ms * 1e6 / static_cast<double>(updates) : 0;
+  }
+  double updates_per_sec() const {
+    return ms > 0 ? static_cast<double>(updates) / (ms / 1e3) : 0;
+  }
+};
+
+double MsSince(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// Per-producer streams: stream p's deletes only ever target stream p's own
+// earlier inserts, so the per-shard live counts stay nonnegative under any
+// producer interleaving (each producer pushes its streams in order).
+std::vector<std::vector<EdgeUpdate>> BuildWorkload() {
+  std::vector<std::vector<EdgeUpdate>> streams;
+  streams.reserve(kProducerStreams);
+  for (int p = 0; p < kProducerStreams; ++p) {
+    Rng rng(SubtaskSeed(kSeed, p));
+    streams.push_back(
+        RandomUpdateStream(kVertices, kUpdatesPerStream, kDeleteFraction, rng));
+  }
+  return streams;
+}
+
+// The serial ground truth: every update applied directly to one sketch.
+uint64_t ReferenceDigest(const std::vector<std::vector<EdgeUpdate>>& streams) {
+  AgmConnectivitySketch sketch(kVertices, kRounds, kSeed);
+  for (const std::vector<EdgeUpdate>& stream : streams) {
+    for (const EdgeUpdate& update : stream) {
+      if (update.is_delete) {
+        sketch.RemoveEdge(update.u, update.v);
+      } else {
+        sketch.AddEdge(update.u, update.v);
+      }
+    }
+  }
+  return sketch.Digest();
+}
+
+StreamRecord RunConfig(const std::vector<std::vector<EdgeUpdate>>& streams,
+                       int inserters, int gutter, uint64_t reference_digest) {
+  StreamIngestorOptions options;
+  options.num_shards = kShards;
+  options.gutter_capacity = gutter;
+  options.rounds = kRounds;
+  options.seed = kSeed;
+  StreamIngestor ingestor(kVertices, options);
+
+  StreamRecord record;
+  record.inserters = inserters;
+  record.gutter = gutter;
+  for (const std::vector<EdgeUpdate>& stream : streams) {
+    record.updates += static_cast<int64_t>(stream.size());
+  }
+
+  const int streams_per_inserter = kProducerStreams / inserters;
+  const auto push_streams = [&streams, &ingestor](int first, int count) {
+    for (int s = first; s < first + count; ++s) {
+      for (const EdgeUpdate& update : streams[static_cast<size_t>(s)]) {
+        const Status status = ingestor.Push(update);
+        DCS_CHECK(status.ok());
+      }
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  if (inserters == 1) {
+    push_streams(0, kProducerStreams);
+  } else {
+    std::vector<std::thread> producers;
+    producers.reserve(static_cast<size_t>(inserters));
+    for (int p = 0; p < inserters; ++p) {
+      producers.emplace_back(push_streams, p * streams_per_inserter,
+                             streams_per_inserter);
+    }
+    for (std::thread& producer : producers) producer.join();
+  }
+  const StatusOr<int64_t> epoch = ingestor.Barrier();
+  record.ms = MsSince(start);
+  DCS_CHECK(epoch.ok());
+  record.identical = ingestor.snapshot()->digest == reference_digest;
+  return record;
+}
+
+std::vector<StreamRecord> SectionThroughput() {
+  PrintBanner("STREAM/A",
+              "sustained updates/sec vs inserter count and gutter size");
+  const std::vector<std::vector<EdgeUpdate>> streams = BuildWorkload();
+  const uint64_t reference_digest = ReferenceDigest(streams);
+  PrintRow({"inserters", "gutter", "time(ms)", "ns/update", "updates/sec",
+            "identical"});
+  PrintRule(6);
+  std::vector<StreamRecord> records;
+  for (const int inserters : {1, 2, 4}) {
+    for (const int gutter : {64, 256, 1024}) {
+      const StreamRecord record =
+          RunConfig(streams, inserters, gutter, reference_digest);
+      PrintRow({I(record.inserters), I(record.gutter), F(record.ms, 1),
+                F(record.ns_per_update(), 1), F(record.updates_per_sec(), 0),
+                record.identical ? "yes" : "NO"});
+      records.push_back(record);
+    }
+  }
+  return records;
+}
+
+void WriteJson(const std::string& path,
+               const std::vector<StreamRecord>& records) {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("n", kVertices);
+  root.Set("rounds", kRounds);
+  root.Set("shards", kShards);
+  JsonValue rows = JsonValue::MakeArray();
+  bool all_identical = true;
+  double best = 0;
+  for (const StreamRecord& r : records) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("inserters", r.inserters);
+    entry.Set("gutter", r.gutter);
+    entry.Set("updates", r.updates);
+    entry.Set("ms", r.ms);
+    entry.Set("ns_per_update", r.ns_per_update());
+    entry.Set("updates_per_sec", r.updates_per_sec());
+    entry.Set("identical", r.identical);
+    rows.Append(std::move(entry));
+    all_identical = all_identical && r.identical;
+    if (r.updates_per_sec() > best) best = r.updates_per_sec();
+  }
+  root.Set("rows", std::move(rows));
+  root.Set("answers_identical", all_identical);
+  root.Set("best_updates_per_sec", best);
+  bench::WriteBenchJson(path, std::move(root));
+}
+
+}  // namespace
+}  // namespace dcs
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      dcs::bench::ConsumeOutFlag(&argc, argv, "BENCH_stream.json");
+  const auto records = dcs::SectionThroughput();
+  dcs::WriteJson(out_path, records);
+  return 0;
+}

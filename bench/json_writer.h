@@ -53,10 +53,19 @@ inline std::string ConsumeOutFlag(int* argc, char** argv,
   return ConsumeStringFlag(argc, argv, "--out", std::move(fallback));
 }
 
+// std::thread::hardware_concurrency() with its "0 = unknown" escape hatch
+// folded to a usable value: every caller that sizes a pool or a sweep wants
+// "at least one thread", not zero. All bench/CLI thread-count defaults go
+// through here instead of re-implementing the fallback.
+inline int HardwareConcurrencyOrOne() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw < 1 ? 1 : static_cast<int>(hw);
+}
+
 inline JsonValue MachineBlock() {
   JsonValue machine = JsonValue::MakeObject();
   machine.Set("hardware_concurrency",
-              static_cast<int64_t>(std::thread::hardware_concurrency()));
+              static_cast<int64_t>(HardwareConcurrencyOrOne()));
   return machine;
 }
 

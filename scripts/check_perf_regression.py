@@ -3,9 +3,11 @@
 
 Compares a fresh set of BENCH_*.json files against the committed baselines
 and fails (exit 1) when any tracked timing regressed by more than the
-threshold (default 15%). Also enforces the SIMD acceptance floor: on a
-non-scalar dispatch path the vectorized FWHT must be at least 3x the scalar
-reference for n >= 4096.
+threshold (default 15%). Also enforces two same-run acceptance floors: on
+a non-scalar dispatch path the vectorized FWHT must be at least 3x the
+scalar reference for n >= 4096, and the streaming ingestion pipeline
+(BENCH_stream.json) must sustain >= 1M updates/sec at its best
+configuration with every bit-identity flag true.
 
 Usage:
     check_perf_regression.py --baseline DIR --fresh DIR [--threshold 0.15]
@@ -40,12 +42,20 @@ TRACKED = {
     "BENCH_simd.json": [
         ("rows", ("kernel", "n"), "simd_ns"),
     ],
+    "BENCH_stream.json": [
+        ("rows", ("inserters", "gutter"), "ns_per_update"),
+    ],
 }
 
 # Acceptance floor: vectorized FWHT >= 3x scalar at n >= 4096 when the
 # bench ran on a real SIMD path.
 FWHT_MIN_SPEEDUP = 3.0
 FWHT_MIN_N = 4096
+
+# Acceptance floor: the streaming ingestion pipeline must sustain at least
+# 1M updates/sec at its best (inserters, gutter) point (same-run value,
+# independent of any baseline).
+STREAM_MIN_UPDATES_PER_SEC = 1_000_000.0
 
 
 def load(path):
@@ -122,6 +132,18 @@ def check_simd_floor(doc, report):
     return failures
 
 
+def check_stream_floor(doc, report):
+    """Same-run ingestion throughput floor; independent of any baseline."""
+    best = float(doc.get("best_updates_per_sec", 0.0))
+    if best < STREAM_MIN_UPDATES_PER_SEC:
+        report(f"  FAIL  best_updates_per_sec {best:,.0f} < "
+               f"{STREAM_MIN_UPDATES_PER_SEC:,.0f} floor")
+        return 1
+    report(f"  ok    best_updates_per_sec {best:,.0f} >= "
+           f"{STREAM_MIN_UPDATES_PER_SEC:,.0f} floor")
+    return 0
+
+
 def check_correctness_flags(name, doc, report):
     """Bit-identity flags recorded by the benches must all be true."""
     failures = 0
@@ -145,6 +167,14 @@ def check_correctness_flags(name, doc, report):
     for row in doc.get("encode_signs", []):
         demand(f"encode_signs[log_size={row.get('log_size')}].match",
                row.get("match"))
+    if name == "BENCH_stream.json":
+        # Sketch bit-identity across inserter counts and flush
+        # interleavings: the whole point of the linear-sketch pipeline.
+        demand("answers_identical", doc.get("answers_identical"))
+        for row in doc.get("rows", []):
+            demand(f"rows[inserters={row.get('inserters')},"
+                   f"gutter={row.get('gutter')}].identical",
+                   row.get("identical"))
     return failures
 
 
@@ -172,6 +202,8 @@ def main():
         failures += check_correctness_flags(name, fresh_doc, print)
         if name == "BENCH_simd.json":
             failures += check_simd_floor(fresh_doc, print)
+        if name == "BENCH_stream.json":
+            failures += check_stream_floor(fresh_doc, print)
         if not os.path.exists(base_path):
             print(f"  skip  no committed baseline at {base_path} "
                   f"(bootstrapping)")

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Builds the cut-query, serving-layer, and Hadamard/SIMD benchmarks in
-# Release mode (-O3 -march=native), runs them into a scratch directory,
+# Builds the cut-query, serving-layer, streaming-ingestion, and
+# Hadamard/SIMD benchmarks in Release mode (-O3 -march=native), runs them into a scratch directory,
 # gates the fresh numbers against the committed BENCH_*.json baselines
 # with scripts/check_perf_regression.py (>15% slowdown on a tracked
 # timing fails), and only then copies the fresh JSON into the repository
@@ -10,7 +10,7 @@
 #   --no-gate     skip the regression gate (also: DCS_PERF_GATE=off)
 #   --threads N   cap for the thread-scaling sweeps (default: hardware
 #                 concurrency, at most 8)
-# Extra arguments are passed through to all three benchmark binaries.
+# Extra arguments are passed through to all benchmark binaries.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -34,13 +34,16 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=Release \
   -DCMAKE_CXX_FLAGS="-O3 -march=native"
 cmake --build "${build_dir}" \
-  --target bench_cutquery bench_serve bench_hadamard -j"$(nproc)"
+  --target bench_cutquery bench_serve bench_stream bench_hadamard \
+  -j"$(nproc)"
 
 mkdir -p "${out_dir}"
 "${build_dir}/bench/bench_cutquery" \
   --out "${out_dir}/BENCH_cutquery.json" "${passthrough[@]+"${passthrough[@]}"}"
 "${build_dir}/bench/bench_serve" \
   --out "${out_dir}/BENCH_serve.json" "${passthrough[@]+"${passthrough[@]}"}"
+"${build_dir}/bench/bench_stream" \
+  --out "${out_dir}/BENCH_stream.json" "${passthrough[@]+"${passthrough[@]}"}"
 "${build_dir}/bench/bench_hadamard" \
   --out "${out_dir}/BENCH_hadamard.json" \
   --out-simd "${out_dir}/BENCH_simd.json" \
@@ -58,6 +61,7 @@ fi
 # Gate passed (or was disabled): promote the fresh numbers to baselines.
 cp "${out_dir}/BENCH_cutquery.json" \
    "${out_dir}/BENCH_serve.json" \
+   "${out_dir}/BENCH_stream.json" \
    "${out_dir}/BENCH_simd.json" \
    "${repo_root}/"
 echo "baselines updated in ${repo_root}"

@@ -44,12 +44,13 @@ run_one() {
   cmake --build "${build_dir}" -j"$(nproc)"
   ctest --test-dir "${build_dir}" --output-on-failure -j"$(nproc)"
   if [[ "${kind}" == "address" || "${kind}" == "thread" ]]; then
-    # Run the serving-layer suite once more by itself so its cache/batch
-    # concurrency paths (striped LRU under eviction pressure, concurrent
-    # AnswerBatch callers in tsan_stress_test) get an isolated, clearly
-    # attributed pass under the checker.
+    # Run the concurrency-heavy suites once more by themselves so their
+    # racy paths (striped LRU under eviction pressure, concurrent
+    # AnswerBatch callers, multi-producer streaming ingestion with
+    # concurrent epoch queries) get an isolated, clearly attributed pass
+    # under the checker.
     ctest --test-dir "${build_dir}" --output-on-failure \
-      -R '^(serve_test|tsan_stress_test)$'
+      -R '^(serve_test|tsan_stress_test|stream_test|ingest_test)$'
     # The SIMD dispatch layer has two code paths per kernel (vectorized
     # and forced-scalar); run the kernels' consumers under the checker on
     # both so neither path escapes sanitizer coverage.

@@ -27,6 +27,8 @@ std::string_view PayloadBitsMetricName(StreamKind kind) {
       return "serialization.payload_bits.directed_foreach_sketch";
     case StreamKind::kDirectedForAllSketch:
       return "serialization.payload_bits.directed_forall_sketch";
+    case StreamKind::kEdgeStream:
+      return "serialization.payload_bits.edge_stream";
   }
   return "serialization.payload_bits.unknown";
 }
@@ -136,6 +138,8 @@ const char* StreamKindName(StreamKind kind) {
       return "directed_foreach_sketch";
     case StreamKind::kDirectedForAllSketch:
       return "directed_forall_sketch";
+    case StreamKind::kEdgeStream:
+      return "edge_stream";
   }
   return "unknown";
 }

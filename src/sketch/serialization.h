@@ -40,6 +40,7 @@ enum class StreamKind : uint8_t {
   kForAllSparsifier = 4,
   kDirectedForEachSketch = 5,
   kDirectedForAllSketch = 6,
+  kEdgeStream = 7,  // replayable binary edge-update stream (stream/binary_stream.h)
 };
 
 // Stable lowercase name of a stream kind ("directed_graph", ...); used in

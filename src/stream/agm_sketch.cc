@@ -1,5 +1,6 @@
 #include "stream/agm_sketch.h"
 
+#include <string>
 #include <utility>
 
 #include "graph/connectivity.h"
@@ -50,10 +51,15 @@ void AgmConnectivitySketch::AddEdge(VertexId u, VertexId v) {
   const VertexId low = u < v ? u : v;
   const VertexId high = u < v ? v : u;
   for (int r = 0; r < rounds_; ++r) {
-    samplers_[static_cast<size_t>(r)][static_cast<size_t>(low)].Update(
-        coordinate, +1);
-    samplers_[static_cast<size_t>(r)][static_cast<size_t>(high)].Update(
-        coordinate, -1);
+    auto& row = samplers_[static_cast<size_t>(r)];
+    // Both endpoints' samplers share the round seed, hence the fingerprint
+    // base: compute r^coordinate once per round and reuse it for the +1/−1
+    // pair. This is the streaming hot path — an update is two sampler
+    // writes per round, and the modular exponentiation dominated both.
+    const uint64_t power =
+        row[static_cast<size_t>(low)].PowerOf(coordinate);
+    row[static_cast<size_t>(low)].Update(coordinate, +1, power);
+    row[static_cast<size_t>(high)].Update(coordinate, -1, power);
   }
 }
 
@@ -62,23 +68,61 @@ void AgmConnectivitySketch::RemoveEdge(VertexId u, VertexId v) {
   const VertexId low = u < v ? u : v;
   const VertexId high = u < v ? v : u;
   for (int r = 0; r < rounds_; ++r) {
-    samplers_[static_cast<size_t>(r)][static_cast<size_t>(low)].Update(
-        coordinate, -1);
-    samplers_[static_cast<size_t>(r)][static_cast<size_t>(high)].Update(
-        coordinate, +1);
+    auto& row = samplers_[static_cast<size_t>(r)];
+    const uint64_t power =
+        row[static_cast<size_t>(low)].PowerOf(coordinate);
+    row[static_cast<size_t>(low)].Update(coordinate, -1, power);
+    row[static_cast<size_t>(high)].Update(coordinate, +1, power);
   }
 }
 
 void AgmConnectivitySketch::MergeFrom(const AgmConnectivitySketch& other) {
-  DCS_CHECK_EQ(num_vertices_, other.num_vertices_);
-  DCS_CHECK_EQ(rounds_, other.rounds_);
-  DCS_CHECK_EQ(seed_, other.seed_);
+  const Status status = TryMergeFrom(other);
+  DCS_CHECK(status.ok());
+}
+
+Status AgmConnectivitySketch::TryMergeFrom(
+    const AgmConnectivitySketch& other) {
+  if (num_vertices_ != other.num_vertices_) {
+    return InvalidArgumentError(
+        "cannot merge AGM sketches over different vertex counts (" +
+        std::to_string(num_vertices_) + " vs " +
+        std::to_string(other.num_vertices_) + ")");
+  }
+  if (rounds_ != other.rounds_) {
+    return InvalidArgumentError(
+        "cannot merge AGM sketches with different round counts (" +
+        std::to_string(rounds_) + " vs " + std::to_string(other.rounds_) +
+        ")");
+  }
+  if (seed_ != other.seed_) {
+    return InvalidArgumentError(
+        "cannot merge AGM sketches built from different seeds (" +
+        std::to_string(seed_) + " vs " + std::to_string(other.seed_) + ")");
+  }
   for (int r = 0; r < rounds_; ++r) {
     for (int v = 0; v < num_vertices_; ++v) {
       samplers_[static_cast<size_t>(r)][static_cast<size_t>(v)].MergeFrom(
           other.samplers_[static_cast<size_t>(r)][static_cast<size_t>(v)]);
     }
   }
+  return OkStatus();
+}
+
+uint64_t AgmConnectivitySketch::Digest() const {
+  constexpr uint64_t kOffset = 14695981039346656037ULL;  // FNV-1a offset
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  uint64_t digest = kOffset;
+  const auto fold = [&digest](uint64_t word) {
+    digest = (digest ^ word) * kPrime;
+  };
+  fold(static_cast<uint64_t>(num_vertices_));
+  fold(static_cast<uint64_t>(rounds_));
+  fold(seed_);
+  for (const auto& row : samplers_) {
+    for (const L0Sampler& sampler : row) sampler.AppendDigest(digest);
+  }
+  return digest;
 }
 
 std::vector<Edge> AgmConnectivitySketch::SpanningForest() const {
@@ -184,11 +228,48 @@ void AgmKConnectivitySketch::RemoveEdge(VertexId u, VertexId v) {
 }
 
 void AgmKConnectivitySketch::MergeFrom(const AgmKConnectivitySketch& other) {
-  DCS_CHECK_EQ(num_vertices_, other.num_vertices_);
-  DCS_CHECK_EQ(layers_.size(), other.layers_.size());
-  for (size_t layer = 0; layer < layers_.size(); ++layer) {
-    layers_[layer].MergeFrom(other.layers_[layer]);
+  const Status status = TryMergeFrom(other);
+  DCS_CHECK(status.ok());
+}
+
+Status AgmKConnectivitySketch::TryMergeFrom(
+    const AgmKConnectivitySketch& other) {
+  if (num_vertices_ != other.num_vertices_) {
+    return InvalidArgumentError(
+        "cannot merge k-connectivity sketches over different vertex counts "
+        "(" +
+        std::to_string(num_vertices_) + " vs " +
+        std::to_string(other.num_vertices_) + ")");
   }
+  if (layers_.size() != other.layers_.size()) {
+    return InvalidArgumentError(
+        "cannot merge k-connectivity sketches with different k (" +
+        std::to_string(layers_.size()) + " vs " +
+        std::to_string(other.layers_.size()) + ")");
+  }
+  // Validate every layer before mutating any: a failed merge must not leave
+  // this sketch half-merged.
+  for (size_t layer = 0; layer < layers_.size(); ++layer) {
+    if (layers_[layer].rounds() != other.layers_[layer].rounds()) {
+      return InvalidArgumentError(
+          "cannot merge k-connectivity sketches with different round "
+          "counts in layer " +
+          std::to_string(layer));
+    }
+  }
+  for (size_t layer = 0; layer < layers_.size(); ++layer) {
+    DCS_RETURN_IF_ERROR(layers_[layer].TryMergeFrom(other.layers_[layer]));
+  }
+  return OkStatus();
+}
+
+uint64_t AgmKConnectivitySketch::Digest() const {
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  uint64_t digest = 0x6b636f6e6e556565ULL;  // distinct k-sketch offset
+  for (const AgmConnectivitySketch& layer : layers_) {
+    digest = (digest ^ layer.Digest()) * kPrime;
+  }
+  return digest;
 }
 
 UndirectedGraph AgmKConnectivitySketch::Certificate() const {

@@ -28,6 +28,7 @@
 #include "graph/types.h"
 #include "graph/ugraph.h"
 #include "stream/l0_sampler.h"
+#include "util/status.h"
 
 namespace dcs {
 
@@ -48,7 +49,23 @@ class AgmConnectivitySketch {
   void RemoveEdge(VertexId u, VertexId v);
 
   // Adds all edges recorded in `other` (linearity; edge-disjoint parts).
+  // Requires matching (n, rounds, seed) — aborts on mismatch (programmer
+  // error in a single-process pipeline).
   void MergeFrom(const AgmConnectivitySketch& other);
+
+  // Status-returning merge for paths fed by peers or configuration — the
+  // streaming ingestion/epoch-seal path and anything server-shaped: a
+  // mismatched (n, rounds, seed) surfaces kInvalidArgument instead of
+  // taking the process down (DESIGN.md §7 recoverable-error convention).
+  Status TryMergeFrom(const AgmConnectivitySketch& other);
+
+  // FNV-style hash of every linear measurement (all sampler words, in a
+  // fixed order) plus the (n, rounds, seed) identity. Two sketches digest
+  // equal iff their maintained state is bit-identical (up to hash
+  // collisions) — the check the streaming tests and bench_stream use to
+  // assert that inserter count and flush interleaving do not change the
+  // final sketch.
+  uint64_t Digest() const;
 
   // Extracts a spanning forest via Boruvka over the sketches. Whp the
   // result spans every connected component; with bounded rounds or unlucky
@@ -97,7 +114,12 @@ class AgmKConnectivitySketch {
 
   void AddEdge(VertexId u, VertexId v);
   void RemoveEdge(VertexId u, VertexId v);
+  // Aborting / Status-returning merges, as in AgmConnectivitySketch.
   void MergeFrom(const AgmKConnectivitySketch& other);
+  Status TryMergeFrom(const AgmKConnectivitySketch& other);
+
+  // Combined digest over all k layers (see AgmConnectivitySketch::Digest).
+  uint64_t Digest() const;
 
   // The union of the k nested forests (unit weights). Whp it preserves the
   // edge count of every cut of value < k and contains ≥ min(cut, k) edges

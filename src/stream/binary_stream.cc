@@ -1,0 +1,173 @@
+#include "stream/binary_stream.h"
+
+#include <fstream>
+#include <utility>
+
+#include "sketch/serialization.h"
+
+namespace dcs {
+namespace {
+
+// Payload geometry. Fixed-width records make the length a pure function of
+// the header, so corruption is detected before any record is parsed.
+constexpr int64_t kHeaderBits = 32 + 64;        // num_vertices · update_count
+constexpr int64_t kRecordBits = 1 + 32 + 32;    // is_delete · u · v
+
+// Matches the serialization-layer vertex cap (kMaxVertices in
+// sketch/serialization.cc).
+constexpr uint64_t kMaxStreamVertices = uint64_t{1} << 28;
+
+}  // namespace
+
+BinaryStreamWriter::BinaryStreamWriter(int num_vertices)
+    : num_vertices_(num_vertices) {
+  DCS_CHECK_GE(num_vertices, 1);
+  DCS_CHECK_LE(static_cast<uint64_t>(num_vertices), kMaxStreamVertices);
+}
+
+void BinaryStreamWriter::Append(const EdgeUpdate& update) {
+  DCS_CHECK_GE(update.u, 0);
+  DCS_CHECK_LT(update.u, num_vertices_);
+  DCS_CHECK_GE(update.v, 0);
+  DCS_CHECK_LT(update.v, num_vertices_);
+  DCS_CHECK_NE(update.u, update.v);
+  updates_.push_back(update);
+}
+
+void BinaryStreamWriter::Seal(BitWriter& out) const {
+  BitWriter payload;
+  payload.WriteBits(static_cast<uint64_t>(num_vertices_), 32);
+  payload.WriteBits(static_cast<uint64_t>(updates_.size()), 64);
+  for (const EdgeUpdate& update : updates_) {
+    payload.WriteBits(update.is_delete ? 1 : 0, 1);
+    payload.WriteBits(static_cast<uint64_t>(update.u), 32);
+    payload.WriteBits(static_cast<uint64_t>(update.v), 32);
+  }
+  WriteEnvelope(StreamKind::kEdgeStream, payload, out);
+}
+
+Status BinaryStreamWriter::WriteFile(const std::string& path) const {
+  BitWriter out;
+  Seal(out);
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    return NotFoundError("cannot open '" + path + "' for writing");
+  }
+  file.write(reinterpret_cast<const char*>(out.bytes().data()),
+             static_cast<std::streamsize>(out.bytes().size()));
+  if (!file) return InternalError("write to '" + path + "' failed");
+  return OkStatus();
+}
+
+BinaryStreamReader::BinaryStreamReader(
+    std::shared_ptr<const std::vector<uint8_t>> bytes, int num_vertices,
+    int64_t update_count)
+    : bytes_(std::move(bytes)),
+      reader_(*bytes_),
+      num_vertices_(num_vertices),
+      update_count_(update_count) {
+  reader_.ReadBits(32);  // skip num_vertices
+  reader_.ReadBits(64);  // skip update_count
+}
+
+StatusOr<BinaryStreamReader> BinaryStreamReader::FromBytes(BitReader& reader) {
+  DCS_ASSIGN_OR_RETURN(EnvelopePayload payload,
+                       ReadEnvelopePayload(StreamKind::kEdgeStream, reader));
+  if (payload.bit_count < kHeaderBits) {
+    return DataLossError("edge stream payload of " +
+                         std::to_string(payload.bit_count) +
+                         " bits cannot hold the header");
+  }
+  BitReader header(payload.bytes);
+  const uint64_t n = header.ReadBits(32);
+  const uint64_t count = header.ReadBits(64);
+  if (n < 1 || n > kMaxStreamVertices) {
+    return InvalidArgumentError("edge stream declares " + std::to_string(n) +
+                                " vertices (cap " +
+                                std::to_string(kMaxStreamVertices) + ")");
+  }
+  const uint64_t max_count =
+      static_cast<uint64_t>((payload.bit_count - kHeaderBits) / kRecordBits);
+  if (count > max_count ||
+      kHeaderBits + static_cast<int64_t>(count) * kRecordBits !=
+          payload.bit_count) {
+    return DataLossError(
+        "edge stream declares " + std::to_string(count) + " updates but " +
+        std::to_string(payload.bit_count) + " payload bits were sent");
+  }
+  return BinaryStreamReader(
+      std::make_shared<const std::vector<uint8_t>>(std::move(payload.bytes)),
+      static_cast<int>(n), static_cast<int64_t>(count));
+}
+
+StatusOr<BinaryStreamReader> BinaryStreamReader::FromFile(
+    const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return NotFoundError("cannot open '" + path + "'");
+  std::vector<uint8_t> bytes(
+      (std::istreambuf_iterator<char>(file)), std::istreambuf_iterator<char>());
+  if (file.bad()) return InternalError("read from '" + path + "' failed");
+  BitReader reader(bytes);
+  return FromBytes(reader);
+}
+
+StatusOr<EdgeUpdate> BinaryStreamReader::Next() {
+  if (AtEnd()) {
+    return OutOfRangeError("edge stream exhausted after " +
+                           std::to_string(update_count_) + " updates");
+  }
+  // The length equation guaranteed the bits are present; plain reads are
+  // safe. Endpoints still need semantic validation — the checksum vouches
+  // for transit, not for the producer.
+  EdgeUpdate update;
+  update.is_delete = reader_.ReadBits(1) != 0;
+  const uint64_t u = reader_.ReadBits(32);
+  const uint64_t v = reader_.ReadBits(32);
+  ++read_;
+  if (u >= static_cast<uint64_t>(num_vertices_) ||
+      v >= static_cast<uint64_t>(num_vertices_)) {
+    return InvalidArgumentError(
+        "update " + std::to_string(read_ - 1) + " endpoint out of range [0, " +
+        std::to_string(num_vertices_) + "): " + std::to_string(u) + " -- " +
+        std::to_string(v));
+  }
+  if (u == v) {
+    return InvalidArgumentError("update " + std::to_string(read_ - 1) +
+                                " is a self-loop at vertex " +
+                                std::to_string(u));
+  }
+  update.u = static_cast<VertexId>(u);
+  update.v = static_cast<VertexId>(v);
+  return update;
+}
+
+std::vector<EdgeUpdate> RandomUpdateStream(int num_vertices, int64_t count,
+                                           double delete_fraction, Rng& rng) {
+  DCS_CHECK_GE(num_vertices, 2);
+  DCS_CHECK_GE(count, 0);
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(static_cast<size_t>(count));
+  // Live multiset of inserted-but-not-deleted edges; duplicates stack, and
+  // deletes swap-remove a uniformly random live edge so every prefix of the
+  // stream is a valid multigraph history.
+  std::vector<std::pair<VertexId, VertexId>> live;
+  for (int64_t i = 0; i < count; ++i) {
+    if (!live.empty() && rng.Bernoulli(delete_fraction)) {
+      const size_t pick = static_cast<size_t>(rng.UniformInt(live.size()));
+      updates.push_back(EdgeUpdate{live[pick].first, live[pick].second, true});
+      live[pick] = live.back();
+      live.pop_back();
+      continue;
+    }
+    const VertexId u =
+        static_cast<VertexId>(rng.UniformInt(static_cast<uint64_t>(num_vertices)));
+    VertexId v =
+        static_cast<VertexId>(rng.UniformInt(static_cast<uint64_t>(num_vertices - 1)));
+    if (v >= u) ++v;
+    updates.push_back(EdgeUpdate{u, v, false});
+    live.emplace_back(u, v);
+  }
+  return updates;
+}
+
+}  // namespace dcs

@@ -1,0 +1,120 @@
+// Replayable binary edge-update streams.
+//
+// The streaming ingestion pipeline (stream/ingest.h) consumes sequences of
+// dynamic edge updates. This module gives those sequences a durable,
+// bit-exact wire form so a workload can be generated once and replayed —
+// across runs, across `dcs stream` CLI invocations, and in benchmarks —
+// with identical results.
+//
+// Wire format: a standard checksummed envelope (sketch/serialization.h,
+// StreamKind::kEdgeStream) whose payload is
+//
+//   header:  num_vertices (32 bits) · update_count (64 bits)
+//   records: update_count × [ is_delete (1 bit) · u (32 bits) · v (32 bits) ]
+//
+// Records are fixed-width (65 bits each) so the payload length is a pure
+// function of the header: any truncation or bit insertion is caught either
+// by the envelope checksum or by the length equation before a single record
+// is parsed. Deserialization treats the bytes as hostile and returns
+// kDataLoss / kInvalidArgument rather than aborting (DESIGN.md §7).
+
+#ifndef DCS_STREAM_BINARY_STREAM_H_
+#define DCS_STREAM_BINARY_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/bitio.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dcs {
+
+// One dynamic edge update. Endpoints are unordered ({u, v} with u != v);
+// is_delete distinguishes removal from insertion.
+struct EdgeUpdate {
+  VertexId u = 0;
+  VertexId v = 0;
+  bool is_delete = false;
+};
+
+// Accumulates updates and seals them into an enveloped kEdgeStream.
+class BinaryStreamWriter {
+ public:
+  // Updates must reference vertices in [0, num_vertices).
+  explicit BinaryStreamWriter(int num_vertices);
+
+  // Appends one update. Endpoint range violations and self-loops are
+  // programmer errors on the write side (the producer owns the data) and
+  // abort via DCS_CHECK.
+  void Append(const EdgeUpdate& update);
+
+  int num_vertices() const { return num_vertices_; }
+  int64_t update_count() const {
+    return static_cast<int64_t>(updates_.size());
+  }
+  const std::vector<EdgeUpdate>& updates() const { return updates_; }
+
+  // Writes the enveloped stream (header + records, checksummed) to `out`.
+  void Seal(BitWriter& out) const;
+
+  // Seals into `path`. kNotFound if the file cannot be opened, kInternal on
+  // a failed write.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  int num_vertices_;
+  std::vector<EdgeUpdate> updates_;
+};
+
+// Replays a sealed stream. Construction validates the envelope (magic,
+// version, kind, checksum) and the header/length equation; `Next()` then
+// parses one record at a time so callers replay arbitrarily long streams
+// without materializing them.
+class BinaryStreamReader {
+ public:
+  // Reads one enveloped kEdgeStream from `reader` (cursor advances past
+  // it). kDataLoss on corruption, kInvalidArgument on a well-formed
+  // envelope carrying an out-of-range header.
+  static StatusOr<BinaryStreamReader> FromBytes(BitReader& reader);
+
+  // Loads and validates a stream file. kNotFound if unreadable.
+  static StatusOr<BinaryStreamReader> FromFile(const std::string& path);
+
+  int num_vertices() const { return num_vertices_; }
+  int64_t update_count() const { return update_count_; }
+  int64_t remaining() const { return update_count_ - read_; }
+  bool AtEnd() const { return read_ >= update_count_; }
+
+  // The next record. kOutOfRange past the end; kInvalidArgument if the
+  // record's endpoints are out of range or equal (a hostile producer —
+  // the checksum already vouched for transit integrity).
+  StatusOr<EdgeUpdate> Next();
+
+ private:
+  BinaryStreamReader(std::shared_ptr<const std::vector<uint8_t>> bytes,
+                     int num_vertices, int64_t update_count);
+
+  // Owns the payload bytes; reader_ points into *bytes_, which lives at a
+  // stable heap address across moves of this object.
+  std::shared_ptr<const std::vector<uint8_t>> bytes_;
+  BitReader reader_;
+  int num_vertices_ = 0;
+  int64_t update_count_ = 0;
+  int64_t read_ = 0;
+};
+
+// A reproducible random workload: `count` updates over `num_vertices`
+// vertices where each update is a deletion with probability
+// `delete_fraction` — but only of an edge currently live (multiplicity
+// ≥ 1 counting earlier updates), so every prefix of the stream is a valid
+// multigraph history. Used by bench_stream and `dcs stream --make`.
+std::vector<EdgeUpdate> RandomUpdateStream(int num_vertices, int64_t count,
+                                           double delete_fraction, Rng& rng);
+
+}  // namespace dcs
+
+#endif  // DCS_STREAM_BINARY_STREAM_H_

@@ -1,0 +1,230 @@
+#include "stream/ingest.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/union_find.h"
+
+namespace dcs {
+namespace {
+
+// Packs a canonical edge {lo, hi} (lo < hi) into the shard ledger key.
+int64_t EdgeKey(VertexId lo, VertexId hi) {
+  return (static_cast<int64_t>(lo) << 32) | static_cast<int64_t>(hi);
+}
+
+// A spanning forest of `graph` plus the implied component count.
+void ForestOf(const UndirectedGraph& graph, std::vector<Edge>& forest,
+              int& components) {
+  UnionFind uf(graph.num_vertices());
+  forest.clear();
+  for (const Edge& e : graph.edges()) {
+    if (uf.Union(e.src, e.dst)) forest.push_back(e);
+  }
+  components = graph.num_vertices() - static_cast<int>(forest.size());
+}
+
+}  // namespace
+
+StreamIngestor::StreamIngestor(int num_vertices, StreamIngestorOptions options)
+    : num_vertices_(num_vertices),
+      options_(options),
+      pool_(std::max(1, options.num_threads)) {
+  DCS_CHECK_GE(num_vertices, 2);
+  DCS_CHECK_GE(options.num_shards, 1);
+  DCS_CHECK_GE(options.gutter_capacity, 1);
+  DCS_CHECK_GE(options.num_threads, 1);
+  DCS_CHECK_GE(options.rounds, 0);
+  DCS_CHECK_GE(options.k, 0);
+  shards_.reserve(static_cast<size_t>(options.num_shards));
+  for (int s = 0; s < options.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    if (options.k == 0) {
+      shard->sketch.emplace(num_vertices, options.rounds, options.seed);
+    } else {
+      shard->ksketch.emplace(num_vertices, options.k, options.rounds,
+                             options.seed);
+    }
+    shard->gutter.reserve(static_cast<size_t>(options.gutter_capacity));
+    shards_.push_back(std::move(shard));
+  }
+  // Seal the empty epoch-0 snapshot so queries are well-defined before the
+  // first Barrier(). Merging fresh same-seed shards cannot fail.
+  StatusOr<std::shared_ptr<StreamSnapshot>> initial = SealMerged();
+  DCS_CHECK(initial.ok());
+  (*initial)->epoch = 0;
+  snapshot_ = std::move(*initial);
+}
+
+Status StreamIngestor::Push(const EdgeUpdate& update) {
+  if (update.u < 0 || update.u >= num_vertices_ || update.v < 0 ||
+      update.v >= num_vertices_) {
+    return InvalidArgumentError(
+        "update endpoint out of range [0, " + std::to_string(num_vertices_) +
+        "): " + std::to_string(update.u) + " -- " + std::to_string(update.v));
+  }
+  if (update.u == update.v) {
+    return InvalidArgumentError("update is a self-loop at vertex " +
+                                std::to_string(update.u));
+  }
+  const VertexId lo = std::min(update.u, update.v);
+  const VertexId hi = std::max(update.u, update.v);
+  Shard& shard = *shards_[static_cast<size_t>(lo % num_shards())];
+  std::vector<EdgeUpdate> batch;
+  {
+    std::lock_guard<std::mutex> lock(shard.gutter_mutex);
+    const int64_t key = EdgeKey(lo, hi);
+    if (update.is_delete) {
+      const auto it = shard.live.find(key);
+      if (it == shard.live.end()) {
+        return FailedPreconditionError(
+            "delete of edge " + std::to_string(lo) + " -- " +
+            std::to_string(hi) +
+            " with live multiplicity 0 (never inserted or already deleted)");
+      }
+      if (--it->second == 0) shard.live.erase(it);
+    } else {
+      ++shard.live[key];
+    }
+    shard.gutter.push_back(EdgeUpdate{lo, hi, update.is_delete});
+    if (static_cast<int>(shard.gutter.size()) >= options_.gutter_capacity) {
+      batch.swap(shard.gutter);
+      shard.gutter.reserve(static_cast<size_t>(options_.gutter_capacity));
+    }
+  }
+  updates_accepted_.fetch_add(1, std::memory_order_relaxed);
+  if (!batch.empty()) {
+    std::lock_guard<std::mutex> lock(shard.apply_mutex);
+    ApplyBatch(shard, batch);
+  }
+  return OkStatus();
+}
+
+Status StreamIngestor::PushInsert(VertexId u, VertexId v) {
+  return Push(EdgeUpdate{u, v, false});
+}
+
+Status StreamIngestor::PushDelete(VertexId u, VertexId v) {
+  return Push(EdgeUpdate{u, v, true});
+}
+
+void StreamIngestor::ApplyBatch(Shard& shard,
+                                const std::vector<EdgeUpdate>& batch) {
+  for (const EdgeUpdate& update : batch) {
+    if (options_.k == 0) {
+      if (update.is_delete) {
+        shard.sketch->RemoveEdge(update.u, update.v);
+      } else {
+        shard.sketch->AddEdge(update.u, update.v);
+      }
+    } else {
+      if (update.is_delete) {
+        shard.ksketch->RemoveEdge(update.u, update.v);
+      } else {
+        shard.ksketch->AddEdge(update.u, update.v);
+      }
+    }
+  }
+  shard.applied += static_cast<int64_t>(batch.size());
+}
+
+void StreamIngestor::FlushShard(Shard& shard) {
+  std::vector<EdgeUpdate> batch;
+  {
+    std::lock_guard<std::mutex> lock(shard.gutter_mutex);
+    if (shard.gutter.empty()) return;
+    batch.swap(shard.gutter);
+    shard.gutter.reserve(static_cast<size_t>(options_.gutter_capacity));
+  }
+  std::lock_guard<std::mutex> lock(shard.apply_mutex);
+  ApplyBatch(shard, batch);
+}
+
+StatusOr<std::shared_ptr<StreamSnapshot>> StreamIngestor::SealMerged() {
+  // Freeze every shard sketch at once (ascending order; producers mid-flush
+  // block here, producers mid-admission do not).
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    locks.emplace_back(shard->apply_mutex);
+  }
+  auto snapshot = std::make_shared<StreamSnapshot>();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    snapshot->updates_applied += shard->applied;
+  }
+  if (options_.k == 0) {
+    AgmConnectivitySketch merged(num_vertices_, options_.rounds,
+                                 options_.seed);
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      DCS_RETURN_IF_ERROR(merged.TryMergeFrom(*shard->sketch));
+    }
+    // The merge is done; Boruvka extraction works on the private copy, so
+    // producers may resume flushing.
+    locks.clear();
+    snapshot->digest = merged.Digest();
+    snapshot->forest = merged.SpanningForest();
+    // A forest is acyclic, so components = n − |forest|.
+    snapshot->components =
+        num_vertices_ - static_cast<int>(snapshot->forest.size());
+  } else {
+    AgmKConnectivitySketch merged(num_vertices_, options_.k, options_.rounds,
+                                  options_.seed);
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      DCS_RETURN_IF_ERROR(merged.TryMergeFrom(*shard->ksketch));
+    }
+    locks.clear();
+    snapshot->digest = merged.Digest();
+    snapshot->certificate = merged.Certificate();
+    snapshot->min_cut_up_to_k = merged.MinCutUpToK();
+    ForestOf(*snapshot->certificate, snapshot->forest, snapshot->components);
+  }
+  snapshot->connected = snapshot->components == 1;
+  return snapshot;
+}
+
+StatusOr<int64_t> StreamIngestor::Barrier() {
+  std::lock_guard<std::mutex> barrier_lock(barrier_mutex_);
+  pool_.ParallelFor(num_shards(), [this](int64_t s) {
+    FlushShard(*shards_[static_cast<size_t>(s)]);
+  });
+  DCS_ASSIGN_OR_RETURN(std::shared_ptr<StreamSnapshot> snapshot, SealMerged());
+  std::lock_guard<std::mutex> snapshot_lock(snapshot_mutex_);
+  snapshot->epoch = snapshot_->epoch + 1;
+  snapshot_ = std::move(snapshot);
+  return snapshot_->epoch;
+}
+
+std::shared_ptr<const StreamSnapshot> StreamIngestor::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+CutOracle StreamIngestor::EpochCutOracle() const {
+  DCS_CHECK_GT(options_.k, 0);
+  return CutOracle([this](const VertexSet& side) -> double {
+    const std::shared_ptr<const StreamSnapshot> snap = snapshot();
+    return snap->certificate->CutWeight(side);
+  });
+}
+
+StatusOr<int64_t> ReplayStream(BinaryStreamReader& reader,
+                               StreamIngestor& ingestor,
+                               int64_t updates_per_epoch) {
+  DCS_CHECK_GE(updates_per_epoch, 0);
+  int64_t applied = 0;
+  int64_t since_barrier = 0;
+  while (!reader.AtEnd()) {
+    DCS_ASSIGN_OR_RETURN(const EdgeUpdate update, reader.Next());
+    DCS_RETURN_IF_ERROR(ingestor.Push(update));
+    ++applied;
+    if (updates_per_epoch > 0 && ++since_barrier >= updates_per_epoch) {
+      DCS_RETURN_IF_ERROR(ingestor.Barrier().status());
+      since_barrier = 0;
+    }
+  }
+  DCS_RETURN_IF_ERROR(ingestor.Barrier().status());
+  return applied;
+}
+
+}  // namespace dcs

@@ -1,0 +1,199 @@
+// Concurrent streaming ingestion with snapshot-consistent queries.
+//
+// The AGM sketches (stream/agm_sketch.h) are linear, so edge updates from
+// many producers can be applied in any order — and edge-disjoint parts can
+// be sketched independently and merged. StreamIngestor turns that algebra
+// into a pipeline:
+//
+//  * producers Push() inserts/deletes from any number of threads;
+//  * each update is admitted into a fixed-capacity per-shard *gutter*
+//    (shard = min(u, v) % num_shards, so shards are edge-disjoint), and a
+//    full gutter is flushed by the producer that filled it into the shard's
+//    incrementally maintained sketch;
+//  * Barrier() drains every gutter over the ThreadPool, merges the shard
+//    sketches (TryMergeFrom — a mismatch surfaces as a Status, never an
+//    abort), and seals an immutable StreamSnapshot under a monotonically
+//    increasing epoch number;
+//  * queries run against the last sealed snapshot while ingestion
+//    continues (snapshot-at-batch-boundary consistency): snapshot() hands
+//    out a shared_ptr to frozen state, and EpochCutOracle() adapts it to
+//    the CutQueryService registration path.
+//
+// Because every sketch transition is a commutative addition, the final
+// sketch — and therefore every snapshot digest — is bit-identical for any
+// producer count, thread count, gutter size, and flush interleaving. Tests
+// and bench_stream assert exactly that.
+//
+// Admission is also where deletions are validated: each shard tracks the
+// live multiplicity of its edges (buffered updates included), and a delete
+// of an edge that was never inserted is rejected with kFailedPrecondition
+// *before* it can reach a sketch. (A raw RemoveEdge of a never-inserted
+// edge silently corrupts the linear measurements — see
+// stream_test.cc RemoveNeverInsertedEdgeCorruptsRawSketch.)
+//
+// Lock order: gutter_mutex before apply_mutex within a shard; the barrier
+// takes apply mutexes in ascending shard order. No thread ever holds two
+// gutter mutexes.
+
+#ifndef DCS_STREAM_INGEST_H_
+#define DCS_STREAM_INGEST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+#include "graph/ugraph.h"
+#include "lowerbound/cut_oracle.h"
+#include "stream/agm_sketch.h"
+#include "stream/binary_stream.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace dcs {
+
+struct StreamIngestorOptions {
+  // Edge-disjoint sketch shards (>= 1). More shards reduce producer
+  // contention; the sealed result is bit-identical regardless.
+  int num_shards = 4;
+  // Updates buffered per shard before the admitting producer flushes the
+  // gutter into the shard sketch (>= 1).
+  int gutter_capacity = 256;
+  // Threads used by Barrier() to drain gutters (>= 1).
+  int num_threads = 1;
+  // Boruvka rounds per connectivity sketch; 0 = the sketch default.
+  int rounds = 0;
+  // k > 0 maintains AgmKConnectivitySketch shards (sparse cut certificate,
+  // min-cut-up-to-k, EpochCutOracle); k == 0 maintains plain
+  // AgmConnectivitySketch shards (connectivity/forest only).
+  int k = 0;
+  // Sketch seed; all shards share it (required for merging).
+  uint64_t seed = 1;
+};
+
+// Immutable state sealed by one Barrier() call. Queries against a snapshot
+// are stable no matter how much ingestion happens afterwards.
+struct StreamSnapshot {
+  // Monotonically increasing: 0 for the empty pre-ingestion snapshot
+  // sealed at construction, +1 per Barrier().
+  int64_t epoch = 0;
+  // Updates included in this snapshot.
+  int64_t updates_applied = 0;
+  // Digest of the merged sketch (AgmConnectivitySketch::Digest /
+  // AgmKConnectivitySketch::Digest): the bit-identity witness.
+  uint64_t digest = 0;
+
+  // Connectivity view (whp correct; see AgmConnectivitySketch).
+  std::vector<Edge> forest;
+  int components = 0;
+  bool connected = false;
+
+  // k > 0 only: the k-forest sparse certificate and its global min cut
+  // (exact below k, else a value in [k, true min cut]).
+  std::optional<UndirectedGraph> certificate;
+  double min_cut_up_to_k = 0.0;
+};
+
+class StreamIngestor {
+ public:
+  explicit StreamIngestor(int num_vertices,
+                          StreamIngestorOptions options = {});
+
+  StreamIngestor(const StreamIngestor&) = delete;
+  StreamIngestor& operator=(const StreamIngestor&) = delete;
+
+  int num_vertices() const { return num_vertices_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const StreamIngestorOptions& options() const { return options_; }
+
+  // Admits one update. Thread-safe; any number of concurrent callers.
+  //   kInvalidArgument  — endpoint out of [0, n) or a self-loop;
+  //   kFailedPrecondition — delete of an edge with live multiplicity 0.
+  // Rejected updates leave every sketch and gutter untouched.
+  Status Push(const EdgeUpdate& update);
+  Status PushInsert(VertexId u, VertexId v);
+  Status PushDelete(VertexId u, VertexId v);
+
+  // Drains all gutters (ThreadPool-parallel), merges the shard sketches,
+  // and seals a new snapshot. Returns the new epoch number. Updates pushed
+  // concurrently with a Barrier land in either this epoch or the next
+  // (snapshot-at-batch-boundary consistency); updates admitted before
+  // Barrier() is called are always included. Thread-safe; concurrent
+  // barriers serialize.
+  StatusOr<int64_t> Barrier();
+
+  // The last sealed snapshot (never null). Cheap; safe concurrently with
+  // Push and Barrier.
+  std::shared_ptr<const StreamSnapshot> snapshot() const;
+
+  // Epoch of the last sealed snapshot.
+  int64_t epoch() const { return snapshot()->epoch; }
+
+  // Total updates admitted (including still-buffered ones).
+  int64_t updates_accepted() const {
+    return updates_accepted_.load(std::memory_order_relaxed);
+  }
+
+  // A cut oracle over the *current* sealed certificate: each query reads
+  // the latest snapshot, so answers move only at epoch boundaries. Register
+  // with CutQueryService as cacheable=false (answers change per epoch).
+  // Requires options.k > 0 (no certificate is maintained otherwise).
+  CutOracle EpochCutOracle() const;
+
+ private:
+  struct Shard {
+    // Admission state. gutter_mutex also guards `live`: per-edge live
+    // multiplicity counting every admitted update (buffered or applied),
+    // the ledger that rejects negative-going deletes.
+    std::mutex gutter_mutex;
+    std::vector<EdgeUpdate> gutter;
+    std::unordered_map<int64_t, int64_t> live;
+
+    // Application state: exactly one sketch is engaged (by options.k).
+    std::mutex apply_mutex;
+    std::optional<AgmConnectivitySketch> sketch;
+    std::optional<AgmKConnectivitySketch> ksketch;
+    int64_t applied = 0;  // updates applied to the sketch
+  };
+
+  // Applies a drained batch to the shard sketch (caller holds apply_mutex).
+  void ApplyBatch(Shard& shard, const std::vector<EdgeUpdate>& batch);
+
+  // Swaps the gutter out and applies it (takes both shard mutexes in
+  // order).
+  void FlushShard(Shard& shard);
+
+  // Merges the shard sketches under all apply mutexes into a snapshot with
+  // everything but the epoch number filled in. TryMergeFrom failures (never
+  // expected from the ingestor's own same-seed shards) propagate as a
+  // Status.
+  StatusOr<std::shared_ptr<StreamSnapshot>> SealMerged();
+
+  int num_vertices_;
+  StreamIngestorOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ThreadPool pool_;
+  std::atomic<int64_t> updates_accepted_{0};
+
+  // Serializes Barrier() calls (also makes ParallelFor single-caller).
+  std::mutex barrier_mutex_;
+
+  // Guards snapshot_ swaps; epoch lives inside the snapshot.
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const StreamSnapshot> snapshot_;
+};
+
+// Replays every update of `reader` into `ingestor`, sealing an epoch every
+// `updates_per_epoch` updates (0 = single final epoch). Stops at the first
+// failed update or barrier. Returns the number of updates applied.
+StatusOr<int64_t> ReplayStream(BinaryStreamReader& reader,
+                               StreamIngestor& ingestor,
+                               int64_t updates_per_epoch);
+
+}  // namespace dcs
+
+#endif  // DCS_STREAM_INGEST_H_

@@ -52,14 +52,29 @@ OneSparseRecovery::OneSparseRecovery(uint64_t fingerprint_base)
 }
 
 void OneSparseRecovery::Update(int64_t index, int64_t delta) {
+  UpdateWithPower(index, delta,
+                  PowMod(fingerprint_base_, static_cast<uint64_t>(index)));
+}
+
+void OneSparseRecovery::UpdateWithPower(int64_t index, int64_t delta,
+                                        uint64_t power) {
   DCS_CHECK_GE(index, 0);
   sum_ += delta;
   weighted_ += static_cast<__int128>(delta) * index;
-  const uint64_t term = MulMod(
-      SignedMod(delta), PowMod(fingerprint_base_,
-                               static_cast<uint64_t>(index)));
+  const uint64_t term = MulMod(SignedMod(delta), power);
   fingerprint_ = fingerprint_ + term;
   if (fingerprint_ >= kModulus) fingerprint_ -= kModulus;
+}
+
+void OneSparseRecovery::AppendDigest(uint64_t& digest) const {
+  constexpr uint64_t kPrime = 1099511628211ULL;  // FNV-1a 64-bit prime
+  const auto fold = [&digest](uint64_t word) {
+    digest = (digest ^ word) * kPrime;
+  };
+  fold(static_cast<uint64_t>(sum_));
+  fold(static_cast<uint64_t>(static_cast<unsigned __int128>(weighted_)));
+  fold(static_cast<uint64_t>(static_cast<unsigned __int128>(weighted_) >> 64));
+  fold(fingerprint_);
 }
 
 void OneSparseRecovery::MergeFrom(const OneSparseRecovery& other) {
@@ -103,6 +118,26 @@ L0Sampler::L0Sampler(int64_t universe, uint64_t seed)
   for (int j = 0; j < level_count; ++j) {
     levels_.emplace_back(base);
   }
+  // Cache base^(2^i) for every bit position an index can occupy, so the
+  // per-update exponentiation is one multiply per set index bit. The
+  // squaring chain is exactly what PowMod would recompute on every update.
+  int index_bits = 1;
+  while ((universe_ - 1) >> index_bits != 0) ++index_bits;
+  pow_squares_.reserve(static_cast<size_t>(index_bits));
+  uint64_t square = base;
+  for (int i = 0; i < index_bits; ++i) {
+    pow_squares_.push_back(square);
+    square = MulMod(square, square);
+  }
+}
+
+uint64_t L0Sampler::PowerOf(int64_t index) const {
+  uint64_t result = 1;
+  uint64_t bits = static_cast<uint64_t>(index);
+  for (size_t i = 0; bits != 0; ++i, bits >>= 1) {
+    if (bits & 1) result = MulMod(result, pow_squares_[i]);
+  }
+  return result;
 }
 
 int L0Sampler::LevelOf(int64_t index) const {
@@ -116,10 +151,21 @@ void L0Sampler::Update(int64_t index, int64_t delta) {
   DCS_CHECK_GE(index, 0);
   DCS_CHECK_LT(index, universe_);
   if (delta == 0) return;
+  Update(index, delta, PowerOf(index));
+}
+
+void L0Sampler::Update(int64_t index, int64_t delta, uint64_t power) {
+  DCS_CHECK_GE(index, 0);
+  DCS_CHECK_LT(index, universe_);
+  if (delta == 0) return;
   const int deepest = LevelOf(index);
   for (int j = 0; j <= deepest; ++j) {
-    levels_[static_cast<size_t>(j)].Update(index, delta);
+    levels_[static_cast<size_t>(j)].UpdateWithPower(index, delta, power);
   }
+}
+
+void L0Sampler::AppendDigest(uint64_t& digest) const {
+  for (const OneSparseRecovery& level : levels_) level.AppendDigest(digest);
 }
 
 void L0Sampler::MergeFrom(const L0Sampler& other) {

@@ -44,8 +44,18 @@ class OneSparseRecovery {
   // Applies a_i += delta.
   void Update(int64_t index, int64_t delta);
 
+  // Same update with the fingerprint power r^index mod q precomputed by the
+  // caller (L0Sampler caches powers of the base; every level of one update
+  // shares the same power, so the modular exponentiation happens once).
+  void UpdateWithPower(int64_t index, int64_t delta, uint64_t power);
+
   // Adds another structure built with the same base.
   void MergeFrom(const OneSparseRecovery& other);
+
+  // Folds the exact internal state (sum, weighted sum, fingerprint) into an
+  // FNV-style running hash. Two structures with equal state — and only
+  // those, up to hash collisions — fold identically.
+  void AppendDigest(uint64_t& digest) const;
 
   // True if no updates survive (the zero vector, whp).
   bool IsZero() const;
@@ -72,7 +82,20 @@ class L0Sampler {
   L0Sampler(int64_t universe, uint64_t seed);
 
   void Update(int64_t index, int64_t delta);
+  // Update with r^index mod q already computed. All samplers constructed
+  // from the same seed share the fingerprint base, so a caller touching
+  // several same-seed samplers with one coordinate (the AGM sketch writes
+  // +1/−1 into the two endpoints' samplers) computes the power once via
+  // PowerOf and reuses it.
+  void Update(int64_t index, int64_t delta, uint64_t power);
   void MergeFrom(const L0Sampler& other);
+
+  // r^index mod q from the cached square table (~one modular multiply per
+  // set bit of `index`, instead of a full square-and-multiply ladder).
+  uint64_t PowerOf(int64_t index) const;
+
+  // Folds all level states into `digest` (see OneSparseRecovery).
+  void AppendDigest(uint64_t& digest) const;
 
   // Some nonzero coordinate of the maintained vector, or nullopt if the
   // vector is zero or sampling failed at every level (constant failure
@@ -98,6 +121,10 @@ class L0Sampler {
   int64_t universe_;
   uint64_t seed_;
   std::vector<OneSparseRecovery> levels_;
+  // pow_squares_[i] = base^(2^i) mod q, enough entries to cover any index
+  // in [0, universe). Shared by every update; identical for samplers built
+  // from the same seed.
+  std::vector<uint64_t> pow_squares_;
 };
 
 }  // namespace dcs

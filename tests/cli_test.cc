@@ -294,6 +294,60 @@ TEST(CliTest, ServeMetricsJsonCountsLogicalQueries) {
   EXPECT_EQ(hits->int_value(), 90);
 }
 
+TEST(CliTest, StreamMakeAndReplayPipeline) {
+  const std::string stream = "/tmp/dcs_cli_test_updates.bin";
+  EXPECT_EQ(RunCli("stream --make 1 --n 64 --updates 2000 --delete-frac 0.2 "
+                   "--seed 5 --out " + stream),
+            0);
+  // Replay serially, multi-producer, and with k-connectivity snapshots —
+  // all against the same stream file.
+  EXPECT_EQ(RunCli("stream --in " + stream + " --epochs 2"), 0);
+  EXPECT_EQ(RunCli("stream --in " + stream +
+                   " --inserters 2 --shards 4 --gutter 64"),
+            0);
+  EXPECT_EQ(RunCli("stream --in " + stream + " --k 3 --epochs 2"), 0);
+}
+
+TEST(CliTest, StreamReplayDigestIdenticalAcrossInserters) {
+  const std::string stream = "/tmp/dcs_cli_test_updates_digest.bin";
+  ASSERT_EQ(RunCli("stream --make 1 --n 48 --updates 1500 --seed 9 "
+                   "--out " + stream),
+            0);
+  std::string serial, parallel;
+  ASSERT_EQ(RunCliCapture("stream --in " + stream + " --inserters 1",
+                          &serial),
+            0);
+  ASSERT_EQ(RunCliCapture("stream --in " + stream +
+                              " --inserters 4 --gutter 32",
+                          &parallel),
+            0);
+  // Last line is "final digest <hex>": it must not depend on inserters.
+  const auto last_line = [](const std::string& text) {
+    const size_t end = text.find_last_not_of('\n');
+    const size_t start = text.rfind('\n', end);
+    return text.substr(start + 1, end - start);
+  };
+  EXPECT_EQ(last_line(serial), last_line(parallel));
+  EXPECT_NE(serial.find("final digest"), std::string::npos);
+}
+
+TEST(CliTest, StreamMissingOrCorruptInputExitsOne) {
+  EXPECT_EQ(RunCli("stream --in /nonexistent/updates.bin"), 1);
+  const std::string path = "/tmp/dcs_cli_test_corrupt_updates.bin";
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  const char junk[] = "not an edge stream";
+  std::fwrite(junk, 1, sizeof junk, file);
+  std::fclose(file);
+  EXPECT_EQ(RunCli("stream --in " + path), 1);
+}
+
+TEST(CliTest, StreamBadFlagValuesExitTwo) {
+  EXPECT_EQ(RunCli("stream --make 1 --n 1"), 2);
+  EXPECT_EQ(RunCli("stream --make 1 --delete-frac 1.5"), 2);
+  EXPECT_EQ(RunCli("stream --in whatever --inserters 0"), 2);
+}
+
 TEST(CliChaosTest, ProtocolSubcommandRunsFaultFreeAndUnderChaos) {
   EXPECT_EQ(RunCli("protocol --kind foreach --probes 8 --seed 3"), 0);
   EXPECT_EQ(RunCli("protocol --kind forall --trials 4 --seed 3"), 0);

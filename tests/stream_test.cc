@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "graph/connectivity.h"
 #include "graph/generators.h"
@@ -303,6 +305,159 @@ TEST(AgmKConnectivityTest, MergeAcrossServers) {
   }
   a.MergeFrom(b);
   EXPECT_DOUBLE_EQ(a.MinCutUpToK(), 2.0);
+}
+
+// --- TryMergeFrom: incompatible sketches surface Status, never abort. ---
+
+TEST(AgmSketchMergeTest, TryMergeFromRejectsVertexCountMismatch) {
+  AgmConnectivitySketch a(16, 4, 7);
+  const AgmConnectivitySketch b(17, 4, 7);
+  const Status status = a.TryMergeFrom(b);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AgmSketchMergeTest, TryMergeFromRejectsRoundsMismatch) {
+  AgmConnectivitySketch a(16, 4, 7);
+  const AgmConnectivitySketch b(16, 5, 7);
+  EXPECT_EQ(a.TryMergeFrom(b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AgmSketchMergeTest, TryMergeFromRejectsSeedMismatch) {
+  AgmConnectivitySketch a(16, 4, 7);
+  const AgmConnectivitySketch b(16, 4, 8);
+  EXPECT_EQ(a.TryMergeFrom(b).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AgmSketchMergeTest, TryMergeFromOkMatchesMergeFrom) {
+  AgmConnectivitySketch via_try(8, 3, 9);
+  AgmConnectivitySketch via_abort(8, 3, 9);
+  AgmConnectivitySketch other(8, 3, 9);
+  via_try.AddEdge(0, 1);
+  via_abort.AddEdge(0, 1);
+  other.AddEdge(1, 2);
+  ASSERT_TRUE(via_try.TryMergeFrom(other).ok());
+  via_abort.MergeFrom(other);
+  EXPECT_EQ(via_try.Digest(), via_abort.Digest());
+}
+
+TEST(AgmSketchMergeTest, KSketchTryMergeFromRejectsMismatch) {
+  AgmKConnectivitySketch a(16, 3, 4, 7);
+  EXPECT_EQ(a.TryMergeFrom(AgmKConnectivitySketch(17, 3, 4, 7)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(a.TryMergeFrom(AgmKConnectivitySketch(16, 2, 4, 7)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(a.TryMergeFrom(AgmKConnectivitySketch(16, 3, 5, 7)).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(a.TryMergeFrom(AgmKConnectivitySketch(16, 3, 4, 8)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AgmSketchMergeTest, KSketchFailedMergeLeavesStateUntouched) {
+  // Compatibility is validated across all layers before any layer is
+  // mutated, so a rejected merge cannot leave the sketch half-merged.
+  AgmKConnectivitySketch a(16, 3, 4, 7);
+  a.AddEdge(0, 1);
+  const uint64_t before = a.Digest();
+  AgmKConnectivitySketch mismatched(16, 3, 4, 8);
+  mismatched.AddEdge(2, 3);
+  ASSERT_FALSE(a.TryMergeFrom(mismatched).ok());
+  EXPECT_EQ(a.Digest(), before);
+}
+
+// --- Digests: equal state ⇔ equal digest (up to hash collisions). ---
+
+TEST(AgmSketchDigestTest, InsertionOrderDoesNotChangeDigest) {
+  const UndirectedGraph g = DumbbellGraph(8, 2);
+  AgmConnectivitySketch forward(16, 4, 11);
+  AgmConnectivitySketch backward(16, 4, 11);
+  for (const Edge& e : g.edges()) forward.AddEdge(e.src, e.dst);
+  for (size_t i = g.edges().size(); i-- > 0;) {
+    backward.AddEdge(g.edges()[i].src, g.edges()[i].dst);
+  }
+  EXPECT_EQ(forward.Digest(), backward.Digest());
+}
+
+TEST(AgmSketchDigestTest, InsertDeleteCancelsToEmptyDigest) {
+  AgmConnectivitySketch sketch(16, 4, 11);
+  const uint64_t empty = sketch.Digest();
+  sketch.AddEdge(3, 9);
+  EXPECT_NE(sketch.Digest(), empty);
+  sketch.RemoveEdge(3, 9);
+  EXPECT_EQ(sketch.Digest(), empty);
+}
+
+TEST(AgmSketchDigestTest, DigestCoversIdentity) {
+  // Same (empty) measurement state, different identity: digests differ.
+  EXPECT_NE(AgmConnectivitySketch(16, 4, 11).Digest(),
+            AgmConnectivitySketch(16, 4, 12).Digest());
+  EXPECT_NE(AgmConnectivitySketch(16, 4, 11).Digest(),
+            AgmConnectivitySketch(16, 5, 11).Digest());
+}
+
+// --- Merge under deletion: edge-disjoint sharded maintenance with
+// interleaved inserts/deletes merges bit-identically to serial. ---
+
+TEST(AgmSketchMergeTest, ShardedMergeUnderDeletionMatchesSerial) {
+  Rng rng(31);
+  const int n = 48;
+  AgmConnectivitySketch serial(n, 5, 13);
+  AgmConnectivitySketch shard_a(n, 5, 13);
+  AgmConnectivitySketch shard_b(n, 5, 13);
+  // Random inserts with interleaved deletes of live edges; shards are
+  // edge-disjoint (by canonical lower endpoint parity).
+  std::vector<std::pair<VertexId, VertexId>> live;
+  for (int step = 0; step < 400; ++step) {
+    if (!live.empty() && rng.Bernoulli(0.3)) {
+      const size_t pick = static_cast<size_t>(rng.UniformInt(live.size()));
+      const auto [u, v] = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      serial.RemoveEdge(u, v);
+      (std::min(u, v) % 2 == 0 ? shard_a : shard_b).RemoveEdge(u, v);
+    } else {
+      const VertexId u = static_cast<VertexId>(rng.UniformInt(n));
+      VertexId v = static_cast<VertexId>(rng.UniformInt(n - 1));
+      if (v >= u) ++v;
+      live.emplace_back(u, v);
+      serial.AddEdge(u, v);
+      (std::min(u, v) % 2 == 0 ? shard_a : shard_b).AddEdge(u, v);
+    }
+  }
+  ASSERT_TRUE(shard_a.TryMergeFrom(shard_b).ok());
+  EXPECT_EQ(shard_a.Digest(), serial.Digest());
+}
+
+TEST(AgmKConnectivityTest, ShardedMergeUnderDeletionMatchesSerial) {
+  const UndirectedGraph g = DumbbellGraph(10, 3);
+  AgmKConnectivitySketch serial(20, 4, 0, 17);
+  AgmKConnectivitySketch shard_a(20, 4, 0, 17);
+  AgmKConnectivitySketch shard_b(20, 4, 0, 17);
+  for (size_t i = 0; i < g.edges().size(); ++i) {
+    const Edge& e = g.edges()[i];
+    serial.AddEdge(e.src, e.dst);
+    (i % 2 == 0 ? shard_a : shard_b).AddEdge(e.src, e.dst);
+  }
+  serial.RemoveEdge(0, 10);
+  shard_a.RemoveEdge(0, 10);
+  ASSERT_TRUE(shard_a.TryMergeFrom(shard_b).ok());
+  EXPECT_EQ(shard_a.Digest(), serial.Digest());
+  EXPECT_DOUBLE_EQ(shard_a.MinCutUpToK(), serial.MinCutUpToK());
+}
+
+// --- Regression: RemoveEdge of a never-inserted edge silently corrupts
+// the raw sketch. The sketch is linear, so nothing aborts — the vector
+// coordinate just goes negative and every query downstream is answered
+// against a graph that never existed. This is exactly why the streaming
+// ingestor validates deletes at admission (kFailedPrecondition) instead
+// of letting them reach a sketch (see ingest_test.cc). ---
+
+TEST(AgmSketchRegressionTest, RemoveNeverInsertedEdgeCorruptsRawSketch) {
+  AgmConnectivitySketch sketch(16, 4, 19);
+  const uint64_t clean = sketch.Digest();
+  sketch.RemoveEdge(2, 7);  // never inserted: state is now corrupt...
+  EXPECT_NE(sketch.Digest(), clean);
+  sketch.AddEdge(2, 7);  // ...but linearity means a later insert cancels it
+  EXPECT_EQ(sketch.Digest(), clean);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 #include <vector>
 
 #include "comm/channel.h"
@@ -18,6 +19,7 @@
 #include "lowerbound/forall_encoding.h"
 #include "lowerbound/foreach_encoding.h"
 #include "serve/cut_query_service.h"
+#include "stream/ingest.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -233,6 +235,84 @@ void StressServeCacheConcurrency() {
   Require(service.cache_size() <= 16, "serve stress: capacity respected");
 }
 
+void StressStreamIngest() {
+  // The streaming ingestion pipeline under its full concurrency surface:
+  // N producer threads pushing per-producer balanced insert/delete streams
+  // (each producer's deletes target only its own inserts, so any
+  // interleaving is admissible), racing a thread that repeatedly seals
+  // epochs with Barrier() and queries the sealed snapshots. TSan watches
+  // the gutter admission/flush hand-off, the apply-mutex serialization,
+  // and the snapshot swap; the final digest must equal the serial
+  // reference regardless of every interleaving TSan provokes.
+  constexpr int kProducers = 4;
+  constexpr int kVertices = 48;
+  constexpr int kRounds = 4;
+  constexpr uint64_t kSeed = 91;
+  std::vector<std::vector<EdgeUpdate>> streams;
+  for (int p = 0; p < kProducers; ++p) {
+    Rng rng(SubtaskSeed(kSeed, p));
+    streams.push_back(RandomUpdateStream(kVertices, 4000, 0.3, rng));
+  }
+  AgmConnectivitySketch reference(kVertices, kRounds, kSeed);
+  for (const std::vector<EdgeUpdate>& stream : streams) {
+    for (const EdgeUpdate& update : stream) {
+      if (update.is_delete) {
+        reference.RemoveEdge(update.u, update.v);
+      } else {
+        reference.AddEdge(update.u, update.v);
+      }
+    }
+  }
+
+  StreamIngestorOptions options;
+  options.num_shards = 4;
+  options.gutter_capacity = 16;  // small: maximize flush hand-offs
+  options.num_threads = 2;
+  options.rounds = kRounds;
+  options.seed = kSeed;
+  StreamIngestor ingestor(kVertices, options);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> push_failures{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ingestor, &streams, &push_failures, p] {
+      for (const EdgeUpdate& update : streams[static_cast<size_t>(p)]) {
+        if (!ingestor.Push(update).ok()) {
+          push_failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Concurrent epoch sealing + snapshot queries while producers run.
+  std::thread query_thread([&ingestor, &done] {
+    int64_t last_epoch = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto epoch = ingestor.Barrier();
+      Require(epoch.ok(), "stream ingest stress: concurrent barrier");
+      Require(*epoch > last_epoch,
+              "stream ingest stress: epochs strictly increase");
+      last_epoch = *epoch;
+      const auto snapshot = ingestor.snapshot();
+      Require(snapshot->epoch == last_epoch,
+              "stream ingest stress: snapshot matches sealed epoch");
+      Require(snapshot->components >= 1 &&
+                  snapshot->components <= kVertices,
+              "stream ingest stress: component count in range");
+    }
+  });
+  for (std::thread& producer : producers) producer.join();
+  done.store(true, std::memory_order_release);
+  query_thread.join();
+
+  Require(push_failures.load() == 0,
+          "stream ingest stress: all balanced pushes admitted");
+  const auto final_epoch = ingestor.Barrier();
+  Require(final_epoch.ok(), "stream ingest stress: final barrier");
+  Require(ingestor.snapshot()->digest == reference.Digest(),
+          "stream ingest stress: final digest equals serial reference");
+}
+
 }  // namespace
 }  // namespace dcs
 
@@ -243,6 +323,7 @@ int main() {
   dcs::StressTrialRunners();
   dcs::StressChannelParallelTransfers();
   dcs::StressServeCacheConcurrency();
+  dcs::StressStreamIngest();
   std::printf("tsan stress: OK\n");
   return 0;
 }

@@ -18,6 +18,9 @@
 //   serve      run batched cut queries through the CutQueryService and
 //              report cold vs warm-cache round times plus cache counters,
 //              verifying warm answers are bit-identical to the cold pass
+//   stream     write a replayable binary edge-update stream (--make), or
+//              replay one through the concurrent StreamIngestor with
+//              epoch barriers and per-epoch connectivity/min-cut reports
 //
 // Chaos flags (protocol, distributed): passing any of --chaos-seed,
 // --chaos-drop, --chaos-flip, --chaos-truncate, --chaos-duplicate,
@@ -37,6 +40,8 @@
 //   dcs protocol --kind foreach --probes 32 --chaos-seed 7 --chaos-drop 0.05
 //   dcs distributed --in g.txt --servers 4 --chaos-seed 7 --chaos-drop 0.3
 //   dcs serve --n 128 --rounds 4 --batch 512 --pool 64 --threads 4
+//   dcs stream --make 1 --n 256 --updates 20000 --out updates.bin
+//   dcs stream --in updates.bin --inserters 2 --shards 4 --k 2 --epochs 4
 
 // Exit codes: 0 success, 1 runtime/data error (unreadable or corrupt
 // input, failed write), 2 usage error (unknown command/flag, malformed
@@ -47,6 +52,7 @@
 // local queries, per-sketch-kind serialized bit sizes, ...) is written to
 // FILE as deterministic JSON. See DESIGN.md §8.
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <climits>
@@ -54,8 +60,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "comm/channel.h"
 #include "distributed/distributed_mincut.h"
@@ -66,6 +75,8 @@
 #include "localquery/mincut_estimator.h"
 #include "lowerbound/protocols.h"
 #include "stream/agm_sketch.h"
+#include "stream/binary_stream.h"
+#include "stream/ingest.h"
 #include "lowerbound/forall_encoding.h"
 #include "lowerbound/foreach_encoding.h"
 #include "mincut/directed_mincut.h"
@@ -682,11 +693,171 @@ int CmdServe(const FlagMap& flags) {
   return 0;
 }
 
+// The concurrent streaming ingestion pipeline (DESIGN.md §12).
+//
+//   dcs stream --make 1 --n 256 --updates 20000 --delete-frac 0.2
+//       --seed 7 --out updates.bin
+// writes a reproducible random insert/delete stream in the checksummed
+// binary format (stream/binary_stream.h);
+//
+//   dcs stream --in updates.bin --inserters 2 --shards 4 --gutter 256
+//       --k 2 --epochs 4
+// replays it through a StreamIngestor, sealing --epochs snapshots along
+// the way and reporting each epoch's connectivity (and min-cut-up-to-k
+// when --k > 0) plus the final sketch digest. With --inserters > 1 the
+// updates are partitioned *by edge* across producer threads: all updates
+// of one edge stay with one producer in stream order, so per-edge
+// insert/delete ordering — the thing delete validation checks — is
+// preserved, and the final digest is identical to a serial replay.
+//
+// A delete of a never-inserted edge in the input is rejected with
+// kFailedPrecondition and exits 1 (see README troubleshooting).
+int CmdStream(const FlagMap& flags) {
+  if (HasFlag(flags, "make")) {
+    const int n = GetInt(flags, "n", 256);
+    const int updates = GetInt(flags, "updates", 20000);
+    const double delete_frac = GetDouble(flags, "delete-frac", 0.2);
+    const std::string out = GetFlag(flags, "out", "updates.bin");
+    if (n < 2 || updates < 0 || delete_frac < 0 || delete_frac > 1) {
+      std::fprintf(stderr,
+                   "stream --make needs --n >= 2, --updates >= 0, "
+                   "--delete-frac in [0, 1]\n");
+      return 2;
+    }
+    dcs::Rng rng(static_cast<uint64_t>(GetInt(flags, "seed", 1)));
+    dcs::BinaryStreamWriter writer(n);
+    for (const dcs::EdgeUpdate& update :
+         dcs::RandomUpdateStream(n, updates, delete_frac, rng)) {
+      writer.Append(update);
+    }
+    const dcs::Status status = writer.WriteFile(out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %lld updates over %d vertices to %s\n",
+                static_cast<long long>(writer.update_count()), n, out.c_str());
+    return 0;
+  }
+
+  const std::string in = GetFlag(flags, "in", "updates.bin");
+  const int inserters = GetInt(flags, "inserters", 1);
+  const int epochs = GetInt(flags, "epochs", 1);
+  dcs::StreamIngestorOptions options;
+  options.num_shards = GetInt(flags, "shards", 4);
+  options.gutter_capacity = GetInt(flags, "gutter", 256);
+  options.num_threads = GetInt(flags, "threads", 1);
+  options.k = GetInt(flags, "k", 0);
+  options.rounds = GetInt(flags, "rounds", 0);
+  options.seed = static_cast<uint64_t>(GetInt(flags, "seed", 1));
+  if (inserters < 1 || epochs < 1 || options.num_shards < 1 ||
+      options.gutter_capacity < 1 || options.num_threads < 1 ||
+      options.k < 0 || options.rounds < 0) {
+    std::fprintf(stderr,
+                 "stream needs --inserters/--epochs/--shards/--gutter/"
+                 "--threads >= 1 and --k/--rounds >= 0\n");
+    return 2;
+  }
+
+  auto reader = dcs::BinaryStreamReader::FromFile(in);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<dcs::EdgeUpdate> updates;
+  updates.reserve(static_cast<size_t>(reader->update_count()));
+  while (!reader->AtEnd()) {
+    auto update = reader->Next();
+    if (!update.ok()) {
+      std::fprintf(stderr, "%s\n", update.status().ToString().c_str());
+      return 1;
+    }
+    updates.push_back(*update);
+  }
+
+  dcs::StreamIngestor ingestor(reader->num_vertices(), options);
+  std::printf("replaying %zu updates over %d vertices: %d inserters, "
+              "%d shards, gutter %d, k %d, %d epoch%s\n",
+              updates.size(), reader->num_vertices(), inserters,
+              options.num_shards, options.gutter_capacity, options.k, epochs,
+              epochs == 1 ? "" : "s");
+
+  const size_t per_epoch = (updates.size() + static_cast<size_t>(epochs) - 1) /
+                           static_cast<size_t>(epochs);
+  for (int e = 0; e < epochs; ++e) {
+    const size_t begin = std::min(static_cast<size_t>(e) * per_epoch,
+                                  updates.size());
+    const size_t end = std::min(begin + per_epoch, updates.size());
+    // Partition this epoch's slice by edge: producer of {u, v} is a hash of
+    // the canonical endpoints, so one producer sees all of an edge's
+    // updates in stream order and delete validation is interleaving-proof.
+    std::vector<std::vector<dcs::EdgeUpdate>> slices(
+        static_cast<size_t>(inserters));
+    for (size_t i = begin; i < end; ++i) {
+      const dcs::EdgeUpdate& update = updates[i];
+      const uint64_t lo = static_cast<uint64_t>(
+          update.u < update.v ? update.u : update.v);
+      const uint64_t hi = static_cast<uint64_t>(
+          update.u < update.v ? update.v : update.u);
+      const uint64_t key = (lo << 32 | hi) * 0x9e3779b97f4a7c15ULL;
+      slices[(key >> 32) % static_cast<uint64_t>(inserters)].push_back(update);
+    }
+    std::vector<dcs::Status> results(static_cast<size_t>(inserters));
+    const auto push_slice = [&ingestor](const std::vector<dcs::EdgeUpdate>&
+                                            slice,
+                                        dcs::Status& result) {
+      for (const dcs::EdgeUpdate& update : slice) {
+        result = ingestor.Push(update);
+        if (!result.ok()) return;
+      }
+    };
+    if (inserters == 1) {
+      push_slice(slices[0], results[0]);
+    } else {
+      std::vector<std::thread> producers;
+      producers.reserve(static_cast<size_t>(inserters));
+      for (int p = 0; p < inserters; ++p) {
+        producers.emplace_back(push_slice,
+                               std::cref(slices[static_cast<size_t>(p)]),
+                               std::ref(results[static_cast<size_t>(p)]));
+      }
+      for (std::thread& producer : producers) producer.join();
+    }
+    for (const dcs::Status& result : results) {
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.ToString().c_str());
+        return 1;
+      }
+    }
+    const auto epoch = ingestor.Barrier();
+    if (!epoch.ok()) {
+      std::fprintf(stderr, "%s\n", epoch.status().ToString().c_str());
+      return 1;
+    }
+    const auto snapshot = ingestor.snapshot();
+    if (options.k > 0) {
+      std::printf("epoch %lld: %lld updates, %d components, mincut<=k %.0f\n",
+                  static_cast<long long>(snapshot->epoch),
+                  static_cast<long long>(snapshot->updates_applied),
+                  snapshot->components, snapshot->min_cut_up_to_k);
+    } else {
+      std::printf("epoch %lld: %lld updates, %d components, %s\n",
+                  static_cast<long long>(snapshot->epoch),
+                  static_cast<long long>(snapshot->updates_applied),
+                  snapshot->components,
+                  snapshot->connected ? "connected" : "disconnected");
+    }
+  }
+  std::printf("final digest %016llx\n",
+              static_cast<unsigned long long>(ingestor.snapshot()->digest));
+  return 0;
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: dcs <generate|stats|mincut|sketch|localquery|encode|"
-               "agm|trials|protocol|distributed|serve> [--flag value ...] "
-               "[--metrics-json FILE]\n");
+               "agm|trials|protocol|distributed|serve|stream> "
+               "[--flag value ...] [--metrics-json FILE]\n");
 }
 
 // Writes the process-wide metrics snapshot to `path`. Returns 1 (runtime
@@ -724,6 +895,7 @@ int RunCommand(const std::string& command, const FlagMap& flags) {
   if (command == "protocol") return CmdProtocol(flags);
   if (command == "distributed") return CmdDistributed(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "stream") return CmdStream(flags);
   PrintUsage();
   return 2;
 }
