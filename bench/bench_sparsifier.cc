@@ -8,15 +8,28 @@
 //   B: for-each sampler size (∝ n/ε) and per-cut error distribution.
 //   C: ablation — strength-based importance sampling vs uniform sampling
 //      at matched expected size (uniform destroys small cuts).
+//   F: the directed-backend bake-off — zoo family × β × ε × registered
+//      backend, reporting the size/accuracy/latency frontier. Every row
+//      lands in BENCH_sparsifier.json with a within_epsilon flag the perf
+//      gate (scripts/check_perf_regression.py) demands be true.
+//   G: the cut-balance sketch's quantized-imbalance bits vs β — the
+//      Θ(n·log β) growth the paper's lower bound says is unavoidable.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "graph/generators.h"
+#include "graph/zoo.h"
 #include "mincut/nagamochi_ibaraki.h"
 #include "mincut/stoer_wagner.h"
+#include "sketch/backend_registry.h"
+#include "sketch/cut_balance_sparsifier.h"
 #include "sketch/sampled_sketches.h"
 #include "spectral/laplacian.h"
 #include "json_writer.h"
@@ -239,6 +252,197 @@ void TableE() {
       " cost of a Laplacian solve instead of forest peeling)\n");
 }
 
+// ---- SPARS/F: the directed-backend frontier (the bake-off) ----
+
+struct FrontierRow {
+  std::string family;
+  std::string backend;
+  double beta = 1;
+  double epsilon = 0;
+  int64_t size_bits = 0;
+  double max_rel_error = 0;
+  double advertised_error = 0;
+  bool within_epsilon = false;
+  double build_ms = 0;
+  double query_ns = 0;
+};
+
+// Family × β × ε × backend at a fixed zoo size. Error is the worst
+// relative deviation from the exact cut over all singletons, a spread of
+// random proper sides, and the planted side where the family has one.
+std::vector<FrontierRow> RunFrontier() {
+  constexpr int kZooN = 40;
+  std::vector<FrontierRow> rows;
+  for (const ZooFamily family : AllZooFamilies()) {
+    for (const double beta : {1.0, 4.0, 16.0}) {
+      for (const double epsilon : {0.2, 0.4}) {
+        ZooOptions zoo_options;
+        zoo_options.n = kZooN;
+        zoo_options.beta = beta;
+        zoo_options.seed = 101;
+        const ZooInstance instance = MakeZooInstance(family, zoo_options);
+        const int n = instance.graph.num_vertices();
+        std::vector<VertexSet> sides;
+        for (int v = 0; v < n; ++v) sides.push_back(MakeVertexSet(n, {v}));
+        Rng side_rng(103);
+        for (int probe = 0; probe < 16; ++probe) {
+          VertexSet side(static_cast<size_t>(n), 0);
+          for (auto& b : side) b = static_cast<uint8_t>(side_rng.Next() & 1);
+          if (!IsProperCutSide(side)) side[0] ^= 1;
+          sides.push_back(std::move(side));
+        }
+        if (instance.planted_side.has_value()) {
+          sides.push_back(*instance.planted_side);
+        }
+        std::vector<double> exact;
+        for (const VertexSet& side : sides) {
+          exact.push_back(instance.graph.CutWeight(side));
+        }
+        for (const BackendInfo& backend : RegisteredBackends()) {
+          BackendOptions options;
+          options.epsilon = epsilon;
+          options.beta = beta;
+          options.seed = 107;
+          options.median_boost = 5;
+          const auto build_start = std::chrono::steady_clock::now();
+          auto sketch =
+              BuildBackendSketch(backend.name, instance.graph, options);
+          const double build_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - build_start)
+                  .count();
+          if (!sketch.ok()) continue;  // options valid: never happens
+          FrontierRow row;
+          row.family = ZooFamilyName(family);
+          row.backend = backend.name;
+          row.beta = beta;
+          row.epsilon = epsilon;
+          row.size_bits = (*sketch)->SizeInBits();
+          row.advertised_error = BackendAdvertisedError(backend.name, options);
+          row.build_ms = build_ms;
+          const auto query_start = std::chrono::steady_clock::now();
+          for (size_t i = 0; i < sides.size(); ++i) {
+            const double estimate = (*sketch)->EstimateCut(sides[i]);
+            if (exact[i] > 0) {
+              row.max_rel_error =
+                  std::max(row.max_rel_error,
+                           std::abs(estimate - exact[i]) / exact[i]);
+            }
+          }
+          row.query_ns = std::chrono::duration<double, std::nano>(
+                             std::chrono::steady_clock::now() - query_start)
+                             .count() /
+                         static_cast<double>(sides.size());
+          row.within_epsilon =
+              row.max_rel_error <= row.advertised_error + 1e-9;
+          rows.push_back(std::move(row));
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+void TableF(const std::vector<FrontierRow>& rows) {
+  PrintBanner("SPARS/F",
+              "Directed backend bake-off: worst error / bits over the "
+              "beta x eps sweep (zoo n=40)");
+  PrintRow({"family", "backend", "worst err", "worst adv", "max bits",
+            "within eps"});
+  PrintRule(6);
+  for (const ZooFamily family : AllZooFamilies()) {
+    for (const BackendInfo& backend : RegisteredBackends()) {
+      double worst_err = 0;
+      double worst_adv = 0;
+      int64_t max_bits = 0;
+      bool within = true;
+      for (const FrontierRow& row : rows) {
+        if (row.family != ZooFamilyName(family) ||
+            row.backend != backend.name) {
+          continue;
+        }
+        worst_err = std::max(worst_err, row.max_rel_error);
+        worst_adv = std::max(worst_adv, row.advertised_error);
+        max_bits = std::max(max_bits, row.size_bits);
+        within = within && row.within_epsilon;
+      }
+      PrintRow({ZooFamilyName(family), backend.name.c_str(),
+                F(worst_err, 4), F(worst_adv, 4), I(max_bits),
+                within ? "yes" : "NO"});
+    }
+  }
+  std::printf(
+      "(every backend must stay within the error bound it advertises for\n"
+      " its options — the same contract the differential tests assert; the\n"
+      " perf gate fails if any within-eps flag in the JSON is false)\n");
+}
+
+struct ImbalancePoint {
+  double beta = 1;
+  int64_t bits = 0;
+};
+
+// SPARS/G: quantized-imbalance bits vs β at fixed family/n/ε/seed.
+std::vector<ImbalancePoint> RunImbalanceSweep(bool* grows) {
+  constexpr int kN = 64;
+  std::vector<ImbalancePoint> points;
+  for (const double beta : {2.0, 4.0, 8.0, 16.0, 32.0}) {
+    ZooOptions options;
+    options.n = kN;
+    options.beta = beta;
+    options.seed = 109;
+    const ZooInstance instance =
+        MakeZooInstance(ZooFamily::kExpander, options);
+    Rng rng(113);
+    const CutBalanceSparsifier sketch(instance.graph, 0.25, beta, rng);
+    points.push_back({beta, sketch.imbalance_bits()});
+  }
+  *grows = true;
+  for (size_t i = 0; i + 1 < points.size(); ++i) {
+    *grows = *grows && points[i + 1].bits > points[i].bits;
+  }
+  for (const ImbalancePoint& point : points) {
+    *grows = *grows && static_cast<double>(point.bits) >=
+                           0.5 * kN * std::log2(point.beta);
+  }
+  return points;
+}
+
+void TableG(const std::vector<ImbalancePoint>& points, bool grows) {
+  PrintBanner("SPARS/G",
+              "Cut-balance imbalance storage vs beta (expander n=64, "
+              "eps=0.25)");
+  PrintRow({"beta", "imbalance bits", "bits / (n log2 beta)"});
+  PrintRule(3);
+  for (const ImbalancePoint& point : points) {
+    PrintRow({F(point.beta, 0), I(point.bits),
+              F(static_cast<double>(point.bits) /
+                    (64 * std::log2(point.beta)), 2)});
+  }
+  std::printf("(grows with log beta: %s — the Theta(n log beta) term the\n"
+              " paper's Omega(n log beta / eps^2) bound makes mandatory)\n",
+              grows ? "yes" : "NO");
+}
+
+JsonValue FrontierJson(const std::vector<FrontierRow>& rows) {
+  JsonValue array = JsonValue::MakeArray();
+  for (const FrontierRow& row : rows) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("family", row.family);
+    entry.Set("backend", row.backend);
+    entry.Set("beta", row.beta);
+    entry.Set("epsilon", row.epsilon);
+    entry.Set("size_bits", row.size_bits);
+    entry.Set("max_rel_error", row.max_rel_error);
+    entry.Set("advertised_error", row.advertised_error);
+    entry.Set("within_epsilon", row.within_epsilon);
+    entry.Set("build_ms", row.build_ms);
+    entry.Set("query_ns", row.query_ns);
+    array.Append(std::move(entry));
+  }
+  return array;
+}
+
 void BM_NagamochiIbarakiStrengths(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const UndirectedGraph g = CompleteGraph(n, 1.0);
@@ -270,8 +474,25 @@ int main(int argc, char** argv) {
   dcs::TableC();
   dcs::TableD();
   dcs::TableE();
+  const std::vector<dcs::FrontierRow> frontier = dcs::RunFrontier();
+  dcs::TableF(frontier);
+  bool imbalance_grows = false;
+  const std::vector<dcs::ImbalancePoint> imbalance =
+      dcs::RunImbalanceSweep(&imbalance_grows);
+  dcs::TableG(imbalance, imbalance_grows);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  dcs::bench::WriteBenchJson(out_path, dcs::JsonValue::MakeObject());
+  dcs::JsonValue root = dcs::JsonValue::MakeObject();
+  root.Set("frontier", dcs::FrontierJson(frontier));
+  dcs::JsonValue imbalance_json = dcs::JsonValue::MakeArray();
+  for (const dcs::ImbalancePoint& point : imbalance) {
+    dcs::JsonValue entry = dcs::JsonValue::MakeObject();
+    entry.Set("beta", point.beta);
+    entry.Set("imbalance_bits", point.bits);
+    imbalance_json.Append(std::move(entry));
+  }
+  root.Set("imbalance_bits_by_beta", std::move(imbalance_json));
+  root.Set("imbalance_bits_grow_with_log_beta", imbalance_grows);
+  dcs::bench::WriteBenchJson(out_path, std::move(root));
   return 0;
 }

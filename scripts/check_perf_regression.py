@@ -45,6 +45,11 @@ TRACKED = {
     "BENCH_stream.json": [
         ("rows", ("inserters", "gutter"), "ns_per_update"),
     ],
+    # The bake-off frontier: size_bits is seed-deterministic, so any
+    # growth past the threshold is a real size regression, not noise.
+    "BENCH_sparsifier.json": [
+        ("frontier", ("family", "backend", "beta", "epsilon"), "size_bits"),
+    ],
 }
 
 # Acceptance floor: vectorized FWHT >= 3x scalar at n >= 4096 when the
@@ -175,6 +180,22 @@ def check_correctness_flags(name, doc, report):
             demand(f"rows[inserters={row.get('inserters')},"
                    f"gutter={row.get('gutter')}].identical",
                    row.get("identical"))
+    if name == "BENCH_sparsifier.json":
+        # Accuracy contract: every backend on every zoo family must land
+        # within the error bound it advertised, and the cut-balance
+        # sketch's imbalance storage must grow with log beta (the paper's
+        # Omega(n log beta) term). Either flag false fails the gate.
+        frontier = doc.get("frontier", [])
+        if not frontier:
+            report(f"  FAIL  {name} has no frontier rows")
+            failures += 1
+        for row in frontier:
+            demand(f"frontier[{row.get('family')},{row.get('backend')},"
+                   f"beta={row.get('beta')},eps={row.get('epsilon')}]"
+                   f".within_epsilon",
+                   row.get("within_epsilon", False))
+        demand("imbalance_bits_grow_with_log_beta",
+               doc.get("imbalance_bits_grow_with_log_beta", False))
     return failures
 
 

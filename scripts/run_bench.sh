@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Builds the cut-query, serving-layer, streaming-ingestion, and
-# Hadamard/SIMD benchmarks in Release mode (-O3 -march=native), runs them into a scratch directory,
+# Builds the cut-query, serving-layer, streaming-ingestion,
+# Hadamard/SIMD, and sparsifier-bake-off benchmarks in Release mode
+# (-O3 -march=native), runs them into a scratch directory,
 # gates the fresh numbers against the committed BENCH_*.json baselines
 # with scripts/check_perf_regression.py (>15% slowdown on a tracked
 # timing fails), and only then copies the fresh JSON into the repository
@@ -35,6 +36,7 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_CXX_FLAGS="-O3 -march=native"
 cmake --build "${build_dir}" \
   --target bench_cutquery bench_serve bench_stream bench_hadamard \
+  bench_sparsifier \
   -j"$(nproc)"
 
 mkdir -p "${out_dir}"
@@ -47,6 +49,9 @@ mkdir -p "${out_dir}"
 "${build_dir}/bench/bench_hadamard" \
   --out "${out_dir}/BENCH_hadamard.json" \
   --out-simd "${out_dir}/BENCH_simd.json" \
+  "${passthrough[@]+"${passthrough[@]}"}"
+"${build_dir}/bench/bench_sparsifier" \
+  --out "${out_dir}/BENCH_sparsifier.json" \
   "${passthrough[@]+"${passthrough[@]}"}"
 
 if [[ "${gate}" -eq 1 ]]; then
@@ -63,5 +68,6 @@ cp "${out_dir}/BENCH_cutquery.json" \
    "${out_dir}/BENCH_serve.json" \
    "${out_dir}/BENCH_stream.json" \
    "${out_dir}/BENCH_simd.json" \
+   "${out_dir}/BENCH_sparsifier.json" \
    "${repo_root}/"
 echo "baselines updated in ${repo_root}"

@@ -48,9 +48,11 @@ run_one() {
     # racy paths (striped LRU under eviction pressure, concurrent
     # AnswerBatch callers, multi-producer streaming ingestion with
     # concurrent epoch queries) get an isolated, clearly attributed pass
-    # under the checker.
+    # under the checker. The sparsifier differential suite rides along:
+    # its backend registry exercises every sketch's build/serialize path
+    # (including the cut-balance bit packer) under the checker too.
     ctest --test-dir "${build_dir}" --output-on-failure \
-      -R '^(serve_test|tsan_stress_test|stream_test|ingest_test)$'
+      -R '^(serve_test|tsan_stress_test|stream_test|ingest_test|sparsifier_differential_test)$'
     # The SIMD dispatch layer has two code paths per kernel (vectorized
     # and forced-scalar); run the kernels' consumers under the checker on
     # both so neither path escapes sanitizer coverage.

@@ -28,11 +28,26 @@ DirectedDistributedMinCutPipeline::DirectedDistributedMinCutPipeline(
     : server_graphs_(std::move(server_graphs)), options_(options) {
   DCS_CHECK(!server_graphs_.empty());
   DCS_CHECK_GE(options_.beta, 1.0);
+  DCS_CHECK(IsRegisteredBackend(options_.score_backend));
+  const bool default_backend = options_.score_backend == "foreach";
   for (const DirectedGraph& server_graph : server_graphs_) {
     coarse_.push_back(std::make_unique<DirectedImportanceSamplerSketch>(
         server_graph, options_.coarse_epsilon, options_.beta, rng));
-    foreach_.push_back(std::make_unique<DirectedForEachSketch>(
-        server_graph, options_.epsilon, options_.beta, rng));
+    if (default_backend) {
+      // Historical path, kept bit-identical: the for-each sketch draws
+      // directly from the shared rng stream.
+      score_.push_back(std::make_unique<DirectedForEachSketch>(
+          server_graph, options_.epsilon, options_.beta, rng));
+    } else {
+      BackendOptions backend_options;
+      backend_options.epsilon = options_.epsilon;
+      backend_options.beta = options_.beta;
+      backend_options.seed = rng.Next();
+      auto sketch = BuildBackendSketch(options_.score_backend, server_graph,
+                                       backend_options);
+      DCS_CHECK(sketch.ok());
+      score_.push_back(std::move(sketch).value());
+    }
   }
 }
 
@@ -42,7 +57,7 @@ DirectedDistributedMinCutPipeline::Run(Rng& rng) const {
   for (const auto& sketch : coarse_) {
     result.coarse_bits += sketch->SizeInBits();
   }
-  for (const auto& sketch : foreach_) {
+  for (const auto& sketch : score_) {
     result.foreach_bits += sketch->SizeInBits();
   }
   // Coordinator: merge the coarse directed samples and enumerate candidate
@@ -65,7 +80,7 @@ DirectedDistributedMinCutPipeline::Run(Rng& rng) const {
       const VertexSet side =
           flip ? ComplementSet(candidate.side) : candidate.side;
       double accurate = 0;
-      for (const auto& sketch : foreach_) {
+      for (const auto& sketch : score_) {
         accurate += sketch->EstimateCut(side);
       }
       ++result.candidates_considered;

@@ -15,9 +15,11 @@
 #define DCS_DISTRIBUTED_DIRECTED_DISTRIBUTED_MINCUT_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "graph/digraph.h"
+#include "sketch/backend_registry.h"
 #include "sketch/directed_sketches.h"
 #include "util/random.h"
 
@@ -30,6 +32,13 @@ struct DirectedDistributedOptions {
   // Enumeration widens by this factor times (1+beta); 0 picks the default.
   double alpha_slack = 1.6;
   int karger_repetitions = 12;
+  // Sparsifier backend (sketch/backend_registry.h) scoring the candidate
+  // sides. The default reproduces the historical pipeline bit-for-bit
+  // (per-server DirectedForEachSketch drawn from the shared rng); any
+  // other registered name routes through the backend registry. Must be a
+  // registered name — validate with IsRegisteredBackend before
+  // constructing the pipeline (the constructor CHECKs).
+  std::string score_backend = "foreach";
 };
 
 // Splits directed edges uniformly across servers.
@@ -47,6 +56,7 @@ class DirectedDistributedMinCutPipeline {
     VertexSet best_side;
     int candidates_considered = 0;
     int64_t coarse_bits = 0;
+    // Bits of the scoring sketches (named for the default backend).
     int64_t foreach_bits = 0;
     int64_t total_bits() const { return coarse_bits + foreach_bits; }
   };
@@ -61,7 +71,8 @@ class DirectedDistributedMinCutPipeline {
   std::vector<DirectedGraph> server_graphs_;
   DirectedDistributedOptions options_;
   std::vector<std::unique_ptr<DirectedImportanceSamplerSketch>> coarse_;
-  std::vector<std::unique_ptr<DirectedForEachSketch>> foreach_;
+  // Per-server scoring sketches; concrete type picked by score_backend.
+  std::vector<std::unique_ptr<DirectedCutSketch>> score_;
 };
 
 }  // namespace dcs

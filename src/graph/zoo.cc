@@ -1,0 +1,234 @@
+#include "graph/zoo.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+#include "util/random.h"
+
+namespace dcs {
+namespace {
+
+// Adds the bidirected pair u→v weight `w`, v→u weight `w/beta` — the
+// per-edge certificate idiom every family is built from.
+void AddBalancedPair(DirectedGraph& graph, VertexId u, VertexId v, double w,
+                     double beta) {
+  graph.AddEdge(u, v, w);
+  graph.AddEdge(v, u, w / beta);
+}
+
+// Preferential-attachment topology with every undirected attachment
+// replaced by a balanced pair. The repeated-endpoint list makes
+// degree-proportional sampling O(1), as in PreferentialAttachmentGraph.
+DirectedGraph MakePowerLaw(int n, double beta, Rng& rng) {
+  const int m = 3;  // attachments per new vertex
+  DCS_CHECK_GE(n, m + 2);
+  DirectedGraph graph(n);
+  std::vector<VertexId> endpoints;
+  for (int u = 0; u <= m; ++u) {
+    for (int v = u + 1; v <= m; ++v) {
+      AddBalancedPair(graph, u, v, 1.0, beta);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (int v = m + 1; v < n; ++v) {
+    std::vector<VertexId> targets;
+    int guard = 0;
+    while (static_cast<int>(targets.size()) < m) {
+      DCS_CHECK_LT(++guard, 100000);
+      const VertexId pick = endpoints[static_cast<size_t>(
+          rng.UniformInt(endpoints.size()))];
+      bool duplicate = false;
+      for (VertexId t : targets) duplicate = duplicate || t == pick;
+      if (!duplicate) targets.push_back(pick);
+    }
+    for (VertexId t : targets) {
+      AddBalancedPair(graph, v, t, 1.0, beta);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return graph;
+}
+
+// Union of `degree` random perfect matchings, each matching edge a
+// balanced pair: 2·degree-regular with a uniform strength spectrum.
+DirectedGraph MakeExpander(int n, double beta, Rng& rng) {
+  const int degree = 4;
+  DirectedGraph graph(n);
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int d = 0; d < degree; ++d) {
+    for (int v = 0; v < n; ++v) order[static_cast<size_t>(v)] = v;
+    rng.Shuffle(order);
+    for (int i = 0; i < n; i += 2) {
+      AddBalancedPair(graph, order[static_cast<size_t>(i)],
+                      order[static_cast<size_t>(i + 1)], 1.0, beta);
+    }
+  }
+  return graph;
+}
+
+// Two random blobs joined by kCrossPairs balanced pairs A→B. Each blob
+// carries a bidirected Hamiltonian backbone of weight kCrossPairs, so any
+// cut splitting a blob crosses the backbone in ≥ 2 positions and pays
+// ≥ 2·kCrossPairs/β — strictly more than the planted blob-separating cut
+// w(B, A) = kCrossPairs/β. Hence the planted value is the global min cut
+// regardless of the random internal pairs (they only add weight).
+DirectedGraph MakePlantedCut(int n, double beta, Rng& rng,
+                             double* planted_value, VertexSet* planted_side) {
+  constexpr int kCrossPairs = 3;
+  const int blob = n / 2;
+  DCS_CHECK_GE(blob, kCrossPairs + 2);
+  DirectedGraph graph(2 * blob);
+  for (int b = 0; b < 2; ++b) {
+    const int base = b * blob;
+    for (int v = 0; v < blob; ++v) {
+      AddBalancedPair(graph, base + v, base + (v + 1) % blob,
+                      static_cast<double>(kCrossPairs), beta);
+    }
+    for (int u = 0; u < blob; ++u) {
+      for (int v = u + 1; v < blob; ++v) {
+        if (!rng.Bernoulli(0.4)) continue;
+        const double w = 0.5 + rng.UniformDouble();
+        AddBalancedPair(graph, base + u, base + v, w, beta);
+      }
+    }
+  }
+  for (int c = 0; c < kCrossPairs; ++c) {
+    AddBalancedPair(graph, c, blob + c, 1.0, beta);
+  }
+  *planted_value = kCrossPairs / beta;
+  planted_side->assign(static_cast<size_t>(2 * blob), 0);
+  for (int v = blob; v < 2 * blob; ++v) {
+    (*planted_side)[static_cast<size_t>(v)] = 1;
+  }
+  return graph;
+}
+
+// Two bidirected cliques joined by kBridges balanced pairs. Splitting a
+// clique of size s crosses ≥ s−1 pairs (≥ (s−1)/β leaving weight), so with
+// s−1 > kBridges the clique-separating cut w(B, A) = kBridges/β is the
+// global min cut.
+DirectedGraph MakeDumbbell(int n, double beta, double* planted_value,
+                           VertexSet* planted_side) {
+  constexpr int kBridges = 2;
+  const int clique = n / 2;
+  DCS_CHECK_GE(clique, kBridges + 2);
+  DirectedGraph graph(2 * clique);
+  for (int b = 0; b < 2; ++b) {
+    const int base = b * clique;
+    for (int u = 0; u < clique; ++u) {
+      for (int v = u + 1; v < clique; ++v) {
+        AddBalancedPair(graph, base + u, base + v, 1.0, beta);
+      }
+    }
+  }
+  for (int c = 0; c < kBridges; ++c) {
+    AddBalancedPair(graph, c, clique + c, 1.0, beta);
+  }
+  *planted_value = kBridges / beta;
+  planted_side->assign(static_cast<size_t>(2 * clique), 0);
+  for (int v = clique; v < 2 * clique; ++v) {
+    (*planted_side)[static_cast<size_t>(v)] = 1;
+  }
+  return graph;
+}
+
+// kLayers layers of equal width; consecutive layers (with wraparound) are
+// complete bipartite with forward weight 1 and backward weight 1/β.
+DirectedGraph MakeLayeredBipartite(int n, double beta) {
+  constexpr int kLayers = 4;
+  const int width = n / kLayers;
+  DCS_CHECK_GE(width, 2);
+  DirectedGraph graph(kLayers * width);
+  for (int layer = 0; layer < kLayers; ++layer) {
+    const int next_base = ((layer + 1) % kLayers) * width;
+    const int base = layer * width;
+    for (int u = 0; u < width; ++u) {
+      for (int v = 0; v < width; ++v) {
+        AddBalancedPair(graph, base + u, next_base + v, 1.0, beta);
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace
+
+const char* ZooFamilyName(ZooFamily family) {
+  switch (family) {
+    case ZooFamily::kPowerLaw:
+      return "power_law";
+    case ZooFamily::kExpander:
+      return "expander";
+    case ZooFamily::kPlantedCut:
+      return "planted_cut";
+    case ZooFamily::kDumbbell:
+      return "dumbbell";
+    case ZooFamily::kLayeredBipartite:
+      return "layered_bipartite";
+  }
+  return "unknown";
+}
+
+std::optional<ZooFamily> FindZooFamily(const std::string& name) {
+  for (const ZooFamily family : AllZooFamilies()) {
+    if (name == ZooFamilyName(family)) return family;
+  }
+  return std::nullopt;
+}
+
+const std::vector<ZooFamily>& AllZooFamilies() {
+  static const std::vector<ZooFamily> kAll = {
+      ZooFamily::kPowerLaw, ZooFamily::kExpander, ZooFamily::kPlantedCut,
+      ZooFamily::kDumbbell, ZooFamily::kLayeredBipartite};
+  return kAll;
+}
+
+ZooInstance MakeZooInstance(ZooFamily family, const ZooOptions& options) {
+  DCS_CHECK_GE(options.n, 8);
+  DCS_CHECK_GE(options.beta, 1.0);
+  // Families with width/parity constraints round n down to a multiple of 4
+  // so sweeps can hand every family the same target size.
+  const int n4 = (options.n / 4) * 4;
+  // Decorrelate families sharing a base seed, same discipline as the
+  // trial runners.
+  Rng rng(SubtaskSeed(options.seed, static_cast<uint64_t>(family)));
+  ZooInstance instance;
+  instance.family = family;
+  instance.beta_certificate = options.beta;
+  switch (family) {
+    case ZooFamily::kPowerLaw: {
+      instance.graph = MakePowerLaw(options.n, options.beta, rng);
+      break;
+    }
+    case ZooFamily::kExpander: {
+      instance.graph = MakeExpander(n4, options.beta, rng);
+      break;
+    }
+    case ZooFamily::kPlantedCut: {
+      double value = 0;
+      VertexSet side;
+      instance.graph = MakePlantedCut(n4, options.beta, rng, &value, &side);
+      instance.planted_min_cut = value;
+      instance.planted_side = std::move(side);
+      break;
+    }
+    case ZooFamily::kDumbbell: {
+      double value = 0;
+      VertexSet side;
+      instance.graph = MakeDumbbell(n4, options.beta, &value, &side);
+      instance.planted_min_cut = value;
+      instance.planted_side = std::move(side);
+      break;
+    }
+    case ZooFamily::kLayeredBipartite: {
+      instance.graph = MakeLayeredBipartite(n4, options.beta);
+      break;
+    }
+  }
+  return instance;
+}
+
+}  // namespace dcs

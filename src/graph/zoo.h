@@ -1,0 +1,68 @@
+// Graph-family zoo: the standard instance source for the sparsifier
+// bake-off, chaos runs, and serving benchmarks.
+//
+// Every family is seed-deterministic (explicit Rng seed, SubtaskSeed
+// discipline inside) and built from the forward-weight-w / backward-weight
+// w/beta idiom, so the per-edge balance certificate equals the requested
+// beta exactly — the instance *reports* its ground-truth balance instead
+// of making callers estimate it. Families with an analytically known min
+// cut also report the planted value and a witness side, which the
+// differential harness checks against src/mincut before trusting either.
+
+#ifndef DCS_GRAPH_ZOO_H_
+#define DCS_GRAPH_ZOO_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+
+namespace dcs {
+
+enum class ZooFamily {
+  kPowerLaw,          // preferential-attachment topology, skewed degrees
+  kExpander,          // union of random perfect matchings, 8-regular
+  kPlantedCut,        // two dense blobs joined by a known sparse cut
+  kDumbbell,          // two bidirected cliques joined by directed bridges
+  kLayeredBipartite,  // complete bipartite consecutive layers + wraparound
+};
+
+// Stable lowercase names ("power_law", "expander", "planted_cut",
+// "dumbbell", "layered_bipartite") used in bench JSON and CLI flags.
+const char* ZooFamilyName(ZooFamily family);
+
+// Reverse lookup; nullopt for unknown names.
+std::optional<ZooFamily> FindZooFamily(const std::string& name);
+
+// All families, in enum order.
+const std::vector<ZooFamily>& AllZooFamilies();
+
+struct ZooOptions {
+  int n = 64;          // target vertex count (families may round, see .cc)
+  double beta = 1.0;   // balance parameter, >= 1
+  uint64_t seed = 1;   // every family is a pure function of (n, beta, seed)
+};
+
+struct ZooInstance {
+  ZooFamily family = ZooFamily::kPowerLaw;
+  DirectedGraph graph{0};
+  // Ground truth: the per-edge balance certificate. By construction every
+  // family satisfies PerEdgeBalanceCertificate(graph) == beta_certificate
+  // exactly (the forward/backward weight-ratio idiom).
+  double beta_certificate = 1.0;
+  // Analytically known directed global min cut, when the construction
+  // plants one (kPlantedCut, kDumbbell). nullopt means "compute exactly".
+  std::optional<double> planted_min_cut;
+  // Witness side achieving planted_min_cut, when known.
+  std::optional<VertexSet> planted_side;
+};
+
+// Builds one instance. Same options -> identical edge list (asserted by
+// tests/graph_generators_test.cc). Requires options.n >= 8, beta >= 1.
+ZooInstance MakeZooInstance(ZooFamily family, const ZooOptions& options);
+
+}  // namespace dcs
+
+#endif  // DCS_GRAPH_ZOO_H_

@@ -119,6 +119,18 @@ CutQueryService::ObjectId CutQueryService::RegisterSketch(
   return Register(std::move(entry));
 }
 
+StatusOr<CutQueryService::ObjectId> CutQueryService::RegisterBackendSketch(
+    const DirectedGraph& graph, const std::string& backend,
+    const BackendOptions& options) {
+  DCS_ASSIGN_OR_RETURN(std::unique_ptr<DirectedCutSketch> sketch,
+                       BuildBackendSketch(backend, graph, options));
+  owned_sketches_.push_back(std::move(sketch));
+  ObjectEntry entry;
+  entry.oracle = SketchCutOracle(*owned_sketches_.back());
+  entry.cacheable = true;
+  return Register(std::move(entry));
+}
+
 CutQueryService::ObjectId CutQueryService::RegisterOracle(CutOracle oracle,
                                                           bool cacheable) {
   DCS_CHECK(static_cast<bool>(oracle));

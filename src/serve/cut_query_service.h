@@ -41,7 +41,9 @@
 #include "graph/digraph.h"
 #include "lowerbound/cut_oracle.h"
 #include "serve/query_cache.h"
+#include "sketch/backend_registry.h"
 #include "sketch/cut_sketch.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace dcs {
@@ -81,6 +83,13 @@ class CutQueryService {
   // side, hence cacheable.
   ObjectId RegisterGraph(const DirectedGraph& graph);
   ObjectId RegisterSketch(const DirectedCutSketch& sketch);
+  // Builds a registered sparsifier backend (sketch/backend_registry.h)
+  // over `graph` by name and registers it. Unlike RegisterSketch the
+  // service owns the sketch, so callers only keep the graph alive during
+  // the call. kInvalidArgument naming the valid backends on a typo.
+  StatusOr<ObjectId> RegisterBackendSketch(const DirectedGraph& graph,
+                                           const std::string& backend,
+                                           const BackendOptions& options);
   // An arbitrary oracle; pass cacheable=false for oracles whose answers
   // draw randomness (caching one draw would freeze the noise).
   ObjectId RegisterOracle(CutOracle oracle, bool cacheable);
@@ -124,6 +133,9 @@ class CutQueryService {
 
   CutQueryServiceOptions options_;
   std::vector<ObjectEntry> objects_;
+  // Backend sketches built by RegisterBackendSketch; their oracles point
+  // into this storage, which therefore lives as long as the service.
+  std::vector<std::unique_ptr<DirectedCutSketch>> owned_sketches_;
   std::unique_ptr<CutQueryCache> cache_;   // null when disabled
   std::unique_ptr<ThreadPool> pool_;       // null when num_threads <= 1
   std::mutex pool_mutex_;                  // one ParallelFor at a time

@@ -112,4 +112,99 @@ DirectedGraph SparsifyEulerian(const DirectedGraph& graph,
   return GraphFromCycles(graph.num_vertices(), kept);
 }
 
+CyclePeeling PeelCycles(const DirectedGraph& graph) {
+  const int n = graph.num_vertices();
+  CyclePeeling peeling;
+  peeling.residual = DirectedGraph(n);
+  std::vector<double> remaining(graph.edges().size());
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    remaining[i] = graph.edges()[i].weight;
+  }
+  std::vector<size_t> cursor(static_cast<size_t>(n), 0);
+  auto next_out_edge = [&](VertexId v) -> int64_t {
+    const std::span<const int64_t> out = graph.OutEdgeIds(v);
+    while (cursor[static_cast<size_t>(v)] < out.size()) {
+      const int64_t id = out[cursor[static_cast<size_t>(v)]];
+      if (remaining[static_cast<size_t>(id)] > kWeightTolerance) return id;
+      ++cursor[static_cast<size_t>(v)];
+    }
+    return -1;
+  };
+
+  std::vector<int> on_path(static_cast<size_t>(n), -1);
+  for (VertexId start = 0; start < n; ++start) {
+    while (next_out_edge(start) != -1) {
+      // Walk from `start`; a revisit closes a cycle as in the Eulerian
+      // decomposition, but here a walk may also dead-end — the graph does
+      // not owe us a continuation. Dead-ended edges backtrack into the
+      // residual (their remaining weight provably lies on no cycle through
+      // the already-spent prefix; exactness of the split is all the
+      // sketch needs).
+      std::vector<VertexId> path_vertices;
+      std::vector<int64_t> path_edges;
+      VertexId v = start;
+      on_path[static_cast<size_t>(v)] = 0;
+      path_vertices.push_back(v);
+      while (true) {
+        const int64_t edge_id = next_out_edge(v);
+        if (edge_id < 0) {
+          if (path_edges.empty()) break;  // start itself is spent
+          const int64_t last = path_edges.back();
+          path_edges.pop_back();
+          const Edge& e = graph.edges()[static_cast<size_t>(last)];
+          peeling.residual.AddEdge(e.src, e.dst,
+                                   remaining[static_cast<size_t>(last)]);
+          remaining[static_cast<size_t>(last)] = 0;
+          on_path[static_cast<size_t>(v)] = -1;
+          path_vertices.pop_back();
+          v = path_vertices.back();
+          continue;
+        }
+        const VertexId next = graph.edges()[static_cast<size_t>(edge_id)].dst;
+        path_edges.push_back(edge_id);
+        if (on_path[static_cast<size_t>(next)] != -1) {
+          const size_t from =
+              static_cast<size_t>(on_path[static_cast<size_t>(next)]);
+          WeightedCycle cycle;
+          cycle.vertices.assign(
+              path_vertices.begin() + static_cast<int64_t>(from),
+              path_vertices.end());
+          double delta = remaining[static_cast<size_t>(path_edges[from])];
+          for (size_t k = from; k < path_edges.size(); ++k) {
+            delta = std::min(delta,
+                             remaining[static_cast<size_t>(path_edges[k])]);
+          }
+          cycle.weight = delta;
+          for (size_t k = from; k < path_edges.size(); ++k) {
+            remaining[static_cast<size_t>(path_edges[k])] -= delta;
+          }
+          peeling.cycles.push_back(std::move(cycle));
+          break;
+        }
+        v = next;
+        on_path[static_cast<size_t>(v)] =
+            static_cast<int>(path_vertices.size());
+        path_vertices.push_back(v);
+      }
+      for (VertexId u : path_vertices) {
+        on_path[static_cast<size_t>(u)] = -1;
+      }
+      if (path_edges.empty() && path_vertices.size() == 1 &&
+          next_out_edge(start) == -1) {
+        break;
+      }
+    }
+  }
+  // Whatever the walks never reached (weight below tolerance is dropped,
+  // matching the Eulerian decomposition's treatment) stays residual.
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    if (remaining[i] > kWeightTolerance) {
+      const Edge& e = graph.edges()[i];
+      peeling.residual.AddEdge(e.src, e.dst, remaining[i]);
+      remaining[i] = 0;
+    }
+  }
+  return peeling;
+}
+
 }  // namespace dcs

@@ -45,6 +45,17 @@ DirectedGraph GraphFromCycles(int num_vertices,
 DirectedGraph SparsifyEulerian(const DirectedGraph& graph,
                                double keep_probability, Rng& rng);
 
+// Peeling of a *general* digraph: as many weighted cycles as the greedy
+// walk finds, plus an acyclic-ish residual holding everything else.
+// Invariant (exact, not approximate): cycles + residual sum back to the
+// input's edge weights. On an Eulerian input the residual is empty.
+struct CyclePeeling {
+  std::vector<WeightedCycle> cycles;
+  DirectedGraph residual{0};
+};
+
+CyclePeeling PeelCycles(const DirectedGraph& graph);
+
 }  // namespace dcs
 
 #endif  // DCS_SKETCH_EULERIAN_SPARSIFIER_H_

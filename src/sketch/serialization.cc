@@ -29,6 +29,8 @@ std::string_view PayloadBitsMetricName(StreamKind kind) {
       return "serialization.payload_bits.directed_forall_sketch";
     case StreamKind::kEdgeStream:
       return "serialization.payload_bits.edge_stream";
+    case StreamKind::kCutBalanceSparsifier:
+      return "serialization.payload_bits.cut_balance_sparsifier";
   }
   return "serialization.payload_bits.unknown";
 }
@@ -140,6 +142,8 @@ const char* StreamKindName(StreamKind kind) {
       return "directed_forall_sketch";
     case StreamKind::kEdgeStream:
       return "edge_stream";
+    case StreamKind::kCutBalanceSparsifier:
+      return "cut_balance_sparsifier";
   }
   return "unknown";
 }

@@ -41,6 +41,7 @@ enum class StreamKind : uint8_t {
   kDirectedForEachSketch = 5,
   kDirectedForAllSketch = 6,
   kEdgeStream = 7,  // replayable binary edge-update stream (stream/binary_stream.h)
+  kCutBalanceSparsifier = 8,  // sketch/cut_balance_sparsifier.h
 };
 
 // Stable lowercase name of a stream kind ("directed_graph", ...); used in

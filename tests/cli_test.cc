@@ -6,9 +6,12 @@
 #include <utility>
 
 #include "gtest/gtest.h"
+#include "sketch/backend_registry.h"
 #include "util/json.h"
 
 namespace {
+
+std::string ReadFileToString(const std::string& path);
 
 // Runs the CLI with the given arguments; returns the exit status.
 int RunCli(const std::string& args) {
@@ -66,6 +69,51 @@ TEST(CliTest, TrialsSubcommand) {
             0);
   EXPECT_NE(RunCli("trials --kind nonsense"), 0);
   EXPECT_NE(RunCli("trials --kind forall --mode nonsense"), 0);
+}
+
+// --backend routes sketch/serve through the sparsifier backend registry.
+// Every registered name must work end to end; a typo is a usage error (2)
+// whose stderr lists the valid names.
+
+TEST(CliTest, SketchBackendFlagRoutesEveryRegisteredBackend) {
+  const std::string graph = "/tmp/dcs_cli_test_backend_graph.txt";
+  ASSERT_EQ(RunCli("generate --type balanced --n 20 --beta 2 --seed 5 "
+                   "--out " + graph),
+            0);
+  for (const dcs::BackendInfo& backend : dcs::RegisteredBackends()) {
+    EXPECT_EQ(RunCli("sketch --in " + graph + " --backend " + backend.name +
+                     " --epsilon 0.3 --beta 2 --median-boost 3"),
+              0)
+        << backend.name;
+  }
+}
+
+TEST(CliTest, ServeBackendFlagRoutesTheRegistry) {
+  EXPECT_EQ(RunCli("serve --n 16 --backend cut_balance --rounds 2 "
+                   "--batch 16 --pool 8"),
+            0);
+  EXPECT_EQ(RunCli("serve --n 16 --backend importance --rounds 2 "
+                   "--batch 16 --pool 8"),
+            0);
+  EXPECT_EQ(RunCli("serve --n 16 --backend nope --rounds 2 --batch 16"), 2);
+}
+
+TEST(CliTest, BackendTypoExitsTwoAndListsValidNames) {
+  const std::string graph = "/tmp/dcs_cli_test_backend_graph.txt";
+  ASSERT_EQ(RunCli("generate --type balanced --n 20 --beta 2 --seed 5 "
+                   "--out " + graph),
+            0);
+  const std::string stderr_path = "/tmp/dcs_cli_test_backend_stderr.txt";
+  const std::string command = std::string(DCS_CLI_PATH) + " sketch --in " +
+                              graph + " --backend cut_blanace" +
+                              " > /dev/null 2> " + stderr_path;
+  const int status = std::system(command.c_str());
+  EXPECT_EQ(WEXITSTATUS(status), 2);
+  const std::string message = ReadFileToString(stderr_path);
+  for (const dcs::BackendInfo& backend : dcs::RegisteredBackends()) {
+    EXPECT_NE(message.find(backend.name), std::string::npos)
+        << "stderr must list '" << backend.name << "': " << message;
+  }
 }
 
 // Exit-code contract (tools/dcs_cli.cc): 0 success, 1 runtime/data error,

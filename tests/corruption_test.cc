@@ -19,6 +19,7 @@
 #include "comm/channel.h"
 #include "graph/generators.h"
 #include "gtest/gtest.h"
+#include "sketch/cut_balance_sparsifier.h"
 #include "sketch/directed_sketches.h"
 #include "sketch/sampled_sketches.h"
 #include "sketch/serialization.h"
@@ -124,6 +125,22 @@ std::vector<WireCase> BuildWireCases() {
     c.bit_count = writer.bit_count();
     c.parse = AsParser(
         [](BitReader& r) { return DirectedForAllSketch::Deserialize(r); });
+    cases.push_back(std::move(c));
+  }
+  {
+    // The cut-balance sparsifier wire format (StreamKind 8): parameter
+    // header, Elias-gamma quantized-imbalance vector, then a nested
+    // directed-graph envelope for the importance sample. Both layers of
+    // checksum plus the parameter validation must reject every mutation.
+    WireCase c;
+    c.name = "cut_balance_sparsifier";
+    const CutBalanceSparsifier sketch(digraph, 0.4, 2.0, rng);
+    BitWriter writer;
+    sketch.Serialize(writer);
+    c.bytes = writer.bytes();
+    c.bit_count = writer.bit_count();
+    c.parse = AsParser(
+        [](BitReader& r) { return CutBalanceSparsifier::Deserialize(r); });
     cases.push_back(std::move(c));
   }
   {

@@ -5,6 +5,7 @@
 
 #include "graph/balance.h"
 #include "graph/connectivity.h"
+#include "graph/zoo.h"
 #include "gtest/gtest.h"
 #include "mincut/stoer_wagner.h"
 
@@ -136,6 +137,143 @@ TEST(GeneratorsTest, PreferentialAttachmentShape) {
   double max_degree = 0;
   for (int v = 0; v < 60; ++v) max_degree = std::max(max_degree, g.Degree(v));
   EXPECT_GE(max_degree, 10.0);  // skewed degrees
+}
+
+// ---- Graph-family zoo (graph/zoo.h) ----
+
+TEST(ZooTest, EveryFamilyIsSeedDeterministic) {
+  for (const ZooFamily family : AllZooFamilies()) {
+    for (const double beta : {1.0, 8.0}) {
+      ZooOptions options;
+      options.n = 40;
+      options.beta = beta;
+      options.seed = 77;
+      const ZooInstance a = MakeZooInstance(family, options);
+      const ZooInstance b = MakeZooInstance(family, options);
+      ASSERT_EQ(a.graph.num_vertices(), b.graph.num_vertices())
+          << ZooFamilyName(family);
+      ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges())
+          << ZooFamilyName(family);
+      for (int64_t i = 0; i < a.graph.num_edges(); ++i) {
+        ASSERT_EQ(a.graph.edges()[static_cast<size_t>(i)],
+                  b.graph.edges()[static_cast<size_t>(i)])
+            << ZooFamilyName(family) << " edge " << i;
+      }
+      ASSERT_EQ(a.planted_min_cut.has_value(), b.planted_min_cut.has_value());
+      if (a.planted_min_cut.has_value()) {
+        EXPECT_DOUBLE_EQ(*a.planted_min_cut, *b.planted_min_cut);
+        EXPECT_EQ(*a.planted_side, *b.planted_side);
+      }
+    }
+  }
+}
+
+TEST(ZooTest, RandomFamiliesChangeWithTheSeed) {
+  // The randomized families must actually use the seed; the structured
+  // ones (dumbbell, layered_bipartite) are the same graph for any seed.
+  for (const ZooFamily family : {ZooFamily::kPowerLaw, ZooFamily::kExpander,
+                                 ZooFamily::kPlantedCut}) {
+    ZooOptions options;
+    options.n = 40;
+    options.beta = 2.0;
+    options.seed = 1;
+    const ZooInstance a = MakeZooInstance(family, options);
+    options.seed = 2;
+    const ZooInstance b = MakeZooInstance(family, options);
+    bool differs = a.graph.num_edges() != b.graph.num_edges();
+    for (int64_t i = 0; !differs && i < a.graph.num_edges(); ++i) {
+      differs = !(a.graph.edges()[static_cast<size_t>(i)] ==
+                  b.graph.edges()[static_cast<size_t>(i)]);
+    }
+    EXPECT_TRUE(differs) << ZooFamilyName(family);
+  }
+}
+
+TEST(ZooTest, EveryFamilyIsStronglyConnectedAndCertified) {
+  for (const ZooFamily family : AllZooFamilies()) {
+    for (const double beta : {1.0, 4.0}) {
+      ZooOptions options;
+      options.n = 32;
+      options.beta = beta;
+      options.seed = 5;
+      const ZooInstance instance = MakeZooInstance(family, options);
+      EXPECT_TRUE(IsStronglyConnected(instance.graph))
+          << ZooFamilyName(family);
+      const auto certificate = PerEdgeBalanceCertificate(instance.graph);
+      ASSERT_TRUE(certificate.has_value()) << ZooFamilyName(family);
+      EXPECT_NEAR(*certificate, beta, 1e-9) << ZooFamilyName(family);
+      EXPECT_DOUBLE_EQ(instance.beta_certificate, beta);
+    }
+  }
+}
+
+TEST(ZooTest, FamilyShapesMatchTheirConstructions) {
+  ZooOptions options;
+  options.n = 40;
+  options.beta = 2.0;
+  options.seed = 9;
+
+  // Power-law: seed clique C(4,2) pairs plus 3 pairs per later vertex,
+  // two directed edges per pair; hubs emerge from preferential attachment.
+  const ZooInstance power =
+      MakeZooInstance(ZooFamily::kPowerLaw, options);
+  EXPECT_EQ(power.graph.num_vertices(), 40);
+  EXPECT_EQ(power.graph.num_edges(), 2 * (6 + (40 - 4) * 3));
+  double max_out = 0;
+  for (int v = 0; v < 40; ++v) {
+    max_out = std::max(max_out, power.graph.OutDegree(v));
+  }
+  EXPECT_GE(max_out, 8.0);
+
+  // Expander: union of 4 perfect matchings of balanced pairs. Each
+  // matching touches every vertex with one pair (weight 1 one way, 1/β
+  // back), so out+in weight is exactly 4·(1 + 1/β) at every vertex.
+  const ZooInstance expander =
+      MakeZooInstance(ZooFamily::kExpander, options);
+  EXPECT_EQ(expander.graph.num_vertices(), 40);
+  EXPECT_EQ(expander.graph.num_edges(), 4 * (40 / 2) * 2);
+  for (int v = 0; v < 40; ++v) {
+    const double total =
+        expander.graph.OutDegree(v) + expander.graph.InDegree(v);
+    EXPECT_NEAR(total, 4 * (1.0 + 1.0 / options.beta), 1e-9)
+        << "vertex " << v;
+  }
+
+  // Planted cut / dumbbell: planted side is exactly half the vertices and
+  // its cut weight equals the reported planted value.
+  for (const ZooFamily family :
+       {ZooFamily::kPlantedCut, ZooFamily::kDumbbell}) {
+    const ZooInstance instance = MakeZooInstance(family, options);
+    ASSERT_TRUE(instance.planted_side.has_value()) << ZooFamilyName(family);
+    EXPECT_EQ(SetSize(*instance.planted_side),
+              instance.graph.num_vertices() / 2);
+    EXPECT_NEAR(instance.graph.CutWeight(*instance.planted_side),
+                *instance.planted_min_cut, 1e-9)
+        << ZooFamilyName(family);
+  }
+
+  // Layered bipartite: 4 layers of width 10, complete bipartite between
+  // consecutive layers with wraparound → 4·10·10 pairs.
+  const ZooInstance layered =
+      MakeZooInstance(ZooFamily::kLayeredBipartite, options);
+  EXPECT_EQ(layered.graph.num_vertices(), 40);
+  EXPECT_EQ(layered.graph.num_edges(), 2 * 4 * 10 * 10);
+
+  // Families with parity constraints round n down to a multiple of 4.
+  options.n = 43;
+  EXPECT_EQ(MakeZooInstance(ZooFamily::kExpander, options)
+                .graph.num_vertices(), 40);
+  EXPECT_EQ(MakeZooInstance(ZooFamily::kPowerLaw, options)
+                .graph.num_vertices(), 43);
+}
+
+TEST(ZooTest, FamilyNamesRoundTrip) {
+  for (const ZooFamily family : AllZooFamilies()) {
+    const auto found = FindZooFamily(ZooFamilyName(family));
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, family);
+  }
+  EXPECT_FALSE(FindZooFamily("erdos_renyi").has_value());
 }
 
 TEST(GeneratorsTest, GeneratorsAreDeterministicPerSeed) {

@@ -10,16 +10,19 @@
 #include <functional>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "graph/balance.h"
 #include "graph/connectivity.h"
 #include "graph/generators.h"
 #include "gtest/gtest.h"
 #include "mincut/dinic.h"
+#include "mincut/directed_mincut.h"
 #include "mincut/gomory_hu.h"
 #include "mincut/karger.h"
 #include "mincut/nagamochi_ibaraki.h"
 #include "mincut/stoer_wagner.h"
+#include "sketch/backend_registry.h"
 #include "sketch/directed_sketches.h"
 #include "sketch/eulerian_sparsifier.h"
 #include "sketch/serialization.h"
@@ -249,6 +252,67 @@ INSTANTIATE_TEST_SUITE_P(BetaSweep, DirectedPropertyTest,
                                            BetaSeed{2.0, 12},
                                            BetaSeed{4.0, 13},
                                            BetaSeed{8.0, 14}));
+
+// Differential sweep across the backend registry: 200 random balanced
+// digraphs (8 blocks of 25, parameterized so ctest can run blocks in
+// parallel), each with its own size, density, and β. Every registered
+// backend must estimate every probe cut — all singletons, random proper
+// sides, and the side of the exact Dinic-based directed global min cut —
+// within the error bound it advertises for its options. For-each backends
+// get the median boost their per-cut contract requires before any
+// simultaneous-cut claim makes sense.
+class BackendDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendDifferentialTest, AllBackendsWithinDeclaredEpsilon) {
+  constexpr int kGraphsPerBlock = 25;
+  const int block = GetParam();
+  for (int index = 0; index < kGraphsPerBlock; ++index) {
+    const uint64_t graph_id =
+        static_cast<uint64_t>(block * kGraphsPerBlock + index);
+    Rng rng(SubtaskSeed(991, graph_id));
+    const int n = 8 + static_cast<int>(rng.UniformInt(7));
+    const double density = 0.3 + 0.4 * rng.UniformDouble();
+    const double beta = static_cast<double>(uint64_t{1} << rng.UniformInt(4));
+    const DirectedGraph graph = RandomBalancedDigraph(n, density, beta, rng);
+
+    // Probe sides. The generator's bidirected Hamiltonian backbone makes
+    // the graph strongly connected, so every proper cut is positive and
+    // relative error against the exact value is well defined.
+    std::vector<VertexSet> sides;
+    for (int v = 0; v < n; ++v) {
+      sides.push_back(MakeVertexSet(n, {v}));
+    }
+    for (int probe = 0; probe < 4; ++probe) {
+      VertexSet side(static_cast<size_t>(n), 0);
+      for (auto& b : side) b = static_cast<uint8_t>(rng.Next() & 1);
+      if (!IsProperCutSide(side)) side[0] ^= 1;
+      sides.push_back(std::move(side));
+    }
+    sides.push_back(DirectedGlobalMinCut(graph).side);
+
+    for (const BackendInfo& backend : RegisteredBackends()) {
+      BackendOptions options;
+      options.epsilon = 0.3;
+      options.beta = beta;
+      options.seed = SubtaskSeed(graph_id, 1);
+      options.median_boost = 5;
+      const auto sketch = BuildBackendSketch(backend.name, graph, options);
+      ASSERT_TRUE(sketch.ok()) << sketch.status().message();
+      const double bound = BackendAdvertisedError(backend.name, options);
+      for (const VertexSet& side : sides) {
+        const double exact = graph.CutWeight(side);
+        ASSERT_GT(exact, 0);
+        const double estimate = (*sketch)->EstimateCut(side);
+        EXPECT_LE(std::abs(estimate - exact), bound * exact + 1e-6)
+            << backend.name << " on graph " << graph_id << " (n=" << n
+            << " beta=" << beta << ")";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoHundredDigraphs, BackendDifferentialTest,
+                         ::testing::Range(0, 8));
 
 // Serialized-size accounting (DESIGN.md §8): serializing a sketch records
 // exactly one `serialization.payload_bits.<kind>` sample for the sketch's

@@ -33,6 +33,8 @@
 //   dcs stats --in g.txt --directed
 //   dcs mincut --in g.txt --directed
 //   dcs sketch --in g.txt --kind foreach --epsilon 0.2 --beta 4
+//   dcs sketch --in g.txt --backend cut_balance --epsilon 0.2 --beta 4
+//   dcs serve --n 128 --backend importance --rounds 3 --batch 256
 //   dcs generate --type dumbbell --n 40 --k 3 --out d.txt
 //   dcs localquery --in d.txt --epsilon 0.25
 //   dcs encode --message "hello cuts"
@@ -82,6 +84,7 @@
 #include "mincut/directed_mincut.h"
 #include "mincut/stoer_wagner.h"
 #include "serve/cut_query_service.h"
+#include "sketch/backend_registry.h"
 #include "sketch/directed_sketches.h"
 #include "util/json.h"
 #include "util/metrics.h"
@@ -290,10 +293,30 @@ int CmdSketch(const FlagMap& flags) {
   const double beta =
       GetDouble(flags, "beta",
                 dcs::PerEdgeBalanceCertificate(*graph).value_or(1.0));
+  // --backend routes through the sparsifier backend registry (any
+  // registered name); the older --kind spelling keeps its historical
+  // foreach/forall behavior and exact rng draw order.
+  const std::string backend = GetFlag(flags, "backend", "");
   const std::string kind = GetFlag(flags, "kind", "foreach");
   dcs::Rng rng(static_cast<uint64_t>(GetInt(flags, "seed", 1)));
   std::unique_ptr<dcs::DirectedCutSketch> sketch;
-  if (kind == "foreach") {
+  std::string label = kind;
+  if (!backend.empty()) {
+    dcs::BackendOptions options;
+    options.epsilon = epsilon;
+    options.beta = beta;
+    options.seed = static_cast<uint64_t>(GetInt(flags, "seed", 1));
+    options.median_boost = GetInt(flags, "median-boost", 1);
+    auto built = dcs::BuildBackendSketch(backend, *graph, options);
+    if (!built.ok()) {
+      // The registry's kInvalidArgument message lists the valid names.
+      std::fprintf(stderr, "--backend: %s\n",
+                   std::string(built.status().message()).c_str());
+      return 2;
+    }
+    sketch = std::move(built).value();
+    label = backend;
+  } else if (kind == "foreach") {
     sketch = std::make_unique<dcs::DirectedForEachSketch>(*graph, epsilon,
                                                           beta, rng);
   } else if (kind == "forall") {
@@ -304,7 +327,7 @@ int CmdSketch(const FlagMap& flags) {
     return 2;
   }
   std::printf("%s sketch at eps=%.3f beta=%.2f: %lld bits (graph: %lld)\n",
-              kind.c_str(), epsilon, beta,
+              label.c_str(), epsilon, beta,
               static_cast<long long>(sketch->SizeInBits()),
               static_cast<long long>(
                   graph->num_edges() * 64));  // rough edge-list floor
@@ -635,7 +658,27 @@ int CmdServe(const FlagMap& flags) {
   dcs::Rng rng(static_cast<uint64_t>(GetInt(flags, "seed", 1)));
   const dcs::DirectedGraph graph = dcs::RandomBalancedDigraph(n, p, beta, rng);
   dcs::CutQueryService service(options);
-  const auto object = service.RegisterGraph(graph);
+  // Default object is the exact graph oracle; --backend serves the named
+  // registry sparsifier instead (same memoization contract either way).
+  dcs::CutQueryService::ObjectId object;
+  const std::string backend = GetFlag(flags, "backend", "");
+  if (backend.empty()) {
+    object = service.RegisterGraph(graph);
+  } else {
+    dcs::BackendOptions backend_options;
+    backend_options.epsilon = GetDouble(flags, "epsilon", 0.2);
+    backend_options.beta = beta;
+    backend_options.seed = static_cast<uint64_t>(GetInt(flags, "seed", 1));
+    backend_options.median_boost = GetInt(flags, "median-boost", 1);
+    const auto registered =
+        service.RegisterBackendSketch(graph, backend, backend_options);
+    if (!registered.ok()) {
+      std::fprintf(stderr, "--backend: %s\n",
+                   std::string(registered.status().message()).c_str());
+      return 2;
+    }
+    object = *registered;
+  }
 
   // A fixed pool of proper cut sides; every round's batch cycles through
   // it, so round 1 is all cold and later rounds are all warm.
