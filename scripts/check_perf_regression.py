@@ -38,6 +38,11 @@ TRACKED = {
     "BENCH_serve.json": [
         ("warm_vs_cold", ("n",), "ms_warm"),
         ("foreach_decode", (), "ms_warm"),
+        # The multi-process serving tier under SIGKILL chaos. p50 is the
+        # tracked timing: the median is stable under the randomized kill
+        # schedule, while p99 (recorded in the JSON) moves with exactly
+        # when the kills landed.
+        ("cluster", ("kill_rate",), "p50_us"),
     ],
     "BENCH_simd.json": [
         ("rows", ("kernel", "n"), "simd_ns"),
@@ -166,6 +171,14 @@ def check_correctness_flags(name, doc, report):
     if scaling is not None:
         demand("thread_scaling.answers_identical",
                scaling.get("answers_identical"))
+    for row in doc.get("cluster", []):
+        # The chaos-soak invariant: every batch a client completed against
+        # the worker fleet — including across SIGKILL failovers — matched
+        # the single-process oracle bit for bit. A row that failed to run
+        # records answers_bit_identical=false and fails here too.
+        demand(f"cluster[kill_rate={row.get('kill_rate')}]"
+               f".answers_bit_identical",
+               row.get("answers_bit_identical"))
     for row in doc.get("enumerate_decode", []):
         demand(f"enumerate_decode[k={row.get('k')}].same_subset",
                row.get("same_subset"))

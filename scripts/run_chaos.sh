@@ -94,6 +94,27 @@ else
   echo "ok   all-lost degrades to exit 1 (no crash)"
 fi
 
+# Process-kill chaos for the multi-process serving tier (DESIGN.md §14):
+# real dcs_server worker processes under SIGKILL at a 20% per-tick rate
+# with R=2 replication. The subcommand exits non-zero if any completed
+# answer differs from the single-process oracle by a single bit, if any
+# loss surfaces as something other than kUnavailable/kResourceExhausted,
+# or if no batch completes at all.
+set +e
+"${cli}" cluster --workers 4 --replication 2 --clients 2 --batches 200 \
+  --kill-rate 0.2 --kill-interval-ms 5 --respawn-delay-ms 5 --seed 11 \
+  > "${tmp_dir}/cluster.txt" 2>&1
+status=$?
+set -e
+if [[ ${status} -ne 0 ]]; then
+  echo "FAIL cluster soak @20% SIGKILL: exit ${status}" >&2
+  cat "${tmp_dir}/cluster.txt" >&2
+  failures=$((failures + 1))
+else
+  echo "ok   cluster soak @20% SIGKILL, R=2 ($(grep -o 'kills [0-9]*' \
+    "${tmp_dir}/cluster.txt" | head -n 1); answers bit-identical)"
+fi
+
 if [[ ${failures} -ne 0 ]]; then
   echo "chaos sweep: ${failures} failure(s)" >&2
   exit 1

@@ -51,8 +51,11 @@ run_one() {
     # under the checker. The sparsifier differential suite rides along:
     # its backend registry exercises every sketch's build/serialize path
     # (including the cut-balance bit packer) under the checker too.
+    # transport_test rides along: the socket transport, bounded-queue
+    # admission control, worker drain, and client failover all have
+    # thread-heavy paths worth an isolated pass under the checker.
     ctest --test-dir "${build_dir}" --output-on-failure \
-      -R '^(serve_test|tsan_stress_test|stream_test|ingest_test|sparsifier_differential_test)$'
+      -R '^(serve_test|tsan_stress_test|stream_test|ingest_test|sparsifier_differential_test|transport_test)$'
     # The SIMD dispatch layer has two code paths per kernel (vectorized
     # and forced-scalar); run the kernels' consumers under the checker on
     # both so neither path escapes sanitizer coverage.

@@ -44,6 +44,7 @@ void ChannelOptions::Check() const {
   DCS_CHECK_GE(chunk_payload_bits, 1);
   DCS_CHECK_GE(max_rounds, 1);
   DCS_CHECK_GE(backoff_cap, 1);
+  check_rate(backoff_jitter);
 }
 
 void ChannelStats::MergeFrom(const ChannelStats& other) {
@@ -185,7 +186,11 @@ std::vector<Frame> LossyChannel::TransmitRound(
 }
 
 ReliableLink::ReliableLink(const ChannelOptions& options)
-    : options_(options), channel_(options) {
+    : options_(options),
+      channel_(options),
+      // A derived stream keeps jitter draws off the channel's fault script:
+      // the same seed replays identical faults whether or not jitter is on.
+      jitter_rng_(SubtaskSeed(options.seed, 0xBACC0FFull)) {
   options_.Check();
 }
 
@@ -229,8 +234,18 @@ StatusOr<Message> ReliableLink::Transfer(const Message& message) {
       // Capped exponential backoff between retransmission rounds. Simulated
       // time: the units are counted (and surfaced in the histogram), not
       // slept, so chaos sweeps stay fast and deterministic.
-      const int64_t backoff = std::min<int64_t>(
+      int64_t backoff = std::min<int64_t>(
           int64_t{1} << std::min(round - 1, 62), options_.backoff_cap);
+      if (options_.backoff_jitter > 0 && backoff > 1) {
+        // Equal-jitter: uniform in [(1-jitter)*b, b]. The floor keeps at
+        // least one unit of wait so retransmission is never a hot spin.
+        const int64_t floor = std::max<int64_t>(
+            1, static_cast<int64_t>(
+                   static_cast<double>(backoff) *
+                   (1.0 - options_.backoff_jitter)));
+        backoff = floor + static_cast<int64_t>(jitter_rng_.UniformInt(
+                              static_cast<uint64_t>(backoff - floor + 1)));
+      }
       stats.backoff_units += backoff;
       DCS_METRIC_RECORD("comm.channel.backoff", backoff);
     }
@@ -276,8 +291,12 @@ StatusOr<Message> ReliableLink::Transfer(const Message& message) {
   Message delivered;
   if (received_count < total_chunks) {
     ++stats.transfers_expired;
+    // "transport deadline:" marks this as a wire-level retry-budget failure,
+    // distinct from a peer *application* error relayed in a Status payload —
+    // failover logic keys on the difference (DESIGN.md §14).
     result_status = DeadlineExceededError(
-        "reliable link gave up after " + std::to_string(rounds_used) +
+        "transport deadline: reliable link gave up after " +
+        std::to_string(rounds_used) +
         " rounds with " + std::to_string(total_chunks - received_count) +
         " of " + std::to_string(total_chunks) + " chunks undelivered");
   } else {

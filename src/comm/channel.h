@@ -51,6 +51,13 @@ struct ChannelOptions {
   int chunk_payload_bits = 2048;  // frame payload size (last chunk shorter)
   int max_rounds = 10;            // retransmission rounds before deadline
   int64_t backoff_cap = 64;       // cap on per-round exponential backoff
+  // Fraction of each capped backoff randomized away (equal-jitter): round r
+  // waits a deterministic seed-derived value in [(1-jitter)*b, b] where b
+  // is the capped exponential base. 0 keeps the historical fixed schedule;
+  // 1 allows full decorrelation. Jitter draws come from a dedicated stream
+  // (SubtaskSeed of `seed`), so enabling it never perturbs the fault
+  // script replayed by the channel itself.
+  double backoff_jitter = 0;
 
   // True if any fault can ever fire.
   bool any_faults() const {
@@ -153,6 +160,7 @@ class ReliableLink {
  private:
   ChannelOptions options_;
   LossyChannel channel_;
+  Rng jitter_rng_;  // dedicated stream: jitter never shifts fault draws
 };
 
 }  // namespace dcs

@@ -1,0 +1,312 @@
+#include "serve/cluster.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace dcs {
+namespace {
+
+// The worker's instance token: distinct across respawns (monotonic clock
+// advances; pids differ), never zero (zero means "unknown" client-side).
+uint64_t DrawInstanceToken() {
+  const uint64_t ticks = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  const uint64_t token =
+      ticks ^ (static_cast<uint64_t>(::getpid()) << 40);
+  return token == 0 ? 1 : token;
+}
+
+}  // namespace
+
+BoundedJobQueue::BoundedJobQueue(int capacity) : capacity_(capacity) {
+  DCS_CHECK_GE(capacity, 1);
+}
+
+Status BoundedJobQueue::TryPush(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) {
+      return UnavailableError("job queue is stopped");
+    }
+    if (static_cast<int>(jobs_.size()) >= capacity_) {
+      DCS_METRIC_INC("serve.cluster.queue_rejected");
+      return ResourceExhaustedError(
+          "shard queue full (" + std::to_string(capacity_) +
+          " requests in flight); retry after backoff");
+    }
+    jobs_.push_back(std::move(job));
+  }
+  ready_.notify_one();
+  return OkStatus();
+}
+
+std::optional<std::function<void()>> BoundedJobQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return stopped_ || !jobs_.empty(); });
+  if (jobs_.empty()) return std::nullopt;  // stopped and drained
+  std::function<void()> job = std::move(jobs_.front());
+  jobs_.pop_front();
+  return job;
+}
+
+void BoundedJobQueue::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopped_ = true;
+  }
+  ready_.notify_all();
+}
+
+int64_t BoundedJobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(jobs_.size());
+}
+
+void ClusterWorkerOptions::Check() const {
+  DCS_CHECK_GE(num_shards, 1);
+  DCS_CHECK_GE(queue_capacity, 1);
+  DCS_CHECK_GE(io_timeout_ms, 1);
+  DCS_CHECK_GE(accept_timeout_ms, 1);
+  DCS_CHECK_GE(execution_delay_ms, 0);
+}
+
+ClusterWorker::ClusterWorker(Listener listener, ClusterWorkerOptions options)
+    : options_(options),
+      listener_(std::move(listener)),
+      token_(DrawInstanceToken()) {
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    CutQueryServiceOptions service_options;
+    service_options.num_threads = 1;  // the shard thread IS the executor
+    shard->service = std::make_unique<CutQueryService>(service_options);
+    shard->queue =
+        std::make_unique<BoundedJobQueue>(options_.queue_capacity);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    shard->runner = std::thread([queue = shard->queue.get()] {
+      while (auto job = queue->Pop()) (*job)();
+    });
+  }
+}
+
+StatusOr<std::unique_ptr<ClusterWorker>> ClusterWorker::Create(
+    const Endpoint& endpoint, ClusterWorkerOptions options) {
+  options.Check();
+  DCS_ASSIGN_OR_RETURN(Listener listener, Listener::Listen(endpoint));
+  return std::unique_ptr<ClusterWorker>(
+      new ClusterWorker(std::move(listener), options));
+}
+
+ClusterWorker::~ClusterWorker() {
+  RequestStop();
+  listener_.Close();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (std::thread& t : connections_) {
+      if (t.joinable()) t.join();
+    }
+    connections_.clear();
+  }
+  for (auto& shard : shards_) {
+    shard->queue->Stop();
+    if (shard->runner.joinable()) shard->runner.join();
+  }
+}
+
+RpcResponse ClusterWorker::ExecuteOnShard(Shard& shard,
+                                          const RpcRequest& request) {
+  RpcResponse response;
+  response.server_token = token_;
+  if (options_.execution_delay_ms > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.execution_delay_ms));
+  }
+  const int num_shards = static_cast<int>(shards_.size());
+  switch (request.kind) {
+    case RpcKind::kRegisterGraph: {
+      shard.graphs.push_back(*request.graph);
+      const CutQueryService::ObjectId local =
+          shard.service->RegisterGraph(shard.graphs.back());
+      // Recover the shard index from the routing invariant rather than
+      // storing it: this shard was picked as global % S.
+      int shard_index = 0;
+      for (; shard_index < num_shards; ++shard_index) {
+        if (shards_[static_cast<size_t>(shard_index)].get() == &shard) break;
+      }
+      response.object_id = local * num_shards + shard_index;
+      response.status = OkStatus();
+      DCS_METRIC_INC("serve.cluster.objects_registered");
+      break;
+    }
+    case RpcKind::kQueryBatch: {
+      const int64_t local = request.object_id / num_shards;
+      if (local >= shard.service->num_objects()) {
+        response.status = NotFoundError(
+            "object " + std::to_string(request.object_id) +
+            " is not registered on this worker (it may have restarted)");
+        break;
+      }
+      const DirectedGraph& graph = shard.graphs[static_cast<size_t>(local)];
+      if (request.num_vertices != graph.num_vertices()) {
+        response.status = InvalidArgumentError(
+            "query batch sides have " +
+            std::to_string(request.num_vertices) + " vertices; object has " +
+            std::to_string(graph.num_vertices()));
+        break;
+      }
+      std::vector<CutQueryService::Query> batch;
+      batch.reserve(request.sides.size());
+      for (const VertexSet& side : request.sides) {
+        batch.push_back(CutQueryService::Query{local, side});
+      }
+      response.values = shard.service->AnswerBatch(batch);
+      response.status = OkStatus();
+      break;
+    }
+    case RpcKind::kPing:
+    case RpcKind::kResponse:
+      response.status = InternalError("request kind cannot reach a shard");
+      break;
+  }
+  return response;
+}
+
+RpcResponse ClusterWorker::Dispatch(const RpcRequest& request) {
+  RpcResponse response;
+  response.server_token = token_;
+  if (request.kind == RpcKind::kPing) {
+    response.status = OkStatus();  // answered inline: health checks must
+    return response;               // succeed even when every queue is full
+  }
+  Shard* shard = nullptr;
+  if (request.kind == RpcKind::kRegisterGraph) {
+    if (!request.graph.has_value()) {
+      response.status = InvalidArgumentError("register request has no graph");
+      return response;
+    }
+    std::lock_guard<std::mutex> lock(registration_mutex_);
+    shard = shards_[static_cast<size_t>(registrations_++ %
+                                        static_cast<int64_t>(
+                                            shards_.size()))]
+                .get();
+  } else if (request.kind == RpcKind::kQueryBatch) {
+    if (request.object_id < 0) {
+      response.status = InvalidArgumentError("negative object id");
+      return response;
+    }
+    shard = shards_[static_cast<size_t>(
+                        request.object_id %
+                        static_cast<int64_t>(shards_.size()))]
+                .get();
+  } else {
+    response.status = InternalError("undispatchable request kind");
+    return response;
+  }
+  // The connection thread parks here while the shard thread runs the job;
+  // the bounded queue depth is therefore the worker's whole memory of
+  // outstanding work — nothing else buffers.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  const Status admitted = shard->queue->TryPush([&] {
+    RpcResponse result = ExecuteOnShard(*shard, request);
+    std::lock_guard<std::mutex> lock(done_mutex);
+    response = std::move(result);
+    done = true;
+    done_cv.notify_one();
+  });
+  if (!admitted.ok()) {
+    response.status = admitted;  // kResourceExhausted fast-reject
+    return response;
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+  return response;
+}
+
+RpcResponse ClusterWorker::Execute(const RpcRequest& request) {
+  return Dispatch(request);
+}
+
+void ClusterWorker::HandleConnection(Connection connection) {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Wait for the next request with a short poll so the stop flag is
+    // observed promptly on idle connections; the io deadline only starts
+    // once bytes are actually arriving.
+    struct pollfd pfd;
+    pfd.fd = connection.fd();
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, options_.accept_timeout_ms);
+    if (ready == 0) continue;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    auto request_bytes = connection.Receive(options_.io_timeout_ms);
+    if (!request_bytes.ok()) {
+      // Clean departure, reset, or garbage: either way this connection is
+      // done. (A decode failure below keeps the connection — framing is
+      // intact, only the body was bad.)
+      break;
+    }
+    RpcResponse response;
+    response.server_token = token_;
+    auto request = DecodeRpcRequest(*request_bytes);
+    if (request.ok()) {
+      response = Dispatch(*request);
+    } else {
+      response.status = request.status();
+    }
+    DCS_METRIC_INC("serve.cluster.requests");
+    if (!connection.Send(EncodeRpcResponse(response),
+                         options_.io_timeout_ms)
+             .ok()) {
+      break;
+    }
+  }
+}
+
+Status ClusterWorker::Serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto accepted = listener_.Accept(options_.accept_timeout_ms);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kDeadlineExceeded) {
+        continue;  // poll the stop flag
+      }
+      return accepted.status();
+    }
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.emplace_back(
+        [this, conn = std::make_shared<Connection>(std::move(*accepted))] {
+          HandleConnection(std::move(*conn));
+        });
+  }
+  // Drain: stop accepting, let every connection finish its in-flight
+  // request (they observe stop_ within accept_timeout_ms), then run the
+  // queues dry before joining the shard threads.
+  listener_.Close();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (std::thread& t : connections_) {
+      if (t.joinable()) t.join();
+    }
+    connections_.clear();
+  }
+  for (auto& shard : shards_) shard->queue->Stop();
+  for (auto& shard : shards_) {
+    if (shard->runner.joinable()) shard->runner.join();
+  }
+  return OkStatus();
+}
+
+}  // namespace dcs

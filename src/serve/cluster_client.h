@@ -1,0 +1,181 @@
+// The coordinator/client side of the multi-process serving tier
+// (DESIGN.md §14): replication, health checking, failover, and the
+// survivor-rescale degradation math.
+//
+// Placement: object replica r lives on worker (index + r) % W, so R-way
+// replication spreads evenly and any R-1 simultaneous worker losses leave
+// at least one replica of a replicated object.
+//
+// Two registration modes:
+//  * RegisterReplicated — the whole graph on each of R workers. Any
+//    replica answers with the exact same code path (deserialize-preserved
+//    edge order + ExactCutOracle edge scan), so failover answers are
+//    BIT-IDENTICAL to a single-process oracle — the chaos soak's "zero
+//    wrong bits" invariant. All replicas lost → kUnavailable.
+//  * RegisterSharded — edges split round-robin into S edge-disjoint groups,
+//    each group replicated R ways; an answer sums the per-shard cuts. When
+//    L of S shards have no live replica, survivors are rescaled by
+//    S/(S−L) and the advertised accuracy widens to ε·√(S/(S−L)) — the
+//    same degradation math as DistributedMinCutPipeline (DESIGN.md §12).
+//    All S shards lost → kUnavailable.
+//
+// Failover policy (who eats which error):
+//  * transport failures (kUnavailable, "transport deadline:"
+//    kDeadlineExceeded, kDataLoss) — mark the worker Suspect, drop the
+//    connection, try the next replica;
+//  * peer kUnavailable / kNotFound (worker draining, or respawned and
+//    amnesiac) — mark the replica stale, try the next replica;
+//  * peer kResourceExhausted — returned to the caller IMMEDIATELY, no
+//    failover: admission control is backpressure, and shifting the same
+//    load onto the remaining replicas would amplify exactly the overload
+//    the worker just reported;
+//  * any other peer error (kInvalidArgument, ...) — the request itself is
+//    wrong; returned to the caller.
+//
+// Worker lifecycle: Healthy → Suspect (a call failed) → Dead (health check
+// failed). HealthCheck() pings every worker: success revives it (and
+// records its instance token); a token change proves a respawn, so every
+// replica registered under the old token is stale. Repair() re-registers
+// stale replicas from the client's retained graphs, returning the cluster
+// to full replication — the respawn half of the chaos loop.
+//
+// A ClusterClient is NOT thread-safe: one per load-generator thread.
+
+#ifndef DCS_SERVE_CLUSTER_CLIENT_H_
+#define DCS_SERVE_CLUSTER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+#include "serve/transport.h"
+#include "serve/wire.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dcs {
+
+struct ClusterClientOptions {
+  int replication = 2;  // R: replicas per object / per shard group
+  TransportOptions transport;
+  uint64_t seed = 0;  // reconnect jitter determinism
+
+  void Check() const;
+};
+
+// An answer that may have been rescaled over lost shards.
+struct DegradedAnswer {
+  std::vector<double> values;
+  int total_shards = 0;
+  int lost_shards = 0;
+  // S/(S−L): multiplied into the survivor sum.
+  double scale = 1.0;
+  // ε·√(S/(S−L)) for the caller's ε (returned as the factor √(S/(S−L));
+  // multiply by your ε). 1.0 when nothing was lost.
+  double epsilon_factor = 1.0;
+};
+
+class ClusterClient {
+ public:
+  enum class WorkerHealth { kHealthy, kSuspect, kDead };
+
+  using ObjectHandle = int64_t;
+
+  ClusterClient(std::vector<Endpoint> workers, ClusterClientOptions options);
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  WorkerHealth worker_health(int worker) const;
+
+  // Registers `graph` whole on R workers starting at (handle % W).
+  // Requires at least one successful replica; fewer than R successes is
+  // still OK (Repair will finish the job once workers return).
+  StatusOr<ObjectHandle> RegisterReplicated(const DirectedGraph& graph);
+
+  // Splits `graph` into `num_shards` edge-disjoint groups (round-robin by
+  // edge index) and registers each group on R workers. Requires
+  // num_shards >= 1 and at least one live replica per shard at
+  // registration time.
+  StatusOr<ObjectHandle> RegisterSharded(const DirectedGraph& graph,
+                                         int num_shards);
+
+  // Answers a batch against a replicated object: first live replica wins;
+  // failover per the policy above. kUnavailable when every replica is
+  // lost; kResourceExhausted passes straight through.
+  StatusOr<std::vector<double>> AnswerBatch(
+      ObjectHandle handle, const std::vector<VertexSet>& sides);
+
+  // Answers a batch against a sharded object with survivor rescaling.
+  // Also usable on replicated objects (S=1: any loss is total).
+  StatusOr<DegradedAnswer> AnswerDegraded(
+      ObjectHandle handle, const std::vector<VertexSet>& sides);
+
+  // Pings every worker. Revives responders (Suspect/Dead → Healthy),
+  // demotes non-responders (Suspect → Dead), and records instance tokens.
+  // Always OK; per-worker results land in worker_health().
+  Status HealthCheck();
+
+  // Re-registers every stale replica (worker respawned since registration,
+  // or registration never succeeded) on currently-healthy workers.
+  // Returns the number of replicas repaired.
+  StatusOr<int64_t> Repair();
+
+ private:
+  struct Replica {
+    int worker = 0;
+    int64_t remote_id = -1;     // worker-local object id
+    uint64_t token = 0;         // worker token at registration
+    bool registered = false;
+  };
+  struct ShardState {
+    DirectedGraph graph;        // retained for repair
+    std::vector<Replica> replicas;
+  };
+  struct ObjectState {
+    int num_vertices = 0;
+    std::vector<ShardState> shards;  // size 1 for replicated objects
+  };
+  struct WorkerState {
+    Endpoint endpoint;
+    Connection connection;
+    WorkerHealth health = WorkerHealth::kHealthy;
+    uint64_t token = 0;  // last observed instance token (0 = never seen)
+    Rng jitter_rng;
+    explicit WorkerState(Endpoint e, uint64_t jitter_seed)
+        : endpoint(std::move(e)), jitter_rng(jitter_seed) {}
+  };
+
+  // One request/response exchange with a worker, reconnecting (with
+  // backoff) if needed. Transport failures close the connection and mark
+  // the worker Suspect. Token changes are recorded as they are observed.
+  // Dead workers are refused unless even_if_dead (the health-check probe).
+  StatusOr<RpcResponse> Call(int worker, const RpcRequest& request,
+                             bool even_if_dead = false);
+
+  // True if `replica` can no longer be trusted: never registered, or the
+  // worker has been seen with a newer token since.
+  bool IsStale(const Replica& replica, const WorkerState& worker) const;
+
+  Status RegisterShardOn(ObjectState& object, ShardState& shard,
+                         Replica& replica);
+
+  // Queries one shard on its first answering replica (marking replicas
+  // stale as failures reveal them). OK with values on success;
+  // kUnavailable when every replica failed over; other codes per the
+  // failover policy.
+  StatusOr<std::vector<double>> QueryShard(const ObjectState& object,
+                                           ShardState& shard,
+                                           const std::vector<VertexSet>& sides);
+
+  ClusterClientOptions options_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<ObjectState> objects_;
+};
+
+}  // namespace dcs
+
+#endif  // DCS_SERVE_CLUSTER_CLIENT_H_

@@ -1,0 +1,158 @@
+// Real-socket message transport for the multi-process serving tier
+// (DESIGN.md §14).
+//
+// Everything above this layer still speaks Message (comm/message.h): the
+// transport moves one checksummed bit-exact Message per call across a
+// Unix-domain or TCP stream socket. On the wire each Message is cut into
+// chunks framed with the 0xFA5C channel-frame idiom from src/comm/channel
+// (magic / seq / total chunks / message bits / payload bits / FNV-1a), each
+// frame length-prefixed with a 32-bit little-endian byte count. The
+// receiver treats the stream as hostile: length caps before allocation,
+// strict chunk geometry (sequential seq, consistent totals, exact per-chunk
+// payload sizes), per-frame checksums, and a zero-padding check on the
+// trailing partial byte — so every bit flip or truncation of a frame
+// yields a non-OK Status, never a crash, hang, or over-read
+// (tests/corruption_test.cc drives this exhaustively).
+//
+// Failure vocabulary (the client's failover logic keys on it):
+//   kDeadlineExceeded — a connect/read/write deadline expired; messages are
+//                       prefixed "transport deadline:" like ReliableLink's.
+//   kUnavailable      — the peer is gone: connect refused, EOF mid-message,
+//                       reset. Retrying (or failing over) may succeed.
+//   kDataLoss         — the stream violated the frame format.
+//   kInvalidArgument  — a malformed endpoint spec.
+//
+// All I/O is nonblocking with poll()-enforced deadlines and EINTR-safe
+// retry loops; writes use MSG_NOSIGNAL so a dead peer surfaces as a Status,
+// never SIGPIPE. ConnectWithBackoff retries refused connections under the
+// same capped exponential backoff + deterministic jitter policy as
+// ReliableLink (a dedicated seeded stream, so tests replay exactly).
+
+#ifndef DCS_SERVE_TRANSPORT_H_
+#define DCS_SERVE_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "comm/message.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dcs {
+
+// A parsed endpoint: "unix:/path/to.sock" or "tcp:HOST:PORT" (numeric IPv4
+// or "localhost"). ToSpec() round-trips, so a Listener bound to port 0 can
+// hand out its real address.
+struct Endpoint {
+  bool is_unix = false;
+  std::string path;  // unix socket path
+  std::string host;  // tcp numeric IPv4 (or "localhost")
+  int port = 0;      // tcp port
+  std::string ToSpec() const;
+};
+
+// Parses an endpoint spec. kInvalidArgument on malformed input (unknown
+// scheme, unix path too long for sockaddr_un, bad port).
+StatusOr<Endpoint> ParseEndpoint(const std::string& spec);
+
+// Deadlines and reconnect policy for one logical connection.
+struct TransportOptions {
+  int connect_timeout_ms = 2000;  // per connect() attempt
+  int io_timeout_ms = 5000;       // per Send/Receive call
+  // Capped exponential backoff between reconnect attempts:
+  // min(base << attempt, cap), jittered into [(1-jitter)*b, b].
+  int reconnect_base_ms = 5;
+  int reconnect_cap_ms = 200;
+  double reconnect_jitter = 0.5;
+  int max_connect_attempts = 8;
+  uint64_t seed = 0;  // jitter determinism
+
+  void Check() const;  // CHECK-fails on nonsensical values
+};
+
+// One connected stream socket, move-only; closes on destruction. A
+// Connection is not thread-safe: callers serialize Send/Receive (the
+// cluster client holds one connection per worker behind a mutex, the
+// worker one per accepted client on its own thread).
+class Connection {
+ public:
+  Connection() = default;  // invalid until assigned
+  explicit Connection(int fd) : fd_(fd) {}
+  ~Connection() { Close(); }
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  Connection(Connection&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Connection& operator=(Connection&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  // Sends one Message as length-prefixed channel frames. The deadline
+  // covers the whole call. kDeadlineExceeded ("transport deadline:") on
+  // timeout, kUnavailable if the peer vanished mid-write.
+  Status Send(const Message& message, int timeout_ms);
+
+  // Receives one Message. Validates every frame as hostile input:
+  // kDataLoss on any format violation, kUnavailable on EOF/reset,
+  // kDeadlineExceeded ("transport deadline:") on timeout. A clean EOF
+  // *before any byte* of a message also returns kUnavailable ("connection
+  // closed"), which servers use as the end-of-client signal.
+  StatusOr<Message> Receive(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+// A listening socket. For unix endpoints any stale socket file is
+// unlinked before bind; for tcp, SO_REUSEADDR is set and port 0 binds an
+// ephemeral port (local_endpoint() reports the real one).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  static StatusOr<Listener> Listen(const Endpoint& endpoint,
+                                   int backlog = 64);
+
+  bool valid() const { return fd_ >= 0; }
+  const Endpoint& local_endpoint() const { return endpoint_; }
+  void Close();
+
+  // Accepts one connection. kDeadlineExceeded on timeout (the server's
+  // accept loop uses a short timeout so it can poll its shutdown flag),
+  // kUnavailable if the listener is closed.
+  StatusOr<Connection> Accept(int timeout_ms);
+
+ private:
+  int fd_ = -1;
+  Endpoint endpoint_;
+};
+
+// One connect attempt with a deadline. kUnavailable on refusal/unreachable,
+// kDeadlineExceeded on timeout.
+StatusOr<Connection> Connect(const Endpoint& endpoint, int timeout_ms);
+
+// Connect with up to max_connect_attempts tries under capped exponential
+// backoff with deterministic jitter drawn from `jitter_rng` (the caller
+// owns the stream so replays are exact). Returns the last attempt's error
+// when every try fails.
+StatusOr<Connection> ConnectWithBackoff(const Endpoint& endpoint,
+                                        const TransportOptions& options,
+                                        Rng& jitter_rng);
+
+}  // namespace dcs
+
+#endif  // DCS_SERVE_TRANSPORT_H_

@@ -1,0 +1,264 @@
+#include "serve/wire.h"
+
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "sketch/serialization.h"
+#include "util/bitio.h"
+
+namespace dcs {
+namespace {
+
+// RPC envelope magic, distinct from the serialization envelope (0xD5CE)
+// and the channel frame (0xFA5C): a body misfed to the wrong parser dies
+// at the first header field.
+constexpr uint64_t kRpcMagic = 0xA9C5;
+constexpr uint64_t kRpcVersion = 1;
+
+// Caps enforced before any allocation driven by a header-declared count.
+constexpr uint64_t kMaxBatchQueries = uint64_t{1} << 20;
+constexpr uint64_t kMaxStatusMessageBytes = 4096;
+
+uint32_t Fnv1a(const std::vector<uint8_t>& bytes) {
+  uint32_t hash = 2166136261u;
+  for (uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+Message SealRpc(RpcKind kind, const BitWriter& payload) {
+  BitWriter out;
+  out.WriteBits(kRpcMagic, 16);
+  out.WriteBits(kRpcVersion, 8);
+  out.WriteBits(static_cast<uint64_t>(kind), 8);
+  out.WriteEliasGamma(static_cast<uint64_t>(payload.bit_count()));
+  out.WriteBits(Fnv1a(payload.bytes()), 32);
+  out.AppendBits(payload.bytes(), payload.bit_count());
+  return SealMessage(out);
+}
+
+struct OpenedRpc {
+  RpcKind kind = RpcKind::kPing;
+  std::vector<uint8_t> payload;
+  int64_t payload_bits = 0;
+};
+
+// Validates the RPC envelope and extracts the checksummed payload. The
+// checks mirror the serialization envelope: magic, version, kind range,
+// declared length against the *declared* message bit count (not the padded
+// byte buffer), checksum, and no trailing bits.
+StatusOr<OpenedRpc> OpenRpc(const Message& message) {
+  BitReader reader(message.bytes);
+  DCS_ASSIGN_OR_RETURN(const uint64_t magic, reader.TryReadBits(16));
+  if (magic != kRpcMagic) return DataLossError("bad rpc magic");
+  DCS_ASSIGN_OR_RETURN(const uint64_t version, reader.TryReadBits(8));
+  if (version != kRpcVersion) {
+    return DataLossError("unsupported rpc version " +
+                         std::to_string(version));
+  }
+  DCS_ASSIGN_OR_RETURN(const uint64_t kind, reader.TryReadBits(8));
+  if (kind < static_cast<uint64_t>(RpcKind::kPing) ||
+      kind > static_cast<uint64_t>(RpcKind::kResponse)) {
+    return DataLossError("unknown rpc kind " + std::to_string(kind));
+  }
+  DCS_ASSIGN_OR_RETURN(const uint64_t payload_bits,
+                       reader.TryReadEliasGamma());
+  DCS_ASSIGN_OR_RETURN(const uint64_t checksum, reader.TryReadBits(32));
+  if (message.bit_count < reader.position() ||
+      payload_bits !=
+          static_cast<uint64_t>(message.bit_count - reader.position())) {
+    return DataLossError("rpc payload length does not match the message");
+  }
+  OpenedRpc opened;
+  opened.kind = static_cast<RpcKind>(kind);
+  opened.payload_bits = static_cast<int64_t>(payload_bits);
+  opened.payload.assign(static_cast<size_t>((payload_bits + 7) / 8), 0);
+  for (uint64_t bit = 0; bit < payload_bits; ++bit) {
+    DCS_ASSIGN_OR_RETURN(const int value, reader.TryReadBit());
+    if (value) {
+      opened.payload[static_cast<size_t>(bit >> 3)] |=
+          static_cast<uint8_t>(1u << (bit & 7));
+    }
+  }
+  if (Fnv1a(opened.payload) != checksum) {
+    return DataLossError("rpc payload checksum mismatch");
+  }
+  return opened;
+}
+
+// The payload parsers share a tail check: every declared payload bit must
+// be consumed (a short parse means the body was spliced or truncated).
+Status CheckFullyConsumed(const BitReader& reader, int64_t payload_bits) {
+  if (reader.position() != payload_bits) {
+    return DataLossError("rpc payload has trailing bits");
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+const char* RpcKindName(RpcKind kind) {
+  switch (kind) {
+    case RpcKind::kPing:
+      return "ping";
+    case RpcKind::kRegisterGraph:
+      return "register_graph";
+    case RpcKind::kQueryBatch:
+      return "query_batch";
+    case RpcKind::kResponse:
+      return "response";
+  }
+  return "unknown";
+}
+
+Message EncodeRpcRequest(const RpcRequest& request) {
+  BitWriter payload;
+  switch (request.kind) {
+    case RpcKind::kPing:
+      break;
+    case RpcKind::kRegisterGraph:
+      DCS_CHECK(request.graph.has_value());
+      SerializeDirectedGraph(*request.graph, payload);
+      break;
+    case RpcKind::kQueryBatch: {
+      DCS_CHECK_GE(request.object_id, 0);
+      DCS_CHECK_GE(request.num_vertices, 1);
+      payload.WriteEliasGamma(static_cast<uint64_t>(request.object_id));
+      payload.WriteEliasGamma(static_cast<uint64_t>(request.num_vertices));
+      payload.WriteEliasGamma(static_cast<uint64_t>(request.sides.size()));
+      for (const VertexSet& side : request.sides) {
+        DCS_CHECK_EQ(static_cast<int>(side.size()), request.num_vertices);
+        for (uint8_t in_side : side) payload.WriteBit(in_side ? 1 : 0);
+      }
+      break;
+    }
+    case RpcKind::kResponse:
+      DCS_CHECK(false);  // responses go through EncodeRpcResponse
+      break;
+  }
+  return SealRpc(request.kind, payload);
+}
+
+StatusOr<RpcRequest> DecodeRpcRequest(const Message& message) {
+  DCS_ASSIGN_OR_RETURN(const OpenedRpc opened, OpenRpc(message));
+  BitReader reader(opened.payload);
+  RpcRequest request;
+  request.kind = opened.kind;
+  switch (opened.kind) {
+    case RpcKind::kResponse:
+      return DataLossError("rpc body is a response, not a request");
+    case RpcKind::kPing:
+      break;
+    case RpcKind::kRegisterGraph: {
+      DCS_ASSIGN_OR_RETURN(request.graph,
+                           DeserializeDirectedGraph(reader));
+      break;
+    }
+    case RpcKind::kQueryBatch: {
+      DCS_ASSIGN_OR_RETURN(const uint64_t object_id,
+                           reader.TryReadEliasGamma());
+      if (object_id > (uint64_t{1} << 32)) {
+        return DataLossError("rpc query batch object id out of range");
+      }
+      DCS_ASSIGN_OR_RETURN(const uint64_t num_vertices,
+                           reader.TryReadEliasGamma());
+      DCS_ASSIGN_OR_RETURN(const uint64_t num_sides,
+                           reader.TryReadEliasGamma());
+      if (num_vertices < 1 ||
+          num_vertices > static_cast<uint64_t>(reader.RemainingBits())) {
+        return DataLossError("rpc query batch vertex count out of range");
+      }
+      if (num_sides > kMaxBatchQueries ||
+          num_sides * num_vertices >
+              static_cast<uint64_t>(reader.RemainingBits())) {
+        return DataLossError(
+            "rpc query batch declares more sides than the stream holds");
+      }
+      request.object_id = static_cast<int64_t>(object_id);
+      request.num_vertices = static_cast<int>(num_vertices);
+      request.sides.reserve(static_cast<size_t>(num_sides));
+      for (uint64_t q = 0; q < num_sides; ++q) {
+        VertexSet side(num_vertices, 0);
+        for (uint64_t v = 0; v < num_vertices; ++v) {
+          DCS_ASSIGN_OR_RETURN(const int bit, reader.TryReadBit());
+          side[static_cast<size_t>(v)] = static_cast<uint8_t>(bit);
+        }
+        request.sides.push_back(std::move(side));
+      }
+      break;
+    }
+  }
+  DCS_RETURN_IF_ERROR(CheckFullyConsumed(reader, opened.payload_bits));
+  return request;
+}
+
+Message EncodeRpcResponse(const RpcResponse& response) {
+  BitWriter payload;
+  payload.WriteBits(static_cast<uint64_t>(response.status.code()), 8);
+  const std::string& text = response.status.message();
+  DCS_CHECK_LE(text.size(), kMaxStatusMessageBytes);
+  payload.WriteEliasGamma(text.size());
+  for (char c : text) {
+    payload.WriteBits(static_cast<uint8_t>(c), 8);
+  }
+  payload.WriteBits(response.server_token, 64);
+  DCS_CHECK_GE(response.object_id, 0);
+  payload.WriteEliasGamma(static_cast<uint64_t>(response.object_id));
+  payload.WriteEliasGamma(response.values.size());
+  for (double value : response.values) payload.WriteDouble(value);
+  return SealRpc(RpcKind::kResponse, payload);
+}
+
+StatusOr<RpcResponse> DecodeRpcResponse(const Message& message) {
+  DCS_ASSIGN_OR_RETURN(const OpenedRpc opened, OpenRpc(message));
+  if (opened.kind != RpcKind::kResponse) {
+    return DataLossError("rpc body is a request, not a response");
+  }
+  BitReader reader(opened.payload);
+  RpcResponse response;
+  DCS_ASSIGN_OR_RETURN(const uint64_t code, reader.TryReadBits(8));
+  if (code > static_cast<uint64_t>(StatusCode::kResourceExhausted)) {
+    return DataLossError("rpc response status code out of range");
+  }
+  DCS_ASSIGN_OR_RETURN(const uint64_t text_bytes, reader.TryReadEliasGamma());
+  if (text_bytes > kMaxStatusMessageBytes ||
+      text_bytes * 8 > static_cast<uint64_t>(reader.RemainingBits())) {
+    return DataLossError("rpc response status message overruns the stream");
+  }
+  std::string text;
+  text.reserve(static_cast<size_t>(text_bytes));
+  for (uint64_t i = 0; i < text_bytes; ++i) {
+    DCS_ASSIGN_OR_RETURN(const uint64_t c, reader.TryReadBits(8));
+    text.push_back(static_cast<char>(c));
+  }
+  response.status = code == 0
+                        ? OkStatus()
+                        : Status(static_cast<StatusCode>(code),
+                                 std::move(text));
+  DCS_ASSIGN_OR_RETURN(response.server_token, reader.TryReadBits(64));
+  DCS_ASSIGN_OR_RETURN(const uint64_t object_id, reader.TryReadEliasGamma());
+  if (object_id > (uint64_t{1} << 32)) {
+    return DataLossError("rpc response object id out of range");
+  }
+  response.object_id = static_cast<int64_t>(object_id);
+  DCS_ASSIGN_OR_RETURN(const uint64_t num_values, reader.TryReadEliasGamma());
+  if (num_values > kMaxBatchQueries ||
+      num_values * 64 > static_cast<uint64_t>(reader.RemainingBits())) {
+    return DataLossError("rpc response declares more values than the stream");
+  }
+  response.values.reserve(static_cast<size_t>(num_values));
+  for (uint64_t i = 0; i < num_values; ++i) {
+    DCS_ASSIGN_OR_RETURN(const double value, reader.TryReadDouble());
+    if (!std::isfinite(value)) {
+      return DataLossError("rpc response value is not finite");
+    }
+    response.values.push_back(value);
+  }
+  DCS_RETURN_IF_ERROR(CheckFullyConsumed(reader, opened.payload_bits));
+  return response;
+}
+
+}  // namespace dcs

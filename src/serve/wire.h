@@ -1,0 +1,90 @@
+// RPC request/response wire format for the serving tier (DESIGN.md §14).
+//
+// One RPC body is one Message moved by serve/transport. The body carries
+// its own envelope — magic (16 bits), version (8), kind (8), Elias-gamma
+// payload bit count, FNV-1a payload checksum (32), payload — mirroring the
+// serialization envelope (sketch/serialization.h), so a body that survived
+// the transport's per-frame checks is *still* treated as hostile: every
+// field is Try-read, every count capped against the remaining stream before
+// allocation, and any flip or truncation decodes to kDataLoss. FNV-1a's
+// per-byte step is invertible, so any single-byte difference always changes
+// the checksum — corruption_test flips every bit of encoded requests and
+// responses and asserts non-OK.
+//
+// RPCs:
+//   kPing          — health check; response carries the worker's token.
+//   kRegisterGraph — ship a DirectedGraph (nested serialization envelope);
+//                    the worker registers it and responds with the
+//                    service-assigned object id.
+//   kQueryBatch    — a batch of cut queries (object id + packed sides);
+//                    response carries one double per query.
+//
+// Every response carries the worker's 64-bit instance token, drawn once at
+// process start. A client that registered an object under token T and
+// later sees token T' != T knows the worker was restarted and its
+// registrations died with it (the replication layer re-registers — the
+// repair path).
+
+#ifndef DCS_SERVE_WIRE_H_
+#define DCS_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/message.h"
+#include "graph/digraph.h"
+#include "graph/types.h"
+#include "util/status.h"
+
+namespace dcs {
+
+// Discriminates RPC bodies. Stable wire values.
+enum class RpcKind : uint8_t {
+  kPing = 1,
+  kRegisterGraph = 2,
+  kQueryBatch = 3,
+  kResponse = 4,  // every response body, regardless of request kind
+};
+
+// Stable lowercase name ("ping", ...) for diagnostics and metrics.
+const char* RpcKindName(RpcKind kind);
+
+struct RpcRequest {
+  RpcKind kind = RpcKind::kPing;
+  // kQueryBatch: the worker-local object id returned by kRegisterGraph.
+  int64_t object_id = 0;
+  // kQueryBatch: vertex count every side must match (validated against the
+  // registered object on the worker).
+  int num_vertices = 0;
+  // kQueryBatch: one packed side per query.
+  std::vector<VertexSet> sides;
+  // kRegisterGraph: the graph to register.
+  std::optional<DirectedGraph> graph;
+};
+
+struct RpcResponse {
+  // The worker's application-level verdict. Distinct from transport
+  // failures: this Status arrived *successfully* over the wire.
+  Status status;
+  // The responding worker's instance token (all kinds).
+  uint64_t server_token = 0;
+  // kRegisterGraph: the assigned object id.
+  int64_t object_id = 0;
+  // kQueryBatch: one answer per query, in request order.
+  std::vector<double> values;
+};
+
+// Encoding never fails (inputs are trusted, by-construction values).
+Message EncodeRpcRequest(const RpcRequest& request);
+Message EncodeRpcResponse(const RpcResponse& response);
+
+// Decoding treats the message as hostile: kDataLoss on any envelope or
+// field violation, never a crash, hang, or unbounded allocation.
+StatusOr<RpcRequest> DecodeRpcRequest(const Message& message);
+StatusOr<RpcResponse> DecodeRpcResponse(const Message& message);
+
+}  // namespace dcs
+
+#endif  // DCS_SERVE_WIRE_H_

@@ -1,0 +1,120 @@
+#include "serve/worker_process.h"
+
+#include <signal.h>
+#include <string.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "serve/wire.h"
+
+namespace dcs {
+
+StatusOr<WorkerProcess> SpawnWorker(const std::string& server_binary,
+                                    const Endpoint& endpoint,
+                                    const ClusterWorkerOptions& options) {
+  options.Check();
+  const std::string spec = endpoint.ToSpec();
+  const std::string shards = std::to_string(options.num_shards);
+  const std::string queue = std::to_string(options.queue_capacity);
+  const std::string io_timeout = std::to_string(options.io_timeout_ms);
+  const std::string accept_timeout =
+      std::to_string(options.accept_timeout_ms);
+  const std::string delay = std::to_string(options.execution_delay_ms);
+  // execv wants mutable char*; the strings above outlive the call.
+  std::vector<char*> argv;
+  auto push = [&argv](const std::string& s) {
+    argv.push_back(const_cast<char*>(s.c_str()));
+  };
+  push(server_binary);
+  const std::string flag_listen = "--listen";
+  const std::string flag_shards = "--shards";
+  const std::string flag_queue = "--queue-capacity";
+  const std::string flag_io = "--io-timeout-ms";
+  const std::string flag_accept = "--accept-timeout-ms";
+  const std::string flag_delay = "--execution-delay-ms";
+  push(flag_listen);
+  push(spec);
+  push(flag_shards);
+  push(shards);
+  push(flag_queue);
+  push(queue);
+  push(flag_io);
+  push(io_timeout);
+  push(flag_accept);
+  push(accept_timeout);
+  push(flag_delay);
+  push(delay);
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return UnavailableError(std::string("fork failed: ") +
+                            std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execv(server_binary.c_str(), argv.data());
+    // Only reached when exec failed; 127 is the shell's convention for
+    // "command not found" and surfaces in the parent's reap status.
+    _exit(127);
+  }
+  WorkerProcess worker;
+  worker.pid = pid;
+  worker.endpoint = endpoint;
+  return worker;
+}
+
+Status WaitForWorkerReady(const Endpoint& endpoint, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  RpcRequest ping;
+  ping.kind = RpcKind::kPing;
+  const Message encoded = EncodeRpcRequest(ping);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto connection = Connect(endpoint, 200);
+    if (connection.ok() && connection->Send(encoded, 500).ok()) {
+      auto reply = connection->Receive(500);
+      if (reply.ok() && DecodeRpcResponse(*reply).ok()) return OkStatus();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return DeadlineExceededError("transport deadline: worker at " +
+                               endpoint.ToSpec() + " never became ready");
+}
+
+Status KillWorker(const WorkerProcess& worker, int signo) {
+  if (!worker.alive()) return NotFoundError("worker was never spawned");
+  if (::kill(worker.pid, signo) != 0) {
+    return NotFoundError(std::string("kill failed: ") +
+                         std::strerror(errno));
+  }
+  return OkStatus();
+}
+
+Status ReapWorker(WorkerProcess& worker, bool blocking) {
+  if (!worker.alive()) return NotFoundError("worker already reaped");
+  int wait_status = 0;
+  while (true) {
+    const pid_t reaped =
+        ::waitpid(worker.pid, &wait_status, blocking ? 0 : WNOHANG);
+    if (reaped == worker.pid) {
+      worker.pid = -1;
+      return OkStatus();
+    }
+    if (reaped == 0) return UnavailableError("worker is still running");
+    if (errno == EINTR) continue;
+    return NotFoundError(std::string("waitpid failed: ") +
+                         std::strerror(errno));
+  }
+}
+
+bool WorkerRunning(const WorkerProcess& worker) {
+  if (!worker.alive()) return false;
+  return ::kill(worker.pid, 0) == 0;
+}
+
+}  // namespace dcs

@@ -71,9 +71,15 @@ Status StreamIngestor::Push(const EdgeUpdate& update) {
   const VertexId lo = std::min(update.u, update.v);
   const VertexId hi = std::max(update.u, update.v);
   Shard& shard = *shards_[static_cast<size_t>(lo % num_shards())];
-  std::vector<EdgeUpdate> batch;
   {
-    std::lock_guard<std::mutex> lock(shard.gutter_mutex);
+    std::unique_lock<std::mutex> lock(shard.gutter_mutex);
+    // Checked under the gutter mutex: Shutdown's final flush takes this
+    // mutex after setting draining_, so a Push either precedes that flush
+    // (accepted and sealed) or observes the flag (rejected). No accepted
+    // update can slip past the final epoch.
+    if (draining_.load(std::memory_order_acquire)) {
+      return UnavailableError("ingestor is draining: update rejected");
+    }
     const int64_t key = EdgeKey(lo, hi);
     if (update.is_delete) {
       const auto it = shard.live.find(key);
@@ -89,15 +95,21 @@ Status StreamIngestor::Push(const EdgeUpdate& update) {
     }
     shard.gutter.push_back(EdgeUpdate{lo, hi, update.is_delete});
     if (static_cast<int>(shard.gutter.size()) >= options_.gutter_capacity) {
+      std::vector<EdgeUpdate> batch;
       batch.swap(shard.gutter);
       shard.gutter.reserve(static_cast<size_t>(options_.gutter_capacity));
+      // Acquire the apply mutex before releasing the gutter mutex (the
+      // documented lock order), so a barrier cannot seal a snapshot in the
+      // window between this swap and the apply — the swapped batch is
+      // always applied before SealMerged can freeze this shard. The gutter
+      // is released before the (per-update-cost) apply, so admission on
+      // this shard resumes immediately.
+      std::lock_guard<std::mutex> apply_lock(shard.apply_mutex);
+      lock.unlock();
+      ApplyBatch(shard, batch);
     }
   }
   updates_accepted_.fetch_add(1, std::memory_order_relaxed);
-  if (!batch.empty()) {
-    std::lock_guard<std::mutex> lock(shard.apply_mutex);
-    ApplyBatch(shard, batch);
-  }
   return OkStatus();
 }
 
@@ -193,6 +205,18 @@ StatusOr<int64_t> StreamIngestor::Barrier() {
   snapshot->epoch = snapshot_->epoch + 1;
   snapshot_ = std::move(snapshot);
   return snapshot_->epoch;
+}
+
+StatusOr<int64_t> StreamIngestor::Shutdown() {
+  // Order matters: the flag goes up first, then the final barrier's
+  // FlushShard walks every gutter mutex. Any Push that was admitted under
+  // a gutter mutex before the flush reached it is in that gutter (or
+  // already applied under the shard's apply mutex, which SealMerged also
+  // takes); any Push after sees draining_ and is rejected.
+  draining_.store(true, std::memory_order_release);
+  DCS_ASSIGN_OR_RETURN(const int64_t epoch, Barrier());
+  pool_.Shutdown();
+  return epoch;
 }
 
 std::shared_ptr<const StreamSnapshot> StreamIngestor::snapshot() const {

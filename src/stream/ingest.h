@@ -112,7 +112,8 @@ class StreamIngestor {
 
   // Admits one update. Thread-safe; any number of concurrent callers.
   //   kInvalidArgument  — endpoint out of [0, n) or a self-loop;
-  //   kFailedPrecondition — delete of an edge with live multiplicity 0.
+  //   kFailedPrecondition — delete of an edge with live multiplicity 0;
+  //   kUnavailable      — the ingestor is draining (Shutdown in progress).
   // Rejected updates leave every sketch and gutter untouched.
   Status Push(const EdgeUpdate& update);
   Status PushInsert(VertexId u, VertexId v);
@@ -132,6 +133,18 @@ class StreamIngestor {
 
   // Epoch of the last sealed snapshot.
   int64_t epoch() const { return snapshot()->epoch; }
+
+  // Drain-then-stop (the SIGTERM path): stops admitting (subsequent Push
+  // returns kUnavailable), seals every already-accepted update into a final
+  // Barrier() epoch, and joins the thread pool. Every update accepted
+  // before or during the call is either included in the returned epoch or
+  // was rejected with a non-OK Push status — never silently lost. Returns
+  // the final epoch. Safe to call concurrently with producers; calling it
+  // again seals another (empty-delta) epoch serially.
+  StatusOr<int64_t> Shutdown();
+
+  // True once Shutdown has begun; new pushes are being rejected.
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
 
   // Total updates admitted (including still-buffered ones).
   int64_t updates_accepted() const {
@@ -178,6 +191,10 @@ class StreamIngestor {
   std::vector<std::unique_ptr<Shard>> shards_;
   ThreadPool pool_;
   std::atomic<int64_t> updates_accepted_{0};
+  // Set (before the final flush) by Shutdown; re-checked inside each
+  // shard's gutter_mutex so every Push is strictly ordered against the
+  // drain barrier: admitted before it (and flushed) or rejected after it.
+  std::atomic<bool> draining_{false};
 
   // Serializes Barrier() calls (also makes ParallelFor single-caller).
   std::mutex barrier_mutex_;

@@ -31,6 +31,7 @@ enum class StatusCode {
   kUnavailable,         // transient backend failure; retrying may succeed
   kInternal,            // invariant violation surfaced as a value
   kDeadlineExceeded,    // retry/time budget exhausted before completion
+  kResourceExhausted,   // admission control: a bounded queue/budget is full
 };
 
 // Name of the code as a stable lowercase token ("data_loss", ...).
@@ -68,6 +69,7 @@ Status FailedPreconditionError(std::string message);
 Status UnavailableError(std::string message);
 Status InternalError(std::string message);
 Status DeadlineExceededError(std::string message);
+Status ResourceExhaustedError(std::string message);
 
 // A Status or a value of type T. Accessing the value of a non-OK StatusOr
 // is a programmer error (CHECK).

@@ -43,13 +43,26 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  ~ThreadPool() {
+  ~ThreadPool() { Shutdown(); }
+
+  // Drain-then-stop: waits for any in-flight ParallelFor epoch to complete,
+  // then stops and joins the workers. This is the SIGTERM path — a worker
+  // process drains its current shard batch instead of aborting mid-apply.
+  // Callable from a thread other than the loop caller; idempotent (a second
+  // call returns once the first has claimed the workers). ParallelFor after
+  // Shutdown still runs every iteration, serially on the calling thread.
+  void Shutdown() {
+    std::vector<std::thread> to_join;
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      loop_done_.wait(
+          lock, [this] { return !loop_open_ && active_drainers_ == 0; });
+      if (shutdown_) return;
       shutdown_ = true;
+      to_join.swap(workers_);
     }
     wake_workers_.notify_all();
-    for (std::thread& worker : workers_) worker.join();
+    for (std::thread& worker : to_join) worker.join();
   }
 
   int num_threads() const { return num_threads_; }
@@ -89,6 +102,14 @@ class ThreadPool {
     }
     {
       std::unique_lock<std::mutex> lock(mutex_);
+      if (shutdown_) {
+        // Post-Shutdown: the workers are gone; degrade to a serial loop so
+        // late-arriving work still completes during drain.
+        lock.unlock();
+        for (int64_t i = 0; i < count; ++i) body(i);
+        DCS_METRIC_ADD("threadpool.task.completed", count);
+        return;
+      }
       // Closed + quiescent (guaranteed by the wait below on the previous
       // call): safe to install the new epoch's state.
       body_ = &body;
@@ -109,6 +130,9 @@ class ThreadPool {
              active_drainers_ == 0;
     });
     loop_open_ = false;
+    // A Shutdown() waiter keys on loop_open_; the waits above consumed any
+    // notifications, so signal the close explicitly.
+    loop_done_.notify_all();
   }
 
  private:

@@ -167,6 +167,66 @@ TEST(ReliableLinkTest, BackoffIsCapped) {
   EXPECT_EQ(link.stats().backoff_units, 1 + 2 + 4 * 7);
 }
 
+TEST(ReliableLinkTest, JitteredBackoffStaysWithinEqualJitterWindow) {
+  const Message message = RandomMessage(128, /*seed=*/7);
+  ChannelOptions options;
+  options.seed = 5;
+  options.drop_rate = 1.0;
+  options.max_rounds = 10;
+  options.backoff_cap = 4;
+  options.backoff_jitter = 0.5;
+  ReliableLink link(options);
+  ASSERT_FALSE(link.Transfer(message).ok());
+  // Rounds 2..10 have capped bases 1, 2, 4, 4, ...; equal-jitter draws each
+  // base b > 1 into [max(1, b/2), b] (a base of 1 is exempt), so the total
+  // lands in a strict window and never exceeds the unjittered schedule.
+  EXPECT_GE(link.stats().backoff_units, 1 + 1 + 2 * 7);
+  EXPECT_LE(link.stats().backoff_units, 1 + 2 + 4 * 7);
+  // Jitter is deterministic: the same seed replays the same draws.
+  ReliableLink replay(options);
+  ASSERT_FALSE(replay.Transfer(message).ok());
+  EXPECT_EQ(replay.stats().backoff_units, link.stats().backoff_units);
+}
+
+TEST(ReliableLinkTest, JitterDoesNotPerturbTheFaultScript) {
+  const Message message = RandomMessage(6301, /*seed=*/5);
+  ChannelOptions options;
+  options.seed = 77;
+  options.drop_rate = 0.3;
+  options.flip_rate = 0.1;
+  options.max_rounds = 32;
+  ReliableLink plain(options);
+  const Message a = plain.Transfer(message).value();
+  options.backoff_jitter = 0.9;
+  ReliableLink jittered(options);
+  const Message b = jittered.Transfer(message).value();
+  // Jitter draws come from a dedicated derived stream, so toggling jitter
+  // must not shift a single fault: identical deliveries, drops, flips, and
+  // wire accounting — only the backoff schedule changes.
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(plain.stats().frames_sent, jittered.stats().frames_sent);
+  EXPECT_EQ(plain.stats().frames_dropped, jittered.stats().frames_dropped);
+  EXPECT_EQ(plain.stats().frames_flipped, jittered.stats().frames_flipped);
+  EXPECT_EQ(plain.stats().wire_bits, jittered.stats().wire_bits);
+  EXPECT_EQ(plain.stats().rounds, jittered.stats().rounds);
+  EXPECT_LE(jittered.stats().backoff_units, plain.stats().backoff_units);
+}
+
+TEST(ReliableLinkTest, GiveUpIsMarkedAsTransportDeadline) {
+  const Message message = RandomMessage(512, /*seed=*/8);
+  ChannelOptions options;
+  options.seed = 9;
+  options.drop_rate = 1.0;
+  options.max_rounds = 2;
+  ReliableLink link(options);
+  const auto result = link.Transfer(message);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  // "transport deadline:" is the prefix the serving tier keys on to tell a
+  // wire-level retry-budget failure from an application-level deadline.
+  EXPECT_EQ(result.status().message().rfind("transport deadline:", 0), 0u);
+}
+
 // --- protocol-level recovery invariant (the acceptance criterion) ---
 
 TEST(ProtocolChannelTest, ForEachRecoveredRunDecodesBitIdentically) {

@@ -11,14 +11,20 @@
 // The mutations are deterministic (every position, no sampled randomness),
 // so a regression here is reproducible from the failure message alone.
 
+#include <sys/socket.h>
+
+#include <cerrno>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "comm/channel.h"
+#include "comm/message.h"
 #include "graph/generators.h"
 #include "gtest/gtest.h"
+#include "serve/transport.h"
+#include "serve/wire.h"
 #include "sketch/cut_balance_sparsifier.h"
 #include "sketch/directed_sketches.h"
 #include "sketch/sampled_sketches.h"
@@ -42,6 +48,26 @@ template <typename DeserializeFn>
 std::function<Status(BitReader&)> AsParser(DeserializeFn deserialize) {
   return [deserialize](BitReader& reader) {
     return deserialize(reader).status();
+  };
+}
+
+// Adapts a Message-taking RPC decoder (serve/wire.h) to the BitReader
+// harness. The decoder validates the declared payload length against the
+// Message's *exact* bit count — not the padded byte buffer — so the adapter
+// reads back at most the original bit count: a full-length mutation
+// reconstructs the stream bit-for-bit, while a truncation yields a shorter
+// Message the decoder must reject.
+template <typename DecodeFn>
+std::function<Status(BitReader&)> AsRpcParser(int64_t bit_count,
+                                              DecodeFn decode) {
+  return [bit_count, decode](BitReader& reader) -> Status {
+    BitWriter writer;
+    for (int64_t b = 0; b < bit_count && !reader.AtEnd(); ++b) {
+      const auto bit = reader.TryReadBit();
+      if (!bit.ok()) return bit.status();
+      writer.WriteBit(*bit);
+    }
+    return decode(SealMessage(writer));
   };
 }
 
@@ -171,6 +197,79 @@ std::vector<WireCase> BuildWireCases() {
     };
     cases.push_back(std::move(c));
   }
+  {
+    // RPC envelopes (serve/wire.h): what a serving-tier worker or client
+    // decodes after the transport's per-frame checks pass. The body carries
+    // its own magic/version/kind/length/FNV-1a envelope, so every mutation
+    // must still be rejected at this layer.
+    WireCase c;
+    c.name = "rpc_register_graph_request";
+    RpcRequest request;
+    request.kind = RpcKind::kRegisterGraph;
+    request.graph = digraph;
+    const Message message = EncodeRpcRequest(request);
+    c.bytes = message.bytes;
+    c.bit_count = message.bit_count;
+    c.parse = AsRpcParser(message.bit_count, [](const Message& m) {
+      return DecodeRpcRequest(m).status();
+    });
+    cases.push_back(std::move(c));
+  }
+  {
+    WireCase c;
+    c.name = "rpc_query_batch_request";
+    RpcRequest request;
+    request.kind = RpcKind::kQueryBatch;
+    request.object_id = 7;
+    request.num_vertices = 12;
+    for (int q = 0; q < 6; ++q) {
+      VertexSet side(12, 0);
+      for (auto& bit : side) bit = rng.Bernoulli(0.5) ? 1 : 0;
+      request.sides.push_back(std::move(side));
+    }
+    const Message message = EncodeRpcRequest(request);
+    c.bytes = message.bytes;
+    c.bit_count = message.bit_count;
+    c.parse = AsRpcParser(message.bit_count, [](const Message& m) {
+      return DecodeRpcRequest(m).status();
+    });
+    cases.push_back(std::move(c));
+  }
+  {
+    WireCase c;
+    c.name = "rpc_ok_response";
+    RpcResponse response;
+    response.status = OkStatus();
+    response.server_token = 0xDEADBEEFCAFEF00DULL;
+    response.object_id = 3;
+    for (int i = 0; i < 9; ++i) {
+      response.values.push_back(rng.UniformDouble() * 100.0);
+    }
+    const Message message = EncodeRpcResponse(response);
+    c.bytes = message.bytes;
+    c.bit_count = message.bit_count;
+    c.parse = AsRpcParser(message.bit_count, [](const Message& m) {
+      return DecodeRpcResponse(m).status();
+    });
+    cases.push_back(std::move(c));
+  }
+  {
+    // An error response carries a status-message string; its length field
+    // and every text byte ride inside the checksummed payload.
+    WireCase c;
+    c.name = "rpc_error_response";
+    RpcResponse response;
+    response.status =
+        ResourceExhaustedError("shard queue full; back off and retry");
+    response.server_token = 0x0123456789ABCDEFULL;
+    const Message message = EncodeRpcResponse(response);
+    c.bytes = message.bytes;
+    c.bit_count = message.bit_count;
+    c.parse = AsRpcParser(message.bit_count, [](const Message& m) {
+      return DecodeRpcResponse(m).status();
+    });
+    cases.push_back(std::move(c));
+  }
   return cases;
 }
 
@@ -228,6 +327,113 @@ TEST(CorruptionTest, TruncationReportsDataLoss) {
     ASSERT_FALSE(status.ok()) << c.name;
     EXPECT_EQ(status.code(), StatusCode::kDataLoss)
         << c.name << ": " << status.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Socket transport framing (serve/transport.h): the length-prefixed channel
+// frames a Connection::Receive parses off a real stream socket. Each
+// mutation is delivered over an actual loopback connection whose write end
+// closes after the bytes, so a mutation that implies "more data coming"
+// (e.g. an inflated length prefix) surfaces as kUnavailable at EOF instead
+// of hanging — the test asserts non-OK, never a crash or a stall.
+
+// The exact bytes Connection::Send emits for a single-chunk message: a
+// 32-bit little-endian frame length, then the 0xFA5C channel frame
+// (seq 0, total 1, message bits, payload, FNV-1a). The clean round-trip
+// test below proves this stays in sync with the real sender.
+std::vector<uint8_t> SingleChunkWire(const Message& message) {
+  BitWriter framed;
+  WriteChannelFrame(/*seq=*/0, /*total_chunks=*/1,
+                    /*message_bits=*/message.bit_count, message.bytes,
+                    message.bit_count, framed);
+  const std::vector<uint8_t>& frame_bytes = framed.bytes();
+  const uint32_t frame_len = static_cast<uint32_t>(frame_bytes.size());
+  std::vector<uint8_t> wire;
+  wire.reserve(4 + frame_bytes.size());
+  wire.push_back(static_cast<uint8_t>(frame_len & 0xFF));
+  wire.push_back(static_cast<uint8_t>((frame_len >> 8) & 0xFF));
+  wire.push_back(static_cast<uint8_t>((frame_len >> 16) & 0xFF));
+  wire.push_back(static_cast<uint8_t>((frame_len >> 24) & 0xFF));
+  wire.insert(wire.end(), frame_bytes.begin(), frame_bytes.end());
+  return wire;
+}
+
+Status SendRaw(int fd, const std::vector<uint8_t>& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return UnavailableError("raw send failed");
+  }
+  return OkStatus();
+}
+
+// Writes `wire` to a fresh loopback connection, closes the write end, and
+// returns what Receive makes of it.
+StatusOr<Message> DeliverRawWire(Listener& listener,
+                                 const std::vector<uint8_t>& wire) {
+  DCS_ASSIGN_OR_RETURN(Connection client,
+                       Connect(listener.local_endpoint(), 1000));
+  DCS_ASSIGN_OR_RETURN(Connection server, listener.Accept(1000));
+  DCS_RETURN_IF_ERROR(SendRaw(client.fd(), wire));
+  client.Close();
+  return server.Receive(2000);
+}
+
+Message TransportTestMessage() {
+  Rng rng(99);
+  BitWriter writer;
+  for (int b = 0; b < 600; ++b) {
+    writer.WriteBit(static_cast<int>(rng.Next() & 1));
+  }
+  return SealMessage(writer);
+}
+
+TEST(CorruptionTest, SocketFrameRoundTripsClean) {
+  // Harness guard: the hand-built wire must be exactly what a real Receive
+  // accepts, and the decoded message must be bit-identical.
+  auto listener = Listener::Listen(*ParseEndpoint("tcp:127.0.0.1:0"));
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const Message message = TransportTestMessage();
+  const auto received = DeliverRawWire(*listener, SingleChunkWire(message));
+  ASSERT_TRUE(received.ok()) << received.status().ToString();
+  EXPECT_EQ(received->bit_count, message.bit_count);
+  EXPECT_EQ(received->bytes, message.bytes);
+}
+
+TEST(CorruptionTest, EverySocketFrameBitFlipIsRejected) {
+  auto listener = Listener::Listen(*ParseEndpoint("tcp:127.0.0.1:0"));
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const std::vector<uint8_t> wire = SingleChunkWire(TransportTestMessage());
+  // Every bit of every byte, including the unchecksummed length prefix and
+  // the trailing pad bits of the frame's final partial byte.
+  for (size_t bit = 0; bit < wire.size() * 8; ++bit) {
+    std::vector<uint8_t> mutated = wire;
+    mutated[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    const auto received = DeliverRawWire(*listener, mutated);
+    ASSERT_FALSE(received.ok())
+        << "flipping wire bit " << bit << " of " << wire.size() * 8
+        << " was not detected";
+  }
+}
+
+TEST(CorruptionTest, EverySocketFrameTruncationIsRejected) {
+  auto listener = Listener::Listen(*ParseEndpoint("tcp:127.0.0.1:0"));
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  const std::vector<uint8_t> wire = SingleChunkWire(TransportTestMessage());
+  for (size_t len = 0; len < wire.size(); ++len) {
+    const std::vector<uint8_t> truncated(wire.begin(),
+                                         wire.begin() + len);
+    const auto received = DeliverRawWire(*listener, truncated);
+    ASSERT_FALSE(received.ok())
+        << "truncation to " << len << " of " << wire.size()
+        << " wire bytes was not detected";
   }
 }
 

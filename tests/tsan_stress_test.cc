@@ -313,6 +313,87 @@ void StressStreamIngest() {
           "stream ingest stress: final digest equals serial reference");
 }
 
+void StressShutdownUnderLoad() {
+  // The drain-then-stop paths racing live traffic — the SIGTERM story.
+  //
+  // ThreadPool: a loop is mid-flight on one thread while another calls
+  // Shutdown(); the epoch must drain completely (every index exactly once)
+  // and post-shutdown loops must degrade to serial, not crash or drop work.
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(256);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    std::atomic<bool> started{false};
+    std::thread stopper([&] {
+      while (!started.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      pool.Shutdown();
+    });
+    pool.ParallelFor(256, [&](int64_t i) {
+      started.store(true, std::memory_order_release);
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    stopper.join();
+    pool.ParallelFor(256, [&](int64_t i) {
+      hits[static_cast<size_t>(i)].fetch_add(1);
+    });
+    for (int64_t i = 0; i < 256; ++i) {
+      Require(hits[static_cast<size_t>(i)].load() == 2,
+              "shutdown stress: every index ran before and after shutdown");
+    }
+  }
+
+  // StreamIngestor: producers race Shutdown()'s drain barrier. Every OK
+  // Push lands in the final sealed epoch; every refusal is kUnavailable;
+  // the accounting balances exactly — no silent loss in either direction.
+  for (int round = 0; round < 10; ++round) {
+    constexpr int kVertices = 32;
+    StreamIngestorOptions options;
+    options.num_shards = 4;
+    options.gutter_capacity = 16;
+    options.num_threads = 2;
+    options.seed = 71 + static_cast<uint64_t>(round);
+    StreamIngestor ingestor(kVertices, options);
+    std::atomic<int64_t> accepted{0};
+    std::atomic<int> bad_rejections{0};
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+      producers.emplace_back([&, p] {
+        Rng rng(SubtaskSeed(options.seed, 100 + p));
+        for (int i = 0; i < 3000; ++i) {
+          const auto u = static_cast<VertexId>(rng.UniformInt(kVertices));
+          auto v = u;
+          while (v == u) {
+            v = static_cast<VertexId>(rng.UniformInt(kVertices));
+          }
+          const Status status = ingestor.PushInsert(u, v);
+          if (status.ok()) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            if (status.code() != StatusCode::kUnavailable) {
+              bad_rejections.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+        }
+      });
+    }
+    while (accepted.load(std::memory_order_relaxed) < 200) {
+      std::this_thread::yield();
+    }
+    const auto final_epoch = ingestor.Shutdown();
+    for (std::thread& producer : producers) producer.join();
+    Require(final_epoch.ok(), "shutdown stress: ingestor drain sealed");
+    Require(bad_rejections.load() == 0,
+            "shutdown stress: refusals are kUnavailable only");
+    Require(ingestor.snapshot()->updates_applied == accepted.load(),
+            "shutdown stress: every accepted update sealed, none lost");
+    Require(ingestor.PushInsert(0, 1).code() == StatusCode::kUnavailable,
+            "shutdown stress: post-drain pushes refused");
+  }
+}
+
 }  // namespace
 }  // namespace dcs
 
@@ -324,6 +405,7 @@ int main() {
   dcs::StressChannelParallelTransfers();
   dcs::StressServeCacheConcurrency();
   dcs::StressStreamIngest();
+  dcs::StressShutdownUnderLoad();
   std::printf("tsan stress: OK\n");
   return 0;
 }

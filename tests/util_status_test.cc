@@ -29,6 +29,7 @@ TEST(StatusTest, ErrorConstructorsCarryCodeAndMessage) {
       {UnavailableError("f"), StatusCode::kUnavailable},
       {InternalError("g"), StatusCode::kInternal},
       {DeadlineExceededError("h"), StatusCode::kDeadlineExceeded},
+      {ResourceExhaustedError("i"), StatusCode::kResourceExhausted},
   };
   for (const auto& [status, code] : cases) {
     EXPECT_FALSE(status.ok());
@@ -53,6 +54,18 @@ TEST(StatusTest, DeadlineExceededHasItsOwnCodeName) {
   // Distinct from the transient kUnavailable: the retry budget itself is
   // gone, so callers must not re-issue.
   EXPECT_NE(s.code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, ResourceExhaustedHasItsOwnCodeName) {
+  const Status s = ResourceExhaustedError("shard queue full");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            std::string("resource_exhausted"));
+  EXPECT_NE(s.ToString().find("resource_exhausted"), std::string::npos);
+  // Backpressure, not failure: the peer is healthy but full, so callers
+  // back off and retry the same replica — distinct from kUnavailable,
+  // which is what triggers failover.
+  EXPECT_NE(s.code(), StatusCode::kUnavailable);
+  EXPECT_NE(s.code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(StatusOrTest, HoldsValue) {

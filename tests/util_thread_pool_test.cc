@@ -4,8 +4,10 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -100,6 +102,51 @@ TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
   int64_t sum = 0;  // unsynchronized on purpose: must run on the caller
   pool.ParallelFor(50, [&sum](int64_t i) { sum += i; });
   EXPECT_EQ(sum, 49 * 50 / 2);
+}
+
+TEST(ThreadPoolTest, ShutdownDegradesToSerialAndIsIdempotent) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(64, [&hits](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  pool.Shutdown();
+  pool.Shutdown();  // idempotent
+  // Post-shutdown loops still run every index, serially on the caller —
+  // the drain path must never drop late-arriving work.
+  int64_t serial_sum = 0;  // unsynchronized on purpose
+  pool.ParallelFor(64, [&](int64_t i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+    serial_sum += i;
+  });
+  EXPECT_EQ(serial_sum, 63 * 64 / 2);
+  for (int64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 2) << "i=" << i;
+  }
+}
+
+TEST(ThreadPoolTest, ShutdownFromAnotherThreadWaitsForInFlightLoop) {
+  // The SIGTERM path: a signal-driven shutdown arrives while a loop is
+  // mid-flight on another thread. Shutdown must wait for the epoch to
+  // drain — every index still runs exactly once — then join the workers.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  for (auto& h : hits) h.store(0);
+  std::atomic<bool> loop_started{false};
+  std::thread stopper([&] {
+    while (!loop_started.load()) std::this_thread::yield();
+    pool.Shutdown();
+  });
+  pool.ParallelFor(256, [&](int64_t i) {
+    loop_started.store(true);
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  stopper.join();
+  for (int64_t i = 0; i < 256; ++i) {
+    ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "i=" << i;
+  }
 }
 
 }  // namespace

@@ -21,6 +21,10 @@
 //   stream     write a replayable binary edge-update stream (--make), or
 //              replay one through the concurrent StreamIngestor with
 //              epoch barriers and per-epoch connectivity/min-cut reports
+//   cluster    spawn a fleet of dcs_server worker processes, drive
+//              replicated query traffic with failover while SIGKILLing
+//              workers at --kill-rate, and verify every completed answer
+//              is bit-identical to a single-process oracle
 //
 // Chaos flags (protocol, distributed): passing any of --chaos-seed,
 // --chaos-drop, --chaos-flip, --chaos-truncate, --chaos-duplicate,
@@ -44,6 +48,7 @@
 //   dcs serve --n 128 --rounds 4 --batch 512 --pool 64 --threads 4
 //   dcs stream --make 1 --n 256 --updates 20000 --out updates.bin
 //   dcs stream --in updates.bin --inserters 2 --shards 4 --k 2 --epochs 4
+//   dcs cluster --workers 4 --replication 2 --kill-rate 0.2
 
 // Exit codes: 0 success, 1 runtime/data error (unreadable or corrupt
 // input, failed write), 2 usage error (unknown command/flag, malformed
@@ -64,6 +69,7 @@
 #include <cstring>
 #include <functional>
 #include <map>
+#include <unistd.h>
 #include <string>
 #include <thread>
 #include <vector>
@@ -84,6 +90,7 @@
 #include "mincut/directed_mincut.h"
 #include "mincut/stoer_wagner.h"
 #include "serve/cut_query_service.h"
+#include "serve/load_driver.h"
 #include "sketch/backend_registry.h"
 #include "sketch/directed_sketches.h"
 #include "util/json.h"
@@ -896,10 +903,110 @@ int CmdStream(const FlagMap& flags) {
   return 0;
 }
 
+// dcs cluster — the multi-process chaos soak (DESIGN.md §14): spawn a
+// worker fleet, drive replicated query traffic through the failover
+// client while SIGKILLing workers at --kill-rate, and gate on the
+// zero-wrong-bits invariant. Exit 1 if any completed answer differed from
+// the single-process oracle or any loss surfaced as something other than
+// kUnavailable/kResourceExhausted.
+int CmdCluster(const FlagMap& flags) {
+  dcs::ClusterLoadOptions options;
+#ifdef DCS_SERVER_DEFAULT_PATH
+  options.server_binary =
+      GetFlag(flags, "server", DCS_SERVER_DEFAULT_PATH);
+#else
+  options.server_binary = GetFlag(flags, "server", "./dcs_server");
+#endif
+  options.num_workers = GetInt(flags, "workers", 4);
+  options.replication = GetInt(flags, "replication", 2);
+  options.num_client_threads = GetInt(flags, "clients", 2);
+  options.batches_per_thread = GetInt(flags, "batches", 40);
+  options.batch_size = GetInt(flags, "batch", 8);
+  options.kill_rate = GetDouble(flags, "kill-rate", 0.0);
+  options.kill_interval_ms = GetInt(flags, "kill-interval-ms", 25);
+  options.respawn_delay_ms = GetInt(flags, "respawn-delay-ms", 10);
+  options.num_vertices = GetInt(flags, "n", 48);
+  options.num_edges = GetInt(flags, "edges", 320);
+  options.seed = static_cast<uint64_t>(GetInt(flags, "seed", 1));
+  options.worker.num_shards = GetInt(flags, "shards", 2);
+  options.worker.queue_capacity = GetInt(flags, "queue-capacity", 64);
+  options.worker.execution_delay_ms =
+      GetInt(flags, "execution-delay-ms", 0);
+  if (options.kill_rate < 0 || options.kill_rate > 1) {
+    std::fprintf(stderr, "--kill-rate must be in [0, 1]\n");
+    return 2;
+  }
+
+  std::string socket_dir = GetFlag(flags, "socket-dir", "");
+  char dir_template[] = "/tmp/dcs_cluster_XXXXXX";
+  bool made_dir = false;
+  if (socket_dir.empty()) {
+    if (::mkdtemp(dir_template) == nullptr) {
+      std::fprintf(stderr, "cannot create socket directory: %s\n",
+                   std::strerror(errno));
+      return 1;
+    }
+    socket_dir = dir_template;
+    made_dir = true;
+  }
+  options.socket_dir = socket_dir;
+
+  const auto report = dcs::RunClusterLoad(options);
+  if (made_dir) {
+    // SIGKILLed workers leave stale socket files behind; sweep them so the
+    // temp directory can go.
+    for (int w = 0; w < options.num_workers; ++w) {
+      std::remove(
+          (socket_dir + "/worker" + std::to_string(w) + ".sock").c_str());
+    }
+    ::rmdir(socket_dir.c_str());
+  }
+  if (!report.ok()) {
+    std::fprintf(stderr, "cluster soak failed to run: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("workers %d replication %d clients %d kill_rate %.2f\n",
+              options.num_workers, options.replication,
+              options.num_client_threads, options.kill_rate);
+  std::printf(
+      "batches ok %lld unavailable %lld resource_exhausted %lld "
+      "other_error %lld\n",
+      static_cast<long long>(report->batches_ok),
+      static_cast<long long>(report->batches_unavailable),
+      static_cast<long long>(report->batches_resource_exhausted),
+      static_cast<long long>(report->batches_other_error));
+  std::printf("kills %lld respawns %lld\n",
+              static_cast<long long>(report->kills),
+              static_cast<long long>(report->respawns));
+  std::printf("qps %.1f latency_p50_us %lld latency_p99_us %lld\n",
+              report->qps, static_cast<long long>(report->latency_p50_us),
+              static_cast<long long>(report->latency_p99_us));
+  std::printf("wrong_bits %lld answers_bit_identical %s\n",
+              static_cast<long long>(report->wrong_bits),
+              report->answers_bit_identical() ? "true" : "false");
+  if (!report->answers_bit_identical()) {
+    std::fprintf(stderr,
+                 "FAIL: a completed answer differed from the oracle\n");
+    return 1;
+  }
+  if (report->batches_other_error > 0) {
+    std::fprintf(stderr,
+                 "FAIL: a loss surfaced as something other than "
+                 "unavailable/resource_exhausted\n");
+    return 1;
+  }
+  if (report->batches_ok == 0) {
+    std::fprintf(stderr, "FAIL: no batch completed\n");
+    return 1;
+  }
+  return 0;
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: dcs <generate|stats|mincut|sketch|localquery|encode|"
-               "agm|trials|protocol|distributed|serve|stream> "
+               "agm|trials|protocol|distributed|serve|stream|cluster> "
                "[--flag value ...] [--metrics-json FILE]\n");
 }
 
@@ -939,6 +1046,7 @@ int RunCommand(const std::string& command, const FlagMap& flags) {
   if (command == "distributed") return CmdDistributed(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "stream") return CmdStream(flags);
+  if (command == "cluster") return CmdCluster(flags);
   PrintUsage();
   return 2;
 }
