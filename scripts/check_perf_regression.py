@@ -55,6 +55,11 @@ TRACKED = {
     "BENCH_sparsifier.json": [
         ("frontier", ("family", "backend", "beta", "epsilon"), "size_bits"),
     ],
+    # The disk-backed store's restart tiers: total time from worker spawn
+    # to every pre-restart answer re-served, per restart mode.
+    "BENCH_store.json": [
+        ("restart", ("mode",), "ms_to_full_qps"),
+    ],
 }
 
 # Acceptance floor: vectorized FWHT >= 3x scalar at n >= 4096 when the
@@ -193,6 +198,24 @@ def check_correctness_flags(name, doc, report):
             demand(f"rows[inserters={row.get('inserters')},"
                    f"gutter={row.get('gutter')}].identical",
                    row.get("identical"))
+    if name == "BENCH_store.json":
+        # The restart contract: a drained worker's respawn — warm or cold
+        # — must re-serve every pre-restart answer bit for bit, the warm
+        # path must actually reattach from the store (not silently
+        # re-send graphs), and a warm restart that is no faster than a
+        # cold one means the disk tier stopped paying for itself.
+        for row in doc.get("restart", []):
+            demand(f"restart[mode={row.get('mode')}]"
+                   f".answers_bit_identical",
+                   row.get("answers_bit_identical"))
+        demand("restored_answers_bit_identical",
+               doc.get("restored_answers_bit_identical", False))
+        demand("warm_used_reattach", doc.get("warm_used_reattach", False))
+        demand("warm_faster_than_cold",
+               doc.get("warm_faster_than_cold", False))
+        io = doc.get("segment_io", {})
+        demand("segment_io.round_trip_identical",
+               io.get("round_trip_identical", False))
     if name == "BENCH_sparsifier.json":
         # Accuracy contract: every backend on every zoo family must land
         # within the error bound it advertised, and the cut-balance

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Builds the cut-query, serving-layer, streaming-ingestion,
-# Hadamard/SIMD, and sparsifier-bake-off benchmarks in Release mode
+# Hadamard/SIMD, sparsifier-bake-off, and sketch-store benchmarks in
+# Release mode
 # (-O3 -march=native), runs them into a scratch directory,
 # gates the fresh numbers against the committed BENCH_*.json baselines
 # with scripts/check_perf_regression.py (>15% slowdown on a tracked
@@ -36,7 +37,7 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_CXX_FLAGS="-O3 -march=native"
 cmake --build "${build_dir}" \
   --target bench_cutquery bench_serve bench_stream bench_hadamard \
-  bench_sparsifier \
+  bench_sparsifier bench_store \
   -j"$(nproc)"
 
 mkdir -p "${out_dir}"
@@ -53,6 +54,8 @@ mkdir -p "${out_dir}"
 "${build_dir}/bench/bench_sparsifier" \
   --out "${out_dir}/BENCH_sparsifier.json" \
   "${passthrough[@]+"${passthrough[@]}"}"
+"${build_dir}/bench/bench_store" \
+  --out "${out_dir}/BENCH_store.json" "${passthrough[@]+"${passthrough[@]}"}"
 
 if [[ "${gate}" -eq 1 ]]; then
   echo
@@ -69,5 +72,6 @@ cp "${out_dir}/BENCH_cutquery.json" \
    "${out_dir}/BENCH_stream.json" \
    "${out_dir}/BENCH_simd.json" \
    "${out_dir}/BENCH_sparsifier.json" \
+   "${out_dir}/BENCH_store.json" \
    "${repo_root}/"
 echo "baselines updated in ${repo_root}"

@@ -3,11 +3,15 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <string>
 #include <utility>
 
+#include "sketch/serialization.h"
+#include "store/cache_snapshot.h"
+#include "util/bitio.h"
 #include "util/metrics.h"
 
 namespace dcs {
@@ -21,6 +25,17 @@ uint64_t DrawInstanceToken() {
   const uint64_t token =
       ticks ^ (static_cast<uint64_t>(::getpid()) << 40);
   return token == 0 ? 1 : token;
+}
+
+// Checksum of a graph's serialized envelope bytes; matches the client's
+// GraphEnvelopeChecksum because serialization is canonical.
+uint32_t Fnv1aBytes(const std::vector<uint8_t>& bytes) {
+  uint32_t hash = 2166136261u;
+  for (uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 16777619u;
+  }
+  return hash;
 }
 
 }  // namespace
@@ -75,6 +90,7 @@ void ClusterWorkerOptions::Check() const {
   DCS_CHECK_GE(io_timeout_ms, 1);
   DCS_CHECK_GE(accept_timeout_ms, 1);
   DCS_CHECK_GE(execution_delay_ms, 0);
+  DCS_CHECK_GE(warm_cache_entries, 0);
 }
 
 ClusterWorker::ClusterWorker(Listener listener, ClusterWorkerOptions options)
@@ -102,8 +118,109 @@ StatusOr<std::unique_ptr<ClusterWorker>> ClusterWorker::Create(
     const Endpoint& endpoint, ClusterWorkerOptions options) {
   options.Check();
   DCS_ASSIGN_OR_RETURN(Listener listener, Listener::Listen(endpoint));
-  return std::unique_ptr<ClusterWorker>(
+  std::unique_ptr<ClusterWorker> worker(
       new ClusterWorker(std::move(listener), options));
+  if (!options.store_dir.empty()) {
+    DCS_ASSIGN_OR_RETURN(worker->store_,
+                         SketchStore::Open(options.store_dir));
+    DCS_RETURN_IF_ERROR(worker->WarmLoadFromStore());
+  }
+  return worker;
+}
+
+Status ClusterWorker::WarmLoadFromStore() {
+  // Replay persisted objects in ascending global id. Round-robin
+  // registration makes the global id equal to the registration counter, so
+  // an ascending replay reproduces every assignment: id k lands on shard
+  // k % S at local index k / S — exactly where a query for id k routes.
+  const std::vector<int64_t> ids = store_->ListObjects();
+  const int64_t num_shards = static_cast<int64_t>(shards_.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int64_t id = ids[i];
+    if (id != static_cast<int64_t>(i)) {
+      return DataLossError(
+          "store object ids are not contiguous from 0 (found id " +
+          std::to_string(id) + " at position " + std::to_string(i) +
+          "); refusing to warm-load with a broken id assignment");
+    }
+    DCS_ASSIGN_OR_RETURN(const StoredObject object, store_->Get(id));
+    if (object.kind != StreamKind::kDirectedGraph) {
+      return DataLossError("store object " + std::to_string(id) +
+                           " is a " + StreamKindName(object.kind) +
+                           ", not a directed graph");
+    }
+    BitReader reader(object.bytes);
+    DCS_ASSIGN_OR_RETURN(DirectedGraph graph,
+                         DeserializeDirectedGraph(reader));
+    const uint32_t checksum = Fnv1aBytes(object.bytes);
+    Shard& shard = *shards_[static_cast<size_t>(id % num_shards)];
+    shard.graphs.push_back(std::move(graph));
+    shard.checksums.push_back(checksum);
+    const CutQueryService::ObjectId local =
+        shard.service->RegisterGraph(shard.graphs.back());
+    DCS_CHECK_EQ(local, id / num_shards);
+    ++warm_loaded_objects_;
+    DCS_METRIC_INC("serve.cluster.objects_warm_loaded");
+  }
+  registrations_ = static_cast<int64_t>(ids.size());
+  // The previous incarnation's drained cache, if any. A snapshot is an
+  // optimization: unreadable or stale files mean a cold cache, not a
+  // failed boot.
+  auto snapshot = ReadCacheSnapshotFile(store_->dir() + "/cache.snap");
+  if (snapshot.ok()) {
+    std::vector<std::vector<CutQueryCache::SnapshotEntry>> per_shard(
+        shards_.size());
+    for (const CacheSnapshotEntry& entry : *snapshot) {
+      if (entry.object < 0 ||
+          entry.object >= static_cast<int64_t>(ids.size())) {
+        continue;  // an object the store no longer holds
+      }
+      CutQueryCache::SnapshotEntry local;
+      local.object = entry.object / num_shards;
+      local.side.words = entry.side_words;
+      local.value = entry.value;
+      per_shard[static_cast<size_t>(entry.object % num_shards)]
+          .push_back(std::move(local));
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      shards_[s]->service->RestoreCache(per_shard[s]);
+    }
+  } else if (snapshot.status().code() == StatusCode::kDataLoss) {
+    DCS_METRIC_INC("serve.cluster.cache_snapshot_rejected");
+  }
+  return OkStatus();
+}
+
+Status ClusterWorker::PersistOnDrain() {
+  if (store_ == nullptr) return OkStatus();
+  if (options_.warm_cache_entries > 0) {
+    const int64_t num_shards = static_cast<int64_t>(shards_.size());
+    // Split the entry budget across shards so every shard's hottest
+    // entries survive, whichever shard is busiest.
+    const int64_t per_shard_budget =
+        std::max<int64_t>(1, options_.warm_cache_entries / num_shards);
+    std::vector<CacheSnapshotEntry> merged;
+    for (int64_t s = 0; s < num_shards; ++s) {
+      const auto entries =
+          shards_[static_cast<size_t>(s)]->service->SnapshotCache(
+              per_shard_budget);
+      for (const CutQueryCache::SnapshotEntry& entry : entries) {
+        CacheSnapshotEntry global;
+        global.object = entry.object * num_shards + s;
+        global.side_words = entry.side.words;
+        global.value = entry.value;
+        merged.push_back(std::move(global));
+      }
+    }
+    // Best-effort: a failed snapshot write costs warmth, not correctness.
+    if (!WriteCacheSnapshotFile(store_->dir() + "/cache.snap", merged)
+             .ok()) {
+      DCS_METRIC_INC("serve.cluster.cache_snapshot_write_failed");
+    }
+  }
+  // The segment seal is NOT best-effort: a drain that cannot make its
+  // registrations durable must say so.
+  return store_->Seal();
 }
 
 ClusterWorker::~ClusterWorker() {
@@ -133,15 +250,33 @@ RpcResponse ClusterWorker::ExecuteOnShard(Shard& shard,
   const int num_shards = static_cast<int>(shards_.size());
   switch (request.kind) {
     case RpcKind::kRegisterGraph: {
-      shard.graphs.push_back(*request.graph);
-      const CutQueryService::ObjectId local =
-          shard.service->RegisterGraph(shard.graphs.back());
       // Recover the shard index from the routing invariant rather than
       // storing it: this shard was picked as global % S.
       int shard_index = 0;
       for (; shard_index < num_shards; ++shard_index) {
         if (shards_[static_cast<size_t>(shard_index)].get() == &shard) break;
       }
+      BitWriter writer;
+      SerializeDirectedGraph(*request.graph, writer);
+      const int64_t global_id =
+          shard.service->num_objects() * num_shards + shard_index;
+      if (store_ != nullptr) {
+        // Persist before registering: an object is only queryable once
+        // its bytes are in the segment, so a respawned worker can always
+        // warm-load everything it ever acknowledged.
+        const Status put = store_->Put(global_id,
+                                       StreamKind::kDirectedGraph,
+                                       writer.bytes(), writer.bit_count());
+        if (!put.ok()) {
+          response.status = put;
+          break;
+        }
+      }
+      const uint32_t checksum = Fnv1aBytes(writer.bytes());
+      shard.graphs.push_back(*request.graph);
+      shard.checksums.push_back(checksum);
+      const CutQueryService::ObjectId local =
+          shard.service->RegisterGraph(shard.graphs.back());
       response.object_id = local * num_shards + shard_index;
       response.status = OkStatus();
       DCS_METRIC_INC("serve.cluster.objects_registered");
@@ -172,6 +307,33 @@ RpcResponse ClusterWorker::ExecuteOnShard(Shard& shard,
       response.status = OkStatus();
       break;
     }
+    case RpcKind::kReattach: {
+      // The client's fast repair path: claim an object this incarnation
+      // warm-loaded from the previous one's store. Anything short of an
+      // exact identity match (id live, vertex count, envelope checksum)
+      // is kNotFound, and the client falls back to a full re-register.
+      const int64_t local = request.object_id / num_shards;
+      if (local >= shard.service->num_objects()) {
+        response.status = NotFoundError(
+            "object " + std::to_string(request.object_id) +
+            " is not on this worker; reattach requires a warm store");
+        break;
+      }
+      const DirectedGraph& graph = shard.graphs[static_cast<size_t>(local)];
+      const uint32_t checksum = shard.checksums[static_cast<size_t>(local)];
+      if (request.num_vertices != graph.num_vertices() ||
+          request.graph_checksum != checksum) {
+        response.status = NotFoundError(
+            "object " + std::to_string(request.object_id) +
+            " on this worker is not the client's object "
+            "(checksum or shape mismatch)");
+        break;
+      }
+      response.object_id = request.object_id;
+      response.status = OkStatus();
+      DCS_METRIC_INC("serve.cluster.objects_reattached");
+      break;
+    }
     case RpcKind::kPing:
     case RpcKind::kResponse:
       response.status = InternalError("request kind cannot reach a shard");
@@ -198,7 +360,8 @@ RpcResponse ClusterWorker::Dispatch(const RpcRequest& request) {
                                         static_cast<int64_t>(
                                             shards_.size()))]
                 .get();
-  } else if (request.kind == RpcKind::kQueryBatch) {
+  } else if (request.kind == RpcKind::kQueryBatch ||
+             request.kind == RpcKind::kReattach) {
     if (request.object_id < 0) {
       response.status = InvalidArgumentError("negative object id");
       return response;
@@ -306,7 +469,22 @@ Status ClusterWorker::Serve() {
   for (auto& shard : shards_) {
     if (shard->runner.joinable()) shard->runner.join();
   }
-  return OkStatus();
+  // Queues are dry and shard threads joined: no registration can race the
+  // seal, so a SIGTERM-driven drain never leaves a segment that fsck
+  // reports corrupt beyond a torn tail.
+  return PersistOnDrain();
+}
+
+int64_t ClusterWorker::num_registered() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->service->num_objects();
+  return total;
+}
+
+int64_t ClusterWorker::cache_entries() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->service->cache_size();
+  return total;
 }
 
 }  // namespace dcs

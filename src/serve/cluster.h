@@ -38,6 +38,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,6 +46,7 @@
 #include "serve/cut_query_service.h"
 #include "serve/transport.h"
 #include "serve/wire.h"
+#include "store/sketch_store.h"
 #include "util/status.h"
 
 namespace dcs {
@@ -89,6 +91,15 @@ struct ClusterWorkerOptions {
   // Test seam: sleep this long inside each executed job, so admission
   // tests can fill a queue deterministically. 0 in production.
   int execution_delay_ms = 0;
+  // Cold/warm tiers (DESIGN.md §15). Empty = in-memory only (the
+  // pre-store behavior). Non-empty: registered graphs persist to a
+  // SketchStore in this directory, Create() warm-loads every persisted
+  // object (reproducing the original id assignment) plus the hottest
+  // cache entries from the previous incarnation's drain snapshot, and
+  // Serve()'s drain seals the open segment and dumps the cache.
+  std::string store_dir;
+  // Cache entries persisted at drain (0 disables the snapshot).
+  int64_t warm_cache_entries = 4096;
 
   void Check() const;
 };
@@ -123,6 +134,13 @@ class ClusterWorker {
   // bypassing the socket (the in-process half of transport tests).
   RpcResponse Execute(const RpcRequest& request);
 
+  // Objects live on this worker (warm-loaded + freshly registered).
+  int64_t num_registered() const;
+  // Cache entries across every shard (warm-restart observability).
+  int64_t cache_entries() const;
+  // Objects warm-loaded from the store at Create (0 without a store).
+  int64_t warm_loaded_objects() const { return warm_loaded_objects_; }
+
  private:
   struct Shard {
     std::unique_ptr<CutQueryService> service;
@@ -131,9 +149,20 @@ class ClusterWorker {
     // Graphs live here because CutQueryService::RegisterGraph keeps a
     // reference; deque never reallocates element storage.
     std::deque<DirectedGraph> graphs;
+    // Envelope checksum of graphs[i] (the kReattach identity check).
+    std::deque<uint32_t> checksums;
   };
 
   ClusterWorker(Listener listener, ClusterWorkerOptions options);
+
+  // Replays every persisted object into the shards (ascending global id
+  // reproduces the round-robin assignment: id k -> shard k % S, local
+  // k / S) and reloads the drain cache snapshot. Runs before Serve(), so
+  // no synchronization against queries is needed.
+  Status WarmLoadFromStore();
+  // Drain-side of the warm tier: dump the hottest cache entries and seal
+  // the open segment.
+  Status PersistOnDrain();
 
   void HandleConnection(Connection connection);
   RpcResponse ExecuteOnShard(Shard& shard, const RpcRequest& request);
@@ -145,6 +174,8 @@ class ClusterWorker {
   Listener listener_;
   uint64_t token_ = 0;
   std::atomic<bool> stop_{false};
+  std::unique_ptr<SketchStore> store_;  // null without --store-dir
+  int64_t warm_loaded_objects_ = 0;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::mutex registration_mutex_;  // round-robin registration counter
   int64_t registrations_ = 0;

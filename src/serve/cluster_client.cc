@@ -100,6 +100,31 @@ Status ClusterClient::RegisterShardOn(ObjectState& object, ShardState& shard,
   return OkStatus();
 }
 
+Status ClusterClient::ReattachShardOn(ObjectState& object, ShardState& shard,
+                                      Replica& replica) {
+  if (replica.remote_id < 0) {
+    return NotFoundError("replica never held a remote id");
+  }
+  if (!shard.checksum_computed) {
+    shard.graph_checksum = GraphEnvelopeChecksum(shard.graph);
+    shard.checksum_computed = true;
+  }
+  RpcRequest request;
+  request.kind = RpcKind::kReattach;
+  request.object_id = replica.remote_id;
+  request.num_vertices = object.num_vertices;
+  request.graph_checksum = shard.graph_checksum;
+  DCS_ASSIGN_OR_RETURN(const RpcResponse response,
+                       Call(replica.worker, request));
+  DCS_RETURN_IF_ERROR(response.status);
+  replica.remote_id = response.object_id;
+  replica.token = response.server_token;
+  replica.registered = true;
+  ++reattached_replicas_;
+  DCS_METRIC_INC("serve.cluster_client.replicas_reattached");
+  return OkStatus();
+}
+
 StatusOr<ClusterClient::ObjectHandle> ClusterClient::RegisterReplicated(
     const DirectedGraph& graph) {
   const ObjectHandle handle = static_cast<ObjectHandle>(objects_.size());
@@ -297,6 +322,12 @@ Status ClusterClient::HealthCheck() {
   for (int w = 0; w < num_workers(); ++w) {
     const WorkerHealth before = workers_[static_cast<size_t>(w)]->health;
     auto response = Call(w, ping, /*even_if_dead=*/true);
+    if (!response.ok()) {
+      // A restarted worker leaves the previous connection half-open: the
+      // first call fails while tearing it down, so one retry on a fresh
+      // connection is what distinguishes a restart from a dead worker.
+      response = Call(w, ping, /*even_if_dead=*/true);
+    }
     if (response.ok()) continue;  // Call already revived it
     workers_[static_cast<size_t>(w)]->health =
         before == WorkerHealth::kHealthy ? WorkerHealth::kSuspect
@@ -313,7 +344,12 @@ StatusOr<int64_t> ClusterClient::Repair() {
         WorkerState& worker = *workers_[static_cast<size_t>(replica.worker)];
         if (worker.health != WorkerHealth::kHealthy) continue;
         if (!IsStale(replica, worker)) continue;
-        if (RegisterShardOn(object, shard, replica).ok()) {
+        // Fast path first: a store-backed respawn warm-loaded the object
+        // under the same id, so reattaching skips re-sending the graph.
+        // Workers without a matching warm object answer kNotFound and the
+        // full re-register runs as before.
+        if (ReattachShardOn(object, shard, replica).ok() ||
+            RegisterShardOn(object, shard, replica).ok()) {
           ++repaired;
         }
       }

@@ -119,10 +119,18 @@ class ClusterClient {
   // Always OK; per-worker results land in worker_health().
   Status HealthCheck();
 
-  // Re-registers every stale replica (worker respawned since registration,
-  // or registration never succeeded) on currently-healthy workers.
-  // Returns the number of replicas repaired.
+  // Repairs every stale replica (worker respawned since registration, or
+  // registration never succeeded) on currently-healthy workers. A replica
+  // that once held a remote id is first offered a kReattach — a store-
+  // backed worker that warm-loaded the identical object (id + vertex count
+  // + envelope checksum) revives it without the graph crossing the wire;
+  // anything else falls back to a full re-register. Returns the number of
+  // replicas repaired (either way).
   StatusOr<int64_t> Repair();
+
+  // Replicas revived via the reattach fast path over this client's
+  // lifetime (observability for warm-restart tests and bench_store).
+  int64_t reattached_replicas() const { return reattached_replicas_; }
 
  private:
   struct Replica {
@@ -134,6 +142,9 @@ class ClusterClient {
   struct ShardState {
     DirectedGraph graph;        // retained for repair
     std::vector<Replica> replicas;
+    // Lazily computed envelope checksum of `graph` (kReattach identity).
+    mutable uint32_t graph_checksum = 0;
+    mutable bool checksum_computed = false;
   };
   struct ObjectState {
     int num_vertices = 0;
@@ -163,6 +174,12 @@ class ClusterClient {
   Status RegisterShardOn(ObjectState& object, ShardState& shard,
                          Replica& replica);
 
+  // The fast half of Repair: ask the worker to revive `replica.remote_id`
+  // from its warm store instead of re-sending the graph. Any failure means
+  // "fall back to RegisterShardOn", never "give up".
+  Status ReattachShardOn(ObjectState& object, ShardState& shard,
+                         Replica& replica);
+
   // Queries one shard on its first answering replica (marking replicas
   // stale as failures reveal them). OK with values on success;
   // kUnavailable when every replica failed over; other codes per the
@@ -174,6 +191,7 @@ class ClusterClient {
   ClusterClientOptions options_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::vector<ObjectState> objects_;
+  int64_t reattached_replicas_ = 0;
 };
 
 }  // namespace dcs

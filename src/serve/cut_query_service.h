@@ -119,6 +119,18 @@ class CutQueryService {
   // Entries currently cached (0 when the cache is disabled).
   int64_t cache_size() const { return cache_ ? cache_->size() : 0; }
 
+  // Warm-tier hooks (store/cache_snapshot.h): the hottest cached entries
+  // for persisting at drain, and their reload at boot. Empty/no-op when
+  // the cache is disabled.
+  std::vector<CutQueryCache::SnapshotEntry> SnapshotCache(
+      int64_t max_entries) const {
+    return cache_ ? cache_->SnapshotHottest(max_entries)
+                  : std::vector<CutQueryCache::SnapshotEntry>{};
+  }
+  void RestoreCache(const std::vector<CutQueryCache::SnapshotEntry>& entries) {
+    if (cache_) cache_->Restore(entries);
+  }
+
  private:
   struct ObjectEntry {
     CutOracle oracle;  // unset for seeded entries

@@ -90,12 +90,21 @@ StatusOr<ClusterLoadReport> RunClusterLoad(const ClusterLoadOptions& options) {
   std::vector<WorkerProcess> processes(
       static_cast<size_t>(options.num_workers));
   std::mutex processes_mutex;
+  // Each worker gets its own options so store-backed runs can give every
+  // worker a private segment directory; respawns reuse the same options,
+  // which is what makes a respawn warm-load its predecessor's store.
+  std::vector<ClusterWorkerOptions> worker_options(
+      static_cast<size_t>(options.num_workers), options.worker);
   for (int w = 0; w < options.num_workers; ++w) {
     DCS_ASSIGN_OR_RETURN(
         const Endpoint endpoint,
         ParseEndpoint("unix:" + options.socket_dir + "/worker" +
                       std::to_string(w) + ".sock"));
     endpoints.push_back(endpoint);
+    if (!options.store_root.empty()) {
+      worker_options[static_cast<size_t>(w)].store_dir =
+          options.store_root + "/worker" + std::to_string(w);
+    }
   }
   // Kill every child on every exit path; SIGTERM first (drain), SIGKILL
   // for anything that lingers.
@@ -122,7 +131,7 @@ StatusOr<ClusterLoadReport> RunClusterLoad(const ClusterLoadOptions& options) {
   };
   for (int w = 0; w < options.num_workers; ++w) {
     auto spawned = SpawnWorker(options.server_binary, endpoints[w],
-                               options.worker);
+                               worker_options[static_cast<size_t>(w)]);
     if (!spawned.ok()) {
       cleanup();
       return spawned.status();
@@ -169,7 +178,8 @@ StatusOr<ClusterLoadReport> RunClusterLoad(const ClusterLoadOptions& options) {
         std::this_thread::sleep_for(
             std::chrono::milliseconds(options.respawn_delay_ms));
         auto respawned = SpawnWorker(options.server_binary,
-                                     endpoints[victim], options.worker);
+                                     endpoints[victim],
+                                     worker_options[victim]);
         if (!respawned.ok()) continue;
         process = std::move(*respawned);
         if (WaitForWorkerReady(endpoints[victim], 5000).ok()) {
@@ -266,6 +276,7 @@ StatusOr<ClusterLoadReport> RunClusterLoad(const ClusterLoadOptions& options) {
       report.batches_resource_exhausted += exhausted;
       report.batches_other_error += other;
       report.wrong_bits += wrong;
+      report.reattaches += client.reattached_replicas();
       latencies_us.insert(latencies_us.end(), local_latencies.begin(),
                           local_latencies.end());
     });

@@ -48,6 +48,11 @@ struct ClusterLoadOptions {
   int num_edges = 320;
   uint64_t seed = 1;
   ClusterWorkerOptions worker;
+  // Non-empty: worker w runs with --store-dir <store_root>/worker<w>, so a
+  // SIGKILLed worker's respawn warm-loads its registrations from disk and
+  // clients reattach instead of re-sending graphs. (worker.store_dir
+  // itself is ignored here — every worker needs its own directory.)
+  std::string store_root;
 
   void Check() const;
 };
@@ -63,6 +68,9 @@ struct ClusterLoadReport {
   bool answers_bit_identical() const { return wrong_bits == 0; }
   int64_t kills = 0;
   int64_t respawns = 0;
+  // Replicas repaired via the store-backed reattach fast path (0 without
+  // store_root).
+  int64_t reattaches = 0;
   double elapsed_seconds = 0;
   double qps = 0;  // completed (OK) queries per second
   int64_t latency_p50_us = 0;  // per-batch round-trip, completed calls

@@ -42,6 +42,19 @@ uint64_t PackSideInto(const VertexSet& side, PackedSide& packed) {
   return hash;
 }
 
+uint64_t HashPackedSide(const PackedSide& side) {
+  uint64_t hash = 0;
+  for (size_t w = 0; w < side.words.size(); ++w) {
+    uint64_t word = side.words[w];
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      hash ^= HashVertex(static_cast<VertexId>(w * 64 + bit));
+      word &= word - 1;
+    }
+  }
+  return hash;
+}
+
 CutQueryCache::CutQueryCache(const Options& options) {
   DCS_CHECK_GE(options.capacity, 1);
   const size_t num_stripes = RoundUpToPowerOfTwo(options.num_stripes);
@@ -101,6 +114,43 @@ void CutQueryCache::Insert(int64_t object, uint64_t side_hash,
     }
     stripe.lru.pop_back();
     DCS_METRIC_INC("serve.cache.evictions");
+  }
+}
+
+std::vector<CutQueryCache::SnapshotEntry> CutQueryCache::SnapshotHottest(
+    int64_t max_entries) const {
+  // Copy each stripe's LRU order under its lock, then interleave: taking
+  // one entry per stripe per round means a truncated snapshot still keeps
+  // the hottest entries of *every* stripe rather than draining stripe 0.
+  std::vector<std::vector<SnapshotEntry>> per_stripe(stripes_.size());
+  for (size_t s = 0; s < stripes_.size(); ++s) {
+    const auto& stripe = *stripes_[s];
+    std::lock_guard<std::mutex> lock(stripe.mutex);
+    per_stripe[s].reserve(stripe.lru.size());
+    for (const Entry& entry : stripe.lru) {
+      per_stripe[s].push_back(
+          SnapshotEntry{entry.object, entry.side, entry.value});
+    }
+  }
+  std::vector<SnapshotEntry> merged;
+  for (size_t round = 0;
+       static_cast<int64_t>(merged.size()) < max_entries;
+       ++round) {
+    bool any = false;
+    for (auto& stripe_entries : per_stripe) {
+      if (round >= stripe_entries.size()) continue;
+      any = true;
+      merged.push_back(std::move(stripe_entries[round]));
+      if (static_cast<int64_t>(merged.size()) >= max_entries) break;
+    }
+    if (!any) break;
+  }
+  return merged;
+}
+
+void CutQueryCache::Restore(const std::vector<SnapshotEntry>& entries) {
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    Insert(it->object, HashPackedSide(it->side), it->side, it->value);
   }
 }
 

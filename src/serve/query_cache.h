@@ -72,6 +72,11 @@ PackedSide PackSide(const VertexSet& side);
 // the side twice.
 uint64_t PackSideInto(const VertexSet& side, PackedSide& packed);
 
+// HashSide over a side already in packed canonical form (XOR of HashVertex
+// over the set bits). Agrees with HashSide/PackSideInto for the side the
+// words pack — the cache-snapshot restore path recomputes hashes with this.
+uint64_t HashPackedSide(const PackedSide& side);
+
 // Combines an object id into a side hash to form the cache key hash. The
 // finalizer decorrelates objects: without it, the same side under two
 // objects would land in the same stripe and bucket, making cross-object
@@ -114,6 +119,24 @@ class CutQueryCache {
 
   // Current number of entries (sums stripes; a racing snapshot).
   int64_t size() const;
+
+  // One cache entry in portable form, for persisting across restarts
+  // (store/cache_snapshot.h). Hashes are recomputed on restore, so a
+  // snapshot is valid even if the hash function changes between builds.
+  struct SnapshotEntry {
+    int64_t object = 0;
+    PackedSide side;
+    double value = 0;
+  };
+
+  // Up to `max_entries` entries, hottest first (per-stripe MRU order,
+  // round-robin merged across stripes so every stripe's hottest entries
+  // survive a truncated snapshot).
+  std::vector<SnapshotEntry> SnapshotHottest(int64_t max_entries) const;
+
+  // Re-inserts snapshot entries (recomputing hashes). Iterates in reverse
+  // so the snapshot's hottest entry ends up most recently used.
+  void Restore(const std::vector<SnapshotEntry>& entries);
 
  private:
   struct Entry {

@@ -61,7 +61,7 @@ StatusOr<OpenedRpc> OpenRpc(const Message& message) {
   }
   DCS_ASSIGN_OR_RETURN(const uint64_t kind, reader.TryReadBits(8));
   if (kind < static_cast<uint64_t>(RpcKind::kPing) ||
-      kind > static_cast<uint64_t>(RpcKind::kResponse)) {
+      kind > static_cast<uint64_t>(RpcKind::kReattach)) {
     return DataLossError("unknown rpc kind " + std::to_string(kind));
   }
   DCS_ASSIGN_OR_RETURN(const uint64_t payload_bits,
@@ -110,6 +110,8 @@ const char* RpcKindName(RpcKind kind) {
       return "query_batch";
     case RpcKind::kResponse:
       return "response";
+    case RpcKind::kReattach:
+      return "reattach";
   }
   return "unknown";
 }
@@ -135,6 +137,13 @@ Message EncodeRpcRequest(const RpcRequest& request) {
       }
       break;
     }
+    case RpcKind::kReattach:
+      DCS_CHECK_GE(request.object_id, 0);
+      DCS_CHECK_GE(request.num_vertices, 1);
+      payload.WriteEliasGamma(static_cast<uint64_t>(request.object_id));
+      payload.WriteEliasGamma(static_cast<uint64_t>(request.num_vertices));
+      payload.WriteBits(request.graph_checksum, 32);
+      break;
     case RpcKind::kResponse:
       DCS_CHECK(false);  // responses go through EncodeRpcResponse
       break;
@@ -190,6 +199,23 @@ StatusOr<RpcRequest> DecodeRpcRequest(const Message& message) {
       }
       break;
     }
+    case RpcKind::kReattach: {
+      DCS_ASSIGN_OR_RETURN(const uint64_t object_id,
+                           reader.TryReadEliasGamma());
+      if (object_id > (uint64_t{1} << 32)) {
+        return DataLossError("rpc reattach object id out of range");
+      }
+      DCS_ASSIGN_OR_RETURN(const uint64_t num_vertices,
+                           reader.TryReadEliasGamma());
+      if (num_vertices < 1 || num_vertices > (uint64_t{1} << 28)) {
+        return DataLossError("rpc reattach vertex count out of range");
+      }
+      DCS_ASSIGN_OR_RETURN(const uint64_t checksum, reader.TryReadBits(32));
+      request.object_id = static_cast<int64_t>(object_id);
+      request.num_vertices = static_cast<int>(num_vertices);
+      request.graph_checksum = static_cast<uint32_t>(checksum);
+      break;
+    }
   }
   DCS_RETURN_IF_ERROR(CheckFullyConsumed(reader, opened.payload_bits));
   return request;
@@ -210,6 +236,12 @@ Message EncodeRpcResponse(const RpcResponse& response) {
   payload.WriteEliasGamma(response.values.size());
   for (double value : response.values) payload.WriteDouble(value);
   return SealRpc(RpcKind::kResponse, payload);
+}
+
+uint32_t GraphEnvelopeChecksum(const DirectedGraph& graph) {
+  BitWriter writer;
+  SerializeDirectedGraph(graph, writer);
+  return Fnv1a(writer.bytes());
 }
 
 StatusOr<RpcResponse> DecodeRpcResponse(const Message& message) {

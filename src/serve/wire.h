@@ -18,6 +18,15 @@
 //                    service-assigned object id.
 //   kQueryBatch    — a batch of cut queries (object id + packed sides);
 //                    response carries one double per query.
+//   kReattach      — claim an object a *previous* worker incarnation
+//                    persisted to its disk store: carries the object id,
+//                    vertex count, and an FNV-1a checksum of the graph's
+//                    serialized envelope. A store-backed worker that warm-
+//                    loaded a matching object answers OK (the id is live
+//                    again); anything else is kNotFound and the client
+//                    falls back to a full kRegisterGraph. This is what
+//                    turns token-mismatch repair into a fast local reload
+//                    instead of re-sending whole sketches.
 //
 // Every response carries the worker's 64-bit instance token, drawn once at
 // process start. A client that registered an object under token T and
@@ -46,6 +55,7 @@ enum class RpcKind : uint8_t {
   kRegisterGraph = 2,
   kQueryBatch = 3,
   kResponse = 4,  // every response body, regardless of request kind
+  kReattach = 5,
 };
 
 // Stable lowercase name ("ping", ...) for diagnostics and metrics.
@@ -53,11 +63,15 @@ const char* RpcKindName(RpcKind kind);
 
 struct RpcRequest {
   RpcKind kind = RpcKind::kPing;
-  // kQueryBatch: the worker-local object id returned by kRegisterGraph.
+  // kQueryBatch/kReattach: the worker-local object id returned by
+  // kRegisterGraph.
   int64_t object_id = 0;
-  // kQueryBatch: vertex count every side must match (validated against the
-  // registered object on the worker).
+  // kQueryBatch/kReattach: vertex count every side must match (validated
+  // against the registered object on the worker).
   int num_vertices = 0;
+  // kReattach: FNV-1a over the graph's serialized envelope bytes; the
+  // worker only reattaches when its warm-loaded object matches.
+  uint32_t graph_checksum = 0;
   // kQueryBatch: one packed side per query.
   std::vector<VertexSet> sides;
   // kRegisterGraph: the graph to register.
@@ -84,6 +98,11 @@ Message EncodeRpcResponse(const RpcResponse& response);
 // field violation, never a crash, hang, or unbounded allocation.
 StatusOr<RpcRequest> DecodeRpcRequest(const Message& message);
 StatusOr<RpcResponse> DecodeRpcResponse(const Message& message);
+
+// FNV-1a over the graph's serialized envelope bytes. Serialization is
+// canonical, so client and worker computing this over "the same graph"
+// always agree — the identity check behind kReattach.
+uint32_t GraphEnvelopeChecksum(const DirectedGraph& graph);
 
 }  // namespace dcs
 

@@ -18,6 +18,13 @@ StatusOr<WorkerProcess> SpawnWorker(const std::string& server_binary,
                                     const Endpoint& endpoint,
                                     const ClusterWorkerOptions& options) {
   options.Check();
+  // Fail fast on a missing or non-executable binary: without this check
+  // the only symptom is the child's _exit(127) after fork, which callers
+  // discover via a multi-second WaitForWorkerReady timeout.
+  if (::access(server_binary.c_str(), X_OK) != 0) {
+    return NotFoundError("server binary " + server_binary +
+                         " is not executable: " + std::strerror(errno));
+  }
   const std::string spec = endpoint.ToSpec();
   const std::string shards = std::to_string(options.num_shards);
   const std::string queue = std::to_string(options.queue_capacity);
@@ -49,6 +56,15 @@ StatusOr<WorkerProcess> SpawnWorker(const std::string& server_binary,
   push(accept_timeout);
   push(flag_delay);
   push(delay);
+  const std::string flag_store = "--store-dir";
+  const std::string flag_warm = "--warm-cache";
+  const std::string warm = std::to_string(options.warm_cache_entries);
+  if (!options.store_dir.empty()) {
+    push(flag_store);
+    push(options.store_dir);
+    push(flag_warm);
+    push(warm);
+  }
   argv.push_back(nullptr);
 
   const pid_t pid = ::fork();

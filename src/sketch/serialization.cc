@@ -31,6 +31,8 @@ std::string_view PayloadBitsMetricName(StreamKind kind) {
       return "serialization.payload_bits.edge_stream";
     case StreamKind::kCutBalanceSparsifier:
       return "serialization.payload_bits.cut_balance_sparsifier";
+    case StreamKind::kSegmentIndex:
+      return "serialization.payload_bits.segment_index";
   }
   return "serialization.payload_bits.unknown";
 }
@@ -144,6 +146,8 @@ const char* StreamKindName(StreamKind kind) {
       return "edge_stream";
     case StreamKind::kCutBalanceSparsifier:
       return "cut_balance_sparsifier";
+    case StreamKind::kSegmentIndex:
+      return "segment_index";
   }
   return "unknown";
 }

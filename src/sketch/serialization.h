@@ -42,6 +42,7 @@ enum class StreamKind : uint8_t {
   kDirectedForAllSketch = 6,
   kEdgeStream = 7,  // replayable binary edge-update stream (stream/binary_stream.h)
   kCutBalanceSparsifier = 8,  // sketch/cut_balance_sparsifier.h
+  kSegmentIndex = 9,  // sketch-store segment index footer (store/segment.h)
 };
 
 // Stable lowercase name of a stream kind ("directed_graph", ...); used in

@@ -1,0 +1,207 @@
+#include "store/cache_snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+
+#include "util/bitio.h"
+#include "util/metrics.h"
+
+namespace dcs {
+namespace {
+
+constexpr uint64_t kSnapshotMagic = 0xCA5E;
+constexpr uint64_t kSnapshotVersion = 1;
+// Matches the serialization layer's vertex cap: no packed side needs more
+// words than this, and no honest snapshot can exceed it.
+constexpr uint64_t kMaxSideWords = ((uint64_t{1} << 28) + 63) / 64;
+// Floor on one encoded entry: 1-bit gamma id + 1-bit gamma count + 64-bit
+// value. Declared entry counts are capped against remaining/66.
+constexpr int64_t kMinEntryBits = 66;
+
+uint32_t Fnv1a(const std::vector<uint8_t>& bytes) {
+  uint32_t hash = 2166136261u;
+  for (uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+Status SnapshotDataLoss(const std::string& what) {
+  return DataLossError("cache snapshot: " + what);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeCacheSnapshot(
+    const std::vector<CacheSnapshotEntry>& entries) {
+  BitWriter payload;
+  payload.WriteEliasGamma(entries.size());
+  for (const auto& entry : entries) {
+    payload.WriteEliasGamma(static_cast<uint64_t>(entry.object));
+    payload.WriteEliasGamma(entry.side_words.size());
+    for (uint64_t word : entry.side_words) payload.WriteBits(word, 64);
+    payload.WriteDouble(entry.value);
+  }
+  BitWriter out;
+  out.WriteBits(kSnapshotMagic, 16);
+  out.WriteBits(kSnapshotVersion, 8);
+  out.WriteEliasGamma(static_cast<uint64_t>(payload.bit_count()));
+  out.WriteBits(Fnv1a(payload.bytes()), 32);
+  out.AppendBits(payload.bytes(), payload.bit_count());
+  return out.bytes();
+}
+
+StatusOr<std::vector<CacheSnapshotEntry>> DecodeCacheSnapshot(
+    const std::vector<uint8_t>& bytes) {
+  BitReader reader(bytes);
+  DCS_ASSIGN_OR_RETURN(const uint64_t magic, reader.TryReadBits(16));
+  if (magic != kSnapshotMagic) return SnapshotDataLoss("bad magic");
+  DCS_ASSIGN_OR_RETURN(const uint64_t version, reader.TryReadBits(8));
+  if (version != kSnapshotVersion) {
+    return SnapshotDataLoss("unsupported version " + std::to_string(version));
+  }
+  DCS_ASSIGN_OR_RETURN(const uint64_t bit_count, reader.TryReadEliasGamma());
+  if (reader.RemainingBits() < 32 ||
+      bit_count > static_cast<uint64_t>(reader.RemainingBits() - 32)) {
+    return SnapshotDataLoss("declared payload longer than file");
+  }
+  DCS_ASSIGN_OR_RETURN(const uint64_t checksum, reader.TryReadBits(32));
+  // Extract the payload bytes first and checksum them — exactly the
+  // envelope reader's order — then parse entries from a fresh reader.
+  std::vector<uint8_t> payload(static_cast<size_t>((bit_count + 7) / 8), 0);
+  for (uint64_t bit = 0; bit < bit_count; ++bit) {
+    DCS_ASSIGN_OR_RETURN(const int value, reader.TryReadBit());
+    if (value) {
+      payload[static_cast<size_t>(bit >> 3)] |=
+          static_cast<uint8_t>(1u << (bit & 7));
+    }
+  }
+  if (Fnv1a(payload) != checksum) {
+    return SnapshotDataLoss("checksum mismatch");
+  }
+  // Remaining file bits must be zero padding to one byte.
+  if (reader.RemainingBits() >= 8) {
+    return SnapshotDataLoss("trailing bytes after payload");
+  }
+  while (!reader.AtEnd()) {
+    DCS_ASSIGN_OR_RETURN(const int bit, reader.TryReadBit());
+    if (bit != 0) return SnapshotDataLoss("nonzero padding");
+  }
+
+  BitReader body(payload);
+  const int64_t payload_bits = static_cast<int64_t>(bit_count);
+  DCS_ASSIGN_OR_RETURN(const uint64_t count, body.TryReadEliasGamma());
+  if (count > static_cast<uint64_t>(
+                  (payload_bits - body.position()) / kMinEntryBits) +
+                  1) {
+    return SnapshotDataLoss("declares " + std::to_string(count) +
+                            " entries but the payload is shorter");
+  }
+  std::vector<CacheSnapshotEntry> entries;
+  entries.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    CacheSnapshotEntry entry;
+    DCS_ASSIGN_OR_RETURN(const uint64_t object, body.TryReadEliasGamma());
+    if (object > (uint64_t{1} << 62)) {
+      return SnapshotDataLoss("entry object id out of range");
+    }
+    entry.object = static_cast<int64_t>(object);
+    DCS_ASSIGN_OR_RETURN(const uint64_t words, body.TryReadEliasGamma());
+    if (words > kMaxSideWords ||
+        words > static_cast<uint64_t>(
+                    (payload_bits - body.position()) / 64)) {
+      return SnapshotDataLoss("entry side longer than the payload");
+    }
+    entry.side_words.resize(static_cast<size_t>(words));
+    for (uint64_t w = 0; w < words; ++w) {
+      DCS_ASSIGN_OR_RETURN(entry.side_words[w], body.TryReadBits(64));
+    }
+    DCS_ASSIGN_OR_RETURN(entry.value, body.TryReadDouble());
+    if (!std::isfinite(entry.value)) {
+      return SnapshotDataLoss("entry value is not finite");
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (body.position() != payload_bits) {
+    return SnapshotDataLoss("payload has trailing bits");
+  }
+  return entries;
+}
+
+Status WriteCacheSnapshotFile(
+    const std::string& path,
+    const std::vector<CacheSnapshotEntry>& entries) {
+  const std::vector<uint8_t> bytes = EncodeCacheSnapshot(entries);
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return InternalError("cannot create " + tmp + ": " +
+                         std::strerror(errno));
+  }
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t wrote = ::write(fd, bytes.data() + done,
+                                  bytes.size() - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      const Status status = InternalError("cannot write " + tmp + ": " +
+                                          std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    done += static_cast<size_t>(wrote);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return InternalError("cannot fsync " + tmp + ": " +
+                         std::strerror(errno));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return InternalError("cannot rename " + tmp + ": " +
+                         std::strerror(errno));
+  }
+  DCS_METRIC_INC("store.cache_snapshots_written");
+  return OkStatus();
+}
+
+StatusOr<std::vector<CacheSnapshotEntry>> ReadCacheSnapshotFile(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return NotFoundError("no cache snapshot at " + path);
+    }
+    return InternalError("cannot open " + path + ": " +
+                         std::strerror(errno));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buffer[1 << 16];
+  while (true) {
+    const ssize_t got = ::read(fd, buffer, sizeof(buffer));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      const Status status = InternalError("cannot read " + path + ": " +
+                                          std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    if (got == 0) break;
+    bytes.insert(bytes.end(), buffer, buffer + got);
+  }
+  ::close(fd);
+  auto entries = DecodeCacheSnapshot(bytes);
+  if (entries.ok()) DCS_METRIC_INC("store.cache_snapshots_loaded");
+  return entries;
+}
+
+}  // namespace dcs

@@ -1,7 +1,10 @@
 // Smoke tests of the `dcs` command-line tool (end-to-end through the shell).
 
+#include <dirent.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -442,6 +445,53 @@ TEST(CliChaosTest, SameChaosSeedPrintsIdenticalOutput) {
             0);
   const std::string decode_line = first.substr(0, first.find('\n'));
   EXPECT_EQ(fault_free.substr(0, fault_free.find('\n')), decode_line);
+}
+
+// Counts /tmp entries carrying the cluster subcommand's scratch prefix.
+int CountClusterScratchDirs() {
+  int count = 0;
+  DIR* dir = ::opendir("/tmp");
+  if (dir == nullptr) return -1;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (std::strncmp(entry->d_name, "dcs_cluster_", 12) == 0) ++count;
+  }
+  ::closedir(dir);
+  return count;
+}
+
+TEST(CliClusterTest, ForcedFailuresLeaveNoScratchDirectoryBehind) {
+  const int before = CountClusterScratchDirs();
+  ASSERT_GE(before, 0);
+  // Worker spawn failure after the scratch directory exists (exit 1): the
+  // named server binary is not executable.
+  EXPECT_EQ(RunCli("cluster --server /nonexistent/dcs_server --workers 2 "
+                   "--clients 1 --batches 1 --n 16 --edges 40"),
+            1);
+  // Flag validation failure, rejected before any scratch state (exit 2).
+  EXPECT_EQ(RunCli("cluster --workers 0"), 2);
+  EXPECT_EQ(CountClusterScratchDirs(), before);
+}
+
+TEST(CliStoreTest, PutGetFsckCompactRoundTrip) {
+  const std::string graph = "/tmp/dcs_cli_test_store_graph.txt";
+  const std::string out = "/tmp/dcs_cli_test_store_out.txt";
+  const std::string dir = "/tmp/dcs_cli_test_store";
+  std::system(("rm -rf '" + dir + "'").c_str());
+  ASSERT_EQ(RunCli("generate --type balanced --n 24 --beta 2 --seed 7 "
+                   "--directed 1 --out " + graph),
+            0);
+  ASSERT_EQ(RunCli("store --dir " + dir + " --op put --id 3 --in " + graph),
+            0);
+  ASSERT_EQ(RunCli("store --dir " + dir + " --op get --id 3 --out " + out),
+            0);
+  EXPECT_EQ(ReadFileToString(out), ReadFileToString(graph));
+  EXPECT_EQ(RunCli("store --dir " + dir + " --op fsck"), 0);
+  EXPECT_EQ(RunCli("store --dir " + dir + " --op compact"), 0);
+  EXPECT_EQ(RunCli("store --dir " + dir + " --op get --id 99 --out " + out),
+            1);
+  EXPECT_EQ(RunCli("store --dir " + dir + " --op frobnicate"), 2);
+  EXPECT_EQ(RunCli("store --op fsck"), 2);  // missing --dir
+  std::system(("rm -rf '" + dir + "'").c_str());
 }
 
 }  // namespace

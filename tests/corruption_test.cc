@@ -29,6 +29,7 @@
 #include "sketch/directed_sketches.h"
 #include "sketch/sampled_sketches.h"
 #include "sketch/serialization.h"
+#include "store/segment.h"
 #include "util/bitio.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -435,6 +436,164 @@ TEST(CorruptionTest, EverySocketFrameTruncationIsRejected) {
         << "truncation to " << len << " of " << wire.size()
         << " wire bytes was not detected";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Sketch-store segment files (store/segment.h). The contract is stricter
+// than reject-everything: a mutation must come back either as a clean
+// kDataLoss or as an OK scan whose surviving records are a *bit-exact
+// prefix* of what was written (torn-tail recovery) — never a crash, a
+// hang, or a single wrong byte served back.
+
+struct SegmentImage {
+  std::vector<uint8_t> bytes;
+  std::vector<SegmentRecord> records;
+};
+
+SegmentRecord EnvelopedRecord(int64_t object_id, StreamKind kind,
+                              const BitWriter& envelope) {
+  SegmentRecord record;
+  record.object_id = object_id;
+  record.kind = kind;
+  record.payload = envelope.bytes();
+  record.payload_bits = envelope.bit_count();
+  return record;
+}
+
+// Two records of different kinds, then the index footer + seal trailer.
+// Pass sealed=false for the crash-exposed variant (records only).
+SegmentImage BuildSegmentImage(bool sealed) {
+  Rng rng(512);
+  SegmentImage image;
+  {
+    BitWriter writer;
+    SerializeDirectedGraph(RandomBalancedDigraph(9, 0.5, 2.0, rng), writer);
+    image.records.push_back(
+        EnvelopedRecord(3, StreamKind::kDirectedGraph, writer));
+  }
+  {
+    BitWriter writer;
+    SerializeUndirectedGraph(
+        RandomUndirectedGraph(7, 0.5, 0.25, 1.5, true, rng), writer);
+    image.records.push_back(
+        EnvelopedRecord(8, StreamKind::kUndirectedGraph, writer));
+  }
+  std::vector<SegmentIndexEntry> entries;
+  int64_t offset = 0;
+  for (const SegmentRecord& record : image.records) {
+    SegmentIndexEntry entry;
+    entry.object_id = record.object_id;
+    entry.kind = record.kind;
+    entry.byte_offset = offset;
+    entry.byte_length = SegmentRecordByteLength(record.payload_bits);
+    entries.push_back(entry);
+    AppendSegmentRecord(record, image.bytes);
+    offset += entry.byte_length;
+  }
+  if (sealed) AppendSegmentSeal(entries, image.bytes);
+  return image;
+}
+
+// True iff `got` is a bit-exact prefix of `want` (payload bytes included).
+bool RecordsArePrefix(const std::vector<SegmentRecord>& got,
+                      const std::vector<SegmentRecord>& want) {
+  if (got.size() > want.size()) return false;
+  for (size_t i = 0; i < got.size(); ++i) {
+    if (got[i].object_id != want[i].object_id ||
+        got[i].kind != want[i].kind ||
+        got[i].payload_bits != want[i].payload_bits ||
+        got[i].payload != want[i].payload) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(CorruptionTest, SegmentScanRoundTripsClean) {
+  for (const bool sealed : {true, false}) {
+    const SegmentImage image = BuildSegmentImage(sealed);
+    const auto scan = ScanSegment(image.bytes);
+    ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+    EXPECT_EQ(scan->sealed, sealed);
+    EXPECT_FALSE(scan->recovered_torn_tail);
+    ASSERT_EQ(scan->records.size(), image.records.size());
+    EXPECT_TRUE(RecordsArePrefix(scan->records, image.records));
+  }
+}
+
+TEST(CorruptionTest, EverySegmentBitFlipIsRejectedOrAnExactPrefix) {
+  for (const bool sealed : {true, false}) {
+    const SegmentImage image = BuildSegmentImage(sealed);
+    for (size_t bit = 0; bit < image.bytes.size() * 8; ++bit) {
+      std::vector<uint8_t> mutated = image.bytes;
+      mutated[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+      const auto scan = ScanSegment(mutated);
+      if (!scan.ok()) {
+        ASSERT_EQ(scan.status().code(), StatusCode::kDataLoss)
+            << "sealed=" << sealed << " bit " << bit << ": "
+            << scan.status().ToString();
+        continue;
+      }
+      // A flip the scan tolerates (e.g. in the seal trailer, demoting the
+      // segment to unsealed-with-torn-tail) must never alter served bytes.
+      ASSERT_TRUE(RecordsArePrefix(scan->records, image.records))
+          << "sealed=" << sealed << " bit " << bit
+          << " survived the scan with wrong record bytes";
+    }
+  }
+}
+
+TEST(CorruptionTest, EverySegmentTruncationIsRejectedOrAnExactPrefix) {
+  for (const bool sealed : {true, false}) {
+    const SegmentImage image = BuildSegmentImage(sealed);
+    for (size_t len = 0; len < image.bytes.size(); ++len) {
+      const std::vector<uint8_t> truncated(image.bytes.begin(),
+                                           image.bytes.begin() + len);
+      const auto scan = ScanSegment(truncated);
+      if (!scan.ok()) {
+        ASSERT_EQ(scan.status().code(), StatusCode::kDataLoss)
+            << "sealed=" << sealed << " len " << len << ": "
+            << scan.status().ToString();
+        continue;
+      }
+      EXPECT_FALSE(scan->sealed) << "sealed=" << sealed << " len " << len;
+      ASSERT_TRUE(RecordsArePrefix(scan->records, image.records))
+          << "sealed=" << sealed << " truncation to " << len
+          << " bytes yielded wrong record bytes";
+    }
+  }
+}
+
+TEST(CorruptionTest, UnsealedTruncationRecoversWholeRecordPrefix) {
+  // The recovery guarantee, positively: chopping an unsealed segment
+  // mid-record keeps exactly the records that fit whole — a kill between
+  // Put and Seal costs the torn tail, nothing more.
+  const SegmentImage image = BuildSegmentImage(/*sealed=*/false);
+  const int64_t first_record_bytes =
+      SegmentRecordByteLength(image.records[0].payload_bits);
+  const std::vector<uint8_t> torn(
+      image.bytes.begin(),
+      image.bytes.begin() + first_record_bytes +
+          SegmentRecordByteLength(image.records[1].payload_bits) / 2);
+  const auto scan = ScanSegment(torn);
+  ASSERT_TRUE(scan.ok()) << scan.status().ToString();
+  EXPECT_TRUE(scan->recovered_torn_tail);
+  EXPECT_EQ(scan->valid_prefix_bytes, first_record_bytes);
+  ASSERT_EQ(scan->records.size(), 1u);
+  EXPECT_TRUE(RecordsArePrefix(scan->records, image.records));
+}
+
+TEST(CorruptionTest, SegmentIndexHugeCountIsRejectedWithoutAllocation) {
+  // A hostile index footer declaring 2^40 entries over a handful of bytes
+  // must be rejected by the count cap, not attempted as an allocation.
+  BitWriter payload;
+  payload.WriteEliasGamma(uint64_t{1} << 40);
+  payload.WriteEliasGamma(1);
+  const std::vector<uint8_t> bytes = payload.bytes();
+  BitReader reader(bytes);
+  const auto entries = ParseSegmentIndexPayload(reader);
+  ASSERT_FALSE(entries.ok());
+  EXPECT_EQ(entries.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(CorruptionTest, GarbageBytesAreRejected) {

@@ -1,0 +1,452 @@
+// Disk-backed sketch store (store/sketch_store.h) round-trip and recovery
+// tests.
+//
+// The central property: random mixes of ALL nine StreamKinds appended
+// across seal/no-seal reopen cycles come back memcmp-identical after the
+// store is "killed" (destructor closes without sealing) and reopened —
+// the store may lose an unsealed tail to a crash, but it must never serve
+// different bytes than were put. Plus fsck classification over a
+// deliberately torn tail, compaction reclaim, and the warm-tier cache
+// snapshot round trip.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "gtest/gtest.h"
+#include "serve/query_cache.h"
+#include "sketch/cut_balance_sparsifier.h"
+#include "sketch/directed_sketches.h"
+#include "sketch/sampled_sketches.h"
+#include "sketch/serialization.h"
+#include "store/cache_snapshot.h"
+#include "store/segment.h"
+#include "store/sketch_store.h"
+#include "stream/binary_stream.h"
+#include "util/bitio.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace dcs {
+namespace {
+
+// A fresh scratch directory per test, removed (recursively, one level) on
+// destruction.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    char temp[] = "/tmp/dcs_store_test_XXXXXX";
+    path_ = ::mkdtemp(temp);
+  }
+  ~ScratchDir() {
+    const std::string command = "rm -rf '" + path_ + "'";
+    if (std::system(command.c_str()) != 0) {
+      // Best-effort cleanup; nothing to assert on in a destructor.
+    }
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct TestObject {
+  StreamKind kind = StreamKind::kDirectedGraph;
+  std::vector<uint8_t> bytes;
+  int64_t bit_count = 0;
+};
+
+// One valid envelope of every StreamKind, deterministic in `rng`. Variety
+// in sizes is deliberate: some payloads span several hundred bytes, the
+// segment-index one is tiny.
+std::vector<TestObject> MakeOneOfEachKind(Rng& rng) {
+  std::vector<TestObject> objects;
+  auto add = [&objects](StreamKind kind, const BitWriter& writer) {
+    objects.push_back(TestObject{kind, writer.bytes(), writer.bit_count()});
+  };
+  const int n = 8 + static_cast<int>(rng.UniformInt(8));
+  const DirectedGraph digraph = RandomBalancedDigraph(n, 0.5, 2.0, rng);
+  const UndirectedGraph ugraph =
+      RandomUndirectedGraph(n, 0.5, 0.25, 1.5, true, rng);
+  {
+    BitWriter writer;
+    SerializeDirectedGraph(digraph, writer);
+    add(StreamKind::kDirectedGraph, writer);
+  }
+  {
+    BitWriter writer;
+    SerializeUndirectedGraph(ugraph, writer);
+    add(StreamKind::kUndirectedGraph, writer);
+  }
+  {
+    BitWriter writer;
+    ForEachCutSketch(ugraph, 0.4, rng).Serialize(writer);
+    add(StreamKind::kForEachSketch, writer);
+  }
+  {
+    BitWriter writer;
+    BenczurKargerSparsifier(ugraph, 0.4, rng).Serialize(writer);
+    add(StreamKind::kForAllSparsifier, writer);
+  }
+  {
+    BitWriter writer;
+    DirectedForEachSketch(digraph, 0.4, 2.0, rng).Serialize(writer);
+    add(StreamKind::kDirectedForEachSketch, writer);
+  }
+  {
+    BitWriter writer;
+    DirectedForAllSketch(digraph, 0.4, 2.0, rng).Serialize(writer);
+    add(StreamKind::kDirectedForAllSketch, writer);
+  }
+  {
+    BinaryStreamWriter stream(n);
+    for (const EdgeUpdate& update :
+         RandomUpdateStream(n, 20 + static_cast<int64_t>(rng.UniformInt(20)),
+                            0.2, rng)) {
+      stream.Append(update);
+    }
+    BitWriter writer;
+    stream.Seal(writer);
+    add(StreamKind::kEdgeStream, writer);
+  }
+  {
+    BitWriter writer;
+    CutBalanceSparsifier(digraph, 0.4, 2.0, rng).Serialize(writer);
+    add(StreamKind::kCutBalanceSparsifier, writer);
+  }
+  {
+    std::vector<SegmentIndexEntry> entries;
+    for (int e = 0; e < 3; ++e) {
+      SegmentIndexEntry entry;
+      entry.object_id = static_cast<int64_t>(rng.UniformInt(1000));
+      entry.kind = StreamKind::kDirectedGraph;
+      entry.byte_offset = 100 * e;
+      entry.byte_length = 50;
+      entries.push_back(entry);
+    }
+    BitWriter writer;
+    WriteSegmentIndexEnvelope(entries, writer);
+    add(StreamKind::kSegmentIndex, writer);
+  }
+  return objects;
+}
+
+TEST(SketchStoreTest, AllNineKindsRoundTripAcrossReopens) {
+  ScratchDir scratch;
+  Rng rng(2026);
+  // What each object id should currently hold (later puts supersede).
+  std::map<int64_t, TestObject> expected;
+  int64_t next_id = 0;
+
+  // Three "process lifetimes". The first two end in Seal (a clean drain);
+  // the third ends with the destructor only — a crash-equivalent close
+  // whose appended records must still be readable after recovery because
+  // the bytes were written through, just not sealed.
+  for (int lifetime = 0; lifetime < 3; ++lifetime) {
+    auto store = SketchStore::Open(scratch.path());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    // Everything from prior lifetimes is still there, bit for bit.
+    for (const auto& [id, want] : expected) {
+      const auto got = (*store)->Get(id);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(got->kind, want.kind);
+      EXPECT_EQ(got->bit_count, want.bit_count);
+      EXPECT_EQ(got->bytes, want.bytes);
+    }
+    const std::vector<TestObject> fresh = MakeOneOfEachKind(rng);
+    for (const TestObject& object : fresh) {
+      const int64_t id = next_id++;
+      ASSERT_TRUE((*store)
+                      ->Put(id, object.kind, object.bytes, object.bit_count)
+                      .ok());
+      expected[id] = object;
+    }
+    // Overwrite one earlier object with a different payload: the newest
+    // version must win after reopen.
+    if (lifetime > 0) {
+      const TestObject& replacement = fresh[0];
+      ASSERT_TRUE((*store)
+                      ->Put(0, replacement.kind, replacement.bytes,
+                            replacement.bit_count)
+                      .ok());
+      expected[0] = replacement;
+    }
+    if (lifetime < 2) {
+      ASSERT_TRUE((*store)->Seal().ok());
+    }
+  }
+
+  auto reopened = SketchStore::Open(scratch.path());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_objects(),
+            static_cast<int64_t>(expected.size()));
+  for (const auto& [id, want] : expected) {
+    const auto got = (*reopened)->Get(id);
+    ASSERT_TRUE(got.ok()) << "object " << id << ": "
+                          << got.status().ToString();
+    EXPECT_EQ(got->kind, want.kind) << "object " << id;
+    EXPECT_EQ(got->bit_count, want.bit_count) << "object " << id;
+    EXPECT_EQ(got->bytes, want.bytes) << "object " << id;
+  }
+  const auto missing = (*reopened)->Get(next_id + 17);
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SketchStoreTest, PutRejectsBytesThatAreNotAnEnvelopeOfTheKind) {
+  ScratchDir scratch;
+  auto store = SketchStore::Open(scratch.path());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  Rng rng(5);
+  BitWriter writer;
+  SerializeDirectedGraph(RandomBalancedDigraph(6, 0.5, 2.0, rng), writer);
+  // Wrong kind for valid bytes: the store must refuse to hold bytes it
+  // could not re-serve under the declared kind.
+  EXPECT_FALSE((*store)
+                   ->Put(0, StreamKind::kUndirectedGraph, writer.bytes(),
+                         writer.bit_count())
+                   .ok());
+  // Garbage bytes under any kind.
+  std::vector<uint8_t> garbage(64);
+  for (auto& b : garbage) b = static_cast<uint8_t>(rng.Next());
+  EXPECT_FALSE((*store)
+                   ->Put(1, StreamKind::kDirectedGraph, garbage, 64 * 8)
+                   .ok());
+  EXPECT_EQ((*store)->num_objects(), 0);
+}
+
+// Appends a valid object, kills the store unsealed, then tears the
+// segment's tail mid-record on disk.
+void TearActiveSegmentTail(const std::string& dir, int64_t* kept_objects) {
+  Rng rng(99);
+  const std::vector<TestObject> objects = MakeOneOfEachKind(rng);
+  {
+    auto store = SketchStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    for (size_t i = 0; i < 2; ++i) {
+      ASSERT_TRUE((*store)
+                      ->Put(static_cast<int64_t>(i), objects[i].kind,
+                            objects[i].bytes, objects[i].bit_count)
+                      .ok());
+    }
+    // No Seal: the destructor close is the simulated kill.
+  }
+  // Chop the file inside the second record.
+  const std::string segment = dir + "/segment-000001.seg";
+  struct stat info;
+  ASSERT_EQ(::stat(segment.c_str(), &info), 0);
+  const int64_t second_offset = SegmentRecordByteLength(objects[0].bit_count);
+  ASSERT_LT(second_offset, info.st_size);
+  ASSERT_EQ(::truncate(segment.c_str(),
+                       second_offset +
+                           (info.st_size - second_offset) / 2),
+            0);
+  *kept_objects = 1;
+}
+
+TEST(SketchStoreTest, FsckClassifiesATornTailWithoutTouchingTheFile) {
+  ScratchDir scratch;
+  int64_t kept = 0;
+  TearActiveSegmentTail(scratch.path(), &kept);
+
+  struct stat before;
+  ASSERT_EQ(::stat((scratch.path() + "/segment-000001.seg").c_str(),
+                   &before),
+            0);
+  const auto report = FsckSketchStore(scratch.path());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_EQ(report->segments.size(), 1u);
+  EXPECT_EQ(report->segments[0].state, "recovered_torn_tail");
+  EXPECT_EQ(report->segments[0].records, kept);
+  EXPECT_GT(report->segments[0].dropped_tail_bytes, 0);
+  EXPECT_EQ(report->corrupt_segments, 0);
+  EXPECT_EQ(report->recovered_segments, 1);
+  EXPECT_TRUE(report->clean());
+  // fsck is read-only: same size after as before.
+  struct stat after;
+  ASSERT_EQ(::stat((scratch.path() + "/segment-000001.seg").c_str(),
+                   &after),
+            0);
+  EXPECT_EQ(before.st_size, after.st_size);
+}
+
+TEST(SketchStoreTest, OpenRecoversATornTailByTruncating) {
+  ScratchDir scratch;
+  int64_t kept = 0;
+  TearActiveSegmentTail(scratch.path(), &kept);
+
+  auto store = SketchStore::Open(scratch.path());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(store->get()->open_report().torn_tails_recovered, 1);
+  EXPECT_GT(store->get()->open_report().dropped_tail_bytes, 0);
+  EXPECT_EQ(store->get()->num_objects(), kept);
+  EXPECT_TRUE(store->get()->Get(0).ok());
+  EXPECT_EQ(store->get()->Get(1).status().code(), StatusCode::kNotFound);
+  // The truncation is durable: a second fsck sees a clean unsealed prefix.
+  store->reset();
+  const auto report = FsckSketchStore(scratch.path());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->segments[0].state, "unsealed");
+  EXPECT_EQ(report->recovered_segments, 0);
+}
+
+TEST(SketchStoreTest, MidFileDamageIsDataLossNotRecovery) {
+  ScratchDir scratch;
+  Rng rng(7);
+  const std::vector<TestObject> objects = MakeOneOfEachKind(rng);
+  {
+    auto store = SketchStore::Open(scratch.path());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)
+                    ->Put(0, objects[0].kind, objects[0].bytes,
+                          objects[0].bit_count)
+                    .ok());
+    ASSERT_TRUE((*store)
+                    ->Put(1, objects[1].kind, objects[1].bytes,
+                          objects[1].bit_count)
+                    .ok());
+  }
+  // Flip a byte inside the FIRST record's payload: committed data is
+  // damaged while a later record is intact — truncating would silently
+  // discard record 1, so the store must refuse to open.
+  const std::string segment = scratch.path() + "/segment-000001.seg";
+  FILE* file = std::fopen(segment.c_str(), "r+b");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fseek(file, 40, SEEK_SET), 0);
+  const int byte = std::fgetc(file);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(file, 40, SEEK_SET), 0);
+  std::fputc(byte ^ 0x20, file);
+  ASSERT_EQ(std::fclose(file), 0);
+
+  const auto store = SketchStore::Open(scratch.path());
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(store.status().ToString().find("data_loss: segment"),
+            std::string::npos)
+      << store.status().ToString();
+
+  const auto report = FsckSketchStore(scratch.path());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->segments[0].state, "corrupt");
+  EXPECT_FALSE(report->clean());
+}
+
+TEST(SketchStoreTest, CompactDropsSupersededVersions) {
+  ScratchDir scratch;
+  Rng rng(11);
+  const std::vector<TestObject> objects = MakeOneOfEachKind(rng);
+  auto store = SketchStore::Open(scratch.path());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  // Five versions of object 0, one of object 1.
+  for (int version = 0; version < 5; ++version) {
+    ASSERT_TRUE((*store)
+                    ->Put(0, objects[0].kind, objects[0].bytes,
+                          objects[0].bit_count)
+                    .ok());
+  }
+  ASSERT_TRUE((*store)
+                  ->Put(1, objects[1].kind, objects[1].bytes,
+                        objects[1].bit_count)
+                  .ok());
+  const auto report = (*store)->Compact();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->records_dropped, 4);
+  EXPECT_LT(report->bytes_after, report->bytes_before);
+  EXPECT_EQ((*store)->num_objects(), 2);
+  const auto got = (*store)->Get(0);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->bytes, objects[0].bytes);
+  // Compaction leaves exactly one sealed segment behind.
+  store->reset();
+  const auto fsck = FsckSketchStore(scratch.path());
+  ASSERT_TRUE(fsck.ok()) << fsck.status().ToString();
+  ASSERT_EQ(fsck->segments.size(), 1u);
+  EXPECT_EQ(fsck->segments[0].state, "sealed");
+}
+
+TEST(CacheSnapshotTest, RoundTripsThroughFileAndCache) {
+  ScratchDir scratch;
+  const std::string path = scratch.path() + "/cache.snap";
+  // Cold boot: missing file is kNotFound, not an error to recover from.
+  EXPECT_EQ(ReadCacheSnapshotFile(path).status().code(),
+            StatusCode::kNotFound);
+
+  Rng rng(23);
+  std::vector<CacheSnapshotEntry> entries;
+  for (int e = 0; e < 12; ++e) {
+    CacheSnapshotEntry entry;
+    entry.object = e % 3;
+    entry.side_words = {rng.Next(), rng.Next() & 0xFFFF};
+    entry.value = rng.UniformDouble() * 100.0;
+    entries.push_back(entry);
+  }
+  ASSERT_TRUE(WriteCacheSnapshotFile(path, entries).ok());
+  const auto reread = ReadCacheSnapshotFile(path);
+  ASSERT_TRUE(reread.ok()) << reread.status().ToString();
+  ASSERT_EQ(reread->size(), entries.size());
+  for (size_t e = 0; e < entries.size(); ++e) {
+    EXPECT_EQ((*reread)[e].object, entries[e].object);
+    EXPECT_EQ((*reread)[e].side_words, entries[e].side_words);
+    EXPECT_EQ((*reread)[e].value, entries[e].value);
+  }
+
+  // And through the live cache: restore, then look the entries up via the
+  // packed-side hash the cache itself uses.
+  CutQueryCache::Options cache_options;
+  cache_options.capacity = 256;
+  cache_options.num_stripes = 4;
+  CutQueryCache cache(cache_options);
+  std::vector<CutQueryCache::SnapshotEntry> restored;
+  for (const CacheSnapshotEntry& entry : *reread) {
+    CutQueryCache::SnapshotEntry live;
+    live.object = entry.object;
+    live.side.words = entry.side_words;
+    live.value = entry.value;
+    restored.push_back(std::move(live));
+  }
+  cache.Restore(restored);
+  for (const CacheSnapshotEntry& entry : entries) {
+    PackedSide side;
+    side.words = entry.side_words;
+    const auto hit = cache.Lookup(entry.object, HashPackedSide(side), side);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, entry.value);
+  }
+}
+
+TEST(CacheSnapshotTest, EveryBitFlipOfTheSnapshotIsRejected) {
+  // The snapshot is an optimization: any damage must come back kDataLoss
+  // (cold cache), never a crash or a wrong entry.
+  Rng rng(31);
+  std::vector<CacheSnapshotEntry> entries;
+  for (int e = 0; e < 4; ++e) {
+    CacheSnapshotEntry entry;
+    entry.object = e;
+    entry.side_words = {rng.Next()};
+    entry.value = rng.UniformDouble();
+    entries.push_back(entry);
+  }
+  const std::vector<uint8_t> bytes = EncodeCacheSnapshot(entries);
+  for (size_t bit = 0; bit < bytes.size() * 8; ++bit) {
+    std::vector<uint8_t> mutated = bytes;
+    mutated[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    const auto decoded = DecodeCacheSnapshot(mutated);
+    ASSERT_FALSE(decoded.ok()) << "flipping snapshot bit " << bit;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+  }
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    const std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + len);
+    EXPECT_FALSE(DecodeCacheSnapshot(truncated).ok())
+        << "truncating snapshot to " << len;
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -25,6 +25,7 @@
 #include "serve/transport.h"
 #include "serve/wire.h"
 #include "serve/worker_process.h"
+#include "store/sketch_store.h"
 #include "util/bitio.h"
 #include "util/random.h"
 
@@ -456,6 +457,115 @@ TEST(ClusterWorkerTest, DrainsInFlightRequestOnStop) {
   EXPECT_EQ(response->values.size(), 2u);
 }
 
+TEST(ClusterWorkerTest, DrainSealsStoreSegments) {
+  // Satellite of the §15 store work: the SIGTERM drain (RequestStop +
+  // Serve running to completion) must seal the open segment, so a kill
+  // *after* the drain finds nothing fsck calls corrupt — at worst nothing
+  // at all to recover.
+  char dir_template[] = "/tmp/dcs_drain_store_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string store_dir = std::string(dir_template) + "/store";
+
+  {
+    ClusterWorkerOptions options;
+    options.store_dir = store_dir;
+    ServingWorker serving = StartWorker(options);
+    for (int g = 0; g < 3; ++g) {
+      RpcRequest reg;
+      reg.kind = RpcKind::kRegisterGraph;
+      reg.graph = TestGraph(10 + g, 30, 70 + static_cast<uint64_t>(g));
+      ASSERT_TRUE(serving.worker->Execute(reg).status.ok());
+    }
+    // Stop() requests the drain and joins Serve(), whose return value the
+    // serving thread asserts OK — a failed seal would fail the test there.
+  }
+
+  const auto fsck = FsckSketchStore(store_dir);
+  ASSERT_TRUE(fsck.ok()) << fsck.status().ToString();
+  ASSERT_FALSE(fsck->segments.empty());
+  for (const auto& segment : fsck->segments) {
+    EXPECT_EQ(segment.state, "sealed") << segment.file << ": "
+                                       << segment.detail;
+  }
+  auto reopened = SketchStore::Open(store_dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_objects(), 3);
+
+  reopened->reset();
+  const std::string command = std::string("rm -rf '") + dir_template + "'";
+  ASSERT_EQ(std::system(command.c_str()), 0);
+}
+
+TEST(ClusterClientTest, WarmRestartReattachesWithoutResendingGraphs) {
+  // The store-backed respawn path end to end: a worker that persisted its
+  // registrations is killed and a fresh incarnation warm-loads them; the
+  // client's Repair revives its replica via kReattach (no graph bytes on
+  // the wire) and answers stay bit-identical.
+  char dir_template[] = "/tmp/dcs_warm_restart_XXXXXX";
+  ASSERT_NE(::mkdtemp(dir_template), nullptr);
+  const std::string spec = std::string("unix:") + dir_template + "/w.sock";
+  const std::string store_dir = std::string(dir_template) + "/store";
+
+  ClusterWorkerOptions worker_options;
+  worker_options.store_dir = store_dir;
+
+  const DirectedGraph graph = TestGraph(16, 60, 81);
+  const std::vector<VertexSet> sides = RandomSides(16, 5, 82);
+  CutQueryService reference;
+  const auto reference_id = reference.RegisterGraph(graph);
+  std::vector<CutQueryService::Query> reference_batch;
+  for (const VertexSet& side : sides) {
+    reference_batch.push_back(CutQueryService::Query{reference_id, side});
+  }
+  const std::vector<double> expected = reference.AnswerBatch(reference_batch);
+
+  auto serving = std::make_unique<ServingWorker>();
+  *serving = StartWorker(worker_options, spec);
+  const Endpoint endpoint = serving->worker->endpoint();
+  const uint64_t first_token = serving->worker->token();
+
+  ClusterClientOptions options;
+  options.replication = 1;
+  options.transport = FastTransport();
+  ClusterClient client({endpoint}, options);
+  auto handle = client.RegisterReplicated(graph);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  // Populate the worker's cache so the drain has something to snapshot.
+  ASSERT_TRUE(client.AnswerBatch(*handle, sides).ok());
+
+  // Drain-restart on the same store directory.
+  serving->Stop();
+  serving = std::make_unique<ServingWorker>();
+  *serving = StartWorker(worker_options, spec);
+  ASSERT_NE(serving->worker->token(), first_token);
+
+  // The respawn is NOT amnesiac: registrations and warm cache came back
+  // from disk before the listener opened.
+  EXPECT_EQ(serving->worker->num_registered(), 1);
+  EXPECT_EQ(serving->worker->warm_loaded_objects(), 1);
+  EXPECT_GT(serving->worker->cache_entries(), 0);
+
+  // The client still holds a stale token, so Repair runs — and must take
+  // the reattach fast path rather than re-sending the graph.
+  ASSERT_TRUE(client.HealthCheck().ok());
+  auto repaired = client.Repair();
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_EQ(*repaired, 1);
+  EXPECT_EQ(client.reattached_replicas(), 1);
+
+  auto answer = client.AnswerBatch(*handle, sides);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_EQ(answer->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&(*answer)[i], &expected[i], sizeof(double)), 0)
+        << "query " << i;
+  }
+
+  serving->Stop();
+  const std::string command = std::string("rm -rf '") + dir_template + "'";
+  ASSERT_EQ(std::system(command.c_str()), 0);
+}
+
 TEST(ClusterClientTest, FailsOverToSurvivingReplicaBitIdentically) {
   ServingWorker worker0 = StartWorker();
   ServingWorker worker1 = StartWorker();
@@ -704,15 +814,34 @@ TEST(WorkerProcessTest, SigtermDrainsAndExits) {
       ParseEndpoint(std::string("unix:") + dir_template + "/w.sock");
   ASSERT_TRUE(endpoint.ok());
 
-  auto spawned = SpawnWorker(DCS_SERVER_PATH, *endpoint, {});
+  // A real SIGTERM against a real store-backed process: the drain must
+  // leave every segment sealed on disk before the process exits.
+  ClusterWorkerOptions options;
+  options.store_dir = std::string(dir_template) + "/store";
+  auto spawned = SpawnWorker(DCS_SERVER_PATH, *endpoint, options);
   ASSERT_TRUE(spawned.ok());
   ASSERT_TRUE(WaitForWorkerReady(*endpoint, 10000).ok());
+
+  ClusterClientOptions client_options;
+  client_options.replication = 1;
+  client_options.transport = FastTransport();
+  ClusterClient client({*endpoint}, client_options);
+  ASSERT_TRUE(client.RegisterReplicated(TestGraph(10, 30, 91)).ok());
+
   ASSERT_TRUE(KillWorker(*spawned, SIGTERM).ok());
   // Drain-then-stop exits on its own; blocking reap must not hang.
   ASSERT_TRUE(ReapWorker(*spawned, /*blocking=*/true).ok());
 
-  std::remove((std::string(dir_template) + "/w.sock").c_str());
-  ::rmdir(dir_template);
+  const auto fsck = FsckSketchStore(options.store_dir);
+  ASSERT_TRUE(fsck.ok()) << fsck.status().ToString();
+  ASSERT_FALSE(fsck->segments.empty());
+  for (const auto& segment : fsck->segments) {
+    EXPECT_EQ(segment.state, "sealed") << segment.file << ": "
+                                       << segment.detail;
+  }
+
+  const std::string command = std::string("rm -rf '") + dir_template + "'";
+  ASSERT_EQ(std::system(command.c_str()), 0);
 }
 #endif  // DCS_SERVER_PATH
 

@@ -24,7 +24,12 @@
 //   cluster    spawn a fleet of dcs_server worker processes, drive
 //              replicated query traffic with failover while SIGKILLing
 //              workers at --kill-rate, and verify every completed answer
-//              is bit-identical to a single-process oracle
+//              is bit-identical to a single-process oracle; with
+//              --store-root DIR workers persist registrations and
+//              respawns warm-load + reattach instead of re-registering
+//   store      poke a disk-backed sketch store directory (DESIGN.md §15):
+//              put/get directed graphs by object id, compact away
+//              superseded record versions, or fsck every segment
 //
 // Chaos flags (protocol, distributed): passing any of --chaos-seed,
 // --chaos-drop, --chaos-flip, --chaos-truncate, --chaos-duplicate,
@@ -49,6 +54,8 @@
 //   dcs stream --make 1 --n 256 --updates 20000 --out updates.bin
 //   dcs stream --in updates.bin --inserters 2 --shards 4 --k 2 --epochs 4
 //   dcs cluster --workers 4 --replication 2 --kill-rate 0.2
+//   dcs store --dir /tmp/store --op put --id 7 --in g.txt
+//   dcs store --dir /tmp/store --op fsck
 
 // Exit codes: 0 success, 1 runtime/data error (unreadable or corrupt
 // input, failed write), 2 usage error (unknown command/flag, malformed
@@ -58,6 +65,10 @@
 // after the command runs, the process-wide metrics snapshot (cut queries,
 // local queries, per-sketch-kind serialized bit sizes, ...) is written to
 // FILE as deterministic JSON. See DESIGN.md §8.
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
@@ -69,7 +80,7 @@
 #include <cstring>
 #include <functional>
 #include <map>
-#include <unistd.h>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -93,6 +104,9 @@
 #include "serve/load_driver.h"
 #include "sketch/backend_registry.h"
 #include "sketch/directed_sketches.h"
+#include "sketch/serialization.h"
+#include "store/sketch_store.h"
+#include "util/bitio.h"
 #include "util/json.h"
 #include "util/metrics.h"
 #include "util/random.h"
@@ -903,12 +917,176 @@ int CmdStream(const FlagMap& flags) {
   return 0;
 }
 
+// dcs store — poke a disk-backed sketch store directory (DESIGN.md §15).
+//   put     --dir D --id K --in graph.txt   serialize the directed graph,
+//           append it as object K, seal (durable on return)
+//   get     --dir D --id K --out graph.txt  read object K back (directed
+//           graphs only) and write it as a text graph
+//   compact --dir D                         rewrite the newest version of
+//           every object into one fresh sealed segment
+//   fsck    --dir D                         read-only per-segment verdict:
+//           sealed / unsealed / recovered_torn_tail / corrupt. Exit 1 if
+//           any segment is corrupt beyond a torn tail (`data_loss:
+//           segment`); a recoverable torn tail alone is exit 0.
+int CmdStore(const FlagMap& flags) {
+  const std::string dir = GetFlag(flags, "dir", "");
+  const std::string op = GetFlag(flags, "op", "");
+  if (dir.empty() || op.empty()) {
+    std::fprintf(stderr,
+                 "dcs store needs --dir DIR and --op put|get|compact|fsck\n");
+    return 2;
+  }
+  if (op == "fsck") {
+    // Deliberately not SketchStore::Open: fsck must never write, and Open
+    // truncates torn tails in place.
+    const auto report = dcs::FsckSketchStore(dir);
+    if (!report.ok()) {
+      std::fprintf(stderr, "fsck %s: %s\n", dir.c_str(),
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& segment : report->segments) {
+      std::printf("%s: %s records %lld dropped_tail_bytes %lld%s%s\n",
+                  segment.file.c_str(), segment.state.c_str(),
+                  static_cast<long long>(segment.records),
+                  static_cast<long long>(segment.dropped_tail_bytes),
+                  segment.detail.empty() ? "" : " ", segment.detail.c_str());
+    }
+    std::printf("segments %lld corrupt %lld recovered_torn_tail %lld\n",
+                static_cast<long long>(report->segments.size()),
+                static_cast<long long>(report->corrupt_segments),
+                static_cast<long long>(report->recovered_segments));
+    if (!report->clean()) {
+      std::fprintf(stderr, "FAIL: data_loss: segment damage beyond a torn "
+                           "tail\n");
+      return 1;
+    }
+    return 0;
+  }
+  auto store = dcs::SketchStore::Open(dir);
+  if (!store.ok()) {
+    std::fprintf(stderr, "cannot open store %s: %s\n", dir.c_str(),
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  if (op == "put") {
+    const std::string in = GetFlag(flags, "in", "");
+    const int id = GetInt(flags, "id", -1);
+    if (in.empty() || id < 0) {
+      std::fprintf(stderr, "store put needs --in FILE and --id K (>= 0)\n");
+      return 2;
+    }
+    const auto graph = dcs::LoadDirectedGraph(in);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "cannot read directed graph from %s: %s\n",
+                   in.c_str(), graph.status().ToString().c_str());
+      return 1;
+    }
+    dcs::BitWriter writer;
+    dcs::SerializeDirectedGraph(*graph, writer);
+    dcs::Status status = (*store)->Put(id, dcs::StreamKind::kDirectedGraph,
+                                       writer.bytes(), writer.bit_count());
+    if (status.ok()) status = (*store)->Seal();
+    if (!status.ok()) {
+      std::fprintf(stderr, "put failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("put object %d: %lld bits; store now holds %lld objects\n",
+                id, static_cast<long long>(writer.bit_count()),
+                static_cast<long long>((*store)->num_objects()));
+    return 0;
+  }
+  if (op == "get") {
+    const std::string out = GetFlag(flags, "out", "");
+    const int id = GetInt(flags, "id", -1);
+    if (out.empty() || id < 0) {
+      std::fprintf(stderr, "store get needs --out FILE and --id K (>= 0)\n");
+      return 2;
+    }
+    const auto object = (*store)->Get(id);
+    if (!object.ok()) {
+      std::fprintf(stderr, "get failed: %s\n",
+                   object.status().ToString().c_str());
+      return 1;
+    }
+    if (object->kind != dcs::StreamKind::kDirectedGraph) {
+      std::fprintf(stderr, "object %d holds a %s, not a directed graph\n",
+                   id, dcs::StreamKindName(object->kind));
+      return 1;
+    }
+    dcs::BitReader reader(object->bytes);
+    const auto graph = dcs::DeserializeDirectedGraph(reader);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "object %d does not decode: %s\n", id,
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    const dcs::Status saved = dcs::SaveDirectedGraph(*graph, out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "failed to write %s: %s\n", out.c_str(),
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("got object %d: n=%d m=%lld -> %s\n", id,
+                graph->num_vertices(),
+                static_cast<long long>(graph->num_edges()), out.c_str());
+    return 0;
+  }
+  if (op == "compact") {
+    const auto report = (*store)->Compact();
+    if (!report.ok()) {
+      std::fprintf(stderr, "compact failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("compacted: %lld -> %lld bytes, %lld superseded records "
+                "dropped\n",
+                static_cast<long long>(report->bytes_before),
+                static_cast<long long>(report->bytes_after),
+                static_cast<long long>(report->records_dropped));
+    return 0;
+  }
+  std::fprintf(stderr, "unknown --op '%s' (put|get|compact|fsck)\n",
+               op.c_str());
+  return 2;
+}
+
+// Removes a mkdtemp'd cluster scratch directory on *every* exit path —
+// early usage errors, worker-spawn failures, and the normal return alike.
+// The destructor sweeps whatever the directory actually contains (stale
+// sockets from SIGKILLed workers, partially-created files) instead of a
+// guessed name list, so a failed or partial run cannot leak
+// /tmp/dcs_cluster_XXXXXX.
+class ScopedSocketDir {
+ public:
+  explicit ScopedSocketDir(std::string path) : path_(std::move(path)) {}
+  ScopedSocketDir(const ScopedSocketDir&) = delete;
+  ScopedSocketDir& operator=(const ScopedSocketDir&) = delete;
+  ~ScopedSocketDir() {
+    if (path_.empty()) return;
+    if (DIR* dir = ::opendir(path_.c_str())) {
+      while (const dirent* entry = ::readdir(dir)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        std::remove((path_ + "/" + name).c_str());
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(path_.c_str());
+  }
+
+ private:
+  const std::string path_;
+};
+
 // dcs cluster — the multi-process chaos soak (DESIGN.md §14): spawn a
 // worker fleet, drive replicated query traffic through the failover
 // client while SIGKILLing workers at --kill-rate, and gate on the
 // zero-wrong-bits invariant. Exit 1 if any completed answer differed from
 // the single-process oracle or any loss surfaced as something other than
-// kUnavailable/kResourceExhausted.
+// kUnavailable/kResourceExhausted. With --store-root DIR each worker
+// persists to DIR/worker<w> and respawns warm-load from disk, so repairs
+// reattach instead of re-sending graphs.
 int CmdCluster(const FlagMap& flags) {
   dcs::ClusterLoadOptions options;
 #ifdef DCS_SERVER_DEFAULT_PATH
@@ -932,14 +1110,43 @@ int CmdCluster(const FlagMap& flags) {
   options.worker.queue_capacity = GetInt(flags, "queue-capacity", 64);
   options.worker.execution_delay_ms =
       GetInt(flags, "execution-delay-ms", 0);
+  options.worker.warm_cache_entries = GetInt(flags, "warm-cache", 4096);
+  options.store_root = GetFlag(flags, "store-root", "");
+  // Every bound is re-checked here, BEFORE any side effect: the same
+  // bounds are enforced by ClusterLoadOptions::Check() with DCS_CHECK,
+  // and an abort after mkdtemp would leak the scratch directory.
   if (options.kill_rate < 0 || options.kill_rate > 1) {
     std::fprintf(stderr, "--kill-rate must be in [0, 1]\n");
     return 2;
   }
+  if (options.num_workers < 1 || options.replication < 1 ||
+      options.num_client_threads < 1 || options.batches_per_thread < 1 ||
+      options.batch_size < 1 || options.kill_interval_ms < 1 ||
+      options.respawn_delay_ms < 0 || options.num_vertices < 2 ||
+      options.num_edges < 1 || options.worker.num_shards < 1 ||
+      options.worker.queue_capacity < 1 ||
+      options.worker.execution_delay_ms < 0 ||
+      options.worker.warm_cache_entries < 0) {
+    std::fprintf(stderr,
+                 "cluster flags out of range (workers/replication/clients/"
+                 "batches/batch/kill-interval-ms/shards/queue-capacity >= 1, "
+                 "respawn-delay-ms/execution-delay-ms/warm-cache >= 0, "
+                 "n >= 2, edges >= 1)\n");
+    return 2;
+  }
+  if (!options.store_root.empty()) {
+    // One level deep is enough: per-worker subdirectories are created by
+    // SketchStore::Open inside the workers.
+    if (::mkdir(options.store_root.c_str(), 0755) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "cannot create store root %s: %s\n",
+                   options.store_root.c_str(), std::strerror(errno));
+      return 1;
+    }
+  }
 
   std::string socket_dir = GetFlag(flags, "socket-dir", "");
   char dir_template[] = "/tmp/dcs_cluster_XXXXXX";
-  bool made_dir = false;
+  std::unique_ptr<ScopedSocketDir> scratch;
   if (socket_dir.empty()) {
     if (::mkdtemp(dir_template) == nullptr) {
       std::fprintf(stderr, "cannot create socket directory: %s\n",
@@ -947,20 +1154,11 @@ int CmdCluster(const FlagMap& flags) {
       return 1;
     }
     socket_dir = dir_template;
-    made_dir = true;
+    scratch = std::make_unique<ScopedSocketDir>(socket_dir);
   }
   options.socket_dir = socket_dir;
 
   const auto report = dcs::RunClusterLoad(options);
-  if (made_dir) {
-    // SIGKILLed workers leave stale socket files behind; sweep them so the
-    // temp directory can go.
-    for (int w = 0; w < options.num_workers; ++w) {
-      std::remove(
-          (socket_dir + "/worker" + std::to_string(w) + ".sock").c_str());
-    }
-    ::rmdir(socket_dir.c_str());
-  }
   if (!report.ok()) {
     std::fprintf(stderr, "cluster soak failed to run: %s\n",
                  report.status().ToString().c_str());
@@ -976,9 +1174,10 @@ int CmdCluster(const FlagMap& flags) {
       static_cast<long long>(report->batches_unavailable),
       static_cast<long long>(report->batches_resource_exhausted),
       static_cast<long long>(report->batches_other_error));
-  std::printf("kills %lld respawns %lld\n",
+  std::printf("kills %lld respawns %lld reattaches %lld\n",
               static_cast<long long>(report->kills),
-              static_cast<long long>(report->respawns));
+              static_cast<long long>(report->respawns),
+              static_cast<long long>(report->reattaches));
   std::printf("qps %.1f latency_p50_us %lld latency_p99_us %lld\n",
               report->qps, static_cast<long long>(report->latency_p50_us),
               static_cast<long long>(report->latency_p99_us));
@@ -1006,7 +1205,7 @@ int CmdCluster(const FlagMap& flags) {
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: dcs <generate|stats|mincut|sketch|localquery|encode|"
-               "agm|trials|protocol|distributed|serve|stream|cluster> "
+               "agm|trials|protocol|distributed|serve|stream|cluster|store> "
                "[--flag value ...] [--metrics-json FILE]\n");
 }
 
@@ -1047,6 +1246,7 @@ int RunCommand(const std::string& command, const FlagMap& flags) {
   if (command == "serve") return CmdServe(flags);
   if (command == "stream") return CmdStream(flags);
   if (command == "cluster") return CmdCluster(flags);
+  if (command == "store") return CmdStore(flags);
   PrintUsage();
   return 2;
 }

@@ -7,10 +7,17 @@
 //
 //   dcs_server --listen unix:/tmp/w0.sock --shards 2 --queue-capacity 64
 //
+// With --store-dir DIR the worker persists every registered graph to a
+// disk-backed sketch store (DESIGN.md §15): a respawn on the same
+// directory warm-loads all objects under their original ids (clients
+// reattach instead of re-sending sketches), and the drain additionally
+// dumps the hottest cache entries for the next incarnation.
+//
 // SIGTERM (and SIGINT) trigger a drain-then-stop shutdown: the listener
-// closes, in-flight requests finish, queued jobs run to completion, and
-// only then does the process exit. SIGKILL — the chaos signal — gets no
-// such courtesy, which is exactly what the soak is for.
+// closes, in-flight requests finish, queued jobs run to completion, the
+// store segment is sealed, and only then does the process exit. SIGKILL —
+// the chaos signal — gets no such courtesy, which is exactly what the
+// soak is for.
 //
 // Exit codes: 0 clean shutdown, 1 serve/bind failure, 2 usage error.
 
@@ -53,7 +60,8 @@ void PrintUsage() {
   std::fprintf(stderr,
                "usage: dcs_server --listen <unix:PATH|tcp:HOST:PORT> "
                "[--shards N] [--queue-capacity N] [--io-timeout-ms N] "
-               "[--accept-timeout-ms N] [--execution-delay-ms N]\n");
+               "[--accept-timeout-ms N] [--execution-delay-ms N] "
+               "[--store-dir DIR] [--warm-cache N]\n");
 }
 
 }  // namespace
@@ -82,6 +90,10 @@ int main(int argc, char** argv) {
     } else if (flag == "--execution-delay-ms") {
       options.execution_delay_ms =
           ParseIntFlag("--execution-delay-ms", value, 0);
+    } else if (flag == "--store-dir") {
+      options.store_dir = value;
+    } else if (flag == "--warm-cache") {
+      options.warm_cache_entries = ParseIntFlag("--warm-cache", value, 0);
     } else {
       std::fprintf(stderr, "dcs_server: unknown flag %s\n", flag.c_str());
       PrintUsage();
